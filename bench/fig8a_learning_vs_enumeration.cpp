@@ -1,0 +1,64 @@
+//===- bench/fig8a_learning_vs_enumeration.cpp ----------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+// Reproduces Fig. 8(a) of the paper: learned feature predicates
+// (LinearArbitrary) versus syntax-guided enumeration (the PIE-style
+// baseline) on the PIE-suite programs, reporting per-program inference +
+// verification time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace la;
+using namespace la::bench;
+
+int main() {
+  printf("== Fig. 8(a): Learning vs Enumeration ==\n");
+  printf("PAPER: on the 82-program PIE suite, solution time is roughly an\n"
+         "PAPER: order of magnitude faster with LinearArbitrary; PIE times\n"
+         "PAPER: out on multi-loop nondeterministic programs (31.c, 33.c).\n\n");
+
+  std::vector<const corpus::BenchmarkProgram *> Programs =
+      suite({"pie-suite", "loop-lit", "loop-invgen"});
+  double Timeout = benchTimeout();
+
+  SuiteResult Ours = runSuite(linearArbitraryFactory(), Programs, Timeout);
+  SuiteResult Enum = runSuite(enumFactory(), Programs, Timeout);
+
+  printScatter(Programs, Ours, Enum);
+  printf("\n");
+  printSummary(Programs.size(), Ours);
+  printSummary(Programs.size(), Enum);
+
+  // The paper's shape: points under the diagonal (we are faster) dominate.
+  size_t Faster = 0, BothSolved = 0;
+  double SpeedupSum = 0;
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    if (!Ours.Outcomes[I].Solved || !Enum.Outcomes[I].Solved)
+      continue;
+    ++BothSolved;
+    Faster += Ours.Outcomes[I].Seconds <= Enum.Outcomes[I].Seconds;
+    SpeedupSum += Enum.Outcomes[I].Seconds /
+                  std::max(1e-4, Ours.Outcomes[I].Seconds);
+  }
+  printf("MEASURED: both solved %zu; LinearArbitrary at least as fast on "
+         "%zu; mean speedup %.1fx\n",
+         BothSolved, Faster,
+         BothSolved ? SpeedupSum / BothSolved : 0.0);
+  printf("MEASURED: LinearArbitrary-only solves: %zu, enumeration-only: %zu\n",
+         [&] {
+           size_t N = 0;
+           for (size_t I = 0; I < Programs.size(); ++I)
+             N += Ours.Outcomes[I].Solved && !Enum.Outcomes[I].Solved;
+           return N;
+         }(),
+         [&] {
+           size_t N = 0;
+           for (size_t I = 0; I < Programs.size(); ++I)
+             N += !Ours.Outcomes[I].Solved && Enum.Outcomes[I].Solved;
+           return N;
+         }());
+  return 0;
+}

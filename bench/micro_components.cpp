@@ -1,0 +1,126 @@
+//===- bench/micro_components.cpp --------------------------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+// google-benchmark microbenchmarks for the substrate components: exact
+// arithmetic, simplex, the SMT solver, the learners and the decision tree.
+// These support the evaluation (no paper counterpart): they document where
+// the verification time goes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Learn.h"
+#include "ml/Svm.h"
+#include "smt/SmtSolver.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace la;
+
+static void BM_BigIntMulDiv(benchmark::State &State) {
+  BigInt A = *BigInt::fromString("123456789123456789123456789123456789");
+  BigInt B = *BigInt::fromString("987654321987654321");
+  for (auto _ : State) {
+    BigInt C = A * B;
+    benchmark::DoNotOptimize(C.divMod(B));
+  }
+}
+BENCHMARK(BM_BigIntMulDiv);
+
+static void BM_RationalArithmetic(benchmark::State &State) {
+  Rational A(BigInt(355), BigInt(113));
+  Rational B(BigInt(-22), BigInt(7));
+  for (auto _ : State) {
+    Rational C = A * B + A - B;
+    benchmark::DoNotOptimize(C / A);
+  }
+}
+BENCHMARK(BM_RationalArithmetic);
+
+/// Simplex feasibility on a random bounded system of the size a CHC VC has.
+static void BM_SimplexCheck(benchmark::State &State) {
+  const int NumVars = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Random Rng(42);
+    smt::Simplex Splx;
+    std::vector<smt::Simplex::VarId> Vars;
+    for (int I = 0; I < NumVars; ++I)
+      Vars.push_back(Splx.addVar());
+    // Random difference constraints.
+    for (int I = 0; I < NumVars * 2; ++I) {
+      smt::Simplex::VarId A = Vars[Rng.nextBounded(Vars.size())];
+      smt::Simplex::VarId B = Vars[Rng.nextBounded(Vars.size())];
+      if (A == B)
+        continue;
+      smt::Simplex::VarId S =
+          Splx.addDefinedVar({{A, Rational(1)}, {B, Rational(-1)}});
+      smt::Simplex::BoundUndo Undo;
+      (void)Splx.assertBound(S, false,
+                             DeltaRational(Rational(Rng.nextInRange(0, 10))),
+                             I, Undo);
+    }
+    benchmark::DoNotOptimize(Splx.check());
+  }
+}
+BENCHMARK(BM_SimplexCheck)->Arg(8)->Arg(32);
+
+/// A full SMT check of a Fig.1-style verification condition.
+static void BM_SmtVerificationCondition(benchmark::State &State) {
+  for (auto _ : State) {
+    TermManager TM;
+    const Term *X = TM.mkVar("x"), *Y = TM.mkVar("y");
+    const Term *X2 = TM.mkVar("x2"), *Y2 = TM.mkVar("y2");
+    const Term *Inv = TM.mkAnd(TM.mkGe(X, TM.mkIntConst(1)),
+                               TM.mkGe(Y, TM.mkIntConst(0)));
+    const Term *InvPost = TM.mkAnd(TM.mkGe(X2, TM.mkIntConst(1)),
+                                   TM.mkGe(Y2, TM.mkIntConst(0)));
+    smt::SmtSolver Solver(TM);
+    Solver.assertFormula(TM.mkAnd(
+        {Inv, TM.mkEq(X2, TM.mkAdd(X, Y)),
+         TM.mkEq(Y2, TM.mkAdd(Y, TM.mkIntConst(1))), TM.mkNot(InvPost)}));
+    benchmark::DoNotOptimize(Solver.check());
+  }
+}
+BENCHMARK(BM_SmtVerificationCondition);
+
+static ml::Dataset randomDataset(int NumSamples, int Dim, uint64_t Seed) {
+  Random Rng(Seed);
+  ml::Dataset Data(Dim);
+  for (int I = 0; I < NumSamples; ++I) {
+    ml::Sample S;
+    int64_t Sum = 0;
+    for (int D = 0; D < Dim; ++D) {
+      int64_t V = Rng.nextInRange(-20, 20);
+      Sum += V;
+      S.push_back(Rational(V));
+    }
+    // Mostly linearly separable labels with some noise.
+    bool Positive = Sum + Rng.nextInRange(-4, 4) >= 0;
+    (Positive ? Data.Pos : Data.Neg).push_back(std::move(S));
+  }
+  return Data;
+}
+
+static void BM_SvmTraining(benchmark::State &State) {
+  ml::Dataset Data = randomDataset(static_cast<int>(State.range(0)), 4, 7);
+  for (auto _ : State) {
+    Random Rng(13);
+    benchmark::DoNotOptimize(ml::SvmLearner().learn(Data, Rng));
+  }
+}
+BENCHMARK(BM_SvmTraining)->Arg(50)->Arg(200);
+
+static void BM_LearnToolchain(benchmark::State &State) {
+  ml::Dataset Data = randomDataset(static_cast<int>(State.range(0)), 4, 11);
+  for (auto _ : State) {
+    TermManager TM;
+    std::vector<const Term *> Vars{TM.mkVar("a"), TM.mkVar("b"),
+                                   TM.mkVar("c"), TM.mkVar("d")};
+    ml::LearnOptions Opts;
+    benchmark::DoNotOptimize(ml::learn(TM, Vars, Data, Opts));
+  }
+}
+BENCHMARK(BM_LearnToolchain)->Arg(40)->Arg(120);
+
+BENCHMARK_MAIN();

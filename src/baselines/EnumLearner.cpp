@@ -1,0 +1,192 @@
+//===- baselines/EnumLearner.cpp - PIE-style enumerative learner ----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/EnumLearner.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace la;
+using namespace la::baselines;
+using namespace la::ml;
+
+namespace {
+
+/// A candidate atom: a direction vector with a threshold, meaning
+/// `dir . v <= C`, plus its truth value on every sample.
+struct CandidateAtom {
+  std::vector<int> Dir;
+  Rational Threshold;
+  /// Truth on Pos then Neg samples (bit per sample).
+  std::vector<bool> Truth;
+};
+
+Rational dot(const std::vector<int> &Dir, const Sample &S) {
+  Rational Sum;
+  for (size_t I = 0; I < Dir.size(); ++I)
+    if (Dir[I] != 0)
+      Sum += Rational(Dir[I]) * S[I];
+  return Sum;
+}
+
+} // namespace
+
+LearnResult baselines::enumLearn(TermManager &TM,
+                                 const std::vector<const Term *> &Vars,
+                                 const Dataset &Data,
+                                 const EnumLearnerOptions &Opts) {
+  LearnResult Result;
+  if (Data.Neg.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkTrue();
+    return Result;
+  }
+  if (Data.Pos.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkFalse();
+    return Result;
+  }
+
+  const size_t Dim = Data.Dim;
+  // Enumerate octagonal directions.
+  std::vector<std::vector<int>> Dirs;
+  for (size_t I = 0; I < Dim; ++I) {
+    std::vector<int> D(Dim, 0);
+    D[I] = 1;
+    Dirs.push_back(D);
+    D[I] = -1;
+    Dirs.push_back(D);
+  }
+  std::vector<int> Slopes{1};
+  if (Opts.WideSlopes)
+    Slopes = {1, 2};
+  for (size_t I = 0; I < Dim; ++I)
+    for (size_t J = I + 1; J < Dim; ++J)
+      for (int SI : {1, -1})
+        for (int SJ : {-1, 1})
+          for (int Slope : Slopes) {
+            std::vector<int> D(Dim, 0);
+            D[I] = SI * Slope;
+            D[J] = SJ;
+            Dirs.push_back(D);
+          }
+
+  // Thresholds from the data: for each direction, the distinct values taken
+  // on the samples (this is PIE's "constants from tests" heuristic).
+  std::vector<CandidateAtom> Atoms;
+  const size_t NumSamples = Data.size();
+  for (const std::vector<int> &Dir : Dirs) {
+    std::set<Rational> Values;
+    auto Collect = [&](const std::vector<Sample> &Set) {
+      for (const Sample &S : Set)
+        Values.insert(dot(Dir, S));
+    };
+    Collect(Data.Pos);
+    Collect(Data.Neg);
+    for (const Rational &C : Values) {
+      if (Atoms.size() >= Opts.MaxAtoms)
+        break;
+      CandidateAtom Atom;
+      Atom.Dir = Dir;
+      Atom.Threshold = C;
+      Atom.Truth.reserve(NumSamples);
+      for (const Sample &S : Data.Pos)
+        Atom.Truth.push_back(dot(Dir, S) <= C);
+      for (const Sample &S : Data.Neg)
+        Atom.Truth.push_back(dot(Dir, S) <= C);
+      Atoms.push_back(std::move(Atom));
+    }
+  }
+
+  // Greedy DNF set cover: repeatedly build one conjunction that covers some
+  // uncovered positive and excludes every negative.
+  const size_t NumPos = Data.Pos.size();
+  std::vector<bool> Covered(NumPos, false);
+  std::vector<std::vector<size_t>> Disjuncts; // atom indices per conjunction
+  for (;;) {
+    size_t Seed = NumPos;
+    for (size_t I = 0; I < NumPos; ++I)
+      if (!Covered[I]) {
+        Seed = I;
+        break;
+      }
+    if (Seed == NumPos)
+      break; // all positives covered
+
+    // Atoms true at the seed; negatives still passing the conjunction.
+    std::vector<size_t> Conj;
+    std::vector<bool> NegAlive(Data.Neg.size(), true);
+    size_t AliveCount = Data.Neg.size();
+    while (AliveCount > 0) {
+      // Pick the atom true at the seed that kills the most live negatives.
+      size_t Best = Atoms.size();
+      size_t BestKills = 0;
+      for (size_t A = 0; A < Atoms.size(); ++A) {
+        if (!Atoms[A].Truth[Seed])
+          continue;
+        size_t Kills = 0;
+        for (size_t N = 0; N < Data.Neg.size(); ++N)
+          if (NegAlive[N] && !Atoms[A].Truth[NumPos + N])
+            ++Kills;
+        if (Kills > BestKills) {
+          BestKills = Kills;
+          Best = A;
+        }
+      }
+      if (Best == Atoms.size())
+        return Result; // hypothesis space too weak: fail (PIE would widen)
+      Conj.push_back(Best);
+      for (size_t N = 0; N < Data.Neg.size(); ++N)
+        if (NegAlive[N] && !Atoms[Best].Truth[NumPos + N]) {
+          NegAlive[N] = false;
+          --AliveCount;
+        }
+    }
+    // Mark the positives this conjunction covers.
+    for (size_t I = 0; I < NumPos; ++I) {
+      if (Covered[I])
+        continue;
+      bool All = true;
+      for (size_t A : Conj)
+        All &= Atoms[A].Truth[I];
+      Covered[I] = Covered[I] || All;
+    }
+    Disjuncts.push_back(std::move(Conj));
+  }
+
+  // Build the formula.
+  std::vector<const Term *> Ors;
+  for (const std::vector<size_t> &Conj : Disjuncts) {
+    std::vector<const Term *> Ands;
+    for (size_t A : Conj) {
+      std::vector<const Term *> Parts;
+      for (size_t I = 0; I < Dim; ++I)
+        if (Atoms[A].Dir[I] != 0)
+          Parts.push_back(TM.mkMul(Rational(Atoms[A].Dir[I]), Vars[I]));
+      Ands.push_back(
+          TM.mkLe(TM.mkAdd(std::move(Parts)), TM.mkIntConst(Atoms[A].Threshold)));
+    }
+    Ors.push_back(TM.mkAnd(std::move(Ands)));
+  }
+  Result.Ok = true;
+  Result.Formula = TM.mkOr(std::move(Ors));
+  return Result;
+}
+
+solver::LearnerFn baselines::makeEnumLearner(EnumLearnerOptions Opts) {
+  return [Opts](TermManager &TM, const std::vector<const Term *> &Vars,
+                const Dataset &Data, uint64_t) {
+    return enumLearn(TM, Vars, Data, Opts);
+  };
+}
+
+solver::DataDrivenOptions baselines::makeEnumSolverOptions(double Timeout) {
+  solver::DataDrivenOptions Opts;
+  Opts.TimeoutSeconds = Timeout;
+  Opts.Learner = makeEnumLearner();
+  Opts.Name = "pie-enum";
+  return Opts;
+}

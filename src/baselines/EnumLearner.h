@@ -1,0 +1,48 @@
+//===- baselines/EnumLearner.h - PIE-style enumerative learner --*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A syntax-guided, enumeration-based learner standing in for PIE [29] in
+/// the Fig. 8(a) comparison. Instead of learning feature predicates with
+/// linear classification, it enumerates a hypothesis space of octagonal
+/// atoms (+-x, +-x +- y compared against constants drawn from the data) and
+/// learns boolean structure by greedy set cover, exactly the
+/// enumerate-then-combine loop of syntax-guided data-driven tools. The
+/// enumeration cost grows quadratically with dimension, which is what makes
+/// it fall behind on the paper's high-dimensional benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_BASELINES_ENUMLEARNER_H
+#define LA_BASELINES_ENUMLEARNER_H
+
+#include "solver/DataDrivenSolver.h"
+
+namespace la::baselines {
+
+/// Options for the enumerative learner.
+struct EnumLearnerOptions {
+  /// Also enumerate 2x +- y style slopes (widens the space, slows search).
+  bool WideSlopes = false;
+  /// Cap on enumerated atoms per call.
+  size_t MaxAtoms = 50000;
+};
+
+/// One invocation of the enumerative learner (PIE's feature-learning core).
+ml::LearnResult enumLearn(TermManager &TM,
+                          const std::vector<const Term *> &Vars,
+                          const ml::Dataset &Data,
+                          const EnumLearnerOptions &Opts);
+
+/// Adapts the learner to the data-driven CEGAR loop.
+solver::LearnerFn makeEnumLearner(EnumLearnerOptions Opts = {});
+
+/// A ready-made "PIE" solver: Algorithm 3 with the enumerative learner.
+solver::DataDrivenOptions makeEnumSolverOptions(double TimeoutSeconds);
+
+} // namespace la::baselines
+
+#endif // LA_BASELINES_ENUMLEARNER_H

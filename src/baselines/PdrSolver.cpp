@@ -1,0 +1,440 @@
+//===- baselines/PdrSolver.cpp - GPDR/Spacer-style CHC solver -------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/PdrSolver.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+
+using namespace la;
+using namespace la::baselines;
+using namespace la::chc;
+using smt::SmtResult;
+using smt::SmtSolver;
+
+namespace {
+
+/// A ground fact: predicate index + concrete argument values.
+using Point = std::vector<Rational>;
+
+std::string pointKey(size_t PredIdx, const Point &P) {
+  std::string Key = std::to_string(PredIdx) + ":";
+  for (const Rational &V : P)
+    Key += V.toString() + ",";
+  return Key;
+}
+
+class Pdr {
+public:
+  Pdr(const ChcSystem &System, const PdrOptions &Opts)
+      : System(System), TM(System.termManager()), Opts(Opts),
+        Clock(Opts.TimeoutSeconds), Result(TM) {
+    Lemmas.resize(System.predicates().size());
+  }
+
+  ChcSolverResult run() {
+    Timer Total;
+    ChcResult Status = mainLoop();
+    Result.Status = Status;
+    Result.Stats.Seconds = Total.elapsedSeconds();
+    if (Status == ChcResult::Sat)
+      exportInterpretation();
+    if (Status == ChcResult::Unsat)
+      exportCounterexample();
+    return Result;
+  }
+
+private:
+  struct Lemma {
+    const Term *Formula; ///< over the predicate's parameters
+    size_t Level;        ///< holds in frames 0..Level
+  };
+
+  struct Derivation {
+    size_t ClauseIndex = 0;
+    Point Args;
+    size_t PredIdx = 0;
+    std::vector<std::string> Children; ///< keys of child facts
+  };
+
+  enum class BlockResult { Blocked, Reachable, Budget };
+
+  bool outOfBudget() {
+    return Clock.expired() || Obligations >= Opts.MaxObligations;
+  }
+
+  /// F_k(p): conjunction of lemmas alive at level k (k < 0 yields false).
+  const Term *frameFormula(const Predicate *P, int K) const {
+    if (K < 0)
+      return TM.mkFalse();
+    std::vector<const Term *> Parts;
+    for (const Lemma &L : Lemmas[P->Index])
+      if (L.Level >= static_cast<size_t>(K))
+        Parts.push_back(L.Formula);
+    return TM.mkAnd(std::move(Parts));
+  }
+
+  /// Interpretation view of frame K.
+  Interpretation frameInterp(int K) const {
+    Interpretation A(TM);
+    for (const Predicate *P : System.predicates())
+      A.set(P, frameFormula(P, K));
+    return A;
+  }
+
+  /// Instantiates a frame formula at an application's argument terms.
+  const Term *instantiate(const Predicate *P, int K,
+                          const std::vector<const Term *> &Args) const {
+    const Term *F = frameFormula(P, K);
+    std::unordered_map<const Term *, const Term *> Map;
+    for (size_t I = 0; I < Args.size(); ++I)
+      Map.emplace(P->Params[I], Args[I]);
+    return TM.substitute(F, Map);
+  }
+
+  /// Conjunction pinning \p Args to \p Values.
+  const Term *pin(const std::vector<const Term *> &Args, const Point &Values) {
+    std::vector<const Term *> Parts;
+    for (size_t I = 0; I < Args.size(); ++I)
+      Parts.push_back(TM.mkEq(Args[I], TM.mkIntConst(Values[I])));
+    return TM.mkAnd(std::move(Parts));
+  }
+
+  /// One SMT query; returns the status and (on Sat) the model.
+  SmtResult query(const Term *F,
+                  std::unordered_map<const Term *, Rational> *Model) {
+    SmtSolver Solver(TM, Opts.Smt);
+    Solver.assertFormula(F);
+    SmtResult R = Solver.check();
+    ++Result.Stats.SmtQueries;
+    if (R == SmtResult::Sat && Model)
+      *Model = Solver.model();
+    return R;
+  }
+
+  Point evalArgs(const PredApp &App,
+                 const std::unordered_map<const Term *, Rational> &Model) {
+    Point P;
+    for (const Term *Arg : App.Args)
+      P.push_back(evalWithDefaults(Arg, Model));
+    ++Result.Stats.Samples;
+    return P;
+  }
+
+  /// Is the cube (over P's parameters) excluded by every clause with head P
+  /// relative to frame K-1 (with ¬cube strengthening recursive bodies)?
+  bool cubeBlockedEverywhere(const Predicate *P, const Term *Cube, int K,
+                             bool &Unknown) {
+    for (size_t CI : System.clausesWithHead(P)) {
+      const HornClause &C = System.clauses()[CI];
+      std::vector<const Term *> Parts{C.Constraint};
+      for (const PredApp &App : C.Body) {
+        const Term *F = instantiate(App.Pred, K - 1, App.Args);
+        if (App.Pred == P) {
+          // Relative induction: assume the cube is already excluded below.
+          std::unordered_map<const Term *, const Term *> Map;
+          for (size_t I = 0; I < App.Args.size(); ++I)
+            Map.emplace(P->Params[I], App.Args[I]);
+          F = TM.mkAnd(F, TM.mkNot(TM.substitute(Cube, Map)));
+        }
+        Parts.push_back(F);
+      }
+      // Cube on the head arguments.
+      std::unordered_map<const Term *, const Term *> Map;
+      for (size_t I = 0; I < C.HeadPred->Args.size(); ++I)
+        Map.emplace(P->Params[I], C.HeadPred->Args[I]);
+      Parts.push_back(TM.substitute(Cube, Map));
+      switch (query(TM.mkAnd(std::move(Parts)), nullptr)) {
+      case SmtResult::Unsat:
+        continue;
+      case SmtResult::Sat:
+        return false;
+      case SmtResult::Unknown:
+        Unknown = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Inductive generalisation: start from the point cube and relax each
+  /// coordinate (drop, or keep only one bound).
+  const Term *generalizeCube(const Predicate *P, const Point &Pt, int K) {
+    size_t N = P->arity();
+    // Kept[i]: 0 = equality, 1 = only <=, 2 = only >=, 3 = dropped.
+    std::vector<int> Kept(N, 0);
+    auto BuildCube = [&]() {
+      std::vector<const Term *> Parts;
+      for (size_t I = 0; I < N; ++I) {
+        const Term *C = TM.mkIntConst(Pt[I]);
+        switch (Kept[I]) {
+        case 0:
+          Parts.push_back(TM.mkEq(P->Params[I], C));
+          break;
+        case 1:
+          Parts.push_back(TM.mkLe(P->Params[I], C));
+          break;
+        case 2:
+          Parts.push_back(TM.mkGe(P->Params[I], C));
+          break;
+        default:
+          break;
+        }
+      }
+      return TM.mkAnd(std::move(Parts));
+    };
+    for (size_t I = 0; I < N; ++I) {
+      if (outOfBudget())
+        break;
+      bool Unknown = false;
+      for (int Try : {3, 1, 2}) {
+        int Saved = Kept[I];
+        Kept[I] = Try;
+        const Term *Cube = BuildCube();
+        if (Cube->isTrue()) { // dropping everything is never a lemma
+          Kept[I] = Saved;
+          continue;
+        }
+        if (cubeBlockedEverywhere(P, Cube, K, Unknown))
+          break;
+        Kept[I] = Saved;
+        if (Unknown)
+          break;
+      }
+      if (Unknown)
+        break;
+    }
+    return BuildCube();
+  }
+
+  void addLemma(const Predicate *P, const Term *Cube, size_t Level) {
+    Lemmas[P->Index].push_back(Lemma{TM.mkNot(Cube), Level});
+  }
+
+  /// Records that \p Pt is concretely derivable via clause \p CI from the
+  /// given children.
+  void recordReachable(const Predicate *P, const Point &Pt, size_t CI,
+                       std::vector<std::string> Children) {
+    std::string Key = pointKey(P->Index, Pt);
+    if (Reach.count(Key))
+      return;
+    Derivation D;
+    D.ClauseIndex = CI;
+    D.Args = Pt;
+    D.PredIdx = P->Index;
+    D.Children = std::move(Children);
+    Reach.emplace(std::move(Key), std::move(D));
+  }
+
+  bool isCachedReachable(const Predicate *P, const Point &Pt) const {
+    return Opts.CacheReachable && Reach.count(pointKey(P->Index, Pt));
+  }
+
+  /// Tries to exclude the fact P(Pt) from frame K; discovers concrete
+  /// reachability as a side effect (GPDR-style model-based search).
+  BlockResult block(const Predicate *P, const Point &Pt, int K) {
+    ++Obligations;
+    ++Result.Stats.Iterations;
+    if (outOfBudget())
+      return BlockResult::Budget;
+    if (isCachedReachable(P, Pt))
+      return BlockResult::Reachable;
+
+    for (;;) {
+      if (outOfBudget())
+        return BlockResult::Budget;
+      // Find a clause that can produce the point from frame K-1.
+      bool AnySat = false;
+      for (size_t CI : System.clausesWithHead(P)) {
+        const HornClause &C = System.clauses()[CI];
+        std::vector<const Term *> Parts{C.Constraint,
+                                        pin(C.HeadPred->Args, Pt)};
+        for (const PredApp &App : C.Body)
+          Parts.push_back(instantiate(App.Pred, K - 1, App.Args));
+        std::unordered_map<const Term *, Rational> Model;
+        SmtResult R = query(TM.mkAnd(std::move(Parts)), &Model);
+        if (R == SmtResult::Unknown)
+          return BlockResult::Budget;
+        if (R == SmtResult::Unsat)
+          continue;
+        AnySat = true;
+        if (C.Body.empty()) {
+          // Directly derivable from a fact clause.
+          recordReachable(P, Pt, CI, {});
+          return BlockResult::Reachable;
+        }
+        // Recursive obligations for each body point.
+        bool AllReachable = true;
+        bool Progress = false;
+        std::vector<std::string> ChildKeys;
+        for (const PredApp &App : C.Body) {
+          Point Child = evalArgs(App, Model);
+          ChildKeys.push_back(pointKey(App.Pred->Index, Child));
+          if (isCachedReachable(App.Pred, Child))
+            continue;
+          switch (block(App.Pred, Child, K - 1)) {
+          case BlockResult::Reachable:
+            continue;
+          case BlockResult::Blocked:
+            AllReachable = false;
+            Progress = true;
+            break;
+          case BlockResult::Budget:
+            return BlockResult::Budget;
+          }
+          break;
+        }
+        if (AllReachable) {
+          recordReachable(P, Pt, CI, std::move(ChildKeys));
+          return BlockResult::Reachable;
+        }
+        if (Progress)
+          break; // frame K-1 is stronger now; retry this point
+        // Child neither reachable nor blocked can't happen.
+      }
+      if (!AnySat) {
+        // Every producing clause is excluded: learn a generalised lemma.
+        addLemma(P, generalizeCube(P, Pt, K), static_cast<size_t>(K));
+        return BlockResult::Blocked;
+      }
+    }
+  }
+
+  /// Pushes lemmas to higher frames; returns the fixpoint level if found.
+  std::optional<int> propagate(int N) {
+    for (int L = 0; L < N; ++L) {
+      for (const Predicate *P : System.predicates()) {
+        for (Lemma &Lem : Lemmas[P->Index]) {
+          if (Lem.Level != static_cast<size_t>(L))
+            continue;
+          bool Unknown = false;
+          // The lemma's cube is ¬formula.
+          const Term *Cube = TM.mkNot(Lem.Formula);
+          if (cubeBlockedEverywhere(P, Cube, L + 1, Unknown))
+            Lem.Level = L + 1;
+          if (outOfBudget())
+            return std::nullopt;
+        }
+      }
+      // Fixpoint: no lemma lives exactly at level L => F_L == F_{L+1}.
+      bool AnyAtL = false;
+      for (const Predicate *P : System.predicates())
+        for (const Lemma &Lem : Lemmas[P->Index])
+          AnyAtL |= Lem.Level == static_cast<size_t>(L);
+      if (!AnyAtL)
+        return L + 1;
+    }
+    return std::nullopt;
+  }
+
+  ChcResult mainLoop() {
+    for (int N = 0; N <= static_cast<int>(Opts.MaxLevel); ++N) {
+      // Block every query violation at this level.
+      for (;;) {
+        if (outOfBudget())
+          return ChcResult::Unknown;
+        bool AnyViolation = false;
+        for (size_t CI = 0; CI < System.clauses().size(); ++CI) {
+          const HornClause &C = System.clauses()[CI];
+          if (!C.isQuery())
+            continue;
+          std::vector<const Term *> Parts{C.Constraint,
+                                          TM.mkNot(C.HeadFormula)};
+          for (const PredApp &App : C.Body)
+            Parts.push_back(instantiate(App.Pred, N, App.Args));
+          std::unordered_map<const Term *, Rational> Model;
+          SmtResult R = query(TM.mkAnd(std::move(Parts)), &Model);
+          if (R == SmtResult::Unknown)
+            return ChcResult::Unknown;
+          if (R == SmtResult::Unsat)
+            continue;
+          AnyViolation = true;
+          // Check / refute each body point.
+          bool AllReachable = true;
+          std::vector<std::string> Keys;
+          for (const PredApp &App : C.Body) {
+            Point Pt = evalArgs(App, Model);
+            Keys.push_back(pointKey(App.Pred->Index, Pt));
+            if (isCachedReachable(App.Pred, Pt))
+              continue;
+            BlockResult BR = block(App.Pred, Pt, N);
+            if (BR == BlockResult::Budget)
+              return ChcResult::Unknown;
+            if (BR == BlockResult::Blocked) {
+              AllReachable = false;
+              break;
+            }
+          }
+          if (AllReachable) {
+            CexQueryClause = CI;
+            CexQueryKeys = std::move(Keys);
+            return ChcResult::Unsat;
+          }
+          break; // re-scan queries with the strengthened frame
+        }
+        if (!AnyViolation)
+          break;
+      }
+      // Push lemmas and look for a fixpoint frame.
+      std::optional<int> Fixpoint = propagate(N);
+      if (outOfBudget())
+        return ChcResult::Unknown;
+      if (Fixpoint) {
+        SolutionLevel = *Fixpoint;
+        return ChcResult::Sat;
+      }
+    }
+    return ChcResult::Unknown;
+  }
+
+  void exportInterpretation() { Result.Interp = frameInterp(SolutionLevel); }
+
+  void exportCounterexample() {
+    Counterexample Cex;
+    std::map<std::string, size_t> Emitted;
+    std::function<size_t(const std::string &)> Emit =
+        [&](const std::string &Key) -> size_t {
+      auto Hit = Emitted.find(Key);
+      if (Hit != Emitted.end())
+        return Hit->second;
+      const Derivation &D = Reach.at(Key);
+      Counterexample::Node Node;
+      Node.Pred = System.predicates()[D.PredIdx];
+      Node.Args = D.Args;
+      Node.ClauseIndex = D.ClauseIndex;
+      for (const std::string &Child : D.Children)
+        Node.Children.push_back(Emit(Child));
+      Cex.Nodes.push_back(std::move(Node));
+      Emitted.emplace(Key, Cex.Nodes.size() - 1);
+      return Cex.Nodes.size() - 1;
+    };
+    Cex.QueryClauseIndex = CexQueryClause;
+    for (const std::string &Key : CexQueryKeys)
+      Cex.QueryChildren.push_back(Emit(Key));
+    Result.Cex = std::move(Cex);
+  }
+
+  const ChcSystem &System;
+  TermManager &TM;
+  const PdrOptions &Opts;
+  Deadline Clock;
+  ChcSolverResult Result;
+  std::vector<std::vector<Lemma>> Lemmas;
+  std::map<std::string, Derivation> Reach;
+  size_t Obligations = 0;
+  int SolutionLevel = 0;
+  size_t CexQueryClause = 0;
+  std::vector<std::string> CexQueryKeys;
+};
+
+} // namespace
+
+ChcSolverResult PdrSolver::solve(const ChcSystem &System) {
+  return Pdr(System, Opts).run();
+}

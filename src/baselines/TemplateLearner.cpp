@@ -1,0 +1,170 @@
+//===- baselines/TemplateLearner.cpp - DIG-style template learner ---------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/TemplateLearner.h"
+
+#include <cassert>
+
+using namespace la;
+using namespace la::baselines;
+using namespace la::ml;
+
+std::vector<std::vector<Rational>>
+baselines::sampleNullspace(const std::vector<Sample> &Samples, size_t Dim) {
+  // Rows: one per sample, columns: Dim coefficients + 1 for the bias.
+  const size_t Cols = Dim + 1;
+  std::vector<std::vector<Rational>> M;
+  for (const Sample &S : Samples) {
+    std::vector<Rational> Row;
+    for (const Rational &V : S)
+      Row.push_back(V);
+    Row.push_back(Rational(1));
+    M.push_back(std::move(Row));
+  }
+
+  // Gaussian elimination to reduced row-echelon form (exact rationals).
+  std::vector<int> PivotOfCol(Cols, -1);
+  size_t Rank = 0;
+  for (size_t Col = 0; Col < Cols && Rank < M.size(); ++Col) {
+    size_t Pivot = Rank;
+    while (Pivot < M.size() && M[Pivot][Col].isZero())
+      ++Pivot;
+    if (Pivot == M.size())
+      continue;
+    std::swap(M[Rank], M[Pivot]);
+    Rational Inv = M[Rank][Col].inverse();
+    for (Rational &V : M[Rank])
+      V *= Inv;
+    for (size_t R = 0; R < M.size(); ++R) {
+      if (R == Rank || M[R][Col].isZero())
+        continue;
+      Rational F = M[R][Col];
+      for (size_t C2 = 0; C2 < Cols; ++C2)
+        M[R][C2] -= F * M[Rank][C2];
+    }
+    PivotOfCol[Col] = static_cast<int>(Rank);
+    ++Rank;
+  }
+
+  // Free columns induce nullspace basis vectors.
+  std::vector<std::vector<Rational>> Basis;
+  for (size_t Free = 0; Free < Cols; ++Free) {
+    if (PivotOfCol[Free] >= 0)
+      continue;
+    std::vector<Rational> V(Cols, Rational(0));
+    V[Free] = Rational(1);
+    for (size_t Col = 0; Col < Cols; ++Col) {
+      if (PivotOfCol[Col] < 0)
+        continue;
+      V[Col] = -M[PivotOfCol[Col]][Free];
+    }
+    Basis.push_back(std::move(V));
+  }
+  return Basis;
+}
+
+LearnResult baselines::templateLearn(TermManager &TM,
+                                     const std::vector<const Term *> &Vars,
+                                     const Dataset &Data) {
+  LearnResult Result;
+  if (Data.Neg.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkTrue();
+    return Result;
+  }
+  if (Data.Pos.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkFalse();
+    return Result;
+  }
+
+  const size_t Dim = Data.Dim;
+  std::vector<const Term *> Conjuncts;
+
+  // Template equations: exact nullspace of the positive samples, scaled to
+  // integer coefficients.
+  for (std::vector<Rational> W : sampleNullspace(Data.Pos, Dim)) {
+    BigInt Lcm(1);
+    for (const Rational &C : W) {
+      const BigInt &D = C.denominator();
+      Lcm = Lcm / BigInt::gcd(Lcm, D) * D;
+    }
+    for (Rational &C : W)
+      C *= Rational(Lcm);
+    std::vector<const Term *> Parts;
+    for (size_t I = 0; I < Dim; ++I)
+      if (!W[I].isZero())
+        Parts.push_back(TM.mkMul(W[I], Vars[I]));
+    if (Parts.empty())
+      continue; // 0 = -b has no variables; samples would contradict it
+    const Term *Lhs = TM.mkAdd(std::move(Parts));
+    Conjuncts.push_back(TM.mkEq(Lhs, TM.mkNeg(TM.mkIntConst(W[Dim]))));
+  }
+
+  // Octagonal bounds: dir . v <= max over positives, for all octagon dirs.
+  std::vector<std::vector<int>> Dirs;
+  for (size_t I = 0; I < Dim; ++I)
+    for (int SI : {1, -1}) {
+      std::vector<int> D(Dim, 0);
+      D[I] = SI;
+      Dirs.push_back(D);
+      for (size_t J = I + 1; J < Dim; ++J)
+        for (int SJ : {1, -1}) {
+          std::vector<int> D2(Dim, 0);
+          D2[I] = SI;
+          D2[J] = SJ;
+          Dirs.push_back(D2);
+        }
+    }
+  for (const std::vector<int> &Dir : Dirs) {
+    std::optional<Rational> Max;
+    for (const Sample &S : Data.Pos) {
+      Rational V;
+      for (size_t I = 0; I < Dim; ++I)
+        if (Dir[I] != 0)
+          V += Rational(Dir[I]) * S[I];
+      if (!Max || V > *Max)
+        Max = V;
+    }
+    std::vector<const Term *> Parts;
+    for (size_t I = 0; I < Dim; ++I)
+      if (Dir[I] != 0)
+        Parts.push_back(TM.mkMul(Rational(Dir[I]), Vars[I]));
+    Conjuncts.push_back(TM.mkLe(TM.mkAdd(std::move(Parts)),
+                                TM.mkIntConst(*Max)));
+  }
+
+  const Term *Candidate = TM.mkAnd(std::move(Conjuncts));
+
+  // The conjunction holds on every positive by construction; it is a valid
+  // hypothesis only if it also excludes every negative (Lemma 3.1). DIG has
+  // no disjunction to fall back to, so otherwise the learner fails.
+  for (const Sample &S : Data.Neg) {
+    std::unordered_map<const Term *, Rational> Asg;
+    for (size_t I = 0; I < Dim; ++I)
+      Asg.emplace(Vars[I], S[I]);
+    if (evalFormula(Candidate, Asg))
+      return Result; // not separable conjunctively
+  }
+  Result.Ok = true;
+  Result.Formula = Candidate;
+  return Result;
+}
+
+solver::LearnerFn baselines::makeTemplateLearner() {
+  return [](TermManager &TM, const std::vector<const Term *> &Vars,
+            const Dataset &Data, uint64_t) {
+    return templateLearn(TM, Vars, Data);
+  };
+}
+
+solver::DataDrivenOptions baselines::makeTemplateSolverOptions(double Timeout) {
+  solver::DataDrivenOptions Opts;
+  Opts.TimeoutSeconds = Timeout;
+  Opts.Learner = makeTemplateLearner();
+  Opts.Name = "dig-template";
+  return Opts;
+}

@@ -1,0 +1,45 @@
+//===- baselines/TemplateLearner.h - DIG-style template learner -*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A template-equation learner standing in for DIG [27] in the Fig. 8(b)
+/// comparison. From the positive samples it infers
+///   * linear equations (the nullspace of the augmented sample matrix,
+///     found by exact Gaussian elimination -- DIG's "template equations"),
+///   * octagonal bounds (min/max of +-x, +-x +- y over the positives).
+/// The result is always a conjunction; when the samples require disjunctive
+/// structure, no conjunctive candidate separates them and the learner fails,
+/// which is exactly DIG's limitation the paper highlights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_BASELINES_TEMPLATELEARNER_H
+#define LA_BASELINES_TEMPLATELEARNER_H
+
+#include "solver/DataDrivenSolver.h"
+
+namespace la::baselines {
+
+/// One invocation of the template learner.
+ml::LearnResult templateLearn(TermManager &TM,
+                              const std::vector<const Term *> &Vars,
+                              const ml::Dataset &Data);
+
+/// Adapts the learner to the data-driven CEGAR loop.
+solver::LearnerFn makeTemplateLearner();
+
+/// A ready-made "DIG" solver: Algorithm 3 with the template learner.
+solver::DataDrivenOptions makeTemplateSolverOptions(double TimeoutSeconds);
+
+/// Exact nullspace of the matrix whose rows are (sample, 1); each returned
+/// vector (w, b) satisfies w . s + b = 0 for every sample. Exposed for
+/// testing.
+std::vector<std::vector<Rational>>
+sampleNullspace(const std::vector<ml::Sample> &Samples, size_t Dim);
+
+} // namespace la::baselines
+
+#endif // LA_BASELINES_TEMPLATELEARNER_H

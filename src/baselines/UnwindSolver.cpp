@@ -1,0 +1,567 @@
+//===- baselines/UnwindSolver.cpp - Unwinding + interpolation -------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/UnwindSolver.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <map>
+
+using namespace la;
+using namespace la::baselines;
+using namespace la::chc;
+using smt::SmtResult;
+using smt::SmtSolver;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// DNF expansion of predicate-free constraints into linear-atom conjunctions
+//===----------------------------------------------------------------------===//
+
+/// Expands \p F into a disjunction of LinearAtom conjunctions, up to a cap.
+/// Returns false when F contains `mod` or the expansion exceeds the cap.
+bool dnfExpand(const Term *F, bool Negated, size_t Cap,
+               std::vector<std::vector<LinearAtom>> &Out) {
+  switch (F->kind()) {
+  case TermKind::BoolConst: {
+    bool Value = F->boolValue() != Negated;
+    if (Value)
+      Out.push_back({});
+    return true; // `false` yields an empty disjunction
+  }
+  case TermKind::Not:
+    return dnfExpand(F->operand(0), !Negated, Cap, Out);
+  case TermKind::And:
+  case TermKind::Or: {
+    bool IsProduct = (F->kind() == TermKind::And) != Negated;
+    if (!IsProduct) {
+      // Union of alternatives.
+      for (const Term *Op : F->operands()) {
+        if (!dnfExpand(Op, Negated, Cap, Out))
+          return false;
+        if (Out.size() > Cap)
+          return false;
+      }
+      return true;
+    }
+    // Cartesian product of alternatives.
+    std::vector<std::vector<LinearAtom>> Acc{{}};
+    for (const Term *Op : F->operands()) {
+      std::vector<std::vector<LinearAtom>> Next;
+      std::vector<std::vector<LinearAtom>> OpAlts;
+      if (!dnfExpand(Op, Negated, Cap, OpAlts))
+        return false;
+      for (const auto &Left : Acc)
+        for (const auto &Right : OpAlts) {
+          Next.push_back(Left);
+          Next.back().insert(Next.back().end(), Right.begin(), Right.end());
+          if (Next.size() > Cap)
+            return false;
+        }
+      Acc = std::move(Next);
+    }
+    Out.insert(Out.end(), Acc.begin(), Acc.end());
+    return Out.size() <= Cap;
+  }
+  case TermKind::Le:
+  case TermKind::Lt:
+  case TermKind::Eq: {
+    std::optional<LinearAtom> Atom = LinearAtom::fromTerm(F);
+    if (!Atom)
+      return false; // mod or other non-linear structure
+    if (!Negated) {
+      Out.push_back({*Atom});
+      return true;
+    }
+    if (Atom->Rel == LinRel::Eq) {
+      // not (e = 0): e < 0 or -e < 0.
+      LinearAtom Less;
+      Less.Expr = Atom->Expr;
+      Less.Rel = LinRel::Lt;
+      LinearAtom Greater;
+      Greater.Expr = Atom->Expr.scaled(Rational(-1));
+      Greater.Rel = LinRel::Lt;
+      Out.push_back({Less});
+      Out.push_back({Greater});
+      return Out.size() <= Cap;
+    }
+    Out.push_back({Atom->negated()});
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The solver
+//===----------------------------------------------------------------------===//
+
+class Unwind {
+public:
+  Unwind(const ChcSystem &System, const UnwindOptions &Opts)
+      : System(System), TM(System.termManager()), Opts(Opts),
+        Clock(Opts.TimeoutSeconds), Result(TM) {}
+
+  ChcSolverResult run() {
+    Timer Total;
+    Result.Status = mainLoop();
+    Result.Stats.Seconds = Total.elapsedSeconds();
+    return Result;
+  }
+
+private:
+  /// A node of the BMC expansion.
+  struct ExpNode {
+    const Predicate *Pred = nullptr;
+    std::vector<const Term *> Args; ///< argument value terms
+    struct Alt {
+      size_t ClauseIndex = 0;
+      const Term *Formula = nullptr;
+      std::vector<size_t> Children; ///< indices into Nodes
+    };
+    std::vector<Alt> Alts;
+    const Term *Formula = nullptr; ///< Or over alternatives
+  };
+
+  bool outOfBudget() { return Clock.expired(); }
+
+  const Term *freshCopy(const Term *T,
+                        std::unordered_map<const Term *, const Term *> &Map) {
+    for (const Term *V : TM.collectVars(T))
+      if (!Map.count(V))
+        Map.emplace(V, TM.mkFreshVar("u!" + V->name()));
+    return TM.substitute(T, Map);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // BMC side
+  //===--------------------------------------------------------------------===//
+
+  /// Expands P(Args) into derivations of depth <= Depth; returns the node
+  /// index, or nullopt when the node budget is exhausted.
+  std::optional<size_t> expand(const Predicate *P,
+                               const std::vector<const Term *> &Args,
+                               size_t Depth) {
+    if (Nodes.size() >= Opts.MaxBmcNodes)
+      return std::nullopt;
+    size_t Index = Nodes.size();
+    Nodes.emplace_back();
+    Nodes[Index].Pred = P;
+    Nodes[Index].Args = Args;
+    std::vector<const Term *> AltFormulas;
+    for (size_t CI : System.clausesWithHead(P)) {
+      const HornClause &C = System.clauses()[CI];
+      if (Depth == 0 && !C.Body.empty())
+        continue;
+      std::unordered_map<const Term *, const Term *> Rename;
+      std::vector<const Term *> Parts{freshCopy(C.Constraint, Rename)};
+      for (size_t J = 0; J < Args.size(); ++J)
+        Parts.push_back(
+            TM.mkEq(freshCopy(C.HeadPred->Args[J], Rename), Args[J]));
+      ExpNode::Alt Alt;
+      Alt.ClauseIndex = CI;
+      bool Ok = true;
+      for (const PredApp &App : C.Body) {
+        std::vector<const Term *> ChildArgs;
+        for (const Term *Arg : App.Args)
+          ChildArgs.push_back(freshCopy(Arg, Rename));
+        std::optional<size_t> Child = expand(App.Pred, ChildArgs, Depth - 1);
+        if (!Child) {
+          Ok = false;
+          break;
+        }
+        Alt.Children.push_back(*Child);
+        Parts.push_back(Nodes[*Child].Formula);
+      }
+      if (!Ok)
+        return std::nullopt;
+      Alt.Formula = TM.mkAnd(std::move(Parts));
+      AltFormulas.push_back(Alt.Formula);
+      Nodes[Index].Alts.push_back(std::move(Alt));
+    }
+    Nodes[Index].Formula = TM.mkOr(std::move(AltFormulas));
+    return Index;
+  }
+
+  /// Replays a satisfying model through the expansion into a refutation.
+  size_t emitCexNode(size_t NodeIdx,
+                     const std::unordered_map<const Term *, Rational> &Model,
+                     Counterexample &Cex) {
+    const ExpNode &Node = Nodes[NodeIdx];
+    for (const ExpNode::Alt &Alt : Node.Alts) {
+      if (evalWithDefaults(Alt.Formula, Model).isZero())
+        continue;
+      Counterexample::Node Out;
+      Out.Pred = Node.Pred;
+      for (const Term *Arg : Node.Args)
+        Out.Args.push_back(evalWithDefaults(Arg, Model));
+      Out.ClauseIndex = Alt.ClauseIndex;
+      for (size_t Child : Alt.Children)
+        Out.Children.push_back(emitCexNode(Child, Model, Cex));
+      Cex.Nodes.push_back(std::move(Out));
+      return Cex.Nodes.size() - 1;
+    }
+    assert(false && "model satisfies no alternative of a satisfied node");
+    return 0;
+  }
+
+  /// One BMC round at the given depth; returns Unsat on refutation, Sat when
+  /// every query is depth-bounded safe, Unknown on budget.
+  ChcResult bmcRound(size_t Depth) {
+    for (size_t CI = 0; CI < System.clauses().size(); ++CI) {
+      const HornClause &C = System.clauses()[CI];
+      if (!C.isQuery())
+        continue;
+      Nodes.clear();
+      std::vector<const Term *> Parts{C.Constraint, TM.mkNot(C.HeadFormula)};
+      std::vector<size_t> Roots;
+      bool Overflow = false;
+      for (const PredApp &App : C.Body) {
+        std::optional<size_t> Root = expand(App.Pred, App.Args, Depth);
+        if (!Root) {
+          Overflow = true;
+          break;
+        }
+        Roots.push_back(*Root);
+        Parts.push_back(Nodes[*Root].Formula);
+      }
+      if (Overflow)
+        return ChcResult::Unknown;
+      SmtSolver Solver(TM, Opts.Smt);
+      Solver.assertFormula(TM.mkAnd(std::move(Parts)));
+      ++Result.Stats.SmtQueries;
+      switch (Solver.check()) {
+      case SmtResult::Unsat:
+        continue;
+      case SmtResult::Unknown:
+        return ChcResult::Unknown;
+      case SmtResult::Sat: {
+        Counterexample Cex;
+        Cex.QueryClauseIndex = CI;
+        for (size_t Root : Roots)
+          Cex.QueryChildren.push_back(emitCexNode(Root, Solver.model(), Cex));
+        Result.Cex = std::move(Cex);
+        return ChcResult::Unsat;
+      }
+      }
+    }
+    return ChcResult::Sat; // depth-bounded safe
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Interpolation side (linear systems only)
+  //===--------------------------------------------------------------------===//
+
+  bool isLinearSystem() const {
+    for (const HornClause &C : System.clauses())
+      if (C.Body.size() > 1)
+        return false;
+    return true;
+  }
+
+  /// A path: fact clause, then step clauses, ending at a query clause.
+  using Path = std::vector<size_t>;
+
+  /// Processes one error path: either records interpolants (infeasible) or
+  /// reports a concrete refutation (feasible). Returns Unknown on failure
+  /// to expand (mod etc.), Sat to continue, Unsat on refutation.
+  ChcResult processPath(const Path &P) {
+    // Build the atom sequence per step, over fresh cut variables.
+    struct Step {
+      std::vector<std::vector<LinearAtom>> ConstraintAlts;
+      std::vector<LinearAtom> LinkAtoms; ///< cut-variable bindings
+      const Predicate *HeadPred = nullptr;
+      std::vector<const Term *> CutVars;
+    };
+    std::vector<Step> Steps;
+    std::vector<const Term *> PrevCut; // cut vars of the previous head
+
+    for (size_t Idx = 0; Idx < P.size(); ++Idx) {
+      const HornClause &C = System.clauses()[P[Idx]];
+      std::unordered_map<const Term *, const Term *> Rename;
+      Step S;
+      // Bind the body application to the previous cut variables.
+      if (!C.Body.empty()) {
+        const PredApp &App = C.Body[0];
+        assert(!PrevCut.empty() && "path step without a previous cut");
+        for (size_t J = 0; J < App.Args.size(); ++J) {
+          const Term *Arg = freshCopy(App.Args[J], Rename);
+          LinearAtom Eq;
+          std::optional<LinearExpr> L = LinearExpr::fromTerm(Arg);
+          std::optional<LinearExpr> R = LinearExpr::fromTerm(PrevCut[J]);
+          if (!L || !R)
+            return ChcResult::Unknown;
+          Eq.Expr = *L - *R;
+          Eq.Rel = LinRel::Eq;
+          S.LinkAtoms.push_back(std::move(Eq));
+        }
+      }
+      const Term *Constraint = freshCopy(C.Constraint, Rename);
+      // The final (query) step also carries the negated property.
+      if (C.isQuery())
+        Constraint = TM.mkAnd(Constraint,
+                              TM.mkNot(freshCopy(C.HeadFormula, Rename)));
+      if (!dnfExpand(Constraint, false, Opts.MaxDnfAlternatives,
+                     S.ConstraintAlts))
+        return ChcResult::Unknown;
+      // Fresh cut variables for the head predicate (none for the query).
+      if (C.HeadPred) {
+        S.HeadPred = C.HeadPred->Pred;
+        for (size_t J = 0; J < C.HeadPred->Args.size(); ++J) {
+          const Term *Cut = TM.mkFreshVar("cut");
+          const Term *Arg = freshCopy(C.HeadPred->Args[J], Rename);
+          LinearAtom Eq;
+          std::optional<LinearExpr> L = LinearExpr::fromTerm(Arg);
+          if (!L)
+            return ChcResult::Unknown;
+          LinearExpr CutExpr;
+          CutExpr.addVar(Cut, Rational(1));
+          Eq.Expr = *L - CutExpr;
+          Eq.Rel = LinRel::Eq;
+          S.LinkAtoms.push_back(std::move(Eq));
+          S.CutVars.push_back(Cut);
+        }
+      }
+      PrevCut = S.CutVars;
+      Steps.push_back(std::move(S));
+    }
+
+    // Enumerate DNF combinations (capped).
+    std::vector<size_t> Combo(Steps.size(), 0);
+    size_t CombosTried = 0;
+    for (;;) {
+      if (outOfBudget() || ++CombosTried > Opts.MaxDnfAlternatives * 4)
+        return ChcResult::Unknown;
+      // Assemble the atom list with prefix boundaries per cut.
+      std::vector<LinearAtom> Atoms;
+      std::vector<size_t> CutBoundary; // #atoms belonging to steps 0..i
+      bool Empty = false;
+      for (size_t I = 0; I < Steps.size(); ++I) {
+        const Step &S = Steps[I];
+        if (S.ConstraintAlts.empty()) {
+          Empty = true; // constraint is `false`: combo infeasible trivially
+          break;
+        }
+        Atoms.insert(Atoms.end(), S.LinkAtoms.begin(), S.LinkAtoms.end());
+        const std::vector<LinearAtom> &Alt = S.ConstraintAlts[Combo[I]];
+        Atoms.insert(Atoms.end(), Alt.begin(), Alt.end());
+        CutBoundary.push_back(Atoms.size());
+      }
+      if (!Empty) {
+        smt::ConjunctionResult CR = smt::checkLinearConjunction(Atoms);
+        ++Result.Stats.SmtQueries;
+        if (CR.Sat) {
+          // A rationally feasible error path: fall back to BMC, which will
+          // confirm it over the integers (or reject it).
+          return ChcResult::Sat;
+        }
+        // Farkas-based sequence interpolants at every cut.
+        for (size_t I = 0; I + 1 < Steps.size(); ++I) {
+          const Step &S = Steps[I];
+          if (!S.HeadPred)
+            continue;
+          LinearExpr Sum;
+          bool AnyStrict = false;
+          for (size_t A = 0; A < CutBoundary[I]; ++A) {
+            if (CR.FarkasCoeffs[A].isZero())
+              continue;
+            Sum = Sum + Atoms[A].Expr.scaled(CR.FarkasCoeffs[A]);
+            AnyStrict |= Atoms[A].Rel == LinRel::Lt;
+          }
+          // The prefix combination mentions only cut variables; rename them
+          // to the predicate parameters.
+          LinearAtom Itp;
+          Itp.Expr = Sum;
+          Itp.Rel = AnyStrict ? LinRel::Lt : LinRel::Le;
+          const Term *Formula = Itp.toTerm(TM);
+          std::unordered_map<const Term *, const Term *> Map;
+          for (size_t J = 0; J < S.CutVars.size(); ++J)
+            Map.emplace(S.CutVars[J], S.HeadPred->Params[J]);
+          Formula = TM.substitute(Formula, Map);
+          addSummary(S.HeadPred, Formula);
+        }
+      }
+      // Next combination.
+      size_t Pos = 0;
+      while (Pos < Steps.size()) {
+        if (Steps[Pos].ConstraintAlts.empty())
+          return ChcResult::Sat; // a false constraint: path dead entirely
+        if (++Combo[Pos] < Steps[Pos].ConstraintAlts.size())
+          break;
+        Combo[Pos] = 0;
+        ++Pos;
+      }
+      if (Pos == Steps.size())
+        return ChcResult::Sat; // all combos processed
+    }
+  }
+
+  void addSummary(const Predicate *P, const Term *Disjunct) {
+    std::vector<const Term *> &Set = Summaries[P];
+    for (const Term *Existing : Set)
+      if (Existing == Disjunct)
+        return;
+    Set.push_back(Disjunct);
+    ++SummariesAdded;
+  }
+
+  Interpretation currentInterpretation() const {
+    Interpretation A(TM);
+    for (const Predicate *P : System.predicates()) {
+      auto It = Summaries.find(P);
+      A.set(P, It == Summaries.end() ? TM.mkFalse()
+                                     : TM.mkOr(It->second));
+    }
+    return A;
+  }
+
+  /// Abstract coverage check (Duality-style summary reuse): is the path's
+  /// violation already excluded by the current summaries?
+  bool pathCovered(const Path &P) {
+    const HornClause &Query = System.clauses()[P.back()];
+    Interpretation A = currentInterpretation();
+    std::vector<const Term *> Parts{Query.Constraint,
+                                    TM.mkNot(Query.HeadFormula)};
+    for (const PredApp &App : Query.Body)
+      Parts.push_back(A.instantiate(App));
+    SmtSolver Solver(TM, Opts.Smt);
+    Solver.assertFormula(TM.mkAnd(std::move(Parts)));
+    ++Result.Stats.SmtQueries;
+    return Solver.check() == SmtResult::Unsat;
+  }
+
+  /// Enumerates error paths in breadth-first order and refines summaries.
+  ChcResult interpolationLoop() {
+    // Paths to each predicate, grown breadth-first. Summary-reuse coverage
+    // is adaptive: when a whole round is covered yet the candidate is still
+    // not inductive, coverage skipping is disabled so longer paths can
+    // contribute the missing interpolants.
+    bool SkipCovered = Opts.SummaryReuse;
+    std::map<const Predicate *, std::vector<Path>> PathsTo;
+    for (size_t Len = 1; Len <= Opts.MaxPathLength; ++Len) {
+      if (outOfBudget())
+        return ChcResult::Unknown;
+      std::map<const Predicate *, std::vector<Path>> Next;
+      for (size_t CI = 0; CI < System.clauses().size(); ++CI) {
+        const HornClause &C = System.clauses()[CI];
+        if (C.isQuery())
+          continue;
+        if (C.Body.empty()) {
+          if (Len == 1)
+            Next[C.HeadPred->Pred].push_back({CI});
+          continue;
+        }
+        for (const Path &Prefix : PathsTo[C.Body[0].Pred]) {
+          if (Prefix.size() + 1 != Len)
+            continue;
+          if (Next[C.HeadPred->Pred].size() >= Opts.MaxPathsPerLength)
+            break;
+          Path Extended = Prefix;
+          Extended.push_back(CI);
+          Next[C.HeadPred->Pred].push_back(std::move(Extended));
+        }
+      }
+      // Merge new paths in and process the error extensions.
+      bool AnyNew = false;
+      SummariesAdded = 0;
+      for (auto &[Pred, NewPaths] : Next) {
+        for (Path &P : NewPaths) {
+          AnyNew = true;
+          for (size_t CI = 0; CI < System.clauses().size(); ++CI) {
+            const HornClause &C = System.clauses()[CI];
+            if (!C.isQuery())
+              continue;
+            if (!C.Body.empty() && C.Body[0].Pred != Pred)
+              continue;
+            if (C.Body.empty())
+              continue; // body-free queries were checked up front
+            Path Error = P;
+            Error.push_back(CI);
+            if (outOfBudget())
+              return ChcResult::Unknown;
+            if (SkipCovered && pathCovered(Error))
+              continue;
+            ChcResult R = processPath(Error);
+            if (R == ChcResult::Unsat || R == ChcResult::Unknown)
+              return R;
+          }
+          PathsTo[Pred].push_back(std::move(P));
+        }
+      }
+      // Solution check: are the summaries a model?
+      Interpretation A = currentInterpretation();
+      ++Result.Stats.SmtQueries;
+      if (checkInterpretation(System, A, Opts.Smt) == ClauseStatus::Valid) {
+        Result.Interp = std::move(A);
+        return ChcResult::Sat;
+      }
+      if (SkipCovered && SummariesAdded == 0)
+        SkipCovered = false;
+      if (!AnyNew)
+        return ChcResult::Unknown; // path space exhausted without a proof
+    }
+    return ChcResult::Unknown;
+  }
+
+  ChcResult mainLoop() {
+    // Body-free queries are plain SMT checks.
+    for (size_t CI = 0; CI < System.clauses().size(); ++CI) {
+      const HornClause &C = System.clauses()[CI];
+      if (!C.isQuery() || !C.Body.empty())
+        continue;
+      SmtSolver Solver(TM, Opts.Smt);
+      Solver.assertFormula(
+          TM.mkAnd(C.Constraint, TM.mkNot(C.HeadFormula)));
+      ++Result.Stats.SmtQueries;
+      if (Solver.check() == SmtResult::Sat) {
+        Counterexample Cex;
+        Cex.QueryClauseIndex = CI;
+        Result.Cex = std::move(Cex);
+        return ChcResult::Unsat;
+      }
+    }
+
+    bool TryProof = isLinearSystem();
+    // Interleave: BMC at increasing depths; attempt the interpolation proof
+    // once early (it subsumes deep unwinding when it succeeds).
+    if (TryProof) {
+      ChcResult R = interpolationLoop();
+      if (R != ChcResult::Unknown)
+        return R;
+    }
+    for (size_t Depth = 0; Depth <= Opts.MaxBmcDepth; ++Depth) {
+      if (outOfBudget())
+        return ChcResult::Unknown;
+      ChcResult R = bmcRound(Depth);
+      ++Result.Stats.Iterations;
+      if (R == ChcResult::Unsat)
+        return R;
+      if (R == ChcResult::Unknown)
+        return ChcResult::Unknown;
+    }
+    return ChcResult::Unknown;
+  }
+
+  const ChcSystem &System;
+  TermManager &TM;
+  const UnwindOptions &Opts;
+  Deadline Clock;
+  ChcSolverResult Result;
+  std::vector<ExpNode> Nodes;
+  std::map<const Predicate *, std::vector<const Term *>> Summaries;
+  size_t SummariesAdded = 0;
+};
+
+} // namespace
+
+ChcSolverResult UnwindSolver::solve(const ChcSystem &System) {
+  return Unwind(System, Opts).run();
+}

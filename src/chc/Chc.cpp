@@ -1,0 +1,187 @@
+//===- chc/Chc.cpp - Constrained Horn clause systems ----------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Chc.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace la;
+using namespace la::chc;
+
+const Term *Interpretation::instantiate(const PredApp &App) const {
+  const Term *Formula = get(App.Pred);
+  std::unordered_map<const Term *, const Term *> Map;
+  assert(App.Args.size() == App.Pred->arity() && "arity mismatch");
+  for (size_t I = 0; I < App.Args.size(); ++I)
+    Map.emplace(App.Pred->Params[I], App.Args[I]);
+  return TM->substitute(Formula, Map);
+}
+
+std::string Interpretation::toString() const {
+  std::string Out;
+  for (const auto &[Pred, Formula] : Formulas) {
+    Out += Pred->Name + "(";
+    for (size_t I = 0; I < Pred->Params.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Pred->Params[I]->name();
+    }
+    Out += ") := " + Formula->toString() + "\n";
+  }
+  return Out;
+}
+
+const Predicate *ChcSystem::addPredicate(const std::string &Name,
+                                         size_t Arity) {
+  assert(!PredsByName.count(Name) && "duplicate predicate name");
+  Preds.emplace_back();
+  Predicate &P = Preds.back();
+  P.Name = Name;
+  P.Index = Preds.size() - 1;
+  for (size_t I = 0; I < Arity; ++I)
+    P.Params.push_back(TM.mkVar(Name + "#" + std::to_string(I)));
+  PredList.push_back(&P);
+  PredsByName.emplace(Name, &P);
+  return &P;
+}
+
+const Predicate *ChcSystem::findPredicate(const std::string &Name) const {
+  auto It = PredsByName.find(Name);
+  return It == PredsByName.end() ? nullptr : It->second;
+}
+
+void ChcSystem::addClause(HornClause Clause) {
+  if (!Clause.Constraint)
+    Clause.Constraint = TM.mkTrue();
+  assert(!TermManager::containsPredApp(Clause.Constraint) &&
+         "clause constraint must be predicate-free");
+  for ([[maybe_unused]] const PredApp &App : Clause.Body) {
+    assert(App.Pred && App.Args.size() == App.Pred->arity() &&
+           "malformed body application");
+  }
+  if (Clause.HeadPred) {
+    assert(Clause.HeadPred->Pred &&
+           Clause.HeadPred->Args.size() == Clause.HeadPred->Pred->arity() &&
+           "malformed head application");
+  } else {
+    assert(Clause.HeadFormula && "query clause without head formula");
+    assert(!TermManager::containsPredApp(Clause.HeadFormula) &&
+           "head formula must be predicate-free");
+  }
+  Clauses.push_back(std::move(Clause));
+}
+
+std::vector<size_t> ChcSystem::clausesWithHead(const Predicate *P) const {
+  std::vector<size_t> Result;
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    if (Clauses[I].HeadPred && Clauses[I].HeadPred->Pred == P)
+      Result.push_back(I);
+  return Result;
+}
+
+std::vector<size_t> ChcSystem::clausesUsing(const Predicate *P) const {
+  std::vector<size_t> Result;
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    for (const PredApp &App : Clauses[I].Body)
+      if (App.Pred == P) {
+        Result.push_back(I);
+        break;
+      }
+  return Result;
+}
+
+std::vector<const Predicate *> ChcSystem::recursivePredicates() const {
+  // Tarjan SCC over the dependency graph with edges body-pred -> head-pred.
+  size_t N = PredList.size();
+  std::vector<std::vector<size_t>> Succ(N);
+  std::vector<char> SelfLoop(N, 0);
+  for (const HornClause &C : Clauses) {
+    if (!C.HeadPred)
+      continue;
+    size_t H = C.HeadPred->Pred->Index;
+    for (const PredApp &App : C.Body) {
+      size_t B = App.Pred->Index;
+      if (B == H)
+        SelfLoop[B] = 1;
+      Succ[B].push_back(H);
+    }
+  }
+
+  std::vector<int> Index(N, -1), LowLink(N, 0);
+  std::vector<char> OnStack(N, 0);
+  std::vector<size_t> Stack;
+  std::vector<int> SccOf(N, -1);
+  std::vector<size_t> SccSize;
+  int NextIndex = 0;
+
+  std::function<void(size_t)> StrongConnect = [&](size_t V) {
+    Index[V] = LowLink[V] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[V] = 1;
+    for (size_t W : Succ[V]) {
+      if (Index[W] < 0) {
+        StrongConnect(W);
+        LowLink[V] = std::min(LowLink[V], LowLink[W]);
+      } else if (OnStack[W]) {
+        LowLink[V] = std::min(LowLink[V], Index[W]);
+      }
+    }
+    if (LowLink[V] == Index[V]) {
+      int SccId = static_cast<int>(SccSize.size());
+      size_t Size = 0;
+      for (;;) {
+        size_t W = Stack.back();
+        Stack.pop_back();
+        OnStack[W] = 0;
+        SccOf[W] = SccId;
+        ++Size;
+        if (W == V)
+          break;
+      }
+      SccSize.push_back(Size);
+    }
+  };
+  for (size_t V = 0; V < N; ++V)
+    if (Index[V] < 0)
+      StrongConnect(V);
+
+  std::vector<const Predicate *> Result;
+  for (size_t V = 0; V < N; ++V)
+    if (SelfLoop[V] || SccSize[SccOf[V]] > 1)
+      Result.push_back(PredList[V]);
+  return Result;
+}
+
+bool ChcSystem::isRecursive() const { return !recursivePredicates().empty(); }
+
+std::string ChcSystem::toString() const {
+  std::string Out;
+  for (const Predicate *P : PredList)
+    Out += "pred " + P->Name + "/" + std::to_string(P->arity()) + "\n";
+  for (const HornClause &C : Clauses) {
+    std::string Body = C.Constraint->toString();
+    for (const PredApp &App : C.Body) {
+      Body += " /\\ " + App.Pred->Name + "(";
+      for (size_t I = 0; I < App.Args.size(); ++I)
+        Body += (I ? ", " : "") + App.Args[I]->toString();
+      Body += ")";
+    }
+    std::string Head;
+    if (C.HeadPred) {
+      Head = C.HeadPred->Pred->Name + "(";
+      for (size_t I = 0; I < C.HeadPred->Args.size(); ++I)
+        Head += (I ? ", " : "") + C.HeadPred->Args[I]->toString();
+      Head += ")";
+    } else {
+      Head = C.HeadFormula->toString();
+    }
+    if (!C.Name.empty())
+      Out += "[" + C.Name + "] ";
+    Out += Body + " -> " + Head + "\n";
+  }
+  return Out;
+}

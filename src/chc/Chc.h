@@ -1,0 +1,122 @@
+//===- chc/Chc.h - Constrained Horn clause systems --------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Representation of CHC systems (paper §4.1): unknown predicates, Horn
+/// clauses `phi /\ p1[T1] /\ ... /\ pk[Tk] -> h[T]`, interpretations, and the
+/// dependency analysis that classifies a system as recursive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_CHC_CHC_H
+#define LA_CHC_CHC_H
+
+#include "logic/Term.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace la::chc {
+
+/// An unknown predicate symbol with canonical formal parameters.
+struct Predicate {
+  std::string Name;
+  /// Formal parameter variables (Int), one per argument position.
+  /// Interpretations are formulas over exactly these variables.
+  std::vector<const Term *> Params;
+  /// Registration index within the owning system.
+  size_t Index = 0;
+
+  size_t arity() const { return Params.size(); }
+};
+
+/// An application of an unknown predicate to argument terms.
+struct PredApp {
+  const Predicate *Pred = nullptr;
+  std::vector<const Term *> Args;
+};
+
+/// One constrained Horn clause: `Constraint /\ Body -> Head`.
+///
+/// The head is either an unknown-predicate application (`HeadPred`) or a
+/// known formula (`HeadFormula`), e.g. an assertion or `false` for queries.
+struct HornClause {
+  std::vector<PredApp> Body;
+  const Term *Constraint = nullptr;
+  std::optional<PredApp> HeadPred;
+  const Term *HeadFormula = nullptr; ///< Used when !HeadPred.
+  std::string Name;                  ///< Optional diagnostic label.
+
+  bool isQuery() const { return !HeadPred.has_value(); }
+  bool isFact() const { return Body.empty() && HeadPred.has_value(); }
+};
+
+/// Maps each predicate to its interpretation formula (over Pred->Params).
+/// Predicates without an entry are interpreted as `true`.
+class Interpretation {
+public:
+  explicit Interpretation(TermManager &TM) : TM(&TM) {}
+
+  const Term *get(const Predicate *P) const {
+    auto It = Formulas.find(P);
+    return It == Formulas.end() ? TM->mkTrue() : It->second;
+  }
+  void set(const Predicate *P, const Term *Formula) { Formulas[P] = Formula; }
+
+  /// Instantiates P's interpretation at the argument terms of \p App.
+  const Term *instantiate(const PredApp &App) const;
+
+  std::string toString() const;
+
+private:
+  TermManager *TM;
+  std::map<const Predicate *, const Term *> Formulas;
+};
+
+/// A CHC system: predicates plus clauses, with dependency analysis.
+class ChcSystem {
+public:
+  explicit ChcSystem(TermManager &TM) : TM(TM) {}
+
+  TermManager &termManager() const { return TM; }
+
+  /// Declares a fresh predicate with the given arity. Parameter variables
+  /// are created as `<name>#<i>`. Names must be unique.
+  const Predicate *addPredicate(const std::string &Name, size_t Arity);
+  const Predicate *findPredicate(const std::string &Name) const;
+  const std::vector<const Predicate *> &predicates() const { return PredList; }
+
+  /// Appends a clause; every PredApp must reference a declared predicate and
+  /// have matching arity (asserted).
+  void addClause(HornClause Clause);
+  const std::vector<HornClause> &clauses() const { return Clauses; }
+
+  /// True when some predicate transitively depends on itself.
+  bool isRecursive() const;
+  /// Predicates on a dependency cycle (including self-loops).
+  std::vector<const Predicate *> recursivePredicates() const;
+
+  /// Clause indices whose head is the given predicate.
+  std::vector<size_t> clausesWithHead(const Predicate *P) const;
+  /// Clause indices using the predicate in their body.
+  std::vector<size_t> clausesUsing(const Predicate *P) const;
+
+  std::string toString() const;
+
+private:
+  TermManager &TM;
+  std::deque<Predicate> Preds;
+  std::vector<const Predicate *> PredList;
+  std::map<std::string, const Predicate *> PredsByName;
+  std::vector<HornClause> Clauses;
+};
+
+} // namespace la::chc
+
+#endif // LA_CHC_CHC_H

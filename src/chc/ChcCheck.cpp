@@ -1,0 +1,164 @@
+//===- chc/ChcCheck.cpp - Clause validity checking -------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/ChcCheck.h"
+
+#include <cassert>
+
+using namespace la;
+using namespace la::chc;
+using smt::SmtResult;
+using smt::SmtSolver;
+
+ClauseCheckResult chc::checkClause(const ChcSystem &System,
+                                   const HornClause &Clause,
+                                   const Interpretation &Interp,
+                                   const SmtSolver::Options &Opts) {
+  TermManager &TM = System.termManager();
+  std::vector<const Term *> Parts{Clause.Constraint};
+  for (const PredApp &App : Clause.Body)
+    Parts.push_back(Interp.instantiate(App));
+  const Term *Head = Clause.HeadPred ? Interp.instantiate(*Clause.HeadPred)
+                                     : Clause.HeadFormula;
+  Parts.push_back(TM.mkNot(Head));
+
+  SmtSolver Solver(TM, Opts);
+  Solver.assertFormula(TM.mkAnd(std::move(Parts)));
+  ClauseCheckResult Result;
+  switch (Solver.check()) {
+  case SmtResult::Unsat:
+    Result.Status = ClauseStatus::Valid;
+    break;
+  case SmtResult::Sat:
+    Result.Status = ClauseStatus::Invalid;
+    Result.Model = Solver.model();
+    break;
+  case SmtResult::Unknown:
+    Result.Status = ClauseStatus::Unknown;
+    break;
+  }
+  return Result;
+}
+
+Rational chc::evalWithDefaults(
+    const Term *T, const std::unordered_map<const Term *, Rational> &Model) {
+  std::unordered_map<const Term *, Rational> Extended = Model;
+  std::vector<const Term *> Stack{T};
+  while (!Stack.empty()) {
+    const Term *Node = Stack.back();
+    Stack.pop_back();
+    if (Node->kind() == TermKind::Var && !Extended.count(Node))
+      Extended.emplace(Node, Rational(0));
+    for (const Term *Op : Node->operands())
+      Stack.push_back(Op);
+  }
+  return evalTerm(T, Extended);
+}
+
+ClauseStatus chc::checkInterpretation(const ChcSystem &System,
+                                      const Interpretation &Interp,
+                                      const SmtSolver::Options &Opts) {
+  bool SawUnknown = false;
+  for (const HornClause &Clause : System.clauses()) {
+    ClauseCheckResult R = checkClause(System, Clause, Interp, Opts);
+    if (R.Status == ClauseStatus::Invalid)
+      return ClauseStatus::Invalid;
+    SawUnknown |= R.Status == ClauseStatus::Unknown;
+  }
+  return SawUnknown ? ClauseStatus::Unknown : ClauseStatus::Valid;
+}
+
+std::string Counterexample::toString(const ChcSystem &System) const {
+  (void)System;
+  std::string Out = "counterexample derivation (query clause #" +
+                    std::to_string(QueryClauseIndex) + "):\n";
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    Out += "  [" + std::to_string(I) + "] " + N.Pred->Name + "(";
+    for (size_t J = 0; J < N.Args.size(); ++J)
+      Out += (J ? ", " : "") + N.Args[J].toString();
+    Out += ") via clause #" + std::to_string(N.ClauseIndex);
+    if (!N.Children.empty()) {
+      Out += " from";
+      for (size_t C : N.Children)
+        Out += " [" + std::to_string(C) + "]";
+    }
+    Out += "\n";
+  }
+  return Out;
+}
+
+/// Builds the formula "clause instance matches the given ground facts".
+static const Term *
+instanceFormula(TermManager &TM, const HornClause &Clause,
+                const std::vector<const Counterexample::Node *> &BodyFacts,
+                const Counterexample::Node *HeadFact) {
+  std::vector<const Term *> Parts{Clause.Constraint};
+  assert(BodyFacts.size() == Clause.Body.size() && "body arity mismatch");
+  for (size_t I = 0; I < Clause.Body.size(); ++I) {
+    const PredApp &App = Clause.Body[I];
+    assert(BodyFacts[I]->Pred == App.Pred && "body predicate mismatch");
+    for (size_t J = 0; J < App.Args.size(); ++J)
+      Parts.push_back(TM.mkEq(
+          App.Args[J], TM.mkIntConst(BodyFacts[I]->Args[J])));
+  }
+  if (HeadFact) {
+    assert(Clause.HeadPred && HeadFact->Pred == Clause.HeadPred->Pred &&
+           "head predicate mismatch");
+    for (size_t J = 0; J < Clause.HeadPred->Args.size(); ++J)
+      Parts.push_back(TM.mkEq(Clause.HeadPred->Args[J],
+                              TM.mkIntConst(HeadFact->Args[J])));
+  }
+  return TM.mkAnd(std::move(Parts));
+}
+
+bool chc::validateCounterexample(const ChcSystem &System,
+                                 const Counterexample &Cex) {
+  TermManager &TM = System.termManager();
+  auto Satisfiable = [&](const Term *F) {
+    SmtSolver Solver(TM);
+    Solver.assertFormula(F);
+    return Solver.check() == SmtResult::Sat;
+  };
+
+  // Each node must be derivable from its children through its clause.
+  for (const Counterexample::Node &N : Cex.Nodes) {
+    if (N.ClauseIndex >= System.clauses().size())
+      return false;
+    const HornClause &Clause = System.clauses()[N.ClauseIndex];
+    if (!Clause.HeadPred || Clause.HeadPred->Pred != N.Pred)
+      return false;
+    if (N.Children.size() != Clause.Body.size())
+      return false;
+    std::vector<const Counterexample::Node *> BodyFacts;
+    for (size_t C : N.Children) {
+      if (C >= Cex.Nodes.size())
+        return false;
+      BodyFacts.push_back(&Cex.Nodes[C]);
+    }
+    if (!Satisfiable(instanceFormula(TM, Clause, BodyFacts, &N)))
+      return false;
+  }
+
+  // The query clause must be violated by the root facts.
+  if (Cex.QueryClauseIndex >= System.clauses().size())
+    return false;
+  const HornClause &Query = System.clauses()[Cex.QueryClauseIndex];
+  if (!Query.isQuery())
+    return false;
+  if (Cex.QueryChildren.size() != Query.Body.size())
+    return false;
+  std::vector<const Counterexample::Node *> BodyFacts;
+  for (size_t C : Cex.QueryChildren) {
+    if (C >= Cex.Nodes.size())
+      return false;
+    BodyFacts.push_back(&Cex.Nodes[C]);
+  }
+  const Term *Violation =
+      TM.mkAnd(instanceFormula(TM, Query, BodyFacts, nullptr),
+               TM.mkNot(Query.HeadFormula));
+  return Satisfiable(Violation);
+}

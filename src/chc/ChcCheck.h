@@ -1,0 +1,76 @@
+//===- chc/ChcCheck.h - Clause validity checking ----------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharging interpreted clauses with the SMT solver: the `Z3Check` /
+/// `Z3Model` side of Algorithm 3, plus end-to-end witness checking
+/// (interpretations and counterexample derivation trees).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_CHC_CHCCHECK_H
+#define LA_CHC_CHCCHECK_H
+
+#include "chc/Chc.h"
+#include "smt/SmtSolver.h"
+
+namespace la::chc {
+
+/// Verdict for one clause under an interpretation.
+enum class ClauseStatus { Valid, Invalid, Unknown };
+
+/// Result of checking one clause; on Invalid the model witnesses the
+/// violation (an assignment of the clause variables).
+struct ClauseCheckResult {
+  ClauseStatus Status = ClauseStatus::Unknown;
+  std::unordered_map<const Term *, Rational> Model;
+};
+
+/// Checks `Constraint /\ /\_i A(p_i)(T_i) -> A(head)` by deciding the
+/// satisfiability of its negation.
+ClauseCheckResult checkClause(const ChcSystem &System, const HornClause &Clause,
+                              const Interpretation &Interp,
+                              const smt::SmtSolver::Options &Opts = {});
+
+/// Evaluates \p T under \p Model, defaulting unbound variables to 0 (the SMT
+/// solver omits don't-care variables).
+Rational evalWithDefaults(const Term *T,
+                          const std::unordered_map<const Term *, Rational> &Model);
+
+/// Checks every clause; returns Valid only if all clauses are valid (the
+/// full soundness check used by tests and the harness on solver output).
+ClauseStatus checkInterpretation(const ChcSystem &System,
+                                 const Interpretation &Interp,
+                                 const smt::SmtSolver::Options &Opts = {});
+
+/// A counterexample to satisfiability: a derivation tree of ground predicate
+/// facts ending in a violated query clause (paper §4.2, line 15).
+struct Counterexample {
+  struct Node {
+    const Predicate *Pred = nullptr;
+    std::vector<Rational> Args;
+    /// Clause whose instantiation derives this fact; children are the body
+    /// predicate applications in order.
+    size_t ClauseIndex = 0;
+    std::vector<size_t> Children; ///< Indices into Nodes.
+  };
+  std::vector<Node> Nodes;
+  /// The violated query clause and the derivation-node index for each body
+  /// application of that clause.
+  size_t QueryClauseIndex = 0;
+  std::vector<size_t> QueryChildren;
+
+  std::string toString(const ChcSystem &System) const;
+};
+
+/// Replays a counterexample: every node's fact must be derivable from its
+/// children via its clause, and the query clause must be violated by the
+/// root facts. Returns true when the tree is a genuine refutation.
+bool validateCounterexample(const ChcSystem &System, const Counterexample &Cex);
+
+} // namespace la::chc
+
+#endif // LA_CHC_CHCCHECK_H

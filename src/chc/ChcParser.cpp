@@ -1,0 +1,422 @@
+//===- chc/ChcParser.cpp - SMT-LIB2 HORN fragment parser ------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/ChcParser.h"
+
+#include "logic/SExpr.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace la;
+using namespace la::chc;
+
+namespace {
+
+/// Recursive-descent conversion from S-expressions to terms and clauses.
+class Parser {
+public:
+  Parser(ChcSystem &Out) : Out(Out), TM(Out.termManager()) {}
+
+  ChcParseResult run(const std::string &Text) {
+    SExprParseResult Parsed = parseSExprs(Text);
+    if (!Parsed.Ok)
+      return fail(Parsed.Error);
+    for (const SExpr &Cmd : Parsed.TopLevel)
+      if (!command(Cmd))
+        return fail(ErrorMessage);
+    return ChcParseResult{};
+  }
+
+private:
+  ChcParseResult fail(const std::string &Message) {
+    ChcParseResult R;
+    R.Ok = false;
+    R.Error = Message;
+    return R;
+  }
+
+  bool error(const SExpr &Where, const std::string &Message) {
+    ErrorMessage = "line " + std::to_string(Where.Line) + ": " + Message;
+    return false;
+  }
+
+  bool command(const SExpr &Cmd) {
+    if (Cmd.IsAtom)
+      return error(Cmd, "expected a command list");
+    if (Cmd.Items.empty())
+      return error(Cmd, "empty command");
+    const std::string &Head = Cmd.Items[0].IsAtom ? Cmd.Items[0].Atom : "";
+    if (Head == "set-logic" || Head == "set-info" || Head == "set-option" ||
+        Head == "check-sat" || Head == "get-model" || Head == "exit")
+      return true;
+    if (Head == "declare-fun")
+      return declareFun(Cmd);
+    if (Head == "declare-rel")
+      return declareRel(Cmd);
+    if (Head == "declare-var")
+      return declareVar(Cmd);
+    if (Head == "assert" || Head == "rule") {
+      if (Cmd.Items.size() != 2)
+        return error(Cmd, Head + " takes exactly one formula");
+      return clause(Cmd.Items[1]);
+    }
+    if (Head == "query") {
+      if (Cmd.Items.size() != 2)
+        return error(Cmd, "query takes exactly one application");
+      return query(Cmd.Items[1]);
+    }
+    return error(Cmd, "unsupported command '" + Head + "'");
+  }
+
+  bool declareFun(const SExpr &Cmd) {
+    if (Cmd.Items.size() != 4 || !Cmd.Items[1].IsAtom || Cmd.Items[2].IsAtom ||
+        !Cmd.Items[3].isAtom("Bool"))
+      return error(Cmd, "expected (declare-fun name (Int...) Bool)");
+    for (const SExpr &S : Cmd.Items[2].Items)
+      if (!S.isAtom("Int"))
+        return error(Cmd, "predicate arguments must have sort Int");
+    if (Out.findPredicate(Cmd.Items[1].Atom))
+      return error(Cmd, "duplicate predicate '" + Cmd.Items[1].Atom + "'");
+    Out.addPredicate(Cmd.Items[1].Atom, Cmd.Items[2].Items.size());
+    return true;
+  }
+
+  bool declareRel(const SExpr &Cmd) {
+    if (Cmd.Items.size() != 3 || !Cmd.Items[1].IsAtom || Cmd.Items[2].IsAtom)
+      return error(Cmd, "expected (declare-rel name (Int...))");
+    for (const SExpr &S : Cmd.Items[2].Items)
+      if (!S.isAtom("Int"))
+        return error(Cmd, "predicate arguments must have sort Int");
+    if (Out.findPredicate(Cmd.Items[1].Atom))
+      return error(Cmd, "duplicate predicate '" + Cmd.Items[1].Atom + "'");
+    Out.addPredicate(Cmd.Items[1].Atom, Cmd.Items[2].Items.size());
+    return true;
+  }
+
+  bool declareVar(const SExpr &Cmd) {
+    if (Cmd.Items.size() != 3 || !Cmd.Items[1].IsAtom ||
+        !Cmd.Items[2].isAtom("Int"))
+      return error(Cmd, "expected (declare-var name Int)");
+    TM.mkVar(Cmd.Items[1].Atom);
+    return true;
+  }
+
+  /// Strips an optional (forall (bindings) body) wrapper.
+  const SExpr *stripForall(const SExpr &F) {
+    if (!F.isCall("forall") && !F.isCall("exists"))
+      return &F;
+    if (F.Items.size() != 3 || F.Items[1].IsAtom) {
+      error(F, "malformed quantifier");
+      return nullptr;
+    }
+    for (const SExpr &Binding : F.Items[1].Items) {
+      if (Binding.IsAtom || Binding.Items.size() != 2 ||
+          !Binding.Items[0].IsAtom || !Binding.Items[1].isAtom("Int")) {
+        error(F, "quantifier bindings must be ((name Int) ...)");
+        return nullptr;
+      }
+      TM.mkVar(Binding.Items[0].Atom);
+    }
+    return stripForall(F.Items[2]);
+  }
+
+  bool clause(const SExpr &FormulaExpr) {
+    const SExpr *Core = stripForall(FormulaExpr);
+    if (!Core)
+      return false;
+    const SExpr *BodyExpr = nullptr;
+    const SExpr *HeadExpr = nullptr;
+    bool NegatedBody = false;
+    if (Core->isCall("=>")) {
+      if (Core->Items.size() < 3)
+        return error(*Core, "=> needs at least two operands");
+      // Right-associate: (=> a b c) == (=> a (=> b c)); fold extra
+      // antecedents into the body conjunction.
+      BodyExpr = &Core->Items[1];
+      HeadExpr = &Core->Items[Core->Items.size() - 1];
+      ExtraBody.clear();
+      for (size_t I = 2; I + 1 < Core->Items.size(); ++I)
+        ExtraBody.push_back(&Core->Items[I]);
+    } else if (Core->isCall("not")) {
+      if (Core->Items.size() != 2)
+        return error(*Core, "not takes one operand");
+      BodyExpr = &Core->Items[1];
+      NegatedBody = true;
+    } else {
+      HeadExpr = Core;
+    }
+
+    HornClause C;
+    std::vector<const Term *> ConstraintParts;
+    if (BodyExpr) {
+      const Term *Body = nullptr;
+      if (!term(*BodyExpr, Body))
+        return false;
+      for (const SExpr *Extra : ExtraBody) {
+        const Term *T = nullptr;
+        if (!term(*Extra, T))
+          return false;
+        Body = TM.mkAnd(Body, T);
+      }
+      if (!splitBody(*BodyExpr, Body, C.Body, ConstraintParts))
+        return false;
+    }
+    C.Constraint = TM.mkAnd(ConstraintParts);
+
+    if (NegatedBody) {
+      C.HeadFormula = TM.mkFalse();
+    } else {
+      assert(HeadExpr && "clause without a head");
+      const Term *Head = nullptr;
+      if (!term(*HeadExpr, Head))
+        return false;
+      if (Head->kind() == TermKind::PredApp) {
+        PredApp App;
+        if (!resolveApp(*HeadExpr, Head, App))
+          return false;
+        C.HeadPred = std::move(App);
+      } else if (TermManager::containsPredApp(Head)) {
+        return error(*HeadExpr, "head mixes predicates with other structure");
+      } else {
+        C.HeadFormula = Head;
+      }
+    }
+    Out.addClause(std::move(C));
+    return true;
+  }
+
+  bool query(const SExpr &AppExpr) {
+    // (query p) or (query (p x ...)): clause p(...) -> false over fresh vars.
+    const Predicate *P = nullptr;
+    if (AppExpr.IsAtom) {
+      P = Out.findPredicate(AppExpr.Atom);
+    } else if (!AppExpr.Items.empty() && AppExpr.Items[0].IsAtom) {
+      P = Out.findPredicate(AppExpr.Items[0].Atom);
+    }
+    if (!P)
+      return error(AppExpr, "query of an undeclared predicate");
+    HornClause C;
+    PredApp App;
+    App.Pred = P;
+    for (size_t I = 0; I < P->arity(); ++I)
+      App.Args.push_back(TM.mkFreshVar("q!" + P->Name));
+    C.Body.push_back(std::move(App));
+    C.Constraint = TM.mkTrue();
+    C.HeadFormula = TM.mkFalse();
+    Out.addClause(std::move(C));
+    return true;
+  }
+
+  /// Splits a parsed clause body into predicate applications and the
+  /// predicate-free constraint.
+  bool splitBody(const SExpr &Where, const Term *Body,
+                 std::vector<PredApp> &Apps,
+                 std::vector<const Term *> &ConstraintParts) {
+    std::vector<const Term *> Conjuncts;
+    if (Body->kind() == TermKind::And)
+      Conjuncts.assign(Body->operands().begin(), Body->operands().end());
+    else
+      Conjuncts.push_back(Body);
+    for (const Term *Conj : Conjuncts) {
+      if (Conj->kind() == TermKind::PredApp) {
+        PredApp App;
+        if (!resolveApp(Where, Conj, App))
+          return false;
+        Apps.push_back(std::move(App));
+        continue;
+      }
+      if (TermManager::containsPredApp(Conj))
+        return error(Where,
+                     "predicate application under non-conjunctive structure "
+                     "(not a Horn clause)");
+      ConstraintParts.push_back(Conj);
+    }
+    return true;
+  }
+
+  bool resolveApp(const SExpr &Where, const Term *AppTerm, PredApp &App) {
+    const Predicate *P = Out.findPredicate(AppTerm->name());
+    if (!P)
+      return error(Where, "undeclared predicate '" + AppTerm->name() + "'");
+    if (P->arity() != AppTerm->numOperands())
+      return error(Where, "arity mismatch for '" + P->Name + "'");
+    App.Pred = P;
+    App.Args.assign(AppTerm->operands().begin(), AppTerm->operands().end());
+    return true;
+  }
+
+  /// Parses a term (Int or Bool). Returns false and sets the error on
+  /// unsupported syntax.
+  bool term(const SExpr &E, const Term *&Result) {
+    if (E.IsAtom)
+      return atom(E, Result);
+    if (E.Items.empty() || !E.Items[0].IsAtom)
+      return error(E, "expected an operator application");
+    const std::string &Op = E.Items[0].Atom;
+    std::vector<const Term *> Args;
+    for (size_t I = 1; I < E.Items.size(); ++I) {
+      const Term *T = nullptr;
+      if (!term(E.Items[I], T))
+        return false;
+      Args.push_back(T);
+    }
+
+    auto Need = [&](size_t N) {
+      if (Args.size() == N)
+        return true;
+      return error(E, "'" + Op + "' expects " + std::to_string(N) +
+                          " operands");
+    };
+
+    if (Op == "+") {
+      Result = TM.mkAdd(Args);
+      return true;
+    }
+    if (Op == "-") {
+      if (Args.size() == 1) {
+        Result = TM.mkNeg(Args[0]);
+        return true;
+      }
+      if (Args.empty())
+        return error(E, "'-' needs operands");
+      const Term *Acc = Args[0];
+      for (size_t I = 1; I < Args.size(); ++I)
+        Acc = TM.mkSub(Acc, Args[I]);
+      Result = Acc;
+      return true;
+    }
+    if (Op == "*") {
+      // Linear products only: exactly one non-constant factor.
+      Rational Factor(1);
+      const Term *NonConst = nullptr;
+      for (const Term *A : Args) {
+        if (A->isIntConst()) {
+          Factor *= A->value();
+          continue;
+        }
+        if (NonConst)
+          return error(E, "non-linear multiplication is not supported");
+        NonConst = A;
+      }
+      Result = NonConst ? TM.mkMul(Factor, NonConst)
+                        : TM.mkIntConst(Factor);
+      return true;
+    }
+    if (Op == "mod") {
+      if (!Need(2))
+        return false;
+      if (!Args[1]->isIntConst() || Args[1]->value().signum() <= 0)
+        return error(E, "mod requires a positive constant modulus");
+      Result = TM.mkMod(Args[0], Args[1]->value().numerator());
+      return true;
+    }
+    if (Op == "<=" || Op == "<" || Op == ">=" || Op == ">") {
+      if (Args.size() < 2)
+        return error(E, "comparison needs two operands");
+      // Chained comparisons: (< a b c) == a<b and b<c.
+      std::vector<const Term *> Parts;
+      for (size_t I = 0; I + 1 < Args.size(); ++I) {
+        const Term *L = Args[I], *R = Args[I + 1];
+        if (Op == "<=")
+          Parts.push_back(TM.mkLe(L, R));
+        else if (Op == "<")
+          Parts.push_back(TM.mkLt(L, R));
+        else if (Op == ">=")
+          Parts.push_back(TM.mkGe(L, R));
+        else
+          Parts.push_back(TM.mkGt(L, R));
+      }
+      Result = TM.mkAnd(std::move(Parts));
+      return true;
+    }
+    if (Op == "=") {
+      if (Args.size() < 2)
+        return error(E, "= needs two operands");
+      std::vector<const Term *> Parts;
+      for (size_t I = 0; I + 1 < Args.size(); ++I)
+        Parts.push_back(TM.mkEq(Args[I], Args[I + 1]));
+      Result = TM.mkAnd(std::move(Parts));
+      return true;
+    }
+    if (Op == "distinct") {
+      if (!Need(2))
+        return false;
+      Result = TM.mkNe(Args[0], Args[1]);
+      return true;
+    }
+    if (Op == "not") {
+      if (!Need(1))
+        return false;
+      Result = TM.mkNot(Args[0]);
+      return true;
+    }
+    if (Op == "and") {
+      Result = TM.mkAnd(Args);
+      return true;
+    }
+    if (Op == "or") {
+      Result = TM.mkOr(Args);
+      return true;
+    }
+    if (Op == "=>") {
+      if (Args.size() < 2)
+        return error(E, "=> needs two operands");
+      const Term *Acc = Args.back();
+      for (size_t I = Args.size() - 1; I-- > 0;)
+        Acc = TM.mkImplies(Args[I], Acc);
+      Result = Acc;
+      return true;
+    }
+    // Predicate application.
+    if (const Predicate *P = Out.findPredicate(Op)) {
+      if (P->arity() != Args.size())
+        return error(E, "arity mismatch for '" + Op + "'");
+      Result = TM.mkPredApp(Op, std::move(Args));
+      return true;
+    }
+    return error(E, "unknown operator or predicate '" + Op + "'");
+  }
+
+  bool atom(const SExpr &E, const Term *&Result) {
+    const std::string &A = E.Atom;
+    if (A == "true") {
+      Result = TM.mkTrue();
+      return true;
+    }
+    if (A == "false") {
+      Result = TM.mkFalse();
+      return true;
+    }
+    if (!A.empty() && (std::isdigit(static_cast<unsigned char>(A[0])) ||
+                       (A[0] == '-' && A.size() > 1))) {
+      std::optional<BigInt> Value = BigInt::fromString(A);
+      if (!Value)
+        return error(E, "malformed numeral '" + A + "'");
+      Result = TM.mkIntConst(Rational(*Value));
+      return true;
+    }
+    if (const Predicate *P = Out.findPredicate(A)) {
+      if (P->arity() != 0)
+        return error(E, "predicate '" + A + "' used without arguments");
+      Result = TM.mkPredApp(A, {});
+      return true;
+    }
+    Result = TM.mkVar(A);
+    return true;
+  }
+
+  ChcSystem &Out;
+  TermManager &TM;
+  std::string ErrorMessage;
+  std::vector<const SExpr *> ExtraBody;
+};
+
+} // namespace
+
+ChcParseResult chc::parseChcText(const std::string &Text, ChcSystem &Out) {
+  return Parser(Out).run(Text);
+}

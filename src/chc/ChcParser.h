@@ -1,0 +1,41 @@
+//===- chc/ChcParser.h - SMT-LIB2 HORN fragment parser ----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the SMT-LIB2 HORN fragment (the CHC-COMP / SeaHorn exchange
+/// format) restricted to linear integer arithmetic, plus the Z3 fixedpoint
+/// `rule`/`query` style. Supported commands:
+///
+///   (set-logic HORN)  (set-info ...)  (check-sat) (get-model) (exit)
+///   (declare-fun p (Int ... Int) Bool)      ; unknown predicate
+///   (declare-rel p (Int ... Int))           ; Z3 fixedpoint style
+///   (declare-var x Int)
+///   (assert (forall ((x Int) ...) (=> body head)))
+///   (assert (=> body head)) | (assert head) | (assert (not body))
+///   (rule (=> body head)) | (rule head) | (query (p x ...))
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_CHC_CHCPARSER_H
+#define LA_CHC_CHCPARSER_H
+
+#include "chc/Chc.h"
+
+namespace la::chc {
+
+/// Outcome of parsing; on failure Error holds a "line N: ..." diagnostic.
+struct ChcParseResult {
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Parses \p Text into \p Out (which must be empty). On error the system may
+/// be partially populated and should be discarded.
+ChcParseResult parseChcText(const std::string &Text, ChcSystem &Out);
+
+} // namespace la::chc
+
+#endif // LA_CHC_CHCPARSER_H

@@ -1,0 +1,70 @@
+//===- chc/SolverTypes.h - Common CHC solver result types -------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result types shared by every CHC solver in the repository (the
+/// data-driven solver and the PDR / unwinding / enumeration / template
+/// baselines), so the benchmark harness can drive them uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_CHC_SOLVERTYPES_H
+#define LA_CHC_SOLVERTYPES_H
+
+#include "chc/ChcCheck.h"
+
+namespace la::chc {
+
+/// Verdict for a CHC system.
+enum class ChcResult {
+  Sat,     ///< satisfiable: the program is safe; Interp is a solution
+  Unsat,   ///< unsatisfiable: the program is unsafe; Cex refutes it
+  Unknown, ///< resource budget exhausted
+};
+
+inline const char *toString(ChcResult R) {
+  switch (R) {
+  case ChcResult::Sat:
+    return "sat";
+  case ChcResult::Unsat:
+    return "unsat";
+  case ChcResult::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+/// Shared solver bookkeeping for the evaluation harness.
+struct SolveStats {
+  size_t SmtQueries = 0;
+  size_t Samples = 0; ///< #S column of the paper's tables
+  size_t Iterations = 0;
+  double Seconds = 0;
+};
+
+/// Uniform result of any CHC solver in this repository.
+struct ChcSolverResult {
+  explicit ChcSolverResult(TermManager &TM) : Interp(TM) {}
+
+  ChcResult Status = ChcResult::Unknown;
+  /// Solution when Status == Sat.
+  Interpretation Interp;
+  /// Refutation when Status == Unsat (not all baselines produce one).
+  std::optional<Counterexample> Cex;
+  SolveStats Stats;
+};
+
+/// Interface implemented by every solver so benches can swap them.
+class ChcSolverInterface {
+public:
+  virtual ~ChcSolverInterface() = default;
+  virtual ChcSolverResult solve(const ChcSystem &System) = 0;
+  virtual std::string name() const = 0;
+};
+
+} // namespace la::chc
+
+#endif // LA_CHC_SOLVERTYPES_H

@@ -1,0 +1,468 @@
+//===- corpus/Corpus.cpp - Benchmark program corpus ------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace la;
+using namespace la::corpus;
+
+namespace la::corpus {
+// Defined in Generated.cpp: the parameterised program families.
+void appendGeneratedPrograms(std::vector<BenchmarkProgram> &Out);
+} // namespace la::corpus
+
+namespace {
+
+size_t countLines(const std::string &Source) {
+  return static_cast<size_t>(std::count(Source.begin(), Source.end(), '\n')) +
+         1;
+}
+
+void add(std::vector<BenchmarkProgram> &Out, std::string Name,
+         std::string Category, bool Safe, std::string Source) {
+  BenchmarkProgram P;
+  P.Name = std::move(Name);
+  P.Category = std::move(Category);
+  P.Source = std::move(Source);
+  P.ExpectedSafe = Safe;
+  P.Lines = countLines(P.Source);
+  Out.push_back(std::move(P));
+}
+
+/// The hand-written programs, including every example the paper names.
+void appendHandWritten(std::vector<BenchmarkProgram> &Out) {
+  // --- The paper's running examples -------------------------------------
+
+  // Fig. 1: Spacer diverges, the data-driven solver finds x>=1 /\ y>=0.
+  add(Out, "paper_fig1", "loop-lit", true, R"(int main(){
+  int x, y;
+  x = 1; y = 0;
+  while (*) {
+    x = x + y;
+    y++;
+  }
+  assert(x >= y);
+})");
+  add(Out, "paper_fig1_unsafe", "loop-lit", false, R"(int main(){
+  int x, y;
+  x = 1; y = 0;
+  while (*) {
+    x = x + y;
+    y++;
+  }
+  assert(x > y);
+})");
+
+  // Fig. 3 (program (a)): needs an or-of-and invariant.
+  add(Out, "paper_fig3_a", "pie-suite", true, R"(int main(){
+  int x, y;
+  x = 0; y = *;
+  while (y != 0) {
+    if (y < 0) { x--; y++; }
+    else { x++; y--; }
+    assert(x != 0);
+  }
+})");
+
+  // Fig. 4 (program (b)): parity-dependent relational invariant.
+  add(Out, "paper_fig4_b", "loop-lit", true, R"(int main(){
+  int x, y, i, n;
+  x = 0; y = 0; i = 0; n = *;
+  while (i < n) {
+    i++; x++;
+    if (i % 2 == 0) { y++; }
+  }
+  assert(i % 2 != 0 || x == 2 * y);
+})");
+
+  // Fig. 5 (program (c)): recursive fibonacci, fibo(x) >= x - 1.
+  add(Out, "paper_fig5_fibo", "recursive", true, R"(int fibo(int x) {
+  if (x < 1) { return 0; }
+  if (x == 1) { return 1; }
+  return fibo(x - 1) + fibo(x - 2);
+}
+int main(int x){
+  assert(fibo(x) >= x - 1);
+})");
+  add(Out, "paper_fig5_fibo_unsafe", "recursive", false, R"(int fibo(int x) {
+  if (x < 1) { return 0; }
+  if (x == 1) { return 1; }
+  return fibo(x - 1) + fibo(x - 2);
+}
+int main(int x){
+  assert(fibo(x) >= x);
+})");
+
+  // §2.3: the SV-COMP assertion variant (x < 9 || fibo(x) >= 34).
+  add(Out, "fibo_sv_34", "recursive", true, R"(int fibo(int x) {
+  if (x < 1) { return 0; }
+  if (x == 1) { return 1; }
+  return fibo(x - 1) + fibo(x - 2);
+}
+int main(int x){
+  assert(x < 9 || fibo(x) >= 34);
+})");
+
+  // --- Recursive programs in the paper's tables -------------------------
+
+  // recHanoi3 analogue: moves(n) = 2*moves(n-1) + 1 >= n.
+  add(Out, "rec_hanoi", "recursive", true, R"(int hanoi(int n) {
+  if (n <= 0) { return 0; }
+  return 2 * hanoi(n - 1) + 1;
+}
+int main(int n){
+  assert(hanoi(n) >= n);
+})");
+  add(Out, "rec_hanoi_unsafe", "recursive", false, R"(int hanoi(int n) {
+  if (n <= 0) { return 0; }
+  return 2 * hanoi(n - 1) + 1;
+}
+int main(int n){
+  assume(n >= 2);
+  assert(hanoi(n) <= n + 1);
+})");
+
+  // EvenOdd analogue: mutual recursion deciding parity.
+  add(Out, "rec_even_odd", "recursive", true, R"(int isOdd(int n) {
+  if (n == 0) { return 0; }
+  return isEven(n - 1);
+}
+int isEven(int n) {
+  if (n == 0) { return 1; }
+  return isOdd(n - 1);
+}
+int main(int n){
+  assume(n >= 0);
+  int e = isEven(n);
+  assert(e == 0 || e == 1);
+})");
+
+  // Fib2calls analogue: two entry points into the same recursion.
+  add(Out, "rec_fib2calls", "recursive", true, R"(int fibo(int x) {
+  if (x < 1) { return 0; }
+  if (x == 1) { return 1; }
+  return fibo(x - 1) + fibo(x - 2);
+}
+int main(int x){
+  int a = fibo(x);
+  int b = fibo(x + 1);
+  assert(b >= a);
+})");
+
+  // Recursive sum: sum(n) >= n for n >= 0.
+  add(Out, "rec_sum", "recursive", true, R"(int sum(int n) {
+  if (n <= 0) { return 0; }
+  return n + sum(n - 1);
+}
+int main(int n){
+  assert(sum(n) >= n);
+})");
+  add(Out, "rec_sum_unsafe", "recursive", false, R"(int sum(int n) {
+  if (n <= 0) { return 0; }
+  return n + sum(n - 1);
+}
+int main(int n){
+  assume(n >= 3);
+  assert(sum(n) <= n);
+})");
+
+  // McCarthy 91 (classic recursive benchmark).
+  add(Out, "rec_mccarthy91", "recursive", true, R"(int mc(int x) {
+  if (x > 100) { return x - 10; }
+  return mc(mc(x + 11));
+}
+int main(int n){
+  assume(n <= 100);
+  int r = mc(n);
+  assert(r == 91);
+})");
+
+  // Ackermann-lite: bounded double recursion with a monotonicity property.
+  add(Out, "rec_double", "recursive", true, R"(int g(int n) {
+  if (n <= 0) { return 0; }
+  return g(n - 1) + 1;
+}
+int main(int n){
+  int r = g(g(n));
+  assert(r >= 0);
+})");
+
+  // --- loop-lit: literature loop programs --------------------------------
+
+  add(Out, "lit_cggmp_easy", "loop-lit", true, R"(int main(){
+  int i = 1, j = 10;
+  while (j >= i) {
+    i = i + 2;
+    j = j - 1;
+  }
+  assert(j == 6);
+})");
+
+  add(Out, "lit_gsv_bounds", "loop-lit", true, R"(int main(){
+  int x = -50;
+  int y = *;
+  assume(y > 0 && y < 1000);
+  while (x < 0) {
+    x = x + y;
+    y++;
+  }
+  assert(y > 0);
+})");
+
+  add(Out, "lit_half_sum", "loop-lit", true, R"(int main(){
+  int n = *, i = 0, k = 0;
+  assume(n >= 0);
+  while (i < 2 * n) {
+    k = k + 1;
+    i = i + 2;
+  }
+  assert(k >= n);
+})");
+
+  add(Out, "lit_updown", "loop-lit", true, R"(int main(){
+  int n = *, x = 0;
+  assume(n >= 0);
+  while (x < n) { x++; }
+  while (x > 0) { x--; }
+  assert(x == 0);
+})");
+
+  add(Out, "lit_updown_unsafe", "loop-lit", false, R"(int main(){
+  int n = *, x = 0;
+  assume(n >= 1);
+  while (x < n) { x++; }
+  while (x > 0) { x--; }
+  assert(x == 1);
+})");
+
+  add(Out, "lit_parity_skip", "loop-lit", true, R"(int main(){
+  int x = 0;
+  while (*) {
+    x = x + 2;
+  }
+  assert(x != 5);
+})");
+
+  // --- loop-invgen: InvGen-style loops ------------------------------------
+
+  add(Out, "invgen_two_counters", "loop-invgen", true, R"(int main(){
+  int i = 0, j = 0, n = *;
+  assume(n >= 0);
+  while (i < n) {
+    i++;
+    j = j + 2;
+  }
+  assert(j == 2 * i);
+})");
+
+  add(Out, "invgen_three_vars", "loop-invgen", true, R"(int main(){
+  int x = 0, y = 0, z = 0;
+  while (*) {
+    x++; y = y + 2; z = z + 3;
+  }
+  assert(z == x + y);
+})");
+
+  add(Out, "invgen_guard_sum", "loop-invgen", true, R"(int main(){
+  int i = 0, sum = 0, n = *;
+  assume(n >= 0 && n <= 100);
+  while (i < n) {
+    sum = sum + i;
+    i++;
+  }
+  assert(sum >= 0);
+})");
+
+  add(Out, "invgen_phase_split", "pie-suite", true, R"(int main(){
+  int x = 0, phase = 0;
+  while (*) {
+    if (phase == 0) {
+      x++;
+      if (x >= 10) { phase = 1; }
+    } else {
+      x--;
+      if (x <= 0) { phase = 0; }
+    }
+  }
+  assert(x >= 0 && x <= 10);
+})");
+
+  add(Out, "invgen_interleaved", "loop-invgen", true, R"(int main(){
+  int x = 0, y = 0;
+  while (*) {
+    if (*) { x++; y++; }
+    else { x--; y--; }
+    assume(x >= 0);
+  }
+  assert(x == y);
+})");
+
+  // --- pie-suite: boolean-structured invariants ---------------------------
+
+  add(Out, "pie_abs_value", "pie-suite", true, R"(int main(){
+  int x = *, y;
+  if (x < 0) { y = -x; } else { y = x; }
+  assert(y >= 0 && (y == x || y == -x));
+})");
+
+  add(Out, "pie_sign_product", "pie-suite", true, R"(int main(){
+  int x = *, s;
+  if (x > 0) { s = 1; }
+  else { if (x < 0) { s = -1; } else { s = 0; } }
+  while (*) {
+    x = x + s;
+    if (x == 0) { s = 0; }
+  }
+  assert(s >= -1 && s <= 1);
+})");
+
+  add(Out, "pie_split_range", "pie-suite", true, R"(int main(){
+  int x = *;
+  assume(x >= -100 && x <= 100);
+  int seen = 0;
+  while (x != 0) {
+    if (x > 0) { x--; }
+    else { x++; }
+    seen = 1;
+  }
+  assert(x == 0 || seen == 0);
+})");
+
+  add(Out, "pie_alternate", "pie-suite", true, R"(int main(){
+  int x = 1;
+  while (*) {
+    x = -x;
+  }
+  assert(x == 1 || x == -1);
+})");
+
+  add(Out, "pie_alternate_unsafe", "pie-suite", false, R"(int main(){
+  int x = 1;
+  while (*) {
+    x = -x;
+  }
+  assert(x == 1);
+})");
+
+  add(Out, "pie_saw_tooth", "pie-suite", true, R"(int main(){
+  int x = 0, d = 1;
+  while (*) {
+    x = x + d;
+    if (x == 3) { d = -1; }
+    if (x == 0) { d = 1; }
+  }
+  assert(x >= 0 && x <= 3);
+})");
+
+  // --- dig-suite: linear equality/inequality invariants -------------------
+
+  add(Out, "dig_affine_line", "dig-suite", true, R"(int main(){
+  int x = 0, y = 1;
+  while (*) {
+    x = x + 1;
+    y = y + 3;
+  }
+  assert(y == 3 * x + 1);
+})");
+
+  add(Out, "dig_conserved_sum", "dig-suite", true, R"(int main(){
+  int a = 10, b = 0;
+  while (a > 0) {
+    a--;
+    b++;
+  }
+  assert(a + b == 10);
+})");
+
+  add(Out, "dig_scaled_pair", "dig-suite", true, R"(int main(){
+  int i = 0, x = 0, y = 0;
+  while (i < 100) {
+    i++;
+    x = x + 4;
+    y = y + 5;
+  }
+  assert(5 * x == 4 * y);
+})");
+
+  add(Out, "dig_box_bounds", "dig-suite", true, R"(int main(){
+  int x = 5;
+  while (*) {
+    if (x < 10) { x++; }
+  }
+  assert(x >= 5 && x <= 10);
+})");
+
+  add(Out, "dig_disjunctive_04", "dig-suite", true, R"(int main(){
+  int x = *;
+  int y;
+  if (x >= 0) { y = x; } else { y = -x; }
+  while (*) { y = y + 1; }
+  assert(y >= x);
+})");
+
+  add(Out, "dig_disjunctive_10", "dig-suite", true, R"(int main(){
+  int x = 0, flag = *;
+  if (flag >= 1) { x = 100; } else { x = -100; }
+  while (*) {
+    if (x > 0) { x++; }
+    if (x < 0) { x--; }
+  }
+  assert(x >= 100 || x <= -100);
+})");
+
+  // --- mod-dependent programs (Beyond Polyhedra, §3.3) --------------------
+
+  add(Out, "mod_even_counter", "loop-lit", true, R"(int main(){
+  int x = 0;
+  while (*) { x = x + 2; }
+  assert(x % 2 == 0);
+})");
+
+  add(Out, "mod_cycle3", "loop-lit", true, R"(int main(){
+  int x = 0;
+  while (*) { x = x + 3; }
+  assert(x % 3 != 1 && x % 3 != 2);
+})");
+}
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &corpus::allPrograms() {
+  static const std::vector<BenchmarkProgram> All = [] {
+    std::vector<BenchmarkProgram> Out;
+    appendHandWritten(Out);
+    appendGeneratedPrograms(Out);
+    return Out;
+  }();
+  return All;
+}
+
+std::vector<const BenchmarkProgram *>
+corpus::category(const std::string &Name) {
+  std::vector<const BenchmarkProgram *> Result;
+  for (const BenchmarkProgram &P : allPrograms())
+    if (P.Category == Name)
+      Result.push_back(&P);
+  return Result;
+}
+
+std::vector<std::string> corpus::categories() {
+  std::vector<std::string> Result;
+  for (const BenchmarkProgram &P : allPrograms())
+    if (std::find(Result.begin(), Result.end(), P.Category) == Result.end())
+      Result.push_back(P.Category);
+  return Result;
+}
+
+const BenchmarkProgram *corpus::find(const std::string &Name) {
+  for (const BenchmarkProgram &P : allPrograms())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

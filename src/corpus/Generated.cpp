@@ -1,0 +1,326 @@
+//===- corpus/Generated.cpp - Parameterised benchmark families ------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generated program families modelled on the SV-COMP categories used in the
+/// paper's evaluation: simple and relational loops (loop-*), bounded
+/// recursions (recursive-*), many-branch configuration programs
+/// (Product-lines) and state-machine programs (Systemc). Each family is
+/// parameterised so the corpus reaches a few hundred instances, like the
+/// 381-program suite of §6, with both safe and unsafe members.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include <algorithm>
+
+namespace la::corpus {
+void appendGeneratedPrograms(std::vector<BenchmarkProgram> &Out);
+} // namespace la::corpus
+
+using namespace la::corpus;
+
+namespace {
+
+size_t countLines(const std::string &Source) {
+  return static_cast<size_t>(std::count(Source.begin(), Source.end(), '\n')) +
+         1;
+}
+
+void add(std::vector<BenchmarkProgram> &Out, std::string Name,
+         std::string Category, bool Safe, std::string Source) {
+  BenchmarkProgram P;
+  P.Name = std::move(Name);
+  P.Category = std::move(Category);
+  P.Source = std::move(Source);
+  P.ExpectedSafe = Safe;
+  P.Lines = countLines(P.Source);
+  Out.push_back(std::move(P));
+}
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// loop-basic: counter to a bound with varying step; safe asserts x <= bound
+/// (rounded up to the step), unsafe asserts one less.
+void counterFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Bound : {5, 8, 12, 17, 25, 40}) {
+    for (int Step : {1, 2, 3}) {
+      int Reach = ((Bound + Step - 1) / Step) * Step; // first value >= bound
+      std::string Core = "int main(){\n  int x = 0;\n  while (x < " +
+                         num(Bound) + ") { x = x + " + num(Step) +
+                         "; }\n  assert(x <= ";
+      add(Out, "gen_counter_b" + num(Bound) + "_s" + num(Step), "loop-invgen",
+          true, Core + num(Reach) + ");\n}");
+      add(Out, "gen_counter_b" + num(Bound) + "_s" + num(Step) + "_bug",
+          "loop-invgen", false, Core + num(Reach - 1) + ");\n}");
+    }
+  }
+}
+
+/// loop-relational: y tracks a*x + b through the loop.
+void relationFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int A : {1, 2, 3, 5}) {
+    for (int B : {0, 1, 7}) {
+      std::string Core = "int main(){\n  int x = 0, y = " + num(B) +
+                         ";\n  while (*) {\n    x = x + 1;\n    y = y + " +
+                         num(A) + ";\n  }\n  assert(y == " + num(A) +
+                         " * x + " + num(B) + ");\n}";
+      add(Out, "gen_relation_a" + num(A) + "_b" + num(B), "dig-suite", true,
+          Core);
+    }
+  }
+  for (int A : {2, 4}) {
+    std::string Core = "int main(){\n  int x = 0, y = 0;\n  while (*) {\n"
+                       "    x = x + 1;\n    y = y + " +
+                       num(A) + ";\n  }\n  assert(y == " + num(A) +
+                       " * x + 1);\n}";
+    add(Out, "gen_relation_a" + num(A) + "_bug", "dig-suite", false, Core);
+  }
+}
+
+/// loop-disjunctive: a two-phase loop needing an or-invariant (pie-suite).
+void twoPhaseFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Peak : {4, 6, 9, 13}) {
+    std::string Core =
+        "int main(){\n  int x = 0, up = 1;\n  while (*) {\n"
+        "    if (up == 1) {\n      x++;\n      if (x >= " +
+        num(Peak) +
+        ") { up = 0; }\n    } else {\n      x--;\n      if (x <= 0) { up = 1; "
+        "}\n    }\n  }\n  assert(x >= 0 && x <= " +
+        num(Peak) + ");\n}";
+    add(Out, "gen_twophase_p" + num(Peak), "pie-suite", true, Core);
+    std::string Bug =
+        "int main(){\n  int x = 0, up = 1;\n  while (*) {\n"
+        "    if (up == 1) {\n      x++;\n      if (x >= " +
+        num(Peak) +
+        ") { up = 0; }\n    } else {\n      x--;\n      if (x <= 0) { up = 1; "
+        "}\n    }\n  }\n  assert(x < " +
+        num(Peak) + ");\n}";
+    add(Out, "gen_twophase_p" + num(Peak) + "_bug", "pie-suite", false, Bug);
+  }
+}
+
+/// Nested loops: rectangular iteration with a running sum.
+void nestedFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int N : {3, 5, 8}) {
+    std::string Core = "int main(){\n  int i = 0, s = 0;\n  while (i < " +
+                       num(N) +
+                       ") {\n    int j = 0;\n    while (j < " + num(N) +
+                       ") {\n      j++;\n      s++;\n    }\n    i++;\n  }\n"
+                       "  assert(s >= i);\n}";
+    // Each outer iteration adds N >= 1 to s, so s >= i holds.
+    add(Out, "gen_nested_n" + num(N), "loop-invgen", true, Core);
+  }
+  add(Out, "gen_nested_bug", "loop-invgen", false,
+      "int main(){\n  int i = 0, s = 0;\n  while (i < 4) {\n"
+      "    int j = 0;\n    while (j < 4) {\n      j++;\n      s++;\n    }\n"
+      "    i++;\n  }\n  assert(s <= 15);\n}");
+}
+
+/// Parity loops exercising the mod features.
+void parityFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Step : {2, 3, 4}) {
+    for (int Avoid = 1; Avoid < Step; ++Avoid) {
+      std::string Core = "int main(){\n  int x = 0;\n  while (*) { x = x + " +
+                         num(Step) + "; }\n  assert(x % " + num(Step) +
+                         " != " + num(Avoid) + ");\n}";
+      add(Out,
+          "gen_parity_s" + num(Step) + "_a" + num(Avoid), "loop-lit", true,
+          Core);
+    }
+  }
+  add(Out, "gen_parity_bug", "loop-lit", false,
+      "int main(){\n  int x = 0;\n  while (*) { x = x + 2; }\n"
+      "  assert(x % 4 == 0);\n}");
+}
+
+/// recursive-*: linear recursions r(n) = r(n-1) + step.
+void recursiveFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Step : {1, 2, 5}) {
+    std::string Core = "int r(int n) {\n  if (n <= 0) { return 0; }\n"
+                       "  return r(n - 1) + " +
+                       num(Step) + ";\n}\nint main(int n){\n  assert(r(n) >= " +
+                       (Step == 1 ? std::string("n") : num(Step) + " * n - " +
+                                                           num(Step)) +
+                       ");\n}";
+    add(Out, "gen_rec_step" + num(Step), "recursive", true, Core);
+  }
+  for (int Step : {1, 3}) {
+    std::string Core = "int r(int n) {\n  if (n <= 0) { return 0; }\n"
+                       "  return r(n - 1) + " +
+                       num(Step) +
+                       ";\n}\nint main(int n){\n  assume(n >= 2);\n"
+                       "  assert(r(n) < " +
+                       num(Step) + " * n);\n}";
+    add(Out, "gen_rec_step" + num(Step) + "_bug", "recursive", false, Core);
+  }
+  // Descending recursion with two base cases.
+  for (int Base : {1, 4}) {
+    std::string Core =
+        "int d(int n) {\n  if (n < " + num(Base) +
+        ") { return n; }\n  return d(n - 2);\n}\nint main(int n){\n"
+        "  assume(n >= 0);\n  assert(d(n) <= n);\n}";
+    add(Out, "gen_rec_down_b" + num(Base), "recursive", true, Core);
+  }
+}
+
+/// Product-lines style: a chain of nondet feature flags with a feature
+/// counter; the assertion bounds the counter. Large but shallow programs.
+void productLinesFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Features : {4, 8, 12, 20, 32}) {
+    std::string Src = "int main(){\n  int count = 0;\n";
+    for (int I = 0; I < Features; ++I) {
+      Src += "  int f" + num(I) + " = 0;\n  if (*) { f" + num(I) +
+             " = 1; count = count + 1; }\n";
+    }
+    Src += "  assert(count >= 0 && count <= " + num(Features) + ");\n";
+    // Feature interaction: the last two features are mutually exclusive.
+    Src += "  if (f" + num(Features - 2) + " == 1 && f" + num(Features - 1) +
+           " == 1) {\n    count = count - 1;\n  }\n";
+    Src += "  assert(count <= " + num(Features) + ");\n}";
+    add(Out, "gen_product_f" + num(Features), "product-lines", true, Src);
+  }
+  // Unsafe member: claims a tighter bound than the number of features.
+  {
+    int Features = 6;
+    std::string Src = "int main(){\n  int count = 0;\n";
+    for (int I = 0; I < Features; ++I)
+      Src += "  if (*) { count = count + 1; }\n";
+    Src += "  assert(count <= " + num(Features - 1) + ");\n}";
+    add(Out, "gen_product_bug", "product-lines", false, Src);
+  }
+}
+
+/// Systemc style: a cyclic state machine driven nondeterministically with a
+/// progress counter; safety bounds the state index.
+void systemcFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int States : {3, 5, 8, 12}) {
+    std::string Src =
+        "int main(){\n  int state = 0, ticks = 0;\n  while (*) {\n"
+        "    if (state == " +
+        num(States - 1) +
+        ") { state = 0; }\n    else { state = state + 1; }\n"
+        "    ticks = ticks + 1;\n  }\n  assert(state >= 0 && state < " +
+        num(States) + ");\n}";
+    add(Out, "gen_systemc_s" + num(States), "systemc", true, Src);
+  }
+  add(Out, "gen_systemc_bug", "systemc", false,
+      "int main(){\n  int state = 0;\n  while (*) {\n"
+      "    if (state == 4) { state = 0; }\n    else { state = state + 1; }\n"
+      "  }\n  assert(state < 4);\n}");
+}
+
+/// Sequential multi-loop programs (the 31.c/33.c shape: several loops over
+/// shared variables, each with its own unknown predicate).
+void multiLoopFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Loops : {2, 3, 4, 5}) {
+    std::string Src = "int main(){\n  int x = 0, bound = 0;\n";
+    for (int I = 0; I < Loops; ++I) {
+      Src += "  bound = bound + " + num(I + 3) + ";\n";
+      Src += "  while (x < bound) { x = x + 1; }\n";
+    }
+    Src += "  assert(x == bound);\n}";
+    add(Out, "gen_multiloop_k" + num(Loops), "pie-suite", true, Src);
+  }
+  add(Out, "gen_multiloop_bug", "pie-suite", false,
+      "int main(){\n  int x = 0;\n  while (x < 3) { x = x + 1; }\n"
+      "  while (x < 7) { x = x + 2; }\n  assert(x == 8);\n}");
+}
+
+/// Loops whose exit depends on a nondeterministic bound (unbounded data).
+void unboundedFamily(std::vector<BenchmarkProgram> &Out) {
+  for (int Slack : {0, 1, 5}) {
+    std::string Src = "int main(){\n  int n = *, i = 0;\n"
+                      "  assume(n >= 0);\n  while (i < n) { i++; }\n"
+                      "  assert(i <= n + " +
+                      num(Slack) + ");\n}";
+    add(Out, "gen_unbounded_s" + num(Slack), "loop-invgen", true, Src);
+  }
+  add(Out, "gen_unbounded_bug", "loop-invgen", false,
+      "int main(){\n  int n = *, i = 0;\n  assume(n >= 1);\n"
+      "  while (i < n) { i++; }\n  assert(i < n);\n}");
+}
+
+} // namespace
+
+namespace {
+
+/// Scalability programs: the paper's sfifo/elevator/parport rows are large
+/// (300-10000 LoC) programs whose invariants are nonetheless simple and need
+/// few samples. These analogues stretch the front end and the clause counts
+/// while keeping small invariants.
+void scalabilityFamily(std::vector<BenchmarkProgram> &Out) {
+  // "elevator": a request-dispatch state machine with many floors encoded
+  // as a cascade of branches inside the main loop.
+  for (int Floors : {16, 48}) {
+    std::string Src = "int main(){\n  int floor = 0, dir = 1, served = 0;\n"
+                      "  while (*) {\n";
+    for (int F = 0; F < Floors; ++F) {
+      Src += "    if (floor == " + num(F) + " && dir == 1) {\n";
+      Src += F + 1 < Floors ? "      floor = " + num(F + 1) + ";\n"
+                            : "      dir = -1;\n";
+      Src += "      served = served + 1;\n    }\n";
+      Src += "    if (floor == " + num(F) + " && dir == -1) {\n";
+      Src += F > 0 ? "      floor = " + num(F - 1) + ";\n"
+                   : "      dir = 1;\n";
+      Src += "    }\n";
+    }
+    Src += "    assert(floor >= 0 && floor <= " + num(Floors - 1) + ");\n";
+    Src += "  }\n  assert(served >= 0);\n}";
+    add(Out, "gen_elevator_f" + num(Floors), "systemc", true, Src);
+  }
+
+  // "parport": a long straight-line configuration sequence guarded by
+  // nondeterministic mode flags, with a simple global invariant.
+  for (int Regs : {64, 200}) {
+    std::string Src = "int main(){\n  int mode = 0, errors = 0;\n";
+    for (int R = 0; R < Regs; ++R) {
+      Src += "  int reg" + num(R) + " = 0;\n";
+      Src += "  if (*) { reg" + num(R) + " = " + num(R % 7) +
+             "; mode = mode + 1; }\n";
+      Src += "  if (reg" + num(R) + " > 6) { errors = errors + 1; }\n";
+    }
+    Src += "  assert(errors == 0);\n";
+    Src += "  assert(mode >= 0 && mode <= " + num(Regs) + ");\n}";
+    add(Out, "gen_parport_r" + num(Regs), "product-lines", true, Src);
+  }
+
+  // "sfifo": a queue simulated by head/tail counters plus a size cache,
+  // exercised by a nondeterministic producer/consumer loop.
+  for (int Cap : {8, 32}) {
+    std::string Src =
+        "int main(){\n  int head = 0, tail = 0, size = 0;\n"
+        "  while (*) {\n"
+        "    if (*) {\n      if (size < " + num(Cap) +
+        ") { tail = tail + 1; size = size + 1; }\n    } else {\n"
+        "      if (size > 0) { head = head + 1; size = size - 1; }\n    }\n"
+        "    assert(size >= 0 && size <= " + num(Cap) + ");\n"
+        "    assert(tail - head == size);\n  }\n}";
+    add(Out, "gen_sfifo_c" + num(Cap), "systemc", true, Src);
+  }
+  add(Out, "gen_sfifo_bug", "systemc", false,
+      "int main(){\n  int head = 0, tail = 0, size = 0;\n  while (*) {\n"
+      "    if (*) { tail = tail + 1; size = size + 1; }\n"
+      "    else { if (size > 0) { head = head + 1; size = size - 1; } }\n"
+      "    assert(size <= 3);\n  }\n}");
+}
+
+} // namespace
+
+void la::corpus::appendGeneratedPrograms(std::vector<BenchmarkProgram> &Out) {
+  counterFamily(Out);
+  relationFamily(Out);
+  twoPhaseFamily(Out);
+  nestedFamily(Out);
+  parityFamily(Out);
+  recursiveFamily(Out);
+  productLinesFamily(Out);
+  systemcFamily(Out);
+  multiLoopFamily(Out);
+  unboundedFamily(Out);
+  scalabilityFamily(Out);
+}

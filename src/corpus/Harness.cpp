@@ -1,0 +1,113 @@
+//===- corpus/Harness.cpp - Shared evaluation harness helpers --------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+using namespace la;
+using namespace la::corpus;
+
+std::vector<int64_t> corpus::modFeaturesFor(const std::string &Source) {
+  std::vector<int64_t> Mods;
+  for (size_t I = 0; I < Source.size(); ++I) {
+    if (Source[I] != '%')
+      continue;
+    size_t J = I + 1;
+    while (J < Source.size() &&
+           std::isspace(static_cast<unsigned char>(Source[J])))
+      ++J;
+    int64_t Value = 0;
+    bool Any = false;
+    while (J < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(Source[J]))) {
+      Value = Value * 10 + (Source[J] - '0');
+      Any = true;
+      ++J;
+    }
+    if (Any && Value > 1 &&
+        std::find(Mods.begin(), Mods.end(), Value) == Mods.end())
+      Mods.push_back(Value);
+  }
+  return Mods;
+}
+
+solver::DataDrivenOptions
+corpus::defaultOptionsFor(const BenchmarkProgram &Program,
+                          double TimeoutSeconds) {
+  solver::DataDrivenOptions Opts;
+  Opts.TimeoutSeconds = TimeoutSeconds;
+  Opts.Learn.ModFeatures = modFeaturesFor(Program.Source);
+  // Let a single SMT check use up to half the overall budget (large
+  // programs have few but big verification conditions).
+  if (TimeoutSeconds > 0)
+    Opts.Smt.TimeoutSeconds =
+        std::max(Opts.Smt.TimeoutSeconds, TimeoutSeconds / 2);
+  return Opts;
+}
+
+RunOutcome corpus::runOnProgram(chc::ChcSolverInterface &Solver,
+                                const BenchmarkProgram &Program) {
+  RunOutcome Out;
+  TermManager TM;
+  chc::ChcSystem System(TM);
+  frontend::EncodeResult E = frontend::encodeMiniC(Program.Source, System);
+  if (!E.Ok)
+    return Out; // treated as Unknown; the corpus test guarantees this is dead
+
+  Out.NumClauses = System.clauses().size();
+  Out.NumPredicates = System.predicates().size();
+  std::set<const Term *> Vars;
+  for (const chc::HornClause &C : System.clauses()) {
+    for (const Term *V : TM.collectVars(C.Constraint))
+      Vars.insert(V);
+    for (const chc::PredApp &App : C.Body)
+      for (const Term *Arg : App.Args)
+        for (const Term *V : TM.collectVars(Arg))
+          Vars.insert(V);
+  }
+  Out.NumVariables = Vars.size();
+
+  chc::ChcSolverResult R = Solver.solve(System);
+  Out.Status = R.Status;
+  Out.Seconds = R.Stats.Seconds;
+  Out.Stats = R.Stats;
+
+  if (R.Status == chc::ChcResult::Unknown)
+    return Out;
+  bool VerdictSafe = R.Status == chc::ChcResult::Sat;
+  if (VerdictSafe != Program.ExpectedSafe) {
+    Out.Unsound = true;
+    return Out;
+  }
+  // Validate witnesses where available.
+  if (R.Status == chc::ChcResult::Sat &&
+      chc::checkInterpretation(System, R.Interp) != chc::ClauseStatus::Valid) {
+    Out.Unsound = true;
+    return Out;
+  }
+  if (R.Status == chc::ChcResult::Sat) {
+    // #A of the most complex invariant: conjuncts per disjunct.
+    std::vector<size_t> Best;
+    for (const chc::Predicate *P : System.predicates()) {
+      std::vector<size_t> Shape = ml::dnfShape(R.Interp.get(P));
+      if (Shape.size() > Best.size())
+        Best = Shape;
+    }
+    for (size_t I = 0; I < Best.size(); ++I)
+      Out.InvariantShape +=
+          (I ? "," : "") + std::to_string(Best[I]);
+  }
+  if (R.Status == chc::ChcResult::Unsat && R.Cex &&
+      !chc::validateCounterexample(System, *R.Cex)) {
+    Out.Unsound = true;
+    return Out;
+  }
+  Out.Solved = true;
+  return Out;
+}

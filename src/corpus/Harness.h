@@ -1,0 +1,57 @@
+//===- corpus/Harness.h - Shared evaluation harness helpers -----*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark binaries: encoding corpus programs,
+/// running any solver against a program with a ground-truth check, and the
+/// default solver configuration (mod features are chosen from the moduli
+/// that actually occur in the program text, the "parameterized a priori"
+/// convention of §3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_CORPUS_HARNESS_H
+#define LA_CORPUS_HARNESS_H
+
+#include "corpus/Corpus.h"
+#include "frontend/Encoder.h"
+#include "solver/DataDrivenSolver.h"
+
+namespace la::corpus {
+
+/// Moduli of the `%` operations occurring in \p Source (deduplicated).
+std::vector<int64_t> modFeaturesFor(const std::string &Source);
+
+/// Default data-driven solver configuration for one benchmark program.
+solver::DataDrivenOptions defaultOptionsFor(const BenchmarkProgram &Program,
+                                            double TimeoutSeconds);
+
+/// Outcome of one solver-vs-program run.
+struct RunOutcome {
+  chc::ChcResult Status = chc::ChcResult::Unknown;
+  double Seconds = 0;
+  /// True when the verdict matches the ground truth (Unknown never does)
+  /// and the witness validated.
+  bool Solved = false;
+  /// True when the verdict contradicts the ground truth or a witness failed
+  /// to validate -- this must never happen and the harness reports it loudly.
+  bool Unsound = false;
+  chc::SolveStats Stats;
+  size_t NumClauses = 0;
+  size_t NumPredicates = 0;
+  size_t NumVariables = 0; ///< #V: distinct variables in the clause system
+  /// #A: conjunct counts per disjunct of the most complex learned invariant
+  /// (comma separated), as in the paper's benchmark tables. Empty unless Sat.
+  std::string InvariantShape;
+};
+
+/// Encodes \p Program and runs \p Solver on it, validating the witness.
+RunOutcome runOnProgram(chc::ChcSolverInterface &Solver,
+                        const BenchmarkProgram &Program);
+
+} // namespace la::corpus
+
+#endif // LA_CORPUS_HARNESS_H

@@ -1,0 +1,483 @@
+//===- frontend/Encoder.cpp - Mini-C to CHC encoding ----------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Encoder.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace la;
+using namespace la::frontend;
+using namespace la::chc;
+
+namespace {
+
+class Encoder {
+public:
+  Encoder(const Program &Prog, ChcSystem &Out)
+      : Prog(Prog), Out(Out), TM(Out.termManager()) {}
+
+  EncodeResult run() {
+    EncodeResult Result;
+    if (!Prog.find("main")) {
+      Result.Error = "program has no 'main' function";
+      return Result;
+    }
+    // Declare context and summary predicates up front so call sites can
+    // reference them regardless of definition order.
+    for (const Function &F : Prog.Functions) {
+      if (Declared.count(F.Name)) {
+        Result.Error = "line " + std::to_string(F.Line) +
+                       ": duplicate function '" + F.Name + "'";
+        return Result;
+      }
+      Declared.insert(F.Name);
+      if (F.Name == "main")
+        continue;
+      CtxPreds[F.Name] = Out.addPredicate("ctx!" + F.Name, F.Params.size());
+      SumPreds[F.Name] = Out.addPredicate("sum!" + F.Name, F.Params.size() + 1);
+    }
+    for (const Function &F : Prog.Functions) {
+      if (!encodeFunction(F)) {
+        Result.Error = ErrorMessage;
+        return Result;
+      }
+    }
+    Result.Ok = true;
+    return Result;
+  }
+
+private:
+  /// The symbolic state along one encoding path.
+  struct EncCtx {
+    std::vector<PredApp> Body;
+    std::vector<const Term *> Constraints;
+    std::map<std::string, const Term *> Vars;
+    bool Dead = false;
+  };
+
+  bool fail(size_t Line, const std::string &Message) {
+    if (ErrorMessage.empty())
+      ErrorMessage = "line " + std::to_string(Line) + ": " + Message;
+    return false;
+  }
+
+  const Term *freshVar(const std::string &Base) {
+    return TM.mkFreshVar(CurrentFn->Name + "!" + Base);
+  }
+
+  void emitClause(const EncCtx &Ctx, std::optional<PredApp> HeadPred,
+                  const Term *HeadFormula, size_t Line) {
+    HornClause C;
+    C.Body = Ctx.Body;
+    C.Constraint = TM.mkAnd(Ctx.Constraints);
+    C.HeadPred = std::move(HeadPred);
+    C.HeadFormula = HeadFormula;
+    C.Name = CurrentFn->Name + ":" + std::to_string(Line);
+    Out.addClause(std::move(C));
+  }
+
+  /// Cutpoint argument vector: entry parameter values then current values of
+  /// the given in-scope variables (declaration order).
+  std::vector<const Term *>
+  cutpointArgs(const EncCtx &Ctx,
+               const std::vector<std::string> &ScopeVars) const {
+    std::vector<const Term *> Args = EntryVals;
+    for (const std::string &Name : ScopeVars)
+      Args.push_back(Ctx.Vars.at(Name));
+    return Args;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions and conditions
+  //===--------------------------------------------------------------------===//
+
+  const Term *encodeExpr(EncCtx &Ctx, const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return TM.mkIntConst(E.Value);
+    case Expr::Kind::VarRef: {
+      auto It = Ctx.Vars.find(E.Name);
+      if (It == Ctx.Vars.end()) {
+        fail(E.Line, "use of undeclared variable '" + E.Name + "'");
+        return nullptr;
+      }
+      return It->second;
+    }
+    case Expr::Kind::Nondet:
+      return freshVar("nd");
+    case Expr::Kind::Neg: {
+      const Term *A = encodeExpr(Ctx, *E.Args[0]);
+      return A ? TM.mkNeg(A) : nullptr;
+    }
+    case Expr::Kind::Add:
+    case Expr::Kind::Sub: {
+      const Term *L = encodeExpr(Ctx, *E.Args[0]);
+      const Term *R = L ? encodeExpr(Ctx, *E.Args[1]) : nullptr;
+      if (!R)
+        return nullptr;
+      return E.K == Expr::Kind::Add ? TM.mkAdd(L, R) : TM.mkSub(L, R);
+    }
+    case Expr::Kind::Mul: {
+      const Term *L = encodeExpr(Ctx, *E.Args[0]);
+      const Term *R = L ? encodeExpr(Ctx, *E.Args[1]) : nullptr;
+      if (!R)
+        return nullptr;
+      if (L->isIntConst())
+        return TM.mkMul(L->value(), R);
+      if (R->isIntConst())
+        return TM.mkMul(R->value(), L);
+      fail(E.Line, "non-linear multiplication is not supported");
+      return nullptr;
+    }
+    case Expr::Kind::Mod: {
+      const Term *L = encodeExpr(Ctx, *E.Args[0]);
+      const Term *R = L ? encodeExpr(Ctx, *E.Args[1]) : nullptr;
+      if (!R)
+        return nullptr;
+      if (!R->isIntConst() || R->value().signum() <= 0) {
+        fail(E.Line, "'%' requires a positive constant divisor");
+        return nullptr;
+      }
+      return TM.mkMod(L, R->value().numerator());
+    }
+    case Expr::Kind::Call:
+      return encodeCall(Ctx, E);
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  const Term *encodeCall(EncCtx &Ctx, const Expr &E) {
+    const Function *Callee = Prog.find(E.Name);
+    if (!Callee)
+      return fail(E.Line, "call to undefined function '" + E.Name + "'"),
+             nullptr;
+    if (Callee->Name == "main")
+      return fail(E.Line, "calling 'main' is not supported"), nullptr;
+    if (Callee->Params.size() != E.Args.size())
+      return fail(E.Line, "wrong number of arguments to '" + E.Name + "'"),
+             nullptr;
+    std::vector<const Term *> Args;
+    for (const ExprPtr &Arg : E.Args) {
+      const Term *T = encodeExpr(Ctx, *Arg);
+      if (!T)
+        return nullptr;
+      Args.push_back(T);
+    }
+    // The call context reaches the callee's entry.
+    emitClause(Ctx, PredApp{CtxPreds.at(E.Name), Args}, nullptr, E.Line);
+    // The return value is constrained by the summary.
+    const Term *Ret = freshVar("ret!" + E.Name);
+    std::vector<const Term *> SumArgs = Args;
+    SumArgs.push_back(Ret);
+    Ctx.Body.push_back(PredApp{SumPreds.at(E.Name), std::move(SumArgs)});
+    return Ret;
+  }
+
+  const Term *encodeCond(EncCtx &Ctx, const Cond &C) {
+    switch (C.K) {
+    case Cond::Kind::BoolLit:
+      return TM.mkBool(C.BoolValue);
+    case Cond::Kind::Nondet:
+      // A fresh oracle value: both the condition and its negation are
+      // satisfiable, modelling `while(*)` / `if(*)`.
+      return TM.mkGe(freshVar("nd"), TM.mkIntConst(1));
+    case Cond::Kind::Not: {
+      const Term *A = encodeCond(Ctx, *C.Children[0]);
+      return A ? TM.mkNot(A) : nullptr;
+    }
+    case Cond::Kind::And:
+    case Cond::Kind::Or: {
+      const Term *L = encodeCond(Ctx, *C.Children[0]);
+      const Term *R = L ? encodeCond(Ctx, *C.Children[1]) : nullptr;
+      if (!R)
+        return nullptr;
+      return C.K == Cond::Kind::And ? TM.mkAnd(L, R) : TM.mkOr(L, R);
+    }
+    case Cond::Kind::Cmp: {
+      const Term *L = encodeExpr(Ctx, *C.Lhs);
+      const Term *R = L ? encodeExpr(Ctx, *C.Rhs) : nullptr;
+      if (!R)
+        return nullptr;
+      if (C.CmpOp == "==")
+        return TM.mkEq(L, R);
+      if (C.CmpOp == "!=")
+        return TM.mkNe(L, R);
+      if (C.CmpOp == "<")
+        return TM.mkLt(L, R);
+      if (C.CmpOp == "<=")
+        return TM.mkLe(L, R);
+      if (C.CmpOp == ">")
+        return TM.mkGt(L, R);
+      assert(C.CmpOp == ">=" && "unknown comparison operator");
+      return TM.mkGe(L, R);
+    }
+    }
+    assert(false && "unhandled condition kind");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  bool encodeStmt(EncCtx &Ctx, const Stmt &S) {
+    if (Ctx.Dead)
+      return true;
+    switch (S.K) {
+    case Stmt::Kind::Skip:
+      return true;
+    case Stmt::Kind::Block:
+      for (const StmtPtr &Child : S.Body)
+        if (!encodeStmt(Ctx, *Child))
+          return false;
+      return true;
+    case Stmt::Kind::Decl: {
+      if (Ctx.Vars.count(S.Name))
+        return fail(S.Line, "redeclaration of '" + S.Name + "'");
+      const Term *Init =
+          S.Value ? encodeExpr(Ctx, *S.Value) : freshVar(S.Name);
+      if (!Init)
+        return false;
+      Ctx.Vars[S.Name] = Init;
+      Scope.push_back(S.Name);
+      return true;
+    }
+    case Stmt::Kind::Assign: {
+      if (!Ctx.Vars.count(S.Name))
+        return fail(S.Line, "assignment to undeclared variable '" + S.Name +
+                                "'");
+      const Term *Value = encodeExpr(Ctx, *S.Value);
+      if (!Value)
+        return false;
+      Ctx.Vars[S.Name] = Value;
+      return true;
+    }
+    case Stmt::Kind::Assume: {
+      const Term *C = encodeCond(Ctx, *S.Condition);
+      if (!C)
+        return false;
+      Ctx.Constraints.push_back(C);
+      return true;
+    }
+    case Stmt::Kind::Assert: {
+      const Term *C = encodeCond(Ctx, *S.Condition);
+      if (!C)
+        return false;
+      emitClause(Ctx, std::nullopt, C, S.Line);
+      // Execution continues only when the assertion held.
+      Ctx.Constraints.push_back(C);
+      return true;
+    }
+    case Stmt::Kind::Return: {
+      const Term *Value =
+          S.Value ? encodeExpr(Ctx, *S.Value) : TM.mkIntConst(0);
+      if (!Value)
+        return false;
+      if (CurrentFn->Name != "main") {
+        std::vector<const Term *> Args = EntryVals;
+        Args.push_back(Value);
+        emitClause(Ctx, PredApp{SumPreds.at(CurrentFn->Name), std::move(Args)},
+                   nullptr, S.Line);
+      }
+      Ctx.Dead = true;
+      return true;
+    }
+    case Stmt::Kind::If:
+      return encodeIf(Ctx, S);
+    case Stmt::Kind::While:
+      return encodeWhile(Ctx, S);
+    }
+    assert(false && "unhandled statement kind");
+    return false;
+  }
+
+  bool encodeIf(EncCtx &Ctx, const Stmt &S) {
+    const Term *C = encodeCond(Ctx, *S.Condition);
+    if (!C)
+      return false;
+    size_t ClausesBefore = Out.clauses().size();
+
+    // Variables declared inside a branch are scoped to that branch.
+    std::vector<std::string> ScopeSnapshot = Scope;
+    EncCtx Then = Ctx;
+    Then.Constraints.push_back(C);
+    if (!encodeStmt(Then, *S.Body[0]))
+      return false;
+    Scope = ScopeSnapshot;
+    EncCtx Else = Ctx;
+    Else.Constraints.push_back(TM.mkNot(C));
+    if (S.Body.size() > 1 && !encodeStmt(Else, *S.Body[1]))
+      return false;
+    Scope = ScopeSnapshot;
+
+    if (Then.Dead && Else.Dead) {
+      Ctx.Dead = true;
+      return true;
+    }
+    if (Then.Dead) {
+      Ctx = std::move(Else);
+      return true;
+    }
+    if (Else.Dead) {
+      Ctx = std::move(Then);
+      return true;
+    }
+
+    // Both branches fall through. If neither added predicate applications or
+    // emitted clauses (pure straight-line code), join with a disjunctive
+    // constraint; otherwise introduce a join predicate.
+    bool Simple = Then.Body.size() == Ctx.Body.size() &&
+                  Else.Body.size() == Ctx.Body.size() &&
+                  Out.clauses().size() == ClausesBefore;
+    if (Simple) {
+      std::vector<const Term *> ThenEq, ElseEq;
+      for (size_t I = Ctx.Constraints.size(); I < Then.Constraints.size(); ++I)
+        ThenEq.push_back(Then.Constraints[I]);
+      for (size_t I = Ctx.Constraints.size(); I < Else.Constraints.size(); ++I)
+        ElseEq.push_back(Else.Constraints[I]);
+      for (const std::string &Name : Scope) {
+        const Term *TV = Then.Vars.at(Name);
+        const Term *EV = Else.Vars.at(Name);
+        if (TV == EV) {
+          Ctx.Vars[Name] = TV;
+          continue;
+        }
+        const Term *J = freshVar(Name + "!phi");
+        ThenEq.push_back(TM.mkEq(J, TV));
+        ElseEq.push_back(TM.mkEq(J, EV));
+        Ctx.Vars[Name] = J;
+      }
+      Ctx.Constraints.push_back(
+          TM.mkOr(TM.mkAnd(std::move(ThenEq)), TM.mkAnd(std::move(ElseEq))));
+      return true;
+    }
+
+    const Predicate *J = Out.addPredicate(
+        CurrentFn->Name + "!join!" + std::to_string(JoinCounter++),
+        EntryVals.size() + Scope.size());
+    emitClause(Then, PredApp{J, cutpointArgs(Then, Scope)}, nullptr, S.Line);
+    emitClause(Else, PredApp{J, cutpointArgs(Else, Scope)}, nullptr, S.Line);
+    resetAtCutpoint(Ctx, J, "join", Scope);
+    return true;
+  }
+
+  bool encodeWhile(EncCtx &Ctx, const Stmt &S) {
+    // Variables declared inside the body are scoped to one iteration; the
+    // cutpoint carries only the variables alive at the loop head.
+    std::vector<std::string> ScopeSnapshot = Scope;
+    const Predicate *L = Out.addPredicate(
+        CurrentFn->Name + "!loop!" + std::to_string(LoopCounter++),
+        EntryVals.size() + ScopeSnapshot.size());
+    // Entry: current path establishes the invariant.
+    emitClause(Ctx, PredApp{L, cutpointArgs(Ctx, ScopeSnapshot)}, nullptr,
+               S.Line);
+
+    // Body: from an arbitrary invariant state satisfying the condition.
+    EncCtx BodyCtx;
+    resetAtCutpoint(BodyCtx, L, "it", ScopeSnapshot);
+    const Term *C = encodeCond(BodyCtx, *S.Condition);
+    if (!C)
+      return false;
+    BodyCtx.Constraints.push_back(C);
+    if (!encodeStmt(BodyCtx, *S.Body[0]))
+      return false;
+    if (!BodyCtx.Dead)
+      emitClause(BodyCtx, PredApp{L, cutpointArgs(BodyCtx, ScopeSnapshot)},
+                 nullptr, S.Line);
+
+    // Exit: an arbitrary invariant state violating the condition.
+    EncCtx ExitCtx;
+    resetAtCutpoint(ExitCtx, L, "ex", ScopeSnapshot);
+    const Term *CExit = encodeCond(ExitCtx, *S.Condition);
+    if (!CExit)
+      return false;
+    ExitCtx.Constraints.push_back(TM.mkNot(CExit));
+    Ctx = std::move(ExitCtx);
+    return true;
+  }
+
+  /// Starts a fresh path at a cutpoint predicate: fresh variables for every
+  /// in-scope variable, the predicate application as the only body atom.
+  /// Also restores the scope to the cutpoint's variable set.
+  void resetAtCutpoint(EncCtx &Ctx, const Predicate *P, const std::string &Tag,
+                       const std::vector<std::string> &ScopeVars) {
+    Ctx.Body.clear();
+    Ctx.Constraints.clear();
+    Ctx.Vars.clear();
+    Ctx.Dead = false;
+    std::vector<const Term *> Args = EntryVals;
+    for (const std::string &Name : ScopeVars) {
+      const Term *V = freshVar(Name + "!" + Tag);
+      Ctx.Vars[Name] = V;
+      Args.push_back(V);
+    }
+    Ctx.Body.push_back(PredApp{P, std::move(Args)});
+    Scope = ScopeVars;
+  }
+
+  bool encodeFunction(const Function &F) {
+    CurrentFn = &F;
+    Scope.clear();
+    EntryVals.clear();
+    LoopCounter = 0;
+    JoinCounter = 0;
+
+    EncCtx Ctx;
+    for (const std::string &Param : F.Params) {
+      if (Ctx.Vars.count(Param))
+        return fail(F.Line, "duplicate parameter '" + Param + "'");
+      const Term *P0 = freshVar("arg!" + Param);
+      EntryVals.push_back(P0);
+      Ctx.Vars[Param] = P0;
+      Scope.push_back(Param);
+    }
+    if (F.Name != "main")
+      Ctx.Body.push_back(PredApp{CtxPreds.at(F.Name), EntryVals});
+
+    if (!encodeStmt(Ctx, *F.Body))
+      return false;
+    // Implicit `return 0` at the end of a non-main function.
+    if (!Ctx.Dead && F.Name != "main") {
+      std::vector<const Term *> Args = EntryVals;
+      Args.push_back(TM.mkIntConst(0));
+      emitClause(Ctx, PredApp{SumPreds.at(F.Name), std::move(Args)}, nullptr,
+                 F.Line);
+    }
+    return true;
+  }
+
+  const Program &Prog;
+  ChcSystem &Out;
+  TermManager &TM;
+  std::string ErrorMessage;
+  std::set<std::string> Declared;
+  std::map<std::string, const Predicate *> CtxPreds; ///< call-context preds
+  std::map<std::string, const Predicate *> SumPreds; ///< summary predicates
+  const Function *CurrentFn = nullptr;
+  std::vector<std::string> Scope;        ///< in-scope variables, in order
+  std::vector<const Term *> EntryVals;   ///< entry values of the parameters
+  size_t LoopCounter = 0;
+  size_t JoinCounter = 0;
+};
+
+} // namespace
+
+EncodeResult frontend::encodeProgram(const Program &Prog, ChcSystem &Out) {
+  return Encoder(Prog, Out).run();
+}
+
+EncodeResult frontend::encodeMiniC(const std::string &Source, ChcSystem &Out) {
+  ParseResult P = parseMiniC(Source);
+  if (!P.Ok) {
+    EncodeResult R;
+    R.Error = P.Error;
+    return R;
+  }
+  return encodeProgram(P.Prog, Out);
+}

@@ -1,0 +1,50 @@
+//===- frontend/Encoder.h - Mini-C to CHC encoding --------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SeaHorn-style verification-condition generator: encodes a mini-C
+/// program into a CHC system whose satisfiability implies program safety.
+///
+/// Encoding scheme (cutpoints + summaries):
+///   * every loop head becomes an unknown predicate over the function's
+///     entry parameter values plus the current values of all in-scope
+///     variables (so invariants can relate locals to the original inputs);
+///   * every function f gets a call-context predicate `ctx!f(params)`
+///     over-approximating the actual arguments at all call sites, and a
+///     summary predicate `sum!f(params, ret)` relating inputs to the return
+///     value (recursion yields non-linear recursive CHCs, as in Fig. 5);
+///   * `assert(c)` emits a query clause `path -> c`; `assume(c)` constrains
+///     the path; nondeterministic values become fresh variables;
+///   * if/else joins use disjunctive path constraints when both branches are
+///     loop- and clause-free, and a fresh join predicate otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_FRONTEND_ENCODER_H
+#define LA_FRONTEND_ENCODER_H
+
+#include "chc/Chc.h"
+#include "frontend/MiniC.h"
+
+namespace la::frontend {
+
+/// Result of encoding; on failure Error holds a "line N: ..." diagnostic.
+struct EncodeResult {
+  bool Ok = false;
+  std::string Error;
+};
+
+/// Encodes \p Prog into \p Out (which must be an empty system). The program
+/// must contain a `main` function; safety of every `assert` (in any function
+/// reachable from main) is encoded as query clauses.
+EncodeResult encodeProgram(const Program &Prog, chc::ChcSystem &Out);
+
+/// Convenience: parse + encode in one step.
+EncodeResult encodeMiniC(const std::string &Source, chc::ChcSystem &Out);
+
+} // namespace la::frontend
+
+#endif // LA_FRONTEND_ENCODER_H

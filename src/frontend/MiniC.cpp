@@ -1,0 +1,583 @@
+//===- frontend/MiniC.cpp - Mini-C lexer and parser ------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/MiniC.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace la;
+using namespace la::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+struct Token {
+  enum class Kind { Ident, Number, Punct, Eof };
+  Kind K = Kind::Eof;
+  std::string Text;
+  int64_t Value = 0;
+  size_t Line = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Source(Source) { advance(); }
+
+  const Token &current() const { return Current; }
+
+  void advance() {
+    skipTrivia();
+    Current.Line = Line;
+    if (Pos >= Source.size()) {
+      Current.K = Token::Kind::Eof;
+      Current.Text.clear();
+      return;
+    }
+    char C = Source[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_'))
+        ++Pos;
+      Current.K = Token::Kind::Ident;
+      Current.Text = Source.substr(Start, Pos - Start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[Pos])))
+        ++Pos;
+      Current.K = Token::Kind::Number;
+      Current.Text = Source.substr(Start, Pos - Start);
+      Current.Value = std::strtoll(Current.Text.c_str(), nullptr, 10);
+      return;
+    }
+    // Multi-character punctuation first.
+    static const char *Two[] = {"==", "!=", "<=", ">=", "&&", "||", "++", "--"};
+    for (const char *Op : Two) {
+      if (Source.compare(Pos, 2, Op) == 0) {
+        Current.K = Token::Kind::Punct;
+        Current.Text = Op;
+        Pos += 2;
+        return;
+      }
+    }
+    Current.K = Token::Kind::Punct;
+    Current.Text = std::string(1, C);
+    ++Pos;
+  }
+
+private:
+  void skipTrivia() {
+    for (;;) {
+      while (Pos < Source.size() &&
+             std::isspace(static_cast<unsigned char>(Source[Pos]))) {
+        if (Source[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Source.compare(Pos, 2, "//") == 0) {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (Source.compare(Pos, 2, "/*") == 0) {
+        Pos += 2;
+        while (Pos + 1 < Source.size() &&
+               !(Source[Pos] == '*' && Source[Pos + 1] == '/')) {
+          if (Source[Pos] == '\n')
+            ++Line;
+          ++Pos;
+        }
+        Pos = Pos + 2 <= Source.size() ? Pos + 2 : Source.size();
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string &Source;
+  size_t Pos = 0;
+  size_t Line = 1;
+  Token Current;
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Lex(Source) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    while (!Failed && Lex.current().K != Token::Kind::Eof)
+      parseFunction(Result.Prog);
+    Result.Ok = !Failed;
+    Result.Error = ErrorMessage;
+    return Result;
+  }
+
+private:
+  bool fail(const std::string &Message) {
+    if (!Failed) {
+      Failed = true;
+      ErrorMessage =
+          "line " + std::to_string(Lex.current().Line) + ": " + Message;
+    }
+    return false;
+  }
+
+  bool isPunct(const char *Text) const {
+    return Lex.current().K == Token::Kind::Punct && Lex.current().Text == Text;
+  }
+  bool isIdent(const char *Text) const {
+    return Lex.current().K == Token::Kind::Ident && Lex.current().Text == Text;
+  }
+
+  bool expectPunct(const char *Text) {
+    if (!isPunct(Text))
+      return fail(std::string("expected '") + Text + "', found '" +
+                  Lex.current().Text + "'");
+    Lex.advance();
+    return true;
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (Lex.current().K != Token::Kind::Ident)
+      return fail("expected an identifier, found '" + Lex.current().Text +
+                  "'");
+    Out = Lex.current().Text;
+    Lex.advance();
+    return true;
+  }
+
+  void parseFunction(Program &Prog) {
+    Function F;
+    F.Line = Lex.current().Line;
+    // Return type: accept "int" or "void".
+    if (!isIdent("int") && !isIdent("void")) {
+      fail("expected a function definition starting with 'int' or 'void'");
+      return;
+    }
+    Lex.advance();
+    if (!expectIdent(F.Name))
+      return;
+    if (!expectPunct("("))
+      return;
+    if (!isPunct(")")) {
+      for (;;) {
+        if (isIdent("int") || isIdent("void"))
+          Lex.advance();
+        std::string Param;
+        if (!expectIdent(Param))
+          return;
+        F.Params.push_back(Param);
+        if (isPunct(",")) {
+          Lex.advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expectPunct(")"))
+      return;
+    F.Body = parseBlock();
+    if (Failed)
+      return;
+    Prog.Functions.push_back(std::move(F));
+  }
+
+  StmtPtr parseBlock() {
+    auto Block = std::make_unique<Stmt>();
+    Block->K = Stmt::Kind::Block;
+    Block->Line = Lex.current().Line;
+    if (!expectPunct("{"))
+      return Block;
+    while (!Failed && !isPunct("}")) {
+      if (Lex.current().K == Token::Kind::Eof) {
+        fail("unterminated block");
+        return Block;
+      }
+      StmtPtr S = parseStmt();
+      if (Failed)
+        return Block;
+      Block->Body.push_back(std::move(S));
+    }
+    expectPunct("}");
+    return Block;
+  }
+
+  StmtPtr parseStmt() {
+    auto S = std::make_unique<Stmt>();
+    S->Line = Lex.current().Line;
+
+    if (isPunct(";")) {
+      S->K = Stmt::Kind::Skip;
+      Lex.advance();
+      return S;
+    }
+    if (isPunct("{"))
+      return parseBlock();
+
+    if (isIdent("int")) {
+      // Declarations, possibly multiple: int x = 1, y, z = *;
+      Lex.advance();
+      auto Block = std::make_unique<Stmt>();
+      Block->K = Stmt::Kind::Block;
+      Block->Line = S->Line;
+      for (;;) {
+        auto Decl = std::make_unique<Stmt>();
+        Decl->K = Stmt::Kind::Decl;
+        Decl->Line = Lex.current().Line;
+        if (!expectIdent(Decl->Name))
+          return Block;
+        if (isPunct("=")) {
+          Lex.advance();
+          Decl->Value = parseExpr();
+          if (Failed)
+            return Block;
+        }
+        Block->Body.push_back(std::move(Decl));
+        if (isPunct(",")) {
+          Lex.advance();
+          continue;
+        }
+        break;
+      }
+      expectPunct(";");
+      if (Block->Body.size() == 1)
+        return std::move(Block->Body[0]);
+      return Block;
+    }
+
+    if (isIdent("if")) {
+      Lex.advance();
+      S->K = Stmt::Kind::If;
+      if (!expectPunct("("))
+        return S;
+      S->Condition = parseCond();
+      if (Failed || !expectPunct(")"))
+        return S;
+      S->Body.push_back(parseStmt());
+      if (Failed)
+        return S;
+      if (isIdent("else")) {
+        Lex.advance();
+        S->Body.push_back(parseStmt());
+      }
+      return S;
+    }
+
+    if (isIdent("while")) {
+      Lex.advance();
+      S->K = Stmt::Kind::While;
+      if (!expectPunct("("))
+        return S;
+      S->Condition = parseCond();
+      if (Failed || !expectPunct(")"))
+        return S;
+      S->Body.push_back(parseStmt());
+      return S;
+    }
+
+    if (isIdent("assert") || isIdent("assume")) {
+      S->K = isIdent("assert") ? Stmt::Kind::Assert : Stmt::Kind::Assume;
+      Lex.advance();
+      if (!expectPunct("("))
+        return S;
+      S->Condition = parseCond();
+      if (Failed || !expectPunct(")"))
+        return S;
+      expectPunct(";");
+      return S;
+    }
+
+    if (isIdent("return")) {
+      Lex.advance();
+      S->K = Stmt::Kind::Return;
+      if (!isPunct(";")) {
+        S->Value = parseExpr();
+        if (Failed)
+          return S;
+      }
+      expectPunct(";");
+      return S;
+    }
+
+    // Assignment: id = expr; also id++/id--.
+    if (Lex.current().K == Token::Kind::Ident) {
+      S->K = Stmt::Kind::Assign;
+      expectIdent(S->Name);
+      if (isPunct("++") || isPunct("--")) {
+        // x++  ==>  x = x + 1.
+        bool Inc = Lex.current().Text == "++";
+        Lex.advance();
+        auto Var = std::make_unique<Expr>();
+        Var->K = Expr::Kind::VarRef;
+        Var->Name = S->Name;
+        auto One = std::make_unique<Expr>();
+        One->K = Expr::Kind::IntLit;
+        One->Value = 1;
+        auto Op = std::make_unique<Expr>();
+        Op->K = Inc ? Expr::Kind::Add : Expr::Kind::Sub;
+        Op->Args.push_back(std::move(Var));
+        Op->Args.push_back(std::move(One));
+        S->Value = std::move(Op);
+        expectPunct(";");
+        return S;
+      }
+      if (!expectPunct("="))
+        return S;
+      S->Value = parseExpr();
+      if (Failed)
+        return S;
+      expectPunct(";");
+      return S;
+    }
+
+    fail("expected a statement, found '" + Lex.current().Text + "'");
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Conditions (precedence: || < && < ! < comparison)
+  //===--------------------------------------------------------------------===//
+
+  CondPtr parseCond() { return parseOr(); }
+
+  CondPtr parseOr() {
+    CondPtr Lhs = parseAnd();
+    while (!Failed && isPunct("||")) {
+      Lex.advance();
+      auto Node = std::make_unique<Cond>();
+      Node->K = Cond::Kind::Or;
+      Node->Line = Lhs->Line;
+      Node->Children.push_back(std::move(Lhs));
+      Node->Children.push_back(parseAnd());
+      Lhs = std::move(Node);
+    }
+    return Lhs;
+  }
+
+  CondPtr parseAnd() {
+    CondPtr Lhs = parseNot();
+    while (!Failed && isPunct("&&")) {
+      Lex.advance();
+      auto Node = std::make_unique<Cond>();
+      Node->K = Cond::Kind::And;
+      Node->Line = Lhs->Line;
+      Node->Children.push_back(std::move(Lhs));
+      Node->Children.push_back(parseNot());
+      Lhs = std::move(Node);
+    }
+    return Lhs;
+  }
+
+  CondPtr parseNot() {
+    if (isPunct("!")) {
+      size_t Line = Lex.current().Line;
+      Lex.advance();
+      auto Node = std::make_unique<Cond>();
+      Node->K = Cond::Kind::Not;
+      Node->Line = Line;
+      Node->Children.push_back(parseNot());
+      return Node;
+    }
+    return parseAtomCond();
+  }
+
+  CondPtr parseAtomCond() {
+    auto Node = std::make_unique<Cond>();
+    Node->Line = Lex.current().Line;
+    if (isPunct("*")) {
+      Lex.advance();
+      Node->K = Cond::Kind::Nondet;
+      return Node;
+    }
+    if (isIdent("true") || isIdent("false")) {
+      Node->K = Cond::Kind::BoolLit;
+      Node->BoolValue = isIdent("true");
+      Lex.advance();
+      return Node;
+    }
+    // Parenthesised condition needs lookahead: "(" could also start an
+    // arithmetic expression of a comparison. Parse an expression first; if a
+    // comparison operator follows, it was the left operand, otherwise we
+    // expect the parenthesised form to be a full condition.
+    if (isPunct("(")) {
+      // Try a full parenthesised condition by scanning for a boolean
+      // operator before the matching close paren at depth 1.
+      if (parenContainsBoolOp()) {
+        Lex.advance();
+        Node = parseCond();
+        expectPunct(")");
+        return Node;
+      }
+    }
+    Node->K = Cond::Kind::Cmp;
+    Node->Lhs = parseExpr();
+    if (Failed)
+      return Node;
+    static const char *Ops[] = {"==", "!=", "<=", ">=", "<", ">"};
+    for (const char *Op : Ops) {
+      if (isPunct(Op)) {
+        Node->CmpOp = Op;
+        Lex.advance();
+        Node->Rhs = parseExpr();
+        return Node;
+      }
+    }
+    fail("expected a comparison operator, found '" + Lex.current().Text + "'");
+    return Node;
+  }
+
+  /// Lookahead: true when the parenthesised group starting at the current
+  /// "(" contains a boolean or comparison operator before its matching ")".
+  /// Comparisons cannot occur inside arithmetic in this language, so this
+  /// exactly distinguishes a parenthesised condition from a parenthesised
+  /// arithmetic operand.
+  bool parenContainsBoolOp() const {
+    Lexer Probe = Lex; // the lexer is a cheap value type; scan a copy
+    int Depth = 0;
+    for (;;) {
+      const Token &T = Probe.current();
+      if (T.K == Token::Kind::Eof)
+        return false;
+      if (T.K == Token::Kind::Punct) {
+        if (T.Text == "(") {
+          ++Depth;
+        } else if (T.Text == ")") {
+          if (--Depth == 0)
+            return false;
+        } else if (T.Text == "&&" || T.Text == "||" || T.Text == "!" ||
+                   T.Text == "==" || T.Text == "!=" || T.Text == "<" ||
+                   T.Text == "<=" || T.Text == ">" || T.Text == ">=") {
+          return true;
+        }
+      }
+      Probe.advance();
+    }
+  }
+
+  Lexer Lex;
+  bool Failed = false;
+  std::string ErrorMessage;
+  //===--------------------------------------------------------------------===//
+  // Expressions (precedence: + - < * % < unary)
+  //===--------------------------------------------------------------------===//
+
+  ExprPtr parseExpr() { return parseAddSub(); }
+
+  ExprPtr parseAddSub() {
+    ExprPtr Lhs = parseMulMod();
+    while (!Failed && (isPunct("+") || isPunct("-"))) {
+      bool IsAdd = Lex.current().Text == "+";
+      Lex.advance();
+      auto Node = std::make_unique<Expr>();
+      Node->K = IsAdd ? Expr::Kind::Add : Expr::Kind::Sub;
+      Node->Line = Lhs->Line;
+      Node->Args.push_back(std::move(Lhs));
+      Node->Args.push_back(parseMulMod());
+      Lhs = std::move(Node);
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseMulMod() {
+    ExprPtr Lhs = parseUnary();
+    while (!Failed && (isPunct("*") || isPunct("%"))) {
+      bool IsMul = Lex.current().Text == "*";
+      Lex.advance();
+      auto Node = std::make_unique<Expr>();
+      Node->K = IsMul ? Expr::Kind::Mul : Expr::Kind::Mod;
+      Node->Line = Lhs->Line;
+      Node->Args.push_back(std::move(Lhs));
+      Node->Args.push_back(parseUnary());
+      Lhs = std::move(Node);
+    }
+    return Lhs;
+  }
+
+  ExprPtr parseUnary() {
+    if (isPunct("-")) {
+      size_t Line = Lex.current().Line;
+      Lex.advance();
+      auto Node = std::make_unique<Expr>();
+      Node->K = Expr::Kind::Neg;
+      Node->Line = Line;
+      Node->Args.push_back(parseUnary());
+      return Node;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    auto Node = std::make_unique<Expr>();
+    Node->Line = Lex.current().Line;
+    if (Lex.current().K == Token::Kind::Number) {
+      Node->K = Expr::Kind::IntLit;
+      Node->Value = Lex.current().Value;
+      Lex.advance();
+      return Node;
+    }
+    if (isPunct("*")) {
+      // A bare '*' in expression position is a nondeterministic value, as in
+      // the paper's examples (y = *).
+      Lex.advance();
+      Node->K = Expr::Kind::Nondet;
+      return Node;
+    }
+    if (isPunct("(")) {
+      Lex.advance();
+      Node = parseExpr();
+      expectPunct(")");
+      return Node;
+    }
+    if (Lex.current().K == Token::Kind::Ident) {
+      std::string Name = Lex.current().Text;
+      Lex.advance();
+      if (isPunct("(")) {
+        Lex.advance();
+        Node->K = Name == "nondet" ? Expr::Kind::Nondet : Expr::Kind::Call;
+        Node->Name = Name;
+        if (!isPunct(")")) {
+          for (;;) {
+            Node->Args.push_back(parseExpr());
+            if (Failed)
+              return Node;
+            if (isPunct(",")) {
+              Lex.advance();
+              continue;
+            }
+            break;
+          }
+        }
+        expectPunct(")");
+        return Node;
+      }
+      Node->K = Expr::Kind::VarRef;
+      Node->Name = Name;
+      return Node;
+    }
+    fail("expected an expression, found '" + Lex.current().Text + "'");
+    Node->K = Expr::Kind::IntLit;
+    return Node;
+  }
+};
+
+} // namespace
+
+ParseResult frontend::parseMiniC(const std::string &Source) {
+  return Parser(Source).run();
+}

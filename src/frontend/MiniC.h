@@ -1,0 +1,119 @@
+//===- frontend/MiniC.h - Mini-C language AST and parser --------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small C-like language sufficient for the paper's benchmark programs
+/// (Figs. 1/3/4/5 and the SV-COMP-style corpus): integer variables, nested
+/// loops, if/else, recursive functions, `assert`, `assume`, nondeterministic
+/// values (`nondet()` or `*`), and linear arithmetic plus `% constant`.
+///
+/// Grammar sketch:
+///   program  := function*
+///   function := "int" id "(" ["int" id ("," "int" id)*] ")" block
+///   stmt     := "int" id ["=" expr] ";" | id "=" expr ";" | block | ";"
+///             | "if" "(" cond ")" stmt ["else" stmt]
+///             | "while" "(" cond ")" stmt
+///             | "assert" "(" cond ")" ";" | "assume" "(" cond ")" ";"
+///             | "return" [expr] ";"
+///   cond     := or-combination of comparisons, "!", "true", "false", "*"
+///   expr     := linear arithmetic over ints, vars, calls, nondet(), "% k"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_FRONTEND_MINIC_H
+#define LA_FRONTEND_MINIC_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace la::frontend {
+
+//===----------------------------------------------------------------------===//
+// AST
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+struct Cond;
+struct Stmt;
+
+using ExprPtr = std::unique_ptr<Expr>;
+using CondPtr = std::unique_ptr<Cond>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Integer-valued expression.
+struct Expr {
+  enum class Kind { IntLit, VarRef, Neg, Add, Sub, Mul, Mod, Call, Nondet };
+  Kind K;
+  int64_t Value = 0;      ///< IntLit; also the constant of Mul/Mod.
+  std::string Name;       ///< VarRef / Call.
+  std::vector<ExprPtr> Args; ///< operands / call arguments.
+  size_t Line = 0;
+};
+
+/// Boolean condition.
+struct Cond {
+  enum class Kind { Cmp, And, Or, Not, BoolLit, Nondet };
+  Kind K;
+  /// Cmp operator: one of "==", "!=", "<", "<=", ">", ">=".
+  std::string CmpOp;
+  ExprPtr Lhs, Rhs;      ///< Cmp operands.
+  std::vector<CondPtr> Children; ///< And/Or/Not.
+  bool BoolValue = false;
+  size_t Line = 0;
+};
+
+/// Statement.
+struct Stmt {
+  enum class Kind { Decl, Assign, Block, If, While, Assert, Assume, Return,
+                    Skip };
+  Kind K;
+  std::string Name;        ///< Decl / Assign target.
+  ExprPtr Value;           ///< Decl initialiser (may be null) / Assign rhs /
+                           ///< Return value (may be null).
+  CondPtr Condition;       ///< If / While / Assert / Assume.
+  std::vector<StmtPtr> Body; ///< Block statements; If: Body[0]=then,
+                             ///< Body[1]=else (optional); While: Body[0].
+  size_t Line = 0;
+};
+
+/// One function definition.
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  StmtPtr Body; ///< always a Block
+  size_t Line = 0;
+};
+
+/// A whole program.
+struct Program {
+  std::vector<Function> Functions;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+/// Result of parsing; on failure Error holds a "line N: ..." diagnostic.
+struct ParseResult {
+  bool Ok = false;
+  std::string Error;
+  Program Prog;
+};
+
+/// Parses mini-C source text.
+ParseResult parseMiniC(const std::string &Source);
+
+} // namespace la::frontend
+
+#endif // LA_FRONTEND_MINIC_H

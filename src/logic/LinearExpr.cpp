@@ -1,0 +1,220 @@
+//===- logic/LinearExpr.cpp - Canonical linear expressions ----------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/LinearExpr.h"
+
+#include <cassert>
+
+using namespace la;
+
+void LinearExpr::addVar(const Term *Var, const Rational &Factor) {
+  assert(Var->isVar() && "coefficient on a non-variable");
+  if (Factor.isZero())
+    return;
+  auto [It, Inserted] = Coeffs.emplace(Var, Factor);
+  if (Inserted)
+    return;
+  It->second += Factor;
+  if (It->second.isZero())
+    Coeffs.erase(It);
+}
+
+/// Accumulates `Factor * T` into `Out`; returns false on non-linear input.
+static bool accumulate(const Term *T, const Rational &Factor, LinearExpr &Out) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    Out.addConstant(Factor * T->value());
+    return true;
+  case TermKind::Var:
+    Out.addVar(T, Factor);
+    return true;
+  case TermKind::Add:
+    for (const Term *Op : T->operands())
+      if (!accumulate(Op, Factor, Out))
+        return false;
+    return true;
+  case TermKind::Mul:
+    return accumulate(T->operand(0), Factor * T->value(), Out);
+  default:
+    return false;
+  }
+}
+
+std::optional<LinearExpr> LinearExpr::fromTerm(const Term *T) {
+  assert(T->sort() == Sort::Int && "linearising a non-Int term");
+  LinearExpr Result;
+  if (!accumulate(T, Rational(1), Result))
+    return std::nullopt;
+  return Result;
+}
+
+LinearExpr LinearExpr::operator+(const LinearExpr &RHS) const {
+  LinearExpr Result = *this;
+  Result.Constant += RHS.Constant;
+  for (const auto &[Var, Coeff] : RHS.Coeffs)
+    Result.addVar(Var, Coeff);
+  return Result;
+}
+
+LinearExpr LinearExpr::operator-(const LinearExpr &RHS) const {
+  return *this + RHS.scaled(Rational(-1));
+}
+
+LinearExpr LinearExpr::scaled(const Rational &Factor) const {
+  LinearExpr Result;
+  if (Factor.isZero())
+    return Result;
+  Result.Constant = Constant * Factor;
+  for (const auto &[Var, Coeff] : Coeffs)
+    Result.Coeffs.emplace(Var, Coeff * Factor);
+  return Result;
+}
+
+Rational LinearExpr::eval(
+    const std::unordered_map<const Term *, Rational> &Assignment) const {
+  Rational Sum = Constant;
+  for (const auto &[Var, Coeff] : Coeffs) {
+    auto It = Assignment.find(Var);
+    assert(It != Assignment.end() && "unbound variable in evaluation");
+    Sum += Coeff * It->second;
+  }
+  return Sum;
+}
+
+Rational LinearExpr::normalizeIntegral() {
+  // Common denominator.
+  BigInt Lcm(1);
+  auto FoldDen = [&Lcm](const Rational &R) {
+    const BigInt &D = R.denominator();
+    Lcm = Lcm / BigInt::gcd(Lcm, D) * D;
+  };
+  FoldDen(Constant);
+  for (const auto &[Var, Coeff] : Coeffs)
+    FoldDen(Coeff);
+  // Common divisor of the resulting integers.
+  BigInt Gcd;
+  auto FoldNum = [&](const Rational &R) {
+    Rational Scaled = R * Rational(Lcm);
+    assert(Scaled.isInteger() && "lcm scaling must clear denominators");
+    Gcd = BigInt::gcd(Gcd, Scaled.numerator());
+  };
+  FoldNum(Constant);
+  for (const auto &[Var, Coeff] : Coeffs)
+    FoldNum(Coeff);
+  if (Gcd.isZero())
+    Gcd = BigInt(1);
+  // The sign is preserved: flipping it would change Le/Lt atom meaning.
+  Rational Factor = Rational(Lcm) / Rational(Gcd);
+  Constant *= Factor;
+  for (auto &[Var, Coeff] : Coeffs) {
+    (void)Var;
+    Coeff *= Factor;
+  }
+  return Factor;
+}
+
+const Term *LinearExpr::toTerm(TermManager &TM) const {
+  std::vector<const Term *> Parts;
+  for (const auto &[Var, Coeff] : Coeffs)
+    Parts.push_back(TM.mkMul(Coeff, Var));
+  if (!Constant.isZero() || Parts.empty()) {
+    assert(Constant.isInteger() && "building an Int term from a fraction");
+    Parts.push_back(TM.mkIntConst(Constant));
+  }
+  return TM.mkAdd(std::move(Parts));
+}
+
+std::string LinearExpr::toString() const {
+  std::string Out;
+  for (const auto &[Var, Coeff] : Coeffs) {
+    if (!Out.empty())
+      Out += Coeff.isNegative() ? " - " : " + ";
+    else if (Coeff.isNegative())
+      Out += "-";
+    Rational A = Coeff.abs();
+    if (A != Rational(1))
+      Out += A.toString() + "*";
+    Out += Var->name();
+  }
+  if (Out.empty())
+    return Constant.toString();
+  if (!Constant.isZero()) {
+    Out += Constant.isNegative() ? " - " : " + ";
+    Out += Constant.abs().toString();
+  }
+  return Out;
+}
+
+std::optional<LinearAtom> LinearAtom::fromTerm(const Term *T) {
+  LinRel Rel;
+  switch (T->kind()) {
+  case TermKind::Le:
+    Rel = LinRel::Le;
+    break;
+  case TermKind::Lt:
+    Rel = LinRel::Lt;
+    break;
+  case TermKind::Eq:
+    Rel = LinRel::Eq;
+    break;
+  default:
+    return std::nullopt;
+  }
+  std::optional<LinearExpr> L = LinearExpr::fromTerm(T->operand(0));
+  std::optional<LinearExpr> R = LinearExpr::fromTerm(T->operand(1));
+  if (!L || !R)
+    return std::nullopt;
+  LinearAtom Atom;
+  Atom.Expr = *L - *R;
+  Atom.Rel = Rel;
+  return Atom;
+}
+
+LinearAtom LinearAtom::negated() const {
+  assert(Rel != LinRel::Eq && "negate Eq atoms at the formula level");
+  LinearAtom Result;
+  Result.Expr = Expr.scaled(Rational(-1));
+  Result.Rel = Rel == LinRel::Le ? LinRel::Lt : LinRel::Le;
+  return Result;
+}
+
+bool LinearAtom::holds(
+    const std::unordered_map<const Term *, Rational> &Assignment) const {
+  Rational V = Expr.eval(Assignment);
+  switch (Rel) {
+  case LinRel::Le:
+    return V.signum() <= 0;
+  case LinRel::Lt:
+    return V.signum() < 0;
+  case LinRel::Eq:
+    return V.isZero();
+  }
+  return false;
+}
+
+const Term *LinearAtom::toTerm(TermManager &TM) const {
+  // Scale away fractions first so toTerm can build integer constants.
+  LinearExpr Canon = Expr;
+  Canon.normalizeIntegral();
+  const Term *Lhs = Canon.toTerm(TM);
+  const Term *Zero = TM.mkIntConst(0);
+  switch (Rel) {
+  case LinRel::Le:
+    return TM.mkLe(Lhs, Zero);
+  case LinRel::Lt:
+    return TM.mkLt(Lhs, Zero);
+  case LinRel::Eq:
+    return TM.mkEq(Lhs, Zero);
+  }
+  return nullptr;
+}
+
+std::string LinearAtom::toString() const {
+  const char *RelStr = Rel == LinRel::Le ? " <= 0"
+                       : Rel == LinRel::Lt ? " < 0"
+                                           : " = 0";
+  return Expr.toString() + RelStr;
+}

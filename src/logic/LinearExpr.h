@@ -1,0 +1,111 @@
+//===- logic/LinearExpr.h - Canonical linear expressions --------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical representation of linear expressions `sum c_i * x_i + b` over
+/// hash-consed variables with exact rational coefficients, plus linear atoms
+/// `E <= 0`, `E < 0`, `E = 0` in normalised form. This is the interchange
+/// format between formulas, the simplex solver and the learned classifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_LOGIC_LINEAREXPR_H
+#define LA_LOGIC_LINEAREXPR_H
+
+#include "logic/Term.h"
+
+#include <map>
+#include <optional>
+
+namespace la {
+
+/// Orders variables deterministically by creation id.
+struct TermIdLess {
+  bool operator()(const Term *A, const Term *B) const {
+    return A->id() < B->id();
+  }
+};
+
+/// A linear expression with exact rational coefficients.
+class LinearExpr {
+public:
+  LinearExpr() = default;
+  explicit LinearExpr(Rational Constant) : Constant(std::move(Constant)) {}
+
+  /// Converts a linear Int term (Vars/Add/Mul/IntConst) to canonical form.
+  /// \returns std::nullopt when the term contains Mod or other non-linear
+  /// structure (callers lower Mod first).
+  static std::optional<LinearExpr> fromTerm(const Term *T);
+
+  const std::map<const Term *, Rational, TermIdLess> &coefficients() const {
+    return Coeffs;
+  }
+  const Rational &constant() const { return Constant; }
+
+  bool isConstant() const { return Coeffs.empty(); }
+
+  Rational coefficient(const Term *Var) const {
+    auto It = Coeffs.find(Var);
+    return It == Coeffs.end() ? Rational() : It->second;
+  }
+
+  /// Adds `Factor * Var` and drops the entry if the coefficient cancels.
+  void addVar(const Term *Var, const Rational &Factor);
+  void addConstant(const Rational &Value) { Constant += Value; }
+
+  LinearExpr operator+(const LinearExpr &RHS) const;
+  LinearExpr operator-(const LinearExpr &RHS) const;
+  LinearExpr scaled(const Rational &Factor) const;
+
+  /// Evaluates under a variable assignment; all variables must be bound.
+  Rational
+  eval(const std::unordered_map<const Term *, Rational> &Assignment) const;
+
+  /// Scales the expression so all coefficients and the constant are integers
+  /// with gcd 1 and the leading (lowest-id) coefficient is positive; returns
+  /// the positive factor applied. Used to obtain canonical atom keys.
+  Rational normalizeIntegral();
+
+  /// Rebuilds a Term; requires a TermManager.
+  const Term *toTerm(TermManager &TM) const;
+
+  std::string toString() const;
+
+  bool operator==(const LinearExpr &RHS) const {
+    return Constant == RHS.Constant && Coeffs == RHS.Coeffs;
+  }
+
+private:
+  std::map<const Term *, Rational, TermIdLess> Coeffs;
+  Rational Constant;
+};
+
+/// Relation of a normalised linear atom against zero.
+enum class LinRel { Le, Lt, Eq };
+
+/// A linear atom `Expr REL 0`.
+struct LinearAtom {
+  LinearExpr Expr;
+  LinRel Rel = LinRel::Le;
+
+  /// Classifies a Bool term that is a comparison over linear Int terms.
+  /// The result is normalised as `lhs - rhs REL 0`.
+  static std::optional<LinearAtom> fromTerm(const Term *T);
+
+  /// The negated atom. Negating Eq is not expressible as a single atom, so
+  /// this asserts Rel != Eq (callers expand disequalities beforehand).
+  LinearAtom negated() const;
+
+  bool
+  holds(const std::unordered_map<const Term *, Rational> &Assignment) const;
+
+  const Term *toTerm(TermManager &TM) const;
+  std::string toString() const;
+};
+
+} // namespace la
+
+#endif // LA_LOGIC_LINEAREXPR_H

@@ -1,0 +1,128 @@
+//===- logic/SExpr.cpp - S-expression reader ------------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/SExpr.h"
+
+using namespace la;
+
+std::string SExpr::toString() const {
+  if (IsAtom)
+    return Atom;
+  std::string Out = "(";
+  for (size_t I = 0; I < Items.size(); ++I) {
+    if (I != 0)
+      Out += " ";
+    Out += Items[I].toString();
+  }
+  return Out + ")";
+}
+
+namespace {
+
+class Reader {
+public:
+  explicit Reader(const std::string &Text) : Text(Text) {}
+
+  SExprParseResult run() {
+    SExprParseResult Result;
+    skipTrivia();
+    while (Pos < Text.size()) {
+      SExpr Node;
+      if (!parseNode(Node, Result.Error)) {
+        Result.Ok = false;
+        return Result;
+      }
+      Result.TopLevel.push_back(std::move(Node));
+      skipTrivia();
+    }
+    return Result;
+  }
+
+private:
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (C == ' ' || C == '\t' || C == '\r') {
+        ++Pos;
+      } else if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool parseNode(SExpr &Out, std::string &Error) {
+    skipTrivia();
+    Out.Line = Line;
+    if (Pos >= Text.size()) {
+      Error = "line " + std::to_string(Line) + ": unexpected end of input";
+      return false;
+    }
+    char C = Text[Pos];
+    if (C == '(') {
+      ++Pos;
+      Out.IsAtom = false;
+      for (;;) {
+        skipTrivia();
+        if (Pos >= Text.size()) {
+          Error = "line " + std::to_string(Line) + ": unterminated list";
+          return false;
+        }
+        if (Text[Pos] == ')') {
+          ++Pos;
+          return true;
+        }
+        SExpr Child;
+        if (!parseNode(Child, Error))
+          return false;
+        Out.Items.push_back(std::move(Child));
+      }
+    }
+    if (C == ')') {
+      Error = "line " + std::to_string(Line) + ": unexpected ')'";
+      return false;
+    }
+    if (C == '|') {
+      // Quoted symbol.
+      size_t End = Text.find('|', Pos + 1);
+      if (End == std::string::npos) {
+        Error = "line " + std::to_string(Line) + ": unterminated |symbol|";
+        return false;
+      }
+      Out.IsAtom = true;
+      Out.Atom = Text.substr(Pos + 1, End - Pos - 1);
+      Pos = End + 1;
+      return true;
+    }
+    // Plain atom.
+    size_t Start = Pos;
+    while (Pos < Text.size()) {
+      char D = Text[Pos];
+      if (D == '(' || D == ')' || D == ' ' || D == '\t' || D == '\n' ||
+          D == '\r' || D == ';')
+        break;
+      ++Pos;
+    }
+    Out.IsAtom = true;
+    Out.Atom = Text.substr(Start, Pos - Start);
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  size_t Line = 1;
+};
+
+} // namespace
+
+SExprParseResult la::parseSExprs(const std::string &Text) {
+  return Reader(Text).run();
+}

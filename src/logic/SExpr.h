@@ -1,0 +1,51 @@
+//===- logic/SExpr.h - S-expression reader ----------------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small S-expression reader used by the SMT-LIB2 (HORN fragment) parser.
+/// Supports atoms, lists, line comments (`;`), and `|...|` quoted symbols.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_LOGIC_SEXPR_H
+#define LA_LOGIC_SEXPR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace la {
+
+/// A parsed S-expression node: either an atom or a list.
+struct SExpr {
+  bool IsAtom = false;
+  std::string Atom;               ///< Valid when IsAtom.
+  std::vector<SExpr> Items;       ///< Valid when !IsAtom.
+  size_t Line = 0;                ///< 1-based source line for diagnostics.
+
+  bool isAtom(const std::string &Text) const {
+    return IsAtom && Atom == Text;
+  }
+  /// True when this is a list whose first element is the atom \p Head.
+  bool isCall(const std::string &Head) const {
+    return !IsAtom && !Items.empty() && Items[0].isAtom(Head);
+  }
+  std::string toString() const;
+};
+
+/// Result of parsing a whole file: the top-level expressions or an error.
+struct SExprParseResult {
+  std::vector<SExpr> TopLevel;
+  bool Ok = true;
+  std::string Error;  ///< Message in "line N: ..." style when !Ok.
+};
+
+/// Parses the given text into a sequence of top-level S-expressions.
+SExprParseResult parseSExprs(const std::string &Text);
+
+} // namespace la
+
+#endif // LA_LOGIC_SEXPR_H

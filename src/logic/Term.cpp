@@ -1,0 +1,475 @@
+//===- logic/Term.cpp - Hash-consed term DAG ------------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Term.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace la;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static const char *kindSymbol(TermKind Kind) {
+  switch (Kind) {
+  case TermKind::Add:
+    return "+";
+  case TermKind::Mul:
+    return "*";
+  case TermKind::Mod:
+    return "mod";
+  case TermKind::Le:
+    return "<=";
+  case TermKind::Lt:
+    return "<";
+  case TermKind::Eq:
+    return "=";
+  case TermKind::Not:
+    return "not";
+  case TermKind::And:
+    return "and";
+  case TermKind::Or:
+    return "or";
+  default:
+    return "?";
+  }
+}
+
+std::string Term::toString() const {
+  switch (Kind) {
+  case TermKind::IntConst:
+    if (Value.isNegative())
+      return "(- " + (-Value).toString() + ")";
+    return Value.toString();
+  case TermKind::BoolConst:
+    return boolValue() ? "true" : "false";
+  case TermKind::Var:
+    return Name;
+  case TermKind::PredApp: {
+    if (Ops.empty())
+      return Name;
+    std::string Out = "(" + Name;
+    for (const Term *Op : Ops)
+      Out += " " + Op->toString();
+    return Out + ")";
+  }
+  case TermKind::Mul: {
+    std::string Factor = Value.isNegative()
+                             ? "(- " + (-Value).toString() + ")"
+                             : Value.toString();
+    return "(* " + Factor + " " + Ops[0]->toString() + ")";
+  }
+  case TermKind::Mod:
+    return "(mod " + Ops[0]->toString() + " " + Value.toString() + ")";
+  default: {
+    std::string Out = std::string("(") + kindSymbol(Kind);
+    for (const Term *Op : Ops)
+      Out += " " + Op->toString();
+    return Out + ")";
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hash consing
+//===----------------------------------------------------------------------===//
+
+size_t TermManager::KeyHash::operator()(const Term *T) const {
+  size_t Seed = static_cast<size_t>(T->kind()) * 1099511628211ULL;
+  Seed ^= T->value().hash() + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+  Seed ^= std::hash<std::string>()(T->name()) + (Seed << 6) + (Seed >> 2);
+  for (const Term *Op : T->operands())
+    Seed ^= std::hash<const void *>()(Op) + 0x9e3779b97f4a7c15ULL +
+            (Seed << 6) + (Seed >> 2);
+  return Seed;
+}
+
+bool TermManager::KeyEq::operator()(const Term *A, const Term *B) const {
+  return A->kind() == B->kind() && A->value() == B->value() &&
+         A->name() == B->name() && A->operands() == B->operands();
+}
+
+TermManager::TermManager() {
+  TrueTerm = intern(TermKind::BoolConst, Sort::Bool, Rational(1), "", {});
+  FalseTerm = intern(TermKind::BoolConst, Sort::Bool, Rational(0), "", {});
+}
+
+const Term *TermManager::intern(TermKind Kind, Sort S, Rational Value,
+                                std::string Name,
+                                std::vector<const Term *> Ops) {
+  Term Probe;
+  Probe.Kind = Kind;
+  Probe.TheSort = S;
+  Probe.Value = std::move(Value);
+  Probe.Name = std::move(Name);
+  Probe.Ops = std::move(Ops);
+  auto It = Unique.find(&Probe);
+  if (It != Unique.end())
+    return It->second;
+  Terms.push_back(std::move(Probe));
+  Term &Stored = Terms.back();
+  Stored.Id = static_cast<uint32_t>(Terms.size() - 1);
+  Unique.emplace(&Stored, &Stored);
+  return &Stored;
+}
+
+const Term *TermManager::mkIntConst(Rational Value) {
+  assert(Value.isInteger() && "IntConst must hold an integer");
+  return intern(TermKind::IntConst, Sort::Int, std::move(Value), "", {});
+}
+
+const Term *TermManager::mkVar(const std::string &Name, Sort S) {
+  auto It = VarsByName.find(Name);
+  if (It != VarsByName.end()) {
+    assert(It->second->sort() == S && "variable re-declared at another sort");
+    return It->second;
+  }
+  const Term *V = intern(TermKind::Var, S, Rational(), Name, {});
+  VarsByName.emplace(Name, V);
+  return V;
+}
+
+const Term *TermManager::mkFreshVar(const std::string &Prefix, Sort S) {
+  for (;;) {
+    std::string Name = Prefix + "!" + std::to_string(FreshCounter++);
+    if (!VarsByName.count(Name))
+      return mkVar(Name, S);
+  }
+}
+
+const Term *TermManager::mkAdd(std::vector<const Term *> TermsIn) {
+  std::vector<const Term *> Flat;
+  Rational ConstSum;
+  for (const Term *T : TermsIn) {
+    assert(T->sort() == Sort::Int && "Add over non-Int term");
+    if (T->kind() == TermKind::IntConst) {
+      ConstSum += T->value();
+      continue;
+    }
+    if (T->kind() == TermKind::Add) {
+      for (const Term *Op : T->operands()) {
+        if (Op->kind() == TermKind::IntConst)
+          ConstSum += Op->value();
+        else
+          Flat.push_back(Op);
+      }
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  if (!ConstSum.isZero())
+    Flat.push_back(mkIntConst(ConstSum));
+  if (Flat.empty())
+    return mkIntConst(0);
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::Add, Sort::Int, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkNeg(const Term *A) { return mkMul(Rational(-1), A); }
+
+const Term *TermManager::mkSub(const Term *A, const Term *B) {
+  return mkAdd(A, mkNeg(B));
+}
+
+const Term *TermManager::mkMul(Rational Factor, const Term *A) {
+  assert(A->sort() == Sort::Int && "Mul over non-Int term");
+  if (Factor.isZero())
+    return mkIntConst(0);
+  if (Factor == Rational(1))
+    return A;
+  if (A->kind() == TermKind::IntConst)
+    return mkIntConst(Factor * A->value());
+  if (A->kind() == TermKind::Mul)
+    return mkMul(Factor * A->value(), A->operand(0));
+  if (A->kind() == TermKind::Add) {
+    std::vector<const Term *> Scaled;
+    Scaled.reserve(A->numOperands());
+    for (const Term *Op : A->operands())
+      Scaled.push_back(mkMul(Factor, Op));
+    return mkAdd(std::move(Scaled));
+  }
+  return intern(TermKind::Mul, Sort::Int, std::move(Factor), "", {A});
+}
+
+const Term *TermManager::mkMod(const Term *A, const BigInt &Modulus) {
+  assert(Modulus.signum() > 0 && "modulus must be positive");
+  if (A->kind() == TermKind::IntConst)
+    return mkIntConst(Rational(A->value().numerator().euclideanMod(Modulus)));
+  return intern(TermKind::Mod, Sort::Int, Rational(Modulus), "", {A});
+}
+
+/// Folds comparisons between constants; returns nullptr when not constant.
+static const Term *foldCmp(TermManager &TM, TermKind Kind, const Term *L,
+                           const Term *R) {
+  if (L->kind() != TermKind::IntConst || R->kind() != TermKind::IntConst)
+    return nullptr;
+  int C = L->value().compare(R->value());
+  switch (Kind) {
+  case TermKind::Le:
+    return TM.mkBool(C <= 0);
+  case TermKind::Lt:
+    return TM.mkBool(C < 0);
+  case TermKind::Eq:
+    return TM.mkBool(C == 0);
+  default:
+    return nullptr;
+  }
+}
+
+const Term *TermManager::mkLe(const Term *L, const Term *R) {
+  if (const Term *Folded = foldCmp(*this, TermKind::Le, L, R))
+    return Folded;
+  return intern(TermKind::Le, Sort::Bool, Rational(), "", {L, R});
+}
+
+const Term *TermManager::mkLt(const Term *L, const Term *R) {
+  if (const Term *Folded = foldCmp(*this, TermKind::Lt, L, R))
+    return Folded;
+  return intern(TermKind::Lt, Sort::Bool, Rational(), "", {L, R});
+}
+
+const Term *TermManager::mkEq(const Term *L, const Term *R) {
+  if (L == R)
+    return mkTrue();
+  if (const Term *Folded = foldCmp(*this, TermKind::Eq, L, R))
+    return Folded;
+  return intern(TermKind::Eq, Sort::Bool, Rational(), "", {L, R});
+}
+
+const Term *TermManager::mkNe(const Term *L, const Term *R) {
+  return mkOr(mkLt(L, R), mkLt(R, L));
+}
+
+const Term *TermManager::mkNot(const Term *A) {
+  assert(A->sort() == Sort::Bool && "Not over non-Bool term");
+  if (A->isTrue())
+    return mkFalse();
+  if (A->isFalse())
+    return mkTrue();
+  if (A->kind() == TermKind::Not)
+    return A->operand(0);
+  return intern(TermKind::Not, Sort::Bool, Rational(), "", {A});
+}
+
+const Term *TermManager::mkAnd(std::vector<const Term *> TermsIn) {
+  std::vector<const Term *> Flat;
+  for (const Term *T : TermsIn) {
+    assert(T->sort() == Sort::Bool && "And over non-Bool term");
+    if (T->isTrue())
+      continue;
+    if (T->isFalse())
+      return mkFalse();
+    if (T->kind() == TermKind::And) {
+      Flat.insert(Flat.end(), T->operands().begin(), T->operands().end());
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  if (Flat.empty())
+    return mkTrue();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::And, Sort::Bool, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkOr(std::vector<const Term *> TermsIn) {
+  std::vector<const Term *> Flat;
+  for (const Term *T : TermsIn) {
+    assert(T->sort() == Sort::Bool && "Or over non-Bool term");
+    if (T->isFalse())
+      continue;
+    if (T->isTrue())
+      return mkTrue();
+    if (T->kind() == TermKind::Or) {
+      Flat.insert(Flat.end(), T->operands().begin(), T->operands().end());
+      continue;
+    }
+    Flat.push_back(T);
+  }
+  if (Flat.empty())
+    return mkFalse();
+  if (Flat.size() == 1)
+    return Flat[0];
+  return intern(TermKind::Or, Sort::Bool, Rational(), "", std::move(Flat));
+}
+
+const Term *TermManager::mkPredApp(const std::string &Name,
+                                   std::vector<const Term *> Args) {
+  for ([[maybe_unused]] const Term *Arg : Args)
+    assert(Arg->sort() == Sort::Int && "predicate argument must be Int");
+  return intern(TermKind::PredApp, Sort::Bool, Rational(), Name,
+                std::move(Args));
+}
+
+const Term *TermManager::substitute(
+    const Term *T,
+    const std::unordered_map<const Term *, const Term *> &Map) {
+  if (Map.empty())
+    return T;
+  std::unordered_map<const Term *, const Term *> Cache;
+  // Iterative worklist rewrite to avoid deep recursion on big formulas.
+  std::function<const Term *(const Term *)> Rewrite =
+      [&](const Term *Node) -> const Term * {
+    auto Hit = Cache.find(Node);
+    if (Hit != Cache.end())
+      return Hit->second;
+    const Term *Result = Node;
+    if (Node->kind() == TermKind::Var) {
+      auto It = Map.find(Node);
+      if (It != Map.end())
+        Result = It->second;
+    } else if (Node->numOperands() != 0) {
+      std::vector<const Term *> NewOps;
+      NewOps.reserve(Node->numOperands());
+      bool Changed = false;
+      for (const Term *Op : Node->operands()) {
+        const Term *NewOp = Rewrite(Op);
+        Changed |= NewOp != Op;
+        NewOps.push_back(NewOp);
+      }
+      if (Changed) {
+        switch (Node->kind()) {
+        case TermKind::Add:
+          Result = mkAdd(std::move(NewOps));
+          break;
+        case TermKind::Mul:
+          Result = mkMul(Node->value(), NewOps[0]);
+          break;
+        case TermKind::Mod:
+          Result = mkMod(NewOps[0], Node->value().numerator());
+          break;
+        case TermKind::Le:
+          Result = mkLe(NewOps[0], NewOps[1]);
+          break;
+        case TermKind::Lt:
+          Result = mkLt(NewOps[0], NewOps[1]);
+          break;
+        case TermKind::Eq:
+          Result = mkEq(NewOps[0], NewOps[1]);
+          break;
+        case TermKind::Not:
+          Result = mkNot(NewOps[0]);
+          break;
+        case TermKind::And:
+          Result = mkAnd(std::move(NewOps));
+          break;
+        case TermKind::Or:
+          Result = mkOr(std::move(NewOps));
+          break;
+        case TermKind::PredApp:
+          Result = mkPredApp(Node->name(), std::move(NewOps));
+          break;
+        default:
+          assert(false && "unexpected composite term kind");
+        }
+      }
+    }
+    Cache.emplace(Node, Result);
+    return Result;
+  };
+  return Rewrite(T);
+}
+
+std::vector<const Term *> TermManager::collectVars(const Term *T) {
+  std::vector<const Term *> Result;
+  std::unordered_map<const Term *, bool> Seen;
+  std::function<void(const Term *)> Visit = [&](const Term *Node) {
+    if (Seen.count(Node))
+      return;
+    Seen.emplace(Node, true);
+    if (Node->kind() == TermKind::Var) {
+      Result.push_back(Node);
+      return;
+    }
+    for (const Term *Op : Node->operands())
+      Visit(Op);
+  };
+  Visit(T);
+  return Result;
+}
+
+bool TermManager::containsPredApp(const Term *T) {
+  if (T->kind() == TermKind::PredApp)
+    return true;
+  for (const Term *Op : T->operands())
+    if (containsPredApp(Op))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+Rational la::evalTerm(
+    const Term *T, const std::unordered_map<const Term *, Rational> &Assignment) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+  case TermKind::BoolConst:
+    return T->value();
+  case TermKind::Var: {
+    auto It = Assignment.find(T);
+    assert(It != Assignment.end() && "unbound variable in evaluation");
+    return It->second;
+  }
+  case TermKind::Add: {
+    Rational Sum;
+    for (const Term *Op : T->operands())
+      Sum += evalTerm(Op, Assignment);
+    return Sum;
+  }
+  case TermKind::Mul:
+    return T->value() * evalTerm(T->operand(0), Assignment);
+  case TermKind::Mod: {
+    Rational V = evalTerm(T->operand(0), Assignment);
+    assert(V.isInteger() && "mod of a non-integer value");
+    return Rational(V.numerator().euclideanMod(T->value().numerator()));
+  }
+  case TermKind::Le:
+    return Rational(evalTerm(T->operand(0), Assignment) <=
+                            evalTerm(T->operand(1), Assignment)
+                        ? 1
+                        : 0);
+  case TermKind::Lt:
+    return Rational(evalTerm(T->operand(0), Assignment) <
+                            evalTerm(T->operand(1), Assignment)
+                        ? 1
+                        : 0);
+  case TermKind::Eq:
+    return Rational(evalTerm(T->operand(0), Assignment) ==
+                            evalTerm(T->operand(1), Assignment)
+                        ? 1
+                        : 0);
+  case TermKind::Not:
+    return Rational(evalTerm(T->operand(0), Assignment).isZero() ? 1 : 0);
+  case TermKind::And: {
+    for (const Term *Op : T->operands())
+      if (evalTerm(Op, Assignment).isZero())
+        return Rational(0);
+    return Rational(1);
+  }
+  case TermKind::Or: {
+    for (const Term *Op : T->operands())
+      if (!evalTerm(Op, Assignment).isZero())
+        return Rational(1);
+    return Rational(0);
+  }
+  case TermKind::PredApp:
+    assert(false && "cannot evaluate an unknown predicate application");
+    return Rational(0);
+  }
+  assert(false && "unhandled term kind");
+  return Rational(0);
+}
+
+bool la::evalFormula(
+    const Term *T, const std::unordered_map<const Term *, Rational> &Assignment) {
+  assert(T->sort() == Sort::Bool && "evalFormula over non-Bool term");
+  return !evalTerm(T, Assignment).isZero();
+}

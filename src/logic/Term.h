@@ -1,0 +1,192 @@
+//===- logic/Term.h - Hash-consed term DAG ----------------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term language shared by the whole system: linear integer arithmetic
+/// with boolean structure, unknown predicate applications (for CHCs) and a
+/// `mod` operator (for the "beyond Polyhedra" features of the paper, §3.3).
+///
+/// Terms are immutable, hash-consed and owned by a TermManager; equal terms
+/// are pointer-equal. Each term carries a sequential id so containers can
+/// iterate deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_LOGIC_TERM_H
+#define LA_LOGIC_TERM_H
+
+#include "support/Rational.h"
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace la {
+
+class TermManager;
+
+/// The sort of a term.
+enum class Sort { Bool, Int };
+
+/// Structural constructor tags.
+enum class TermKind {
+  // Arithmetic (sort Int).
+  IntConst, ///< Integer constant (value stored as Rational with Den == 1).
+  Var,      ///< Named variable (Int or Bool sort).
+  Add,      ///< N-ary sum.
+  Mul,      ///< Constant * term (kept linear by construction).
+  Mod,      ///< t mod k for a positive integer constant k (Euclidean).
+  // Atoms (sort Bool).
+  Le, ///< lhs <= rhs
+  Lt, ///< lhs <  rhs
+  Eq, ///< lhs == rhs (Int args)
+  // Boolean structure.
+  BoolConst,
+  Not,
+  And,
+  Or,
+  // CHC-specific.
+  PredApp, ///< Application of an unknown predicate symbol to Int terms.
+};
+
+/// An immutable node of the term DAG. Create via TermManager only.
+class Term {
+public:
+  TermKind kind() const { return Kind; }
+  Sort sort() const { return TheSort; }
+  /// Sequential creation index, unique within the owning manager.
+  uint32_t id() const { return Id; }
+
+  /// Value of an IntConst, the multiplier of a Mul, or the modulus of a Mod.
+  const Rational &value() const { return Value; }
+  /// True/false payload of a BoolConst.
+  bool boolValue() const { return !Value.isZero(); }
+  /// Variable or predicate name.
+  const std::string &name() const { return Name; }
+
+  const std::vector<const Term *> &operands() const { return Ops; }
+  const Term *operand(size_t I) const { return Ops[I]; }
+  size_t numOperands() const { return Ops.size(); }
+
+  bool isIntConst() const { return Kind == TermKind::IntConst; }
+  bool isVar() const { return Kind == TermKind::Var; }
+  bool isTrue() const { return Kind == TermKind::BoolConst && boolValue(); }
+  bool isFalse() const { return Kind == TermKind::BoolConst && !boolValue(); }
+
+  /// Renders the term in SMT-LIB-flavoured prefix syntax.
+  std::string toString() const;
+
+private:
+  friend class TermManager;
+  Term() = default;
+
+  TermKind Kind = TermKind::BoolConst;
+  Sort TheSort = Sort::Bool;
+  uint32_t Id = 0;
+  Rational Value;
+  std::string Name;
+  std::vector<const Term *> Ops;
+};
+
+/// Owner and unique-ing factory for terms.
+///
+/// All smart constructors perform light normalisation (constant folding,
+/// flattening of And/Or/Add, unit laws) so that structurally trivial
+/// differences never reach the solvers.
+class TermManager {
+public:
+  TermManager();
+  TermManager(const TermManager &) = delete;
+  TermManager &operator=(const TermManager &) = delete;
+
+  const Term *mkTrue() const { return TrueTerm; }
+  const Term *mkFalse() const { return FalseTerm; }
+  const Term *mkBool(bool Value) const { return Value ? TrueTerm : FalseTerm; }
+  const Term *mkIntConst(Rational Value);
+  const Term *mkIntConst(int64_t Value) { return mkIntConst(Rational(Value)); }
+
+  /// Returns the variable named \p Name, creating it with sort \p S on first
+  /// use. Asserts if the name was previously used with a different sort.
+  const Term *mkVar(const std::string &Name, Sort S = Sort::Int);
+  /// Creates a variable with a fresh, unused name derived from \p Prefix.
+  const Term *mkFreshVar(const std::string &Prefix, Sort S = Sort::Int);
+
+  const Term *mkAdd(std::vector<const Term *> Terms);
+  const Term *mkAdd(const Term *A, const Term *B) { return mkAdd({A, B}); }
+  const Term *mkSub(const Term *A, const Term *B);
+  const Term *mkNeg(const Term *A);
+  /// Constant multiple of a term (keeps the language linear).
+  const Term *mkMul(Rational Factor, const Term *A);
+  /// Euclidean remainder by a positive constant modulus.
+  const Term *mkMod(const Term *A, const BigInt &Modulus);
+
+  const Term *mkLe(const Term *L, const Term *R);
+  const Term *mkLt(const Term *L, const Term *R);
+  const Term *mkGe(const Term *L, const Term *R) { return mkLe(R, L); }
+  const Term *mkGt(const Term *L, const Term *R) { return mkLt(R, L); }
+  const Term *mkEq(const Term *L, const Term *R);
+  /// Integer disequality, expanded to (or (< L R) (> L R)).
+  const Term *mkNe(const Term *L, const Term *R);
+
+  const Term *mkNot(const Term *A);
+  const Term *mkAnd(std::vector<const Term *> Terms);
+  const Term *mkAnd(const Term *A, const Term *B) { return mkAnd({A, B}); }
+  const Term *mkOr(std::vector<const Term *> Terms);
+  const Term *mkOr(const Term *A, const Term *B) { return mkOr({A, B}); }
+  const Term *mkImplies(const Term *A, const Term *B) {
+    return mkOr(mkNot(A), B);
+  }
+
+  const Term *mkPredApp(const std::string &Name,
+                        std::vector<const Term *> Args);
+
+  /// Capture-free parallel substitution of variables by terms.
+  const Term *substitute(
+      const Term *T,
+      const std::unordered_map<const Term *, const Term *> &Map);
+
+  /// Collects the distinct variables of \p T in first-occurrence order.
+  std::vector<const Term *> collectVars(const Term *T);
+
+  /// True if \p T contains any PredApp node.
+  static bool containsPredApp(const Term *T);
+
+  size_t numTerms() const { return Terms.size(); }
+
+private:
+  const Term *intern(TermKind Kind, Sort S, Rational Value, std::string Name,
+                     std::vector<const Term *> Ops);
+
+  struct KeyHash {
+    size_t operator()(const Term *T) const;
+  };
+  struct KeyEq {
+    bool operator()(const Term *A, const Term *B) const;
+  };
+
+  std::deque<Term> Terms;
+  std::unordered_map<const Term *, const Term *, KeyHash, KeyEq> Unique;
+  std::unordered_map<std::string, const Term *> VarsByName;
+  uint64_t FreshCounter = 0;
+  const Term *TrueTerm = nullptr;
+  const Term *FalseTerm = nullptr;
+};
+
+/// Evaluates \p T under \p Assignment (variables -> rational values).
+/// Bool results are encoded as 1/0. Asserts that every variable is bound and
+/// that no PredApp occurs.
+Rational evalTerm(const Term *T,
+                  const std::unordered_map<const Term *, Rational> &Assignment);
+
+/// Convenience: evaluates a Bool-sorted term to a C++ bool.
+bool evalFormula(const Term *T,
+                 const std::unordered_map<const Term *, Rational> &Assignment);
+
+} // namespace la
+
+#endif // LA_LOGIC_TERM_H

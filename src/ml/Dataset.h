@@ -1,0 +1,66 @@
+//===- ml/Dataset.h - Labeled sample sets for learning ----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Positive/negative sample sets over a fixed variable vector. Samples come
+/// from SMT models (paper §4.2), so their components are integral rationals;
+/// the learning code keeps them exact and only converts to doubles inside
+/// the SVM optimiser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ML_DATASET_H
+#define LA_ML_DATASET_H
+
+#include "support/Rational.h"
+
+#include <string>
+#include <vector>
+
+namespace la::ml {
+
+/// One data point: a value per variable (integral rationals).
+using Sample = std::vector<Rational>;
+
+/// Positive and negative samples of one predicate.
+struct Dataset {
+  size_t Dim = 0;
+  std::vector<Sample> Pos;
+  std::vector<Sample> Neg;
+
+  explicit Dataset(size_t Dim = 0) : Dim(Dim) {}
+
+  bool empty() const { return Pos.empty() && Neg.empty(); }
+  size_t size() const { return Pos.size() + Neg.size(); }
+
+  /// True when some sample carries both labels (unlearnable).
+  bool hasContradiction() const {
+    for (const Sample &P : Pos)
+      for (const Sample &N : Neg)
+        if (P == N)
+          return true;
+    return false;
+  }
+
+  std::string toString() const {
+    auto Row = [](const Sample &S) {
+      std::string Out = "(";
+      for (size_t I = 0; I < S.size(); ++I)
+        Out += (I ? ", " : "") + S[I].toString();
+      return Out + ")";
+    };
+    std::string Out;
+    for (const Sample &S : Pos)
+      Out += "+ " + Row(S) + "\n";
+    for (const Sample &S : Neg)
+      Out += "o " + Row(S) + "\n";
+    return Out;
+  }
+};
+
+} // namespace la::ml
+
+#endif // LA_ML_DATASET_H

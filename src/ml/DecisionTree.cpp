@@ -1,0 +1,255 @@
+//===- ml/DecisionTree.cpp - Information-gain DT learning -----------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+using namespace la;
+using namespace la::ml;
+
+Feature Feature::linear(std::vector<Rational> W) {
+  Feature F;
+  F.K = Kind::Linear;
+  F.W = std::move(W);
+  return F;
+}
+
+Feature Feature::mod(size_t VarIndex, BigInt Modulus) {
+  Feature F;
+  F.K = Kind::Mod;
+  F.VarIndex = VarIndex;
+  F.Modulus = std::move(Modulus);
+  return F;
+}
+
+Rational Feature::eval(const Sample &S) const {
+  if (K == Kind::Mod) {
+    assert(S[VarIndex].isInteger() && "mod feature over fractional value");
+    return Rational(S[VarIndex].numerator().euclideanMod(Modulus));
+  }
+  Rational Sum;
+  for (size_t I = 0; I < W.size(); ++I)
+    Sum += W[I] * S[I];
+  return Sum;
+}
+
+const Term *Feature::toTerm(TermManager &TM,
+                            const std::vector<const Term *> &Vars) const {
+  if (K == Kind::Mod)
+    return TM.mkMod(Vars[VarIndex], Modulus);
+  std::vector<const Term *> Parts;
+  for (size_t I = 0; I < W.size(); ++I)
+    if (!W[I].isZero())
+      Parts.push_back(TM.mkMul(W[I], Vars[I]));
+  return TM.mkAdd(std::move(Parts));
+}
+
+std::string Feature::key() const {
+  if (K == Kind::Mod)
+    return "mod:" + std::to_string(VarIndex) + ":" + Modulus.toString();
+  return "lin:" + [this] {
+    std::string Out;
+    for (const Rational &C : W)
+      Out += C.toString() + ",";
+    return Out;
+  }();
+}
+
+double Feature::complexity() const {
+  if (K == Kind::Mod)
+    return 1.5;
+  double Sum = 0;
+  for (const Rational &C : W)
+    if (!C.isZero())
+      Sum += 1.0 + std::fabs(C.toDouble()) * 0.01;
+  return Sum;
+}
+
+double ml::shannonEntropy(size_t NumPos, size_t NumNeg) {
+  size_t Total = NumPos + NumNeg;
+  if (Total == 0 || NumPos == 0 || NumNeg == 0)
+    return 0.0;
+  double P = static_cast<double>(NumPos) / Total;
+  double N = static_cast<double>(NumNeg) / Total;
+  return -P * std::log2(P) - N * std::log2(N);
+}
+
+double ml::informationGain(size_t PosLe, size_t NegLe, size_t PosGt,
+                           size_t NegGt) {
+  size_t Total = PosLe + NegLe + PosGt + NegGt;
+  if (Total == 0)
+    return 0.0;
+  double Before = shannonEntropy(PosLe + PosGt, NegLe + NegGt);
+  double LeWeight = static_cast<double>(PosLe + NegLe) / Total;
+  double GtWeight = static_cast<double>(PosGt + NegGt) / Total;
+  return Before - LeWeight * shannonEntropy(PosLe, NegLe) -
+         GtWeight * shannonEntropy(PosGt, NegGt);
+}
+
+namespace {
+
+/// Normalises a linear feature: scales coefficients to coprime integers and
+/// flips the sign so the first nonzero coefficient is positive. Returns
+/// false for the all-zero feature.
+bool normalizeLinearFeature(Feature &F) {
+  BigInt Lcm(1);
+  for (const Rational &C : F.W) {
+    const BigInt &D = C.denominator();
+    Lcm = Lcm / BigInt::gcd(Lcm, D) * D;
+  }
+  BigInt Gcd;
+  for (const Rational &C : F.W)
+    Gcd = BigInt::gcd(Gcd, (C * Rational(Lcm)).numerator());
+  if (Gcd.isZero())
+    return false;
+  Rational Scale = Rational(Lcm) / Rational(Gcd);
+  int LeadSign = 0;
+  for (Rational &C : F.W) {
+    C *= Scale;
+    if (LeadSign == 0)
+      LeadSign = C.signum();
+  }
+  if (LeadSign < 0)
+    for (Rational &C : F.W)
+      C = -C;
+  return true;
+}
+
+class TreeBuilder {
+public:
+  TreeBuilder(TermManager &TM, const std::vector<const Term *> &Vars,
+              const std::vector<Feature> &Features)
+      : TM(TM), Vars(Vars), Features(Features) {}
+
+  /// Precomputed feature values: Values[f][s] over the concatenated samples.
+  void tabulate(const Dataset &Data) {
+    AllSamples.clear();
+    for (const Sample &S : Data.Pos)
+      AllSamples.push_back(&S);
+    NumPos = AllSamples.size();
+    for (const Sample &S : Data.Neg)
+      AllSamples.push_back(&S);
+    Values.assign(Features.size(), {});
+    for (size_t F = 0; F < Features.size(); ++F) {
+      Values[F].reserve(AllSamples.size());
+      for (const Sample *S : AllSamples)
+        Values[F].push_back(Features[F].eval(*S));
+    }
+  }
+
+  const Term *build(const std::vector<size_t> &Indices) {
+    size_t Pos = 0, Neg = 0;
+    for (size_t I : Indices)
+      (I < NumPos ? Pos : Neg)++;
+    if (Neg == 0)
+      return TM.mkTrue();
+    if (Pos == 0)
+      return TM.mkFalse();
+
+    // Best split across features and thresholds.
+    double BestGain = -1.0;
+    size_t BestFeature = 0;
+    Rational BestThreshold;
+    for (size_t F = 0; F < Features.size(); ++F) {
+      // Sort node samples by feature value.
+      std::vector<size_t> Order = Indices;
+      std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+        return Values[F][A] < Values[F][B];
+      });
+      size_t PosLe = 0, NegLe = 0;
+      for (size_t I = 0; I + 1 < Order.size(); ++I) {
+        (Order[I] < NumPos ? PosLe : NegLe)++;
+        // Candidate threshold only between distinct consecutive values.
+        if (Values[F][Order[I]] == Values[F][Order[I + 1]])
+          continue;
+        double Gain =
+            informationGain(PosLe, NegLe, Pos - PosLe, Neg - NegLe);
+        if (Gain > BestGain + 1e-12) {
+          BestGain = Gain;
+          BestFeature = F;
+          BestThreshold = Values[F][Order[I]];
+        }
+      }
+    }
+    if (BestGain <= 1e-12)
+      return nullptr; // features cannot separate this mixed node
+
+    std::vector<size_t> LeftIdx, RightIdx;
+    for (size_t I : Indices)
+      (Values[BestFeature][I] <= BestThreshold ? LeftIdx : RightIdx)
+          .push_back(I);
+    assert(!LeftIdx.empty() && !RightIdx.empty() && "degenerate split");
+
+    const Term *Left = build(LeftIdx);
+    if (!Left)
+      return nullptr;
+    const Term *Right = build(RightIdx);
+    if (!Right)
+      return nullptr;
+
+    ++InnerNodes;
+    UsedFeatures.insert(BestFeature);
+    // Decision: f <= c. Build with an integral constant.
+    assert(BestThreshold.isInteger() &&
+           "feature values over integer samples must be integral");
+    const Term *FTerm = Features[BestFeature].toTerm(TM, Vars);
+    const Term *Cond = TM.mkLe(FTerm, TM.mkIntConst(BestThreshold));
+    return TM.mkOr(TM.mkAnd(Cond, Left), TM.mkAnd(TM.mkNot(Cond), Right));
+  }
+
+  size_t InnerNodes = 0;
+  std::set<size_t> UsedFeatures;
+
+private:
+  TermManager &TM;
+  const std::vector<const Term *> &Vars;
+  const std::vector<Feature> &Features;
+  std::vector<const Sample *> AllSamples;
+  std::vector<std::vector<Rational>> Values;
+  size_t NumPos = 0;
+};
+
+} // namespace
+
+DtResult ml::learnDecisionTree(TermManager &TM,
+                               const std::vector<const Term *> &Vars,
+                               const Dataset &Data,
+                               const std::vector<Feature> &FeaturesIn) {
+  DtResult Result;
+  // Normalise, de-duplicate and order features simplest-first so that ties
+  // in information gain favour simple attributes.
+  std::vector<Feature> Features;
+  std::set<std::string> Seen;
+  for (const Feature &F : FeaturesIn) {
+    Feature Copy = F;
+    if (Copy.K == Feature::Kind::Linear && !normalizeLinearFeature(Copy))
+      continue;
+    if (Seen.insert(Copy.key()).second)
+      Features.push_back(std::move(Copy));
+  }
+  std::stable_sort(Features.begin(), Features.end(),
+                   [](const Feature &A, const Feature &B) {
+                     return A.complexity() < B.complexity();
+                   });
+
+  TreeBuilder Builder(TM, Vars, Features);
+  Builder.tabulate(Data);
+  std::vector<size_t> All(Data.size());
+  for (size_t I = 0; I < All.size(); ++I)
+    All[I] = I;
+  const Term *Formula = Builder.build(All);
+  if (!Formula)
+    return Result;
+  Result.Ok = true;
+  Result.Formula = Formula;
+  Result.NumInnerNodes = Builder.InnerNodes;
+  Result.NumFeaturesUsed = Builder.UsedFeatures.size();
+  return Result;
+}

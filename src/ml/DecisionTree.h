@@ -1,0 +1,76 @@
+//===- ml/DecisionTree.h - Information-gain DT learning ---------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C4.5-style decision-tree layer of the toolchain (paper §2.2, §3.3):
+/// inner nodes test `f(v) <= c` for a feature attribute f and a threshold c
+/// learned from the data by maximising Shannon information gain; leaves are
+/// labels. The tree is grown until every leaf is pure (the paper tunes its
+/// DT implementation to classify all samples correctly) and converted to a
+/// first-order formula as the disjunction over paths to positive leaves.
+///
+/// Feature attributes are either linear expressions (from LinearArbitrary)
+/// or `v_i mod m` for predefined moduli (the "Beyond Polyhedra" features).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ML_DECISIONTREE_H
+#define LA_ML_DECISIONTREE_H
+
+#include "logic/Term.h"
+#include "ml/Dataset.h"
+
+namespace la::ml {
+
+/// A feature attribute `f(v)` usable at DT inner nodes.
+struct Feature {
+  enum class Kind { Linear, Mod };
+  Kind K = Kind::Linear;
+  /// Linear: coefficients over the variable vector (no constant offset; the
+  /// threshold absorbs it).
+  std::vector<Rational> W;
+  /// Mod: `Vars[VarIndex] mod Modulus` (Euclidean).
+  size_t VarIndex = 0;
+  BigInt Modulus;
+
+  Rational eval(const Sample &S) const;
+  /// The attribute as an Int term over \p Vars.
+  const Term *toTerm(TermManager &TM,
+                     const std::vector<const Term *> &Vars) const;
+  /// Canonical key for de-duplication (sign- and scale-normalised).
+  std::string key() const;
+  /// Crude complexity measure used to order features so that ties in
+  /// information gain resolve toward simpler attributes (§2.2).
+  double complexity() const;
+
+  static Feature linear(std::vector<Rational> W);
+  static Feature mod(size_t VarIndex, BigInt Modulus);
+};
+
+/// Result of DT learning.
+struct DtResult {
+  bool Ok = false;
+  const Term *Formula = nullptr;
+  size_t NumInnerNodes = 0;
+  size_t NumFeaturesUsed = 0;
+};
+
+/// Learns a pure decision tree over \p Features; fails (Ok = false) when the
+/// features cannot distinguish some mixed-label subset.
+DtResult learnDecisionTree(TermManager &TM,
+                           const std::vector<const Term *> &Vars,
+                           const Dataset &Data,
+                           const std::vector<Feature> &Features);
+
+/// Shannon entropy of a (positive, negative) split; 0 for pure/empty sets.
+double shannonEntropy(size_t NumPos, size_t NumNeg);
+
+/// Information gain of splitting (Pos,Neg) into "<=" and ">" parts.
+double informationGain(size_t PosLe, size_t NegLe, size_t PosGt, size_t NegGt);
+
+} // namespace la::ml
+
+#endif // LA_ML_DECISIONTREE_H

@@ -1,0 +1,130 @@
+//===- ml/Learn.cpp - Algorithm 2: the layered toolchain ------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Learn.h"
+
+#include <cassert>
+
+using namespace la;
+using namespace la::ml;
+
+/// Checks Lemma 3.1 exactly: the formula holds on every positive sample and
+/// fails on every negative one.
+static bool classifiesPerfectly(const Term *Formula,
+                                const std::vector<const Term *> &Vars,
+                                const Dataset &Data) {
+  auto Bind = [&](const Sample &S) {
+    std::unordered_map<const Term *, Rational> Asg;
+    for (size_t I = 0; I < Vars.size(); ++I)
+      Asg.emplace(Vars[I], S[I]);
+    return Asg;
+  };
+  for (const Sample &S : Data.Pos)
+    if (!evalFormula(Formula, Bind(S)))
+      return false;
+  for (const Sample &S : Data.Neg)
+    if (evalFormula(Formula, Bind(S)))
+      return false;
+  return true;
+}
+
+LearnResult ml::learn(TermManager &TM, const std::vector<const Term *> &Vars,
+                      const Dataset &Data, const LearnOptions &Opts) {
+  LearnResult Result;
+  assert(!Data.hasContradiction() && "contradictory dataset in Learn");
+
+  // Degenerate cases.
+  if (Data.Pos.empty() && Data.Neg.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkTrue();
+    return Result;
+  }
+  if (Data.Neg.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkTrue();
+    return Result;
+  }
+  if (Data.Pos.empty()) {
+    Result.Ok = true;
+    Result.Formula = TM.mkFalse();
+    return Result;
+  }
+
+  // Line 1: LinearArbitrary.
+  ClassifierResult LA = linearArbitrary(TM, Vars, Data, Opts.LA);
+  if (!LA.Ok)
+    return Result;
+  Result.NumHyperplanes = LA.Atoms.size();
+
+  if (!Opts.UseDecisionTree) {
+    if (!classifiesPerfectly(LA.Formula, Vars, Data))
+      return Result;
+    Result.Ok = true;
+    Result.Formula = LA.Formula;
+    return Result;
+  }
+
+  // Line 2: feature attributes = atoms of the LA classifier (coefficients
+  // only; thresholds are re-learned by the DT) plus predefined features.
+  std::vector<Feature> Features;
+  for (const LinearExpr &Atom : LA.Atoms) {
+    std::vector<Rational> W(Vars.size(), Rational(0));
+    for (const auto &[Var, Coeff] : Atom.coefficients()) {
+      for (size_t I = 0; I < Vars.size(); ++I)
+        if (Vars[I] == Var)
+          W[I] = Coeff;
+    }
+    Features.push_back(Feature::linear(std::move(W)));
+  }
+  if (Opts.AddUnitFeatures) {
+    for (size_t I = 0; I < Vars.size(); ++I) {
+      std::vector<Rational> W(Vars.size(), Rational(0));
+      W[I] = Rational(1);
+      Features.push_back(Feature::linear(std::move(W)));
+    }
+  }
+  for (int64_t M : Opts.ModFeatures) {
+    assert(M > 0 && "mod feature with non-positive modulus");
+    for (size_t I = 0; I < Vars.size(); ++I)
+      Features.push_back(Feature::mod(I, BigInt(M)));
+  }
+
+  // Line 3: decision-tree generalisation.
+  DtResult Dt = learnDecisionTree(TM, Vars, Data, Features);
+  if (Dt.Ok && classifiesPerfectly(Dt.Formula, Vars, Data)) {
+    Result.Ok = true;
+    Result.Formula = Dt.Formula;
+    Result.NumDtNodes = Dt.NumInnerNodes;
+    Result.UsedDecisionTree = true;
+    return Result;
+  }
+
+  // The DT stage can fail only if the feature set cannot realise the LA
+  // split (e.g. thresholds falling between hyperplane offsets); fall back
+  // to the raw LinearArbitrary classifier, which separates by construction.
+  if (classifiesPerfectly(LA.Formula, Vars, Data)) {
+    Result.Ok = true;
+    Result.Formula = LA.Formula;
+    return Result;
+  }
+  return Result;
+}
+
+std::vector<size_t> ml::dnfShape(const Term *Formula) {
+  std::vector<size_t> Shape;
+  auto CountConjuncts = [](const Term *T) -> size_t {
+    if (T->kind() == TermKind::And)
+      return T->numOperands();
+    return 1;
+  };
+  if (Formula->kind() == TermKind::Or) {
+    for (const Term *Disjunct : Formula->operands())
+      Shape.push_back(CountConjuncts(Disjunct));
+  } else {
+    Shape.push_back(CountConjuncts(Formula));
+  }
+  return Shape;
+}

@@ -1,0 +1,179 @@
+//===- ml/LinearArbitrary.cpp - Algorithm 1 of the paper ------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/LinearArbitrary.h"
+
+#include "ml/Perceptron.h"
+#include "ml/Svm.h"
+
+#include <cassert>
+#include <memory>
+
+using namespace la;
+using namespace la::ml;
+
+namespace {
+
+/// Recursion context shared across the calls of Algorithm 1.
+class Algorithm1 {
+public:
+  Algorithm1(TermManager &TM, const std::vector<const Term *> &Vars,
+             const LinearArbitraryOptions &Opts)
+      : TM(TM), Vars(Vars), Opts(Opts), Rng(Opts.Seed) {
+    if (Opts.Learner == LinearArbitraryOptions::BaseLearner::Svm)
+      Learner = std::make_unique<SvmLearner>(Opts.SvmC);
+    else
+      Learner = std::make_unique<PerceptronLearner>();
+  }
+
+  ClassifierResult run(const Dataset &Data) {
+    ClassifierResult Result;
+    const Term *Formula = go(Data.Pos, Data.Neg);
+    Result.Ok = Formula != nullptr;
+    Result.Formula = Formula;
+    Result.Atoms = std::move(Atoms);
+    Result.LearnerCalls = Calls;
+    return Result;
+  }
+
+private:
+  /// The recursive procedure; returns nullptr on budget exhaustion.
+  const Term *go(const std::vector<Sample> &Pos,
+                 const std::vector<Sample> &Neg) {
+    if (Pos.empty())
+      return TM.mkFalse();
+    if (Neg.empty())
+      return TM.mkTrue();
+
+    std::optional<LinearClassifier> Phi = learnOne(Pos, Neg);
+    if (!Phi)
+      return nullptr;
+
+    // Exact partition (lines 2-4 of Algorithm 1).
+    std::vector<Sample> PosOk, PosBad, NegBad;
+    for (const Sample &S : Pos)
+      (Phi->predicts(S) ? PosOk : PosBad).push_back(S);
+    for (const Sample &S : Neg)
+      if (Phi->predicts(S))
+        NegBad.push_back(S);
+
+    const Term *Formula = classifierTerm(*Phi);
+    if (!NegBad.empty()) {
+      const Term *Conj = go(PosOk, NegBad);
+      if (!Conj)
+        return nullptr;
+      Formula = TM.mkAnd(Formula, Conj);
+    }
+    if (!PosBad.empty()) {
+      const Term *Disj = go(PosBad, Neg);
+      if (!Disj)
+        return nullptr;
+      Formula = TM.mkOr(Formula, Disj);
+    }
+    return Formula;
+  }
+
+  /// One LinearClassify call with the §5 dummy interception and an exact
+  /// fallback that guarantees progress: the returned classifier correctly
+  /// classifies at least one positive and at least one negative sample.
+  std::optional<LinearClassifier> learnOne(const std::vector<Sample> &Pos,
+                                           const std::vector<Sample> &Neg) {
+    Dataset Full(Vars.size());
+    Full.Pos = Pos;
+    Full.Neg = Neg;
+
+    auto MakesProgress = [&](const LinearClassifier &Phi) {
+      bool PosOk = false, NegOk = false;
+      for (const Sample &S : Pos)
+        PosOk |= Phi.predicts(S);
+      for (const Sample &S : Neg)
+        NegOk |= !Phi.predicts(S);
+      return PosOk && NegOk;
+    };
+
+    auto Attempt = [&](const Dataset &Input)
+        -> std::optional<LinearClassifier> {
+      if (Calls >= Opts.MaxLearnerCalls)
+        return std::nullopt;
+      ++Calls;
+      LinearClassifier Phi = Learner->learn(Input, Rng);
+      if (!Phi.isDummy() && MakesProgress(Phi))
+        return Phi;
+      return std::nullopt;
+    };
+
+    if (std::optional<LinearClassifier> Phi = Attempt(Full))
+      return Phi;
+    if (Calls >= Opts.MaxLearnerCalls)
+      return std::nullopt;
+
+    // Dummy interception (§5): retry against a single opposite sample.
+    Dataset OneNeg(Vars.size());
+    OneNeg.Pos = Pos;
+    OneNeg.Neg = {Neg[Rng.nextBounded(Neg.size())]};
+    if (std::optional<LinearClassifier> Phi = Attempt(OneNeg))
+      return Phi;
+    Dataset OnePos(Vars.size());
+    OnePos.Pos = {Pos[Rng.nextBounded(Pos.size())]};
+    OnePos.Neg = Neg;
+    if (std::optional<LinearClassifier> Phi = Attempt(OnePos))
+      return Phi;
+    if (Calls >= Opts.MaxLearnerCalls)
+      return std::nullopt;
+
+    // Exact fallback: split the first positive from the first negative on
+    // some coordinate where they differ.
+    const Sample &P = Pos.front();
+    const Sample &N = Neg.front();
+    for (size_t I = 0; I < P.size(); ++I) {
+      if (P[I] == N[I])
+        continue;
+      LinearClassifier Phi(Vars.size());
+      // f(v) = s * (2*v_i - p_i - n_i) with s = sign(p_i - n_i):
+      // strictly positive at P and strictly negative at N.
+      Rational S(P[I] > N[I] ? 1 : -1);
+      Phi.W[I] = S * Rational(2);
+      Phi.B = S * (-(P[I] + N[I]));
+      assert(MakesProgress(Phi) && "fallback split must make progress");
+      return Phi;
+    }
+    assert(false && "contradictory dataset reached LinearArbitrary");
+    return std::nullopt;
+  }
+
+  /// Builds the atom `W . v + B >= 0` and records its feature attribute.
+  const Term *classifierTerm(const LinearClassifier &Phi) {
+    LinearExpr F;
+    for (size_t I = 0; I < Vars.size(); ++I)
+      F.addVar(Vars[I], Phi.W[I]);
+    F.addConstant(Phi.B);
+    Atoms.push_back(F);
+    // f >= 0  <=>  -f <= 0.
+    LinearAtom Atom;
+    Atom.Expr = F.scaled(Rational(-1));
+    Atom.Rel = LinRel::Le;
+    return Atom.toTerm(TM);
+  }
+
+  TermManager &TM;
+  const std::vector<const Term *> &Vars;
+  const LinearArbitraryOptions &Opts;
+  Random Rng;
+  std::unique_ptr<LinearLearner> Learner;
+  std::vector<LinearExpr> Atoms;
+  int Calls = 0;
+};
+
+} // namespace
+
+ClassifierResult ml::linearArbitrary(TermManager &TM,
+                                     const std::vector<const Term *> &Vars,
+                                     const Dataset &Data,
+                                     const LinearArbitraryOptions &Opts) {
+  assert(Data.Dim == Vars.size() && "dataset dimension mismatch");
+  assert(!Data.hasContradiction() && "contradictory dataset");
+  return Algorithm1(TM, Vars, Opts).run(Data);
+}

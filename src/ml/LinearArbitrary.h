@@ -1,0 +1,64 @@
+//===- ml/LinearArbitrary.h - Algorithm 1 of the paper ----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `LinearArbitrary` (paper Algorithm 1): applies a base linear learner
+/// recursively to the misclassified halves of the data until every positive
+/// sample is separated from every negative sample, yielding an arbitrary
+/// boolean combination of half-spaces:
+///
+///   phi = LinearClassify(S+, S-)
+///   if phi misclassifies negatives:  phi := phi /\ LA(S+ok, S-bad)
+///   if phi misclassifies positives:  phi := phi \/ LA(S+bad, S-)
+///
+/// Implementation notes beyond the paper's pseudo-code:
+///   * the §5 "dummy classifier" interception retries the learner with a
+///     single random opposite sample;
+///   * when the learner still cannot make progress, an exact axis split of
+///     one positive/negative pair is used, which guarantees termination on
+///     contradiction-free data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ML_LINEARARBITRARY_H
+#define LA_ML_LINEARARBITRARY_H
+
+#include "logic/LinearExpr.h"
+#include "ml/LinearClassifier.h"
+
+namespace la::ml {
+
+/// Configuration of Algorithm 1.
+struct LinearArbitraryOptions {
+  enum class BaseLearner { Svm, Perceptron };
+  BaseLearner Learner = BaseLearner::Svm;
+  /// The SVM C parameter (§3.1): small C prefers wide margins and tolerates
+  /// misclassification, which the recursion then repairs.
+  double SvmC = 1.0;
+  /// Safety valve on base-learner invocations.
+  int MaxLearnerCalls = 4096;
+  uint64_t Seed = 1;
+};
+
+/// Result: a classifier formula over \p Vars plus the feature attributes
+/// (one linear expression per learned hyperplane) feeding the decision-tree
+/// stage of Algorithm 2.
+struct ClassifierResult {
+  bool Ok = false;
+  const Term *Formula = nullptr;
+  std::vector<LinearExpr> Atoms;
+  size_t LearnerCalls = 0;
+};
+
+/// Runs Algorithm 1 on \p Data; requires Data.hasContradiction() == false.
+ClassifierResult linearArbitrary(TermManager &TM,
+                                 const std::vector<const Term *> &Vars,
+                                 const Dataset &Data,
+                                 const LinearArbitraryOptions &Opts);
+
+} // namespace la::ml
+
+#endif // LA_ML_LINEARARBITRARY_H

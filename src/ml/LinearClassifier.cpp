@@ -1,0 +1,70 @@
+//===- ml/LinearClassifier.cpp - Hyperplane rationalisation ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/LinearClassifier.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace la;
+using namespace la::ml;
+
+std::optional<LinearClassifier>
+ml::rationalizeHyperplane(const std::vector<double> &W, double B,
+                          const Dataset &Data) {
+  // Normalise so the largest weight magnitude is 1; then try a ladder of
+  // integer scales and keep the exactly-most-accurate, smallest candidate.
+  double MaxAbs = 0;
+  for (double C : W)
+    MaxAbs = std::max(MaxAbs, std::fabs(C));
+  if (MaxAbs == 0 || !std::isfinite(MaxAbs))
+    return std::nullopt;
+
+  static const int Scales[] = {1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 24, 32, 64, 100};
+  std::optional<LinearClassifier> Best;
+  size_t BestCorrect = 0;
+  for (int Scale : Scales) {
+    LinearClassifier Candidate(W.size());
+    bool AllZero = true;
+    bool Overflow = false;
+    for (size_t I = 0; I < W.size(); ++I) {
+      double Scaled = W[I] / MaxAbs * Scale;
+      if (std::fabs(Scaled) > 1e15) {
+        Overflow = true;
+        break;
+      }
+      int64_t R = static_cast<int64_t>(std::llround(Scaled));
+      Candidate.W[I] = Rational(R);
+      AllZero &= R == 0;
+    }
+    if (Overflow || AllZero)
+      continue;
+    double ScaledB = B / MaxAbs * Scale;
+    if (std::fabs(ScaledB) > 1e15)
+      continue;
+    Candidate.B = Rational(static_cast<int64_t>(std::llround(ScaledB)));
+
+    // Reduce by the gcd of all coefficients for canonical small weights.
+    BigInt G = Candidate.B.numerator();
+    for (const Rational &C : Candidate.W)
+      G = BigInt::gcd(G, C.numerator());
+    if (!G.isZero() && !G.isOne()) {
+      Rational Inv = Rational(G).inverse();
+      for (Rational &C : Candidate.W)
+        C *= Inv;
+      Candidate.B *= Inv;
+    }
+
+    size_t Correct = Candidate.countCorrect(Data);
+    if (!Best || Correct > BestCorrect) {
+      Best = Candidate;
+      BestCorrect = Correct;
+    }
+    if (BestCorrect == Data.size())
+      break; // perfect already; prefer the smallest such scale
+  }
+  return Best;
+}

@@ -1,0 +1,91 @@
+//===- ml/LinearClassifier.h - Hyperplane classifiers -----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear classifier `w . v + b >= 0` with exact rational weights (paper
+/// §3.1), the common output format of the Perceptron and SVM learners, plus
+/// the rationalisation pass that turns double-precision hyperplanes into
+/// small integer coefficients before exact validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ML_LINEARCLASSIFIER_H
+#define LA_ML_LINEARCLASSIFIER_H
+
+#include "ml/Dataset.h"
+#include "support/Random.h"
+
+#include <optional>
+
+namespace la::ml {
+
+/// Hyperplane classifier: predicts positive iff `W . v + B >= 0`.
+struct LinearClassifier {
+  std::vector<Rational> W;
+  Rational B;
+
+  explicit LinearClassifier(size_t Dim = 0) : W(Dim, Rational(0)) {}
+
+  /// Exact decision function value.
+  Rational margin(const Sample &S) const {
+    Rational Sum = B;
+    for (size_t I = 0; I < W.size(); ++I)
+      Sum += W[I] * S[I];
+    return Sum;
+  }
+
+  bool predicts(const Sample &S) const { return margin(S).signum() >= 0; }
+
+  /// The "dummy classifier" of §5: all weights zero.
+  bool isDummy() const {
+    for (const Rational &Coeff : W)
+      if (!Coeff.isZero())
+        return false;
+    return true;
+  }
+
+  /// Exact accuracy over a dataset.
+  size_t countCorrect(const Dataset &Data) const {
+    size_t Correct = 0;
+    for (const Sample &S : Data.Pos)
+      Correct += predicts(S);
+    for (const Sample &S : Data.Neg)
+      Correct += !predicts(S);
+    return Correct;
+  }
+
+  std::string toString() const {
+    std::string Out;
+    for (size_t I = 0; I < W.size(); ++I) {
+      if (!Out.empty())
+        Out += " + ";
+      Out += W[I].toString() + "*v" + std::to_string(I);
+    }
+    return Out + " + " + B.toString() + " >= 0";
+  }
+};
+
+/// Rounds a double-precision hyperplane to small integer coefficients,
+/// choosing the scale with the best exact accuracy on \p Data (ties break
+/// toward smaller coefficients). Returns std::nullopt when every candidate
+/// rounds to the dummy classifier.
+std::optional<LinearClassifier>
+rationalizeHyperplane(const std::vector<double> &W, double B,
+                      const Dataset &Data);
+
+/// Interface implemented by the base linear learners (Perceptron, SVM).
+class LinearLearner {
+public:
+  virtual ~LinearLearner() = default;
+  /// Learns one hyperplane; may misclassify samples (that is the point of
+  /// LinearArbitrary) and may return a dummy classifier on degenerate data.
+  virtual LinearClassifier learn(const Dataset &Data, Random &Rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+} // namespace la::ml
+
+#endif // LA_ML_LINEARCLASSIFIER_H

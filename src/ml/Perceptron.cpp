@@ -1,0 +1,55 @@
+//===- ml/Perceptron.cpp - Margin perceptron learner ----------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Perceptron.h"
+
+using namespace la;
+using namespace la::ml;
+
+LinearClassifier PerceptronLearner::learn(const Dataset &Data,
+                                          Random &Rng) const {
+  const size_t Dim = Data.Dim;
+  LinearClassifier Current(Dim);
+  LinearClassifier Pocket = Current;
+  size_t PocketCorrect = Pocket.countCorrect(Data);
+
+  // Interleave the samples deterministically but in shuffled order.
+  struct Labeled {
+    const Sample *S;
+    int Y;
+  };
+  std::vector<Labeled> All;
+  All.reserve(Data.size());
+  for (const Sample &S : Data.Pos)
+    All.push_back({&S, 1});
+  for (const Sample &S : Data.Neg)
+    All.push_back({&S, -1});
+  for (size_t I = All.size(); I > 1; --I)
+    std::swap(All[I - 1], All[Rng.nextBounded(I)]);
+
+  for (int Epoch = 0; Epoch < MaxEpochs; ++Epoch) {
+    bool AnyMistake = false;
+    for (const Labeled &L : All) {
+      Rational Margin = Current.margin(*L.S);
+      bool PredictedPositive = Margin.signum() >= 0;
+      if ((L.Y > 0) == PredictedPositive)
+        continue;
+      AnyMistake = true;
+      Rational Y(L.Y);
+      for (size_t I = 0; I < Dim; ++I)
+        Current.W[I] += Y * (*L.S)[I];
+      Current.B += Y;
+      size_t Correct = Current.countCorrect(Data);
+      if (Correct > PocketCorrect) {
+        Pocket = Current;
+        PocketCorrect = Correct;
+      }
+    }
+    if (!AnyMistake)
+      return Current; // converged: separates the data exactly
+  }
+  return Pocket;
+}

@@ -1,0 +1,36 @@
+//===- ml/Perceptron.h - Margin perceptron learner --------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic (margin) perceptron [Freund-Schapire 1999], one of the two
+/// built-in `LinearClassify` implementations (paper §3.1/§5). Updates are
+/// integral, so the learned hyperplane needs no rationalisation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ML_PERCEPTRON_H
+#define LA_ML_PERCEPTRON_H
+
+#include "ml/LinearClassifier.h"
+
+namespace la::ml {
+
+/// Perceptron with a fixed epoch budget; returns the best-accuracy weight
+/// vector seen (pocket algorithm), which tolerates non-separable data.
+class PerceptronLearner : public LinearLearner {
+public:
+  explicit PerceptronLearner(int MaxEpochs = 64) : MaxEpochs(MaxEpochs) {}
+
+  LinearClassifier learn(const Dataset &Data, Random &Rng) const override;
+  std::string name() const override { return "perceptron"; }
+
+private:
+  int MaxEpochs;
+};
+
+} // namespace la::ml
+
+#endif // LA_ML_PERCEPTRON_H

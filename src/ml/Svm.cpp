@@ -1,0 +1,118 @@
+//===- ml/Svm.cpp - Linear soft-margin SVM (SMO) ---------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Svm.h"
+
+#include <cmath>
+
+using namespace la;
+using namespace la::ml;
+
+LinearClassifier SvmLearner::learn(const Dataset &Data, Random &Rng) const {
+  const size_t N = Data.size();
+  const size_t Dim = Data.Dim;
+  if (N == 0 || Dim == 0)
+    return LinearClassifier(Dim);
+
+  // Flatten to doubles with labels +1/-1.
+  std::vector<std::vector<double>> X;
+  std::vector<double> Y;
+  X.reserve(N);
+  for (const Sample &S : Data.Pos) {
+    std::vector<double> Row;
+    for (const Rational &V : S)
+      Row.push_back(V.toDouble());
+    X.push_back(std::move(Row));
+    Y.push_back(1.0);
+  }
+  for (const Sample &S : Data.Neg) {
+    std::vector<double> Row;
+    for (const Rational &V : S)
+      Row.push_back(V.toDouble());
+    X.push_back(std::move(Row));
+    Y.push_back(-1.0);
+  }
+
+  auto Dot = [&](size_t I, size_t J) {
+    double Sum = 0;
+    for (size_t K = 0; K < Dim; ++K)
+      Sum += X[I][K] * X[J][K];
+    return Sum;
+  };
+
+  // Simplified SMO (Platt'99 / CS229 variant).
+  std::vector<double> Alpha(N, 0.0);
+  double B = 0.0;
+  auto Predict = [&](size_t I) {
+    double Sum = B;
+    for (size_t K = 0; K < N; ++K)
+      if (Alpha[K] != 0.0)
+        Sum += Alpha[K] * Y[K] * Dot(K, I);
+    return Sum;
+  };
+
+  int Passes = 0;
+  int Guard = 0;
+  while (Passes < MaxPasses && ++Guard < 200) {
+    int Changed = 0;
+    for (size_t I = 0; I < N; ++I) {
+      double Ei = Predict(I) - Y[I];
+      bool ViolatesKkt = (Y[I] * Ei < -Tol && Alpha[I] < C) ||
+                         (Y[I] * Ei > Tol && Alpha[I] > 0);
+      if (!ViolatesKkt)
+        continue;
+      size_t J = Rng.nextBounded(N - 1);
+      if (J >= I)
+        ++J;
+      double Ej = Predict(J) - Y[J];
+      double AiOld = Alpha[I], AjOld = Alpha[J];
+      double L, H;
+      if (Y[I] != Y[J]) {
+        L = std::max(0.0, AjOld - AiOld);
+        H = std::min(C, C + AjOld - AiOld);
+      } else {
+        L = std::max(0.0, AiOld + AjOld - C);
+        H = std::min(C, AiOld + AjOld);
+      }
+      if (L >= H)
+        continue;
+      double Eta = 2 * Dot(I, J) - Dot(I, I) - Dot(J, J);
+      if (Eta >= 0)
+        continue;
+      double AjNew = AjOld - Y[J] * (Ei - Ej) / Eta;
+      AjNew = std::min(H, std::max(L, AjNew));
+      if (std::fabs(AjNew - AjOld) < 1e-7)
+        continue;
+      double AiNew = AiOld + Y[I] * Y[J] * (AjOld - AjNew);
+      Alpha[I] = AiNew;
+      Alpha[J] = AjNew;
+      double B1 = B - Ei - Y[I] * (AiNew - AiOld) * Dot(I, I) -
+                  Y[J] * (AjNew - AjOld) * Dot(I, J);
+      double B2 = B - Ej - Y[I] * (AiNew - AiOld) * Dot(I, J) -
+                  Y[J] * (AjNew - AjOld) * Dot(J, J);
+      if (AiNew > 0 && AiNew < C)
+        B = B1;
+      else if (AjNew > 0 && AjNew < C)
+        B = B2;
+      else
+        B = (B1 + B2) / 2;
+      ++Changed;
+    }
+    Passes = Changed == 0 ? Passes + 1 : 0;
+  }
+
+  // Recover the primal hyperplane w = sum alpha_i y_i x_i.
+  std::vector<double> W(Dim, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    if (Alpha[I] != 0.0)
+      for (size_t K = 0; K < Dim; ++K)
+        W[K] += Alpha[I] * Y[I] * X[I][K];
+
+  std::optional<LinearClassifier> Exact = rationalizeHyperplane(W, B, Data);
+  if (!Exact)
+    return LinearClassifier(Dim); // dummy classifier (see paper §5)
+  return *Exact;
+}

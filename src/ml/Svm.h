@@ -1,0 +1,44 @@
+//===- ml/Svm.h - Linear soft-margin SVM (SMO) ------------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A linear soft-margin SVM trained with sequential minimal optimisation
+/// (Platt'99), the LIBSVM stand-in used as the default `LinearClassify`
+/// (paper §3.1, §6). The C parameter trades margin width for training
+/// accuracy exactly as discussed in §3.1; we default it to a small value so
+/// large-margin (general) hyperplanes are preferred, accepting
+/// misclassification, which LinearArbitrary then repairs.
+///
+/// The optimiser runs in double precision; the resulting hyperplane is
+/// rationalised to small integer coefficients and validated exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ML_SVM_H
+#define LA_ML_SVM_H
+
+#include "ml/LinearClassifier.h"
+
+namespace la::ml {
+
+/// Linear SVM learner (SMO).
+class SvmLearner : public LinearLearner {
+public:
+  explicit SvmLearner(double C = 1.0, int MaxPasses = 8, double Tol = 1e-3)
+      : C(C), MaxPasses(MaxPasses), Tol(Tol) {}
+
+  LinearClassifier learn(const Dataset &Data, Random &Rng) const override;
+  std::string name() const override { return "svm"; }
+
+private:
+  double C;
+  int MaxPasses;
+  double Tol;
+};
+
+} // namespace la::ml
+
+#endif // LA_ML_SVM_H

@@ -1,0 +1,381 @@
+//===- sat/SatSolver.cpp - CDCL SAT solver with theory hook ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/SatSolver.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace la::sat;
+
+TheoryClient::~TheoryClient() = default;
+
+Var SatSolver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  Levels.push_back(-1);
+  Reasons.push_back(NullClause);
+  Activities.push_back(0.0);
+  Seen.push_back(0);
+  Polarity.push_back(1); // default to deciding "false" first
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  assert(TrailLims.empty() && "addClause only at the root level");
+  if (Unsatisfiable)
+    return false;
+  // Normalise: sort, dedup, drop root-false literals, detect tautologies.
+  std::sort(Lits.begin(), Lits.end());
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  std::vector<Lit> Kept;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    Lit L = Lits[I];
+    if (I + 1 < Lits.size() && Lits[I + 1] == negate(L))
+      return true; // tautology
+    LBool V = valueLit(L);
+    if (V == LBool::True)
+      return true; // already satisfied at root
+    if (V == LBool::False)
+      continue; // drop root-false literal
+    Kept.push_back(L);
+  }
+  if (Kept.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Kept.size() == 1) {
+    enqueue(Kept[0], NullClause);
+    if (propagate() != NullClause)
+      Unsatisfiable = true;
+    return !Unsatisfiable;
+  }
+  ClauseRef Ref;
+  return attachInternalClause(std::move(Kept), /*Learnt=*/false, Ref);
+}
+
+bool SatSolver::attachInternalClause(std::vector<Lit> Lits, bool Learnt,
+                                     ClauseRef &RefOut) {
+  assert(Lits.size() >= 2 && "attachInternalClause needs a real clause");
+  // Watch the two literals with the best status: unassigned/true first,
+  // then highest decision level, so the watching invariant holds.
+  auto Rank = [this](Lit L) {
+    LBool V = valueLit(L);
+    if (V == LBool::Undef)
+      return 1 << 30;
+    if (V == LBool::True)
+      return (1 << 29) + level(litVar(L));
+    return level(litVar(L));
+  };
+  std::sort(Lits.begin(), Lits.end(),
+            [&](Lit A, Lit B) { return Rank(A) > Rank(B); });
+  Clauses.push_back(Clause{std::move(Lits), Learnt});
+  RefOut = static_cast<ClauseRef>(Clauses.size() - 1);
+  const Clause &C = Clauses[RefOut];
+  Watches[C.Lits[0]].push_back(RefOut);
+  Watches[C.Lits[1]].push_back(RefOut);
+  return true;
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef Reason) {
+  Var V = litVar(L);
+  assert(Assigns[V] == LBool::Undef && "enqueue over an assigned variable");
+  Assigns[V] = litNegated(L) ? LBool::False : LBool::True;
+  Levels[V] = static_cast<int>(TrailLims.size());
+  Reasons[V] = Reason;
+  Polarity[V] = litNegated(L);
+  Trail.push_back(L);
+  if (Theory)
+    Theory->onAssert(L);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit L = Trail[PropagateHead++];
+    ++Statistics.Propagations;
+    Lit FalseLit = negate(L);
+    std::vector<ClauseRef> &Watchers = Watches[FalseLit];
+    size_t Keep = 0;
+    for (size_t I = 0; I < Watchers.size(); ++I) {
+      ClauseRef Ref = Watchers[I];
+      Clause &C = Clauses[Ref];
+      // Ensure the false literal is in slot 1.
+      if (C.Lits[0] == FalseLit)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == FalseLit && "watch list out of sync");
+      if (valueLit(C.Lits[0]) == LBool::True) {
+        Watchers[Keep++] = Ref;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (valueLit(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C.Lits[1]].push_back(Ref);
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Clause is unit or conflicting.
+      Watchers[Keep++] = Ref;
+      if (valueLit(C.Lits[0]) == LBool::False) {
+        // Conflict: restore untouched watchers and bail out.
+        for (size_t K = I + 1; K < Watchers.size(); ++K)
+          Watchers[Keep++] = Watchers[K];
+        Watchers.resize(Keep);
+        PropagateHead = Trail.size();
+        return Ref;
+      }
+      enqueue(C.Lits[0], Ref);
+    }
+    Watchers.resize(Keep);
+  }
+  return NullClause;
+}
+
+void SatSolver::bumpVar(Var V) {
+  Activities[V] += ActivityInc;
+  if (Activities[V] > 1e100) {
+    for (double &A : Activities)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivities() { ActivityInc *= 1.0 / 0.95; }
+
+void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                        int &BackLevel) {
+  Learnt.clear();
+  Learnt.push_back(NullLit); // slot for the asserting literal
+  int CurrentLevel = static_cast<int>(TrailLims.size());
+  int Counter = 0;
+  Lit P = NullLit;
+  size_t TrailIndex = Trail.size();
+  ClauseRef Reason = Conflict;
+  std::vector<Var> Touched;
+
+  do {
+    assert(Reason != NullClause && "resolution reached a decision unexpectedly");
+    const Clause &C = Clauses[Reason];
+    for (Lit Q : C.Lits) {
+      if (Q == P)
+        continue;
+      Var V = litVar(Q);
+      if (Seen[V] || level(V) == 0)
+        continue;
+      Seen[V] = 1;
+      Touched.push_back(V);
+      bumpVar(V);
+      if (level(V) >= CurrentLevel)
+        ++Counter;
+      else
+        Learnt.push_back(Q);
+    }
+    // Find the next seen literal on the trail.
+    while (!Seen[litVar(Trail[TrailIndex - 1])])
+      --TrailIndex;
+    --TrailIndex;
+    P = Trail[TrailIndex];
+    Seen[litVar(P)] = 0;
+    Reason = Reasons[litVar(P)];
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = negate(P);
+
+  // Compute the backjump level: highest level among the other literals.
+  BackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    if (level(litVar(Learnt[I])) > BackLevel) {
+      BackLevel = level(litVar(Learnt[I]));
+      MaxIdx = I;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+  for (Var V : Touched)
+    Seen[V] = 0;
+}
+
+void SatSolver::backtrackTo(int Level) {
+  if (static_cast<int>(TrailLims.size()) <= Level)
+    return;
+  size_t Bound = TrailLims[Level];
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = litVar(Trail[I]);
+    Assigns[V] = LBool::Undef;
+    Reasons[V] = NullClause;
+    Levels[V] = -1;
+  }
+  Trail.resize(Bound);
+  TrailLims.resize(Level);
+  PropagateHead = Trail.size();
+  if (Theory)
+    Theory->onBacktrack(Trail.size());
+}
+
+Lit SatSolver::pickBranchLit() {
+  Var Best = -1;
+  double BestActivity = -1.0;
+  for (Var V = 0; V < numVars(); ++V) {
+    if (Assigns[V] != LBool::Undef)
+      continue;
+    if (Activities[V] > BestActivity) {
+      BestActivity = Activities[V];
+      Best = V;
+    }
+  }
+  if (Best < 0)
+    return NullLit;
+  return mkLit(Best, Polarity[Best]);
+}
+
+bool SatSolver::handleTheoryResult(const TheoryClient::CheckResult &Result,
+                                   bool &SawLemma, bool &RootConflict) {
+  SawLemma = false;
+  RootConflict = false;
+  for (const std::vector<Lit> &Lemma : Result.Lemmas) {
+    ++Statistics.TheoryLemmas;
+    SawLemma = true;
+    // Lemmas may mention fresh variables; they are expected to be
+    // non-falsified when emitted.
+    std::vector<Lit> Copy = Lemma;
+    if (Copy.size() == 1) {
+      if (valueLit(Copy[0]) == LBool::Undef) {
+        // Assert at the root on next restart; emulate by learning a binary
+        // tautology-free unit via direct enqueue at level 0 when possible.
+        if (TrailLims.empty()) {
+          enqueue(Copy[0], NullClause);
+        } else {
+          // Keep it as a pseudo-clause with a duplicate literal slot.
+          Copy.push_back(Copy[0]);
+          ClauseRef Ref;
+          attachInternalClause(std::move(Copy), /*Learnt=*/true, Ref);
+        }
+      }
+      continue;
+    }
+    ClauseRef Ref;
+    attachInternalClause(std::move(Copy), /*Learnt=*/true, Ref);
+  }
+  return Result.Consistent;
+}
+
+SatResult SatSolver::solve(int64_t MaxConflicts) {
+  if (Unsatisfiable)
+    return SatResult::Unsat;
+  if (propagate() != NullClause) {
+    Unsatisfiable = true;
+    return SatResult::Unsat;
+  }
+
+  uint64_t RestartLimit = 100;
+  uint64_t ConflictsSinceRestart = 0;
+
+  auto HandleConflictClause = [&](ClauseRef Conflict) -> bool {
+    // Returns false when the conflict proves unsatisfiability.
+    ++Statistics.Conflicts;
+    ++ConflictsSinceRestart;
+    if (TrailLims.empty())
+      return false;
+    std::vector<Lit> Learnt;
+    int BackLevel = 0;
+    analyze(Conflict, Learnt, BackLevel);
+    backtrackTo(BackLevel);
+    if (Learnt.size() == 1) {
+      enqueue(Learnt[0], NullClause);
+    } else {
+      ClauseRef Ref;
+      attachInternalClause(std::move(Learnt), /*Learnt=*/true, Ref);
+      enqueue(Clauses[Ref].Lits[0], Ref);
+    }
+    decayActivities();
+    return true;
+  };
+
+  // Converts a theory conflict (all-false clause) into a CDCL conflict.
+  auto HandleTheoryConflict = [&](const std::vector<Lit> &Conflict) -> bool {
+    ++Statistics.TheoryConflicts;
+    if (Conflict.empty())
+      return false;
+    int MaxLevel = 0;
+    for (Lit L : Conflict) {
+      assert(valueLit(L) == LBool::False && "theory conflict literal not false");
+      MaxLevel = std::max(MaxLevel, level(litVar(L)));
+    }
+    if (MaxLevel == 0)
+      return false;
+    backtrackTo(MaxLevel);
+    if (Conflict.size() == 1) {
+      backtrackTo(MaxLevel - 1);
+      enqueue(negate(Conflict[0]), NullClause);
+      return true;
+    }
+    ClauseRef Ref;
+    std::vector<Lit> Copy = Conflict;
+    attachInternalClause(std::move(Copy), /*Learnt=*/true, Ref);
+    return HandleConflictClause(Ref);
+  };
+
+  for (;;) {
+    if (MaxConflicts > 0 &&
+        Statistics.Conflicts >= static_cast<uint64_t>(MaxConflicts))
+      return SatResult::Unknown;
+
+    ClauseRef Conflict = propagate();
+    if (Conflict != NullClause) {
+      if (!HandleConflictClause(Conflict)) {
+        Unsatisfiable = true;
+        return SatResult::Unsat;
+      }
+      continue;
+    }
+
+    // Boolean assignment is consistent; consult the theory.
+    if (Theory) {
+      bool Final = Trail.size() == static_cast<size_t>(numVars());
+      TheoryClient::CheckResult Result = Theory->check(Final);
+      if (Result.Abort)
+        return SatResult::Unknown;
+      bool SawLemma = false, RootConflict = false;
+      bool Consistent = handleTheoryResult(Result, SawLemma, RootConflict);
+      if (!Consistent) {
+        if (!HandleTheoryConflict(Result.Conflict)) {
+          Unsatisfiable = true;
+          return SatResult::Unsat;
+        }
+        continue;
+      }
+      if (SawLemma)
+        continue; // propagate / branch on the new lemma atoms
+      if (Final)
+        return SatResult::Sat;
+    }
+
+    if (ConflictsSinceRestart >= RestartLimit) {
+      ++Statistics.Restarts;
+      ConflictsSinceRestart = 0;
+      RestartLimit = RestartLimit + RestartLimit / 2;
+      backtrackTo(0);
+      continue;
+    }
+
+    Lit Decision = pickBranchLit();
+    if (Decision == NullLit) {
+      // All variables assigned and (if present) the theory already agreed.
+      return SatResult::Sat;
+    }
+    ++Statistics.Decisions;
+    TrailLims.push_back(Trail.size());
+    enqueue(Decision, NullClause);
+  }
+}

@@ -1,0 +1,159 @@
+//===- sat/SatSolver.h - CDCL SAT solver with theory hook -------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CDCL SAT solver in the MiniSat tradition: two-watched-literal
+/// propagation, first-UIP conflict analysis with clause learning, activity
+/// (VSIDS-style) branching and geometric restarts. A TheoryClient hook turns
+/// it into the boolean core of a DPLL(T) solver: the theory is notified of
+/// assignments, may veto them with conflict clauses, and may inject lemmas
+/// (used for branch-and-bound case splits over the integers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SAT_SATSOLVER_H
+#define LA_SAT_SATSOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace la::sat {
+
+/// Boolean variable index, 0-based.
+using Var = int32_t;
+
+/// Literal: variable with polarity, encoded as 2*Var + (negated ? 1 : 0).
+using Lit = int32_t;
+
+constexpr Lit NullLit = -1;
+
+inline Lit mkLit(Var V, bool Negated = false) {
+  return V * 2 + (Negated ? 1 : 0);
+}
+inline Lit negate(Lit L) { return L ^ 1; }
+inline Var litVar(Lit L) { return L >> 1; }
+inline bool litNegated(Lit L) { return L & 1; }
+
+/// Three-valued assignment.
+enum class LBool : uint8_t { False, True, Undef };
+
+inline LBool negateLBool(LBool B) {
+  if (B == LBool::Undef)
+    return B;
+  return B == LBool::True ? LBool::False : LBool::True;
+}
+
+/// Overall solver verdict.
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Callbacks a theory solver implements to participate in search.
+class TheoryClient {
+public:
+  virtual ~TheoryClient();
+
+  /// Outcome of a theory consistency check.
+  struct CheckResult {
+    /// False iff the current assignment is theory-inconsistent; then
+    /// \c Conflict holds a clause whose literals are all currently false.
+    bool Consistent = true;
+    std::vector<Lit> Conflict;
+    /// Additional lemmas (e.g. branch-and-bound splits). May mention fresh
+    /// variables created during the check. When non-empty at a final check,
+    /// the solver keeps searching instead of answering SAT.
+    std::vector<std::vector<Lit>> Lemmas;
+    /// When set the search stops with SatResult::Unknown (budget exhausted).
+    bool Abort = false;
+  };
+
+  /// Called when \p L becomes true in the boolean assignment.
+  virtual void onAssert(Lit L) = 0;
+  /// Called when the trail shrinks to \p NewSize entries.
+  virtual void onBacktrack(size_t NewSize) = 0;
+  /// Consistency check; \p Final is true when every variable is assigned.
+  virtual CheckResult check(bool Final) = 0;
+};
+
+/// CDCL SAT solver.
+class SatSolver {
+public:
+  explicit SatSolver(TheoryClient *Theory = nullptr) : Theory(Theory) {}
+
+  /// Creates a new variable and returns its index.
+  Var newVar();
+  int numVars() const { return static_cast<int>(Assigns.size()); }
+
+  /// Adds a clause; returns false if the solver became trivially unsat.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Runs the search. \p MaxConflicts <= 0 means unbounded.
+  SatResult solve(int64_t MaxConflicts = -1);
+
+  LBool value(Var V) const { return Assigns[V]; }
+  /// Sets the phase tried first when branching on \p V (phase saving will
+  /// overwrite it once the variable has been assigned).
+  void setPreferredPolarity(Var V, bool Negated) { Polarity[V] = Negated; }
+  LBool valueLit(Lit L) const {
+    return litNegated(L) ? negateLBool(Assigns[litVar(L)]) : Assigns[litVar(L)];
+  }
+
+  /// Statistics for benchmarking.
+  struct Stats {
+    uint64_t Conflicts = 0;
+    uint64_t Decisions = 0;
+    uint64_t Propagations = 0;
+    uint64_t Restarts = 0;
+    uint64_t TheoryConflicts = 0;
+    uint64_t TheoryLemmas = 0;
+  };
+  const Stats &stats() const { return Statistics; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt = false;
+  };
+  using ClauseRef = int32_t;
+  static constexpr ClauseRef NullClause = -1;
+
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt, int &BackLevel);
+  void backtrackTo(int Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayActivities();
+  int level(Var V) const { return Levels[V]; }
+  /// Installs a clause discovered during search (learnt or theory lemma);
+  /// returns false on root-level falsification.
+  bool attachInternalClause(std::vector<Lit> Lits, bool Learnt,
+                            ClauseRef &RefOut);
+  /// Handles a theory check result; returns the conflict clause ref if the
+  /// theory reported a conflict (after converting it to a learnt clause).
+  bool handleTheoryResult(const TheoryClient::CheckResult &Result,
+                          bool &SawLemma, bool &RootConflict);
+
+  TheoryClient *Theory;
+  std::deque<Clause> Clauses;
+  std::vector<std::vector<ClauseRef>> Watches; // indexed by literal
+  std::vector<LBool> Assigns;
+  std::vector<int> Levels;
+  std::vector<ClauseRef> Reasons;
+  std::vector<double> Activities;
+  std::vector<char> Seen;
+  std::vector<char> Polarity; // phase saving
+  std::vector<Lit> Trail;
+  std::vector<size_t> TrailLims;
+  size_t PropagateHead = 0;
+  double ActivityInc = 1.0;
+  bool Unsatisfiable = false;
+  Stats Statistics;
+};
+
+} // namespace la::sat
+
+#endif // LA_SAT_SATSOLVER_H

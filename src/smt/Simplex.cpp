@@ -1,0 +1,244 @@
+//===- smt/Simplex.cpp - General simplex for linear real arithmetic -------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace la;
+using namespace la::smt;
+
+Simplex::VarId Simplex::addVar() {
+  VarId V = static_cast<VarId>(Values.size());
+  Values.emplace_back();
+  Lower.emplace_back();
+  Upper.emplace_back();
+  RowOf.push_back(-1);
+  return V;
+}
+
+Simplex::VarId Simplex::addDefinedVar(
+    const std::vector<std::pair<VarId, Rational>> &Expr) {
+  // Express the definition over nonbasic variables only, substituting the
+  // rows of any basic variable mentioned.
+  std::map<VarId, Rational> Combined;
+  DeltaRational NewValue;
+  for (const auto &[V, Coeff] : Expr) {
+    assert(V >= 0 && V < numVars() && "unknown variable in definition");
+    NewValue += Values[V] * Coeff;
+    if (RowOf[V] < 0) {
+      Combined[V] += Coeff;
+      continue;
+    }
+    for (const auto &[W, WCoeff] : Rows[RowOf[V]].Terms)
+      Combined[W] += Coeff * WCoeff;
+  }
+  VarId S = addVar();
+  Values[S] = NewValue;
+  Row NewRow;
+  NewRow.Basic = S;
+  for (const auto &[V, Coeff] : Combined)
+    if (!Coeff.isZero())
+      NewRow.Terms.emplace_back(V, Coeff);
+  RowOf[S] = static_cast<int>(Rows.size());
+  Rows.push_back(std::move(NewRow));
+  return S;
+}
+
+/// Binary-searches \p Terms (sorted by var) for \p V; returns null if absent.
+static const Rational *
+findCoeff(const std::vector<std::pair<Simplex::VarId, Rational>> &Terms,
+          Simplex::VarId V) {
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), V,
+      [](const auto &Entry, Simplex::VarId Key) { return Entry.first < Key; });
+  if (It == Terms.end() || It->first != V)
+    return nullptr;
+  return &It->second;
+}
+
+void Simplex::updateNonbasic(VarId V, const DeltaRational &NewValue) {
+  assert(RowOf[V] < 0 && "updateNonbasic on a basic variable");
+  DeltaRational Diff = NewValue - Values[V];
+  for (Row &R : Rows)
+    if (const Rational *Coeff = findCoeff(R.Terms, V))
+      Values[R.Basic] += Diff * *Coeff;
+  Values[V] = NewValue;
+}
+
+std::optional<Simplex::Conflict>
+Simplex::assertBound(VarId V, bool IsLower, const DeltaRational &Value,
+                     int Reason, BoundUndo &Undo) {
+  ++Statistics.BoundAssertions;
+  Undo.Var = V;
+  Undo.IsLower = IsLower;
+  Undo.Applied = false;
+  std::vector<Bound> &Same = IsLower ? Lower : Upper;
+  const std::vector<Bound> &Opposite = IsLower ? Upper : Lower;
+
+  // No-op when the existing bound is at least as tight.
+  if (Same[V].Present &&
+      (IsLower ? Same[V].Value >= Value : Same[V].Value <= Value))
+    return std::nullopt;
+
+  // Immediate clash with the opposite bound.
+  if (Opposite[V].Present &&
+      (IsLower ? Value > Opposite[V].Value : Value < Opposite[V].Value)) {
+    ++Statistics.Conflicts;
+    Conflict C;
+    C.Reasons.emplace_back(Opposite[V].Reason, Rational(1));
+    C.Reasons.emplace_back(Reason, Rational(1));
+    return C;
+  }
+
+  Undo.Previous = Same[V];
+  Undo.Applied = true;
+  Same[V] = Bound{Value, Reason, true};
+
+  if (RowOf[V] < 0) {
+    // Keep the nonbasic invariant: value within bounds.
+    if (IsLower ? Values[V] < Value : Values[V] > Value)
+      updateNonbasic(V, Value);
+  }
+  return std::nullopt;
+}
+
+void Simplex::undoBound(const BoundUndo &Undo) {
+  if (!Undo.Applied)
+    return;
+  (Undo.IsLower ? Lower : Upper)[Undo.Var] = Undo.Previous;
+}
+
+void Simplex::pivotAndUpdate(int RowIdx, VarId Xj, const DeltaRational &Target) {
+  ++Statistics.Pivots;
+  Row &R = Rows[RowIdx];
+  VarId Xi = R.Basic;
+  const Rational *CoeffPtr = findCoeff(R.Terms, Xj);
+  assert(CoeffPtr && "pivot variable not in row");
+  Rational A = *CoeffPtr;
+  assert(!A.isZero() && "zero pivot coefficient");
+
+  // Value update: move Xi to Target by shifting Xj.
+  DeltaRational Theta = (Target - Values[Xi]) * A.inverse();
+  Values[Xi] = Target;
+  Values[Xj] += Theta;
+  for (int RI = 0; RI < static_cast<int>(Rows.size()); ++RI) {
+    if (RI == RowIdx)
+      continue;
+    if (const Rational *C = findCoeff(Rows[RI].Terms, Xj))
+      Values[Rows[RI].Basic] += Theta * *C;
+  }
+
+  // Representation update: solve the row for Xj.
+  //   Xi = a*Xj + sum(ak*xk)  ==>  Xj = (1/a)*Xi - sum(ak/a * xk)
+  std::map<VarId, Rational> NewDef;
+  Rational InvA = A.inverse();
+  NewDef[Xi] = InvA;
+  for (const auto &[W, C] : R.Terms)
+    if (W != Xj)
+      NewDef[W] = C * InvA * Rational(-1);
+  std::vector<std::pair<VarId, Rational>> NewTerms;
+  for (const auto &[W, C] : NewDef)
+    if (!C.isZero())
+      NewTerms.emplace_back(W, C);
+  R.Basic = Xj;
+  R.Terms = NewTerms;
+  RowOf[Xj] = RowIdx;
+  RowOf[Xi] = -1;
+
+  // Substitute the new definition of Xj into every other row.
+  for (int RI = 0; RI < static_cast<int>(Rows.size()); ++RI) {
+    if (RI == RowIdx)
+      continue;
+    Row &Other = Rows[RI];
+    const Rational *CPtr = findCoeff(Other.Terms, Xj);
+    if (!CPtr)
+      continue;
+    Rational C = *CPtr;
+    std::map<VarId, Rational> Combined;
+    for (const auto &[W, WC] : Other.Terms)
+      if (W != Xj)
+        Combined[W] += WC;
+    for (const auto &[W, WC] : NewTerms)
+      Combined[W] += C * WC;
+    Other.Terms.clear();
+    for (const auto &[W, WC] : Combined)
+      if (!WC.isZero())
+        Other.Terms.emplace_back(W, WC);
+  }
+}
+
+Simplex::Conflict Simplex::explainRowConflict(const Row &R,
+                                              bool NeedIncrease) const {
+  // The basic variable cannot move toward its violated bound because every
+  // term is saturated at the blocking bound; those bounds plus the violated
+  // one form an infeasible set with the Farkas coefficients below.
+  Conflict C;
+  const Bound &Violated = NeedIncrease ? Lower[R.Basic] : Upper[R.Basic];
+  assert(Violated.Present && "conflict without a violated bound");
+  C.Reasons.emplace_back(Violated.Reason, Rational(1));
+  for (const auto &[W, Coeff] : R.Terms) {
+    bool UseUpper = NeedIncrease ? Coeff.signum() > 0 : Coeff.signum() < 0;
+    const Bound &B = UseUpper ? Upper[W] : Lower[W];
+    assert(B.Present && "blocking bound missing in conflict row");
+    C.Reasons.emplace_back(B.Reason, Coeff.abs());
+  }
+  return C;
+}
+
+std::optional<Simplex::Conflict> Simplex::check() {
+  for (;;) {
+    // Bland's rule: pick the violating basic variable with the smallest id.
+    int ViolRow = -1;
+    bool NeedIncrease = false;
+    for (int RI = 0; RI < static_cast<int>(Rows.size()); ++RI) {
+      VarId B = Rows[RI].Basic;
+      if (Lower[B].Present && Values[B] < Lower[B].Value) {
+        if (ViolRow < 0 || B < Rows[ViolRow].Basic) {
+          ViolRow = RI;
+          NeedIncrease = true;
+        }
+      } else if (Upper[B].Present && Values[B] > Upper[B].Value) {
+        if (ViolRow < 0 || B < Rows[ViolRow].Basic) {
+          ViolRow = RI;
+          NeedIncrease = false;
+        }
+      }
+    }
+    if (ViolRow < 0)
+      return std::nullopt; // feasible
+
+    Row &R = Rows[ViolRow];
+    VarId Xi = R.Basic;
+    DeltaRational Target =
+        NeedIncrease ? Lower[Xi].Value : Upper[Xi].Value;
+
+    // Smallest-id nonbasic variable that can move Xi toward Target.
+    VarId Pivot = -1;
+    for (const auto &[W, Coeff] : R.Terms) {
+      bool CanUse;
+      if (NeedIncrease)
+        CanUse = Coeff.signum() > 0
+                     ? !Upper[W].Present || Values[W] < Upper[W].Value
+                     : !Lower[W].Present || Values[W] > Lower[W].Value;
+      else
+        CanUse = Coeff.signum() > 0
+                     ? !Lower[W].Present || Values[W] > Lower[W].Value
+                     : !Upper[W].Present || Values[W] < Upper[W].Value;
+      if (CanUse) {
+        Pivot = W;
+        break; // terms are sorted by id, so the first hit is the smallest
+      }
+    }
+    if (Pivot < 0) {
+      ++Statistics.Conflicts;
+      return explainRowConflict(R, NeedIncrease);
+    }
+    pivotAndUpdate(ViolRow, Pivot, Target);
+  }
+}

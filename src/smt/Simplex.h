@@ -1,0 +1,121 @@
+//===- smt/Simplex.h - General simplex for linear real arithmetic -*- C++ -*-=//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An implementation of the "general simplex" decision procedure for
+/// quantifier-free linear rational arithmetic in the style of Dutertre and
+/// de Moura (CAV'06), the algorithm used inside Z3's arithmetic theory:
+/// a tableau of basic-variable definitions plus per-variable bounds, with
+/// incremental bound assertion / retraction and Bland-rule pivoting.
+///
+/// Strict bounds are represented with DeltaRational (`c + k*delta`).
+/// Conflicts come with Farkas coefficients, which double as interpolation
+/// certificates for the Duality/UAutomizer-style baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SMT_SIMPLEX_H
+#define LA_SMT_SIMPLEX_H
+
+#include "support/DeltaRational.h"
+
+#include <optional>
+#include <vector>
+
+namespace la::smt {
+
+/// Incremental simplex over delta-rationals.
+class Simplex {
+public:
+  using VarId = int;
+
+  /// Creates a fresh unconstrained variable (initial value 0).
+  VarId addVar();
+
+  /// Creates a variable defined as a linear combination of existing
+  /// variables; the new variable enters the tableau as a basic variable.
+  /// Used for the slack variable of each theory atom.
+  VarId addDefinedVar(const std::vector<std::pair<VarId, Rational>> &Expr);
+
+  int numVars() const { return static_cast<int>(Values.size()); }
+
+  /// One asserted bound, tagged with an opaque reason for explanations.
+  struct Bound {
+    DeltaRational Value;
+    int Reason = -1;
+    bool Present = false;
+  };
+
+  /// Undo record for one assertBound call.
+  struct BoundUndo {
+    VarId Var = -1;
+    bool IsLower = false;
+    Bound Previous;
+    bool Applied = false; ///< False when the assertion was a no-op.
+  };
+
+  /// An infeasibility explanation: reasons of the participating bounds with
+  /// positive Farkas coefficients. Summing `Coeff * bound` yields the
+  /// contradiction 0 <(=) negative constant.
+  struct Conflict {
+    std::vector<std::pair<int, Rational>> Reasons;
+  };
+
+  /// Asserts `V >= Value` (IsLower) or `V <= Value`. Returns a conflict if
+  /// the bound immediately clashes with the opposite bound; in that case the
+  /// solver state is unchanged. \p Undo receives the information needed to
+  /// retract the assertion.
+  std::optional<Conflict> assertBound(VarId V, bool IsLower,
+                                      const DeltaRational &Value, int Reason,
+                                      BoundUndo &Undo);
+
+  /// Retracts a bound assertion. Must be called in LIFO order.
+  void undoBound(const BoundUndo &Undo);
+
+  /// Restores feasibility by pivoting; returns a conflict when the asserted
+  /// bounds are infeasible. The solver state remains valid either way (on
+  /// conflict, callers are expected to retract bounds before re-checking).
+  std::optional<Conflict> check();
+
+  /// Current model value; only meaningful after a successful check().
+  const DeltaRational &value(VarId V) const { return Values[V]; }
+
+  const Bound &lowerBound(VarId V) const { return Lower[V]; }
+  const Bound &upperBound(VarId V) const { return Upper[V]; }
+
+  /// Statistics for benchmarking.
+  struct Stats {
+    uint64_t Pivots = 0;
+    uint64_t BoundAssertions = 0;
+    uint64_t Conflicts = 0;
+  };
+  const Stats &stats() const { return Statistics; }
+
+private:
+  struct Row {
+    VarId Basic;
+    /// Sorted by variable id; never contains the basic variable.
+    std::vector<std::pair<VarId, Rational>> Terms;
+  };
+
+  /// Sets a nonbasic variable to \p NewValue and propagates into basics.
+  void updateNonbasic(VarId V, const DeltaRational &NewValue);
+  /// Pivots basic Xi with nonbasic Xj and moves Xi to \p Target.
+  void pivotAndUpdate(int RowIdx, VarId Xj, const DeltaRational &Target);
+  /// Builds the conflict explanation for an unbounded-direction row.
+  Conflict explainRowConflict(const Row &R, bool NeedIncrease) const;
+
+  std::vector<DeltaRational> Values;
+  std::vector<Bound> Lower;
+  std::vector<Bound> Upper;
+  std::vector<Row> Rows;
+  std::vector<int> RowOf; ///< var -> row index or -1 when nonbasic.
+  Stats Statistics;
+};
+
+} // namespace la::smt
+
+#endif // LA_SMT_SIMPLEX_H

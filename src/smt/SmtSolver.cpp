@@ -1,0 +1,900 @@
+//===- smt/SmtSolver.cpp - CDCL(T) solver for linear integer arith --------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace la;
+using namespace la::smt;
+
+//===----------------------------------------------------------------------===//
+// TheoryBridge: glue between the CDCL core and the simplex
+//===----------------------------------------------------------------------===//
+
+class SmtSolver::TheoryBridge : public sat::TheoryClient {
+public:
+  explicit TheoryBridge(SmtSolver &Owner) : Owner(Owner) {}
+
+  /// Bounds an atom literal imposes on its simplex variable, per polarity.
+  struct AtomBounds {
+    Simplex::VarId SVar = -1;
+    bool TrueIsLower = false;
+    DeltaRational TrueVal;
+    bool FalseIsLower = true;
+    DeltaRational FalseVal;
+  };
+
+  void registerAtomVar(sat::Var V, AtomBounds Bounds) {
+    if (static_cast<size_t>(V) >= AtomOfVar.size())
+      AtomOfVar.resize(V + 1);
+    AtomOfVar[V] = std::move(Bounds);
+  }
+
+  /// Records that simplex variable \p Slack is defined as \p Def over
+  /// structural variables (used by the integer equation check).
+  void registerSlackDef(Simplex::VarId Slack,
+                        std::vector<std::pair<Simplex::VarId, Rational>> Def) {
+    SlackDefs.emplace(Slack, std::move(Def));
+  }
+
+  void onAssert(sat::Lit L) override {
+    UndoRec Rec;
+    sat::Var V = sat::litVar(L);
+    if (static_cast<size_t>(V) < AtomOfVar.size() && AtomOfVar[V].SVar >= 0) {
+      const AtomBounds &AB = AtomOfVar[V];
+      bool Neg = sat::litNegated(L);
+      bool IsLower = Neg ? AB.FalseIsLower : AB.TrueIsLower;
+      const DeltaRational &Val = Neg ? AB.FalseVal : AB.TrueVal;
+      std::optional<Simplex::Conflict> Clash =
+          Splx.assertBound(AB.SVar, IsLower, Val, L, Rec.Undo);
+      Rec.IsAtom = true;
+      if (Clash && !Pending) {
+        Pending = conflictClause(*Clash);
+        PendingStackSize = Stack.size();
+      }
+    }
+    Stack.push_back(std::move(Rec));
+  }
+
+  void onBacktrack(size_t NewSize) override {
+    while (Stack.size() > NewSize) {
+      if (Stack.back().IsAtom)
+        Splx.undoBound(Stack.back().Undo);
+      Stack.pop_back();
+    }
+    if (Pending && Stack.size() <= PendingStackSize)
+      Pending.reset();
+  }
+
+  CheckResult check(bool Final) override {
+    CheckResult R;
+    if (Clock.expired()) {
+      R.Abort = true;
+      return R;
+    }
+    if (Pending) {
+      R.Consistent = false;
+      R.Conflict = *Pending;
+      return R;
+    }
+    std::optional<Simplex::Conflict> Conf = Splx.check();
+    if (Conf) {
+      R.Consistent = false;
+      R.Conflict = conflictClause(*Conf);
+      return R;
+    }
+    if (!Final)
+      return R;
+    // Integer-equation (GCD / elimination) check: branch-and-bound alone
+    // diverges on LP-feasible but integer-infeasible equation systems such
+    // as 2*q1 + 2 = 2*q2 + 1 (which arise from `mod` lowering), because the
+    // quotient variables are unbounded. Gather the currently *fixed*
+    // equations and run an exact elimination pass first.
+    if (std::optional<std::vector<sat::Lit>> Conflict = integerEquationCheck()) {
+      R.Consistent = false;
+      R.Conflict = std::move(*Conflict);
+      return R;
+    }
+    // Feasibility diving: before any case split, try to round the current
+    // fractional vertex into the integer lattice by pinning variables one by
+    // one inside the simplex. This terminates immediately on most SAT
+    // queries, where plain branch-and-bound tends to drift along unbounded
+    // rays of the polyhedron.
+    if (diveForIntegerModel())
+      return R; // consistent and integral: the caller answers SAT
+    // Branch and bound: find an integer variable with a fractional value
+    // and split on it (splitting on demand: the new atom simply enters the
+    // boolean search space; its two phases are the two branches).
+    for (const Term *VarTerm : Owner.IntVars) {
+      Simplex::VarId SV = Owner.VarOfTerm.at(VarTerm);
+      const DeltaRational &Val = Splx.value(SV);
+      assert(Val.delta().isZero() &&
+             "integer-tightened bounds must keep values delta-free");
+      if (Val.real().isInteger())
+        continue;
+      if (SplitsDone >= Owner.Opts.MaxBranchSplits) {
+        R.Abort = true;
+        return R;
+      }
+      ++SplitsDone;
+      if (std::getenv("LA_TRACE_SPLITS") && SplitsDone < 60)
+        fprintf(stderr, "[smt] split #%lld on %s at %s\n",
+                (long long)SplitsDone, VarTerm->name().c_str(),
+                Val.real().toString().c_str());
+      LinearAtom Split;
+      Split.Expr.addVar(VarTerm, Rational(1));
+      Split.Expr.addConstant(Rational(-Val.real().floor()));
+      Split.Rel = LinRel::Le; // x <= floor(v); negation gives x >= floor+1
+      sat::Lit A = Owner.registerAtom(Split);
+      // Branch toward the current relaxation point first (x <= floor(v));
+      // defaulting to the far branch walks unbounded variables away from
+      // the feasible lattice and diverges.
+      Owner.Sat->setPreferredPolarity(sat::litVar(A), sat::litNegated(A));
+      R.Lemmas.push_back({A, sat::negate(A)});
+      return R;
+    }
+    return R;
+  }
+
+  Simplex Splx;
+  int64_t SplitsDone = 0;
+  Deadline Clock;
+
+  void startClock(double Seconds) { Clock = Deadline(Seconds); }
+
+private:
+  /// Retracts a probe-bound segment in LIFO order and restores feasibility.
+  void retractProbes(std::vector<Simplex::BoundUndo> &Probe, size_t Mark) {
+    while (Probe.size() > Mark) {
+      Splx.undoBound(Probe.back());
+      Probe.pop_back();
+    }
+    [[maybe_unused]] std::optional<Simplex::Conflict> C = Splx.check();
+    assert(!C && "retracting probe bounds must restore feasibility");
+  }
+
+  /// Pins `Value <= SV <= Value` as probe bounds; on infeasibility the pair
+  /// is retracted and false returned.
+  bool pinTo(std::vector<Simplex::BoundUndo> &Probe, Simplex::VarId SV,
+             const Rational &Value) {
+    size_t Mark = Probe.size();
+    Simplex::BoundUndo U1, U2;
+    if (Splx.assertBound(SV, true, DeltaRational(Value), -1, U1))
+      return false;
+    Probe.push_back(U1);
+    if (Splx.assertBound(SV, false, DeltaRational(Value), -1, U2)) {
+      retractProbes(Probe, Mark);
+      return false;
+    }
+    Probe.push_back(U2);
+    if (!Splx.check())
+      return true;
+    retractProbes(Probe, Mark);
+    return false;
+  }
+
+  /// Greedy rounding sweep: repeatedly pins some fractional variable to its
+  /// floor or ceiling. Returns true when every integer variable is integral.
+  bool diveLoop(std::vector<Simplex::BoundUndo> &Probe) {
+    size_t Budget = 4 * Owner.IntVars.size() + 4;
+    for (size_t Round = 0; Round < Budget; ++Round) {
+      const Term *Fractional = nullptr;
+      for (const Term *VarTerm : Owner.IntVars) {
+        if (!Splx.value(Owner.VarOfTerm.at(VarTerm)).real().isInteger()) {
+          Fractional = VarTerm;
+          break;
+        }
+      }
+      if (!Fractional)
+        return true;
+      Simplex::VarId SV = Owner.VarOfTerm.at(Fractional);
+      Rational Val = Splx.value(SV).real();
+      if (!pinTo(Probe, SV, Rational(Val.floor())) &&
+          !pinTo(Probe, SV, Rational(Val.ceil())))
+        return false;
+    }
+    for (const Term *VarTerm : Owner.IntVars)
+      if (!Splx.value(Owner.VarOfTerm.at(VarTerm)).real().isInteger())
+        return false;
+    return true;
+  }
+
+  /// Tries to move the simplex assignment onto the integer lattice. First
+  /// greedy rounding inside successively larger boxes around the origin
+  /// (bounded polytopes make rounding robust and prevent branch-and-bound
+  /// from drifting along unbounded rays), then an unboxed dive. All probe
+  /// bounds are retracted before returning; a successful dive leaves the
+  /// feasible integral assignment in place for model extraction.
+  bool diveForIntegerModel() {
+    std::vector<Simplex::BoundUndo> Probe;
+    for (int64_t Box : {16, 256, 4096}) {
+      size_t BoxMark = Probe.size();
+      bool BoxFeasible = true;
+      for (const Term *VarTerm : Owner.IntVars) {
+        Simplex::VarId SV = Owner.VarOfTerm.at(VarTerm);
+        Simplex::BoundUndo U1, U2;
+        if (Splx.assertBound(SV, true, DeltaRational(Rational(-Box)), -1,
+                             U1)) {
+          BoxFeasible = false;
+          break;
+        }
+        Probe.push_back(U1);
+        if (Splx.assertBound(SV, false, DeltaRational(Rational(Box)), -1,
+                             U2)) {
+          BoxFeasible = false;
+          break;
+        }
+        Probe.push_back(U2);
+      }
+      if (BoxFeasible && Splx.check())
+        BoxFeasible = false; // no rational point in this box
+      if (BoxFeasible && diveLoop(Probe)) {
+        retractProbes(Probe, 0);
+        return true; // integral assignment found (and kept)
+      }
+      retractProbes(Probe, BoxMark);
+    }
+    // Unboxed last attempt.
+    if (diveLoop(Probe)) {
+      retractProbes(Probe, 0);
+      return true;
+    }
+    retractProbes(Probe, 0);
+    return false;
+  }
+
+  /// One integer linear equation `sum Coeffs * var + Const = 0`.
+  struct IntEquation {
+    std::map<Simplex::VarId, BigInt> Coeffs;
+    BigInt Const;
+  };
+
+  /// Collects equations from variables whose bounds are currently pinned to
+  /// a single integer value and refutes them by exact elimination when the
+  /// system has no integer solution; additionally enumerates the values of
+  /// up to two small-range variables (e.g. `mod` remainders) so congruence
+  /// conflicts like `r in [1,2] with r = 3k` are caught. Returns the
+  /// conflict clause (negated reasons of every participating bound).
+  std::optional<std::vector<sat::Lit>> integerEquationCheck() {
+    std::vector<IntEquation> Equations;
+    std::set<sat::Lit> Reasons;
+    struct RangeVar {
+      Simplex::VarId Var;
+      BigInt Lo;
+      BigInt Hi;
+    };
+    std::vector<RangeVar> RangeVars;
+    for (Simplex::VarId V = 0; V < Splx.numVars(); ++V) {
+      const Simplex::Bound &Lo = Splx.lowerBound(V);
+      const Simplex::Bound &Hi = Splx.upperBound(V);
+      if (!Lo.Present || !Hi.Present)
+        continue;
+      assert(Lo.Value.delta().isZero() && Lo.Value.real().isInteger() &&
+             "integer-tightened bounds expected");
+      if (Lo.Value != Hi.Value) {
+        // A narrow interval on a structural variable is worth enumerating.
+        BigInt Width =
+            Hi.Value.real().numerator() - Lo.Value.real().numerator();
+        if (!SlackDefs.count(V) && Width <= BigInt(3)) {
+          RangeVars.push_back(RangeVar{V, Lo.Value.real().numerator(),
+                                       Hi.Value.real().numerator()});
+          Reasons.insert(static_cast<sat::Lit>(Lo.Reason));
+          Reasons.insert(static_cast<sat::Lit>(Hi.Reason));
+        }
+        continue;
+      }
+      IntEquation Eq;
+      Eq.Const = -Lo.Value.real().numerator();
+      auto DefIt = SlackDefs.find(V);
+      if (DefIt == SlackDefs.end()) {
+        Eq.Coeffs[V] = BigInt(1);
+      } else {
+        for (const auto &[W, C] : DefIt->second) {
+          assert(C.isInteger() && "slack definitions have integer coeffs");
+          Eq.Coeffs[W] = C.numerator();
+        }
+      }
+      Reasons.insert(static_cast<sat::Lit>(Lo.Reason));
+      Reasons.insert(static_cast<sat::Lit>(Hi.Reason));
+      Equations.push_back(std::move(Eq));
+    }
+    if (Equations.empty())
+      return std::nullopt;
+
+    if (!eliminationConflict(Equations)) {
+      // Case-enumerate small-range variables, narrowest first, while the
+      // product of range widths stays tractable.
+      if (RangeVars.empty())
+        return std::nullopt;
+      std::sort(RangeVars.begin(), RangeVars.end(),
+                [](const RangeVar &A, const RangeVar &B) {
+                  return A.Hi - A.Lo < B.Hi - B.Lo;
+                });
+      uint64_t Product = 1;
+      size_t Keep = 0;
+      for (const RangeVar &R : RangeVars) {
+        uint64_t Width = static_cast<uint64_t>(*(R.Hi - R.Lo).toInt64()) + 1;
+        if (Product * Width > 16)
+          break;
+        Product *= Width;
+        ++Keep;
+      }
+      RangeVars.resize(Keep);
+      if (RangeVars.empty())
+        return std::nullopt;
+      // Every combination must conflict for a refutation.
+      std::vector<BigInt> Values;
+      std::function<bool(size_t)> AllConflict = [&](size_t I) -> bool {
+        if (I == RangeVars.size()) {
+          std::vector<IntEquation> WithCases = Equations;
+          for (size_t J = 0; J < RangeVars.size(); ++J) {
+            IntEquation Eq;
+            Eq.Coeffs[RangeVars[J].Var] = BigInt(1);
+            Eq.Const = BigInt(0) - Values[J];
+            WithCases.push_back(std::move(Eq));
+          }
+          return eliminationConflict(WithCases);
+        }
+        for (BigInt V = RangeVars[I].Lo; V <= RangeVars[I].Hi;
+             V += BigInt(1)) {
+          Values.push_back(V);
+          bool Ok = AllConflict(I + 1);
+          Values.pop_back();
+          if (!Ok)
+            return false;
+        }
+        return true;
+      };
+      if (!AllConflict(0))
+        return std::nullopt;
+    }
+
+    std::vector<sat::Lit> Clause;
+    for (sat::Lit L : Reasons)
+      Clause.push_back(sat::negate(L));
+    return Clause;
+  }
+
+  /// Exact elimination on integer equations; true iff provably infeasible.
+  static bool eliminationConflict(std::vector<IntEquation> Equations) {
+    bool Conflict = false;
+    for (size_t Round = 0; Round < 4 * Equations.size() + 4 && !Conflict;
+         ++Round) {
+      // Normalise and detect ground conflicts.
+      for (size_t I = 0; I < Equations.size();) {
+        IntEquation &Eq = Equations[I];
+        for (auto It = Eq.Coeffs.begin(); It != Eq.Coeffs.end();)
+          It = It->second.isZero() ? Eq.Coeffs.erase(It) : std::next(It);
+        if (Eq.Coeffs.empty()) {
+          if (!Eq.Const.isZero()) {
+            Conflict = true;
+            break;
+          }
+          Equations.erase(Equations.begin() + I);
+          continue;
+        }
+        BigInt G;
+        for (const auto &[W, C] : Eq.Coeffs)
+          G = BigInt::gcd(G, C);
+        if (!(Eq.Const % G).isZero()) {
+          Conflict = true;
+          break;
+        }
+        if (!G.isOne()) {
+          for (auto &[W, C] : Eq.Coeffs) {
+            (void)W;
+            C = C / G;
+          }
+          Eq.Const = Eq.Const / G;
+        }
+        ++I;
+      }
+      if (Conflict || Equations.empty())
+        break;
+      // Find a unit coefficient to substitute away.
+      size_t EqIdx = Equations.size();
+      Simplex::VarId Var = -1;
+      for (size_t I = 0; I < Equations.size() && EqIdx == Equations.size();
+           ++I)
+        for (const auto &[W, C] : Equations[I].Coeffs)
+          if (C.abs().isOne()) {
+            EqIdx = I;
+            Var = W;
+            break;
+          }
+      if (EqIdx == Equations.size())
+        break; // no unit pivot: give up (sound, incomplete)
+      // Var = -A * (Const + sum of the other terms), with A = +-1.
+      IntEquation Pivot = Equations[EqIdx];
+      Equations.erase(Equations.begin() + EqIdx);
+      BigInt A = Pivot.Coeffs.at(Var);
+      Pivot.Coeffs.erase(Var);
+      for (IntEquation &Eq : Equations) {
+        auto It = Eq.Coeffs.find(Var);
+        if (It == Eq.Coeffs.end())
+          continue;
+        BigInt B = It->second;
+        Eq.Coeffs.erase(It);
+        BigInt Factor = BigInt(0) - B * A; // B * (-A)
+        for (const auto &[W, C] : Pivot.Coeffs)
+          Eq.Coeffs[W] += Factor * C;
+        Eq.Const += Factor * Pivot.Const;
+      }
+    }
+    return Conflict;
+  }
+
+  std::vector<sat::Lit> conflictClause(const Simplex::Conflict &Conf) const {
+    std::set<sat::Lit> Lits;
+    for (const auto &[Reason, Coeff] : Conf.Reasons) {
+      (void)Coeff;
+      Lits.insert(sat::negate(static_cast<sat::Lit>(Reason)));
+    }
+    return std::vector<sat::Lit>(Lits.begin(), Lits.end());
+  }
+
+  struct UndoRec {
+    Simplex::BoundUndo Undo;
+    bool IsAtom = false;
+  };
+
+  SmtSolver &Owner;
+  std::vector<AtomBounds> AtomOfVar; ///< indexed by SAT variable
+  std::unordered_map<Simplex::VarId,
+                     std::vector<std::pair<Simplex::VarId, Rational>>>
+      SlackDefs;
+  std::vector<UndoRec> Stack;        ///< parallel to the SAT trail
+  std::optional<std::vector<sat::Lit>> Pending;
+  size_t PendingStackSize = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// SmtSolver
+//===----------------------------------------------------------------------===//
+
+SmtSolver::SmtSolver(TermManager &TM, Options Opts) : TM(TM), Opts(Opts) {
+  Bridge = std::make_unique<TheoryBridge>(*this);
+  Sat = std::make_unique<sat::SatSolver>(Bridge.get());
+}
+
+SmtSolver::~SmtSolver() = default;
+
+void SmtSolver::assertFormula(const Term *F) {
+  assert(!Checked && "assertFormula after check");
+  assert(F->sort() == Sort::Bool && "asserting a non-Bool term");
+  assert(!TermManager::containsPredApp(F) &&
+         "verification formulas must be predicate-free");
+  Assertions.push_back(F);
+  // Register every Int variable so the model covers it even when it ends up
+  // unconstrained.
+  for (const Term *V : TM.collectVars(F))
+    if (V->sort() == Sort::Int)
+      (void)simplexVarFor(V);
+}
+
+Simplex::VarId SmtSolver::simplexVarFor(const Term *Var) {
+  auto It = VarOfTerm.find(Var);
+  if (It != VarOfTerm.end())
+    return It->second;
+  Simplex::VarId SV = Bridge->Splx.addVar();
+  VarOfTerm.emplace(Var, SV);
+  if (Var->sort() == Sort::Int)
+    IntVars.push_back(Var);
+  return SV;
+}
+
+const Term *SmtSolver::lowerModAndEq(const Term *F) {
+  switch (F->kind()) {
+  case TermKind::IntConst:
+  case TermKind::BoolConst:
+  case TermKind::Var:
+    return F;
+  case TermKind::Mod: {
+    const Term *Inner = lowerModAndEq(F->operand(0));
+    const Term *Lowered = TM.mkMod(Inner, F->value().numerator());
+    if (Lowered->kind() != TermKind::Mod)
+      return Lowered; // constant-folded
+    auto It = ModCache.find(Lowered);
+    if (It != ModCache.end())
+      return It->second;
+    const Term *R = TM.mkFreshVar("mod");
+    const Term *Q = TM.mkFreshVar("div");
+    const BigInt &K = F->value().numerator();
+    // Inner = K*Q + R  with  0 <= R < K.
+    SideConstraints.push_back(
+        TM.mkEq(Inner, TM.mkAdd(TM.mkMul(Rational(K), Q), R)));
+    SideConstraints.push_back(TM.mkLe(TM.mkIntConst(0), R));
+    SideConstraints.push_back(
+        TM.mkLe(R, TM.mkIntConst(Rational(K) - Rational(1))));
+    ModCache.emplace(Lowered, R);
+    return R;
+  }
+  case TermKind::Add: {
+    std::vector<const Term *> Ops;
+    Ops.reserve(F->numOperands());
+    for (const Term *Op : F->operands())
+      Ops.push_back(lowerModAndEq(Op));
+    return TM.mkAdd(std::move(Ops));
+  }
+  case TermKind::Mul:
+    return TM.mkMul(F->value(), lowerModAndEq(F->operand(0)));
+  case TermKind::Le:
+    return TM.mkLe(lowerModAndEq(F->operand(0)), lowerModAndEq(F->operand(1)));
+  case TermKind::Lt:
+    return TM.mkLt(lowerModAndEq(F->operand(0)), lowerModAndEq(F->operand(1)));
+  case TermKind::Eq: {
+    const Term *L = lowerModAndEq(F->operand(0));
+    const Term *R = lowerModAndEq(F->operand(1));
+    return TM.mkAnd(TM.mkLe(L, R), TM.mkLe(R, L));
+  }
+  case TermKind::Not:
+    return TM.mkNot(lowerModAndEq(F->operand(0)));
+  case TermKind::And: {
+    std::vector<const Term *> Ops;
+    for (const Term *Op : F->operands())
+      Ops.push_back(lowerModAndEq(Op));
+    return TM.mkAnd(std::move(Ops));
+  }
+  case TermKind::Or: {
+    std::vector<const Term *> Ops;
+    for (const Term *Op : F->operands())
+      Ops.push_back(lowerModAndEq(Op));
+    return TM.mkOr(std::move(Ops));
+  }
+  case TermKind::PredApp:
+    assert(false && "predicate application in a verification formula");
+    return F;
+  }
+  assert(false && "unhandled term kind");
+  return F;
+}
+
+sat::Lit SmtSolver::registerAtom(const LinearAtom &AtomIn) {
+  assert(AtomIn.Rel != LinRel::Eq && "Eq atoms are split before registration");
+  LinearAtom Atom = AtomIn;
+  Atom.Expr.normalizeIntegral();
+
+  // Constant atom: decide truth immediately and return a constant literal.
+  if (Atom.Expr.isConstant()) {
+    bool Truth = Atom.Rel == LinRel::Le ? Atom.Expr.constant().signum() <= 0
+                                        : Atom.Expr.constant().signum() < 0;
+    return encode(TM.mkBool(Truth));
+  }
+
+  // Integer tightening: with integral coefficients and integer variables,
+  //   E < 0  <=>  E <= -1, so only non-strict "<= K" bounds remain.
+  const Rational &B = Atom.Expr.constant();
+  assert(B.isInteger() && "normalised atom with fractional constant");
+  Rational K = Atom.Rel == LinRel::Le ? -B : -B - Rational(1);
+
+  const auto &Coeffs = Atom.Expr.coefficients();
+  TheoryBridge::AtomBounds Bounds;
+  std::string Key;
+  if (Coeffs.size() == 1) {
+    // c*x <= K: bound the variable directly (exact integer division).
+    const auto &[VarTerm, C] = *Coeffs.begin();
+    Simplex::VarId SV = simplexVarFor(VarTerm);
+    Bounds.SVar = SV;
+    if (C.signum() > 0) {
+      Rational Floor((K / C).floor());
+      Bounds.TrueIsLower = false;
+      Bounds.TrueVal = DeltaRational(Floor);
+      Bounds.FalseIsLower = true;
+      Bounds.FalseVal = DeltaRational(Floor + Rational(1));
+    } else {
+      Rational Ceil((K / C).ceil());
+      Bounds.TrueIsLower = true;
+      Bounds.TrueVal = DeltaRational(Ceil);
+      Bounds.FalseIsLower = false;
+      Bounds.FalseVal = DeltaRational(Ceil - Rational(1));
+    }
+  } else {
+    // Multi-variable atom: introduce (or reuse) a slack for the linear part.
+    // GCD tightening: when all coefficients share a factor g, the slack for
+    // coeffs/g is integral and `g*s <= K` tightens to `s <= floor(K/g)`.
+    // This refutes systems like 2x - 2y = 1 without any branching.
+    BigInt G;
+    for (const auto &[VarTerm, C] : Coeffs) {
+      (void)VarTerm;
+      assert(C.isInteger() && "normalised atom with fractional coefficient");
+      G = BigInt::gcd(G, C.numerator());
+    }
+    Rational GR((G.isZero() ? BigInt(1) : G));
+    // Canonicalise the slack's sign (first coefficient positive) so that the
+    // two directions of an equality bound the *same* slack variable; the
+    // integer-equation check depends on seeing lower == upper on one var.
+    bool Flip = Coeffs.begin()->second.isNegative();
+    if (Flip)
+      GR = -GR;
+    std::string SlackKey;
+    std::vector<std::pair<Simplex::VarId, Rational>> Def;
+    for (const auto &[VarTerm, C] : Coeffs) {
+      Simplex::VarId SV = simplexVarFor(VarTerm);
+      Rational Reduced = C / GR;
+      Def.emplace_back(SV, Reduced);
+      SlackKey += std::to_string(SV) + "*" + Reduced.toString() + " ";
+    }
+    auto [SlackIt, Inserted] = SlackCache.emplace(SlackKey, -1);
+    if (Inserted) {
+      SlackIt->second = Bridge->Splx.addDefinedVar(Def);
+      Bridge->registerSlackDef(SlackIt->second, Def);
+    }
+    Bounds.SVar = SlackIt->second;
+    if (Flip) {
+      // sum coeff * x <= K  <=>  slack >= ceil(K / GR) with GR < 0.
+      Rational Tight((K / GR).ceil());
+      Bounds.TrueIsLower = true;
+      Bounds.TrueVal = DeltaRational(Tight);
+      Bounds.FalseIsLower = false;
+      Bounds.FalseVal = DeltaRational(Tight - Rational(1));
+    } else {
+      Rational Tight((K / GR).floor());
+      Bounds.TrueIsLower = false;
+      Bounds.TrueVal = DeltaRational(Tight);
+      Bounds.FalseIsLower = true;
+      Bounds.FalseVal = DeltaRational(Tight + Rational(1));
+    }
+  }
+
+  Key = std::to_string(Bounds.SVar) + (Bounds.TrueIsLower ? "L" : "U") +
+        Bounds.TrueVal.toString();
+  auto [It, Inserted] = AtomCache.emplace(Key, 0);
+  if (!Inserted)
+    return It->second;
+  sat::Var V = Sat->newVar();
+  Bridge->registerAtomVar(V, std::move(Bounds));
+  It->second = sat::mkLit(V);
+  return It->second;
+}
+
+sat::Lit SmtSolver::atomLiteral(const Term *AtomTerm) {
+  std::optional<LinearAtom> Atom = LinearAtom::fromTerm(AtomTerm);
+  assert(Atom.has_value() && "non-linear atom reached the encoder");
+  return registerAtom(*Atom);
+}
+
+sat::Lit SmtSolver::encode(const Term *F) {
+  auto Cached = EncodeCache.find(F);
+  if (Cached != EncodeCache.end())
+    return Cached->second;
+  sat::Lit Result;
+  switch (F->kind()) {
+  case TermKind::BoolConst: {
+    // A variable forced to the constant's value.
+    sat::Var V = Sat->newVar();
+    Sat->addClause({sat::mkLit(V, !F->boolValue())});
+    Result = sat::mkLit(V);
+    break;
+  }
+  case TermKind::Var: {
+    assert(F->sort() == Sort::Bool && "Int variable in boolean position");
+    sat::Var V = Sat->newVar();
+    Result = sat::mkLit(V);
+    break;
+  }
+  case TermKind::Le:
+  case TermKind::Lt:
+    Result = atomLiteral(F);
+    break;
+  case TermKind::Not:
+    Result = sat::negate(encode(F->operand(0)));
+    break;
+  case TermKind::And: {
+    sat::Var G = Sat->newVar();
+    std::vector<sat::Lit> Back{sat::mkLit(G)};
+    for (const Term *Op : F->operands()) {
+      sat::Lit OpLit = encode(Op);
+      Sat->addClause({sat::mkLit(G, true), OpLit});
+      Back.push_back(sat::negate(OpLit));
+    }
+    Sat->addClause(std::move(Back));
+    Result = sat::mkLit(G);
+    break;
+  }
+  case TermKind::Or: {
+    sat::Var G = Sat->newVar();
+    std::vector<sat::Lit> Fwd{sat::mkLit(G, true)};
+    for (const Term *Op : F->operands()) {
+      sat::Lit OpLit = encode(Op);
+      Sat->addClause({sat::mkLit(G), sat::negate(OpLit)});
+      Fwd.push_back(OpLit);
+    }
+    Sat->addClause(std::move(Fwd));
+    Result = sat::mkLit(G);
+    break;
+  }
+  default:
+    assert(false && "unexpected term kind in boolean encoding");
+    Result = 0;
+    break;
+  }
+  EncodeCache.emplace(F, Result);
+  return Result;
+}
+
+SmtResult SmtSolver::check() {
+  assert(!Checked && "SmtSolver is one-shot; create a fresh instance");
+  Checked = true;
+  Bridge->startClock(Opts.TimeoutSeconds);
+
+  std::vector<const Term *> Lowered;
+  for (const Term *A : Assertions)
+    Lowered.push_back(lowerModAndEq(A));
+  // Mod lowering appends side constraints; lower them too (no new mods can
+  // appear, but the equalities need splitting).
+  for (size_t I = 0; I < SideConstraints.size(); ++I)
+    Lowered.push_back(lowerModAndEq(SideConstraints[I]));
+
+  bool Root = true;
+  for (const Term *F : Lowered)
+    Root &= Sat->addClause({encode(F)});
+  if (!Root)
+    return SmtResult::Unsat;
+
+  switch (Sat->solve(Opts.MaxConflicts)) {
+  case sat::SatResult::Unsat:
+    return SmtResult::Unsat;
+  case sat::SatResult::Unknown:
+    return SmtResult::Unknown;
+  case sat::SatResult::Sat:
+    break;
+  }
+
+  // Build the model.
+  Model.clear();
+  for (const Term *V : IntVars) {
+    const DeltaRational &Val = Bridge->Splx.value(VarOfTerm.at(V));
+    assert(Val.delta().isZero() && Val.real().isInteger() &&
+           "integer model value expected");
+    Model.emplace(V, Val.real());
+  }
+  for (const auto &[T, L] : EncodeCache)
+    if (T->kind() == TermKind::Var && T->sort() == Sort::Bool)
+      Model.emplace(T, Rational(Sat->valueLit(L) == sat::LBool::True ? 1 : 0));
+  return SmtResult::Sat;
+}
+
+const std::unordered_map<const Term *, Rational> &SmtSolver::model() const {
+  return Model;
+}
+
+Rational SmtSolver::evalInModel(const Term *T) const {
+  // Tolerate variables absent from the model (unconstrained): default 0.
+  std::unordered_map<const Term *, Rational> Extended = Model;
+  std::vector<const Term *> Stack{T};
+  while (!Stack.empty()) {
+    const Term *Node = Stack.back();
+    Stack.pop_back();
+    if (Node->kind() == TermKind::Var && !Extended.count(Node))
+      Extended.emplace(Node, Rational(0));
+    for (const Term *Op : Node->operands())
+      Stack.push_back(Op);
+  }
+  return evalTerm(T, Extended);
+}
+
+SmtSolver::Stats SmtSolver::stats() const {
+  Stats S;
+  S.NumAtoms = AtomCache.size();
+  S.NumBranchSplits = Bridge->SplitsDone;
+  S.Sat = Sat->stats();
+  S.SimplexStats = Bridge->Splx.stats();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Conjunction checking with Farkas certificates
+//===----------------------------------------------------------------------===//
+
+ConjunctionResult
+la::smt::checkLinearConjunction(const std::vector<LinearAtom> &Atoms) {
+  ConjunctionResult Result;
+  Result.FarkasCoeffs.assign(Atoms.size(), Rational(0));
+
+  Simplex Splx;
+  std::map<const Term *, Simplex::VarId, TermIdLess> VarIds;
+  auto VarFor = [&](const Term *V) {
+    auto It = VarIds.find(V);
+    if (It != VarIds.end())
+      return It->second;
+    Simplex::VarId SV = Splx.addVar();
+    VarIds.emplace(V, SV);
+    return SV;
+  };
+
+  std::optional<Simplex::Conflict> Conflict;
+  std::vector<Simplex::BoundUndo> Undos; // kept alive; never undone
+  for (size_t I = 0; I < Atoms.size() && !Conflict; ++I) {
+    const LinearAtom &Atom = Atoms[I];
+    // Constant atoms decide themselves. (Reasons are encoded as 2*index for
+    // "Expr <= 0" usage and 2*index+1 for the ">=" direction of equalities,
+    // so certificates carry signed coefficients.)
+    if (Atom.Expr.isConstant()) {
+      int Sign = Atom.Expr.constant().signum();
+      bool Holds = Atom.Rel == LinRel::Le   ? Sign <= 0
+                   : Atom.Rel == LinRel::Lt ? Sign < 0
+                                            : Sign == 0;
+      if (!Holds) {
+        int Dir = (Atom.Rel == LinRel::Eq && Sign < 0) ? 1 : 0;
+        Conflict =
+            Simplex::Conflict{{{static_cast<int>(2 * I + Dir), Rational(1)}}};
+        break;
+      }
+      continue;
+    }
+    // Slack for the linear part; bound by the (negated) constant.
+    std::vector<std::pair<Simplex::VarId, Rational>> Def;
+    for (const auto &[V, C] : Atom.Expr.coefficients())
+      Def.emplace_back(VarFor(V), C);
+    Simplex::VarId S = Splx.addDefinedVar(Def);
+    Rational MinusB = -Atom.Expr.constant();
+    auto Assert = [&](bool IsLower, const DeltaRational &Val) {
+      Simplex::BoundUndo Undo;
+      // Upper bounds witness "Expr <= 0" (direction 0); lower bounds
+      // witness "Expr >= 0" (direction 1, negative contribution).
+      int Reason = static_cast<int>(2 * I + (IsLower ? 1 : 0));
+      std::optional<Simplex::Conflict> C =
+          Splx.assertBound(S, IsLower, Val, Reason, Undo);
+      Undos.push_back(Undo);
+      if (C && !Conflict)
+        Conflict = C;
+    };
+    switch (Atom.Rel) {
+    case LinRel::Le:
+      Assert(false, DeltaRational(MinusB));
+      break;
+    case LinRel::Lt:
+      Assert(false, DeltaRational(MinusB, Rational(-1)));
+      break;
+    case LinRel::Eq:
+      Assert(false, DeltaRational(MinusB));
+      if (!Conflict)
+        Assert(true, DeltaRational(MinusB));
+      break;
+    }
+  }
+  if (!Conflict)
+    Conflict = Splx.check();
+
+  if (Conflict) {
+    Result.Sat = false;
+    for (const auto &[Reason, Coeff] : Conflict->Reasons) {
+      size_t Index = static_cast<size_t>(Reason) / 2;
+      bool LowerDir = Reason % 2 == 1;
+      Result.FarkasCoeffs[Index] += LowerDir ? -Coeff : Coeff;
+    }
+    return Result;
+  }
+
+  Result.Sat = true;
+  // Eliminate delta: find an epsilon > 0 keeping every atom satisfied.
+  Rational Eps(1);
+  for (int Tries = 0; Tries < 200; ++Tries) {
+    std::unordered_map<const Term *, Rational> Model;
+    for (const auto &[V, SV] : VarIds) {
+      const DeltaRational &DV = Splx.value(SV);
+      Model.emplace(V, DV.real() + DV.delta() * Eps);
+    }
+    bool AllHold = true;
+    for (const LinearAtom &Atom : Atoms)
+      AllHold &= Atom.holds(Model);
+    if (AllHold) {
+      Result.Model = std::move(Model);
+      return Result;
+    }
+    Eps = Eps * Rational(BigInt(1), BigInt(2));
+  }
+  assert(false && "failed to eliminate delta from a satisfiable system");
+  return Result;
+}

@@ -1,0 +1,131 @@
+//===- smt/SmtSolver.h - CDCL(T) solver for linear integer arith -*- C++ -*-=//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT entry points the paper assumes from Z3 (§4.2): `Z3Check` is
+/// `SmtSolver::check`, `Z3Model` is `SmtSolver::model`, and `Z3Eval` is
+/// `SmtSolver::evalInModel`. The solver decides quantifier-free linear
+/// integer arithmetic with arbitrary boolean structure plus `mod` by a
+/// positive constant:
+///
+///   * equalities are split into two inequalities;
+///   * `mod` terms are lowered with fresh quotient/remainder variables;
+///   * atoms are canonicalised, integer-tightened, and become bounds on
+///     simplex slack variables;
+///   * the boolean skeleton runs on the CDCL core with the simplex as the
+///     theory; integrality is enforced by branch-and-bound case splits
+///     injected as splitting-on-demand atoms.
+///
+/// Intended usage is one-shot (build, assert, check, read model), which is
+/// exactly the pattern of the CHC solver's CEGAR loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SMT_SMTSOLVER_H
+#define LA_SMT_SMTSOLVER_H
+
+#include "logic/LinearExpr.h"
+#include "logic/Term.h"
+#include "sat/SatSolver.h"
+#include "smt/Simplex.h"
+
+#include <memory>
+
+namespace la::smt {
+
+/// Verdict of an SMT query.
+enum class SmtResult { Sat, Unsat, Unknown };
+
+/// One-shot CDCL(T) solver for QF linear integer arithmetic.
+class SmtSolver {
+public:
+  /// Options bounding the search; defaults are generous for CHC-sized VCs.
+  struct Options {
+    int64_t MaxConflicts = 200000;
+    /// Cap on branch-and-bound case splits (guards unbounded integer VCs).
+    int64_t MaxBranchSplits = 20000;
+    /// Wall-clock cap per check() in seconds (0 = unlimited).
+    double TimeoutSeconds = 10;
+  };
+
+  explicit SmtSolver(TermManager &TM) : SmtSolver(TM, Options{}) {}
+  SmtSolver(TermManager &TM, Options Opts);
+  ~SmtSolver();
+
+  SmtSolver(const SmtSolver &) = delete;
+  SmtSolver &operator=(const SmtSolver &) = delete;
+
+  /// Adds \p F (Bool sort, no unknown-predicate applications) to the
+  /// assertion set. Must precede check().
+  void assertFormula(const Term *F);
+
+  /// Decides the conjunction of asserted formulas.
+  SmtResult check();
+
+  /// Model access; valid only after check() returned Sat. Every Int variable
+  /// occurring in the assertions is mapped to an integer-valued Rational.
+  const std::unordered_map<const Term *, Rational> &model() const;
+
+  /// Evaluates a term under the current model, the `Z3Eval` analogue.
+  /// Variables missing from the model (unconstrained) evaluate as 0.
+  Rational evalInModel(const Term *T) const;
+
+  /// Statistics for benchmarking.
+  struct Stats {
+    uint64_t NumAtoms = 0;
+    uint64_t NumBranchSplits = 0;
+    sat::SatSolver::Stats Sat;
+    Simplex::Stats SimplexStats;
+  };
+  Stats stats() const;
+
+private:
+  class TheoryBridge;
+
+  const Term *lowerModAndEq(const Term *F);
+  sat::Lit encode(const Term *F);
+  sat::Lit atomLiteral(const Term *Atom);
+  /// Registers the canonical atom `Expr <= 0` / `Expr < 0`; returns the
+  /// positive literal of its SAT variable.
+  sat::Lit registerAtom(const LinearAtom &Atom);
+  Simplex::VarId simplexVarFor(const Term *Var);
+
+  TermManager &TM;
+  Options Opts;
+  std::unique_ptr<TheoryBridge> Bridge;
+  std::unique_ptr<sat::SatSolver> Sat;
+  std::vector<const Term *> Assertions;
+  std::vector<const Term *> SideConstraints; ///< from mod lowering
+  std::unordered_map<const Term *, sat::Lit> EncodeCache;
+  std::unordered_map<const Term *, const Term *> ModCache;
+  std::unordered_map<std::string, sat::Lit> AtomCache;
+  std::unordered_map<std::string, Simplex::VarId> SlackCache;
+  std::unordered_map<const Term *, Simplex::VarId> VarOfTerm;
+  std::vector<const Term *> IntVars; ///< registration order
+  mutable std::unordered_map<const Term *, Rational> Model;
+  bool Checked = false;
+};
+
+/// Result of deciding a plain conjunction of linear atoms over rationals
+/// (no integrality); used by the interpolation-based baselines.
+struct ConjunctionResult {
+  bool Sat = false;
+  /// Model when Sat.
+  std::unordered_map<const Term *, Rational> Model;
+  /// Signed Farkas coefficients (indexed like the input atoms, zero when
+  /// unused) when Unsat: sum coeff_i * Expr_i is a non-negative constant,
+  /// positive unless some strict atom participates. Coefficients of Le/Lt
+  /// atoms are non-negative; Eq atoms may contribute with either sign.
+  std::vector<Rational> FarkasCoeffs;
+};
+
+/// Decides satisfiability of `Atoms` (conjunction) over the rationals with
+/// exact arithmetic, returning a model or a Farkas certificate.
+ConjunctionResult checkLinearConjunction(const std::vector<LinearAtom> &Atoms);
+
+} // namespace la::smt
+
+#endif // LA_SMT_SMTSOLVER_H

@@ -1,0 +1,315 @@
+//===- solver/DataDrivenSolver.cpp - Algorithm 3 of the paper -------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/DataDrivenSolver.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+
+/// Set the LA_TRACE environment variable to get a CEGAR event log on stderr.
+static bool traceEnabled() {
+  static bool Enabled = std::getenv("LA_TRACE") != nullptr;
+  return Enabled;
+}
+#define LA_TRACE(...)                                                          \
+  do {                                                                         \
+    if (traceEnabled()) {                                                      \
+      fprintf(stderr, "[chc-solve] " __VA_ARGS__);                             \
+      fprintf(stderr, "\n");                                                   \
+    }                                                                          \
+  } while (false)
+
+using namespace la;
+using namespace la::solver;
+using namespace la::chc;
+
+namespace {
+
+/// Lexicographic order on samples so they can key ordered maps.
+struct SampleLess {
+  bool operator()(const ml::Sample &A, const ml::Sample &B) const {
+    assert(A.size() == B.size() && "comparing samples of different arity");
+    for (size_t I = 0; I < A.size(); ++I) {
+      int C = A[I].compare(B[I]);
+      if (C != 0)
+        return C < 0;
+    }
+    return false;
+  }
+};
+
+/// Per-predicate sample stores and derivation bookkeeping (s+/s- of Alg. 3).
+struct PredState {
+  const Predicate *Pred = nullptr;
+
+  std::vector<ml::Sample> Pos;
+  std::map<ml::Sample, size_t, SampleLess> PosIndex;
+  /// Derivation record per positive sample: the clause that produced it and
+  /// the (predicate, positive-sample-index) pairs explaining it.
+  struct Derivation {
+    size_t ClauseIndex = 0;
+    std::vector<std::pair<size_t, size_t>> Children; ///< (pred idx, pos idx)
+  };
+  std::vector<Derivation> Derivs;
+
+  std::vector<ml::Sample> Neg;
+  std::map<ml::Sample, size_t, SampleLess> NegIndex;
+
+  bool hasPositive(const ml::Sample &S) const { return PosIndex.count(S); }
+};
+
+class Algorithm3 {
+public:
+  Algorithm3(const ChcSystem &System, const DataDrivenOptions &Opts,
+             DataDrivenChcSolver::DetailedStats &Details)
+      : System(System), TM(System.termManager()), Opts(Opts), Details(Details),
+        Clock(Opts.TimeoutSeconds), Result(TM) {
+    for (const Predicate *P : System.predicates()) {
+      PredState State;
+      State.Pred = P;
+      States.push_back(std::move(State));
+    }
+  }
+
+  ChcSolverResult run() {
+    Timer Total;
+    // Line 1-2: A = lambda p: true; empty sample stores.
+    for (;;) {
+      if (outOfBudget())
+        break;
+      // Line 3: find an invalid clause under the current interpretation.
+      int InvalidIdx = -1;
+      ClauseCheckResult Check;
+      for (size_t I = 0; I < System.clauses().size(); ++I) {
+        Check = checkClause(System, System.clauses()[I], Result.Interp,
+                            Opts.Smt);
+        ++Result.Stats.SmtQueries;
+        if (Check.Status == ClauseStatus::Invalid) {
+          InvalidIdx = static_cast<int>(I);
+          break;
+        }
+        if (Check.Status == ClauseStatus::Unknown) {
+          LA_TRACE("SMT unknown checking clause '%s'",
+                   System.clauses()[I].Name.c_str());
+          Result.Status = ChcResult::Unknown;
+          Result.Stats.Seconds = Total.elapsedSeconds();
+          return Result;
+        }
+      }
+      if (InvalidIdx < 0) {
+        // Line 24: every clause is valid.
+        Result.Status = ChcResult::Sat;
+        Result.Stats.Seconds = Total.elapsedSeconds();
+        return Result;
+      }
+
+      // Lines 4-22: resolve this clause (or bail to re-prioritise after a
+      // weakening, or report unsat).
+      switch (resolveClause(static_cast<size_t>(InvalidIdx), Check)) {
+      case ResolveOutcome::Resolved:
+      case ResolveOutcome::Weakened:
+        continue;
+      case ResolveOutcome::FoundUnsat:
+        Result.Status = ChcResult::Unsat;
+        Result.Stats.Seconds = Total.elapsedSeconds();
+        return Result;
+      case ResolveOutcome::Budget:
+        break;
+      }
+      break;
+    }
+    Result.Status = ChcResult::Unknown;
+    Result.Stats.Seconds = Total.elapsedSeconds();
+    return Result;
+  }
+
+private:
+  enum class ResolveOutcome { Resolved, Weakened, FoundUnsat, Budget };
+
+  bool outOfBudget() {
+    return Clock.expired() || Result.Stats.Iterations >= Opts.MaxIterations;
+  }
+
+  PredState &stateOf(const Predicate *P) { return States[P->Index]; }
+
+  /// Evaluates the argument terms of an application under a model.
+  ml::Sample sampleOf(const PredApp &App,
+                      const std::unordered_map<const Term *, Rational> &Model) {
+    ml::Sample S;
+    S.reserve(App.Args.size());
+    for (const Term *Arg : App.Args)
+      S.push_back(evalWithDefaults(Arg, Model));
+    ++Result.Stats.Samples;
+    return S;
+  }
+
+  /// The inner do-while loop of Algorithm 3 for one invalid clause.
+  ResolveOutcome resolveClause(size_t ClauseIdx, ClauseCheckResult Check) {
+    const HornClause &C = System.clauses()[ClauseIdx];
+    for (;;) {
+      assert(Check.Status == ClauseStatus::Invalid && "resolving valid clause");
+      ++Result.Stats.Iterations;
+      if (outOfBudget())
+        return ResolveOutcome::Budget;
+
+      // Lines 5-8: extract samples from the model.
+      std::vector<ml::Sample> BodySamples;
+      for (const PredApp &App : C.Body)
+        BodySamples.push_back(sampleOf(App, Check.Model));
+
+      bool AllPositive = true;
+      for (size_t I = 0; I < C.Body.size(); ++I)
+        AllPositive &= stateOf(C.Body[I].Pred).hasPositive(BodySamples[I]);
+
+      if (AllPositive) {
+        // Lines 9-15: the body facts are derivable, so the head sample is a
+        // bounded positive sample (or a genuine refutation).
+        if (!C.HeadPred)
+          return foundCounterexample(ClauseIdx, BodySamples);
+        ml::Sample HeadSample = sampleOf(*C.HeadPred, Check.Model);
+        weakenHead(ClauseIdx, *C.HeadPred, BodySamples, HeadSample);
+        return ResolveOutcome::Weakened;
+      }
+
+      // Lines 16-21: strengthen the body predicates that are not yet
+      // explained; their samples become tentative negatives.
+      for (size_t I = 0; I < C.Body.size(); ++I) {
+        PredState &State = stateOf(C.Body[I].Pred);
+        if (State.hasPositive(BodySamples[I]))
+          continue;
+        if (!State.NegIndex.count(BodySamples[I])) {
+          State.NegIndex.emplace(BodySamples[I], State.Neg.size());
+          State.Neg.push_back(BodySamples[I]);
+          ++Details.NegativeSamples;
+        }
+        if (!relearn(State)) {
+          LA_TRACE("learn failed for %s (|pos|=%zu |neg|=%zu)",
+                   State.Pred->Name.c_str(), State.Pos.size(),
+                   State.Neg.size());
+          return ResolveOutcome::Budget;
+        }
+      }
+
+      // Line 22: re-check the clause.
+      Check = checkClause(System, C, Result.Interp, Opts.Smt);
+      ++Result.Stats.SmtQueries;
+      if (Check.Status == ClauseStatus::Valid)
+        return ResolveOutcome::Resolved;
+      if (Check.Status == ClauseStatus::Unknown) {
+        LA_TRACE("SMT unknown re-checking clause '%s'", C.Name.c_str());
+        return ResolveOutcome::Budget;
+      }
+    }
+  }
+
+  /// Lines 10-13: record a new positive head sample, clear the negatives of
+  /// the head and reset its interpretation to true.
+  void weakenHead(size_t ClauseIdx, const PredApp &Head,
+                  const std::vector<ml::Sample> &BodySamples,
+                  const ml::Sample &HeadSample) {
+    PredState &State = stateOf(Head.Pred);
+    if (!State.hasPositive(HeadSample)) {
+      PredState::Derivation D;
+      D.ClauseIndex = ClauseIdx;
+      const HornClause &C = System.clauses()[ClauseIdx];
+      for (size_t I = 0; I < C.Body.size(); ++I) {
+        const PredState &Child = stateOf(C.Body[I].Pred);
+        D.Children.emplace_back(C.Body[I].Pred->Index,
+                                Child.PosIndex.at(BodySamples[I]));
+      }
+      State.PosIndex.emplace(HeadSample, State.Pos.size());
+      State.Pos.push_back(HeadSample);
+      State.Derivs.push_back(std::move(D));
+      ++Details.PositiveSamples;
+    }
+    // A positive sample may shadow an earlier tentative negative; drop all
+    // negatives so learning stays contradiction-free (line 12).
+    State.Neg.clear();
+    State.NegIndex.clear();
+    Result.Interp.set(Head.Pred, TM.mkTrue());
+    ++Details.Weakenings;
+  }
+
+  /// Line 20: A(p) = Learn(s+(p), s-(p)).
+  bool relearn(PredState &State) {
+    ml::Dataset Data(State.Pred->arity());
+    Data.Pos = State.Pos;
+    Data.Neg = State.Neg;
+    assert(!Data.hasContradiction() &&
+           "positive/negative stores must stay disjoint");
+    // Derive a per-call seed so repeated learning explores different random
+    // choices deterministically.
+    uint64_t Seed = Opts.Learn.LA.Seed * 1000003 + ++Details.LearnCalls * 7919;
+    ml::LearnResult R;
+    if (Opts.Learner) {
+      R = Opts.Learner(TM, State.Pred->Params, Data, Seed);
+    } else {
+      ml::LearnOptions LearnOpts = Opts.Learn;
+      LearnOpts.LA.Seed = Seed;
+      R = ml::learn(TM, State.Pred->Params, Data, LearnOpts);
+    }
+    if (!R.Ok)
+      return false;
+    Result.Interp.set(State.Pred, R.Formula);
+    return true;
+  }
+
+  /// Line 15: replay the derivation forest into a counterexample tree.
+  ResolveOutcome
+  foundCounterexample(size_t QueryClauseIdx,
+                      const std::vector<ml::Sample> &BodySamples) {
+    Counterexample Cex;
+    // Emit the derivation tree rooted at (pred, posIdx) into Cex.Nodes.
+    std::map<std::pair<size_t, size_t>, size_t> Emitted;
+    std::function<size_t(size_t, size_t)> Emit = [&](size_t PredIdx,
+                                                     size_t PosIdx) -> size_t {
+      auto Key = std::make_pair(PredIdx, PosIdx);
+      auto It = Emitted.find(Key);
+      if (It != Emitted.end())
+        return It->second;
+      const PredState &State = States[PredIdx];
+      const PredState::Derivation &D = State.Derivs[PosIdx];
+      Counterexample::Node Node;
+      Node.Pred = State.Pred;
+      Node.Args = State.Pos[PosIdx];
+      Node.ClauseIndex = D.ClauseIndex;
+      for (const auto &[ChildPred, ChildPos] : D.Children)
+        Node.Children.push_back(Emit(ChildPred, ChildPos));
+      Cex.Nodes.push_back(std::move(Node));
+      size_t Index = Cex.Nodes.size() - 1;
+      Emitted.emplace(Key, Index);
+      return Index;
+    };
+
+    const HornClause &C = System.clauses()[QueryClauseIdx];
+    Cex.QueryClauseIndex = QueryClauseIdx;
+    for (size_t I = 0; I < C.Body.size(); ++I) {
+      const PredState &State = stateOf(C.Body[I].Pred);
+      Cex.QueryChildren.push_back(
+          Emit(C.Body[I].Pred->Index, State.PosIndex.at(BodySamples[I])));
+    }
+    Result.Cex = std::move(Cex);
+    return ResolveOutcome::FoundUnsat;
+  }
+
+  const ChcSystem &System;
+  TermManager &TM;
+  const DataDrivenOptions &Opts;
+  DataDrivenChcSolver::DetailedStats &Details;
+  Deadline Clock;
+  ChcSolverResult Result;
+  std::vector<PredState> States;
+};
+
+} // namespace
+
+ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
+  Details = DetailedStats{};
+  return Algorithm3(System, Opts, Details).run();
+}

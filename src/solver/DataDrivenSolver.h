@@ -1,0 +1,85 @@
+//===- solver/DataDrivenSolver.h - Algorithm 3 of the paper -----*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `CHCSolve` (paper Algorithm 3): the CEGAR loop that samples positive and
+/// negative data from counterexamples to clause validity and learns
+/// interpretations with the Algorithm 2 toolchain.
+///
+/// Key mechanics (paper §4.2):
+///   * positive samples are *bounded* -- a sample of the head is accepted
+///     only when every body sample is already positive, which implicitly
+///     unwinds the system and yields a derivation forest;
+///   * samples failing that condition become tentative negatives,
+///     strengthening body predicates until the clause is inductive;
+///   * when a head gains a new positive sample, its negative samples are
+///     cleared and its interpretation reset to `true` (weakening), which
+///     re-prioritises the clauses producing that head;
+///   * a counterexample reaching a known head (assertion) replays the
+///     derivation forest into a checkable refutation tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SOLVER_DATADRIVENSOLVER_H
+#define LA_SOLVER_DATADRIVENSOLVER_H
+
+#include "chc/SolverTypes.h"
+#include "ml/Learn.h"
+#include "support/Timer.h"
+
+#include <functional>
+
+namespace la::solver {
+
+/// Signature of a pluggable sample-based learner: produces a formula over
+/// \p Vars separating the dataset (Lemma 3.1) or fails. The default is the
+/// paper's Algorithm 2 toolchain; the PIE-style enumerative and DIG-style
+/// template baselines plug in here so that every data-driven solver shares
+/// the same CEGAR loop (as in the paper's Fig. 8(a)/(b) comparisons).
+using LearnerFn = std::function<ml::LearnResult(
+    TermManager &TM, const std::vector<const Term *> &Vars,
+    const ml::Dataset &Data, uint64_t Seed)>;
+
+/// Configuration of the data-driven solver.
+struct DataDrivenOptions {
+  ml::LearnOptions Learn;
+  smt::SmtSolver::Options Smt;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double TimeoutSeconds = 0;
+  /// Budget on counterexample-handling iterations.
+  size_t MaxIterations = 50000;
+  /// Alternative learner; when unset, Algorithm 2 (`ml::learn`) is used
+  /// with the `Learn` options above.
+  LearnerFn Learner;
+  /// Display name override (for benches comparing learners).
+  std::string Name = "LinearArbitrary";
+};
+
+/// The LinearArbitrary CHC solver.
+class DataDrivenChcSolver : public chc::ChcSolverInterface {
+public:
+  explicit DataDrivenChcSolver(DataDrivenOptions Opts = {}) : Opts(Opts) {}
+
+  chc::ChcSolverResult solve(const chc::ChcSystem &System) override;
+  std::string name() const override { return Opts.Name; }
+
+  /// Extra statistics of the last run, for the paper's tables.
+  struct DetailedStats {
+    size_t PositiveSamples = 0;
+    size_t NegativeSamples = 0;
+    size_t LearnCalls = 0;
+    size_t Weakenings = 0;
+  };
+  const DetailedStats &detailedStats() const { return Details; }
+
+private:
+  DataDrivenOptions Opts;
+  DetailedStats Details;
+};
+
+} // namespace la::solver
+
+#endif // LA_SOLVER_DATADRIVENSOLVER_H

@@ -1,0 +1,303 @@
+//===- support/BigInt.cpp - Arbitrary-precision integers ------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace la;
+
+BigInt::BigInt(int64_t Value) {
+  if (Value == 0)
+    return;
+  Negative = Value < 0;
+  // Avoid UB on INT64_MIN by negating in the unsigned domain.
+  uint64_t Magnitude =
+      Negative ? ~static_cast<uint64_t>(Value) + 1 : static_cast<uint64_t>(Value);
+  Limbs.push_back(Magnitude);
+}
+
+std::optional<BigInt> BigInt::fromString(const std::string &Text) {
+  size_t Start = 0;
+  bool Neg = false;
+  if (Start < Text.size() && (Text[Start] == '-' || Text[Start] == '+')) {
+    Neg = Text[Start] == '-';
+    ++Start;
+  }
+  if (Start >= Text.size())
+    return std::nullopt;
+  BigInt Result;
+  BigInt Ten(10);
+  for (size_t I = Start; I < Text.size(); ++I) {
+    if (Text[I] < '0' || Text[I] > '9')
+      return std::nullopt;
+    Result = Result * Ten + BigInt(Text[I] - '0');
+  }
+  if (Neg && !Result.isZero())
+    Result.Negative = true;
+  return Result;
+}
+
+void BigInt::normalize() {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+  if (Limbs.empty())
+    Negative = false;
+}
+
+int BigInt::compareMagnitude(const std::vector<uint64_t> &A,
+                             const std::vector<uint64_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;) {
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<uint64_t> BigInt::addMagnitude(const std::vector<uint64_t> &A,
+                                           const std::vector<uint64_t> &B) {
+  const std::vector<uint64_t> &Long = A.size() >= B.size() ? A : B;
+  const std::vector<uint64_t> &Short = A.size() >= B.size() ? B : A;
+  std::vector<uint64_t> Result;
+  Result.reserve(Long.size() + 1);
+  unsigned __int128 Carry = 0;
+  for (size_t I = 0; I < Long.size(); ++I) {
+    unsigned __int128 Sum = Carry + Long[I];
+    if (I < Short.size())
+      Sum += Short[I];
+    Result.push_back(static_cast<uint64_t>(Sum));
+    Carry = Sum >> 64;
+  }
+  if (Carry != 0)
+    Result.push_back(static_cast<uint64_t>(Carry));
+  return Result;
+}
+
+std::vector<uint64_t> BigInt::subMagnitude(const std::vector<uint64_t> &A,
+                                           const std::vector<uint64_t> &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subtraction would underflow");
+  std::vector<uint64_t> Result;
+  Result.reserve(A.size());
+  uint64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    uint64_t Sub = I < B.size() ? B[I] : 0;
+    uint64_t Value = A[I] - Sub - Borrow;
+    // Borrow occurred iff A[I] < Sub + Borrow in the unsigned domain.
+    Borrow = (A[I] < Sub || (A[I] == Sub && Borrow)) ? 1 : 0;
+    Result.push_back(Value);
+  }
+  return Result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt Result = *this;
+  if (!Result.isZero())
+    Result.Negative = !Result.Negative;
+  return Result;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  Result.Negative = false;
+  return Result;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  BigInt Result;
+  if (Negative == RHS.Negative) {
+    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative;
+  } else if (compareMagnitude(Limbs, RHS.Limbs) >= 0) {
+    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative;
+  } else {
+    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+    Result.Negative = RHS.Negative;
+  }
+  Result.normalize();
+  return Result;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  if (isZero() || RHS.isZero())
+    return BigInt();
+  BigInt Result;
+  Result.Limbs.assign(Limbs.size() + RHS.Limbs.size(), 0);
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    unsigned __int128 Carry = 0;
+    for (size_t J = 0; J < RHS.Limbs.size(); ++J) {
+      unsigned __int128 Cur = Result.Limbs[I + J];
+      Cur += static_cast<unsigned __int128>(Limbs[I]) * RHS.Limbs[J] + Carry;
+      Result.Limbs[I + J] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+    }
+    size_t K = I + RHS.Limbs.size();
+    while (Carry != 0) {
+      unsigned __int128 Cur = Result.Limbs[K];
+      Cur += Carry;
+      Result.Limbs[K] = static_cast<uint64_t>(Cur);
+      Carry = Cur >> 64;
+      ++K;
+    }
+  }
+  Result.Negative = Negative != RHS.Negative;
+  Result.normalize();
+  return Result;
+}
+
+bool BigInt::magnitudeBit(size_t Index) const {
+  size_t Limb = Index / 64;
+  if (Limb >= Limbs.size())
+    return false;
+  return (Limbs[Limb] >> (Index % 64)) & 1;
+}
+
+size_t BigInt::bitLength() const {
+  if (Limbs.empty())
+    return 0;
+  uint64_t Top = Limbs.back();
+  size_t Bits = 0;
+  while (Top != 0) {
+    ++Bits;
+    Top >>= 1;
+  }
+  return (Limbs.size() - 1) * 64 + Bits;
+}
+
+BigInt::DivModResult BigInt::divMod(const BigInt &Divisor) const {
+  assert(!Divisor.isZero() && "division by zero");
+  DivModResult Result;
+  // Fast path: both values fit in a machine word.
+  if (Limbs.size() <= 1 && Divisor.Limbs.size() <= 1) {
+    uint64_t A = Limbs.empty() ? 0 : Limbs[0];
+    uint64_t B = Divisor.Limbs[0];
+    uint64_t Q = A / B, R = A % B;
+    if (Q != 0) {
+      Result.Quotient.Limbs.push_back(Q);
+      Result.Quotient.Negative = Negative != Divisor.Negative;
+    }
+    if (R != 0) {
+      Result.Remainder.Limbs.push_back(R);
+      Result.Remainder.Negative = Negative;
+    }
+    return Result;
+  }
+
+  // Shift-subtract long division over magnitudes.
+  const size_t Bits = bitLength();
+  BigInt Remainder;
+  BigInt Quotient;
+  Quotient.Limbs.assign(Limbs.size(), 0);
+  BigInt DivisorAbs = Divisor.abs();
+  for (size_t I = Bits; I-- > 0;) {
+    // Remainder = Remainder * 2 + bit(I); shift in place.
+    uint64_t Carry = magnitudeBit(I) ? 1 : 0;
+    for (size_t J = 0; J < Remainder.Limbs.size(); ++J) {
+      uint64_t Next = Remainder.Limbs[J] >> 63;
+      Remainder.Limbs[J] = (Remainder.Limbs[J] << 1) | Carry;
+      Carry = Next;
+    }
+    if (Carry != 0)
+      Remainder.Limbs.push_back(Carry);
+    if (compareMagnitude(Remainder.Limbs, DivisorAbs.Limbs) >= 0) {
+      Remainder.Limbs = subMagnitude(Remainder.Limbs, DivisorAbs.Limbs);
+      Remainder.normalize();
+      Quotient.Limbs[I / 64] |= uint64_t(1) << (I % 64);
+    }
+  }
+  Quotient.Negative = Negative != Divisor.Negative;
+  Quotient.normalize();
+  Remainder.Negative = Negative;
+  Remainder.normalize();
+  Result.Quotient = std::move(Quotient);
+  Result.Remainder = std::move(Remainder);
+  return Result;
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const { return divMod(RHS).Quotient; }
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  return divMod(RHS).Remainder;
+}
+
+BigInt BigInt::euclideanMod(const BigInt &Divisor) const {
+  BigInt R = *this % Divisor;
+  if (R.isNegative())
+    R += Divisor.abs();
+  return R;
+}
+
+BigInt BigInt::gcd(const BigInt &A, const BigInt &B) {
+  BigInt X = A.abs(), Y = B.abs();
+  while (!Y.isZero()) {
+    BigInt R = X % Y;
+    X = std::move(Y);
+    Y = std::move(R);
+  }
+  return X;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int Mag = compareMagnitude(Limbs, RHS.Limbs);
+  return Negative ? -Mag : Mag;
+}
+
+std::optional<int64_t> BigInt::toInt64() const {
+  if (Limbs.empty())
+    return 0;
+  if (Limbs.size() > 1)
+    return std::nullopt;
+  uint64_t Magnitude = Limbs[0];
+  if (Negative) {
+    if (Magnitude > static_cast<uint64_t>(INT64_MAX) + 1)
+      return std::nullopt;
+    return static_cast<int64_t>(~Magnitude + 1);
+  }
+  if (Magnitude > static_cast<uint64_t>(INT64_MAX))
+    return std::nullopt;
+  return static_cast<int64_t>(Magnitude);
+}
+
+double BigInt::toDouble() const {
+  double Result = 0;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    Result = Result * 18446744073709551616.0 + static_cast<double>(Limbs[I]);
+  return Negative ? -Result : Result;
+}
+
+std::string BigInt::toString() const {
+  if (isZero())
+    return "0";
+  std::string Digits;
+  BigInt Value = abs();
+  BigInt Ten(10);
+  while (!Value.isZero()) {
+    DivModResult QR = Value.divMod(Ten);
+    int64_t Digit = *QR.Remainder.toInt64();
+    Digits.push_back(static_cast<char>('0' + Digit));
+    Value = std::move(QR.Quotient);
+  }
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+size_t BigInt::hash() const {
+  size_t Seed = Negative ? 0x9e3779b97f4a7c15ULL : 0;
+  for (uint64_t Limb : Limbs)
+    Seed ^= static_cast<size_t>(Limb) + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+            (Seed >> 2);
+  return Seed;
+}

@@ -1,0 +1,130 @@
+//===- support/BigInt.h - Arbitrary-precision integers ----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-magnitude arbitrary-precision integer used by the exact arithmetic
+/// layer (rationals, simplex pivots, Farkas certificates). The magnitudes
+/// that occur in CHC solving are small (a handful of 64-bit limbs), so the
+/// implementation favours simplicity and obvious correctness: schoolbook
+/// multiplication and shift-subtract division.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_BIGINT_H
+#define LA_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace la {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation invariant: \c Limbs is little-endian with no leading zero
+/// limb, and \c Negative is false when the value is zero.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t Value);
+
+  /// Parses a decimal string with optional leading '-'.
+  ///
+  /// \returns std::nullopt if \p Text is empty or contains a non-digit.
+  static std::optional<BigInt> fromString(const std::string &Text);
+
+  /// \returns -1, 0 or +1.
+  int signum() const {
+    if (Limbs.empty())
+      return 0;
+    return Negative ? -1 : 1;
+  }
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+  bool isNegative() const { return Negative; }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+
+  /// Truncating division (C semantics): the quotient rounds toward zero and
+  /// the remainder has the sign of the dividend. Asserts on division by zero.
+  struct DivModResult;
+  DivModResult divMod(const BigInt &Divisor) const;
+
+  /// Quotient of truncating division.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder of truncating division.
+  BigInt operator%(const BigInt &RHS) const;
+
+  /// Euclidean (non-negative) remainder, used for `mod` feature semantics.
+  BigInt euclideanMod(const BigInt &Divisor) const;
+
+  /// Greatest common divisor of the absolute values; gcd(0, 0) == 0.
+  static BigInt gcd(const BigInt &A, const BigInt &B);
+
+  bool operator==(const BigInt &RHS) const {
+    return Negative == RHS.Negative && Limbs == RHS.Limbs;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison: negative, zero or positive.
+  int compare(const BigInt &RHS) const;
+
+  /// \returns the value as int64_t, or std::nullopt when out of range.
+  std::optional<int64_t> toInt64() const;
+
+  /// \returns a double approximation (may overflow to +/-inf).
+  double toDouble() const;
+
+  std::string toString() const;
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  size_t bitLength() const;
+
+  /// Hash suitable for unordered containers.
+  size_t hash() const;
+
+private:
+  /// Magnitude comparison helper: -1, 0, +1 over |this| vs |RHS|.
+  static int compareMagnitude(const std::vector<uint64_t> &A,
+                              const std::vector<uint64_t> &B);
+  static std::vector<uint64_t> addMagnitude(const std::vector<uint64_t> &A,
+                                            const std::vector<uint64_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint64_t> subMagnitude(const std::vector<uint64_t> &A,
+                                            const std::vector<uint64_t> &B);
+  void normalize();
+  bool magnitudeBit(size_t Index) const;
+
+  bool Negative = false;
+  std::vector<uint64_t> Limbs;
+};
+
+struct BigInt::DivModResult {
+  BigInt Quotient;
+  BigInt Remainder;
+};
+
+} // namespace la
+
+#endif // LA_SUPPORT_BIGINT_H

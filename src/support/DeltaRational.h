@@ -1,0 +1,85 @@
+//===- support/DeltaRational.h - Rationals with infinitesimals --*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Values of the form `R + K * delta` for an infinitesimal positive delta,
+/// used by the simplex theory solver to represent strict bounds: `x > c`
+/// becomes `x >= c + delta`. Comparison is lexicographic on (R, K).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_DELTARATIONAL_H
+#define LA_SUPPORT_DELTARATIONAL_H
+
+#include "support/Rational.h"
+
+namespace la {
+
+/// A rational plus an integer multiple of a symbolic infinitesimal.
+class DeltaRational {
+public:
+  DeltaRational() = default;
+  DeltaRational(Rational Real) : Real(std::move(Real)) {}
+  DeltaRational(Rational Real, Rational Delta)
+      : Real(std::move(Real)), Delta(std::move(Delta)) {}
+
+  const Rational &real() const { return Real; }
+  const Rational &delta() const { return Delta; }
+
+  bool isRational() const { return Delta.isZero(); }
+
+  DeltaRational operator+(const DeltaRational &RHS) const {
+    return DeltaRational(Real + RHS.Real, Delta + RHS.Delta);
+  }
+  DeltaRational operator-(const DeltaRational &RHS) const {
+    return DeltaRational(Real - RHS.Real, Delta - RHS.Delta);
+  }
+  DeltaRational operator-() const { return DeltaRational(-Real, -Delta); }
+  /// Scales both components by a rational factor.
+  DeltaRational operator*(const Rational &Factor) const {
+    return DeltaRational(Real * Factor, Delta * Factor);
+  }
+
+  DeltaRational &operator+=(const DeltaRational &RHS) {
+    Real += RHS.Real;
+    Delta += RHS.Delta;
+    return *this;
+  }
+  DeltaRational &operator-=(const DeltaRational &RHS) {
+    Real -= RHS.Real;
+    Delta -= RHS.Delta;
+    return *this;
+  }
+
+  int compare(const DeltaRational &RHS) const {
+    int C = Real.compare(RHS.Real);
+    if (C != 0)
+      return C;
+    return Delta.compare(RHS.Delta);
+  }
+
+  bool operator==(const DeltaRational &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const DeltaRational &RHS) const { return compare(RHS) != 0; }
+  bool operator<(const DeltaRational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const DeltaRational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const DeltaRational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const DeltaRational &RHS) const { return compare(RHS) >= 0; }
+
+  std::string toString() const {
+    if (Delta.isZero())
+      return Real.toString();
+    return Real.toString() + (Delta.isNegative() ? "" : "+") +
+           Delta.toString() + "d";
+  }
+
+private:
+  Rational Real;
+  Rational Delta;
+};
+
+} // namespace la
+
+#endif // LA_SUPPORT_DELTARATIONAL_H

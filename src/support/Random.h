@@ -1,0 +1,73 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny deterministic xorshift generator. Every stochastic component in the
+/// toolchain (SVM shuffling, dummy-classifier fallback, workload generation)
+/// takes an explicit generator so runs are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_RANDOM_H
+#define LA_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace la {
+
+/// xorshift128+ pseudo-random generator with deterministic seeding.
+class Random {
+public:
+  explicit Random(uint64_t Seed = 0x853c49e6748fea9bULL) {
+    State0 = Seed ^ 0x9e3779b97f4a7c15ULL;
+    State1 = splitMix(State0);
+    if (State0 == 0 && State1 == 0)
+      State1 = 1;
+  }
+
+  uint64_t next() {
+    uint64_t X = State0;
+    uint64_t Y = State1;
+    State0 = Y;
+    X ^= X << 23;
+    State1 = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State1 + Y;
+  }
+
+  /// Uniform value in [0, Bound); Bound must be positive.
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    nextBounded(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  static uint64_t splitMix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace la
+
+#endif // LA_SUPPORT_RANDOM_H

@@ -1,0 +1,89 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over BigInt, always stored in lowest terms with a positive
+/// denominator. These are the scalars of the simplex tableau, of linear
+/// atoms, and of sample points.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_RATIONAL_H
+#define LA_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <string>
+
+namespace la {
+
+/// Exact rational number.
+///
+/// Invariant: gcd(|Num|, Den) == 1 and Den > 0; zero is 0/1.
+class Rational {
+public:
+  Rational() : Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(BigInt Numerator) : Num(std::move(Numerator)), Den(1) {}
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  /// Parses "a", "-a" or "a/b" in decimal.
+  static std::optional<Rational> fromString(const std::string &Text);
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isInteger() const { return Den.isOne(); }
+  bool isNegative() const { return Num.isNegative(); }
+  int signum() const { return Num.signum(); }
+
+  Rational operator-() const;
+  Rational abs() const;
+  /// Multiplicative inverse; asserts the value is nonzero.
+  Rational inverse() const;
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Asserts RHS is nonzero.
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Rational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Rational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Rational &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison.
+  int compare(const Rational &RHS) const;
+
+  /// Largest integer <= value.
+  BigInt floor() const;
+  /// Smallest integer >= value.
+  BigInt ceil() const;
+
+  double toDouble() const;
+  std::string toString() const;
+  size_t hash() const;
+
+private:
+  BigInt Num;
+  BigInt Den;
+};
+
+} // namespace la
+
+#endif // LA_SUPPORT_RATIONAL_H

@@ -1,0 +1,58 @@
+//===- support/Timer.h - Wall-clock timing and budgets ----------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock stopwatch and a deadline helper used to implement the
+/// per-solver timeouts in the evaluation harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_TIMER_H
+#define LA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace la {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// A soft deadline; `expired()` is polled at loop heads of the solvers.
+class Deadline {
+public:
+  /// A deadline `Seconds` from now; non-positive means "no deadline".
+  explicit Deadline(double Seconds = 0) : Budget(Seconds) {}
+
+  bool hasLimit() const { return Budget > 0; }
+  bool expired() const { return hasLimit() && Watch.elapsedSeconds() >= Budget; }
+  double remainingSeconds() const {
+    return hasLimit() ? Budget - Watch.elapsedSeconds() : 1e18;
+  }
+  double elapsedSeconds() const { return Watch.elapsedSeconds(); }
+
+private:
+  Timer Watch;
+  double Budget;
+};
+
+} // namespace la
+
+#endif // LA_SUPPORT_TIMER_H

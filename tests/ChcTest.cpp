@@ -1,0 +1,302 @@
+//===- tests/ChcTest.cpp - CHC system / checking / parser tests -----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/ChcCheck.h"
+#include "chc/ChcParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+using namespace la::chc;
+
+namespace {
+
+/// Builds the CHC system of Fig. 1 in the paper:
+///   x = 1 /\ y = 0 -> p(x, y)
+///   p(x, y) /\ x' = x + y /\ y' = y + 1 -> p(x', y')
+///   p(x, y) /\ x' = x + y /\ y' = y + 1 -> x' >= y'
+///   x = 1 /\ y = 0 -> x >= y
+class Fig1System : public ::testing::Test {
+protected:
+  Fig1System() : System(TM) {
+    P = System.addPredicate("p", 2);
+    X = TM.mkVar("x");
+    Y = TM.mkVar("y");
+    XP = TM.mkVar("x'");
+    YP = TM.mkVar("y'");
+
+    const Term *Init =
+        TM.mkAnd(TM.mkEq(X, TM.mkIntConst(1)), TM.mkEq(Y, TM.mkIntConst(0)));
+    const Term *Step =
+        TM.mkAnd(TM.mkEq(XP, TM.mkAdd(X, Y)),
+                 TM.mkEq(YP, TM.mkAdd(Y, TM.mkIntConst(1))));
+
+    HornClause C1;
+    C1.Constraint = Init;
+    C1.HeadPred = PredApp{P, {X, Y}};
+    System.addClause(std::move(C1));
+
+    HornClause C2;
+    C2.Constraint = Step;
+    C2.Body.push_back(PredApp{P, {X, Y}});
+    C2.HeadPred = PredApp{P, {XP, YP}};
+    System.addClause(std::move(C2));
+
+    HornClause C3;
+    C3.Constraint = Step;
+    C3.Body.push_back(PredApp{P, {X, Y}});
+    C3.HeadFormula = TM.mkGe(XP, YP);
+    System.addClause(std::move(C3));
+
+    HornClause C4;
+    C4.Constraint = Init;
+    C4.HeadFormula = TM.mkGe(X, Y);
+    System.addClause(std::move(C4));
+  }
+
+  TermManager TM;
+  ChcSystem System;
+  const Predicate *P;
+  const Term *X, *Y, *XP, *YP;
+};
+
+TEST_F(Fig1System, StructureQueries) {
+  EXPECT_EQ(System.predicates().size(), 1u);
+  EXPECT_TRUE(System.isRecursive());
+  ASSERT_EQ(System.recursivePredicates().size(), 1u);
+  EXPECT_EQ(System.recursivePredicates()[0], P);
+  EXPECT_EQ(System.clausesWithHead(P), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(System.clausesUsing(P), (std::vector<size_t>{1, 2}));
+  EXPECT_TRUE(System.clauses()[0].isFact());
+  EXPECT_FALSE(System.clauses()[1].isQuery());
+  EXPECT_TRUE(System.clauses()[2].isQuery());
+}
+
+TEST_F(Fig1System, TrueInterpretationFailsQueryClause) {
+  Interpretation A(TM);
+  // With p := true, clause 3 is invalid: nothing prevents x' < y'.
+  ClauseCheckResult R = checkClause(System, System.clauses()[2], A);
+  EXPECT_EQ(R.Status, ClauseStatus::Invalid);
+  // The model must witness the violation.
+  const HornClause &C = System.clauses()[2];
+  EXPECT_FALSE(evalFormula(C.HeadFormula, R.Model));
+  EXPECT_TRUE(evalFormula(C.Constraint, R.Model));
+}
+
+TEST_F(Fig1System, PaperInvariantIsASolution) {
+  // x >= 1 /\ y >= 0 (the invariant from the paper's introduction).
+  Interpretation A(TM);
+  A.set(P, TM.mkAnd(TM.mkGe(P->Params[0], TM.mkIntConst(1)),
+                    TM.mkGe(P->Params[1], TM.mkIntConst(0))));
+  EXPECT_EQ(checkInterpretation(System, A), ClauseStatus::Valid);
+}
+
+TEST_F(Fig1System, TooWeakAndTooStrongInterpretationsFail) {
+  // x >= 0 alone is not inductive enough for the query clause.
+  Interpretation Weak(TM);
+  Weak.set(P, TM.mkGe(P->Params[0], TM.mkIntConst(0)));
+  EXPECT_EQ(checkInterpretation(System, Weak), ClauseStatus::Invalid);
+  // x = 1 /\ y = 0 is not inductive (fails the step clause).
+  Interpretation Strong(TM);
+  Strong.set(P, TM.mkAnd(TM.mkEq(P->Params[0], TM.mkIntConst(1)),
+                         TM.mkEq(P->Params[1], TM.mkIntConst(0))));
+  ClauseCheckResult R = checkClause(System, System.clauses()[1], Strong);
+  EXPECT_EQ(R.Status, ClauseStatus::Invalid);
+}
+
+TEST_F(Fig1System, InterpretationInstantiation) {
+  Interpretation A(TM);
+  A.set(P, TM.mkGe(P->Params[0], P->Params[1]));
+  PredApp App{P, {TM.mkIntConst(3), TM.mkIntConst(5)}};
+  const Term *Inst = A.instantiate(App);
+  EXPECT_EQ(Inst, TM.mkFalse()); // 3 >= 5 folds to false
+}
+
+//===----------------------------------------------------------------------===//
+// Counterexample validation
+//===----------------------------------------------------------------------===//
+
+/// An unsafe variant of Fig. 1: assert x > y strictly, falsified at x=1,y=1.
+TEST(CounterexampleTest, ValidatesRealDerivation) {
+  TermManager TM;
+  ChcSystem System(TM);
+  const Predicate *P = System.addPredicate("p", 2);
+  const Term *X = TM.mkVar("cx"), *Y = TM.mkVar("cy");
+  const Term *XP = TM.mkVar("cx'"), *YP = TM.mkVar("cy'");
+
+  HornClause Init;
+  Init.Constraint =
+      TM.mkAnd(TM.mkEq(X, TM.mkIntConst(1)), TM.mkEq(Y, TM.mkIntConst(0)));
+  Init.HeadPred = PredApp{P, {X, Y}};
+  System.addClause(std::move(Init));
+
+  HornClause Step;
+  Step.Constraint = TM.mkAnd(TM.mkEq(XP, TM.mkAdd(X, Y)),
+                             TM.mkEq(YP, TM.mkAdd(Y, TM.mkIntConst(1))));
+  Step.Body.push_back(PredApp{P, {X, Y}});
+  Step.HeadPred = PredApp{P, {XP, YP}};
+  System.addClause(std::move(Step));
+
+  HornClause Query;
+  Query.Constraint = TM.mkTrue();
+  Query.Body.push_back(PredApp{P, {X, Y}});
+  Query.HeadFormula = TM.mkGt(X, Y); // violated at p(1, 1)
+  System.addClause(std::move(Query));
+
+  Counterexample Cex;
+  Cex.Nodes.push_back({P, {Rational(1), Rational(0)}, 0, {}});
+  Cex.Nodes.push_back({P, {Rational(1), Rational(1)}, 1, {0}});
+  Cex.QueryClauseIndex = 2;
+  Cex.QueryChildren = {1};
+  EXPECT_TRUE(validateCounterexample(System, Cex));
+
+  // A corrupted derivation must be rejected.
+  Counterexample Bad = Cex;
+  Bad.Nodes[1].Args[1] = Rational(7); // p(1,7) is not derivable from p(1,0)
+  EXPECT_FALSE(validateCounterexample(System, Bad));
+
+  Counterexample BadQuery = Cex;
+  BadQuery.QueryChildren = {0}; // p(1,0) does not violate x > y
+  EXPECT_FALSE(validateCounterexample(System, BadQuery));
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ChcParserTest, ParsesFig1SmtLib) {
+  const char *Text = R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (>= x1 y1))))
+(check-sat)
+)";
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult R = parseChcText(Text, System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(System.predicates().size(), 1u);
+  ASSERT_EQ(System.clauses().size(), 3u);
+  EXPECT_TRUE(System.isRecursive());
+  EXPECT_TRUE(System.clauses()[2].isQuery());
+
+  // The paper's invariant solves the parsed system too.
+  const Predicate *P = System.findPredicate("p");
+  Interpretation A(TM);
+  A.set(P, TM.mkAnd(TM.mkGe(P->Params[0], TM.mkIntConst(1)),
+                    TM.mkGe(P->Params[1], TM.mkIntConst(0))));
+  EXPECT_EQ(checkInterpretation(System, A), ClauseStatus::Valid);
+}
+
+TEST(ChcParserTest, RuleQueryStyle) {
+  const char *Text = R"(
+(declare-rel inv (Int))
+(declare-var x Int)
+(rule (=> (= x 0) (inv x)))
+(rule (=> (and (inv x) (< x 10)) (inv (+ x 1))))
+(query inv)
+)";
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult R = parseChcText(Text, System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(System.clauses().size(), 3u);
+  EXPECT_TRUE(System.clauses()[2].isQuery());
+  EXPECT_EQ(System.clauses()[2].HeadFormula, TM.mkFalse());
+}
+
+TEST(ChcParserTest, NegatedBodyQuery) {
+  const char *Text = R"(
+(declare-fun p (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (p x))))
+(assert (forall ((x Int)) (not (and (p x) (> x 5)))))
+)";
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult R = parseChcText(Text, System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(System.clauses().size(), 2u);
+  EXPECT_TRUE(System.clauses()[1].isQuery());
+  EXPECT_EQ(System.clauses()[1].Body.size(), 1u);
+}
+
+TEST(ChcParserTest, ArithmeticOperators) {
+  const char *Text = R"(
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= y (* 2 x)) (= (mod y 2) 0) (distinct x y) (<= 0 x y))
+      (p x y))))
+)";
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult R = parseChcText(Text, System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(System.clauses().size(), 1u);
+  const HornClause &C = System.clauses()[0];
+  // distinct x y with y = 2x and x, y >= 0 forces x >= 1 at, e.g., x=1,y=2.
+  std::unordered_map<const Term *, Rational> Asg{
+      {TM.mkVar("x"), Rational(1)}, {TM.mkVar("y"), Rational(2)}};
+  EXPECT_TRUE(evalFormula(C.Constraint, Asg));
+  Asg[TM.mkVar("y")] = Rational(1);
+  EXPECT_FALSE(evalFormula(C.Constraint, Asg));
+}
+
+TEST(ChcParserTest, ErrorDiagnostics) {
+  TermManager TM;
+  auto Expect = [&](const char *Text, const char *Fragment) {
+    ChcSystem System(TM);
+    ChcParseResult R = parseChcText(Text, System);
+    EXPECT_FALSE(R.Ok) << Text;
+    EXPECT_NE(R.Error.find(Fragment), std::string::npos)
+        << R.Error << " vs " << Fragment;
+  };
+  Expect("(declare-fun p (Real) Bool)", "sort Int");
+  Expect("(frobnicate)", "unsupported command");
+  Expect("(assert (q 1))", "unknown operator or predicate");
+  Expect("(declare-fun p (Int) Bool)(assert (p 1 2))", "arity mismatch");
+  Expect("(declare-fun p (Int) Bool)(assert (forall ((x Int)) "
+         "(=> (or (p x) (> x 0)) false)))",
+         "not a Horn clause");
+  Expect("(declare-fun p (Int) Bool)(assert (* x y))",
+         "non-linear multiplication");
+}
+
+TEST(ChcParserTest, NonRecursiveSystemDetected) {
+  const char *Text = R"(
+(declare-fun a (Int) Bool)
+(declare-fun b (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (a x))))
+(assert (forall ((x Int)) (=> (a x) (b x))))
+(assert (forall ((x Int)) (=> (b x) (>= x 0))))
+)";
+  TermManager TM;
+  ChcSystem System(TM);
+  ASSERT_TRUE(parseChcText(Text, System).Ok);
+  EXPECT_FALSE(System.isRecursive());
+  EXPECT_TRUE(System.recursivePredicates().empty());
+}
+
+TEST(ChcParserTest, MutualRecursionDetected) {
+  const char *Text = R"(
+(declare-fun even (Int) Bool)
+(declare-fun odd (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (even x))))
+(assert (forall ((x Int)) (=> (even x) (odd (+ x 1)))))
+(assert (forall ((x Int)) (=> (odd x) (even (+ x 1)))))
+)";
+  TermManager TM;
+  ChcSystem System(TM);
+  ASSERT_TRUE(parseChcText(Text, System).Ok);
+  EXPECT_TRUE(System.isRecursive());
+  EXPECT_EQ(System.recursivePredicates().size(), 2u);
+}
+
+} // namespace

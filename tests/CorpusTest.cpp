@@ -1,0 +1,96 @@
+//===- tests/CorpusTest.cpp - Benchmark corpus sanity tests ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Harness.h"
+#include "frontend/Encoder.h"
+#include "solver/DataDrivenSolver.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace la;
+using namespace la::corpus;
+
+namespace {
+
+TEST(CorpusTest, IsReasonablySized) {
+  EXPECT_GE(allPrograms().size(), 100u);
+  size_t Safe = 0, Unsafe = 0;
+  for (const BenchmarkProgram &P : allPrograms())
+    (P.ExpectedSafe ? Safe : Unsafe)++;
+  EXPECT_GE(Safe, 60u);
+  EXPECT_GE(Unsafe, 15u);
+}
+
+TEST(CorpusTest, NamesAreUnique) {
+  std::set<std::string> Names;
+  for (const BenchmarkProgram &P : allPrograms())
+    EXPECT_TRUE(Names.insert(P.Name).second) << "duplicate: " << P.Name;
+}
+
+TEST(CorpusTest, CategoriesCoverThePaperExperiments) {
+  std::vector<std::string> Cats = categories();
+  for (const char *Needed :
+       {"pie-suite", "dig-suite", "loop-lit", "loop-invgen", "recursive",
+        "product-lines", "systemc"})
+    EXPECT_NE(std::find(Cats.begin(), Cats.end(), Needed), Cats.end())
+        << "missing category " << Needed;
+  EXPECT_GE(category("recursive").size(), 10u);
+  EXPECT_GE(category("pie-suite").size(), 10u);
+}
+
+TEST(CorpusTest, LookupWorks) {
+  ASSERT_NE(find("paper_fig1"), nullptr);
+  EXPECT_TRUE(find("paper_fig1")->ExpectedSafe);
+  EXPECT_EQ(find("no_such_program"), nullptr);
+}
+
+/// Every corpus program must parse and encode into a well-formed CHC system
+/// with at least one query clause.
+TEST(CorpusTest, EveryProgramEncodes) {
+  for (const BenchmarkProgram &P : allPrograms()) {
+    TermManager TM;
+    chc::ChcSystem System(TM);
+    frontend::EncodeResult R = frontend::encodeMiniC(P.Source, System);
+    ASSERT_TRUE(R.Ok) << P.Name << ": " << R.Error;
+    bool HasQuery = false;
+    for (const chc::HornClause &C : System.clauses())
+      HasQuery |= C.isQuery();
+    EXPECT_TRUE(HasQuery) << P.Name << " encodes without any assertion";
+  }
+}
+
+/// Ground-truth spot check: a stratified sample of the corpus must solve to
+/// its expected verdict with the paper's solver (this is the slowest test in
+/// the suite and acts as the end-to-end regression net).
+TEST(CorpusTest, SampleSolvesToExpectedVerdict) {
+  const char *Sample[] = {
+      "paper_fig1",         "paper_fig3_a",     "paper_fig5_fibo",
+      "paper_fig5_fibo_unsafe", "rec_sum",      "rec_hanoi",
+      "gen_counter_b5_s1",  "gen_counter_b5_s1_bug",
+      "gen_relation_a2_b1", "gen_twophase_p4",  "gen_parity_s2_a1",
+      "gen_systemc_s3",     "gen_product_f4",   "gen_multiloop_k2",
+      "gen_unbounded_s0",   "gen_unbounded_bug", "mod_even_counter",
+      "dig_conserved_sum",  "lit_updown_unsafe",
+  };
+  for (const char *Name : Sample) {
+    const BenchmarkProgram *P = find(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    solver::DataDrivenChcSolver Solver(defaultOptionsFor(*P, 60));
+    RunOutcome Out = runOnProgram(Solver, *P);
+    EXPECT_TRUE(Out.Solved) << Name << " status=" << chc::toString(Out.Status);
+    EXPECT_FALSE(Out.Unsound) << Name;
+  }
+}
+
+TEST(HarnessTest, ModFeatureExtraction) {
+  EXPECT_EQ(modFeaturesFor("x % 2 == 0 && y%3 != 1"),
+            (std::vector<int64_t>{2, 3}));
+  EXPECT_TRUE(modFeaturesFor("x + y * 3").empty());
+  EXPECT_EQ(modFeaturesFor("a % 2 + b % 2"), (std::vector<int64_t>{2}));
+}
+
+} // namespace

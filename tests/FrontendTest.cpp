@@ -1,0 +1,306 @@
+//===- tests/FrontendTest.cpp - Mini-C parser and encoder tests -----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Encoder.h"
+#include "solver/DataDrivenSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+using namespace la::chc;
+using namespace la::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(MiniCParserTest, ParsesPaperFig1) {
+  ParseResult R = parseMiniC(R"(
+// Fig. 1 of the paper
+main(){ }
+)");
+  EXPECT_FALSE(R.Ok); // functions need a type
+  R = parseMiniC(R"(
+int main(){
+  int x, y;
+  x = 1; y = 0;
+  while (*) {
+    x = x + y;
+    y++;
+  }
+  assert(x >= y);
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Prog.Functions.size(), 1u);
+  const Function &Main = R.Prog.Functions[0];
+  EXPECT_EQ(Main.Name, "main");
+  EXPECT_TRUE(Main.Params.empty());
+}
+
+TEST(MiniCParserTest, OperatorPrecedence) {
+  ParseResult R = parseMiniC("int main(){ int x; x = 1 + 2 * 3 - -4; }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // AST shape: ((1 + (2*3)) - (-4)).
+  const Stmt &Body = *R.Prog.Functions[0].Body;
+  const Stmt &Assign = *Body.Body[1];
+  ASSERT_EQ(Assign.K, Stmt::Kind::Assign);
+  EXPECT_EQ(Assign.Value->K, Expr::Kind::Sub);
+  EXPECT_EQ(Assign.Value->Args[0]->K, Expr::Kind::Add);
+  EXPECT_EQ(Assign.Value->Args[0]->Args[1]->K, Expr::Kind::Mul);
+  EXPECT_EQ(Assign.Value->Args[1]->K, Expr::Kind::Neg);
+}
+
+TEST(MiniCParserTest, ConditionForms) {
+  ParseResult R = parseMiniC(R"(
+int main(){
+  int x, y;
+  if ((x < y && x >= 0) || !(y == 3)) { x = 0; }
+  if (*) { y = 0; } else { y = 1; }
+  while (x != y) { x++; }
+  assert((x + 1) <= y + 2);
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(MiniCParserTest, CommentsAndIncrements) {
+  ParseResult R = parseMiniC(R"(
+/* block comment
+   spanning lines */
+int main(){
+  int i = 0; // trailing comment
+  i++;
+  i--;
+}
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(MiniCParserTest, ErrorsCarryLineNumbers) {
+  ParseResult R = parseMiniC("int main(){\n  x = ;\n}");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos) << R.Error;
+  EXPECT_FALSE(parseMiniC("int f(").Ok);
+  EXPECT_FALSE(parseMiniC("int main(){ if x } ").Ok);
+  EXPECT_FALSE(parseMiniC("int main(){ while (x) ").Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Encoder structure
+//===----------------------------------------------------------------------===//
+
+TEST(EncoderTest, LoopBecomesPredicate) {
+  TermManager TM;
+  ChcSystem System(TM);
+  EncodeResult R = encodeMiniC(R"(
+int main(){
+  int x = 0;
+  while (x < 10) { x = x + 1; }
+  assert(x == 10);
+}
+)",
+                               System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // One loop predicate; entry, inductive and query clauses.
+  ASSERT_EQ(System.predicates().size(), 1u);
+  EXPECT_EQ(System.clauses().size(), 3u);
+  EXPECT_TRUE(System.isRecursive());
+}
+
+TEST(EncoderTest, NestedLoopsStackPredicates) {
+  TermManager TM;
+  ChcSystem System(TM);
+  EncodeResult R = encodeMiniC(R"(
+int main(){
+  int i = 0, j, s = 0;
+  while (i < 5) {
+    j = 0;
+    while (j < 5) { j = j + 1; s = s + 1; }
+    i = i + 1;
+  }
+  assert(s >= 0);
+}
+)",
+                               System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(System.predicates().size(), 2u);
+}
+
+TEST(EncoderTest, FunctionsGetContextAndSummary) {
+  TermManager TM;
+  ChcSystem System(TM);
+  EncodeResult R = encodeMiniC(R"(
+int inc(int a) { return a + 1; }
+int main(){
+  int x = inc(3);
+  assert(x == 4);
+}
+)",
+                               System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(System.findPredicate("ctx!inc"), nullptr);
+  EXPECT_NE(System.findPredicate("sum!inc"), nullptr);
+  EXPECT_FALSE(System.isRecursive());
+}
+
+TEST(EncoderTest, RecursionYieldsRecursiveSystem) {
+  TermManager TM;
+  ChcSystem System(TM);
+  EncodeResult R = encodeMiniC(R"(
+int fibo(int x) {
+  if (x < 1) { return 0; }
+  if (x == 1) { return 1; }
+  return fibo(x - 1) + fibo(x - 2);
+}
+int main(int x){
+  assert(fibo(x) >= x - 1);
+}
+)",
+                               System);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(System.isRecursive());
+}
+
+TEST(EncoderTest, SemanticErrors) {
+  TermManager TM;
+  auto Expect = [&](const char *Source, const char *Fragment) {
+    ChcSystem System(TM);
+    EncodeResult R = encodeMiniC(Source, System);
+    EXPECT_FALSE(R.Ok) << Source;
+    EXPECT_NE(R.Error.find(Fragment), std::string::npos)
+        << R.Error << " vs " << Fragment;
+  };
+  Expect("int f(){ return 0; }", "no 'main'");
+  Expect("int main(){ x = 1; }", "undeclared variable 'x'");
+  Expect("int main(){ int x; int x; }", "redeclaration");
+  Expect("int main(){ int x = y; }", "undeclared variable 'y'");
+  Expect("int main(){ int x = f(1); }", "undefined function");
+  Expect("int g(int a){ return a; } int main(){ int x = g(); }",
+         "wrong number of arguments");
+  // Note: `int x = 2; x * x` is accepted -- constant propagation makes it
+  // linear. Only genuinely symbolic products are rejected.
+  Expect("int main(){ int x = *; int y = x * x; }", "non-linear");
+  Expect("int main(){ int x = 1 % 0; }", "positive constant divisor");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: the paper's example programs through parse+encode+solve
+//===----------------------------------------------------------------------===//
+
+ChcResult verify(const char *Source,
+                 solver::DataDrivenOptions Opts = {}) {
+  if (Opts.TimeoutSeconds == 0)
+    Opts.TimeoutSeconds = 90;
+  TermManager TM;
+  ChcSystem System(TM);
+  EncodeResult E = encodeMiniC(Source, System);
+  EXPECT_TRUE(E.Ok) << E.Error;
+  if (!E.Ok)
+    return ChcResult::Unknown;
+  solver::DataDrivenChcSolver Solver(Opts);
+  ChcSolverResult R = Solver.solve(System);
+  if (R.Status == ChcResult::Sat) {
+    EXPECT_EQ(checkInterpretation(System, R.Interp), ClauseStatus::Valid)
+        << R.Interp.toString();
+  }
+  if (R.Status == ChcResult::Unsat) {
+    EXPECT_TRUE(R.Cex.has_value());
+    if (R.Cex)
+      EXPECT_TRUE(validateCounterexample(System, *R.Cex));
+  }
+  return R.Status;
+}
+
+/// Paper Fig. 1: the program Spacer diverges on.
+TEST(EndToEndTest, PaperFig1) {
+  EXPECT_EQ(verify(R"(
+int main(){
+  int x, y;
+  x = 1; y = 0;
+  while (*) {
+    x = x + y;
+    y++;
+  }
+  assert(x >= y);
+}
+)"),
+            ChcResult::Sat);
+}
+
+/// Paper Fig. 3 (program (a)): needs an or-of-and invariant.
+TEST(EndToEndTest, PaperFig3ProgramA) {
+  EXPECT_EQ(verify(R"(
+int main(){
+  int x, y;
+  x = 0; y = *;
+  while (y != 0) {
+    if (y < 0) { x--; y++; }
+    else { x++; y--; }
+    assert(x != 0);
+  }
+}
+)"),
+            ChcResult::Sat);
+}
+
+/// Paper Fig. 5 (program (c)): recursive fibonacci.
+TEST(EndToEndTest, PaperFig5Fibo) {
+  EXPECT_EQ(verify(R"(
+int fibo(int x) {
+  if (x < 1) { return 0; }
+  if (x == 1) { return 1; }
+  return fibo(x - 1) + fibo(x - 2);
+}
+int main(int x){
+  assert(fibo(x) >= x - 1);
+}
+)"),
+            ChcResult::Sat);
+}
+
+/// A buggy program: the unsafe verdict must come with a genuine derivation.
+TEST(EndToEndTest, UnsafeCounter) {
+  EXPECT_EQ(verify(R"(
+int main(){
+  int x = 0;
+  while (x < 10) { x = x + 1; }
+  assert(x <= 9);
+}
+)"),
+            ChcResult::Unsat);
+}
+
+/// Assertions inside callees are checked under their calling contexts.
+TEST(EndToEndTest, CalleeAssertUsesContext) {
+  // Safe: f is only called with positive arguments.
+  EXPECT_EQ(verify(R"(
+int f(int a){
+  assert(a > 0);
+  return a;
+}
+int main(){
+  int r = f(5);
+  assert(r == 5);
+}
+)"),
+            ChcResult::Sat);
+  // Unsafe: called with 0.
+  EXPECT_EQ(verify(R"(
+int f(int a){
+  assert(a > 0);
+  return a;
+}
+int main(){
+  int r = f(0);
+}
+)"),
+            ChcResult::Unsat);
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+//===- tests/LogicTest.cpp - Term / LinearExpr / SExpr tests --------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/LinearExpr.h"
+#include "logic/SExpr.h"
+#include "logic/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  TermManager TM;
+  const Term *X = TM.mkVar("x");
+  const Term *Y = TM.mkVar("y");
+};
+
+TEST_F(TermTest, HashConsingGivesPointerEquality) {
+  EXPECT_EQ(TM.mkVar("x"), X);
+  EXPECT_EQ(TM.mkIntConst(3), TM.mkIntConst(3));
+  EXPECT_EQ(TM.mkAdd(X, Y), TM.mkAdd(X, Y));
+  EXPECT_NE(TM.mkAdd(X, Y), TM.mkAdd(Y, X)); // order is significant
+  EXPECT_EQ(TM.mkLe(X, Y), TM.mkLe(X, Y));
+}
+
+TEST_F(TermTest, ConstantFolding) {
+  EXPECT_EQ(TM.mkAdd(TM.mkIntConst(2), TM.mkIntConst(3)), TM.mkIntConst(5));
+  EXPECT_EQ(TM.mkMul(Rational(0), X), TM.mkIntConst(0));
+  EXPECT_EQ(TM.mkMul(Rational(1), X), X);
+  EXPECT_EQ(TM.mkLe(TM.mkIntConst(1), TM.mkIntConst(2)), TM.mkTrue());
+  EXPECT_EQ(TM.mkLt(TM.mkIntConst(2), TM.mkIntConst(2)), TM.mkFalse());
+  EXPECT_EQ(TM.mkEq(X, X), TM.mkTrue());
+}
+
+TEST_F(TermTest, BooleanSimplification) {
+  const Term *A = TM.mkLe(X, Y);
+  EXPECT_EQ(TM.mkAnd(A, TM.mkTrue()), A);
+  EXPECT_EQ(TM.mkAnd(A, TM.mkFalse()), TM.mkFalse());
+  EXPECT_EQ(TM.mkOr(A, TM.mkFalse()), A);
+  EXPECT_EQ(TM.mkOr(A, TM.mkTrue()), TM.mkTrue());
+  EXPECT_EQ(TM.mkNot(TM.mkNot(A)), A);
+  // Nested conjunctions flatten.
+  const Term *B = TM.mkLt(Y, X);
+  const Term *Nested = TM.mkAnd(TM.mkAnd(A, B), A);
+  EXPECT_EQ(Nested->kind(), TermKind::And);
+  EXPECT_EQ(Nested->numOperands(), 3u);
+}
+
+TEST_F(TermTest, MulDistributesOverAdd) {
+  const Term *T = TM.mkMul(Rational(2), TM.mkAdd(X, TM.mkIntConst(3)));
+  // 2*(x+3) = (+ (* 2 x) 6)
+  std::optional<LinearExpr> E = LinearExpr::fromTerm(T);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->coefficient(X), Rational(2));
+  EXPECT_EQ(E->constant(), Rational(6));
+}
+
+TEST_F(TermTest, FreshVarsAreDistinct) {
+  const Term *A = TM.mkFreshVar("tmp");
+  const Term *B = TM.mkFreshVar("tmp");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A->name(), B->name());
+}
+
+TEST_F(TermTest, Substitution) {
+  // (x + 2y <= 5)[x := y+1]  ==>  y+1+2y <= 5
+  const Term *F =
+      TM.mkLe(TM.mkAdd(X, TM.mkMul(Rational(2), Y)), TM.mkIntConst(5));
+  std::unordered_map<const Term *, const Term *> Map{
+      {X, TM.mkAdd(Y, TM.mkIntConst(1))}};
+  const Term *G = TM.substitute(F, Map);
+  std::unordered_map<const Term *, Rational> Asg{{Y, Rational(1)}};
+  EXPECT_TRUE(evalFormula(G, Asg));  // 1+1+2 = 4 <= 5
+  Asg[Y] = Rational(2);
+  EXPECT_FALSE(evalFormula(G, Asg)); // 2+1+4 = 7 > 5
+}
+
+TEST_F(TermTest, EvaluationMatchesSemantics) {
+  std::unordered_map<const Term *, Rational> Asg{{X, Rational(3)},
+                                                 {Y, Rational(-2)}};
+  EXPECT_EQ(evalTerm(TM.mkAdd(X, Y), Asg), Rational(1));
+  EXPECT_EQ(evalTerm(TM.mkMul(Rational(-4), Y), Asg), Rational(8));
+  EXPECT_TRUE(evalFormula(TM.mkLt(Y, X), Asg));
+  EXPECT_FALSE(evalFormula(TM.mkEq(X, Y), Asg));
+  EXPECT_TRUE(evalFormula(TM.mkNe(X, Y), Asg));
+  EXPECT_TRUE(evalFormula(TM.mkImplies(TM.mkFalse(), TM.mkEq(X, Y)), Asg));
+  // Euclidean mod: (-2) mod 3 == 1.
+  EXPECT_EQ(evalTerm(TM.mkMod(Y, BigInt(3)), Asg), Rational(1));
+  EXPECT_EQ(evalTerm(TM.mkMod(X, BigInt(2)), Asg), Rational(1));
+}
+
+TEST_F(TermTest, CollectVarsInOrder) {
+  const Term *F = TM.mkLe(TM.mkAdd(Y, X), TM.mkAdd(X, TM.mkIntConst(1)));
+  std::vector<const Term *> Vars = TM.collectVars(F);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars[0], Y);
+  EXPECT_EQ(Vars[1], X);
+}
+
+TEST_F(TermTest, ContainsPredApp) {
+  const Term *P = TM.mkPredApp("p", {X, Y});
+  EXPECT_TRUE(TermManager::containsPredApp(TM.mkAnd(P, TM.mkLe(X, Y))));
+  EXPECT_FALSE(TermManager::containsPredApp(TM.mkLe(X, Y)));
+}
+
+TEST_F(TermTest, Printing) {
+  EXPECT_EQ(TM.mkIntConst(-3)->toString(), "(- 3)");
+  EXPECT_EQ(TM.mkPredApp("inv", {X, Y})->toString(), "(inv x y)");
+  EXPECT_EQ(TM.mkLe(X, TM.mkIntConst(0))->toString(), "(<= x 0)");
+}
+
+//===----------------------------------------------------------------------===//
+// LinearExpr / LinearAtom
+//===----------------------------------------------------------------------===//
+
+TEST_F(TermTest, LinearExprCancellation) {
+  LinearExpr E;
+  E.addVar(X, Rational(2));
+  E.addVar(X, Rational(-2));
+  EXPECT_TRUE(E.isConstant());
+  E.addVar(Y, Rational(1));
+  LinearExpr D = E - E;
+  EXPECT_TRUE(D.isConstant());
+  EXPECT_TRUE(D.constant().isZero());
+}
+
+TEST_F(TermTest, LinearExprFromTermRejectsMod) {
+  const Term *M = TM.mkMod(X, BigInt(2));
+  EXPECT_FALSE(LinearExpr::fromTerm(M).has_value());
+  EXPECT_FALSE(LinearExpr::fromTerm(TM.mkAdd(X, M)).has_value());
+}
+
+TEST_F(TermTest, NormalizeIntegral) {
+  LinearExpr E;
+  E.addVar(X, Rational(BigInt(1), BigInt(2)));
+  E.addVar(Y, Rational(BigInt(3), BigInt(4)));
+  E.addConstant(Rational(BigInt(-5), BigInt(2)));
+  E.normalizeIntegral();
+  EXPECT_EQ(E.coefficient(X), Rational(2));
+  EXPECT_EQ(E.coefficient(Y), Rational(3));
+  EXPECT_EQ(E.constant(), Rational(-10));
+
+  LinearExpr G;
+  G.addVar(X, Rational(4));
+  G.addConstant(Rational(6));
+  G.normalizeIntegral();
+  EXPECT_EQ(G.coefficient(X), Rational(2));
+  EXPECT_EQ(G.constant(), Rational(3));
+}
+
+TEST_F(TermTest, LinearAtomFromTermAndNegation) {
+  // x + 2 <= y  ==>  x - y + 2 <= 0
+  const Term *F = TM.mkLe(TM.mkAdd(X, TM.mkIntConst(2)), Y);
+  std::optional<LinearAtom> Atom = LinearAtom::fromTerm(F);
+  ASSERT_TRUE(Atom.has_value());
+  EXPECT_EQ(Atom->Rel, LinRel::Le);
+  EXPECT_EQ(Atom->Expr.coefficient(X), Rational(1));
+  EXPECT_EQ(Atom->Expr.coefficient(Y), Rational(-1));
+  EXPECT_EQ(Atom->Expr.constant(), Rational(2));
+
+  LinearAtom Neg = Atom->negated();
+  EXPECT_EQ(Neg.Rel, LinRel::Lt);
+  EXPECT_EQ(Neg.Expr.coefficient(X), Rational(-1));
+
+  std::unordered_map<const Term *, Rational> Asg{{X, Rational(0)},
+                                                 {Y, Rational(2)}};
+  EXPECT_TRUE(Atom->holds(Asg));
+  EXPECT_FALSE(Neg.holds(Asg));
+  Asg[Y] = Rational(1);
+  EXPECT_FALSE(Atom->holds(Asg));
+  EXPECT_TRUE(Neg.holds(Asg));
+}
+
+TEST_F(TermTest, LinearAtomToTermRoundTrip) {
+  LinearAtom Atom;
+  Atom.Expr.addVar(X, Rational(BigInt(1), BigInt(3)));
+  Atom.Expr.addConstant(Rational(BigInt(-2), BigInt(3)));
+  Atom.Rel = LinRel::Le;
+  const Term *T = Atom.toTerm(TM); // x - 2 <= 0
+  std::unordered_map<const Term *, Rational> Asg{{X, Rational(2)}};
+  EXPECT_TRUE(evalFormula(T, Asg));
+  Asg[X] = Rational(3);
+  EXPECT_FALSE(evalFormula(T, Asg));
+}
+
+//===----------------------------------------------------------------------===//
+// SExpr
+//===----------------------------------------------------------------------===//
+
+TEST(SExprTest, ParsesAtomsAndLists) {
+  SExprParseResult R = parseSExprs("(declare-fun p (Int Int) Bool)\n(foo)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.TopLevel.size(), 2u);
+  EXPECT_TRUE(R.TopLevel[0].isCall("declare-fun"));
+  EXPECT_EQ(R.TopLevel[0].Items.size(), 4u);
+  EXPECT_TRUE(R.TopLevel[0].Items[1].isAtom("p"));
+  EXPECT_EQ(R.TopLevel[0].toString(), "(declare-fun p (Int Int) Bool)");
+}
+
+TEST(SExprTest, CommentsAndQuotedSymbols) {
+  SExprParseResult R = parseSExprs("; header\n(assert |weird name|) ; tail\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.TopLevel.size(), 1u);
+  EXPECT_TRUE(R.TopLevel[0].Items[1].isAtom("weird name"));
+}
+
+TEST(SExprTest, ReportsErrorsWithLines) {
+  SExprParseResult Unterminated = parseSExprs("(a (b c)\n");
+  EXPECT_FALSE(Unterminated.Ok);
+  EXPECT_NE(Unterminated.Error.find("line"), std::string::npos);
+  EXPECT_FALSE(parseSExprs(")").Ok);
+  EXPECT_FALSE(parseSExprs("(|x").Ok);
+}
+
+TEST(SExprTest, TracksLineNumbers) {
+  SExprParseResult R = parseSExprs("(a)\n(b)\n(c)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.TopLevel[0].Line, 1u);
+  EXPECT_EQ(R.TopLevel[1].Line, 2u);
+  EXPECT_EQ(R.TopLevel[2].Line, 3u);
+}
+
+} // namespace

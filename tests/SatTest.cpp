@@ -1,0 +1,212 @@
+//===- tests/SatTest.cpp - CDCL SAT solver tests --------------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/SatSolver.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+using namespace la::sat;
+
+namespace {
+
+TEST(SatSolverTest, TrivialSat) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  EXPECT_TRUE(S.addClause({mkLit(A), mkLit(B)}));
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.value(A) == LBool::True || S.value(B) == LBool::True);
+}
+
+TEST(SatSolverTest, TrivialUnsat) {
+  SatSolver S;
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addClause({mkLit(A)}));
+  EXPECT_FALSE(S.addClause({mkLit(A, true)}));
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatSolverTest, UnitPropagationChain) {
+  SatSolver S;
+  std::vector<Var> Vars;
+  for (int I = 0; I < 10; ++I)
+    Vars.push_back(S.newVar());
+  // v0 and (v_i -> v_{i+1}) forces all true.
+  EXPECT_TRUE(S.addClause({mkLit(Vars[0])}));
+  for (int I = 0; I + 1 < 10; ++I)
+    EXPECT_TRUE(S.addClause({mkLit(Vars[I], true), mkLit(Vars[I + 1])}));
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  for (Var V : Vars)
+    EXPECT_EQ(S.value(V), LBool::True);
+}
+
+TEST(SatSolverTest, TautologyAndDuplicatesIgnored) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  EXPECT_TRUE(S.addClause({mkLit(A), mkLit(A, true)})); // tautology
+  EXPECT_TRUE(S.addClause({mkLit(B), mkLit(B)}));       // duplicate -> unit
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_EQ(S.value(B), LBool::True);
+}
+
+/// Pigeonhole principle PHP(n+1, n) is unsatisfiable and requires real
+/// conflict-driven search, exercising learning and backjumping.
+TEST(SatSolverTest, PigeonholeUnsat) {
+  const int Holes = 4, Pigeons = 5;
+  SatSolver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (int H = 0; H < Holes; ++H)
+      AtLeastOne.push_back(mkLit(P[I][H]));
+    EXPECT_TRUE(S.addClause(AtLeastOne));
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int J = I + 1; J < Pigeons; ++J)
+        S.addClause({mkLit(P[I][H], true), mkLit(P[J][H], true)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(SatSolverTest, ConflictBudgetReturnsUnknown) {
+  const int Holes = 8, Pigeons = 9;
+  SatSolver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> AtLeastOne;
+    for (int H = 0; H < Holes; ++H)
+      AtLeastOne.push_back(mkLit(P[I][H]));
+    S.addClause(AtLeastOne);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int J = I + 1; J < Pigeons; ++J)
+        S.addClause({mkLit(P[I][H], true), mkLit(P[J][H], true)});
+  EXPECT_EQ(S.solve(/*MaxConflicts=*/5), SatResult::Unknown);
+}
+
+/// Brute-force reference check on random 3-CNF instances.
+class RandomCnfTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnfTest, AgreesWithBruteForce) {
+  Random Rng(GetParam());
+  const int NumVars = 8;
+  const int NumClauses = 3 + static_cast<int>(Rng.nextBounded(40));
+  std::vector<std::vector<Lit>> Formula;
+  for (int C = 0; C < NumClauses; ++C) {
+    std::vector<Lit> Clause;
+    for (int K = 0; K < 3; ++K) {
+      Var V = static_cast<Var>(Rng.nextBounded(NumVars));
+      Clause.push_back(mkLit(V, Rng.nextBounded(2) == 0));
+    }
+    Formula.push_back(Clause);
+  }
+
+  // Brute force.
+  bool BruteSat = false;
+  for (uint32_t Mask = 0; Mask < (1u << NumVars) && !BruteSat; ++Mask) {
+    bool All = true;
+    for (const auto &Clause : Formula) {
+      bool Any = false;
+      for (Lit L : Clause) {
+        bool Val = (Mask >> litVar(L)) & 1;
+        if (litNegated(L))
+          Val = !Val;
+        Any |= Val;
+      }
+      if (!Any) {
+        All = false;
+        break;
+      }
+    }
+    BruteSat = All;
+  }
+
+  SatSolver S;
+  for (int I = 0; I < NumVars; ++I)
+    S.newVar();
+  bool Root = true;
+  for (auto &Clause : Formula)
+    Root &= S.addClause(Clause);
+  SatResult R = Root ? S.solve() : SatResult::Unsat;
+  EXPECT_EQ(R == SatResult::Sat, BruteSat) << "seed " << GetParam();
+  if (R == SatResult::Sat) {
+    // The reported model must satisfy every clause.
+    for (const auto &Clause : Formula) {
+      bool Any = false;
+      for (Lit L : Clause)
+        Any |= S.valueLit(L) == LBool::True;
+      EXPECT_TRUE(Any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnfTest, ::testing::Range(0, 60));
+
+/// A theory client that forbids a fixed pair of variables both being true,
+/// exercising theory-conflict handling.
+class PairVetoTheory : public TheoryClient {
+public:
+  PairVetoTheory(Var A, Var B) : A(A), B(B) {}
+
+  void onAssert(Lit L) override { Assigned.push_back(L); }
+  void onBacktrack(size_t NewSize) override { Assigned.resize(NewSize); }
+
+  CheckResult check(bool) override {
+    CheckResult R;
+    bool ATrue = false, BTrue = false;
+    for (Lit L : Assigned) {
+      if (L == mkLit(A))
+        ATrue = true;
+      if (L == mkLit(B))
+        BTrue = true;
+    }
+    if (ATrue && BTrue) {
+      R.Consistent = false;
+      R.Conflict = {mkLit(A, true), mkLit(B, true)};
+    }
+    return R;
+  }
+
+private:
+  Var A, B;
+  std::vector<Lit> Assigned;
+};
+
+TEST(SatSolverTest, TheoryConflictIsRespected) {
+  // a, and (a -> b) boolean-wise, but theory forbids {a, b} => unsat.
+  PairVetoTheory *Theory = nullptr;
+  {
+    static PairVetoTheory T(0, 1);
+    Theory = &T;
+  }
+  SatSolver S(Theory);
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_EQ(A, 0);
+  ASSERT_EQ(B, 1);
+  S.addClause({mkLit(A)});
+  S.addClause({mkLit(A, true), mkLit(B)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(SatSolverTest, TheoryAllowsOtherModels) {
+  static PairVetoTheory Theory(0, 1);
+  SatSolver S(&Theory);
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({mkLit(A), mkLit(B)});
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.value(A) == LBool::True && S.value(B) == LBool::True);
+}
+
+} // namespace

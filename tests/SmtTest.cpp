@@ -1,0 +1,509 @@
+//===- tests/SmtTest.cpp - Simplex and SmtSolver tests --------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+using namespace la::smt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Simplex
+//===----------------------------------------------------------------------===//
+
+TEST(SimplexTest, FeasibleBoxAndDefinedVar) {
+  Simplex S;
+  Simplex::VarId X = S.addVar();
+  Simplex::VarId Y = S.addVar();
+  Simplex::VarId Sum = S.addDefinedVar({{X, Rational(1)}, {Y, Rational(1)}});
+  Simplex::BoundUndo U1, U2, U3;
+  EXPECT_FALSE(S.assertBound(X, true, DeltaRational(Rational(1)), 0, U1));
+  EXPECT_FALSE(S.assertBound(Y, true, DeltaRational(Rational(2)), 1, U2));
+  EXPECT_FALSE(S.assertBound(Sum, false, DeltaRational(Rational(10)), 2, U3));
+  EXPECT_FALSE(S.check().has_value());
+  EXPECT_GE(S.value(X), DeltaRational(Rational(1)));
+  EXPECT_GE(S.value(Y), DeltaRational(Rational(2)));
+  EXPECT_EQ(S.value(Sum), S.value(X) + S.value(Y));
+}
+
+TEST(SimplexTest, InfeasibleWithFarkasReasons) {
+  // x + y >= 5, x <= 1, y <= 2 is infeasible.
+  Simplex S;
+  Simplex::VarId X = S.addVar();
+  Simplex::VarId Y = S.addVar();
+  Simplex::VarId Sum = S.addDefinedVar({{X, Rational(1)}, {Y, Rational(1)}});
+  Simplex::BoundUndo U1, U2, U3;
+  EXPECT_FALSE(S.assertBound(Sum, true, DeltaRational(Rational(5)), 10, U1));
+  EXPECT_FALSE(S.assertBound(X, false, DeltaRational(Rational(1)), 11, U2));
+  EXPECT_FALSE(S.assertBound(Y, false, DeltaRational(Rational(2)), 12, U3));
+  std::optional<Simplex::Conflict> C = S.check();
+  ASSERT_TRUE(C.has_value());
+  std::set<int> Reasons;
+  for (const auto &[R, Coeff] : C->Reasons) {
+    EXPECT_GT(Coeff.signum(), 0);
+    Reasons.insert(R);
+  }
+  EXPECT_EQ(Reasons, (std::set<int>{10, 11, 12}));
+}
+
+TEST(SimplexTest, ImmediateBoundClash) {
+  Simplex S;
+  Simplex::VarId X = S.addVar();
+  Simplex::BoundUndo U1, U2;
+  EXPECT_FALSE(S.assertBound(X, true, DeltaRational(Rational(3)), 0, U1));
+  std::optional<Simplex::Conflict> C =
+      S.assertBound(X, false, DeltaRational(Rational(2)), 1, U2);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_EQ(C->Reasons.size(), 2u);
+}
+
+TEST(SimplexTest, BoundRetractionRestoresFeasibility) {
+  Simplex S;
+  Simplex::VarId X = S.addVar();
+  Simplex::VarId Y = S.addVar();
+  Simplex::VarId Diff = S.addDefinedVar({{X, Rational(1)}, {Y, Rational(-1)}});
+  Simplex::BoundUndo U1, U2, U3;
+  EXPECT_FALSE(S.assertBound(Diff, true, DeltaRational(Rational(1)), 0, U1));
+  EXPECT_FALSE(S.assertBound(X, false, DeltaRational(Rational(0)), 1, U2));
+  EXPECT_FALSE(S.check().has_value());
+  // y <= -2 ok; then x >= 5 would clash with x <= 0 -- retract x <= 0 first.
+  EXPECT_FALSE(S.assertBound(Y, false, DeltaRational(Rational(-2)), 2, U3));
+  EXPECT_FALSE(S.check().has_value());
+  S.undoBound(U3);
+  S.undoBound(U2);
+  Simplex::BoundUndo U4;
+  EXPECT_FALSE(S.assertBound(X, true, DeltaRational(Rational(5)), 3, U4));
+  EXPECT_FALSE(S.check().has_value());
+  EXPECT_GE(S.value(X), DeltaRational(Rational(5)));
+}
+
+TEST(SimplexTest, StrictBoundsViaDelta) {
+  // x > 0 and x < 1 is satisfiable over the rationals.
+  Simplex S;
+  Simplex::VarId X = S.addVar();
+  Simplex::BoundUndo U1, U2;
+  EXPECT_FALSE(S.assertBound(X, true,
+                             DeltaRational(Rational(0), Rational(1)), 0, U1));
+  EXPECT_FALSE(S.assertBound(X, false,
+                             DeltaRational(Rational(1), Rational(-1)), 1, U2));
+  EXPECT_FALSE(S.check().has_value());
+  // But x > 0 and x < 0 is not.
+  Simplex S2;
+  Simplex::VarId Z = S2.addVar();
+  Simplex::BoundUndo V1, V2;
+  EXPECT_FALSE(S2.assertBound(Z, true,
+                              DeltaRational(Rational(0), Rational(1)), 0, V1));
+  EXPECT_TRUE(S2.assertBound(Z, false,
+                             DeltaRational(Rational(0), Rational(-1)), 1, V2)
+                  .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// SmtSolver basics
+//===----------------------------------------------------------------------===//
+
+class SmtTest : public ::testing::Test {
+protected:
+  TermManager TM;
+  const Term *X = TM.mkVar("x");
+  const Term *Y = TM.mkVar("y");
+  const Term *Z = TM.mkVar("z");
+
+  SmtResult checkOne(const Term *F, SmtSolver *Keep = nullptr) {
+    if (Keep) {
+      Keep->assertFormula(F);
+      return Keep->check();
+    }
+    SmtSolver S(TM);
+    S.assertFormula(F);
+    return S.check();
+  }
+};
+
+TEST_F(SmtTest, TrivialSatUnsat) {
+  EXPECT_EQ(checkOne(TM.mkTrue()), SmtResult::Sat);
+  EXPECT_EQ(checkOne(TM.mkFalse()), SmtResult::Unsat);
+  EXPECT_EQ(checkOne(TM.mkLe(X, TM.mkIntConst(3))), SmtResult::Sat);
+  EXPECT_EQ(checkOne(TM.mkAnd(TM.mkLe(X, TM.mkIntConst(1)),
+                              TM.mkGe(X, TM.mkIntConst(2)))),
+            SmtResult::Unsat);
+}
+
+TEST_F(SmtTest, ModelSatisfiesFormula) {
+  const Term *F = TM.mkAnd(
+      {TM.mkGe(X, TM.mkIntConst(3)), TM.mkLe(TM.mkAdd(X, Y), TM.mkIntConst(5)),
+       TM.mkEq(Z, TM.mkAdd(X, TM.mkMul(Rational(2), Y)))});
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_TRUE(evalFormula(F, S.model()));
+  EXPECT_EQ(S.evalInModel(TM.mkAdd(X, Y)),
+            S.evalInModel(X) + S.evalInModel(Y));
+}
+
+TEST_F(SmtTest, DisequalityAndBooleanStructure) {
+  // (x = y or x = y + 1) and x != y  ==> x = y + 1.
+  const Term *F = TM.mkAnd(
+      {TM.mkOr(TM.mkEq(X, Y), TM.mkEq(X, TM.mkAdd(Y, TM.mkIntConst(1)))),
+       TM.mkNe(X, Y)});
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_EQ(S.evalInModel(X), S.evalInModel(Y) + Rational(1));
+}
+
+TEST_F(SmtTest, IntegralityForcesBranching) {
+  // 2x = 2y + 1 has no integer solution (x - y = 1/2).
+  const Term *F = TM.mkEq(TM.mkMul(Rational(2), X),
+                          TM.mkAdd(TM.mkMul(Rational(2), Y), TM.mkIntConst(1)));
+  EXPECT_EQ(checkOne(F), SmtResult::Unsat);
+}
+
+TEST_F(SmtTest, IntegralityBranchFindsLatticePoint) {
+  // 3x + 3y = 6 with 0 < x < 2 forces x = 1 over the integers.
+  const Term *F = TM.mkAnd({TM.mkEq(TM.mkAdd(TM.mkMul(Rational(3), X),
+                                             TM.mkMul(Rational(3), Y)),
+                                    TM.mkIntConst(6)),
+                            TM.mkGt(X, TM.mkIntConst(0)),
+                            TM.mkLt(X, TM.mkIntConst(2))});
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_EQ(S.evalInModel(X), Rational(1));
+  EXPECT_EQ(S.evalInModel(Y), Rational(1));
+}
+
+TEST_F(SmtTest, FractionalVertexRequiresSplit) {
+  // x + 2y <= 1, -x + 2y <= 1, 2y >= 1: LP vertex has y = 1/2; the integer
+  // solver must branch and discover y >= 1 is forced... which conflicts.
+  const Term *TwoY = TM.mkMul(Rational(2), Y);
+  const Term *F = TM.mkAnd({TM.mkLe(TM.mkAdd(X, TwoY), TM.mkIntConst(1)),
+                            TM.mkLe(TM.mkAdd(TM.mkNeg(X), TwoY),
+                                    TM.mkIntConst(1)),
+                            TM.mkGe(TwoY, TM.mkIntConst(1))});
+  EXPECT_EQ(checkOne(F), SmtResult::Unsat);
+}
+
+TEST_F(SmtTest, ModLowering) {
+  // x mod 2 = 1 and 4 <= x <= 6 gives x = 5.
+  const Term *F = TM.mkAnd({TM.mkEq(TM.mkMod(X, BigInt(2)), TM.mkIntConst(1)),
+                            TM.mkGe(X, TM.mkIntConst(4)),
+                            TM.mkLe(X, TM.mkIntConst(6))});
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_EQ(S.evalInModel(X), Rational(5));
+}
+
+TEST_F(SmtTest, ModContradiction) {
+  const Term *F = TM.mkAnd(TM.mkEq(TM.mkMod(X, BigInt(2)), TM.mkIntConst(0)),
+                           TM.mkEq(TM.mkMod(X, BigInt(2)), TM.mkIntConst(1)));
+  EXPECT_EQ(checkOne(F), SmtResult::Unsat);
+}
+
+TEST_F(SmtTest, ModOfNegativeIsEuclidean) {
+  // x < 0 and x mod 3 = 2 and x >= -4  ==>  x = -4 (since -4 mod 3 == 2).
+  const Term *F = TM.mkAnd({TM.mkLt(X, TM.mkIntConst(0)),
+                            TM.mkEq(TM.mkMod(X, BigInt(3)), TM.mkIntConst(2)),
+                            TM.mkGe(X, TM.mkIntConst(-4))});
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  // Solutions are x in {-4, -1}; both satisfy Euclidean mod semantics.
+  Rational V = S.evalInModel(X);
+  EXPECT_TRUE(V == Rational(-4) || V == Rational(-1)) << V.toString();
+  EXPECT_EQ(Rational(V.numerator().euclideanMod(BigInt(3))), Rational(2));
+}
+
+TEST_F(SmtTest, UnconstrainedVarsGetModelValues) {
+  SmtSolver S(TM);
+  S.assertFormula(TM.mkLe(X, TM.mkIntConst(0)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  // y never occurs: evalInModel defaults it to 0.
+  EXPECT_EQ(S.evalInModel(Y), Rational(0));
+}
+
+TEST_F(SmtTest, LargeCoefficients) {
+  // 1000000007*x - 1000000007*y = 1000000007  =>  x - y = 1.
+  Rational Big(BigInt(1000000007));
+  const Term *F =
+      TM.mkEq(TM.mkSub(TM.mkMul(Big, X), TM.mkMul(Big, Y)),
+              TM.mkMul(Big, TM.mkIntConst(1)));
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_EQ(S.evalInModel(X) - S.evalInModel(Y), Rational(1));
+}
+
+//===----------------------------------------------------------------------===//
+// Property test: agreement with brute force over a bounded box
+//===----------------------------------------------------------------------===//
+
+class SmtRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmtRandomTest, AgreesWithBruteForceOnBox) {
+  Random Rng(GetParam() * 977 + 13);
+  TermManager TM;
+  const Term *Vars[3] = {TM.mkVar("a"), TM.mkVar("b"), TM.mkVar("c")};
+  const int Lo = -3, Hi = 3;
+
+  // Random atom: c0*a + c1*b + c2*c + k REL 0.
+  auto RandomAtom = [&]() -> const Term * {
+    std::vector<const Term *> Parts;
+    for (const Term *V : Vars)
+      Parts.push_back(TM.mkMul(Rational(Rng.nextInRange(-3, 3)), V));
+    Parts.push_back(TM.mkIntConst(Rng.nextInRange(-4, 4)));
+    const Term *E = TM.mkAdd(std::move(Parts));
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      return TM.mkLe(E, TM.mkIntConst(0));
+    case 1:
+      return TM.mkLt(E, TM.mkIntConst(0));
+    default:
+      return TM.mkEq(E, TM.mkIntConst(0));
+    }
+  };
+
+  // Random boolean structure of depth 2.
+  std::function<const Term *(int)> RandomFormula = [&](int Depth) {
+    if (Depth == 0)
+      return RandomAtom();
+    switch (Rng.nextBounded(3)) {
+    case 0: {
+      return TM.mkAnd(RandomFormula(Depth - 1), RandomFormula(Depth - 1));
+    }
+    case 1:
+      return TM.mkOr(RandomFormula(Depth - 1), RandomFormula(Depth - 1));
+    default:
+      return TM.mkNot(RandomFormula(Depth - 1));
+    }
+  };
+
+  const Term *Core = RandomFormula(2);
+  std::vector<const Term *> Conj{Core};
+  for (const Term *V : Vars) {
+    Conj.push_back(TM.mkGe(V, TM.mkIntConst(Lo)));
+    Conj.push_back(TM.mkLe(V, TM.mkIntConst(Hi)));
+  }
+  const Term *F = TM.mkAnd(Conj);
+
+  // Brute force over the box.
+  bool BruteSat = false;
+  for (int A = Lo; A <= Hi && !BruteSat; ++A)
+    for (int B = Lo; B <= Hi && !BruteSat; ++B)
+      for (int C = Lo; C <= Hi && !BruteSat; ++C) {
+        std::unordered_map<const Term *, Rational> Asg{
+            {Vars[0], Rational(A)}, {Vars[1], Rational(B)},
+            {Vars[2], Rational(C)}};
+        BruteSat = evalFormula(F, Asg);
+      }
+
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  SmtResult R = S.check();
+  ASSERT_NE(R, SmtResult::Unknown);
+  EXPECT_EQ(R == SmtResult::Sat, BruteSat) << "seed " << GetParam();
+  if (R == SmtResult::Sat) {
+    EXPECT_TRUE(evalFormula(F, S.model()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtRandomTest, ::testing::Range(0, 80));
+
+//===----------------------------------------------------------------------===//
+// checkLinearConjunction
+//===----------------------------------------------------------------------===//
+
+class ConjunctionTest : public ::testing::Test {
+protected:
+  TermManager TM;
+  const Term *X = TM.mkVar("x");
+  const Term *Y = TM.mkVar("y");
+
+  LinearAtom atom(std::vector<std::pair<const Term *, int>> Coeffs, int Const,
+                  LinRel Rel) {
+    LinearAtom A;
+    for (auto &[V, C] : Coeffs)
+      A.Expr.addVar(V, Rational(C));
+    A.Expr.addConstant(Rational(Const));
+    A.Rel = Rel;
+    return A;
+  }
+};
+
+TEST_F(ConjunctionTest, SatGivesModel) {
+  std::vector<LinearAtom> Atoms{
+      atom({{X, 1}, {Y, 1}}, -3, LinRel::Le),  // x + y <= 3
+      atom({{X, -1}}, 1, LinRel::Lt),          // x > 1
+      atom({{Y, 1}}, 0, LinRel::Eq),           // y = 0
+  };
+  ConjunctionResult R = checkLinearConjunction(Atoms);
+  ASSERT_TRUE(R.Sat);
+  for (const LinearAtom &A : Atoms) {
+    EXPECT_TRUE(A.holds(R.Model));
+  }
+}
+
+TEST_F(ConjunctionTest, UnsatGivesValidFarkasCertificate) {
+  std::vector<LinearAtom> Atoms{
+      atom({{X, 1}, {Y, 1}}, -1, LinRel::Le),   // x + y <= 1
+      atom({{X, -1}}, 1, LinRel::Le),           // x >= 1
+      atom({{Y, -1}}, 1, LinRel::Le),           // y >= 1
+  };
+  ConjunctionResult R = checkLinearConjunction(Atoms);
+  ASSERT_FALSE(R.Sat);
+  // Verify the certificate: sum coeff_i * Expr_i must be a constant > 0
+  // (all variables cancel), as coeff_i * (Expr_i <= 0) sums to 0 < const <= 0.
+  LinearExpr Sum;
+  bool AnyStrict = false;
+  for (size_t I = 0; I < Atoms.size(); ++I) {
+    EXPECT_GE(R.FarkasCoeffs[I].signum(), 0);
+    if (R.FarkasCoeffs[I].isZero())
+      continue;
+    Sum = Sum + Atoms[I].Expr.scaled(R.FarkasCoeffs[I]);
+    AnyStrict |= Atoms[I].Rel == LinRel::Lt;
+  }
+  EXPECT_TRUE(Sum.coefficients().empty());
+  if (AnyStrict)
+    EXPECT_GE(Sum.constant().signum(), 0);
+  else
+    EXPECT_GT(Sum.constant().signum(), 0);
+}
+
+TEST_F(ConjunctionTest, StrictCycleUnsat) {
+  // x < y, y < x.
+  std::vector<LinearAtom> Atoms{
+      atom({{X, 1}, {Y, -1}}, 0, LinRel::Lt),
+      atom({{Y, 1}, {X, -1}}, 0, LinRel::Lt),
+  };
+  ConjunctionResult R = checkLinearConjunction(Atoms);
+  EXPECT_FALSE(R.Sat);
+}
+
+TEST_F(ConjunctionTest, ConstantFalseAtom) {
+  std::vector<LinearAtom> Atoms{atom({}, 1, LinRel::Le)}; // 1 <= 0
+  ConjunctionResult R = checkLinearConjunction(Atoms);
+  ASSERT_FALSE(R.Sat);
+  EXPECT_GT(R.FarkasCoeffs[0].signum(), 0);
+}
+
+TEST_F(ConjunctionTest, RationalModelForStrictSystem) {
+  // 0 < x and x < 1: needs a fractional model.
+  std::vector<LinearAtom> Atoms{
+      atom({{X, -1}}, 0, LinRel::Lt), // -x < 0
+      atom({{X, 1}}, -1, LinRel::Lt), // x - 1 < 0
+  };
+  ConjunctionResult R = checkLinearConjunction(Atoms);
+  ASSERT_TRUE(R.Sat);
+  Rational V = R.Model.at(X);
+  EXPECT_GT(V.signum(), 0);
+  EXPECT_LT(V, Rational(1));
+}
+
+} // namespace
+
+namespace {
+
+/// Regression: this VC (from the paper's Fig. 4 program under a learned
+/// candidate invariant) made naive branch-and-bound drift along an
+/// unbounded ray of the polyhedron; feasibility diving must solve it fast.
+TEST(SmtRegressionTest, BranchAndBoundDoesNotDriftOnFig4Vc) {
+  TermManager TM;
+  const Term *X = TM.mkVar("rx"), *Y = TM.mkVar("ry"), *I = TM.mkVar("ri"),
+             *N = TM.mkVar("rn");
+  auto Inv = [&](const Term *V0, const Term *V1, const Term *V2,
+                 const Term *V3) {
+    return TM.mkLe(TM.mkAdd({V0, TM.mkMul(Rational(-8), V1),
+                             TM.mkMul(Rational(3), V2),
+                             TM.mkMul(Rational(-6), V3)}),
+                   TM.mkIntConst(0));
+  };
+  const Term *F = TM.mkAnd(
+      {Inv(X, Y, I, N), TM.mkGe(I, N),
+       TM.mkNot(TM.mkOr(TM.mkNe(TM.mkMod(I, BigInt(2)), TM.mkIntConst(0)),
+                        TM.mkEq(X, TM.mkMul(Rational(2), Y))))});
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  // The model must genuinely satisfy the formula.
+  EXPECT_TRUE(evalFormula(F, S.model()));
+  // Diving should keep the search tiny (hundreds, not tens of thousands).
+  EXPECT_LT(S.stats().NumBranchSplits, 100u);
+}
+
+/// Regression: congruence conflicts through small-range remainders
+/// (r in [1,2] forced to be a multiple of 3) must be refuted by the
+/// integer-equation case enumeration, not left to diverge.
+TEST(SmtRegressionTest, CongruenceConflictRefuted) {
+  TermManager TM;
+  const Term *X = TM.mkVar("cx");
+  // x = 0 (mod 3) and x = 1 (mod 3) simultaneously.
+  const Term *F =
+      TM.mkAnd(TM.mkEq(TM.mkMod(X, BigInt(3)), TM.mkIntConst(0)),
+               TM.mkEq(TM.mkMod(TM.mkAdd(X, TM.mkIntConst(3)), BigInt(3)),
+                       TM.mkIntConst(1)));
+  SmtSolver S(TM);
+  S.assertFormula(F);
+  EXPECT_EQ(S.check(), SmtResult::Unsat);
+}
+
+/// Property: after a successful check(), every simplex variable satisfies
+/// its asserted bounds, under random bound assertion/retraction traffic.
+class SimplexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPropertyTest, ValuesRespectBoundsAfterCheck) {
+  Random Rng(GetParam() * 131 + 7);
+  Simplex S;
+  std::vector<Simplex::VarId> Vars;
+  for (int I = 0; I < 6; ++I)
+    Vars.push_back(S.addVar());
+  // A few random defined sums.
+  for (int I = 0; I < 4; ++I) {
+    Simplex::VarId A = Vars[Rng.nextBounded(6)];
+    Simplex::VarId B = Vars[Rng.nextBounded(6)];
+    Vars.push_back(S.addDefinedVar(
+        {{A, Rational(Rng.nextInRange(1, 3))},
+         {B, Rational(Rng.nextInRange(-3, -1))}}));
+  }
+  std::vector<Simplex::BoundUndo> Undos;
+  bool Feasible = true;
+  for (int Step = 0; Step < 60 && Feasible; ++Step) {
+    if (!Undos.empty() && Rng.nextBounded(4) == 0) {
+      S.undoBound(Undos.back());
+      Undos.pop_back();
+      continue;
+    }
+    Simplex::VarId V = Vars[Rng.nextBounded(Vars.size())];
+    Simplex::BoundUndo Undo;
+    bool IsLower = Rng.nextBounded(2) == 0;
+    auto Clash = S.assertBound(
+        V, IsLower, DeltaRational(Rational(Rng.nextInRange(-10, 10))),
+        Step, Undo);
+    Undos.push_back(Undo);
+    if (Clash || S.check().has_value()) {
+      Feasible = false;
+      break;
+    }
+    // Invariant: the assignment meets every present bound.
+    for (Simplex::VarId W = 0; W < S.numVars(); ++W) {
+      if (S.lowerBound(W).Present) {
+        EXPECT_GE(S.value(W), S.lowerBound(W).Value) << "var " << W;
+      }
+      if (S.upperBound(W).Present) {
+        EXPECT_LE(S.value(W), S.upperBound(W).Value) << "var " << W;
+      }
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest, ::testing::Range(0, 25));
+
+} // namespace

@@ -1,0 +1,240 @@
+//===- tests/SolverTest.cpp - Data-driven CHC solver tests ----------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/ChcParser.h"
+#include "solver/DataDrivenSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+using namespace la::chc;
+using namespace la::solver;
+
+namespace {
+
+DataDrivenOptions testOptions() {
+  DataDrivenOptions Opts;
+  Opts.TimeoutSeconds = 60;
+  return Opts;
+}
+
+/// Solves the given SMT-LIB2 HORN text and checks the verdict end-to-end:
+/// a SAT interpretation must validate every clause; an UNSAT counterexample
+/// must replay as a genuine refutation.
+ChcResult solveText(const char *Text,
+                    DataDrivenOptions Opts = testOptions()) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(Text, System);
+  EXPECT_TRUE(P.Ok) << P.Error;
+  DataDrivenChcSolver Solver(Opts);
+  ChcSolverResult R = Solver.solve(System);
+  if (R.Status == ChcResult::Sat) {
+    EXPECT_EQ(checkInterpretation(System, R.Interp), ClauseStatus::Valid)
+        << "solver returned a non-solution:\n"
+        << R.Interp.toString();
+  }
+  if (R.Status == ChcResult::Unsat) {
+    EXPECT_TRUE(R.Cex.has_value()) << "unsat without counterexample";
+    if (R.Cex) {
+      EXPECT_TRUE(validateCounterexample(System, *R.Cex))
+          << R.Cex->toString(System);
+    }
+  }
+  return R.Status;
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's running examples
+//===----------------------------------------------------------------------===//
+
+/// Fig. 1: Spacer diverges on this one; the data-driven solver should find
+/// an invariant such as x >= 1 /\ y >= 0.
+TEST(DataDrivenSolverTest, PaperFig1Safe) {
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (>= x1 y1))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (>= x y))))
+)"),
+            ChcResult::Sat);
+}
+
+/// An unsafe variant of Fig. 1: x > y fails at the first iteration (1, 1).
+TEST(DataDrivenSolverTest, Fig1UnsafeVariant) {
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+(assert (forall ((x Int) (y Int))
+  (=> (p x y) (> x y))))
+)"),
+            ChcResult::Unsat);
+}
+
+/// A simple bounded counter: safe bound 10, unsafe bound 9.
+TEST(DataDrivenSolverTest, BoundedCounter) {
+  const char *Template = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (inv x))))
+(assert (forall ((x Int) (x1 Int))
+  (=> (and (inv x) (< x 10) (= x1 (+ x 1))) (inv x1))))
+(assert (forall ((x Int)) (=> (inv x) (<= x %s))))
+)";
+  char Safe[1024], Unsafe[1024];
+  snprintf(Safe, sizeof(Safe), Template, "10");
+  snprintf(Unsafe, sizeof(Unsafe), Template, "9");
+  EXPECT_EQ(solveText(Safe), ChcResult::Sat);
+  EXPECT_EQ(solveText(Unsafe), ChcResult::Unsat);
+}
+
+/// Fig. 5 (program (c)): the recursive fibonacci summary with a non-linear
+/// clause -- the case ICE-style frameworks cannot express (§2.3).
+TEST(DataDrivenSolverTest, PaperFig5FiboSafe) {
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (< x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (>= x 1) (= x 1) (= y 1)) (p x y))))
+(assert (forall ((x Int) (y Int) (y1 Int) (y2 Int))
+  (=> (and (>= x 1) (distinct x 1) (p (- x 1) y1) (p (- x 2) y2)
+           (= y (+ y1 y2)))
+      (p x y))))
+(assert (forall ((x Int) (y Int)) (=> (p x y) (>= y (- x 1)))))
+)"),
+            ChcResult::Sat);
+}
+
+/// Unsafe fibonacci property: fibo(x) >= x fails at x = 2 (fibo(2) = 1);
+/// the refutation needs a genuine derivation tree p(0,0), p(1,1) |- p(2,1).
+TEST(DataDrivenSolverTest, FiboUnsafeNeedsDerivationTree) {
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (< x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (>= x 1) (= x 1) (= y 1)) (p x y))))
+(assert (forall ((x Int) (y Int) (y1 Int) (y2 Int))
+  (=> (and (>= x 1) (distinct x 1) (p (- x 1) y1) (p (- x 2) y2)
+           (= y (+ y1 y2)))
+      (p x y))))
+(assert (forall ((x Int) (y Int)) (=> (p x y) (>= y x))))
+)"),
+            ChcResult::Unsat);
+}
+
+/// Two chained predicates (no recursion): solved by pure propagation.
+TEST(DataDrivenSolverTest, NonRecursiveChain) {
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun a (Int) Bool)
+(declare-fun b (Int) Bool)
+(assert (forall ((x Int)) (=> (and (>= x 0) (<= x 3)) (a x))))
+(assert (forall ((x Int) (y Int)) (=> (and (a x) (= y (+ x 2))) (b y))))
+(assert (forall ((y Int)) (=> (b y) (and (>= y 2) (<= y 5)))))
+)"),
+            ChcResult::Sat);
+}
+
+/// A disjunctive invariant: x goes up to 5 then resets to -5 and climbs;
+/// the invariant needs the boolean structure LinearArbitrary provides.
+TEST(DataDrivenSolverTest, DisjunctiveInvariant) {
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun inv (Int Int) Bool)
+(assert (forall ((x Int) (f Int)) (=> (and (= x 0) (= f 0)) (inv x f))))
+(assert (forall ((x Int) (f Int) (x1 Int) (f1 Int))
+  (=> (and (inv x f) (= f 0) (< x 5) (= x1 (+ x 1)) (= f1 0)) (inv x1 f1))))
+(assert (forall ((x Int) (f Int) (x1 Int) (f1 Int))
+  (=> (and (inv x f) (= f 0) (>= x 5) (= x1 (- 0 5)) (= f1 1)) (inv x1 f1))))
+(assert (forall ((x Int) (f Int) (x1 Int) (f1 Int))
+  (=> (and (inv x f) (= f 1) (= x1 (+ x 1)) (< x 0)) (inv x1 f1))))
+(assert (forall ((x Int) (f Int)) (=> (inv x f) (<= x 5))))
+)"),
+            ChcResult::Sat);
+}
+
+/// Unknown on an over-tight iteration budget instead of wrong answers.
+TEST(DataDrivenSolverTest, BudgetYieldsUnknown) {
+  DataDrivenOptions Opts = testOptions();
+  Opts.MaxIterations = 1;
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+(assert (forall ((x Int) (y Int)) (=> (p x y) (>= x y))))
+)",
+                      Opts),
+            ChcResult::Unknown);
+}
+
+/// The perceptron backend solves simple systems too.
+TEST(DataDrivenSolverTest, PerceptronBackend) {
+  DataDrivenOptions Opts = testOptions();
+  Opts.Learn.LA.Learner = ml::LinearArbitraryOptions::BaseLearner::Perceptron;
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (inv x))))
+(assert (forall ((x Int) (x1 Int))
+  (=> (and (inv x) (< x 5) (= x1 (+ x 1))) (inv x1))))
+(assert (forall ((x Int)) (=> (inv x) (>= x 0))))
+)",
+                      Opts),
+            ChcResult::Sat);
+}
+
+/// Trivially-safe system: valid with A = true, zero iterations.
+TEST(DataDrivenSolverTest, TriviallySafe) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ASSERT_TRUE(parseChcText(R"(
+(declare-fun p (Int) Bool)
+(assert (forall ((x Int)) (=> (> x 0) (p x))))
+(assert (forall ((x Int)) (=> (p x) true)))
+)",
+                           System)
+                  .Ok);
+  DataDrivenChcSolver Solver(testOptions());
+  ChcSolverResult R = Solver.solve(System);
+  EXPECT_EQ(R.Status, ChcResult::Sat);
+  EXPECT_EQ(R.Stats.Iterations, 0u);
+}
+
+/// Mod features: loop increments by 2, assertion about parity. Requires the
+/// "Beyond Polyhedra" features of §3.3.
+TEST(DataDrivenSolverTest, ParityInvariantWithModFeatures) {
+  DataDrivenOptions Opts = testOptions();
+  Opts.Learn.ModFeatures = {2};
+  EXPECT_EQ(solveText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (inv x))))
+(assert (forall ((x Int) (x1 Int))
+  (=> (and (inv x) (= x1 (+ x 2))) (inv x1))))
+(assert (forall ((x Int)) (=> (inv x) (distinct x 7))))
+)",
+                      Opts),
+            ChcResult::Sat);
+}
+
+} // namespace

@@ -1,0 +1,256 @@
+//===- tests/SupportTest.cpp - BigInt/Rational/DeltaRational tests --------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+#include "support/DeltaRational.h"
+#include "support/Random.h"
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+
+//===----------------------------------------------------------------------===//
+// BigInt
+//===----------------------------------------------------------------------===//
+
+TEST(BigIntTest, ConstructionAndSign) {
+  EXPECT_TRUE(BigInt().isZero());
+  EXPECT_EQ(BigInt(0).signum(), 0);
+  EXPECT_EQ(BigInt(5).signum(), 1);
+  EXPECT_EQ(BigInt(-5).signum(), -1);
+  EXPECT_TRUE(BigInt(1).isOne());
+  EXPECT_FALSE(BigInt(-1).isOne());
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t V : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                    INT64_MAX, INT64_MIN, INT64_MIN + 1}) {
+    BigInt B(V);
+    ASSERT_TRUE(B.toInt64().has_value()) << V;
+    EXPECT_EQ(*B.toInt64(), V);
+  }
+}
+
+TEST(BigIntTest, Int64OverflowDetected) {
+  BigInt Big = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(Big.toInt64().has_value());
+  BigInt Min = BigInt(INT64_MIN);
+  EXPECT_TRUE(Min.toInt64().has_value());
+  EXPECT_FALSE((Min - BigInt(1)).toInt64().has_value());
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const char *Cases[] = {"0", "1", "-1", "12345678901234567890123456789",
+                         "-987654321098765432109876543210"};
+  for (const char *Text : Cases) {
+    auto Parsed = BigInt::fromString(Text);
+    ASSERT_TRUE(Parsed.has_value()) << Text;
+    EXPECT_EQ(Parsed->toString(), Text);
+  }
+  EXPECT_FALSE(BigInt::fromString("").has_value());
+  EXPECT_FALSE(BigInt::fromString("-").has_value());
+  EXPECT_FALSE(BigInt::fromString("12x").has_value());
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt A = *BigInt::fromString("18446744073709551615"); // 2^64 - 1
+  BigInt B = A + BigInt(1);
+  EXPECT_EQ(B.toString(), "18446744073709551616");
+  EXPECT_EQ((B - BigInt(1)).toString(), A.toString());
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt A = *BigInt::fromString("123456789123456789123456789");
+  BigInt B = *BigInt::fromString("987654321987654321");
+  EXPECT_EQ((A * B).toString(),
+            "121932631356500531469135800347203169112635269");
+  EXPECT_EQ((A * BigInt(0)).toString(), "0");
+  EXPECT_EQ((A * BigInt(-1)).toString(), "-" + A.toString());
+}
+
+TEST(BigIntTest, DivModTruncatesTowardZero) {
+  auto Check = [](int64_t A, int64_t B) {
+    BigInt::DivModResult QR = BigInt(A).divMod(BigInt(B));
+    EXPECT_EQ(*QR.Quotient.toInt64(), A / B) << A << "/" << B;
+    EXPECT_EQ(*QR.Remainder.toInt64(), A % B) << A << "%" << B;
+  };
+  Check(7, 2);
+  Check(-7, 2);
+  Check(7, -2);
+  Check(-7, -2);
+  Check(0, 5);
+  Check(6, 3);
+}
+
+TEST(BigIntTest, DivModLargeReconstructs) {
+  BigInt A = *BigInt::fromString("340282366920938463463374607431768211457");
+  BigInt B = *BigInt::fromString("18446744073709551629");
+  BigInt::DivModResult QR = A.divMod(B);
+  EXPECT_EQ((QR.Quotient * B + QR.Remainder).toString(), A.toString());
+  EXPECT_TRUE(QR.Remainder.abs() < B.abs());
+}
+
+TEST(BigIntTest, EuclideanModIsNonNegative) {
+  EXPECT_EQ(*BigInt(-7).euclideanMod(BigInt(3)).toInt64(), 2);
+  EXPECT_EQ(*BigInt(7).euclideanMod(BigInt(3)).toInt64(), 1);
+  EXPECT_EQ(*BigInt(-6).euclideanMod(BigInt(3)).toInt64(), 0);
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(*BigInt::gcd(BigInt(12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(*BigInt::gcd(BigInt(-12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(*BigInt::gcd(BigInt(0), BigInt(5)).toInt64(), 5);
+  EXPECT_EQ(*BigInt::gcd(BigInt(0), BigInt(0)).toInt64(), 0);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  BigInt Values[] = {BigInt(-10), BigInt(-1), BigInt(0), BigInt(1),
+                     *BigInt::fromString("99999999999999999999")};
+  for (size_t I = 0; I < std::size(Values); ++I)
+    for (size_t J = 0; J < std::size(Values); ++J) {
+      EXPECT_EQ(Values[I] < Values[J], I < J);
+      EXPECT_EQ(Values[I] == Values[J], I == J);
+    }
+}
+
+/// Property test: ring axioms on pseudo-random 128-bit values.
+TEST(BigIntTest, PropertyRingAxioms) {
+  Random Rng(7);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    BigInt A = BigInt(Rng.nextInRange(-1000000, 1000000)) *
+               BigInt(Rng.nextInRange(-1000000, 1000000));
+    BigInt B = BigInt(Rng.nextInRange(-1000000, 1000000)) *
+               BigInt(Rng.nextInRange(-1000000, 1000000));
+    BigInt C(Rng.nextInRange(-1000, 1000));
+    EXPECT_EQ((A + B).toString(), (B + A).toString());
+    EXPECT_EQ((A * B).toString(), (B * A).toString());
+    EXPECT_EQ(((A + B) * C).toString(), (A * C + B * C).toString());
+    EXPECT_EQ((A - A).toString(), "0");
+    if (!C.isZero()) {
+      BigInt::DivModResult QR = A.divMod(C);
+      EXPECT_EQ((QR.Quotient * C + QR.Remainder).toString(), A.toString());
+      EXPECT_TRUE(QR.Remainder.abs() < C.abs());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(RationalTest, NormalizedOnConstruction) {
+  Rational R(BigInt(4), BigInt(6));
+  EXPECT_EQ(R.toString(), "2/3");
+  Rational Neg(BigInt(4), BigInt(-6));
+  EXPECT_EQ(Neg.toString(), "-2/3");
+  Rational Zero(BigInt(0), BigInt(17));
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_TRUE(Zero.isInteger());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(BigInt(1), BigInt(2));
+  Rational Third(BigInt(1), BigInt(3));
+  EXPECT_EQ((Half + Third).toString(), "5/6");
+  EXPECT_EQ((Half - Third).toString(), "1/6");
+  EXPECT_EQ((Half * Third).toString(), "1/6");
+  EXPECT_EQ((Half / Third).toString(), "3/2");
+  EXPECT_EQ((-Half).toString(), "-1/2");
+  EXPECT_EQ(Half.inverse().toString(), "2");
+}
+
+TEST(RationalTest, Comparison) {
+  Rational Half(BigInt(1), BigInt(2));
+  Rational TwoThirds(BigInt(2), BigInt(3));
+  EXPECT_LT(Half, TwoThirds);
+  EXPECT_LT(Rational(-1), Half);
+  EXPECT_EQ(Rational(2), Rational(BigInt(4), BigInt(2)));
+}
+
+TEST(RationalTest, FloorCeil) {
+  Rational R(BigInt(7), BigInt(2)); // 3.5
+  EXPECT_EQ(*R.floor().toInt64(), 3);
+  EXPECT_EQ(*R.ceil().toInt64(), 4);
+  Rational N(BigInt(-7), BigInt(2)); // -3.5
+  EXPECT_EQ(*N.floor().toInt64(), -4);
+  EXPECT_EQ(*N.ceil().toInt64(), -3);
+  Rational I(5);
+  EXPECT_EQ(*I.floor().toInt64(), 5);
+  EXPECT_EQ(*I.ceil().toInt64(), 5);
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::fromString("3/6")->toString(), "1/2");
+  EXPECT_EQ(Rational::fromString("-4")->toString(), "-4");
+  EXPECT_FALSE(Rational::fromString("1/0").has_value());
+  EXPECT_FALSE(Rational::fromString("a/b").has_value());
+}
+
+/// Property test: field axioms on random small fractions.
+TEST(RationalTest, PropertyFieldAxioms) {
+  Random Rng(11);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    Rational A(BigInt(Rng.nextInRange(-50, 50)),
+               BigInt(Rng.nextInRange(1, 20)));
+    Rational B(BigInt(Rng.nextInRange(-50, 50)),
+               BigInt(Rng.nextInRange(1, 20)));
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ(A - A, Rational(0));
+    if (!B.isZero()) {
+      EXPECT_EQ(A / B * B, A);
+    }
+    EXPECT_TRUE(A.floor() <= A.ceil());
+    EXPECT_TRUE(Rational(A.floor()) <= A && A <= Rational(A.ceil()));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DeltaRational
+//===----------------------------------------------------------------------===//
+
+TEST(DeltaRationalTest, LexicographicOrder) {
+  DeltaRational A(Rational(1));                 // 1
+  DeltaRational B(Rational(1), Rational(1));    // 1 + d
+  DeltaRational C(Rational(1), Rational(-1));   // 1 - d
+  DeltaRational D(Rational(2), Rational(-100)); // 2 - 100d
+  EXPECT_LT(C, A);
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, D);
+  EXPECT_EQ(A, DeltaRational(Rational(1), Rational(0)));
+}
+
+TEST(DeltaRationalTest, Arithmetic) {
+  DeltaRational A(Rational(3), Rational(1));
+  DeltaRational B(Rational(1), Rational(-2));
+  EXPECT_EQ((A + B).real(), Rational(4));
+  EXPECT_EQ((A + B).delta(), Rational(-1));
+  EXPECT_EQ((A - B).real(), Rational(2));
+  EXPECT_EQ((A - B).delta(), Rational(3));
+  DeltaRational Scaled = A * Rational(-2);
+  EXPECT_EQ(Scaled.real(), Rational(-6));
+  EXPECT_EQ(Scaled.delta(), Rational(-2));
+}
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+TEST(RandomTest, DeterministicAndInRange) {
+  Random A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Random C(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = C.nextInRange(-3, 9);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 9);
+    double D = C.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
