@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dt.dir/bench/ablation_dt.cpp.o"
+  "CMakeFiles/ablation_dt.dir/bench/ablation_dt.cpp.o.d"
+  "bench/ablation_dt"
+  "bench/ablation_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_learner.dir/bench/ablation_learner.cpp.o"
+  "CMakeFiles/ablation_learner.dir/bench/ablation_learner.cpp.o.d"
+  "bench/ablation_learner"
+  "bench/ablation_learner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_learner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8a_learning_vs_enumeration.cpp" "CMakeFiles/fig8a_learning_vs_enumeration.dir/bench/fig8a_learning_vs_enumeration.cpp.o" "gcc" "CMakeFiles/fig8a_learning_vs_enumeration.dir/bench/fig8a_learning_vs_enumeration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/la_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/la_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/la_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/la_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/la_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/chc/CMakeFiles/la_chc.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/la_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/la_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/la_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/la_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_learning_vs_enumeration.dir/bench/fig8a_learning_vs_enumeration.cpp.o"
+  "CMakeFiles/fig8a_learning_vs_enumeration.dir/bench/fig8a_learning_vs_enumeration.cpp.o.d"
+  "bench/fig8a_learning_vs_enumeration"
+  "bench/fig8a_learning_vs_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_learning_vs_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8a_learning_vs_enumeration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_learning_vs_enumeration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_learning_vs_template.dir/bench/fig8b_learning_vs_template.cpp.o"
+  "CMakeFiles/fig8b_learning_vs_template.dir/bench/fig8b_learning_vs_template.cpp.o.d"
+  "bench/fig8b_learning_vs_template"
+  "bench/fig8b_learning_vs_template.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_learning_vs_template.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

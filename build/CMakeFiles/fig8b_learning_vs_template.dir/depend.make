@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_learning_vs_template.
+# This may be replaced when dependencies are built.

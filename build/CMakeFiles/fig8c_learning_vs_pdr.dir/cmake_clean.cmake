@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_learning_vs_pdr.dir/bench/fig8c_learning_vs_pdr.cpp.o"
+  "CMakeFiles/fig8c_learning_vs_pdr.dir/bench/fig8c_learning_vs_pdr.cpp.o.d"
+  "bench/fig8c_learning_vs_pdr"
+  "bench/fig8c_learning_vs_pdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_learning_vs_pdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8c_learning_vs_pdr.
+# This may be replaced when dependencies are built.

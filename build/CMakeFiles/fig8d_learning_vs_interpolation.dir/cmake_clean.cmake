@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8d_learning_vs_interpolation.dir/bench/fig8d_learning_vs_interpolation.cpp.o"
+  "CMakeFiles/fig8d_learning_vs_interpolation.dir/bench/fig8d_learning_vs_interpolation.cpp.o.d"
+  "bench/fig8d_learning_vs_interpolation"
+  "bench/fig8d_learning_vs_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8d_learning_vs_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

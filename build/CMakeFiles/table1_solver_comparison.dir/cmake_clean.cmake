@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_solver_comparison.dir/bench/table1_solver_comparison.cpp.o"
+  "CMakeFiles/table1_solver_comparison.dir/bench/table1_solver_comparison.cpp.o.d"
+  "bench/table1_solver_comparison"
+  "bench/table1_solver_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_solver_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

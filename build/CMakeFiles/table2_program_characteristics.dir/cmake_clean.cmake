@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_program_characteristics.dir/bench/table2_program_characteristics.cpp.o"
+  "CMakeFiles/table2_program_characteristics.dir/bench/table2_program_characteristics.cpp.o.d"
+  "bench/table2_program_characteristics"
+  "bench/table2_program_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_program_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_svcomp_categories.dir/bench/table3_svcomp_categories.cpp.o"
+  "CMakeFiles/table3_svcomp_categories.dir/bench/table3_svcomp_categories.cpp.o.d"
+  "bench/table3_svcomp_categories"
+  "bench/table3_svcomp_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_svcomp_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_fibo.dir/recursive_fibo.cpp.o"
+  "CMakeFiles/recursive_fibo.dir/recursive_fibo.cpp.o.d"
+  "recursive_fibo"
+  "recursive_fibo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_fibo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_program.dir/verify_program.cpp.o"
+  "CMakeFiles/verify_program.dir/verify_program.cpp.o.d"
+  "verify_program"
+  "verify_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_baselines.dir/EnumLearner.cpp.o"
+  "CMakeFiles/la_baselines.dir/EnumLearner.cpp.o.d"
+  "CMakeFiles/la_baselines.dir/PdrSolver.cpp.o"
+  "CMakeFiles/la_baselines.dir/PdrSolver.cpp.o.d"
+  "CMakeFiles/la_baselines.dir/TemplateLearner.cpp.o"
+  "CMakeFiles/la_baselines.dir/TemplateLearner.cpp.o.d"
+  "CMakeFiles/la_baselines.dir/UnwindSolver.cpp.o"
+  "CMakeFiles/la_baselines.dir/UnwindSolver.cpp.o.d"
+  "libla_baselines.a"
+  "libla_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

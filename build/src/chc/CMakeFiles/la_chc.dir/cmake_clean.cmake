@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_chc.dir/Chc.cpp.o"
+  "CMakeFiles/la_chc.dir/Chc.cpp.o.d"
+  "CMakeFiles/la_chc.dir/ChcCheck.cpp.o"
+  "CMakeFiles/la_chc.dir/ChcCheck.cpp.o.d"
+  "CMakeFiles/la_chc.dir/ChcParser.cpp.o"
+  "CMakeFiles/la_chc.dir/ChcParser.cpp.o.d"
+  "libla_chc.a"
+  "libla_chc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_chc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

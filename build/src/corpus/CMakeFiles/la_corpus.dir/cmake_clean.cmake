@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/la_corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/la_corpus.dir/Generated.cpp.o"
+  "CMakeFiles/la_corpus.dir/Generated.cpp.o.d"
+  "CMakeFiles/la_corpus.dir/Harness.cpp.o"
+  "CMakeFiles/la_corpus.dir/Harness.cpp.o.d"
+  "libla_corpus.a"
+  "libla_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

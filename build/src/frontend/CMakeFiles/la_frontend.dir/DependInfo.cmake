@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/Encoder.cpp" "src/frontend/CMakeFiles/la_frontend.dir/Encoder.cpp.o" "gcc" "src/frontend/CMakeFiles/la_frontend.dir/Encoder.cpp.o.d"
+  "/root/repo/src/frontend/MiniC.cpp" "src/frontend/CMakeFiles/la_frontend.dir/MiniC.cpp.o" "gcc" "src/frontend/CMakeFiles/la_frontend.dir/MiniC.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chc/CMakeFiles/la_chc.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/la_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/la_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/la_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/la_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_frontend.dir/Encoder.cpp.o"
+  "CMakeFiles/la_frontend.dir/Encoder.cpp.o.d"
+  "CMakeFiles/la_frontend.dir/MiniC.cpp.o"
+  "CMakeFiles/la_frontend.dir/MiniC.cpp.o.d"
+  "libla_frontend.a"
+  "libla_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/LinearExpr.cpp" "src/logic/CMakeFiles/la_logic.dir/LinearExpr.cpp.o" "gcc" "src/logic/CMakeFiles/la_logic.dir/LinearExpr.cpp.o.d"
+  "/root/repo/src/logic/SExpr.cpp" "src/logic/CMakeFiles/la_logic.dir/SExpr.cpp.o" "gcc" "src/logic/CMakeFiles/la_logic.dir/SExpr.cpp.o.d"
+  "/root/repo/src/logic/Term.cpp" "src/logic/CMakeFiles/la_logic.dir/Term.cpp.o" "gcc" "src/logic/CMakeFiles/la_logic.dir/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/la_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

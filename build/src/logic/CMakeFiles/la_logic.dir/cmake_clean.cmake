@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_logic.dir/LinearExpr.cpp.o"
+  "CMakeFiles/la_logic.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/la_logic.dir/SExpr.cpp.o"
+  "CMakeFiles/la_logic.dir/SExpr.cpp.o.d"
+  "CMakeFiles/la_logic.dir/Term.cpp.o"
+  "CMakeFiles/la_logic.dir/Term.cpp.o.d"
+  "libla_logic.a"
+  "libla_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

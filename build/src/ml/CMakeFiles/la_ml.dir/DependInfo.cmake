@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/DecisionTree.cpp" "src/ml/CMakeFiles/la_ml.dir/DecisionTree.cpp.o" "gcc" "src/ml/CMakeFiles/la_ml.dir/DecisionTree.cpp.o.d"
+  "/root/repo/src/ml/Learn.cpp" "src/ml/CMakeFiles/la_ml.dir/Learn.cpp.o" "gcc" "src/ml/CMakeFiles/la_ml.dir/Learn.cpp.o.d"
+  "/root/repo/src/ml/LinearArbitrary.cpp" "src/ml/CMakeFiles/la_ml.dir/LinearArbitrary.cpp.o" "gcc" "src/ml/CMakeFiles/la_ml.dir/LinearArbitrary.cpp.o.d"
+  "/root/repo/src/ml/LinearClassifier.cpp" "src/ml/CMakeFiles/la_ml.dir/LinearClassifier.cpp.o" "gcc" "src/ml/CMakeFiles/la_ml.dir/LinearClassifier.cpp.o.d"
+  "/root/repo/src/ml/Perceptron.cpp" "src/ml/CMakeFiles/la_ml.dir/Perceptron.cpp.o" "gcc" "src/ml/CMakeFiles/la_ml.dir/Perceptron.cpp.o.d"
+  "/root/repo/src/ml/Svm.cpp" "src/ml/CMakeFiles/la_ml.dir/Svm.cpp.o" "gcc" "src/ml/CMakeFiles/la_ml.dir/Svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/la_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/la_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_ml.dir/DecisionTree.cpp.o"
+  "CMakeFiles/la_ml.dir/DecisionTree.cpp.o.d"
+  "CMakeFiles/la_ml.dir/Learn.cpp.o"
+  "CMakeFiles/la_ml.dir/Learn.cpp.o.d"
+  "CMakeFiles/la_ml.dir/LinearArbitrary.cpp.o"
+  "CMakeFiles/la_ml.dir/LinearArbitrary.cpp.o.d"
+  "CMakeFiles/la_ml.dir/LinearClassifier.cpp.o"
+  "CMakeFiles/la_ml.dir/LinearClassifier.cpp.o.d"
+  "CMakeFiles/la_ml.dir/Perceptron.cpp.o"
+  "CMakeFiles/la_ml.dir/Perceptron.cpp.o.d"
+  "CMakeFiles/la_ml.dir/Svm.cpp.o"
+  "CMakeFiles/la_ml.dir/Svm.cpp.o.d"
+  "libla_ml.a"
+  "libla_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

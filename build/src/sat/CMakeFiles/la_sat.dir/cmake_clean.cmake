@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_sat.dir/SatSolver.cpp.o"
+  "CMakeFiles/la_sat.dir/SatSolver.cpp.o.d"
+  "libla_sat.a"
+  "libla_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Simplex.cpp" "src/smt/CMakeFiles/la_smt.dir/Simplex.cpp.o" "gcc" "src/smt/CMakeFiles/la_smt.dir/Simplex.cpp.o.d"
+  "/root/repo/src/smt/SmtSolver.cpp" "src/smt/CMakeFiles/la_smt.dir/SmtSolver.cpp.o" "gcc" "src/smt/CMakeFiles/la_smt.dir/SmtSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/la_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/la_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/la_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_smt.dir/Simplex.cpp.o"
+  "CMakeFiles/la_smt.dir/Simplex.cpp.o.d"
+  "CMakeFiles/la_smt.dir/SmtSolver.cpp.o"
+  "CMakeFiles/la_smt.dir/SmtSolver.cpp.o.d"
+  "libla_smt.a"
+  "libla_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

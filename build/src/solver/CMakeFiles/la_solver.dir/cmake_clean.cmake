@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_solver.dir/DataDrivenSolver.cpp.o"
+  "CMakeFiles/la_solver.dir/DataDrivenSolver.cpp.o.d"
+  "libla_solver.a"
+  "libla_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

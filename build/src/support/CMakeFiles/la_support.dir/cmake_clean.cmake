@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_support.dir/BigInt.cpp.o"
+  "CMakeFiles/la_support.dir/BigInt.cpp.o.d"
+  "CMakeFiles/la_support.dir/Rational.cpp.o"
+  "CMakeFiles/la_support.dir/Rational.cpp.o.d"
+  "libla_support.a"
+  "libla_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chc_test.dir/ChcTest.cpp.o"
+  "CMakeFiles/chc_test.dir/ChcTest.cpp.o.d"
+  "chc_test"
+  "chc_test.pdb"
+  "chc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
