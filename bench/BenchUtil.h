@@ -22,6 +22,7 @@
 #include "baselines/UnwindSolver.h"
 #include "corpus/Harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -98,6 +99,10 @@ struct SuiteResult {
   size_t Solved = 0;
   size_t Unsound = 0;
   double TotalSeconds = 0;
+  /// Pre-analysis statistics merged per pass name across all programs.
+  std::vector<analysis::PassStats> AnalysisPasses;
+  /// Programs discharged by the pre-analysis alone (0 CEGAR iterations).
+  size_t SolvedByAnalysis = 0;
 };
 
 inline SuiteResult
@@ -113,9 +118,30 @@ runSuite(const SolverFactory &Factory,
     Result.Solved += Out.Solved;
     Result.Unsound += Out.Unsound;
     Result.TotalSeconds += Out.Seconds;
+    Result.SolvedByAnalysis += Out.SolvedByAnalysis;
+    for (const analysis::PassStats &PS : Out.AnalysisPasses) {
+      auto It = std::find_if(
+          Result.AnalysisPasses.begin(), Result.AnalysisPasses.end(),
+          [&](const analysis::PassStats &S) { return S.Name == PS.Name; });
+      if (It == Result.AnalysisPasses.end())
+        Result.AnalysisPasses.push_back(PS);
+      else
+        It->merge(PS);
+    }
     Result.Outcomes.push_back(std::move(Out));
   }
   return Result;
+}
+
+/// Prints the merged per-pass statistics of the static pre-analysis pipeline
+/// for one suite run (no output when the solver ran without analysis).
+inline void printAnalysisReport(const SuiteResult &R) {
+  if (R.AnalysisPasses.empty())
+    return;
+  printf("ANALYSIS: %-18s (%zu program(s) discharged statically)\n",
+         R.SolverName.c_str(), R.SolvedByAnalysis);
+  for (const analysis::PassStats &PS : R.AnalysisPasses)
+    printf("  %s\n", PS.toString().c_str());
 }
 
 /// Prints the scatter rows for a two-solver comparison figure.

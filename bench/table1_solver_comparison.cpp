@@ -40,11 +40,16 @@ int main() {
   };
 
   printf("MEASURED: #Total %zu\n", Programs.size());
+  std::vector<SuiteResult> Results;
   for (const Row &R : Rows) {
     SuiteResult Result = runSuite(R.Factory, Programs, Timeout);
     printf("MEASURED: %-18s solved %3zu / %zu   (%.1fs total%s)\n", R.Label,
            Result.Solved, Programs.size(), Result.TotalSeconds,
            Result.Unsound ? ", UNSOUND RESULTS PRESENT" : "");
+    Results.push_back(std::move(Result));
   }
+  printf("\n== Static pre-analysis impact (per pass, summed over suite) ==\n");
+  for (const SuiteResult &R : Results)
+    printAnalysisReport(R);
   return 0;
 }

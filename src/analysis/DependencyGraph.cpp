@@ -1,0 +1,69 @@
+//===- analysis/DependencyGraph.cpp - Predicate dependency graph ----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependencyGraph.h"
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+DependencyGraph::DependencyGraph(const ChcSystem &System,
+                                 const std::vector<char> &LiveClause)
+    : System(System), Live(LiveClause) {}
+
+std::vector<char> DependencyGraph::derivableFromFacts() const {
+  std::vector<char> Derivable(System.predicates().size(), 0);
+  // Chaotic iteration: a clause fires once all its body predicates are
+  // derivable; at most |preds| rounds since each round derives >= 1 pred.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    const auto &Clauses = System.clauses();
+    for (size_t I = 0; I < Clauses.size(); ++I) {
+      const HornClause &C = Clauses[I];
+      if (!isLive(I) || !C.HeadPred || Derivable[C.HeadPred->Pred->Index])
+        continue;
+      bool BodyDerivable = true;
+      for (const PredApp &App : C.Body)
+        BodyDerivable &= static_cast<bool>(Derivable[App.Pred->Index]);
+      if (BodyDerivable) {
+        Derivable[C.HeadPred->Pred->Index] = 1;
+        Changed = true;
+      }
+    }
+  }
+  return Derivable;
+}
+
+std::vector<char> DependencyGraph::reachesQuery() const {
+  std::vector<char> InCone(System.predicates().size(), 0);
+  std::vector<const Predicate *> Worklist;
+  auto Mark = [&](const Predicate *P) {
+    if (!InCone[P->Index]) {
+      InCone[P->Index] = 1;
+      Worklist.push_back(P);
+    }
+  };
+  const auto &Clauses = System.clauses();
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    if (!isLive(I) || !Clauses[I].isQuery())
+      continue;
+    for (const PredApp &App : Clauses[I].Body)
+      Mark(App.Pred);
+  }
+  // Backward closure: everything feeding a cone predicate's definition.
+  while (!Worklist.empty()) {
+    const Predicate *P = Worklist.back();
+    Worklist.pop_back();
+    for (size_t I : System.clausesWithHead(P)) {
+      if (!isLive(I))
+        continue;
+      for (const PredApp &App : Clauses[I].Body)
+        Mark(App.Pred);
+    }
+  }
+  return InCone;
+}

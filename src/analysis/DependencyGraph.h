@@ -1,0 +1,62 @@
+//===- analysis/DependencyGraph.h - Predicate dependency graph --*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The predicate dependency graph of a CHC system restricted to a live
+/// clause subset, with the two reachability queries the slicing passes need:
+///
+///   * `derivableFromFacts`: the least fixpoint of "some defining clause has
+///     an all-derivable body", ignoring clause constraints. A predicate
+///     outside this set has no derivation at all, so interpreting it as
+///     `false` validates (and removes) every clause that mentions it.
+///   * `reachesQuery`: the backward cone of influence of the query clauses.
+///     A predicate outside the cone is never demanded by any query, so
+///     interpreting it as `true` validates (and removes) its defining
+///     clauses.
+///
+/// Both are over-approximation arguments: see the "Analysis layer" section
+/// of DESIGN.md for the soundness proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_DEPENDENCYGRAPH_H
+#define LA_ANALYSIS_DEPENDENCYGRAPH_H
+
+#include "chc/Chc.h"
+
+#include <vector>
+
+namespace la::analysis {
+
+/// Body-to-head dependency analysis over the live clauses of a system.
+class DependencyGraph {
+public:
+  /// \p LiveClause is a per-clause-index liveness mask (empty = all live).
+  DependencyGraph(const chc::ChcSystem &System,
+                  const std::vector<char> &LiveClause);
+
+  /// Per-predicate-index flag: derivable from fact clauses when constraints
+  /// are assumed satisfiable (a sound over-approximation of derivability).
+  std::vector<char> derivableFromFacts() const;
+
+  /// Per-predicate-index flag: the predicate occurs (transitively through
+  /// clause bodies) underneath some live query clause.
+  std::vector<char> reachesQuery() const;
+
+private:
+  bool isLive(size_t ClauseIdx) const {
+    return Live.empty() || Live[ClauseIdx];
+  }
+
+  const chc::ChcSystem &System;
+  /// Copied, not referenced: callers routinely pass temporaries (the empty
+  /// mask literal), and the mask is tiny.
+  std::vector<char> Live;
+};
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_DEPENDENCYGRAPH_H

@@ -1,0 +1,335 @@
+//===- analysis/IntervalAnalysis.cpp - Interval fixpoint over CHCs --------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IntervalAnalysis.h"
+
+#include "logic/LinearExpr.h"
+
+#include <map>
+#include <optional>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+namespace {
+
+/// Per-clause variable environment: absent variables are top.
+using Env = std::map<const Term *, Interval, TermIdLess>;
+
+Interval lookupVar(const Env &E, const Term *Var) {
+  auto It = E.find(Var);
+  return It == E.end() ? Interval::top() : It->second;
+}
+
+/// Meets \p NewI into the environment entry of \p Var; false on emptiness.
+bool refineVar(Env &E, const Term *Var, const Interval &NewI) {
+  Interval M = lookupVar(E, Var).meet(NewI);
+  E[Var] = M;
+  return !M.isEmpty();
+}
+
+/// Forward interval evaluation of a linear Int term.
+Interval evalInterval(const Term *T, const Env &E) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    return Interval::constant(T->value());
+  case TermKind::Var:
+    return lookupVar(E, T);
+  case TermKind::Add: {
+    Interval Sum = Interval::constant(Rational(0));
+    for (const Term *Op : T->operands())
+      Sum = Sum + evalInterval(Op, E);
+    return Sum;
+  }
+  case TermKind::Mul:
+    return evalInterval(T->operand(0), E).scaled(T->value());
+  case TermKind::Mod:
+    // Euclidean remainder by a positive constant modulus.
+    return Interval::range(Rational(0), T->value() - Rational(1));
+  default:
+    return Interval::top();
+  }
+}
+
+/// Interval of `Atom.Expr` with variable \p Skip left out.
+Interval evalExprWithout(const LinearExpr &Expr, const Term *Skip,
+                         const Env &E) {
+  Interval Sum = Interval::constant(Expr.constant());
+  for (const auto &[Var, Coeff] : Expr.coefficients())
+    if (Var != Skip)
+      Sum = Sum + lookupVar(E, Var).scaled(Coeff);
+  return Sum;
+}
+
+/// Refines the environment with one linear atom `Expr REL 0`. For each
+/// variable `c*x + rest REL 0` is solved as `x REL' -rest/c`, bounding x by
+/// the interval of the right-hand side (integer-tightened; Lt becomes a
+/// strict-to-nonstrict shift by one).
+bool refineAtom(const LinearAtom &Atom, Env &E) {
+  for (const auto &[Var, Coeff] : Atom.Expr.coefficients()) {
+    Interval Q = evalExprWithout(Atom.Expr, Var, E)
+                     .scaled(Coeff.inverse() * Rational(-1));
+    bool Flip = Coeff.signum() < 0; // flips <= into >= after division
+    Interval Refined = Interval::top();
+    switch (Atom.Rel) {
+    case LinRel::Le:
+      if (!Flip && Q.hasHi())
+        Refined = Interval::atMost(floorOf(Q.hi()));
+      else if (Flip && Q.hasLo())
+        Refined = Interval::atLeast(ceilOf(Q.lo()));
+      break;
+    case LinRel::Lt:
+      if (!Flip && Q.hasHi())
+        Refined = Interval::atMost(ceilOf(Q.hi()) - Rational(1));
+      else if (Flip && Q.hasLo())
+        Refined = Interval::atLeast(floorOf(Q.lo()) + Rational(1));
+      break;
+    case LinRel::Eq:
+      Refined = Q.tightenIntegral();
+      break;
+    }
+    if (!refineVar(E, Var, Refined))
+      return false;
+  }
+  return true;
+}
+
+/// Drops entries of \p A that are not in \p B and joins the common ones
+/// (absent entries are top, and join with top is top).
+void joinEnvInto(Env &A, const Env &B) {
+  for (auto It = A.begin(); It != A.end();) {
+    auto BI = B.find(It->first);
+    if (BI == B.end()) {
+      It = A.erase(It);
+    } else {
+      It->second = It->second.join(BI->second);
+      ++It;
+    }
+  }
+}
+
+/// Refines the environment with a clause constraint: conjunctions refine
+/// sequentially, disjunctions join their branch environments, negated
+/// inequality atoms flip, and anything else is conservatively ignored.
+/// Returns false when the constraint is infeasible under the environment.
+bool refineWithConstraint(const Term *T, Env &E) {
+  if (T->sort() != Sort::Bool)
+    return true;
+  switch (T->kind()) {
+  case TermKind::BoolConst:
+    return T->boolValue();
+  case TermKind::And:
+    for (const Term *Op : T->operands())
+      if (!refineWithConstraint(Op, E))
+        return false;
+    return true;
+  case TermKind::Or: {
+    Env Joined;
+    bool AnyFeasible = false;
+    for (const Term *Op : T->operands()) {
+      Env Branch = E;
+      if (!refineWithConstraint(Op, Branch))
+        continue;
+      if (!AnyFeasible)
+        Joined = std::move(Branch);
+      else
+        joinEnvInto(Joined, Branch);
+      AnyFeasible = true;
+    }
+    if (!AnyFeasible)
+      return false;
+    E = std::move(Joined);
+    return true;
+  }
+  case TermKind::Le:
+  case TermKind::Lt:
+  case TermKind::Eq: {
+    std::optional<LinearAtom> Atom = LinearAtom::fromTerm(T);
+    return !Atom || refineAtom(*Atom, E);
+  }
+  case TermKind::Not: {
+    std::optional<LinearAtom> Atom = LinearAtom::fromTerm(T->operand(0));
+    if (Atom && Atom->Rel != LinRel::Eq)
+      return refineAtom(Atom->negated(), E);
+    return true;
+  }
+  default:
+    return true;
+  }
+}
+
+/// Builds the variable environment of one clause from the body predicate
+/// states and the constraint; false when the body is unreachable or the
+/// constraint infeasible at the interval level.
+bool clauseEnv(const HornClause &C, const std::vector<PredIntervalState> &States,
+               const std::vector<char> &SkipPred, Env &E) {
+  for (const PredApp &App : C.Body) {
+    size_t PI = App.Pred->Index;
+    if (SkipPred[PI])
+      continue; // resolved elsewhere: treated as unconstrained
+    const PredIntervalState &S = States[PI];
+    if (!S.Reachable)
+      return false;
+    for (size_t J = 0; J < App.Args.size(); ++J) {
+      const Interval &AI = S.Args[J];
+      if (AI.isTop())
+        continue;
+      std::optional<LinearExpr> LE = LinearExpr::fromTerm(App.Args[J]);
+      if (!LE)
+        continue;
+      if (LE->isConstant()) {
+        if (!AI.contains(LE->constant()))
+          return false;
+        continue;
+      }
+      if (LE->coefficients().size() == 1) {
+        // Coeff*V + b in AI  ==>  V in (AI - b) / Coeff.
+        const auto &[Var, Coeff] = *LE->coefficients().begin();
+        Interval VI = (AI + Interval::constant(-LE->constant()))
+                          .scaled(Coeff.inverse())
+                          .tightenIntegral();
+        if (!refineVar(E, Var, VI))
+          return false;
+      }
+      // Multi-variable argument terms: no backward refinement (sound).
+    }
+  }
+  // Two rounds so information discovered late reaches earlier conjuncts
+  // (e.g. `x1 = x + 1` before any bound on x is known).
+  for (int Round = 0; Round < 2; ++Round)
+    if (!refineWithConstraint(C.Constraint, E))
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::vector<PredIntervalState>
+analysis::runIntervalAnalysis(const ChcSystem &System,
+                              const std::vector<char> &LiveClause,
+                              const std::vector<char> &SkipPred,
+                              const IntervalAnalysisOptions &Opts) {
+  size_t N = System.predicates().size();
+  std::vector<PredIntervalState> States(N);
+  for (size_t I = 0; I < N; ++I)
+    States[I].Args.assign(System.predicates()[I]->arity(), Interval::empty());
+
+  const auto &Clauses = System.clauses();
+  // Head intervals one clause contributes under the current states, or
+  // nothing when the clause is dead, masked, or infeasible at this level.
+  auto clauseContribution =
+      [&](const HornClause &C, size_t CI,
+          const std::vector<PredIntervalState> &Current)
+      -> std::optional<std::vector<Interval>> {
+    if ((!LiveClause.empty() && !LiveClause[CI]) || !C.HeadPred ||
+        SkipPred[C.HeadPred->Pred->Index])
+      return std::nullopt;
+    Env E;
+    if (!clauseEnv(C, Current, SkipPred, E))
+      return std::nullopt;
+    std::vector<Interval> NewArgs;
+    NewArgs.reserve(C.HeadPred->Args.size());
+    for (const Term *Arg : C.HeadPred->Args) {
+      NewArgs.push_back(evalInterval(Arg, E).tightenIntegral());
+      if (NewArgs.back().isEmpty())
+        return std::nullopt;
+    }
+    return NewArgs;
+  };
+
+  bool Changed = true;
+  for (size_t Sweep = 0; Changed && Sweep < Opts.MaxSweeps; ++Sweep) {
+    Changed = false;
+    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+      const HornClause &C = Clauses[CI];
+      std::optional<std::vector<Interval>> NewArgs =
+          clauseContribution(C, CI, States);
+      if (!NewArgs)
+        continue;
+
+      PredIntervalState &S = States[C.HeadPred->Pred->Index];
+      if (!S.Reachable) {
+        S.Reachable = true;
+        S.Args = std::move(*NewArgs);
+        Changed = true;
+        continue;
+      }
+      bool Grew = false;
+      for (size_t J = 0; J < NewArgs->size(); ++J)
+        Grew |= S.Args[J].join((*NewArgs)[J]) != S.Args[J];
+      if (!Grew)
+        continue;
+      ++S.Updates;
+      bool Widen = S.Updates > Opts.WideningDelay;
+      for (size_t J = 0; J < NewArgs->size(); ++J) {
+        Interval Joined = S.Args[J].join((*NewArgs)[J]);
+        S.Args[J] = Widen ? S.Args[J].widen(Joined) : Joined;
+      }
+      Changed = true;
+    }
+  }
+
+  // Descending (narrowing) passes: recompute every state in one step from
+  // the widened fixpoint and meet the result back in. This recovers bounds
+  // widening overshot (a loop guard's implied upper bound). Kept defensive
+  // -- never narrows to bottom -- and harmless regardless: the verify pass
+  // re-proves every candidate invariant before anything trusts it.
+  for (size_t Pass = 0; Pass < Opts.NarrowingPasses; ++Pass) {
+    std::vector<PredIntervalState> Step(N);
+    for (size_t I = 0; I < N; ++I)
+      Step[I].Args.assign(System.predicates()[I]->arity(), Interval::empty());
+    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+      const HornClause &C = Clauses[CI];
+      std::optional<std::vector<Interval>> NewArgs =
+          clauseContribution(C, CI, States);
+      if (!NewArgs)
+        continue;
+      PredIntervalState &S = Step[C.HeadPred->Pred->Index];
+      if (!S.Reachable) {
+        S.Reachable = true;
+        S.Args = std::move(*NewArgs);
+        continue;
+      }
+      for (size_t J = 0; J < NewArgs->size(); ++J)
+        S.Args[J] = S.Args[J].join((*NewArgs)[J]);
+    }
+    bool Narrowed = false;
+    for (size_t I = 0; I < N; ++I) {
+      if (!States[I].Reachable || !Step[I].Reachable)
+        continue;
+      for (size_t J = 0; J < States[I].Args.size(); ++J) {
+        Interval M = States[I].Args[J].meet(Step[I].Args[J]);
+        if (M.isEmpty() || M == States[I].Args[J])
+          continue;
+        States[I].Args[J] = M;
+        Narrowed = true;
+      }
+    }
+    if (!Narrowed)
+      break;
+  }
+  return States;
+}
+
+const Term *analysis::intervalInvariant(TermManager &TM, const Predicate *P,
+                                        const PredIntervalState &State) {
+  if (!State.Reachable)
+    return TM.mkFalse();
+  std::vector<const Term *> Conj;
+  for (size_t J = 0; J < State.Args.size(); ++J) {
+    Interval I = State.Args[J].tightenIntegral();
+    if (I.isEmpty())
+      return TM.mkFalse();
+    if (I.hasLo())
+      Conj.push_back(TM.mkGe(P->Params[J], TM.mkIntConst(I.lo())));
+    if (I.hasHi())
+      Conj.push_back(TM.mkLe(P->Params[J], TM.mkIntConst(I.hi())));
+  }
+  if (Conj.empty())
+    return nullptr;
+  return TM.mkAnd(std::move(Conj));
+}

@@ -1,0 +1,78 @@
+//===- analysis/IntervalAnalysis.h - Interval fixpoint over CHCs -*- C++ -*-==//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-relational interval/constant abstract interpreter over CHC systems:
+/// each predicate argument position is abstracted by one `Interval`, and the
+/// clause-wise transfer function propagates body-argument intervals through
+/// the clause constraint (conjunctions, one level of disjunction, and linear
+/// atoms with integer tightening) into the head-argument terms. The fixpoint
+/// iteration applies standard widening after a configurable delay so
+/// recursive systems converge.
+///
+/// The result is a *candidate* over-approximation: the pass pipeline
+/// (`analysis/PassManager.h`) re-verifies every emitted invariant with
+/// `chc::checkClause` before anything downstream may trust it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_INTERVALANALYSIS_H
+#define LA_ANALYSIS_INTERVALANALYSIS_H
+
+#include "analysis/Interval.h"
+#include "chc/Chc.h"
+
+#include <vector>
+
+namespace la::analysis {
+
+/// Knobs of the interval fixpoint engine.
+struct IntervalAnalysisOptions {
+  /// Joins applied to one predicate before switching to widening.
+  size_t WideningDelay = 3;
+  /// Hard cap on whole-system sweeps (a safety net; widening guarantees
+  /// convergence long before this).
+  size_t MaxSweeps = 64;
+  /// Descending iterations after the widened fixpoint; these recover bounds
+  /// that widening overshot (e.g. the upper bound a loop guard implies).
+  size_t NarrowingPasses = 2;
+};
+
+/// Abstract value of one predicate: one interval per argument position.
+/// `Reachable == false` is bottom (no derivation reaches the predicate).
+struct PredIntervalState {
+  bool Reachable = false;
+  std::vector<Interval> Args;
+  /// Number of joins applied so far (drives the widening delay).
+  size_t Updates = 0;
+
+  bool hasFiniteBound() const {
+    for (const Interval &I : Args)
+      if (I.hasLo() || I.hasHi())
+        return true;
+    return false;
+  }
+};
+
+/// Runs the interval fixpoint over the live clauses of \p System and returns
+/// one state per predicate index. \p SkipPred masks predicates that earlier
+/// passes already resolved (their states stay bottom and their applications
+/// are treated as unconstrained).
+std::vector<PredIntervalState>
+runIntervalAnalysis(const chc::ChcSystem &System,
+                    const std::vector<char> &LiveClause,
+                    const std::vector<char> &SkipPred,
+                    const IntervalAnalysisOptions &Opts);
+
+/// Renders a state as a conjunction of bound atoms over the predicate's
+/// formal parameters: `false` for bottom, nullptr when no finite bound
+/// exists (the invariant would be `true` and is not worth emitting).
+const Term *intervalInvariant(TermManager &TM, const chc::Predicate *P,
+                              const PredIntervalState &State);
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_INTERVALANALYSIS_H

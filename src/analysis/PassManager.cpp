@@ -1,0 +1,344 @@
+//===- analysis/PassManager.cpp - Static pre-analysis pipeline ------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PassManager.h"
+
+#include "analysis/DependencyGraph.h"
+
+#include <cassert>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+//===----------------------------------------------------------------------===//
+// Stats and result plumbing
+//===----------------------------------------------------------------------===//
+
+void PassStats::merge(const PassStats &O) {
+  Seconds += O.Seconds;
+  ClausesPruned += O.ClausesPruned;
+  PredicatesResolved += O.PredicatesResolved;
+  BoundsFound += O.BoundsFound;
+  InvariantsVerified += O.InvariantsVerified;
+  InvariantsRejected += O.InvariantsRejected;
+  SmtChecks += O.SmtChecks;
+}
+
+std::string PassStats::toString() const {
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf),
+           "%-10s %8.3fs  pruned %zu  resolved %zu  bounds %zu  "
+           "verified %zu  rejected %zu  smt %zu",
+           Name.c_str(), Seconds, ClausesPruned, PredicatesResolved,
+           BoundsFound, InvariantsVerified, InvariantsRejected, SmtChecks);
+  return Buf;
+}
+
+size_t AnalysisResult::numLiveClauses() const {
+  size_t N = 0;
+  for (char L : LiveClause)
+    N += L != 0;
+  return N;
+}
+
+size_t AnalysisResult::boundsFound() const {
+  size_t N = 0;
+  for (const auto &[P, Bs] : Bounds)
+    for (const ArgBounds &B : Bs)
+      N += (B.HasLo ? 1 : 0) + (B.HasHi ? 1 : 0);
+  return N;
+}
+
+double AnalysisResult::totalSeconds() const {
+  double S = 0;
+  for (const PassStats &P : Passes)
+    S += P.Seconds;
+  return S;
+}
+
+size_t AnalysisResult::smtChecks() const {
+  size_t N = 0;
+  for (const PassStats &P : Passes)
+    N += P.SmtChecks;
+  return N;
+}
+
+AnalysisResult AnalysisResult::allLive(const ChcSystem &System) {
+  AnalysisResult R;
+  R.LiveClause.assign(System.clauses().size(), 1);
+  return R;
+}
+
+std::string AnalysisResult::report() const {
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf),
+           "analysis: %zu/%zu clauses pruned, %zu predicates resolved, "
+           "%zu bounds, %zu invariants, proved-sat=%s, %.3fs\n",
+           clausesPruned(), LiveClause.size(), predicatesResolved(),
+           boundsFound(), Invariants.size(), ProvedSat ? "yes" : "no",
+           totalSeconds());
+  std::string Out = Buf;
+  for (const PassStats &P : Passes)
+    Out += "  " + P.toString() + "\n";
+  return Out;
+}
+
+AnalysisContext::AnalysisContext(const ChcSystem &System,
+                                 const AnalysisOptions &Opts)
+    : System(System), TM(System.termManager()), Opts(Opts),
+      Clock(Opts.TimeoutSeconds) {
+  Result.LiveClause.assign(System.clauses().size(), 1);
+}
+
+bool AnalysisContext::prune(size_t ClauseIdx) {
+  bool WasLive = Result.LiveClause[ClauseIdx];
+  Result.LiveClause[ClauseIdx] = 0;
+  return WasLive;
+}
+
+//===----------------------------------------------------------------------===//
+// Passes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Resolves predicates with no derivation at all to `false`. Every clause
+/// headed by such a predicate has an underivable body atom (by the least-
+/// fixpoint definition) and every clause using one has a `false` body
+/// conjunct, so both kinds are valid forever and can be pruned.
+class FactReachabilityPass : public Pass {
+public:
+  std::string name() const override { return "fact-reach"; }
+
+  void run(AnalysisContext &Ctx, PassStats &Stats) override {
+    DependencyGraph Graph(Ctx.System, Ctx.Result.LiveClause);
+    std::vector<char> Derivable = Graph.derivableFromFacts();
+    for (const Predicate *P : Ctx.System.predicates()) {
+      if (Derivable[P->Index] || Ctx.isFixed(P))
+        continue;
+      Ctx.Result.Fixed[P] = Ctx.TM.mkFalse();
+      ++Stats.PredicatesResolved;
+      for (size_t CI : Ctx.System.clausesWithHead(P))
+        Stats.ClausesPruned += Ctx.prune(CI);
+      for (size_t CI : Ctx.System.clausesUsing(P))
+        Stats.ClausesPruned += Ctx.prune(CI);
+    }
+  }
+};
+
+/// Resolves predicates outside the cone of influence of the query clauses
+/// to `true`: nothing ever demands an upper bound on them, so `true` makes
+/// their defining clauses valid, and no live clause can mention them in a
+/// body (a body occurrence would place them inside the cone).
+class QueryConePass : public Pass {
+public:
+  std::string name() const override { return "query-cone"; }
+
+  void run(AnalysisContext &Ctx, PassStats &Stats) override {
+    DependencyGraph Graph(Ctx.System, Ctx.Result.LiveClause);
+    std::vector<char> InCone = Graph.reachesQuery();
+    for (const Predicate *P : Ctx.System.predicates()) {
+      if (InCone[P->Index] || Ctx.isFixed(P))
+        continue;
+      Ctx.Result.Fixed[P] = Ctx.TM.mkTrue();
+      ++Stats.PredicatesResolved;
+      for (size_t CI : Ctx.System.clausesWithHead(P))
+        Stats.ClausesPruned += Ctx.prune(CI);
+    }
+  }
+};
+
+/// Runs the interval fixpoint; results are candidates only until the verify
+/// pass has re-proved them.
+class IntervalPass : public Pass {
+public:
+  std::string name() const override { return "intervals"; }
+
+  void run(AnalysisContext &Ctx, PassStats &Stats) override {
+    std::vector<char> Skip(Ctx.System.predicates().size(), 0);
+    for (const auto &[P, F] : Ctx.Result.Fixed)
+      Skip[P->Index] = 1;
+    Ctx.Intervals = runIntervalAnalysis(Ctx.System, Ctx.Result.LiveClause,
+                                        Skip, Ctx.Opts.Intervals);
+    for (const Predicate *P : Ctx.System.predicates()) {
+      if (Skip[P->Index])
+        continue;
+      const PredIntervalState &S = Ctx.Intervals[P->Index];
+      if (!S.Reachable)
+        continue;
+      for (const Interval &I : S.Args)
+        Stats.BoundsFound += (I.hasLo() ? 1 : 0) + (I.hasHi() ? 1 : 0);
+    }
+  }
+};
+
+/// Re-proves every candidate invariant with the SMT solver, resolves
+/// verified-`false` predicates, and discharges query clauses that are
+/// already valid under the verified seed.
+class InvariantVerifyPass : public Pass {
+public:
+  std::string name() const override { return "verify"; }
+
+  void run(AnalysisContext &Ctx, PassStats &Stats) override {
+    TermManager &TM = Ctx.TM;
+    AnalysisResult &Res = Ctx.Result;
+
+    // Candidate invariants from the interval states.
+    std::map<const Predicate *, const Term *> Candidates;
+    if (!Ctx.Intervals.empty()) {
+      for (const Predicate *P : Ctx.System.predicates()) {
+        if (Ctx.isFixed(P))
+          continue;
+        if (const Term *Inv = intervalInvariant(TM, P, Ctx.Intervals[P->Index]))
+          Candidates.emplace(P, Inv);
+      }
+    }
+    if (Candidates.empty() && Res.Fixed.empty())
+      return; // nothing to verify, nothing to discharge
+
+    Interpretation Cand(TM);
+    for (const auto &[P, F] : Res.Fixed)
+      Cand.set(P, F);
+    for (const auto &[P, Inv] : Candidates)
+      Cand.set(P, Inv);
+
+    // Inductiveness fixpoint. Only clauses whose head carries a candidate
+    // can be invalid (a `true` head validates the clause trivially); when a
+    // candidate fails its clause, drop it and rescan, since the weakened
+    // body may invalidate other candidates.
+    const auto &Clauses = Ctx.System.clauses();
+    bool Dropped = true;
+    while (Dropped && !Candidates.empty()) {
+      Dropped = false;
+      for (size_t CI = 0; CI < Clauses.size() && !Candidates.empty(); ++CI) {
+        const HornClause &C = Clauses[CI];
+        if (!Ctx.isLive(CI) || !C.HeadPred)
+          continue;
+        const Predicate *Head = C.HeadPred->Pred;
+        if (!Candidates.count(Head))
+          continue;
+        if (Ctx.Clock.expired()) {
+          // Out of budget: nothing else gets verified this run.
+          Stats.InvariantsRejected += Candidates.size();
+          return;
+        }
+        ClauseCheckResult Check = checkClause(Ctx.System, C, Cand, Ctx.Opts.Smt);
+        ++Stats.SmtChecks;
+        if (Check.Status == ClauseStatus::Valid)
+          continue;
+        Candidates.erase(Head);
+        Cand.set(Head, TM.mkTrue());
+        ++Stats.InvariantsRejected;
+        Dropped = true;
+      }
+    }
+    Stats.InvariantsVerified = Candidates.size();
+
+    // A verified `false` resolves the predicate outright: its defining
+    // clauses are valid under the seed and stay so when bodies strengthen,
+    // and clauses using it have a permanently-false body conjunct.
+    for (auto It = Candidates.begin(); It != Candidates.end();) {
+      const Predicate *P = It->first;
+      if (!It->second->isFalse()) {
+        ++It;
+        continue;
+      }
+      Res.Fixed[P] = TM.mkFalse();
+      ++Stats.PredicatesResolved;
+      for (size_t CI : Ctx.System.clausesWithHead(P))
+        Stats.ClausesPruned += Ctx.prune(CI);
+      for (size_t CI : Ctx.System.clausesUsing(P))
+        Stats.ClausesPruned += Ctx.prune(CI);
+      It = Candidates.erase(It);
+    }
+
+    Res.Invariants = Candidates;
+    if (!Ctx.Intervals.empty()) {
+      for (const auto &[P, Inv] : Candidates) {
+        std::vector<ArgBounds> Bs;
+        const PredIntervalState &S = Ctx.Intervals[P->Index];
+        for (size_t J = 0; J < S.Args.size(); ++J) {
+          Interval I = S.Args[J].tightenIntegral();
+          if (!I.hasLo() && !I.hasHi())
+            continue;
+          ArgBounds B;
+          B.ArgIndex = J;
+          B.HasLo = I.hasLo();
+          B.HasHi = I.hasHi();
+          if (B.HasLo)
+            B.Lo = I.lo();
+          if (B.HasHi)
+            B.Hi = I.hi();
+          Bs.push_back(std::move(B));
+        }
+        if (!Bs.empty())
+          Res.Bounds.emplace(P, std::move(Bs));
+      }
+    }
+
+    // Query discharge: a query clause valid under the seed stays valid when
+    // body interpretations strengthen (the CEGAR loop only ever conjoins
+    // onto the seed), so it can be pruned. If every live query is valid the
+    // seed is a full solution.
+    bool AllQueriesValid = true;
+    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+      const HornClause &C = Clauses[CI];
+      if (!Ctx.isLive(CI) || !C.isQuery())
+        continue;
+      if (Ctx.Clock.expired())
+        return; // skip discharge; ProvedSat stays false
+      ClauseCheckResult Check = checkClause(Ctx.System, C, Cand, Ctx.Opts.Smt);
+      ++Stats.SmtChecks;
+      if (Check.Status == ClauseStatus::Valid)
+        Stats.ClausesPruned += Ctx.prune(CI);
+      else
+        AllQueriesValid = false;
+    }
+    // All candidate-headed clauses are inductive, `true`-headed clauses are
+    // trivially valid, and every query discharged: the seed is a solution.
+    Res.ProvedSat = AllQueriesValid;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Manager
+//===----------------------------------------------------------------------===//
+
+AnalysisResult PassManager::run(const ChcSystem &System,
+                                const AnalysisOptions &Opts) const {
+  AnalysisContext Ctx(System, Opts);
+  for (const std::unique_ptr<Pass> &P : Passes) {
+    if (Ctx.Clock.expired())
+      break;
+    PassStats Stats;
+    Stats.Name = P->name();
+    Timer Watch;
+    P->run(Ctx, Stats);
+    Stats.Seconds = Watch.elapsedSeconds();
+    Ctx.Result.Passes.push_back(std::move(Stats));
+  }
+  return std::move(Ctx.Result);
+}
+
+PassManager PassManager::defaultPipeline(const AnalysisOptions &Opts) {
+  PassManager PM;
+  if (Opts.EnableSlicing) {
+    PM.addPass(std::make_unique<FactReachabilityPass>());
+    PM.addPass(std::make_unique<QueryConePass>());
+  }
+  if (Opts.EnableIntervals)
+    PM.addPass(std::make_unique<IntervalPass>());
+  PM.addPass(std::make_unique<InvariantVerifyPass>());
+  return PM;
+}
+
+AnalysisResult analysis::analyzeSystem(const ChcSystem &System,
+                                       const AnalysisOptions &Opts) {
+  return PassManager::defaultPipeline(Opts).run(System, Opts);
+}

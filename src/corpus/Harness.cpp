@@ -77,6 +77,10 @@ RunOutcome corpus::runOnProgram(chc::ChcSolverInterface &Solver,
   Out.Status = R.Status;
   Out.Seconds = R.Stats.Seconds;
   Out.Stats = R.Stats;
+  if (const auto *DD = dynamic_cast<const solver::DataDrivenChcSolver *>(&Solver)) {
+    Out.AnalysisPasses = DD->analysisResult().Passes;
+    Out.SolvedByAnalysis = DD->detailedStats().SolvedByAnalysis;
+  }
 
   if (R.Status == chc::ChcResult::Unknown)
     return Out;

@@ -46,6 +46,12 @@ struct RunOutcome {
   /// #A: conjunct counts per disjunct of the most complex learned invariant
   /// (comma separated), as in the paper's benchmark tables. Empty unless Sat.
   std::string InvariantShape;
+  /// Per-pass statistics of the static pre-analysis pipeline; empty when the
+  /// solver is not the data-driven solver or analysis is disabled.
+  std::vector<analysis::PassStats> AnalysisPasses;
+  /// True when the pre-analysis discharged the system without any CEGAR
+  /// iterations.
+  bool SolvedByAnalysis = false;
 };
 
 /// Encodes \p Program and runs \p Solver on it, validating the witness.

@@ -7,6 +7,8 @@
 #include "ml/Learn.h"
 
 #include <cassert>
+#include <set>
+#include <string>
 
 using namespace la;
 using namespace la::ml;
@@ -85,6 +87,14 @@ LearnResult ml::learn(TermManager &TM, const std::vector<const Term *> &Vars,
       W[I] = Rational(1);
       Features.push_back(Feature::linear(std::move(W)));
     }
+  }
+  if (!Opts.ExtraFeatures.empty()) {
+    std::set<std::string> Seen;
+    for (const Feature &F : Features)
+      Seen.insert(F.key());
+    for (const Feature &F : Opts.ExtraFeatures)
+      if (Seen.insert(F.key()).second)
+        Features.push_back(F);
   }
   for (int64_t M : Opts.ModFeatures) {
     assert(M > 0 && "mod feature with non-positive modulus");

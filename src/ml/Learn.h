@@ -31,6 +31,10 @@ struct LearnOptions {
   std::vector<int64_t> ModFeatures;
   /// Also provide unit (octagon-direction) features to the DT stage.
   bool AddUnitFeatures = false;
+  /// Externally supplied candidate attributes for the DT stage, e.g. the
+  /// bounded argument directions found by the static interval pre-analysis.
+  /// Deduplicated against the learned atoms before use.
+  std::vector<Feature> ExtraFeatures;
 };
 
 /// Result of Algorithm 2.

@@ -13,6 +13,63 @@
 using namespace la;
 using namespace la::smt;
 
+#ifndef NDEBUG
+/// The structural invariants of the Dutertre--de Moura tableau:
+///   (1) the per-variable arrays (values, bounds, RowOf) stay in sync;
+///   (2) RowOf and Rows agree bidirectionally: `RowOf[V] == RI` iff
+///       `Rows[RI].Basic == V`;
+///   (3) asserted bounds never cross (`lower <= upper`), since assertBound
+///       reports a conflict instead of installing a crossing bound;
+///   (4) every nonbasic variable sits within its bounds (only basic
+///       variables may be out of bounds, and only transiently inside
+///       check());
+///   (5) row terms are strictly sorted by variable id, have nonzero
+///       coefficients, and mention only nonbasic, non-self variables;
+///   (6) each basic value equals the weighted sum of its row's terms.
+void Simplex::checkVarInvariants(VarId V) const {
+  int RI = RowOf[V];
+  assert(RI < static_cast<int>(Rows.size()) && "RowOf index out of range");
+  assert((RI < 0 || Rows[RI].Basic == V) &&
+         "RowOf points to a row with a different basic variable");
+  if (Lower[V].Present && Upper[V].Present)
+    assert(Lower[V].Value <= Upper[V].Value &&
+           "crossed bounds survived assertBound");
+  if (RI < 0) {
+    assert((!Lower[V].Present || Values[V] >= Lower[V].Value) &&
+           "nonbasic variable below its lower bound");
+    assert((!Upper[V].Present || Values[V] <= Upper[V].Value) &&
+           "nonbasic variable above its upper bound");
+  }
+}
+
+void Simplex::checkRowInvariants(int RowIdx) const {
+  const Row &R = Rows[RowIdx];
+  assert(R.Basic >= 0 && R.Basic < numVars() && RowOf[R.Basic] == RowIdx &&
+         "basic variable does not map back to its row");
+  DeltaRational Sum;
+  VarId PrevVar = -1;
+  for (const auto &[W, Coeff] : R.Terms) {
+    assert(W >= 0 && W < numVars() && "row term over an unknown variable");
+    assert(W > PrevVar && "row terms not strictly sorted by variable id");
+    PrevVar = W;
+    assert(W != R.Basic && "basic variable occurs in its own row");
+    assert(RowOf[W] < 0 && "row mentions another basic variable");
+    assert(!Coeff.isZero() && "zero coefficient kept in a row");
+    Sum += Values[W] * Coeff;
+  }
+  assert(Values[R.Basic] == Sum && "basic value out of sync with its row");
+}
+
+void Simplex::checkInvariants() const {
+  assert(Lower.size() == Values.size() && Upper.size() == Values.size() &&
+         RowOf.size() == Values.size() && "per-variable arrays out of sync");
+  for (VarId V = 0; V < numVars(); ++V)
+    checkVarInvariants(V);
+  for (int RI = 0; RI < static_cast<int>(Rows.size()); ++RI)
+    checkRowInvariants(RI);
+}
+#endif
+
 Simplex::VarId Simplex::addVar() {
   VarId V = static_cast<VarId>(Values.size());
   Values.emplace_back();
@@ -47,6 +104,7 @@ Simplex::VarId Simplex::addDefinedVar(
       NewRow.Terms.emplace_back(V, Coeff);
   RowOf[S] = static_cast<int>(Rows.size());
   Rows.push_back(std::move(NewRow));
+  checkRowInvariants(RowOf[S]);
   return S;
 }
 
@@ -105,6 +163,7 @@ Simplex::assertBound(VarId V, bool IsLower, const DeltaRational &Value,
     if (IsLower ? Values[V] < Value : Values[V] > Value)
       updateNonbasic(V, Value);
   }
+  checkVarInvariants(V);
   return std::nullopt;
 }
 
@@ -171,6 +230,9 @@ void Simplex::pivotAndUpdate(int RowIdx, VarId Xj, const DeltaRational &Target) 
       if (!WC.isZero())
         Other.Terms.emplace_back(W, WC);
   }
+  checkRowInvariants(RowIdx);
+  checkVarInvariants(Xi);
+  checkVarInvariants(Xj);
 }
 
 Simplex::Conflict Simplex::explainRowConflict(const Row &R,
@@ -210,8 +272,16 @@ std::optional<Simplex::Conflict> Simplex::check() {
         }
       }
     }
-    if (ViolRow < 0)
+    if (ViolRow < 0) {
+#ifndef NDEBUG
+      // Amortised: the full O(rows * terms) scan on every feasible exit is
+      // measurable in branch-and-bound loops; row-local checks already run
+      // at every mutation, so sample the global scan.
+      if ((++DebugCheckCount & 63) == 0)
+        checkInvariants();
+#endif
       return std::nullopt; // feasible
+    }
 
     Row &R = Rows[ViolRow];
     VarId Xi = R.Basic;

@@ -94,6 +94,17 @@ public:
   };
   const Stats &stats() const { return Statistics; }
 
+  /// Validates the structural invariants of the tableau (see Simplex.cpp for
+  /// the list). The full scan is called after every pivot and every
+  /// successful check() in debug builds (cheap O(1)/O(row) local checks
+  /// guard the hotter mutation sites) and compiled out entirely under
+  /// NDEBUG.
+#ifndef NDEBUG
+  void checkInvariants() const;
+#else
+  void checkInvariants() const {}
+#endif
+
 private:
   struct Row {
     VarId Basic;
@@ -103,6 +114,17 @@ private:
 
   /// Sets a nonbasic variable to \p NewValue and propagates into basics.
   void updateNonbasic(VarId V, const DeltaRational &NewValue);
+  /// Row-local slice of checkInvariants(): structure and value consistency
+  /// of one row. O(row length), cheap enough for per-mutation use.
+  /// Variable-local slice: bound ordering and (for nonbasics) the
+  /// value-within-bounds invariant. O(1).
+#ifndef NDEBUG
+  void checkRowInvariants(int RowIdx) const;
+  void checkVarInvariants(VarId V) const;
+#else
+  void checkRowInvariants(int) const {}
+  void checkVarInvariants(VarId) const {}
+#endif
   /// Pivots basic Xi with nonbasic Xj and moves Xi to \p Target.
   void pivotAndUpdate(int RowIdx, VarId Xj, const DeltaRational &Target);
   /// Builds the conflict explanation for an unbounded-direction row.
@@ -114,6 +136,9 @@ private:
   std::vector<Row> Rows;
   std::vector<int> RowOf; ///< var -> row index or -1 when nonbasic.
   Stats Statistics;
+#ifndef NDEBUG
+  uint64_t DebugCheckCount = 0; ///< samples the full invariant scan
+#endif
 };
 
 } // namespace la::smt

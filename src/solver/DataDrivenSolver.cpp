@@ -6,6 +6,7 @@
 
 #include "solver/DataDrivenSolver.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -67,18 +68,38 @@ struct PredState {
 class Algorithm3 {
 public:
   Algorithm3(const ChcSystem &System, const DataDrivenOptions &Opts,
+             const analysis::AnalysisResult &Analysis,
              DataDrivenChcSolver::DetailedStats &Details)
-      : System(System), TM(System.termManager()), Opts(Opts), Details(Details),
-        Clock(Opts.TimeoutSeconds), Result(TM) {
+      : System(System), TM(System.termManager()), Opts(Opts),
+        Analysis(Analysis), Details(Details), Clock(Opts.TimeoutSeconds),
+        Result(TM) {
     for (const Predicate *P : System.predicates()) {
       PredState State;
       State.Pred = P;
       States.push_back(std::move(State));
     }
+    // Only clauses surviving the static analysis need CEGAR attention;
+    // pruned ones are valid under the seed and any later strengthening.
+    for (size_t I = 0; I < System.clauses().size(); ++I)
+      if (Analysis.LiveClause[I])
+        LiveClauses.push_back(I);
+    // Seed the interpretation: statically resolved predicates are final,
+    // verified interval invariants lower-bound every later interpretation.
+    for (const auto &[P, F] : Analysis.Fixed)
+      Result.Interp.set(P, F);
+    for (const auto &[P, Inv] : Analysis.Invariants)
+      Result.Interp.set(P, Inv);
   }
 
   ChcSolverResult run() {
     Timer Total;
+    if (Analysis.ProvedSat) {
+      // The verified seed already validates every live clause.
+      Details.SolvedByAnalysis = true;
+      Result.Status = ChcResult::Sat;
+      Result.Stats.Seconds = Total.elapsedSeconds();
+      return Result;
+    }
     // Line 1-2: A = lambda p: true; empty sample stores.
     for (;;) {
       if (outOfBudget())
@@ -86,7 +107,7 @@ public:
       // Line 3: find an invalid clause under the current interpretation.
       int InvalidIdx = -1;
       ClauseCheckResult Check;
-      for (size_t I = 0; I < System.clauses().size(); ++I) {
+      for (size_t I : LiveClauses) {
         Check = checkClause(System, System.clauses()[I], Result.Interp,
                             Opts.Smt);
         ++Result.Stats.SmtQueries;
@@ -137,6 +158,15 @@ private:
   }
 
   PredState &stateOf(const Predicate *P) { return States[P->Index]; }
+
+  /// The verified static invariant of \p P (`true` when none was found).
+  /// Every interpretation of P stays below it: positive samples are
+  /// derivable facts and the invariant is a verified over-approximation of
+  /// those, so conjoining it never contradicts the sample stores.
+  const Term *invariantOf(const Predicate *P) const {
+    auto It = Analysis.Invariants.find(P);
+    return It == Analysis.Invariants.end() ? TM.mkTrue() : It->second;
+  }
 
   /// Evaluates the argument terms of an application under a model.
   ml::Sample sampleOf(const PredApp &App,
@@ -229,10 +259,12 @@ private:
       ++Details.PositiveSamples;
     }
     // A positive sample may shadow an earlier tentative negative; drop all
-    // negatives so learning stays contradiction-free (line 12).
+    // negatives so learning stays contradiction-free (line 12). The reset
+    // target is the static invariant, not `true`: it is sound for every
+    // derivable fact, so re-weakening below it is never necessary.
     State.Neg.clear();
     State.NegIndex.clear();
-    Result.Interp.set(Head.Pred, TM.mkTrue());
+    Result.Interp.set(Head.Pred, invariantOf(Head.Pred));
     ++Details.Weakenings;
   }
 
@@ -252,11 +284,24 @@ private:
     } else {
       ml::LearnOptions LearnOpts = Opts.Learn;
       LearnOpts.LA.Seed = Seed;
+      // Statically bounded argument positions become candidate attributes
+      // for the decision tree: unit directions whose thresholds the tree
+      // re-fits from the data.
+      auto BI = Analysis.Bounds.find(State.Pred);
+      if (BI != Analysis.Bounds.end()) {
+        for (const analysis::ArgBounds &B : BI->second) {
+          std::vector<Rational> W(State.Pred->arity(), Rational(0));
+          W[B.ArgIndex] = Rational(1);
+          LearnOpts.ExtraFeatures.push_back(ml::Feature::linear(std::move(W)));
+        }
+      }
       R = ml::learn(TM, State.Pred->Params, Data, LearnOpts);
     }
     if (!R.Ok)
       return false;
-    Result.Interp.set(State.Pred, R.Formula);
+    const Term *Inv = invariantOf(State.Pred);
+    Result.Interp.set(State.Pred,
+                      Inv->isTrue() ? R.Formula : TM.mkAnd(Inv, R.Formula));
     return true;
   }
 
@@ -301,15 +346,43 @@ private:
   const ChcSystem &System;
   TermManager &TM;
   const DataDrivenOptions &Opts;
+  const analysis::AnalysisResult &Analysis;
   DataDrivenChcSolver::DetailedStats &Details;
   Deadline Clock;
   ChcSolverResult Result;
   std::vector<PredState> States;
+  std::vector<size_t> LiveClauses;
 };
 
 } // namespace
 
 ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
   Details = DetailedStats{};
-  return Algorithm3(System, Opts, Details).run();
+  Timer Total;
+  if (Opts.EnableAnalysis) {
+    analysis::AnalysisOptions AOpts = Opts.Analysis;
+    AOpts.Smt = Opts.Smt;
+    // Cap the pipeline at half the solve budget so a pathological system
+    // still leaves the CEGAR loop room to run.
+    if (Opts.TimeoutSeconds > 0) {
+      double Cap = Opts.TimeoutSeconds / 2;
+      AOpts.TimeoutSeconds =
+          AOpts.TimeoutSeconds > 0 ? std::min(AOpts.TimeoutSeconds, Cap) : Cap;
+    }
+    Analysis = analysis::analyzeSystem(System, AOpts);
+  } else {
+    Analysis = analysis::AnalysisResult::allLive(System);
+  }
+  Details.ClausesPruned = Analysis.clausesPruned();
+  Details.PredicatesResolved = Analysis.predicatesResolved();
+  Details.BoundsFound = Analysis.boundsFound();
+  Details.AnalysisSeconds = Analysis.totalSeconds();
+  LA_TRACE("analysis: pruned %zu/%zu clauses, resolved %zu preds, %zu bounds",
+           Analysis.clausesPruned(), Analysis.LiveClause.size(),
+           Analysis.predicatesResolved(), Analysis.boundsFound());
+
+  ChcSolverResult Result = Algorithm3(System, Opts, Analysis, Details).run();
+  Result.Stats.SmtQueries += Analysis.smtChecks();
+  Result.Stats.Seconds = Total.elapsedSeconds();
+  return Result;
 }

@@ -26,6 +26,7 @@
 #ifndef LA_SOLVER_DATADRIVENSOLVER_H
 #define LA_SOLVER_DATADRIVENSOLVER_H
 
+#include "analysis/PassManager.h"
 #include "chc/SolverTypes.h"
 #include "ml/Learn.h"
 #include "support/Timer.h"
@@ -56,6 +57,11 @@ struct DataDrivenOptions {
   LearnerFn Learner;
   /// Display name override (for benches comparing learners).
   std::string Name = "LinearArbitrary";
+  /// Run the static pre-analysis pipeline (`src/analysis`) before the CEGAR
+  /// loop: cone-of-influence slicing, fact-reachability resolution, and
+  /// verified interval invariants seeding the interpretations.
+  bool EnableAnalysis = true;
+  analysis::AnalysisOptions Analysis;
 };
 
 /// The LinearArbitrary CHC solver.
@@ -72,12 +78,23 @@ public:
     size_t NegativeSamples = 0;
     size_t LearnCalls = 0;
     size_t Weakenings = 0;
+    /// Static pre-analysis impact (see `analysisResult()` for details).
+    size_t ClausesPruned = 0;
+    size_t PredicatesResolved = 0;
+    size_t BoundsFound = 0;
+    double AnalysisSeconds = 0;
+    bool SolvedByAnalysis = false;
   };
   const DetailedStats &detailedStats() const { return Details; }
+
+  /// Full pre-analysis outcome of the last run (per-pass statistics,
+  /// verified invariants, liveness mask). Trivial when analysis is off.
+  const analysis::AnalysisResult &analysisResult() const { return Analysis; }
 
 private:
   DataDrivenOptions Opts;
   DetailedStats Details;
+  analysis::AnalysisResult Analysis;
 };
 
 } // namespace la::solver

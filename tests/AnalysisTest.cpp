@@ -1,0 +1,381 @@
+//===- tests/AnalysisTest.cpp - Static pre-analysis layer tests -----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DependencyGraph.h"
+#include "analysis/PassManager.h"
+#include "chc/ChcParser.h"
+#include "solver/DataDrivenSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+namespace {
+
+const Predicate *findPred(const ChcSystem &System, const std::string &Name) {
+  for (const Predicate *P : System.predicates())
+    if (P->Name == Name)
+      return P;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Interval domain
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalTest, LatticeBasics) {
+  Interval Top = Interval::top();
+  Interval Empty = Interval::empty();
+  EXPECT_TRUE(Top.isTop());
+  EXPECT_TRUE(Empty.isEmpty());
+  EXPECT_EQ(Top.join(Empty), Top);
+  EXPECT_EQ(Top.meet(Empty), Empty);
+
+  Interval A = Interval::range(Rational(0), Rational(5));
+  Interval B = Interval::range(Rational(3), Rational(9));
+  EXPECT_EQ(A.join(B), Interval::range(Rational(0), Rational(9)));
+  EXPECT_EQ(A.meet(B), Interval::range(Rational(3), Rational(5)));
+  EXPECT_TRUE(A.contains(Rational(5)));
+  EXPECT_FALSE(A.contains(Rational(6)));
+
+  // Crossed bounds collapse to empty.
+  EXPECT_TRUE(Interval::range(Rational(4), Rational(2)).isEmpty());
+  EXPECT_TRUE(Interval::atLeast(Rational(7))
+                  .meet(Interval::atMost(Rational(3)))
+                  .isEmpty());
+}
+
+TEST(IntervalTest, Widening) {
+  Interval Prev = Interval::range(Rational(0), Rational(3));
+  // Stable lower bound is kept; growing upper bound is dropped.
+  Interval W = Prev.widen(Interval::range(Rational(0), Rational(4)));
+  EXPECT_TRUE(W.hasLo());
+  EXPECT_EQ(W.lo(), Rational(0));
+  EXPECT_FALSE(W.hasHi());
+  // Nothing moved: widening is the identity.
+  EXPECT_EQ(Prev.widen(Prev), Prev);
+}
+
+TEST(IntervalTest, ArithmeticAndTightening) {
+  Interval A = Interval::range(Rational(1), Rational(2));
+  Interval B = Interval::range(Rational(10), Rational(20));
+  EXPECT_EQ(A + B, Interval::range(Rational(11), Rational(22)));
+  EXPECT_EQ(B.scaled(Rational(-1)), Interval::range(Rational(-20), Rational(-10)));
+
+  Interval Frac =
+      Interval::range(Rational(BigInt(1), BigInt(2)), Rational(BigInt(7), BigInt(2)));
+  EXPECT_EQ(Frac.tightenIntegral(), Interval::range(Rational(1), Rational(3)));
+  // A fraction-only interval contains no integer at all.
+  EXPECT_TRUE(Interval::range(Rational(BigInt(1), BigInt(3)),
+                              Rational(BigInt(2), BigInt(3)))
+                  .tightenIntegral()
+                  .isEmpty());
+
+  EXPECT_EQ(floorOf(Rational(BigInt(-7), BigInt(2))), Rational(-4));
+  EXPECT_EQ(ceilOf(Rational(BigInt(-7), BigInt(2))), Rational(-3));
+  EXPECT_EQ(floorOf(Rational(5)), Rational(5));
+}
+
+//===----------------------------------------------------------------------===//
+// Dependency slicing
+//===----------------------------------------------------------------------===//
+
+/// `dead` is defined but never demanded by the query; `orphan` has no fact
+/// clause at all. Slicing must resolve the former to true and the latter to
+/// false, pruning their clauses.
+constexpr const char *SlicingSystem = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(declare-fun dead (Int) Bool)
+(declare-fun orphan (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int) (a Int))
+  (=> (and (inv n) (= a (+ n 5))) (dead a))))
+(assert (forall ((b Int)) (=> (and (orphan b) (> b 0)) (orphan b))))
+(assert (forall ((n Int) (b Int)) (=> (and (inv n) (orphan b)) (< n b))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)";
+
+TEST(DependencyGraphTest, ReachabilityQueries) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(SlicingSystem, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  DependencyGraph G(System, {});
+  std::vector<char> Derivable = G.derivableFromFacts();
+  std::vector<char> InCone = G.reachesQuery();
+
+  EXPECT_TRUE(Derivable[findPred(System, "inv")->Index]);
+  EXPECT_TRUE(Derivable[findPred(System, "dead")->Index]);
+  EXPECT_FALSE(Derivable[findPred(System, "orphan")->Index]);
+
+  EXPECT_TRUE(InCone[findPred(System, "inv")->Index]);
+  EXPECT_FALSE(InCone[findPred(System, "dead")->Index]);
+  EXPECT_TRUE(InCone[findPred(System, "orphan")->Index]);
+}
+
+TEST(AnalysisTest, SlicingResolvesAndPrunes) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(SlicingSystem, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  AnalysisResult R = analyzeSystem(System);
+
+  const Predicate *Dead = findPred(System, "dead");
+  const Predicate *Orphan = findPred(System, "orphan");
+  ASSERT_TRUE(R.Fixed.count(Dead));
+  EXPECT_TRUE(R.Fixed.at(Dead)->isTrue());
+  ASSERT_TRUE(R.Fixed.count(Orphan));
+  EXPECT_TRUE(R.Fixed.at(Orphan)->isFalse());
+  EXPECT_GE(R.clausesPruned(), 2u);
+  EXPECT_EQ(R.predicatesResolved(), 2u);
+
+  // No live clause mentions a resolved predicate.
+  const auto &Clauses = System.clauses();
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    if (!R.LiveClause[I])
+      continue;
+    EXPECT_TRUE(!Clauses[I].HeadPred || (Clauses[I].HeadPred->Pred != Dead &&
+                                         Clauses[I].HeadPred->Pred != Orphan));
+    for (const PredApp &App : Clauses[I].Body)
+      EXPECT_TRUE(App.Pred != Dead && App.Pred != Orphan);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interval fixpoint
+//===----------------------------------------------------------------------===//
+
+/// The classic counting loop: n starts at 0 and increments below the guard
+/// n < 10. Widening first overshoots the upper bound; the narrowing passes
+/// must recover the exact invariant [0, 10].
+TEST(IntervalAnalysisTest, CountingLoopConverges) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)",
+                                  System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  std::vector<char> SkipPred(System.predicates().size(), 0);
+  std::vector<PredIntervalState> States =
+      runIntervalAnalysis(System, {}, SkipPred, {});
+
+  const Predicate *Inv = findPred(System, "inv");
+  ASSERT_TRUE(States[Inv->Index].Reachable);
+  ASSERT_EQ(States[Inv->Index].Args.size(), 1u);
+  EXPECT_EQ(States[Inv->Index].Args[0],
+            Interval::range(Rational(0), Rational(10)));
+}
+
+/// Without a loop guard the upper bound genuinely diverges: widening must
+/// drop it (and narrowing must not resurrect a bound that does not exist),
+/// while the stable lower bound survives.
+TEST(IntervalAnalysisTest, WideningDropsUnstableBound) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (>= n 0))))
+)",
+                                  System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  std::vector<char> SkipPred(System.predicates().size(), 0);
+  std::vector<PredIntervalState> States =
+      runIntervalAnalysis(System, {}, SkipPred, {});
+
+  const Predicate *Inv = findPred(System, "inv");
+  ASSERT_TRUE(States[Inv->Index].Reachable);
+  const Interval &I = States[Inv->Index].Args[0];
+  EXPECT_TRUE(I.hasLo());
+  EXPECT_EQ(I.lo(), Rational(0));
+  EXPECT_FALSE(I.hasHi());
+}
+
+//===----------------------------------------------------------------------===//
+// Full pipeline: verification, discharge, solver integration
+//===----------------------------------------------------------------------===//
+
+/// Every invariant the pipeline emits must already be inductive; this
+/// re-proves them independently with chc::checkClause.
+TEST(AnalysisTest, EmittedInvariantsAreInductive) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(SlicingSystem, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  AnalysisResult R = analyzeSystem(System);
+  EXPECT_FALSE(R.Invariants.empty());
+
+  Interpretation Interp(TM);
+  for (const auto &[Pred, T] : R.Fixed)
+    Interp.set(Pred, T);
+  for (const auto &[Pred, T] : R.Invariants)
+    Interp.set(Pred, T);
+  for (const HornClause &C : System.clauses()) {
+    if (!C.HeadPred)
+      continue;
+    EXPECT_EQ(checkClause(System, C, Interp).Status, ClauseStatus::Valid)
+        << "non-inductive analysis output on clause " << C.Name;
+  }
+}
+
+/// The bounded counter is provable by the interval invariant alone: the
+/// pipeline discharges the query and the solver returns Sat after zero CEGAR
+/// iterations. With analysis off the same system needs real learning work.
+TEST(AnalysisTest, BoundedCounterSolvedStatically) {
+  constexpr const char *Text = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)";
+
+  // Analysis on: discharged statically.
+  {
+    TermManager TM;
+    ChcSystem System(TM);
+    ChcParseResult P = parseChcText(Text, System);
+    ASSERT_TRUE(P.Ok) << P.Error;
+
+    AnalysisResult A = analyzeSystem(System);
+    EXPECT_TRUE(A.ProvedSat);
+    EXPECT_GE(A.boundsFound(), 2u); // lower and upper bound on n
+
+    solver::DataDrivenChcSolver Solver;
+    ChcSolverResult R = Solver.solve(System);
+    EXPECT_EQ(R.Status, ChcResult::Sat);
+    EXPECT_EQ(R.Stats.Iterations, 0u);
+    EXPECT_TRUE(Solver.detailedStats().SolvedByAnalysis);
+    EXPECT_EQ(checkInterpretation(System, R.Interp), ClauseStatus::Valid);
+  }
+
+  // Analysis off: still Sat, but the CEGAR loop has to do the work.
+  {
+    TermManager TM;
+    ChcSystem System(TM);
+    ChcParseResult P = parseChcText(Text, System);
+    ASSERT_TRUE(P.Ok) << P.Error;
+
+    solver::DataDrivenOptions Opts;
+    Opts.EnableAnalysis = false;
+    Opts.TimeoutSeconds = 60;
+    solver::DataDrivenChcSolver Solver(Opts);
+    ChcSolverResult R = Solver.solve(System);
+    EXPECT_EQ(R.Status, ChcResult::Sat);
+    EXPECT_GT(R.Stats.Iterations, 0u);
+    EXPECT_FALSE(Solver.detailedStats().SolvedByAnalysis);
+    EXPECT_EQ(checkInterpretation(System, R.Interp), ClauseStatus::Valid);
+  }
+}
+
+/// End-to-end agreement on a system the analysis cannot discharge (Fig. 1 of
+/// the paper needs the relational invariant x >= y that intervals cannot
+/// express): both configurations must agree on Sat.
+TEST(AnalysisTest, AnalysisOnOffAgreeOnFig1) {
+  constexpr const char *Fig1 = R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (p x y) (= x1 (+ x y)) (= y1 (+ y 1))) (p x1 y1))))
+(assert (forall ((x Int) (y Int)) (=> (p x y) (>= x y))))
+)";
+  for (bool Enable : {true, false}) {
+    TermManager TM;
+    ChcSystem System(TM);
+    ChcParseResult P = parseChcText(Fig1, System);
+    ASSERT_TRUE(P.Ok) << P.Error;
+
+    solver::DataDrivenOptions Opts;
+    Opts.EnableAnalysis = Enable;
+    Opts.TimeoutSeconds = 60;
+    solver::DataDrivenChcSolver Solver(Opts);
+    ChcSolverResult R = Solver.solve(System);
+    EXPECT_EQ(R.Status, ChcResult::Sat) << "EnableAnalysis=" << Enable;
+    EXPECT_EQ(checkInterpretation(System, R.Interp), ClauseStatus::Valid)
+        << "EnableAnalysis=" << Enable;
+  }
+}
+
+/// Unsafe systems must stay Unsat with a replayable counterexample whether
+/// or not the pre-analysis runs (its pruning must never hide a refutation).
+TEST(AnalysisTest, UnsafeSystemStillRefuted) {
+  constexpr const char *Unsafe = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 5))))
+)";
+  for (bool Enable : {true, false}) {
+    TermManager TM;
+    ChcSystem System(TM);
+    ChcParseResult P = parseChcText(Unsafe, System);
+    ASSERT_TRUE(P.Ok) << P.Error;
+
+    solver::DataDrivenOptions Opts;
+    Opts.EnableAnalysis = Enable;
+    Opts.TimeoutSeconds = 60;
+    solver::DataDrivenChcSolver Solver(Opts);
+    ChcSolverResult R = Solver.solve(System);
+    EXPECT_EQ(R.Status, ChcResult::Unsat) << "EnableAnalysis=" << Enable;
+    ASSERT_TRUE(R.Cex.has_value());
+    EXPECT_TRUE(validateCounterexample(System, *R.Cex));
+  }
+}
+
+/// The per-pass statistics must cover the whole pipeline and account for the
+/// SMT checks spent on verification.
+TEST(AnalysisTest, PassStatisticsAreReported) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(SlicingSystem, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  AnalysisResult R = analyzeSystem(System);
+  ASSERT_EQ(R.Passes.size(), 4u);
+  EXPECT_EQ(R.Passes[0].Name, "fact-reach");
+  EXPECT_EQ(R.Passes[1].Name, "query-cone");
+  EXPECT_EQ(R.Passes[2].Name, "intervals");
+  EXPECT_EQ(R.Passes[3].Name, "verify");
+  EXPECT_GT(R.Passes[2].BoundsFound, 0u);
+  EXPECT_GT(R.Passes[3].SmtChecks, 0u);
+  EXPECT_GT(R.smtChecks(), 0u);
+  EXPECT_FALSE(R.report().empty());
+
+  // Disabling both pass groups yields the trivial result.
+  AnalysisOptions Off;
+  Off.EnableSlicing = false;
+  Off.EnableIntervals = false;
+  AnalysisResult Trivial = analyzeSystem(System, Off);
+  EXPECT_EQ(Trivial.clausesPruned(), 0u);
+  EXPECT_TRUE(Trivial.Fixed.empty());
+  EXPECT_TRUE(Trivial.Invariants.empty());
+}
+
+} // namespace
