@@ -86,6 +86,61 @@ static void BM_SmtVerificationCondition(benchmark::State &State) {
 }
 BENCHMARK(BM_SmtVerificationCondition);
 
+/// The CEGAR-shaped workload of the incremental backend: one clause skeleton
+/// checked against a chain of candidate invariants. Arg(0) = one-shot (fresh
+/// solver per candidate, the pre-incremental behaviour), Arg(1) = incremental
+/// (persistent solver, push/assert/check/pop per candidate). The `pivots`
+/// counter exposes the simplex work: the incremental arm sets up the skeleton
+/// tableau once and keeps its bounds, so it must pivot far less.
+static void BM_IncrementalVsOneShot(benchmark::State &State) {
+  const bool Incremental = State.range(0) != 0;
+  const int NumCandidates = 24;
+  for (auto _ : State) {
+    TermManager TM;
+    const Term *X = TM.mkVar("x"), *Y = TM.mkVar("y");
+    const Term *X2 = TM.mkVar("x2"), *Y2 = TM.mkVar("y2");
+    // Step clause body of Fig. 1: x' = x + y, y' = y + 1.
+    const Term *Skeleton =
+        TM.mkAnd(TM.mkEq(X2, TM.mkAdd(X, Y)),
+                 TM.mkEq(Y2, TM.mkAdd(Y, TM.mkIntConst(1))));
+    // Candidate K: x >= 1 /\ y >= 0 /\ x + K >= K*y (a strengthening chain
+    // like the learner's successive half-space refinements).
+    auto Candidate = [&](int K, const Term *A, const Term *B) {
+      return TM.mkAnd({TM.mkGe(A, TM.mkIntConst(1)),
+                       TM.mkGe(B, TM.mkIntConst(0)),
+                       TM.mkGe(TM.mkAdd(A, TM.mkIntConst(K)),
+                               TM.mkMul(Rational(K), B))});
+    };
+    uint64_t Pivots = 0;
+    if (Incremental) {
+      smt::SmtSolver S(TM);
+      S.assertFormula(Skeleton);
+      for (int K = 0; K < NumCandidates; ++K) {
+        S.push();
+        S.assertFormula(TM.mkAnd(Candidate(K, X, Y),
+                                 TM.mkNot(Candidate(K, X2, Y2))));
+        benchmark::DoNotOptimize(S.check());
+        S.pop();
+      }
+      Pivots = S.stats().SimplexStats.Pivots;
+    } else {
+      for (int K = 0; K < NumCandidates; ++K) {
+        smt::SmtSolver S(TM);
+        S.assertFormula(Skeleton);
+        S.assertFormula(TM.mkAnd(Candidate(K, X, Y),
+                                 TM.mkNot(Candidate(K, X2, Y2))));
+        benchmark::DoNotOptimize(S.check());
+        Pivots += S.stats().SimplexStats.Pivots;
+      }
+    }
+    State.counters["pivots"] = static_cast<double>(Pivots);
+  }
+}
+BENCHMARK(BM_IncrementalVsOneShot)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("incremental");
+
 /// The full static pre-analysis pipeline (slicing + interval fixpoint +
 /// invariant verification) on a system with a bounded counting loop, a
 /// predicate outside the query cone, and a predicate unreachable from facts.

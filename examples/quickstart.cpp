@@ -72,6 +72,7 @@ int main() {
   printf("learned interpretation:\n%s", Result.Interp.toString().c_str());
   printf("samples drawn: %zu, SMT queries: %zu, time: %.3fs\n",
          Result.Stats.Samples, Result.Stats.SmtQueries, Result.Stats.Seconds);
+  printf("incremental backend: %s\n", Result.Stats.summary().c_str());
 
   // 6. Independently re-check the solution clause by clause.
   bool Valid = checkInterpretation(System, Result.Interp) ==

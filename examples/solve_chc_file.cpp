@@ -88,6 +88,7 @@ int main(int Argc, char **Argv) {
       makeSolver(SolverName, Timeout);
   ChcSolverResult R = Solver->solve(System);
   printf("%s\n", toString(R.Status));
+  fprintf(stderr, "; stats: %s\n", R.Stats.summary().c_str());
   if (R.Status == ChcResult::Sat) {
     fprintf(stderr, "; model:\n%s", R.Interp.toString().c_str());
     if (checkInterpretation(System, R.Interp) != ClauseStatus::Valid) {

@@ -26,15 +26,26 @@ void PassStats::merge(const PassStats &O) {
   InvariantsVerified += O.InvariantsVerified;
   InvariantsRejected += O.InvariantsRejected;
   SmtChecks += O.SmtChecks;
+  Check.merge(O.Check);
 }
 
 std::string PassStats::toString() const {
-  char Buf[256];
-  snprintf(Buf, sizeof(Buf),
-           "%-10s %8.3fs  pruned %zu  resolved %zu  bounds %zu  "
-           "verified %zu  rejected %zu  smt %zu",
-           Name.c_str(), Seconds, ClausesPruned, PredicatesResolved,
-           BoundsFound, InvariantsVerified, InvariantsRejected, SmtChecks);
+  char Buf[320];
+  int N = snprintf(Buf, sizeof(Buf),
+                   "%-10s %8.3fs  pruned %zu  resolved %zu  bounds %zu  "
+                   "verified %zu  rejected %zu  smt %zu",
+                   Name.c_str(), Seconds, ClausesPruned, PredicatesResolved,
+                   BoundsFound, InvariantsVerified, InvariantsRejected,
+                   SmtChecks);
+  if (Check.CacheHits + Check.CacheMisses > 0 && N > 0 &&
+      static_cast<size_t>(N) < sizeof(Buf))
+    snprintf(Buf + N, sizeof(Buf) - N,
+             "  cache %llu/%llu  pushes %llu  reuse %llu",
+             static_cast<unsigned long long>(Check.CacheHits),
+             static_cast<unsigned long long>(Check.CacheHits +
+                                             Check.CacheMisses),
+             static_cast<unsigned long long>(Check.ScopePushes),
+             static_cast<unsigned long long>(Check.RebuildsAvoided));
   return Buf;
 }
 
@@ -200,6 +211,11 @@ public:
     if (Candidates.empty() && Res.Fixed.empty())
       return; // nothing to verify, nothing to discharge
 
+    // One incremental backend for the whole pass: the inductiveness fixpoint
+    // re-checks clauses whose candidates did not change between rescans, and
+    // the memo cache answers those without touching a solver.
+    ClauseCheckContext Checker(Ctx.System, Ctx.Opts.Smt);
+
     Interpretation Cand(TM);
     for (const auto &[P, F] : Res.Fixed)
       Cand.set(P, F);
@@ -224,9 +240,10 @@ public:
         if (Ctx.Clock.expired()) {
           // Out of budget: nothing else gets verified this run.
           Stats.InvariantsRejected += Candidates.size();
+          Stats.Check = Checker.stats();
           return;
         }
-        ClauseCheckResult Check = checkClause(Ctx.System, C, Cand, Ctx.Opts.Smt);
+        ClauseCheckResult Check = Checker.check(CI, Cand);
         ++Stats.SmtChecks;
         if (Check.Status == ClauseStatus::Valid)
           continue;
@@ -289,9 +306,11 @@ public:
       const HornClause &C = Clauses[CI];
       if (!Ctx.isLive(CI) || !C.isQuery())
         continue;
-      if (Ctx.Clock.expired())
+      if (Ctx.Clock.expired()) {
+        Stats.Check = Checker.stats();
         return; // skip discharge; ProvedSat stays false
-      ClauseCheckResult Check = checkClause(Ctx.System, C, Cand, Ctx.Opts.Smt);
+      }
+      ClauseCheckResult Check = Checker.check(CI, Cand);
       ++Stats.SmtChecks;
       if (Check.Status == ClauseStatus::Valid)
         Stats.ClausesPruned += Ctx.prune(CI);
@@ -301,6 +320,7 @@ public:
     // All candidate-headed clauses are inductive, `true`-headed clauses are
     // trivially valid, and every query discharged: the seed is a solution.
     Res.ProvedSat = AllQueriesValid;
+    Stats.Check = Checker.stats();
   }
 };
 

@@ -53,6 +53,9 @@ struct PassStats {
   size_t InvariantsVerified = 0;
   size_t InvariantsRejected = 0;
   size_t SmtChecks = 0;
+  /// Incremental clause-check counters (populated by passes that go through
+  /// chc::ClauseCheckContext, currently the verify pass).
+  chc::CheckStats Check;
 
   /// Sums the counters of \p O into this (the name is kept).
   void merge(const PassStats &O);

@@ -108,12 +108,13 @@ class Unwind {
 public:
   Unwind(const ChcSystem &System, const UnwindOptions &Opts)
       : System(System), TM(System.termManager()), Opts(Opts),
-        Clock(Opts.TimeoutSeconds), Result(TM) {}
+        Clock(Opts.TimeoutSeconds), Result(TM), Checker(System, Opts.Smt) {}
 
   ChcSolverResult run() {
     Timer Total;
     Result.Status = mainLoop();
     Result.Stats.Seconds = Total.elapsedSeconds();
+    Result.Stats.Check = Checker.stats();
     return Result;
   }
 
@@ -496,10 +497,12 @@ private:
           PathsTo[Pred].push_back(std::move(P));
         }
       }
-      // Solution check: are the summaries a model?
+      // Solution check: are the summaries a model? The incremental backend
+      // reuses the per-clause solvers across rounds, and candidate
+      // interpretations repeat often enough for the memo cache to pay off.
       Interpretation A = currentInterpretation();
       ++Result.Stats.SmtQueries;
-      if (checkInterpretation(System, A, Opts.Smt) == ClauseStatus::Valid) {
+      if (Checker.checkAll(A) == ClauseStatus::Valid) {
         Result.Interp = std::move(A);
         return ChcResult::Sat;
       }
@@ -555,6 +558,7 @@ private:
   const UnwindOptions &Opts;
   Deadline Clock;
   ChcSolverResult Result;
+  ClauseCheckContext Checker;
   std::vector<ExpNode> Nodes;
   std::map<const Predicate *, std::vector<const Term *>> Summaries;
   size_t SummariesAdded = 0;

@@ -7,6 +7,7 @@
 #include "chc/ChcCheck.h"
 
 #include <cassert>
+#include <cstdlib>
 
 using namespace la;
 using namespace la::chc;
@@ -41,6 +42,157 @@ ClauseCheckResult chc::checkClause(const ChcSystem &System,
     break;
   }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// ClauseCheckContext: per-clause solver reuse + system-wide memo cache
+//===----------------------------------------------------------------------===//
+
+ClauseCheckContext::ClauseCheckContext(const ChcSystem &System,
+                                       SmtSolver::Options Opts,
+                                       size_t CacheCapacity)
+    : System(System), Opts(Opts), CacheCapacity(CacheCapacity),
+      CrossCheck(std::getenv("LA_CHECK_INCREMENTAL") != nullptr) {
+  Solvers.resize(System.clauses().size());
+}
+
+SmtSolver &ClauseCheckContext::solverFor(size_t ClauseIndex) {
+  std::unique_ptr<SmtSolver> &Slot = Solvers[ClauseIndex];
+  if (Slot) {
+    ++Statistics.RebuildsAvoided;
+    return *Slot;
+  }
+  ++Statistics.SolverRebuilds;
+  TermManager &TM = System.termManager();
+  const HornClause &Clause = System.clauses()[ClauseIndex];
+  Slot = std::make_unique<SmtSolver>(TM, Opts);
+  // Scope zero: the interpretation-independent clause skeleton. Asserting
+  // the constraint also interns every clause variable, so later scopes hit
+  // the existing simplex columns.
+  Slot->assertFormula(Clause.Constraint);
+  if (!Clause.HeadPred)
+    Slot->assertFormula(TM.mkNot(Clause.HeadFormula));
+  return *Slot;
+}
+
+std::string ClauseCheckContext::cacheKey(size_t ClauseIndex,
+                                         const Interpretation &Interp) const {
+  // Interpretation formulas are hash-consed, so their term ids identify
+  // them; the key lists the interpretation of every predicate occurrence in
+  // clause order (body applications, then the head).
+  const HornClause &Clause = System.clauses()[ClauseIndex];
+  std::string Key = std::to_string(ClauseIndex);
+  for (const PredApp &App : Clause.Body)
+    Key += ":" + std::to_string(Interp.get(App.Pred)->id());
+  if (Clause.HeadPred)
+    Key += ">" + std::to_string(Interp.get(Clause.HeadPred->Pred)->id());
+  return Key;
+}
+
+void ClauseCheckContext::crossCheckVerdict(
+    size_t ClauseIndex, const Interpretation &Interp,
+    const ClauseCheckResult &Incremental) const {
+  const HornClause &Clause = System.clauses()[ClauseIndex];
+  ClauseCheckResult OneShot = checkClause(System, Clause, Interp, Opts);
+  // Unknown is budget-dependent, so only definite verdicts must agree.
+  if (Incremental.Status == ClauseStatus::Unknown ||
+      OneShot.Status == ClauseStatus::Unknown)
+    return;
+  assert(Incremental.Status == OneShot.Status &&
+         "incremental and one-shot clause checks disagree");
+  if (Incremental.Status != ClauseStatus::Invalid)
+    return;
+  // The incremental model must genuinely violate the clause.
+  TermManager &TM = System.termManager();
+  std::vector<const Term *> Parts{Clause.Constraint};
+  for (const PredApp &App : Clause.Body)
+    Parts.push_back(Interp.instantiate(App));
+  const Term *Head = Clause.HeadPred ? Interp.instantiate(*Clause.HeadPred)
+                                     : Clause.HeadFormula;
+  Parts.push_back(TM.mkNot(Head));
+  const Term *Negation = TM.mkAnd(std::move(Parts));
+  std::unordered_map<const Term *, Rational> Extended = Incremental.Model;
+  std::vector<const Term *> Stack{Negation};
+  while (!Stack.empty()) {
+    const Term *Node = Stack.back();
+    Stack.pop_back();
+    if (Node->kind() == TermKind::Var && !Extended.count(Node))
+      Extended.emplace(Node, Rational(0));
+    for (const Term *Op : Node->operands())
+      Stack.push_back(Op);
+  }
+  assert(evalFormula(Negation, Extended) &&
+         "incremental model does not violate the clause");
+  (void)Negation;
+}
+
+ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
+                                            const Interpretation &Interp) {
+  assert(ClauseIndex < System.clauses().size() && "clause index out of range");
+  const HornClause &Clause = System.clauses()[ClauseIndex];
+  TermManager &TM = System.termManager();
+
+  std::string Key = cacheKey(ClauseIndex, Interp);
+  auto Hit = Cache.find(Key);
+  if (Hit != Cache.end()) {
+    ++Statistics.CacheHits;
+    return Hit->second;
+  }
+  ++Statistics.CacheMisses;
+
+  SmtSolver &Solver = solverFor(ClauseIndex);
+  Solver.push();
+  ++Statistics.ScopePushes;
+  for (const PredApp &App : Clause.Body)
+    Solver.assertFormula(Interp.instantiate(App));
+  if (Clause.HeadPred)
+    Solver.assertFormula(TM.mkNot(Interp.instantiate(*Clause.HeadPred)));
+  ++Statistics.ChecksIssued;
+  ClauseCheckResult Result;
+  switch (Solver.check()) {
+  case SmtResult::Unsat:
+    Result.Status = ClauseStatus::Valid;
+    break;
+  case SmtResult::Sat:
+    Result.Status = ClauseStatus::Invalid;
+    Result.Model = Solver.model();
+    break;
+  case SmtResult::Unknown:
+    Result.Status = ClauseStatus::Unknown;
+    break;
+  }
+  Solver.pop();
+
+  if (CrossCheck)
+    crossCheckVerdict(ClauseIndex, Interp, Result);
+
+  if (Result.Status == ClauseStatus::Unknown) {
+    // Budget-dependent: never cache, and start the next attempt on this
+    // clause from a fresh solver (the failed search may have bloated the
+    // clause database with split atoms).
+    Solvers[ClauseIndex].reset();
+    return Result;
+  }
+
+  if (Cache.size() >= CacheCapacity && !EvictionQueue.empty()) {
+    Cache.erase(EvictionQueue.front());
+    EvictionQueue.pop_front();
+    ++Statistics.CacheEvictions;
+  }
+  EvictionQueue.push_back(Key);
+  Cache.emplace(std::move(Key), Result);
+  return Result;
+}
+
+ClauseStatus ClauseCheckContext::checkAll(const Interpretation &Interp) {
+  bool SawUnknown = false;
+  for (size_t I = 0; I < System.clauses().size(); ++I) {
+    ClauseCheckResult R = check(I, Interp);
+    if (R.Status == ClauseStatus::Invalid)
+      return ClauseStatus::Invalid;
+    SawUnknown |= R.Status == ClauseStatus::Unknown;
+  }
+  return SawUnknown ? ClauseStatus::Unknown : ClauseStatus::Valid;
 }
 
 Rational chc::evalWithDefaults(

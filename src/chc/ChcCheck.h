@@ -17,6 +17,8 @@
 #include "chc/Chc.h"
 #include "smt/SmtSolver.h"
 
+#include <memory>
+
 namespace la::chc {
 
 /// Verdict for one clause under an interpretation.
@@ -30,10 +32,79 @@ struct ClauseCheckResult {
 };
 
 /// Checks `Constraint /\ /\_i A(p_i)(T_i) -> A(head)` by deciding the
-/// satisfiability of its negation.
+/// satisfiability of its negation. One-shot reference path: builds a fresh
+/// solver per call. Hot callers should use ClauseCheckContext instead.
 ClauseCheckResult checkClause(const ChcSystem &System, const HornClause &Clause,
                               const Interpretation &Interp,
                               const smt::SmtSolver::Options &Opts = {});
+
+/// Counters for the incremental clause-check backend, shared by the CEGAR
+/// loop, the analysis verify pass and the baselines.
+struct CheckStats {
+  uint64_t ChecksIssued = 0;    ///< checks actually sent to an SMT solver
+  uint64_t CacheHits = 0;       ///< verdicts served from the memo cache
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;  ///< FIFO evictions at capacity
+  uint64_t ScopePushes = 0;     ///< solver scopes opened for checks
+  uint64_t SolverRebuilds = 0;  ///< per-clause solver (re)constructions
+  uint64_t RebuildsAvoided = 0; ///< checks served by a live per-clause solver
+
+  void merge(const CheckStats &O) {
+    ChecksIssued += O.ChecksIssued;
+    CacheHits += O.CacheHits;
+    CacheMisses += O.CacheMisses;
+    CacheEvictions += O.CacheEvictions;
+    ScopePushes += O.ScopePushes;
+    SolverRebuilds += O.SolverRebuilds;
+    RebuildsAvoided += O.RebuildsAvoided;
+  }
+};
+
+/// Incremental clause-check backend (the `Z3Check` of Algorithm 3, made
+/// persistent). Keeps one SmtSolver per clause for the lifetime of a solve:
+/// the interpretation-independent part of the clause (constraint, and the
+/// negated head formula of queries) is asserted once at scope zero; each
+/// check then pushes a scope, asserts only the current interpretation's
+/// predicate formulas, checks, extracts the model, and pops. A system-wide
+/// memo cache keyed by (clause index, hash-consed interpretation term ids)
+/// makes repeated candidate interpretations — common across DT/SVM restarts
+/// and analysis fixpoints — free. Unknown verdicts are never cached (they
+/// are budget-dependent) and drop the per-clause solver so the next attempt
+/// starts fresh.
+///
+/// With the environment variable LA_CHECK_INCREMENTAL set, every non-cached
+/// verdict is replayed on the one-shot path and asserted to agree
+/// verdict-for-verdict (and Invalid models are re-evaluated on the clause).
+class ClauseCheckContext {
+public:
+  explicit ClauseCheckContext(const ChcSystem &System,
+                              smt::SmtSolver::Options Opts = {},
+                              size_t CacheCapacity = 1 << 14);
+
+  /// Checks clause \p ClauseIndex of the system under \p Interp.
+  ClauseCheckResult check(size_t ClauseIndex, const Interpretation &Interp);
+
+  /// Checks every clause; Valid only when all clauses are valid.
+  ClauseStatus checkAll(const Interpretation &Interp);
+
+  const CheckStats &stats() const { return Statistics; }
+  const ChcSystem &system() const { return System; }
+
+private:
+  smt::SmtSolver &solverFor(size_t ClauseIndex);
+  std::string cacheKey(size_t ClauseIndex, const Interpretation &Interp) const;
+  void crossCheckVerdict(size_t ClauseIndex, const Interpretation &Interp,
+                         const ClauseCheckResult &Incremental) const;
+
+  const ChcSystem &System;
+  smt::SmtSolver::Options Opts;
+  size_t CacheCapacity;
+  bool CrossCheck; ///< LA_CHECK_INCREMENTAL differential mode
+  std::vector<std::unique_ptr<smt::SmtSolver>> Solvers; ///< one per clause
+  std::unordered_map<std::string, ClauseCheckResult> Cache;
+  std::deque<std::string> EvictionQueue; ///< insertion order for FIFO
+  CheckStats Statistics;
+};
 
 /// Evaluates \p T under \p Model, defaulting unbound variables to 0 (the SMT
 /// solver omits don't-care variables).

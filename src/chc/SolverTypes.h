@@ -16,6 +16,8 @@
 
 #include "chc/ChcCheck.h"
 
+#include <cstdio>
+
 namespace la::chc {
 
 /// Verdict for a CHC system.
@@ -43,6 +45,25 @@ struct SolveStats {
   size_t Samples = 0; ///< #S column of the paper's tables
   size_t Iterations = 0;
   double Seconds = 0;
+  /// Counters of the incremental clause-check backend (zero for solvers
+  /// that bypass ClauseCheckContext).
+  CheckStats Check;
+
+  /// Compact one-line rendering, incremental-backend counters included.
+  std::string summary() const {
+    char Buf[256];
+    snprintf(Buf, sizeof(Buf),
+             "queries %zu  samples %zu  iters %zu  checks %llu  pushes %llu  "
+             "cache %llu/%llu  reuse %llu  %.3fs",
+             SmtQueries, Samples, Iterations,
+             static_cast<unsigned long long>(Check.ChecksIssued),
+             static_cast<unsigned long long>(Check.ScopePushes),
+             static_cast<unsigned long long>(Check.CacheHits),
+             static_cast<unsigned long long>(Check.CacheHits +
+                                             Check.CacheMisses),
+             static_cast<unsigned long long>(Check.RebuildsAvoided), Seconds);
+    return Buf;
+  }
 };
 
 /// Uniform result of any CHC solver in this repository.

@@ -270,7 +270,38 @@ bool SatSolver::handleTheoryResult(const TheoryClient::CheckResult &Result,
   return Result.Consistent;
 }
 
+void SatSolver::backtrackToRoot() { backtrackTo(0); }
+
+void SatSolver::shrinkLearntSuffix(size_t Mark) {
+  assert(TrailLims.empty() && "shrinkLearntSuffix only at the root level");
+  if (Clauses.size() <= Mark)
+    return;
+#ifndef NDEBUG
+  for (size_t I = Mark; I < Clauses.size(); ++I)
+    assert(Clauses[I].Learnt && "shrinking would drop a problem clause");
+#endif
+  for (std::vector<ClauseRef> &W : Watches) {
+    size_t Keep = 0;
+    for (ClauseRef Ref : W)
+      if (static_cast<size_t>(Ref) < Mark)
+        W[Keep++] = Ref;
+    W.resize(Keep);
+  }
+  // Root assignments stay valid (learnt clauses are implied by the
+  // permanent ones) but must not keep pointing at dropped clauses.
+  for (Var V = 0; V < numVars(); ++V)
+    if (Reasons[V] != NullClause && static_cast<size_t>(Reasons[V]) >= Mark)
+      Reasons[V] = NullClause;
+  Clauses.resize(Mark);
+}
+
 SatResult SatSolver::solve(int64_t MaxConflicts) {
+  return solveWithAssumptions({}, MaxConflicts);
+}
+
+SatResult SatSolver::solveWithAssumptions(const std::vector<Lit> &Assumptions,
+                                          int64_t MaxConflicts) {
+  assert(TrailLims.empty() && "solve must start at the root level");
   if (Unsatisfiable)
     return SatResult::Unsat;
   if (propagate() != NullClause) {
@@ -278,6 +309,7 @@ SatResult SatSolver::solve(int64_t MaxConflicts) {
     return SatResult::Unsat;
   }
 
+  const uint64_t StartConflicts = Statistics.Conflicts;
   uint64_t RestartLimit = 100;
   uint64_t ConflictsSinceRestart = 0;
 
@@ -327,17 +359,34 @@ SatResult SatSolver::solve(int64_t MaxConflicts) {
   };
 
   for (;;) {
-    if (MaxConflicts > 0 &&
-        Statistics.Conflicts >= static_cast<uint64_t>(MaxConflicts))
+    if (MaxConflicts > 0 && Statistics.Conflicts - StartConflicts >=
+                                static_cast<uint64_t>(MaxConflicts))
       return SatResult::Unknown;
 
     ClauseRef Conflict = propagate();
     if (Conflict != NullClause) {
       if (!HandleConflictClause(Conflict)) {
+        // Root-level conflict: unsatisfiable regardless of assumptions.
         Unsatisfiable = true;
         return SatResult::Unsat;
       }
       continue;
+    }
+
+    // (Re-)establish assumptions as the bottom decisions. Backjumps and
+    // restarts may have popped some; each gets its own decision level so
+    // conflict analysis treats it like any decision.
+    if (TrailLims.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLims.size()];
+      LBool V = valueLit(A);
+      if (V == LBool::False)
+        return SatResult::Unsat; // unsat under assumptions only
+      TrailLims.push_back(Trail.size());
+      if (V == LBool::Undef) {
+        enqueue(A, NullClause);
+        continue; // propagate the new assumption
+      }
+      continue; // already implied: dummy level keeps the indexing aligned
     }
 
     // Boolean assignment is consistent; consult the theory.

@@ -90,8 +90,36 @@ public:
   /// Adds a clause; returns false if the solver became trivially unsat.
   bool addClause(std::vector<Lit> Lits);
 
-  /// Runs the search. \p MaxConflicts <= 0 means unbounded.
+  /// Runs the search. \p MaxConflicts <= 0 means unbounded; the budget is
+  /// per call, not cumulative.
   SatResult solve(int64_t MaxConflicts = -1);
+
+  /// Runs the search with \p Assumptions enqueued as the first decisions (in
+  /// order). An Unsat answer means "unsat under the assumptions": unless the
+  /// conflict is at the root level the solver stays usable, and a later call
+  /// with different assumptions may succeed. Learnt clauses are resolvents
+  /// of the clause database only (assumptions enter as decisions, never as
+  /// clauses), so everything learnt remains globally valid.
+  SatResult solveWithAssumptions(const std::vector<Lit> &Assumptions,
+                                 int64_t MaxConflicts = -1);
+
+  /// Undoes every decision, restoring the root-level state. Theory clients
+  /// observe the shrink through onBacktrack. Required before addClause /
+  /// shrinkLearntSuffix once a solve has run.
+  void backtrackToRoot();
+
+  /// Number of clauses in the database (problem + learnt).
+  size_t numClauses() const { return Clauses.size(); }
+
+  /// Drops every clause with index >= \p Mark; all of them must be learnt
+  /// (true for any mark taken at numClauses() before a solve). Root-level
+  /// assignments whose reason is dropped are kept — learnt clauses are
+  /// implied by the permanent ones — but their dangling reason refs are
+  /// cleared. Only legal at the root level.
+  void shrinkLearntSuffix(size_t Mark);
+
+  /// True once a root-level conflict proved the clause set unsatisfiable.
+  bool inconsistent() const { return Unsatisfiable; }
 
   LBool value(Var V) const { return Assigns[V]; }
   /// Sets the phase tried first when branching on \p V (phase saving will

@@ -170,7 +170,21 @@ Simplex::assertBound(VarId V, bool IsLower, const DeltaRational &Value,
 void Simplex::undoBound(const BoundUndo &Undo) {
   if (!Undo.Applied)
     return;
+#ifndef NDEBUG
+  // The restoration path (exercised heavily by SmtSolver scope pops): an
+  // applied undo must replace the installed bound with a strictly weaker or
+  // absent one, so the variable needs no value repair and no row rebuild.
+  const Bound &Installed = (Undo.IsLower ? Lower : Upper)[Undo.Var];
+  assert(Installed.Present && "undoing a bound that was never installed");
+  assert((!Undo.Previous.Present ||
+          (Undo.IsLower ? Undo.Previous.Value <= Installed.Value
+                        : Undo.Previous.Value >= Installed.Value)) &&
+         "undo must restore a weaker bound");
+#endif
   (Undo.IsLower ? Lower : Upper)[Undo.Var] = Undo.Previous;
+  // Local slice of checkInvariants(): bound ordering and, for nonbasic
+  // variables, value-within-bounds must survive the restoration.
+  checkVarInvariants(Undo.Var);
 }
 
 void Simplex::pivotAndUpdate(int RowIdx, VarId Xj, const DeltaRational &Target) {

@@ -148,10 +148,30 @@ public:
   }
 
   Simplex Splx;
-  int64_t SplitsDone = 0;
+  int64_t SplitsDone = 0; ///< branch-and-bound splits in the current check
   Deadline Clock;
 
   void startClock(double Seconds) { Clock = Deadline(Seconds); }
+
+#ifndef NDEBUG
+  /// Root-level justification audit, run at scope exits: probe bounds
+  /// (Reason < 0) must all have been retracted, and every installed atom
+  /// bound must be justified by a reason literal that is still true.
+  void checkBoundJustifications() const {
+    for (Simplex::VarId V = 0; V < Splx.numVars(); ++V) {
+      for (bool IsLower : {true, false}) {
+        const Simplex::Bound &B =
+            IsLower ? Splx.lowerBound(V) : Splx.upperBound(V);
+        if (!B.Present)
+          continue;
+        assert(B.Reason >= 0 && "probe bound leaked past a scope exit");
+        assert(Owner.Sat->valueLit(static_cast<sat::Lit>(B.Reason)) ==
+                   sat::LBool::True &&
+               "installed bound justified by a retracted literal");
+      }
+    }
+  }
+#endif
 
 private:
   /// Retracts a probe-bound segment in LIFO order and restores feasibility.
@@ -471,16 +491,55 @@ SmtSolver::SmtSolver(TermManager &TM, Options Opts) : TM(TM), Opts(Opts) {
 SmtSolver::~SmtSolver() = default;
 
 void SmtSolver::assertFormula(const Term *F) {
-  assert(!Checked && "assertFormula after check");
   assert(F->sort() == Sort::Bool && "asserting a non-Bool term");
   assert(!TermManager::containsPredApp(F) &&
          "verification formulas must be predicate-free");
-  Assertions.push_back(F);
   // Register every Int variable so the model covers it even when it ends up
   // unconstrained.
   for (const Term *V : TM.collectVars(F))
     if (V->sort() == Sort::Int)
       (void)simplexVarFor(V);
+  // Encoding emits Tseitin clauses, which the CDCL core only accepts at the
+  // root level; a previous check may have left the trail deep.
+  Sat->backtrackToRoot();
+  const Term *Lowered = lowerModAndEq(F);
+  // Mod lowering introduces fresh quotient/remainder variables with
+  // definitional constraints; those are valid regardless of the scope the
+  // triggering assertion lives in, so they are always asserted permanently.
+  while (SideCursor < SideConstraints.size()) {
+    const Term *Side = lowerModAndEq(SideConstraints[SideCursor++]);
+    if (!Sat->addClause({encode(Side)}))
+      RootUnsat = true;
+  }
+  sat::Lit Gate = encode(Lowered);
+  if (ScopeMarks.empty()) {
+    if (!Sat->addClause({Gate}))
+      RootUnsat = true;
+  } else {
+    Assumptions.push_back(Gate);
+  }
+}
+
+void SmtSolver::push() {
+  ++ScopePushes;
+  ScopeMarks.push_back(Assumptions.size());
+}
+
+void SmtSolver::pop() {
+  assert(!ScopeMarks.empty() && "pop without a matching push");
+  ++ScopePops;
+  // Backtracking the CDCL trail releases every theory bound asserted during
+  // the last check through onBacktrack -> undoBound; the tableau rows stay.
+  Sat->backtrackToRoot();
+  Assumptions.resize(ScopeMarks.back());
+  ScopeMarks.pop_back();
+#ifndef NDEBUG
+  // Scope exit is the designated point for the full structural scan of the
+  // tableau plus the bound-justification check (every bound still installed
+  // must be justified by a literal that is still true at the root).
+  Bridge->Splx.checkInvariants();
+  Bridge->checkBoundJustifications();
+#endif
 }
 
 Simplex::VarId SmtSolver::simplexVarFor(const Term *Var) {
@@ -724,45 +783,54 @@ sat::Lit SmtSolver::encode(const Term *F) {
 }
 
 SmtResult SmtSolver::check() {
-  assert(!Checked && "SmtSolver is one-shot; create a fresh instance");
-  Checked = true;
+  ++NumChecks;
+  Model.clear();
+  if (RootUnsat || Sat->inconsistent())
+    return SmtResult::Unsat;
   Bridge->startClock(Opts.TimeoutSeconds);
+  Bridge->SplitsDone = 0; // the split budget is per check
+  Sat->backtrackToRoot();
 
-  std::vector<const Term *> Lowered;
-  for (const Term *A : Assertions)
-    Lowered.push_back(lowerModAndEq(A));
-  // Mod lowering appends side constraints; lower them too (no new mods can
-  // appear, but the equalities need splitting).
-  for (size_t I = 0; I < SideConstraints.size(); ++I)
-    Lowered.push_back(lowerModAndEq(SideConstraints[I]));
+  // Clauses appended from here on are learnt (Tseitin clauses only appear
+  // inside assertFormula); the mark delimits what the carry cap may shed.
+  size_t ClauseMark = Sat->numClauses();
+  sat::SatResult R = Sat->solveWithAssumptions(Assumptions, Opts.MaxConflicts);
+  CumulativeSplits += static_cast<uint64_t>(Bridge->SplitsDone);
 
-  bool Root = true;
-  for (const Term *F : Lowered)
-    Root &= Sat->addClause({encode(F)});
-  if (!Root)
-    return SmtResult::Unsat;
-
-  switch (Sat->solve(Opts.MaxConflicts)) {
+  SmtResult Out = SmtResult::Unknown;
+  switch (R) {
   case sat::SatResult::Unsat:
-    return SmtResult::Unsat;
+    Out = SmtResult::Unsat;
+    break;
   case sat::SatResult::Unknown:
-    return SmtResult::Unknown;
-  case sat::SatResult::Sat:
+    Out = SmtResult::Unknown;
+    break;
+  case sat::SatResult::Sat: {
+    // Build the model before any backtracking disturbs the assignment.
+    for (const Term *V : IntVars) {
+      const DeltaRational &Val = Bridge->Splx.value(VarOfTerm.at(V));
+      assert(Val.delta().isZero() && Val.real().isInteger() &&
+             "integer model value expected");
+      Model.emplace(V, Val.real());
+    }
+    for (const auto &[T, L] : EncodeCache)
+      if (T->kind() == TermKind::Var && T->sort() == Sort::Bool)
+        Model.emplace(T,
+                      Rational(Sat->valueLit(L) == sat::LBool::True ? 1 : 0));
+    Out = SmtResult::Sat;
     break;
   }
-
-  // Build the model.
-  Model.clear();
-  for (const Term *V : IntVars) {
-    const DeltaRational &Val = Bridge->Splx.value(VarOfTerm.at(V));
-    assert(Val.delta().isZero() && Val.real().isInteger() &&
-           "integer model value expected");
-    Model.emplace(V, Val.real());
   }
-  for (const auto &[T, L] : EncodeCache)
-    if (T->kind() == TermKind::Var && T->sort() == Sort::Bool)
-      Model.emplace(T, Rational(Sat->valueLit(L) == sat::LBool::True ? 1 : 0));
-  return SmtResult::Sat;
+
+  // Learnt clauses are resolvents of permanent clauses only (assumptions
+  // enter the search as decisions, never as clauses), so keeping them is
+  // sound after any pop; the cap just bounds memory on long solver reuse.
+  if (Sat->numClauses() > ClauseMark + Opts.LearntCarryCap) {
+    Sat->backtrackToRoot();
+    LearntDropped += Sat->numClauses() - ClauseMark;
+    Sat->shrinkLearntSuffix(ClauseMark);
+  }
+  return Out;
 }
 
 const std::unordered_map<const Term *, Rational> &SmtSolver::model() const {
@@ -787,7 +855,11 @@ Rational SmtSolver::evalInModel(const Term *T) const {
 SmtSolver::Stats SmtSolver::stats() const {
   Stats S;
   S.NumAtoms = AtomCache.size();
-  S.NumBranchSplits = Bridge->SplitsDone;
+  S.NumBranchSplits = CumulativeSplits;
+  S.Checks = NumChecks;
+  S.ScopePushes = ScopePushes;
+  S.ScopePops = ScopePops;
+  S.LearntDropped = LearntDropped;
   S.Sat = Sat->stats();
   S.SimplexStats = Bridge->Splx.stats();
   return S;

@@ -19,8 +19,17 @@
 ///     theory; integrality is enforced by branch-and-bound case splits
 ///     injected as splitting-on-demand atoms.
 ///
-/// Intended usage is one-shot (build, assert, check, read model), which is
-/// exactly the pattern of the CHC solver's CEGAR loop.
+/// The solver is incremental: push()/pop() open and close assertion scopes,
+/// and assert/check may be interleaved freely. Scoped assertions are
+/// encoded as *assumption literals* (decisions of the CDCL core), never as
+/// clauses, so the clause database — Tseitin definitions, theory conflict
+/// clauses, branch-and-bound lemmas and everything learnt — stays globally
+/// valid across pop() and is retained. Tseitin gates, theory atoms and
+/// simplex variables are interned once and persist for the lifetime of the
+/// solver, so re-asserting a formula in a later scope reuses the existing
+/// encoding and tableau rows. This matches the CHC solver's CEGAR loop:
+/// assert the clause skeleton once, then push/check/pop per candidate
+/// interpretation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,16 +48,22 @@ namespace la::smt {
 /// Verdict of an SMT query.
 enum class SmtResult { Sat, Unsat, Unknown };
 
-/// One-shot CDCL(T) solver for QF linear integer arithmetic.
+/// Incremental CDCL(T) solver for QF linear integer arithmetic.
 class SmtSolver {
 public:
   /// Options bounding the search; defaults are generous for CHC-sized VCs.
+  /// The conflict/split/time budgets apply per check() call.
   struct Options {
     int64_t MaxConflicts = 200000;
     /// Cap on branch-and-bound case splits (guards unbounded integer VCs).
     int64_t MaxBranchSplits = 20000;
     /// Wall-clock cap per check() in seconds (0 = unlimited).
     double TimeoutSeconds = 10;
+    /// Learnt clauses are kept across checks (they are implied by the
+    /// permanent clauses), but a single check may keep at most this many of
+    /// them; beyond it the clause database is shrunk back to its pre-check
+    /// mark to bound memory over long CEGAR runs.
+    size_t LearntCarryCap = 4096;
   };
 
   explicit SmtSolver(TermManager &TM) : SmtSolver(TM, Options{}) {}
@@ -59,10 +74,21 @@ public:
   SmtSolver &operator=(const SmtSolver &) = delete;
 
   /// Adds \p F (Bool sort, no unknown-predicate applications) to the
-  /// assertion set. Must precede check().
+  /// assertion set. Outside any scope the formula is asserted permanently;
+  /// inside a scope it is retracted by the matching pop().
   void assertFormula(const Term *F);
 
-  /// Decides the conjunction of asserted formulas.
+  /// Opens an assertion scope.
+  void push();
+
+  /// Closes the innermost scope, retracting its assertions. The encodings
+  /// (Tseitin gates, atoms, simplex rows) and all learnt clauses persist.
+  void pop();
+
+  size_t numScopes() const { return ScopeMarks.size(); }
+
+  /// Decides the conjunction of currently asserted formulas. May be called
+  /// repeatedly, interleaved with assert/push/pop.
   SmtResult check();
 
   /// Model access; valid only after check() returned Sat. Every Int variable
@@ -73,10 +99,15 @@ public:
   /// Variables missing from the model (unconstrained) evaluate as 0.
   Rational evalInModel(const Term *T) const;
 
-  /// Statistics for benchmarking.
+  /// Statistics for benchmarking. Counters are cumulative over the life of
+  /// the solver.
   struct Stats {
     uint64_t NumAtoms = 0;
     uint64_t NumBranchSplits = 0;
+    uint64_t Checks = 0;
+    uint64_t ScopePushes = 0;
+    uint64_t ScopePops = 0;
+    uint64_t LearntDropped = 0; ///< learnt clauses shed by the carry cap
     sat::SatSolver::Stats Sat;
     Simplex::Stats SimplexStats;
   };
@@ -97,8 +128,12 @@ private:
   Options Opts;
   std::unique_ptr<TheoryBridge> Bridge;
   std::unique_ptr<sat::SatSolver> Sat;
-  std::vector<const Term *> Assertions;
+  /// Gate literals of scoped assertions, enqueued as assumptions at check().
+  std::vector<sat::Lit> Assumptions;
+  /// Assumption-stack size at each push().
+  std::vector<size_t> ScopeMarks;
   std::vector<const Term *> SideConstraints; ///< from mod lowering
+  size_t SideCursor = 0; ///< side constraints already asserted
   std::unordered_map<const Term *, sat::Lit> EncodeCache;
   std::unordered_map<const Term *, const Term *> ModCache;
   std::unordered_map<std::string, sat::Lit> AtomCache;
@@ -106,7 +141,12 @@ private:
   std::unordered_map<const Term *, Simplex::VarId> VarOfTerm;
   std::vector<const Term *> IntVars; ///< registration order
   mutable std::unordered_map<const Term *, Rational> Model;
-  bool Checked = false;
+  bool RootUnsat = false; ///< a permanent assertion already failed
+  uint64_t NumChecks = 0;
+  uint64_t ScopePushes = 0;
+  uint64_t ScopePops = 0;
+  uint64_t CumulativeSplits = 0;
+  uint64_t LearntDropped = 0;
 };
 
 /// Result of deciding a plain conjunction of linear atoms over rationals

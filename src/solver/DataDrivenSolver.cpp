@@ -32,17 +32,31 @@ using namespace la::chc;
 
 namespace {
 
-/// Lexicographic order on samples so they can key ordered maps.
-struct SampleLess {
-  bool operator()(const ml::Sample &A, const ml::Sample &B) const {
-    assert(A.size() == B.size() && "comparing samples of different arity");
-    for (size_t I = 0; I < A.size(); ++I) {
-      int C = A[I].compare(B[I]);
-      if (C != 0)
-        return C < 0;
-    }
-    return false;
+/// A sample with its hash computed once at construction. The dedup indices
+/// below are probed several times per CEGAR iteration with the same sample
+/// (positivity test, negative-store dedup, derivation lookup), and the old
+/// ordered-map indices re-walked the Rational vector lexicographically on
+/// every probe; hashing once and comparing only on bucket collisions makes
+/// the hot dedup path cheap.
+struct HashedSample {
+  ml::Sample Values;
+  size_t Hash = 0;
+
+  explicit HashedSample(ml::Sample V) : Values(std::move(V)) {
+    size_t H = 0x9e3779b97f4a7c15ull;
+    for (const Rational &R : Values)
+      H = (H ^ R.hash()) * 0x100000001b3ull;
+    Hash = H;
   }
+  bool operator==(const HashedSample &O) const {
+    assert(Values.size() == O.Values.size() &&
+           "comparing samples of different arity");
+    return Hash == O.Hash && Values == O.Values;
+  }
+};
+
+struct HashedSampleHasher {
+  size_t operator()(const HashedSample &S) const { return S.Hash; }
 };
 
 /// Per-predicate sample stores and derivation bookkeeping (s+/s- of Alg. 3).
@@ -50,7 +64,7 @@ struct PredState {
   const Predicate *Pred = nullptr;
 
   std::vector<ml::Sample> Pos;
-  std::map<ml::Sample, size_t, SampleLess> PosIndex;
+  std::unordered_map<HashedSample, size_t, HashedSampleHasher> PosIndex;
   /// Derivation record per positive sample: the clause that produced it and
   /// the (predicate, positive-sample-index) pairs explaining it.
   struct Derivation {
@@ -60,9 +74,9 @@ struct PredState {
   std::vector<Derivation> Derivs;
 
   std::vector<ml::Sample> Neg;
-  std::map<ml::Sample, size_t, SampleLess> NegIndex;
+  std::unordered_map<HashedSample, size_t, HashedSampleHasher> NegIndex;
 
-  bool hasPositive(const ml::Sample &S) const { return PosIndex.count(S); }
+  bool hasPositive(const HashedSample &S) const { return PosIndex.count(S); }
 };
 
 class Algorithm3 {
@@ -72,7 +86,7 @@ public:
              DataDrivenChcSolver::DetailedStats &Details)
       : System(System), TM(System.termManager()), Opts(Opts),
         Analysis(Analysis), Details(Details), Clock(Opts.TimeoutSeconds),
-        Result(TM) {
+        Result(TM), Checker(System, Opts.Smt) {
     for (const Predicate *P : System.predicates()) {
       PredState State;
       State.Pred = P;
@@ -92,6 +106,13 @@ public:
   }
 
   ChcSolverResult run() {
+    ChcSolverResult R = runLoop();
+    R.Stats.Check = Checker.stats();
+    return R;
+  }
+
+private:
+  ChcSolverResult runLoop() {
     Timer Total;
     if (Analysis.ProvedSat) {
       // The verified seed already validates every live clause.
@@ -108,8 +129,7 @@ public:
       int InvalidIdx = -1;
       ClauseCheckResult Check;
       for (size_t I : LiveClauses) {
-        Check = checkClause(System, System.clauses()[I], Result.Interp,
-                            Opts.Smt);
+        Check = Checker.check(I, Result.Interp);
         ++Result.Stats.SmtQueries;
         if (Check.Status == ClauseStatus::Invalid) {
           InvalidIdx = static_cast<int>(I);
@@ -150,7 +170,6 @@ public:
     return Result;
   }
 
-private:
   enum class ResolveOutcome { Resolved, Weakened, FoundUnsat, Budget };
 
   bool outOfBudget() {
@@ -188,10 +207,11 @@ private:
       if (outOfBudget())
         return ResolveOutcome::Budget;
 
-      // Lines 5-8: extract samples from the model.
-      std::vector<ml::Sample> BodySamples;
+      // Lines 5-8: extract samples from the model (hashed once here; the
+      // stores below are probed with them several times).
+      std::vector<HashedSample> BodySamples;
       for (const PredApp &App : C.Body)
-        BodySamples.push_back(sampleOf(App, Check.Model));
+        BodySamples.emplace_back(sampleOf(App, Check.Model));
 
       bool AllPositive = true;
       for (size_t I = 0; I < C.Body.size(); ++I)
@@ -202,7 +222,7 @@ private:
         // bounded positive sample (or a genuine refutation).
         if (!C.HeadPred)
           return foundCounterexample(ClauseIdx, BodySamples);
-        ml::Sample HeadSample = sampleOf(*C.HeadPred, Check.Model);
+        HashedSample HeadSample(sampleOf(*C.HeadPred, Check.Model));
         weakenHead(ClauseIdx, *C.HeadPred, BodySamples, HeadSample);
         return ResolveOutcome::Weakened;
       }
@@ -215,7 +235,7 @@ private:
           continue;
         if (!State.NegIndex.count(BodySamples[I])) {
           State.NegIndex.emplace(BodySamples[I], State.Neg.size());
-          State.Neg.push_back(BodySamples[I]);
+          State.Neg.push_back(BodySamples[I].Values);
           ++Details.NegativeSamples;
         }
         if (!relearn(State)) {
@@ -227,7 +247,7 @@ private:
       }
 
       // Line 22: re-check the clause.
-      Check = checkClause(System, C, Result.Interp, Opts.Smt);
+      Check = Checker.check(ClauseIdx, Result.Interp);
       ++Result.Stats.SmtQueries;
       if (Check.Status == ClauseStatus::Valid)
         return ResolveOutcome::Resolved;
@@ -241,8 +261,8 @@ private:
   /// Lines 10-13: record a new positive head sample, clear the negatives of
   /// the head and reset its interpretation to true.
   void weakenHead(size_t ClauseIdx, const PredApp &Head,
-                  const std::vector<ml::Sample> &BodySamples,
-                  const ml::Sample &HeadSample) {
+                  const std::vector<HashedSample> &BodySamples,
+                  const HashedSample &HeadSample) {
     PredState &State = stateOf(Head.Pred);
     if (!State.hasPositive(HeadSample)) {
       PredState::Derivation D;
@@ -254,7 +274,7 @@ private:
                                 Child.PosIndex.at(BodySamples[I]));
       }
       State.PosIndex.emplace(HeadSample, State.Pos.size());
-      State.Pos.push_back(HeadSample);
+      State.Pos.push_back(HeadSample.Values);
       State.Derivs.push_back(std::move(D));
       ++Details.PositiveSamples;
     }
@@ -308,7 +328,7 @@ private:
   /// Line 15: replay the derivation forest into a counterexample tree.
   ResolveOutcome
   foundCounterexample(size_t QueryClauseIdx,
-                      const std::vector<ml::Sample> &BodySamples) {
+                      const std::vector<HashedSample> &BodySamples) {
     Counterexample Cex;
     // Emit the derivation tree rooted at (pred, posIdx) into Cex.Nodes.
     std::map<std::pair<size_t, size_t>, size_t> Emitted;
@@ -350,6 +370,7 @@ private:
   DataDrivenChcSolver::DetailedStats &Details;
   Deadline Clock;
   ChcSolverResult Result;
+  ClauseCheckContext Checker;
   std::vector<PredState> States;
   std::vector<size_t> LiveClauses;
 };

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace la;
 using namespace la::chc;
 
@@ -113,6 +115,123 @@ TEST_F(Fig1System, InterpretationInstantiation) {
   PredApp App{P, {TM.mkIntConst(3), TM.mkIntConst(5)}};
   const Term *Inst = A.instantiate(App);
   EXPECT_EQ(Inst, TM.mkFalse()); // 3 >= 5 folds to false
+}
+
+//===----------------------------------------------------------------------===//
+// ClauseCheckContext: incremental backend + memo cache
+//===----------------------------------------------------------------------===//
+
+TEST_F(Fig1System, ContextAgreesWithOneShotOnAllClauses) {
+  // A spread of interpretations: trivial, the paper's solution, too weak,
+  // too strong.
+  std::vector<Interpretation> Interps;
+  Interps.emplace_back(TM); // p := true
+  Interps.emplace_back(TM);
+  Interps.back().set(P, TM.mkAnd(TM.mkGe(P->Params[0], TM.mkIntConst(1)),
+                                 TM.mkGe(P->Params[1], TM.mkIntConst(0))));
+  Interps.emplace_back(TM);
+  Interps.back().set(P, TM.mkGe(P->Params[0], TM.mkIntConst(0)));
+  Interps.emplace_back(TM);
+  Interps.back().set(P, TM.mkAnd(TM.mkEq(P->Params[0], TM.mkIntConst(1)),
+                                 TM.mkEq(P->Params[1], TM.mkIntConst(0))));
+
+  ClauseCheckContext Checker(System);
+  for (const Interpretation &A : Interps) {
+    for (size_t CI = 0; CI < System.clauses().size(); ++CI) {
+      ClauseCheckResult Inc = Checker.check(CI, A);
+      ClauseCheckResult One = checkClause(System, System.clauses()[CI], A);
+      EXPECT_EQ(Inc.Status, One.Status) << "clause " << CI;
+      if (Inc.Status == ClauseStatus::Invalid) {
+        // The incremental model must falsify the clause: body holds, head
+        // does not.
+        const HornClause &C = System.clauses()[CI];
+        EXPECT_TRUE(evalFormula(C.Constraint, Inc.Model)) << "clause " << CI;
+        for (const PredApp &App : C.Body)
+          EXPECT_TRUE(evalFormula(A.instantiate(App), Inc.Model))
+              << "clause " << CI;
+        if (C.HeadPred)
+          EXPECT_FALSE(evalFormula(A.instantiate(*C.HeadPred), Inc.Model))
+              << "clause " << CI;
+        else
+          EXPECT_FALSE(evalFormula(C.HeadFormula, Inc.Model))
+              << "clause " << CI;
+      }
+    }
+  }
+  // Clause 3 mentions no predicate, so its key is interpretation-independent
+  // and the last three rounds hit the cache; the other three clauses are
+  // distinct keys every round. Each clause builds its solver exactly once.
+  const CheckStats &St = Checker.stats();
+  EXPECT_EQ(St.CacheHits, 3u);
+  EXPECT_EQ(St.CacheMisses, 13u);
+  EXPECT_EQ(St.SolverRebuilds, 4u);
+  EXPECT_EQ(St.RebuildsAvoided, 9u);
+  EXPECT_EQ(St.ChecksIssued, 13u);
+}
+
+TEST_F(Fig1System, RepeatedInterpretationHitsCache) {
+  Interpretation A(TM);
+  A.set(P, TM.mkAnd(TM.mkGe(P->Params[0], TM.mkIntConst(1)),
+                    TM.mkGe(P->Params[1], TM.mkIntConst(0))));
+  ClauseCheckContext Checker(System);
+  EXPECT_EQ(Checker.checkAll(A), ClauseStatus::Valid);
+  uint64_t IssuedAfterFirst = Checker.stats().ChecksIssued;
+  EXPECT_EQ(Checker.stats().CacheHits, 0u);
+
+  // Same interpretation again: every verdict is served from the cache.
+  EXPECT_EQ(Checker.checkAll(A), ClauseStatus::Valid);
+  EXPECT_EQ(Checker.stats().ChecksIssued, IssuedAfterFirst);
+  EXPECT_EQ(Checker.stats().CacheHits, System.clauses().size());
+
+  // A different interpretation must not be served stale verdicts.
+  Interpretation B(TM);
+  B.set(P, TM.mkGe(P->Params[0], TM.mkIntConst(0)));
+  EXPECT_EQ(Checker.checkAll(B), ClauseStatus::Invalid);
+  EXPECT_GT(Checker.stats().ChecksIssued, IssuedAfterFirst);
+}
+
+TEST_F(Fig1System, CacheEvictionAtCapacity) {
+  // Capacity 2: distinct (clause, interpretation) keys beyond 2 must evict.
+  ClauseCheckContext Checker(System, {}, /*CacheCapacity=*/2);
+  for (int K = 0; K < 4; ++K) {
+    Interpretation A(TM);
+    A.set(P, TM.mkGe(P->Params[0], TM.mkIntConst(K)));
+    Checker.check(1, A);
+  }
+  EXPECT_EQ(Checker.stats().CacheEvictions, 2u);
+  EXPECT_EQ(Checker.stats().CacheMisses, 4u);
+}
+
+TEST_F(Fig1System, CheckAllMatchesCheckInterpretation) {
+  std::vector<Interpretation> Interps;
+  Interps.emplace_back(TM);
+  Interps.emplace_back(TM);
+  Interps.back().set(P, TM.mkAnd(TM.mkGe(P->Params[0], TM.mkIntConst(1)),
+                                 TM.mkGe(P->Params[1], TM.mkIntConst(0))));
+  Interps.emplace_back(TM);
+  Interps.back().set(P, TM.mkAnd(TM.mkEq(P->Params[0], TM.mkIntConst(1)),
+                                 TM.mkEq(P->Params[1], TM.mkIntConst(0))));
+  ClauseCheckContext Checker(System);
+  for (const Interpretation &A : Interps)
+    EXPECT_EQ(Checker.checkAll(A), checkInterpretation(System, A));
+}
+
+TEST_F(Fig1System, CrossCheckModeAgreesUnderEnvToggle) {
+  // With LA_CHECK_INCREMENTAL set, every miss replays on the one-shot path
+  // and asserts agreement internally; the test exercises that path end to
+  // end (a disagreement would abort the process).
+  ASSERT_EQ(setenv("LA_CHECK_INCREMENTAL", "1", /*overwrite=*/1), 0);
+  {
+    ClauseCheckContext Checker(System);
+    Interpretation A(TM);
+    A.set(P, TM.mkGe(P->Params[0], P->Params[1]));
+    Checker.checkAll(A);
+    Interpretation B(TM);
+    B.set(P, TM.mkAnd(TM.mkGe(P->Params[0], TM.mkIntConst(1)),
+                      TM.mkGe(P->Params[1], TM.mkIntConst(0))));
+    EXPECT_EQ(Checker.checkAll(B), ClauseStatus::Valid);
+  }
+  unsetenv("LA_CHECK_INCREMENTAL");
 }
 
 //===----------------------------------------------------------------------===//

@@ -9,6 +9,8 @@
 #include "solver/DataDrivenSolver.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 #include <set>
 
 using namespace la;
@@ -84,6 +86,29 @@ TEST(CorpusTest, SampleSolvesToExpectedVerdict) {
     EXPECT_TRUE(Out.Solved) << Name << " status=" << chc::toString(Out.Status);
     EXPECT_FALSE(Out.Unsound) << Name;
   }
+}
+
+/// Differential net for the incremental backend: with LA_CHECK_INCREMENTAL
+/// set, every non-cached clause check inside the solve is replayed on the
+/// one-shot SMT path and asserted to agree (Invalid models are re-evaluated
+/// on the clause). Any divergence aborts the test binary. The sample spans
+/// safe, unsafe, recursive and mod-heavy programs.
+TEST(CorpusTest, IncrementalCheckerAgreesWithOneShotOnBundledPrograms) {
+  const char *Sample[] = {
+      "paper_fig1",   "paper_fig3_a",        "rec_sum",
+      "mod_even_counter", "gen_counter_b5_s1", "gen_counter_b5_s1_bug",
+      "gen_relation_a2_b1", "lit_updown_unsafe",
+  };
+  ASSERT_EQ(setenv("LA_CHECK_INCREMENTAL", "1", /*overwrite=*/1), 0);
+  for (const char *Name : Sample) {
+    const BenchmarkProgram *P = find(Name);
+    ASSERT_NE(P, nullptr) << Name;
+    solver::DataDrivenChcSolver Solver(defaultOptionsFor(*P, 30));
+    RunOutcome Out = runOnProgram(Solver, *P);
+    EXPECT_TRUE(Out.Solved) << Name << " status=" << chc::toString(Out.Status);
+    EXPECT_FALSE(Out.Unsound) << Name;
+  }
+  unsetenv("LA_CHECK_INCREMENTAL");
 }
 
 TEST(HarnessTest, ModFeatureExtraction) {

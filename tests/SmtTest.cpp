@@ -318,6 +318,204 @@ TEST_P(SmtRandomTest, AgreesWithBruteForceOnBox) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SmtRandomTest, ::testing::Range(0, 80));
 
 //===----------------------------------------------------------------------===//
+// Incremental solving: push / assert / check / pop
+//===----------------------------------------------------------------------===//
+
+TEST_F(SmtTest, PushPopSatUnsatSatFlip) {
+  SmtSolver S(TM);
+  S.assertFormula(TM.mkLe(X, TM.mkIntConst(3)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+
+  S.push();
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(10))); // clashes with x <= 3
+  EXPECT_EQ(S.check(), SmtResult::Unsat);
+  S.pop();
+
+  // The scoped assertion is gone; the permanent one remains.
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_LE(S.evalInModel(X), Rational(3));
+
+  // And a compatible scoped assertion is honoured.
+  S.push();
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(2)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_GE(S.evalInModel(X), Rational(2));
+  EXPECT_LE(S.evalInModel(X), Rational(3));
+  S.pop();
+}
+
+TEST_F(SmtTest, ReassertingSameAtomInternsOnce) {
+  SmtSolver S(TM);
+  const Term *Atom = TM.mkGe(TM.mkAdd(X, Y), TM.mkIntConst(4));
+  S.assertFormula(Atom);
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  uint64_t AtomsAfterFirst = S.stats().NumAtoms;
+
+  // Re-asserting the identical atom in later scopes must reuse the interned
+  // encoding: no new theory atoms, no new tableau rows.
+  for (int I = 0; I < 5; ++I) {
+    S.push();
+    S.assertFormula(Atom);
+    ASSERT_EQ(S.check(), SmtResult::Sat);
+    S.pop();
+  }
+  EXPECT_EQ(S.stats().NumAtoms, AtomsAfterFirst);
+}
+
+TEST_F(SmtTest, NestedScopes) {
+  SmtSolver S(TM);
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(0)));
+  S.push();
+  S.assertFormula(TM.mkLe(X, TM.mkIntConst(5)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  S.push();
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(6)));
+  EXPECT_EQ(S.check(), SmtResult::Unsat);
+  S.pop();
+  // Inner contradiction retracted; x in [0, 5] again.
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_LE(S.evalInModel(X), Rational(5));
+  S.pop();
+  // x only bounded below now.
+  S.push();
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(100)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_GE(S.evalInModel(X), Rational(100));
+  S.pop();
+  EXPECT_EQ(S.numScopes(), 0u);
+}
+
+TEST_F(SmtTest, PermanentAssertionBetweenScopes) {
+  SmtSolver S(TM);
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(0)));
+  S.push();
+  S.assertFormula(TM.mkLe(X, TM.mkIntConst(10)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  S.pop();
+  // Permanent assertion added after a scope was used and closed.
+  S.assertFormula(TM.mkLe(X, TM.mkIntConst(7)));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_LE(S.evalInModel(X), Rational(7));
+  S.push();
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(8)));
+  EXPECT_EQ(S.check(), SmtResult::Unsat);
+  S.pop();
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+}
+
+TEST_F(SmtTest, ScopedBooleanStructureAndMod) {
+  SmtSolver S(TM);
+  // Permanent skeleton: x in [0, 10].
+  S.assertFormula(TM.mkAnd(TM.mkGe(X, TM.mkIntConst(0)),
+                           TM.mkLe(X, TM.mkIntConst(10))));
+  S.push();
+  // Scoped: x is odd and x >= 9, forcing x = 9.
+  S.assertFormula(TM.mkAnd(TM.mkEq(TM.mkMod(X, BigInt(2)), TM.mkIntConst(1)),
+                           TM.mkGe(X, TM.mkIntConst(9))));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_EQ(S.evalInModel(X), Rational(9));
+  S.pop();
+  S.push();
+  // Scoped: x even and x >= 10 forces x = 10.
+  S.assertFormula(TM.mkAnd(TM.mkEq(TM.mkMod(X, BigInt(2)), TM.mkIntConst(0)),
+                           TM.mkGe(X, TM.mkIntConst(10))));
+  ASSERT_EQ(S.check(), SmtResult::Sat);
+  EXPECT_EQ(S.evalInModel(X), Rational(10));
+  S.pop();
+}
+
+TEST_F(SmtTest, StatsCountScopesAndChecks) {
+  SmtSolver S(TM);
+  S.assertFormula(TM.mkLe(X, TM.mkIntConst(1)));
+  S.check();
+  S.push();
+  S.assertFormula(TM.mkGe(X, TM.mkIntConst(0)));
+  S.check();
+  S.pop();
+  SmtSolver::Stats St = S.stats();
+  EXPECT_EQ(St.Checks, 2u);
+  EXPECT_EQ(St.ScopePushes, 1u);
+  EXPECT_EQ(St.ScopePops, 1u);
+}
+
+/// Differential property: a persistent incremental solver answering
+/// push/assert/check/pop sequences must agree query-for-query with a fresh
+/// one-shot solver, on ~200 random formulas over a shared skeleton.
+TEST(SmtIncrementalDifferentialTest, AgreesWithOneShot) {
+  Random Rng(20260806);
+  TermManager TM;
+  const Term *Vars[3] = {TM.mkVar("da"), TM.mkVar("db"), TM.mkVar("dc")};
+
+  auto RandomAtom = [&]() -> const Term * {
+    std::vector<const Term *> Parts;
+    for (const Term *V : Vars)
+      Parts.push_back(TM.mkMul(Rational(Rng.nextInRange(-3, 3)), V));
+    Parts.push_back(TM.mkIntConst(Rng.nextInRange(-4, 4)));
+    const Term *E = TM.mkAdd(std::move(Parts));
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      return TM.mkLe(E, TM.mkIntConst(0));
+    case 1:
+      return TM.mkLt(E, TM.mkIntConst(0));
+    default:
+      return TM.mkEq(E, TM.mkIntConst(0));
+    }
+  };
+  std::function<const Term *(int)> RandomFormula = [&](int Depth) {
+    if (Depth == 0)
+      return RandomAtom();
+    switch (Rng.nextBounded(3)) {
+    case 0:
+      return TM.mkAnd(RandomFormula(Depth - 1), RandomFormula(Depth - 1));
+    case 1:
+      return TM.mkOr(RandomFormula(Depth - 1), RandomFormula(Depth - 1));
+    default:
+      return TM.mkNot(RandomFormula(Depth - 1));
+    }
+  };
+
+  // Shared permanent skeleton, as the CHC checker asserts a clause body once.
+  std::vector<const Term *> Box;
+  for (const Term *V : Vars) {
+    Box.push_back(TM.mkGe(V, TM.mkIntConst(-4)));
+    Box.push_back(TM.mkLe(V, TM.mkIntConst(4)));
+  }
+  const Term *Skeleton = TM.mkAnd(Box);
+
+  SmtSolver Incremental(TM);
+  Incremental.assertFormula(Skeleton);
+
+  for (int Query = 0; Query < 200; ++Query) {
+    const Term *F = RandomFormula(2);
+
+    Incremental.push();
+    Incremental.assertFormula(F);
+    SmtResult RInc = Incremental.check();
+    if (RInc == SmtResult::Sat) {
+      EXPECT_TRUE(evalFormula(TM.mkAnd(Skeleton, F), Incremental.model()))
+          << "query " << Query;
+    }
+    Incremental.pop();
+
+    SmtSolver OneShot(TM);
+    OneShot.assertFormula(Skeleton);
+    OneShot.assertFormula(F);
+    SmtResult ROne = OneShot.check();
+
+    ASSERT_NE(RInc, SmtResult::Unknown) << "query " << Query;
+    ASSERT_NE(ROne, SmtResult::Unknown) << "query " << Query;
+    EXPECT_EQ(RInc, ROne) << "query " << Query;
+  }
+
+  // The skeleton's atoms were interned once; only the per-query formulas
+  // contributed new atoms, and scope traffic matches the loop.
+  SmtSolver::Stats St = Incremental.stats();
+  EXPECT_EQ(St.ScopePushes, 200u);
+  EXPECT_EQ(St.ScopePops, 200u);
+  EXPECT_EQ(St.Checks, 200u);
+}
+
+//===----------------------------------------------------------------------===//
 // checkLinearConjunction
 //===----------------------------------------------------------------------===//
 
