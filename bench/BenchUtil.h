@@ -49,6 +49,17 @@ inline SolverFactory linearArbitraryFactory() {
   };
 }
 
+/// The data-driven solver with the octagon pass disabled: isolates what the
+/// relational domain buys (static discharges, CEGAR iterations saved).
+inline SolverFactory linearArbitraryIntervalOnlyFactory() {
+  return [](const corpus::BenchmarkProgram &P, double Timeout) {
+    solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);
+    Opts.Analysis.EnableOctagons = false;
+    Opts.Name = "LA-intervals";
+    return std::make_unique<solver::DataDrivenChcSolver>(Opts);
+  };
+}
+
 inline SolverFactory noDtFactory() {
   return [](const corpus::BenchmarkProgram &P, double Timeout) {
     solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);

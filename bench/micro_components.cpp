@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Octagon.h"
 #include "analysis/PassManager.h"
 #include "chc/ChcParser.h"
 #include "ml/Learn.h"
@@ -173,6 +174,29 @@ static void BM_AnalysisPipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_AnalysisPipeline);
+
+/// Strong closure of one octagon DBM, the inner loop of the relational
+/// analysis pass: Arg = number of variables (a 2n x 2n matrix of exact
+/// rationals). The octagon carries a random mix of unary and pairwise
+/// constraints plus one infeasible-free chain so closure does real work.
+static void BM_OctagonClosure(benchmark::State &State) {
+  const size_t NumVars = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    Random Rng(17);
+    analysis::Octagon O(NumVars);
+    for (size_t I = 0; I < NumVars; ++I) {
+      O.addLower(I, Rational(Rng.nextInRange(-20, 0)));
+      O.addUpper(I, Rational(Rng.nextInRange(1, 20)));
+    }
+    for (size_t I = 0; I + 1 < NumVars; ++I)
+      O.addPair(I, false, I + 1, true, Rational(Rng.nextInRange(0, 5)));
+    // boundOf forces the strong closure (Floyd-Warshall, strengthening,
+    // integer tightening).
+    benchmark::DoNotOptimize(O.boundOf(NumVars - 1));
+    State.counters["empty"] = O.isEmpty() ? 1 : 0;
+  }
+}
+BENCHMARK(BM_OctagonClosure)->Arg(4)->Arg(16);
 
 static ml::Dataset randomDataset(int NumSamples, int Dim, uint64_t Seed) {
   Random Rng(Seed);

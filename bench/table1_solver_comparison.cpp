@@ -43,16 +43,22 @@ void writeJson(const char *Path,
   for (size_t S = 0; S < Results.size(); ++S) {
     const SuiteResult &R = Results[S];
     chc::CheckStats Total;
+    size_t TotalIterations = 0;
     Out << "    {\n      \"name\": \"" << R.SolverName << "\",\n"
         << "      \"solved\": " << R.Solved << ",\n"
+        << "      \"solved_by_analysis\": " << R.SolvedByAnalysis << ",\n"
         << "      \"total_seconds\": " << R.TotalSeconds << ",\n"
         << "      \"programs\": [\n";
     for (size_t I = 0; I < R.Outcomes.size(); ++I) {
       const corpus::RunOutcome &O = R.Outcomes[I];
       Total.merge(O.Stats.Check);
+      TotalIterations += O.Stats.Iterations;
       Out << "        {\"name\": \"" << Programs[I]->Name
           << "\", \"status\": \"" << chc::toString(O.Status)
           << "\", \"seconds\": " << O.Seconds
+          << ", \"iterations\": " << O.Stats.Iterations
+          << ", \"solved_by_analysis\": "
+          << (O.SolvedByAnalysis ? "true" : "false")
           << ", \"smt_checks\": " << O.Stats.Check.ChecksIssued
           << ", \"cache_hits\": " << O.Stats.Check.CacheHits
           << ", \"cache_hit_rate\": " << cacheHitRate(O.Stats.Check)
@@ -61,6 +67,7 @@ void writeJson(const char *Path,
           << "}" << (I + 1 < R.Outcomes.size() ? "," : "") << "\n";
     }
     Out << "      ],\n"
+        << "      \"iterations\": " << TotalIterations << ",\n"
         << "      \"smt_checks\": " << Total.ChecksIssued << ",\n"
         << "      \"cache_hit_rate\": " << cacheHitRate(Total) << "\n"
         << "    }" << (S + 1 < Results.size() ? "," : "") << "\n";
@@ -89,6 +96,7 @@ int main() {
       {"gpdr", pdrFactory(/*CacheReachable=*/false)},
       {"spacer", pdrFactory(/*CacheReachable=*/true)},
       {"duality", unwindFactory(/*SummaryReuse=*/true)},
+      {"LA-intervals", linearArbitraryIntervalOnlyFactory()},
       {"LinearArbitrary", linearArbitraryFactory()},
   };
 

@@ -11,8 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "chc/ChcCheck.h"
-#include "solver/DataDrivenSolver.h"
+#include "solver/SolveFacade.h"
 
 #include <cstdio>
 
@@ -57,26 +56,27 @@ int main() {
 
   printf("CHC system (the paper's Fig. 1):\n%s\n", System.toString().c_str());
 
-  // 4. Solve with the data-driven solver (Algorithms 1-3 of the paper).
-  solver::DataDrivenOptions Opts;
+  // 4. Solve through the one-call façade: static pre-analysis, the
+  //    data-driven CEGAR loop (Algorithms 1-3 of the paper) and independent
+  //    clause-by-clause model validation in a single call.
+  solver::SolveOptions Opts;
   Opts.TimeoutSeconds = 60;
-  solver::DataDrivenChcSolver Solver(Opts);
-  ChcSolverResult Result = Solver.solve(System);
+  solver::SolveStats Stats = solver::solveSystem(System, Opts);
 
   // 5. Inspect the verdict.
-  printf("verdict: %s\n", toString(Result.Status));
-  if (Result.Status != ChcResult::Sat) {
+  printf("verdict: %s\n", Stats.summary().c_str());
+  if (Stats.Status != ChcResult::Sat) {
     printf("unexpected verdict; Fig. 1 is safe\n");
     return 1;
   }
-  printf("learned interpretation:\n%s", Result.Interp.toString().c_str());
+  printf("learned interpretation:\n%s", Stats.Model.c_str());
   printf("samples drawn: %zu, SMT queries: %zu, time: %.3fs\n",
-         Result.Stats.Samples, Result.Stats.SmtQueries, Result.Stats.Seconds);
-  printf("incremental backend: %s\n", Result.Stats.summary().c_str());
+         Stats.Solver.Samples, Stats.Solver.SmtQueries, Stats.Solver.Seconds);
+  for (const analysis::PassStats &Pass : Stats.AnalysisPasses)
+    printf("analysis: %s\n", Pass.toString().c_str());
 
-  // 6. Independently re-check the solution clause by clause.
-  bool Valid = checkInterpretation(System, Result.Interp) ==
-               ClauseStatus::Valid;
-  printf("independent validation: %s\n", Valid ? "VALID" : "INVALID");
-  return Valid ? 0 : 1;
+  // 6. The façade already re-checked the model clause by clause.
+  printf("independent validation: %s\n",
+         Stats.ModelValidated ? "VALID" : "INVALID");
+  return Stats.ModelValidated ? 0 : 1;
 }

@@ -17,13 +17,11 @@
 #include "baselines/PdrSolver.h"
 #include "baselines/TemplateLearner.h"
 #include "baselines/UnwindSolver.h"
-#include "chc/ChcParser.h"
+#include "solver/SolveFacade.h"
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
-#include <sstream>
 
 using namespace la;
 using namespace la::chc;
@@ -45,13 +43,9 @@ static std::unique_ptr<ChcSolverInterface> makeSolver(const std::string &Name,
   if (Name == "pie")
     return std::make_unique<solver::DataDrivenChcSolver>(
         baselines::makeEnumSolverOptions(Timeout));
-  if (Name == "dig")
-    return std::make_unique<solver::DataDrivenChcSolver>(
-        baselines::makeTemplateSolverOptions(Timeout));
-  solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = Timeout;
-  Opts.Learn.ModFeatures = {2, 3}; // generic "a priori" mod features
-  return std::make_unique<solver::DataDrivenChcSolver>(Opts);
+  // "dig"
+  return std::make_unique<solver::DataDrivenChcSolver>(
+      baselines::makeTemplateSolverOptions(Timeout));
 }
 
 int main(int Argc, char **Argv) {
@@ -62,41 +56,38 @@ int main(int Argc, char **Argv) {
             Argv[0]);
     return 2;
   }
-  std::ifstream In(Argv[1]);
-  if (!In) {
-    fprintf(stderr, "error: cannot open %s\n", Argv[1]);
-    return 2;
-  }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
   double Timeout = Argc > 2 ? std::atof(Argv[2]) : 60.0;
   std::string SolverName = Argc > 3 ? Argv[3] : "la";
 
-  TermManager TM;
-  ChcSystem System(TM);
-  ChcParseResult P = parseChcText(Buffer.str(), System);
-  if (!P.Ok) {
-    fprintf(stderr, "parse error: %s\n", P.Error.c_str());
+  // The façade owns file I/O, parsing, solving and model validation; the
+  // factory hook swaps in the baseline solvers without this driver having
+  // to repeat any of that wiring.
+  solver::SolveOptions Opts;
+  Opts.TimeoutSeconds = Timeout;
+  Opts.Solver.Learn.ModFeatures = {2, 3}; // generic "a priori" mod features
+  if (SolverName != "la")
+    Opts.MakeSolver = [&] { return makeSolver(SolverName, Timeout); };
+
+  solver::SolveStats S = solver::solveFile(Argv[1], Opts);
+  if (!S.Ok) {
+    fprintf(stderr, "error: %s\n", S.Error.c_str());
     return 2;
   }
   fprintf(stderr, "; %zu clauses, %zu predicates, %s, solver=%s\n",
-          System.clauses().size(), System.predicates().size(),
-          System.isRecursive() ? "recursive" : "non-recursive",
-          SolverName.c_str());
-
-  std::unique_ptr<ChcSolverInterface> Solver =
-      makeSolver(SolverName, Timeout);
-  ChcSolverResult R = Solver->solve(System);
-  printf("%s\n", toString(R.Status));
-  fprintf(stderr, "; stats: %s\n", R.Stats.summary().c_str());
-  if (R.Status == ChcResult::Sat) {
-    fprintf(stderr, "; model:\n%s", R.Interp.toString().c_str());
-    if (checkInterpretation(System, R.Interp) != ClauseStatus::Valid) {
+          S.Clauses, S.Predicates,
+          S.Recursive ? "recursive" : "non-recursive", S.SolverName.c_str());
+  printf("%s\n", toString(S.Status));
+  fprintf(stderr, "; stats: %s\n", S.Solver.summary().c_str());
+  for (const analysis::PassStats &Pass : S.AnalysisPasses)
+    fprintf(stderr, "; analysis: %s\n", Pass.toString().c_str());
+  if (S.Status == ChcResult::Sat) {
+    fprintf(stderr, "; model:\n%s", S.Model.c_str());
+    if (!S.ModelValidated) {
       fprintf(stderr, "; INTERNAL ERROR: model failed validation\n");
       return 1;
     }
   }
-  if (R.Status == ChcResult::Unsat && R.Cex)
-    fprintf(stderr, "; %s", R.Cex->toString(System).c_str());
+  if (S.Status == ChcResult::Unsat && !S.Cex.empty())
+    fprintf(stderr, "; %s", S.Cex.c_str());
   return 0;
 }

@@ -1,0 +1,123 @@
+//===- analysis/AnalysisContext.cpp - Shared analysis state ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisContext.h"
+
+#include <cstdio>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+void PassStats::merge(const PassStats &O) {
+  Seconds += O.Seconds;
+  ClausesPruned += O.ClausesPruned;
+  PredicatesResolved += O.PredicatesResolved;
+  BoundsFound += O.BoundsFound;
+  RelationalFound += O.RelationalFound;
+  InvariantsVerified += O.InvariantsVerified;
+  InvariantsRejected += O.InvariantsRejected;
+  SmtChecks += O.SmtChecks;
+  Check.merge(O.Check);
+}
+
+std::string PassStats::toString() const {
+  char Buf[320];
+  int N = snprintf(Buf, sizeof(Buf),
+                   "%-10s %8.3fs  pruned %zu  resolved %zu  bounds %zu  "
+                   "relational %zu  verified %zu  rejected %zu  smt %zu",
+                   Name.c_str(), Seconds, ClausesPruned, PredicatesResolved,
+                   BoundsFound, RelationalFound, InvariantsVerified,
+                   InvariantsRejected, SmtChecks);
+  if (Check.CacheHits + Check.CacheMisses > 0 && N > 0 &&
+      static_cast<size_t>(N) < sizeof(Buf))
+    snprintf(Buf + N, sizeof(Buf) - N,
+             "  cache %llu/%llu  pushes %llu  reuse %llu",
+             static_cast<unsigned long long>(Check.CacheHits),
+             static_cast<unsigned long long>(Check.CacheHits +
+                                             Check.CacheMisses),
+             static_cast<unsigned long long>(Check.ScopePushes),
+             static_cast<unsigned long long>(Check.RebuildsAvoided));
+  return Buf;
+}
+
+size_t AnalysisResult::numLiveClauses() const {
+  size_t N = 0;
+  for (char L : LiveClause)
+    N += L != 0;
+  return N;
+}
+
+size_t AnalysisResult::boundsFound() const {
+  size_t N = 0;
+  for (const auto &[P, Bs] : Bounds)
+    for (const ArgBounds &B : Bs)
+      N += (B.HasLo ? 1 : 0) + (B.HasHi ? 1 : 0);
+  return N;
+}
+
+size_t AnalysisResult::relationalFound() const {
+  size_t N = 0;
+  for (const PassStats &P : Passes)
+    if (P.Name == "verify")
+      N += P.RelationalFound;
+  return N;
+}
+
+double AnalysisResult::totalSeconds() const {
+  double S = 0;
+  for (const PassStats &P : Passes)
+    S += P.Seconds;
+  return S;
+}
+
+size_t AnalysisResult::smtChecks() const {
+  size_t N = 0;
+  for (const PassStats &P : Passes)
+    N += P.SmtChecks;
+  return N;
+}
+
+AnalysisResult AnalysisResult::allLive(const ChcSystem &System) {
+  AnalysisResult R;
+  R.LiveClause.assign(System.clauses().size(), 1);
+  return R;
+}
+
+std::string AnalysisResult::report() const {
+  char Buf[256];
+  snprintf(Buf, sizeof(Buf),
+           "analysis: %zu/%zu clauses pruned, %zu predicates resolved, "
+           "%zu bounds, %zu invariants (%zu relational facts), "
+           "proved-sat=%s, %.3fs\n",
+           clausesPruned(), LiveClause.size(), predicatesResolved(),
+           boundsFound(), Invariants.size(), relationalFound(),
+           ProvedSat ? "yes" : "no", totalSeconds());
+  std::string Out = Buf;
+  for (const PassStats &P : Passes)
+    Out += "  " + P.toString() + "\n";
+  return Out;
+}
+
+AnalysisContext::AnalysisContext(const ChcSystem &System, AnalysisOptions Opts)
+    : System(System), TM(System.termManager()), Opts(std::move(Opts)),
+      Clock(this->Opts.TimeoutSeconds) {
+  Result.LiveClause.assign(System.clauses().size(), 1);
+  SkipPred.assign(System.predicates().size(), 0);
+}
+
+bool AnalysisContext::prune(size_t ClauseIdx) {
+  bool WasLive = Result.LiveClause[ClauseIdx];
+  Result.LiveClause[ClauseIdx] = 0;
+  return WasLive;
+}
+
+void AnalysisContext::fix(const Predicate *P, const Term *Interp) {
+  Result.Fixed[P] = Interp;
+  if (SkipPred.empty())
+    SkipPred.assign(System.predicates().size(), 0);
+  SkipPred[P->Index] = 1;
+}

@@ -1,0 +1,164 @@
+//===- analysis/AnalysisContext.h - Shared analysis state -------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared state every analysis pass and abstract domain operates on: the
+/// CHC system, the live-clause mask, the skip-predicate mask, the per-pass
+/// options, the accumulated `AnalysisResult`, and a stats sink. One
+/// `AnalysisContext` replaces the `(System, LiveClause, SkipPred, Opts)`
+/// parameter lists that used to be duplicated across `src/analysis`
+/// (DESIGN.md §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_ANALYSISCONTEXT_H
+#define LA_ANALYSIS_ANALYSISCONTEXT_H
+
+#include "analysis/AbstractDomain.h"
+#include "analysis/Interval.h"
+#include "analysis/Octagon.h"
+#include "chc/ChcCheck.h"
+#include "support/Timer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace la::analysis {
+
+/// Counters of one pass execution (also used merged across runs by the
+/// benchmark harness).
+struct PassStats {
+  std::string Name;
+  double Seconds = 0;
+  size_t ClausesPruned = 0;
+  size_t PredicatesResolved = 0;
+  size_t BoundsFound = 0;
+  /// Relational (two-variable) facts: candidates for the octagon pass,
+  /// facts inside verified invariants for the verify pass.
+  size_t RelationalFound = 0;
+  size_t InvariantsVerified = 0;
+  size_t InvariantsRejected = 0;
+  size_t SmtChecks = 0;
+  /// Incremental clause-check counters (populated by passes that go through
+  /// chc::ClauseCheckContext, currently the verify pass).
+  chc::CheckStats Check;
+
+  /// Sums the counters of \p O into this (the name is kept).
+  void merge(const PassStats &O);
+  std::string toString() const;
+};
+
+/// Configuration of the pipeline.
+struct AnalysisOptions {
+  bool EnableSlicing = true;
+  bool EnableIntervals = true;
+  bool EnableOctagons = true;
+  FixpointOptions Intervals;
+  FixpointOptions Octagons;
+  /// SMT budget for the per-invariant verification checks.
+  smt::SmtSolver::Options Smt;
+  /// Soft wall-clock cap for the whole pipeline (0 = unlimited). On expiry
+  /// the pipeline stops early; partial results remain sound because every
+  /// pass only adds independently verified facts.
+  double TimeoutSeconds = 0;
+};
+
+/// Finite per-argument bounds of one predicate, the shape handed to the
+/// decision-tree learner as candidate attributes.
+struct ArgBounds {
+  size_t ArgIndex = 0;
+  bool HasLo = false;
+  bool HasHi = false;
+  Rational Lo;
+  Rational Hi;
+};
+
+/// Everything the pipeline proved about a system.
+struct AnalysisResult {
+  /// Per-clause liveness mask: pruned clauses are valid under `Fixed` plus
+  /// any downstream strengthening, so the solver never re-checks them.
+  std::vector<char> LiveClause;
+  /// Statically resolved predicates (interpretation `true` or `false`);
+  /// no live clause mentions them.
+  std::map<const chc::Predicate *, const Term *> Fixed;
+  /// Verified inductive invariants for live predicates (octagon candidates
+  /// where they survive verification, interval candidates otherwise). Sound
+  /// over-approximations: every derivable fact satisfies them.
+  std::map<const chc::Predicate *, const Term *> Invariants;
+  /// The finite bounds behind `Invariants`, as learner-feature fodder.
+  std::map<const chc::Predicate *, std::vector<ArgBounds>> Bounds;
+  /// True when the verified seed already discharges every query clause:
+  /// `Fixed` + `Invariants` is a full solution and no learning is needed.
+  bool ProvedSat = false;
+  /// Per-pass statistics, in execution order.
+  std::vector<PassStats> Passes;
+
+  size_t numLiveClauses() const;
+  size_t clausesPruned() const { return LiveClause.size() - numLiveClauses(); }
+  size_t predicatesResolved() const { return Fixed.size(); }
+  size_t boundsFound() const;
+  /// Verified relational (two-variable) facts, summed over the passes.
+  size_t relationalFound() const;
+  double totalSeconds() const;
+  size_t smtChecks() const;
+
+  /// Empty result treating every clause as live (analysis disabled).
+  static AnalysisResult allLive(const chc::ChcSystem &System);
+
+  /// Multi-line human-readable report for benches and examples.
+  std::string report() const;
+};
+
+/// Abstract per-predicate states of the two bundled domains.
+using IntervalState = DomainPredState<std::vector<Interval>>;
+using OctagonState = DomainPredState<Octagon>;
+
+/// Shared mutable state the passes and domain engines operate on: system +
+/// live-clause mask + skip-pred mask + options + result + stats sink.
+struct AnalysisContext {
+  const chc::ChcSystem &System;
+  TermManager &TM;
+  /// Held by value so a context outlives any temporary it was built from
+  /// (the deprecated wrappers construct one on the fly).
+  AnalysisOptions Opts;
+  Deadline Clock;
+  /// Per-predicate-index mask of predicates some earlier pass resolved;
+  /// domain engines treat them as unconstrained and never update them.
+  /// Maintained by `fix()`; empty means "nothing masked".
+  std::vector<char> SkipPred;
+  AnalysisResult Result;
+  /// Raw interval states, populated by the interval pass for the verifier.
+  std::vector<IntervalState> Intervals;
+  /// Raw octagon states, populated by the octagon pass for the verifier.
+  std::vector<OctagonState> Octagons;
+
+  explicit AnalysisContext(const chc::ChcSystem &System,
+                           AnalysisOptions Opts = {});
+
+  bool isLive(size_t ClauseIdx) const { return Result.LiveClause[ClauseIdx]; }
+  /// Prunes a clause; returns true when it was live before.
+  bool prune(size_t ClauseIdx);
+  bool isFixed(const chc::Predicate *P) const {
+    return !SkipPred.empty() && SkipPred[P->Index];
+  }
+  /// Resolves \p P to the constant interpretation \p Interp and masks it for
+  /// every later pass.
+  void fix(const chc::Predicate *P, const Term *Interp);
+
+  /// The stats sink of the currently running pass (a local scratch outside
+  /// the pass pipeline, so domain engines can always count).
+  PassStats &stats() { return Sink ? *Sink : Scratch; }
+  void setStatsSink(PassStats *S) { Sink = S; }
+
+private:
+  PassStats *Sink = nullptr;
+  PassStats Scratch;
+};
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_ANALYSISCONTEXT_H

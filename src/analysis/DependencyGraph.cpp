@@ -6,6 +6,8 @@
 
 #include "analysis/DependencyGraph.h"
 
+#include "analysis/AnalysisContext.h"
+
 using namespace la;
 using namespace la::analysis;
 using namespace la::chc;
@@ -13,6 +15,9 @@ using namespace la::chc;
 DependencyGraph::DependencyGraph(const ChcSystem &System,
                                  const std::vector<char> &LiveClause)
     : System(System), Live(LiveClause) {}
+
+DependencyGraph::DependencyGraph(const AnalysisContext &Ctx)
+    : DependencyGraph(Ctx.System, Ctx.Result.LiveClause) {}
 
 std::vector<char> DependencyGraph::derivableFromFacts() const {
   std::vector<char> Derivable(System.predicates().size(), 0);

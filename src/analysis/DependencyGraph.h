@@ -31,12 +31,16 @@
 
 namespace la::analysis {
 
+struct AnalysisContext;
+
 /// Body-to-head dependency analysis over the live clauses of a system.
 class DependencyGraph {
 public:
   /// \p LiveClause is a per-clause-index liveness mask (empty = all live).
   DependencyGraph(const chc::ChcSystem &System,
                   const std::vector<char> &LiveClause);
+  /// The graph over the live clauses of an analysis context.
+  explicit DependencyGraph(const AnalysisContext &Ctx);
 
   /// Per-predicate-index flag: derivable from fact clauses when constraints
   /// are assumed satisfiable (a sound over-approximation of derivability).

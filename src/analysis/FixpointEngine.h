@@ -1,0 +1,134 @@
+//===- analysis/FixpointEngine.h - Clause-wise fixpoint driver --*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The domain-parametric clause-wise abstract-interpretation driver: chaotic
+/// ascending sweeps with delayed widening, followed by descending
+/// (narrowing) passes, over the live clauses of an `AnalysisContext`. The
+/// driver owns every piece of iteration strategy; domains only supply the
+/// lattice and the transfer function (`analysis/AbstractDomain.h`).
+///
+/// Early exits (deadline expiry, the `MaxSweeps` cap) can return a
+/// non-fixpoint: that is fine because every emitted invariant is a candidate
+/// only — the verify pass re-proves it with `chc::checkClause` before any
+/// consumer may trust it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_FIXPOINTENGINE_H
+#define LA_ANALYSIS_FIXPOINTENGINE_H
+
+#include "analysis/AnalysisContext.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace la::analysis {
+
+/// Runs the clause-wise fixpoint of \p Dom over the live clauses of
+/// \p Ctx and returns one state per predicate index. Predicates masked by
+/// `Ctx.SkipPred` stay pinned at reachable-top (unconstrained) and are never
+/// updated; their invariants come from `Ctx.Result.Fixed` instead.
+template <AbstractDomain D>
+std::vector<DomainPredState<typename D::Value>>
+runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
+                  const FixpointOptions &Opts) {
+  using Value = typename D::Value;
+  using State = DomainPredState<Value>;
+  const auto &Preds = Ctx.System.predicates();
+  const auto &Clauses = Ctx.System.clauses();
+  size_t N = Preds.size();
+
+  auto Masked = [&](size_t PI) {
+    return !Ctx.SkipPred.empty() && Ctx.SkipPred[PI];
+  };
+
+  std::vector<State> States(N);
+  for (size_t I = 0; I < N; ++I) {
+    if (Masked(I)) {
+      States[I].Reachable = true;
+      States[I].Value = Dom.top(Preds[I]);
+    } else {
+      States[I].Value = Dom.bottom(Preds[I]);
+    }
+  }
+
+  // Head value one clause contributes under the current states, or nothing
+  // when the clause is dead, headless, masked, or infeasible at this
+  // abstraction.
+  auto Contribution = [&](size_t CI) -> std::optional<Value> {
+    const chc::HornClause &C = Clauses[CI];
+    if (!Ctx.isLive(CI) || !C.HeadPred || Masked(C.HeadPred->Pred->Index))
+      return std::nullopt;
+    return Dom.transfer(C, States);
+  };
+
+  // Chaotic ascending sweeps (Gauss-Seidel: updates are visible within the
+  // sweep), with widening once a predicate has been joined often enough.
+  bool Changed = true;
+  for (size_t Sweep = 0;
+       Changed && Sweep < Opts.MaxSweeps && !Ctx.Clock.expired(); ++Sweep) {
+    Changed = false;
+    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+      std::optional<Value> V = Contribution(CI);
+      if (!V)
+        continue;
+      State &S = States[Clauses[CI].HeadPred->Pred->Index];
+      if (!S.Reachable) {
+        S.Reachable = true;
+        S.Value = std::move(*V);
+        Changed = true;
+        continue;
+      }
+      Value Joined = S.Value;
+      if (!Dom.join(Joined, *V))
+        continue;
+      ++S.Updates;
+      if (S.Updates > Opts.WideningDelay)
+        Dom.widen(S.Value, Joined);
+      else
+        S.Value = std::move(Joined);
+      Changed = true;
+    }
+  }
+
+  // Descending passes: recompute every state in one step from the widened
+  // fixpoint and narrow the result back in. This recovers facts widening
+  // overshot (a loop guard's implied bound). Domains guarantee narrowing
+  // never reaches bottom, so the states stay safe to render.
+  for (size_t Pass = 0;
+       Pass < Opts.NarrowingPasses && !Ctx.Clock.expired(); ++Pass) {
+    std::vector<State> Step(N);
+    for (size_t I = 0; I < N; ++I)
+      Step[I].Value = Dom.bottom(Preds[I]);
+    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+      std::optional<Value> V = Contribution(CI);
+      if (!V)
+        continue;
+      State &S = Step[Clauses[CI].HeadPred->Pred->Index];
+      if (!S.Reachable) {
+        S.Reachable = true;
+        S.Value = std::move(*V);
+      } else {
+        Dom.join(S.Value, *V);
+      }
+    }
+    bool Narrowed = false;
+    for (size_t I = 0; I < N; ++I) {
+      if (Masked(I) || !States[I].Reachable || !Step[I].Reachable)
+        continue;
+      Narrowed |= Dom.narrow(States[I].Value, Step[I].Value);
+    }
+    if (!Narrowed)
+      break;
+  }
+  return States;
+}
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_FIXPOINTENGINE_H

@@ -1,4 +1,4 @@
-//===- analysis/IntervalAnalysis.cpp - Interval fixpoint over CHCs --------===//
+//===- analysis/IntervalAnalysis.cpp - Interval domain over CHCs ----------===//
 //
 // Part of the LinearArbitrary reproduction. MIT license.
 //
@@ -6,6 +6,7 @@
 
 #include "analysis/IntervalAnalysis.h"
 
+#include "analysis/FixpointEngine.h"
 #include "logic/LinearExpr.h"
 
 #include <map>
@@ -164,18 +165,17 @@ bool refineWithConstraint(const Term *T, Env &E) {
 
 /// Builds the variable environment of one clause from the body predicate
 /// states and the constraint; false when the body is unreachable or the
-/// constraint infeasible at the interval level.
-bool clauseEnv(const HornClause &C, const std::vector<PredIntervalState> &States,
-               const std::vector<char> &SkipPred, Env &E) {
+/// constraint infeasible at the interval level. Skip-masked predicates are
+/// pinned at reachable-top by the engine, so their applications fall
+/// through the per-argument loop as unconstrained.
+bool clauseEnv(const HornClause &C,
+               const std::vector<IntervalState> &States, Env &E) {
   for (const PredApp &App : C.Body) {
-    size_t PI = App.Pred->Index;
-    if (SkipPred[PI])
-      continue; // resolved elsewhere: treated as unconstrained
-    const PredIntervalState &S = States[PI];
+    const IntervalState &S = States[App.Pred->Index];
     if (!S.Reachable)
       return false;
     for (size_t J = 0; J < App.Args.size(); ++J) {
-      const Interval &AI = S.Args[J];
+      const Interval &AI = S.Value[J];
       if (AI.isTop())
         continue;
       std::optional<LinearExpr> LE = LinearExpr::fromTerm(App.Args[J]);
@@ -208,120 +208,64 @@ bool clauseEnv(const HornClause &C, const std::vector<PredIntervalState> &States
 
 } // namespace
 
-std::vector<PredIntervalState>
-analysis::runIntervalAnalysis(const ChcSystem &System,
-                              const std::vector<char> &LiveClause,
-                              const std::vector<char> &SkipPred,
-                              const IntervalAnalysisOptions &Opts) {
-  size_t N = System.predicates().size();
-  std::vector<PredIntervalState> States(N);
-  for (size_t I = 0; I < N; ++I)
-    States[I].Args.assign(System.predicates()[I]->arity(), Interval::empty());
-
-  const auto &Clauses = System.clauses();
-  // Head intervals one clause contributes under the current states, or
-  // nothing when the clause is dead, masked, or infeasible at this level.
-  auto clauseContribution =
-      [&](const HornClause &C, size_t CI,
-          const std::vector<PredIntervalState> &Current)
-      -> std::optional<std::vector<Interval>> {
-    if ((!LiveClause.empty() && !LiveClause[CI]) || !C.HeadPred ||
-        SkipPred[C.HeadPred->Pred->Index])
+std::optional<IntervalDomain::Value>
+IntervalDomain::transfer(const HornClause &C,
+                         const std::vector<DomainPredState<Value>> &States)
+    const {
+  Env E;
+  if (!clauseEnv(C, States, E))
+    return std::nullopt;
+  Value NewArgs;
+  NewArgs.reserve(C.HeadPred->Args.size());
+  for (const Term *Arg : C.HeadPred->Args) {
+    NewArgs.push_back(evalInterval(Arg, E).tightenIntegral());
+    if (NewArgs.back().isEmpty())
       return std::nullopt;
-    Env E;
-    if (!clauseEnv(C, Current, SkipPred, E))
-      return std::nullopt;
-    std::vector<Interval> NewArgs;
-    NewArgs.reserve(C.HeadPred->Args.size());
-    for (const Term *Arg : C.HeadPred->Args) {
-      NewArgs.push_back(evalInterval(Arg, E).tightenIntegral());
-      if (NewArgs.back().isEmpty())
-        return std::nullopt;
-    }
-    return NewArgs;
-  };
-
-  bool Changed = true;
-  for (size_t Sweep = 0; Changed && Sweep < Opts.MaxSweeps; ++Sweep) {
-    Changed = false;
-    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
-      const HornClause &C = Clauses[CI];
-      std::optional<std::vector<Interval>> NewArgs =
-          clauseContribution(C, CI, States);
-      if (!NewArgs)
-        continue;
-
-      PredIntervalState &S = States[C.HeadPred->Pred->Index];
-      if (!S.Reachable) {
-        S.Reachable = true;
-        S.Args = std::move(*NewArgs);
-        Changed = true;
-        continue;
-      }
-      bool Grew = false;
-      for (size_t J = 0; J < NewArgs->size(); ++J)
-        Grew |= S.Args[J].join((*NewArgs)[J]) != S.Args[J];
-      if (!Grew)
-        continue;
-      ++S.Updates;
-      bool Widen = S.Updates > Opts.WideningDelay;
-      for (size_t J = 0; J < NewArgs->size(); ++J) {
-        Interval Joined = S.Args[J].join((*NewArgs)[J]);
-        S.Args[J] = Widen ? S.Args[J].widen(Joined) : Joined;
-      }
-      Changed = true;
-    }
   }
-
-  // Descending (narrowing) passes: recompute every state in one step from
-  // the widened fixpoint and meet the result back in. This recovers bounds
-  // widening overshot (a loop guard's implied upper bound). Kept defensive
-  // -- never narrows to bottom -- and harmless regardless: the verify pass
-  // re-proves every candidate invariant before anything trusts it.
-  for (size_t Pass = 0; Pass < Opts.NarrowingPasses; ++Pass) {
-    std::vector<PredIntervalState> Step(N);
-    for (size_t I = 0; I < N; ++I)
-      Step[I].Args.assign(System.predicates()[I]->arity(), Interval::empty());
-    for (size_t CI = 0; CI < Clauses.size(); ++CI) {
-      const HornClause &C = Clauses[CI];
-      std::optional<std::vector<Interval>> NewArgs =
-          clauseContribution(C, CI, States);
-      if (!NewArgs)
-        continue;
-      PredIntervalState &S = Step[C.HeadPred->Pred->Index];
-      if (!S.Reachable) {
-        S.Reachable = true;
-        S.Args = std::move(*NewArgs);
-        continue;
-      }
-      for (size_t J = 0; J < NewArgs->size(); ++J)
-        S.Args[J] = S.Args[J].join((*NewArgs)[J]);
-    }
-    bool Narrowed = false;
-    for (size_t I = 0; I < N; ++I) {
-      if (!States[I].Reachable || !Step[I].Reachable)
-        continue;
-      for (size_t J = 0; J < States[I].Args.size(); ++J) {
-        Interval M = States[I].Args[J].meet(Step[I].Args[J]);
-        if (M.isEmpty() || M == States[I].Args[J])
-          continue;
-        States[I].Args[J] = M;
-        Narrowed = true;
-      }
-    }
-    if (!Narrowed)
-      break;
-  }
-  return States;
+  return NewArgs;
 }
 
-const Term *analysis::intervalInvariant(TermManager &TM, const Predicate *P,
-                                        const PredIntervalState &State) {
-  if (!State.Reachable)
-    return TM.mkFalse();
+bool IntervalDomain::join(Value &Into, const Value &From) const {
+  bool Grew = false;
+  for (size_t J = 0; J < Into.size(); ++J) {
+    Interval Joined = Into[J].join(From[J]);
+    if (!(Joined == Into[J])) {
+      Into[J] = std::move(Joined);
+      Grew = true;
+    }
+  }
+  return Grew;
+}
+
+void IntervalDomain::widen(Value &Into, const Value &Joined) const {
+  for (size_t J = 0; J < Into.size(); ++J)
+    Into[J] = Into[J].widen(Joined[J]);
+}
+
+bool IntervalDomain::narrow(Value &Into, const Value &Step) const {
+  bool Narrowed = false;
+  for (size_t J = 0; J < Into.size(); ++J) {
+    Interval M = Into[J].meet(Step[J]);
+    if (M.isEmpty() || M == Into[J])
+      continue;
+    Into[J] = std::move(M);
+    Narrowed = true;
+  }
+  return Narrowed;
+}
+
+bool IntervalDomain::isTop(const Value &V) const {
+  for (const Interval &I : V)
+    if (I.hasLo() || I.hasHi())
+      return false;
+  return true;
+}
+
+const Term *IntervalDomain::toInvariant(TermManager &TM, const Predicate *P,
+                                        const Value &V) const {
   std::vector<const Term *> Conj;
-  for (size_t J = 0; J < State.Args.size(); ++J) {
-    Interval I = State.Args[J].tightenIntegral();
+  for (size_t J = 0; J < V.size(); ++J) {
+    Interval I = V[J].tightenIntegral();
     if (I.isEmpty())
       return TM.mkFalse();
     if (I.hasLo())
@@ -329,7 +273,30 @@ const Term *analysis::intervalInvariant(TermManager &TM, const Predicate *P,
     if (I.hasHi())
       Conj.push_back(TM.mkLe(P->Params[J], TM.mkIntConst(I.hi())));
   }
-  if (Conj.empty())
-    return nullptr;
   return TM.mkAnd(std::move(Conj));
+}
+
+std::vector<IntervalState>
+analysis::runIntervalAnalysis(const AnalysisContext &Ctx) {
+  return runDomainAnalysis(IntervalDomain(), Ctx, Ctx.Opts.Intervals);
+}
+
+std::vector<IntervalState>
+analysis::runIntervalAnalysis(const ChcSystem &System,
+                              const std::vector<char> &LiveClause,
+                              const std::vector<char> &SkipPred,
+                              const FixpointOptions &Opts) {
+  AnalysisOptions AO;
+  AO.Intervals = Opts;
+  AnalysisContext Ctx(System, std::move(AO));
+  if (!LiveClause.empty())
+    Ctx.Result.LiveClause = LiveClause;
+  if (!SkipPred.empty())
+    Ctx.SkipPred = SkipPred;
+  return runIntervalAnalysis(Ctx);
+}
+
+const Term *analysis::intervalInvariant(TermManager &TM, const Predicate *P,
+                                        const IntervalState &State) {
+  return domainInvariant(IntervalDomain(), TM, P, State);
 }

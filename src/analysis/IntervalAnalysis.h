@@ -1,17 +1,17 @@
-//===- analysis/IntervalAnalysis.h - Interval fixpoint over CHCs -*- C++ -*-==//
+//===- analysis/IntervalAnalysis.h - Interval domain over CHCs --*- C++ -*-===//
 //
 // Part of the LinearArbitrary reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A non-relational interval/constant abstract interpreter over CHC systems:
+/// A non-relational interval/constant abstract domain over CHC systems:
 /// each predicate argument position is abstracted by one `Interval`, and the
 /// clause-wise transfer function propagates body-argument intervals through
 /// the clause constraint (conjunctions, one level of disjunction, and linear
 /// atoms with integer tightening) into the head-argument terms. The fixpoint
-/// iteration applies standard widening after a configurable delay so
-/// recursive systems converge.
+/// strategy (sweeps, delayed widening, narrowing) lives in the shared
+/// domain-parametric driver, `analysis/FixpointEngine.h`.
 ///
 /// The result is a *candidate* over-approximation: the pass pipeline
 /// (`analysis/PassManager.h`) re-verifies every emitted invariant with
@@ -22,56 +22,65 @@
 #ifndef LA_ANALYSIS_INTERVALANALYSIS_H
 #define LA_ANALYSIS_INTERVALANALYSIS_H
 
-#include "analysis/Interval.h"
-#include "chc/Chc.h"
+#include "analysis/AnalysisContext.h"
 
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace la::analysis {
 
-/// Knobs of the interval fixpoint engine.
-struct IntervalAnalysisOptions {
-  /// Joins applied to one predicate before switching to widening.
-  size_t WideningDelay = 3;
-  /// Hard cap on whole-system sweeps (a safety net; widening guarantees
-  /// convergence long before this).
-  size_t MaxSweeps = 64;
-  /// Descending iterations after the widened fixpoint; these recover bounds
-  /// that widening overshot (e.g. the upper bound a loop guard implies).
-  size_t NarrowingPasses = 2;
-};
+/// Legacy name of the shared engine knobs, kept for source compatibility
+/// with the pre-`AnalysisContext` API.
+using IntervalAnalysisOptions = FixpointOptions;
 
-/// Abstract value of one predicate: one interval per argument position.
-/// `Reachable == false` is bottom (no derivation reaches the predicate).
-struct PredIntervalState {
-  bool Reachable = false;
-  std::vector<Interval> Args;
-  /// Number of joins applied so far (drives the widening delay).
-  size_t Updates = 0;
+/// The interval abstract domain: one `Interval` per argument position.
+/// Implements the `AbstractDomain` concept (`analysis/AbstractDomain.h`).
+class IntervalDomain {
+public:
+  using Value = std::vector<Interval>;
 
-  bool hasFiniteBound() const {
-    for (const Interval &I : Args)
-      if (I.hasLo() || I.hasHi())
-        return true;
-    return false;
+  std::string name() const { return "intervals"; }
+  Value bottom(const chc::Predicate *P) const {
+    return Value(P->arity(), Interval::empty());
   }
+  Value top(const chc::Predicate *P) const {
+    return Value(P->arity(), Interval::top());
+  }
+  std::optional<Value>
+  transfer(const chc::HornClause &C,
+           const std::vector<DomainPredState<Value>> &States) const;
+  bool join(Value &Into, const Value &From) const;
+  void widen(Value &Into, const Value &Joined) const;
+  bool narrow(Value &Into, const Value &Step) const;
+  bool isTop(const Value &V) const;
+  const Term *toInvariant(TermManager &TM, const chc::Predicate *P,
+                          const Value &V) const;
 };
 
-/// Runs the interval fixpoint over the live clauses of \p System and returns
-/// one state per predicate index. \p SkipPred masks predicates that earlier
-/// passes already resolved (their states stay bottom and their applications
-/// are treated as unconstrained).
-std::vector<PredIntervalState>
+static_assert(AbstractDomain<IntervalDomain>);
+
+/// Runs the interval fixpoint over the live clauses of \p Ctx and returns
+/// one state per predicate index (`Ctx` itself is not modified; the caller
+/// decides where the states go).
+std::vector<IntervalState> runIntervalAnalysis(const AnalysisContext &Ctx);
+
+/// Pre-`AnalysisContext` entry point, kept for one release as a thin
+/// wrapper. \p SkipPred masks predicates that earlier passes already
+/// resolved.
+[[deprecated("build an AnalysisContext and call "
+             "runIntervalAnalysis(const AnalysisContext &) instead")]]
+std::vector<IntervalState>
 runIntervalAnalysis(const chc::ChcSystem &System,
                     const std::vector<char> &LiveClause,
                     const std::vector<char> &SkipPred,
-                    const IntervalAnalysisOptions &Opts);
+                    const FixpointOptions &Opts);
 
-/// Renders a state as a conjunction of bound atoms over the predicate's
-/// formal parameters: `false` for bottom, nullptr when no finite bound
-/// exists (the invariant would be `true` and is not worth emitting).
+/// Renders a state with the uniform cross-domain convention of
+/// `domainInvariant`: `false` for bottom, nullptr for top (no finite bound
+/// anywhere), otherwise a conjunction of bound atoms over `P->Params`.
 const Term *intervalInvariant(TermManager &TM, const chc::Predicate *P,
-                              const PredIntervalState &State);
+                              const IntervalState &State);
 
 } // namespace la::analysis
 

@@ -1,0 +1,320 @@
+//===- analysis/Octagon.cpp - Octagon abstract domain value ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Octagon.h"
+
+#include <cassert>
+
+using namespace la;
+using namespace la::analysis;
+
+namespace {
+
+/// Largest even integer <= V, as a rational (the tight bound for a
+/// `2x <= V` constraint over integer x).
+Rational evenFloor(const Rational &V) {
+  Rational Half = floorOf(V * Rational(BigInt(1), BigInt(2)));
+  return Half * Rational(2);
+}
+
+} // namespace
+
+Octagon::Octagon(size_t NumVars) : N(NumVars) {
+  M.assign(4 * N * N, OctBound::inf());
+  for (size_t P = 0; P < 2 * N; ++P)
+    at(P, P) = OctBound::of(Rational(0));
+}
+
+Octagon Octagon::bottom(size_t NumVars) {
+  Octagon O(NumVars);
+  O.Empty = true;
+  return O;
+}
+
+void Octagon::markEmpty() { Empty = true; }
+
+void Octagon::setEdge(size_t P, size_t Q, const Rational &C) {
+  OctBound B = OctBound::of(C);
+  if (B < at(P, Q)) {
+    at(P, Q) = B;
+    Closed = false;
+  }
+  // Coherence: v_Q - v_P and v_bar(P) - v_bar(Q) are the same constraint.
+  if (B < at(bar(Q), bar(P))) {
+    at(bar(Q), bar(P)) = std::move(B);
+    Closed = false;
+  }
+}
+
+void Octagon::addUpper(size_t I, const Rational &C) {
+  assert(I < N);
+  // x_I <= C  is  v_{2I} - v_{2I+1} <= 2C.
+  setEdge(2 * I + 1, 2 * I, C * Rational(2));
+}
+
+void Octagon::addLower(size_t I, const Rational &C) {
+  assert(I < N);
+  // x_I >= C  is  v_{2I+1} - v_{2I} <= -2C.
+  setEdge(2 * I, 2 * I + 1, C * Rational(-2));
+}
+
+void Octagon::addPair(size_t I, bool NegI, size_t J, bool NegJ,
+                      const Rational &C) {
+  assert(I < N && J < N && I != J);
+  // s_I x_I + s_J x_J <= C  is  v_q - v_bar(p) <= C  with p, q the signed
+  // forms of the two addends.
+  size_t P = 2 * I + (NegI ? 1 : 0);
+  size_t Q = 2 * J + (NegJ ? 1 : 0);
+  setEdge(bar(P), Q, C);
+}
+
+void Octagon::close() const {
+  if (Empty || Closed)
+    return;
+  size_t Dim = 2 * N;
+  // Floyd-Warshall + octagonal strengthening, iterated to a fixpoint (one
+  // round suffices in theory for rationals; the loop is belt and braces and
+  // terminates immediately when nothing changes).
+  for (int Round = 0; Round < 2; ++Round) {
+    for (size_t K = 0; K < Dim; ++K)
+      for (size_t P = 0; P < Dim; ++P) {
+        const OctBound &PK = at(P, K);
+        if (!PK.Finite)
+          continue;
+        for (size_t Q = 0; Q < Dim; ++Q) {
+          OctBound Via = PK + at(K, Q);
+          if (Via < at(P, Q))
+            at(P, Q) = std::move(Via);
+        }
+      }
+    bool Strengthened = false;
+    for (size_t P = 0; P < Dim; ++P)
+      for (size_t Q = 0; Q < Dim; ++Q) {
+        // v_Q - v_P <= (v_bar(P) - v_P)/2 + (v_Q - v_bar(Q))/2.
+        const OctBound &A = at(P, bar(P));
+        const OctBound &B = at(bar(Q), Q);
+        if (!A.Finite || !B.Finite)
+          continue;
+        OctBound T = OctBound::of((A.B + B.B) * Rational(BigInt(1), BigInt(2)));
+        if (T < at(P, Q)) {
+          at(P, Q) = std::move(T);
+          Strengthened = true;
+        }
+      }
+    if (!Strengthened)
+      break;
+  }
+  // Integer tightening: every represented expression (x_j - x_i, x_j + x_i,
+  // 2x_i) is integral over integer variables, so bounds floor; the unary
+  // `2x_i <= c` entries floor to the nearest even integer. Strengthen once
+  // more so the tightened unaries propagate into the pairwise entries.
+  for (size_t P = 0; P < Dim; ++P)
+    for (size_t Q = 0; Q < Dim; ++Q) {
+      OctBound &E = at(P, Q);
+      if (!E.Finite)
+        continue;
+      E.B = Q == bar(P) ? evenFloor(E.B) : floorOf(E.B);
+    }
+  for (size_t P = 0; P < Dim; ++P)
+    for (size_t Q = 0; Q < Dim; ++Q) {
+      const OctBound &A = at(P, bar(P));
+      const OctBound &B = at(bar(Q), Q);
+      if (!A.Finite || !B.Finite)
+        continue;
+      OctBound T =
+          OctBound::of(floorOf((A.B + B.B) * Rational(BigInt(1), BigInt(2))));
+      if (T < at(P, Q))
+        at(P, Q) = std::move(T);
+    }
+  // Emptiness: a negative self-loop, or contradictory unary bounds.
+  for (size_t P = 0; P < Dim && !Empty; ++P) {
+    if (at(P, P).Finite && at(P, P).B.isNegative())
+      Empty = true;
+    const OctBound &Lo = at(P, bar(P));
+    const OctBound &Hi = at(bar(P), P);
+    if (Lo.Finite && Hi.Finite && (Lo.B + Hi.B).isNegative())
+      Empty = true;
+  }
+  if (!Empty)
+    for (size_t P = 0; P < Dim; ++P)
+      at(P, P) = OctBound::of(Rational(0));
+  Closed = true;
+}
+
+bool Octagon::isEmpty() const {
+  close();
+  return Empty;
+}
+
+bool Octagon::isTop() const {
+  if (isEmpty())
+    return false;
+  for (size_t P = 0; P < 2 * N; ++P)
+    for (size_t Q = 0; Q < 2 * N; ++Q)
+      if (P != Q && at(P, Q).Finite)
+        return false;
+  return true;
+}
+
+Interval Octagon::boundOf(size_t I) const {
+  assert(I < N);
+  if (isEmpty())
+    return Interval::empty();
+  Interval R = Interval::top();
+  const OctBound &Hi = at(2 * I + 1, 2 * I); // 2x_I <= Hi
+  const OctBound &Lo = at(2 * I, 2 * I + 1); // -2x_I <= Lo
+  Rational Half(BigInt(1), BigInt(2));
+  if (Hi.Finite)
+    R = R.meet(Interval::atMost(Hi.B * Half));
+  if (Lo.Finite)
+    R = R.meet(Interval::atLeast(-(Lo.B * Half)));
+  return R;
+}
+
+OctBound Octagon::pairUpper(size_t I, bool NegI, size_t J, bool NegJ) const {
+  assert(I < N && J < N && I != J);
+  if (isEmpty())
+    return OctBound::of(Rational(-1)); // any negative bound: empty
+  size_t P = 2 * I + (NegI ? 1 : 0);
+  size_t Q = 2 * J + (NegJ ? 1 : 0);
+  return at(bar(P), Q);
+}
+
+bool Octagon::contains(const std::vector<Rational> &Point) const {
+  assert(Point.size() == N);
+  if (isEmpty())
+    return false;
+  bool Ok = true;
+  forEachConstraint([&](const OctConstraint &C) {
+    Rational V = Point[C.Var1] * Rational(C.Coef1);
+    if (C.Coef2 != 0)
+      V += Point[C.Var2] * Rational(C.Coef2);
+    Ok &= V <= C.Bound;
+  });
+  return Ok;
+}
+
+void Octagon::forEachConstraint(
+    const std::function<void(const OctConstraint &)> &Fn) const {
+  if (isEmpty())
+    return;
+  for (size_t I = 0; I < N; ++I) {
+    Interval B = boundOf(I);
+    if (B.hasHi())
+      Fn({I, +1, I, 0, B.hi()});
+    if (B.hasLo())
+      Fn({I, -1, I, 0, -B.lo()});
+  }
+  const int Signs[2] = {+1, -1};
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I + 1; J < N; ++J)
+      for (int SI : Signs)
+        for (int SJ : Signs) {
+          OctBound B = pairUpper(I, SI < 0, J, SJ < 0);
+          if (B.Finite)
+            Fn({I, SI, J, SJ, B.B});
+        }
+}
+
+Octagon Octagon::join(const Octagon &O) const {
+  assert(N == O.N);
+  if (isEmpty())
+    return O;
+  if (O.isEmpty())
+    return *this;
+  close();
+  O.close();
+  Octagon R(N);
+  for (size_t K = 0; K < M.size(); ++K) {
+    const OctBound &A = M[K], &B = O.M[K];
+    if (A.Finite && B.Finite)
+      R.M[K] = A.B >= B.B ? A : B;
+  }
+  // The pointwise max of two closed DBMs is closed.
+  R.Closed = true;
+  return R;
+}
+
+Octagon Octagon::meet(const Octagon &O) const {
+  assert(N == O.N);
+  if (isEmpty() || O.isEmpty())
+    return bottom(N);
+  Octagon R(N);
+  for (size_t K = 0; K < M.size(); ++K)
+    R.M[K] = M[K] <= O.M[K] ? M[K] : O.M[K];
+  R.Closed = false;
+  return R;
+}
+
+Octagon Octagon::widen(const Octagon &Next) const {
+  assert(N == Next.N);
+  if (isEmpty())
+    return Next;
+  if (Next.isEmpty())
+    return *this;
+  close();
+  Next.close();
+  Octagon R(N);
+  for (size_t K = 0; K < M.size(); ++K)
+    if (M[K].Finite && Next.M[K] <= M[K])
+      R.M[K] = M[K];
+  for (size_t P = 0; P < 2 * N; ++P)
+    R.at(P, P) = OctBound::of(Rational(0));
+  R.Closed = false;
+  return R;
+}
+
+Octagon Octagon::project(const std::vector<size_t> &Vars) const {
+  if (isEmpty())
+    return bottom(Vars.size());
+  close();
+  Octagon R(Vars.size());
+  for (size_t A = 0; A < Vars.size(); ++A)
+    for (size_t B = 0; B < Vars.size(); ++B) {
+      assert(Vars[A] < N && Vars[B] < N);
+      for (size_t SA = 0; SA < 2; ++SA)
+        for (size_t SB = 0; SB < 2; ++SB) {
+          const OctBound &E = at(2 * Vars[A] + SA, 2 * Vars[B] + SB);
+          OctBound &Out = R.at(2 * A + SA, 2 * B + SB);
+          if (E < Out)
+            Out = E;
+        }
+    }
+  // A sub-matrix of a strongly closed matrix is strongly closed.
+  R.Closed = true;
+  return R;
+}
+
+bool Octagon::operator==(const Octagon &O) const {
+  if (N != O.N)
+    return false;
+  if (isEmpty() || O.isEmpty())
+    return isEmpty() == O.isEmpty();
+  close();
+  O.close();
+  for (size_t K = 0; K < M.size(); ++K)
+    if (!(M[K] == O.M[K]))
+      return false;
+  return true;
+}
+
+std::string Octagon::toString() const {
+  if (isEmpty())
+    return "false";
+  if (isTop())
+    return "true";
+  std::string Out;
+  forEachConstraint([&](const OctConstraint &C) {
+    if (!Out.empty())
+      Out += " /\\ ";
+    Out += (C.Coef1 < 0 ? "-x" : "x") + std::to_string(C.Var1);
+    if (C.Coef2 != 0)
+      Out += std::string(C.Coef2 < 0 ? " - x" : " + x") +
+             std::to_string(C.Var2);
+    Out += " <= " + C.Bound.toString();
+  });
+  return Out;
+}

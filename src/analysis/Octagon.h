@@ -1,0 +1,155 @@
+//===- analysis/Octagon.h - Octagon abstract domain value -------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The octagon abstract domain value (Mine, "The octagon abstract domain"):
+/// conjunctions of constraints `±x_i ± x_j <= c` over exact rationals,
+/// represented as a difference-bound matrix (DBM) over 2n signed variables
+/// `v_{2i} = +x_i`, `v_{2i+1} = -x_i`, where entry `M[p][q]` is an upper
+/// bound on `v_q - v_p`. Strong closure (Floyd-Warshall plus the octagonal
+/// strengthening step) makes every implied constraint explicit; because all
+/// CHC variables range over the integers, closure also tightens every bound
+/// to an integer and every unary bound `2x_i <= c` to an even one.
+///
+/// Closure is applied lazily: mutators mark the matrix dirty, semantic
+/// queries (bounds, emptiness, join, projection, comparison) close on
+/// demand. Closure never changes the concretization, so the laziness is
+/// invisible semantically; the brute-force differential tests in
+/// `tests/AnalysisTest.cpp` pin this down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_OCTAGON_H
+#define LA_ANALYSIS_OCTAGON_H
+
+#include "analysis/Interval.h"
+#include "support/Rational.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace la::analysis {
+
+/// An upper bound that is either a finite rational or +infinity.
+struct OctBound {
+  bool Finite = false;
+  Rational B;
+
+  static OctBound inf() { return {}; }
+  static OctBound of(Rational V) { return {true, std::move(V)}; }
+
+  bool operator==(const OctBound &O) const {
+    return Finite == O.Finite && (!Finite || B == O.B);
+  }
+  /// Total order with +infinity as the largest element.
+  bool operator<(const OctBound &O) const {
+    if (!Finite)
+      return false;
+    return !O.Finite || B < O.B;
+  }
+  bool operator<=(const OctBound &O) const { return !(O < *this); }
+
+  OctBound operator+(const OctBound &O) const {
+    if (!Finite || !O.Finite)
+      return inf();
+    return of(B + O.B);
+  }
+};
+
+/// One canonical octagon constraint `Coef1 * x_Var1 + Coef2 * x_Var2 <= Bound`
+/// with unit coefficients; unary constraints have `Var2 == Var1` and
+/// `Coef2 == 0`. Used to enumerate the finite facts of a closed octagon.
+struct OctConstraint {
+  size_t Var1 = 0;
+  int Coef1 = 1; ///< +1 or -1
+  size_t Var2 = 0;
+  int Coef2 = 0; ///< +1, -1, or 0 for a unary constraint
+  Rational Bound;
+};
+
+/// A (possibly empty) octagon over a fixed number of integer variables.
+class Octagon {
+public:
+  /// The top octagon (no constraints) over \p NumVars variables.
+  explicit Octagon(size_t NumVars = 0);
+  /// The empty octagon (bottom) over \p NumVars variables.
+  static Octagon bottom(size_t NumVars);
+
+  size_t numVars() const { return N; }
+
+  bool isEmpty() const;
+  /// True when no finite constraint holds (and the octagon is non-empty).
+  bool isTop() const;
+
+  /// Asserts `x_I <= C` / `x_I >= C`.
+  void addUpper(size_t I, const Rational &C);
+  void addLower(size_t I, const Rational &C);
+  /// Asserts `s_I * x_I + s_J * x_J <= C` for `I != J`, where a true
+  /// NegI/NegJ selects the negative sign.
+  void addPair(size_t I, bool NegI, size_t J, bool NegJ, const Rational &C);
+  /// Marks the whole octagon infeasible (e.g. a constant `1 <= 0` atom).
+  void markEmpty();
+
+  /// The interval of `x_I` implied by the (closed) octagon.
+  Interval boundOf(size_t I) const;
+  /// The least upper bound on `s_I * x_I + s_J * x_J` (I != J) implied by
+  /// the (closed) octagon; infinite when unconstrained.
+  OctBound pairUpper(size_t I, bool NegI, size_t J, bool NegJ) const;
+
+  /// True when the integer point \p Point (one value per variable) satisfies
+  /// every constraint.
+  bool contains(const std::vector<Rational> &Point) const;
+
+  /// Enumerates every finite canonical constraint of the closed octagon:
+  /// unary bounds first, then the pairwise `±x_i ± x_j <= c` facts.
+  void forEachConstraint(const std::function<void(const OctConstraint &)> &Fn)
+      const;
+
+  /// Lattice union; the result is closed and exact per canonical constraint
+  /// (each bound is the max of the two operands' closed bounds).
+  Octagon join(const Octagon &O) const;
+  /// Lattice intersection (elementwise min; closure re-establishes
+  /// consistency and detects emptiness).
+  Octagon meet(const Octagon &O) const;
+  /// Standard octagon widening: entries of \p Next that moved past this
+  /// octagon's entries are dropped to +infinity. `this` is the previous
+  /// iterate. Closure applied to the operands trades the textbook
+  /// termination guarantee for precision; the engine's `MaxSweeps` cap is
+  /// the convergence backstop (DESIGN.md §9).
+  Octagon widen(const Octagon &Next) const;
+
+  /// The closed sub-octagon over the selected variables (in order): closure
+  /// makes implied constraints explicit, so projection is just taking the
+  /// sub-matrix.
+  Octagon project(const std::vector<size_t> &Vars) const;
+
+  /// Semantic comparison (both sides closed first).
+  bool operator==(const Octagon &O) const;
+  bool operator!=(const Octagon &O) const { return !(*this == O); }
+
+  std::string toString() const;
+
+private:
+  size_t N = 0;
+  /// Lazily maintained; `close()` is conceptually const (the concretization
+  /// never changes), hence the mutable state.
+  mutable bool Empty = false;
+  mutable bool Closed = true;
+  mutable std::vector<OctBound> M; ///< (2N)^2 row-major
+
+  size_t idx(size_t P, size_t Q) const { return P * 2 * N + Q; }
+  static size_t bar(size_t P) { return P ^ 1; }
+  OctBound &at(size_t P, size_t Q) const { return M[idx(P, Q)]; }
+  /// Writes `v_Q - v_P <= C` and its coherent mirror entry.
+  void setEdge(size_t P, size_t Q, const Rational &C);
+  /// Strong closure + integer tightening + emptiness detection.
+  void close() const;
+};
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_OCTAGON_H

@@ -1,0 +1,432 @@
+//===- analysis/OctagonAnalysis.cpp - Octagon domain over CHCs ------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OctagonAnalysis.h"
+
+#include "analysis/FixpointEngine.h"
+#include "logic/LinearExpr.h"
+
+#include <map>
+#include <numeric>
+#include <optional>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+namespace {
+
+/// Clause-variable numbering: every distinct Int variable of the clause gets
+/// one octagon dimension, in discovery order.
+using VarMap = std::map<const Term *, size_t, TermIdLess>;
+
+void collectVars(const Term *T, VarMap &Idx) {
+  if (T->kind() == TermKind::Var) {
+    if (T->sort() == Sort::Int && !Idx.count(T))
+      Idx.emplace(T, Idx.size());
+    return;
+  }
+  for (const Term *Op : T->operands())
+    collectVars(Op, Idx);
+}
+
+/// One normalised linear constraint `sum Coef_i * dim_i + K <= 0` over
+/// octagon dimensions (the dims are distinct by construction).
+using LinCombo = std::vector<std::pair<size_t, Rational>>;
+
+/// Conjoins `sum C + K <= 0` onto \p O: exactly when the combination is an
+/// octagon constraint (<= 2 dims, equal magnitudes), otherwise through its
+/// sound unary and pairwise interval consequences.
+void applyLe(Octagon &O, const LinCombo &C, const Rational &K) {
+  if (C.empty()) {
+    if (K.signum() > 0)
+      O.markEmpty();
+    return;
+  }
+  if (C.size() == 1) {
+    const auto &[D, A] = C[0];
+    // A*x <= -K.
+    Rational Bound = -K / A;
+    if (A.signum() > 0)
+      O.addUpper(D, Bound);
+    else
+      O.addLower(D, Bound);
+    return;
+  }
+  if (C.size() == 2 && C[0].second.abs() == C[1].second.abs()) {
+    Rational A = C[0].second.abs();
+    O.addPair(C[0].first, C[0].second.isNegative(), C[1].first,
+              C[1].second.isNegative(), -K / A);
+    return;
+  }
+  // Not an octagon constraint. Derive consequences against a snapshot of
+  // the current per-dimension intervals (sound: the snapshot is an
+  // over-approximation of the store being refined).
+  std::vector<Interval> B;
+  B.reserve(C.size());
+  for (const auto &[D, A] : C)
+    B.push_back(O.boundOf(D));
+  for (size_t I = 0; I < C.size(); ++I) {
+    // Coef_I * x_I <= -K - sum_{J != I} Coef_J * x_J.
+    Interval Rest = Interval::constant(-K);
+    for (size_t J = 0; J < C.size(); ++J)
+      if (J != I)
+        Rest = Rest + B[J].scaled(-C[J].second);
+    if (!Rest.hasHi())
+      continue;
+    Rational Bound = Rest.hi() / C[I].second;
+    if (C[I].second.signum() > 0)
+      O.addUpper(C[I].first, Bound);
+    else
+      O.addLower(C[I].first, Bound);
+  }
+  for (size_t I = 0; I < C.size(); ++I)
+    for (size_t J = I + 1; J < C.size(); ++J) {
+      if (C[I].second.abs() != C[J].second.abs())
+        continue;
+      Interval Rest = Interval::constant(-K);
+      for (size_t L = 0; L < C.size(); ++L)
+        if (L != I && L != J)
+          Rest = Rest + B[L].scaled(-C[L].second);
+      if (!Rest.hasHi())
+        continue;
+      O.addPair(C[I].first, C[I].second.isNegative(), C[J].first,
+                C[J].second.isNegative(), Rest.hi() / C[I].second.abs());
+    }
+}
+
+void applyEq(Octagon &O, const LinCombo &C, const Rational &K) {
+  applyLe(O, C, K);
+  LinCombo Neg = C;
+  for (auto &[D, A] : Neg)
+    A = -A;
+  applyLe(O, Neg, -K);
+}
+
+/// Conjoins one linear atom `Expr REL 0` onto \p O. The expression is first
+/// scaled by a positive factor making everything integral (never by the
+/// sign-normalising `LinearExpr::normalizeIntegral`, which may flip the
+/// relation), so `<` tightens to `<= -1`.
+void applyAtom(Octagon &O, const LinearAtom &Atom, const VarMap &Idx) {
+  Rational Scale(1);
+  for (const auto &[Var, Coef] : Atom.Expr.coefficients())
+    Scale *= Rational(Coef.denominator());
+  Scale *= Rational(Atom.Expr.constant().denominator());
+  LinCombo C;
+  C.reserve(Atom.Expr.coefficients().size());
+  for (const auto &[Var, Coef] : Atom.Expr.coefficients())
+    C.emplace_back(Idx.at(Var), Coef * Scale);
+  Rational K = Atom.Expr.constant() * Scale;
+  switch (Atom.Rel) {
+  case LinRel::Le:
+    applyLe(O, C, K);
+    break;
+  case LinRel::Lt:
+    // Integral, so E < 0 is E <= -1.
+    applyLe(O, C, K + Rational(1));
+    break;
+  case LinRel::Eq:
+    applyEq(O, C, K);
+    break;
+  }
+}
+
+/// Conjoins a clause constraint onto \p O: conjunctions sequentially,
+/// disjunctions by joining their branch octagons, negated inequality atoms
+/// flipped, anything else conservatively ignored.
+void applyConstraint(Octagon &O, const Term *T, const VarMap &Idx) {
+  if (T->sort() != Sort::Bool)
+    return;
+  switch (T->kind()) {
+  case TermKind::BoolConst:
+    if (!T->boolValue())
+      O.markEmpty();
+    return;
+  case TermKind::And:
+    for (const Term *Op : T->operands())
+      applyConstraint(O, Op, Idx);
+    return;
+  case TermKind::Or: {
+    std::optional<Octagon> Joined;
+    for (const Term *Op : T->operands()) {
+      Octagon Branch = O;
+      applyConstraint(Branch, Op, Idx);
+      if (Branch.isEmpty())
+        continue;
+      Joined = Joined ? Joined->join(Branch) : std::move(Branch);
+    }
+    if (Joined)
+      O = std::move(*Joined);
+    else
+      O.markEmpty();
+    return;
+  }
+  case TermKind::Le:
+  case TermKind::Lt:
+  case TermKind::Eq: {
+    std::optional<LinearAtom> Atom = LinearAtom::fromTerm(T);
+    if (Atom)
+      applyAtom(O, *Atom, Idx);
+    return;
+  }
+  case TermKind::Not: {
+    std::optional<LinearAtom> Atom = LinearAtom::fromTerm(T->operand(0));
+    if (Atom && Atom->Rel != LinRel::Eq)
+      applyAtom(O, Atom->negated(), Idx);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// Imports the facts of one body application's octagon into the clause
+/// octagon; false when the application is infeasible outright.
+bool importBodyApp(Octagon &O, const PredApp &App, const Octagon &PO,
+                   const VarMap &Idx) {
+  if (PO.isEmpty())
+    return false;
+  if (PO.isTop())
+    return true;
+
+  // Argument positions carried by a plain variable map straight to a
+  // dimension; the octagonal facts among them transfer losslessly.
+  std::vector<std::optional<size_t>> ArgDim(App.Args.size());
+  for (size_t J = 0; J < App.Args.size(); ++J)
+    if (App.Args[J]->kind() == TermKind::Var &&
+        App.Args[J]->sort() == Sort::Int)
+      ArgDim[J] = Idx.at(App.Args[J]);
+
+  Rational Half(BigInt(1), BigInt(2));
+  PO.forEachConstraint([&](const OctConstraint &F) {
+    if (F.Coef2 == 0) {
+      if (!ArgDim[F.Var1])
+        return;
+      if (F.Coef1 > 0)
+        O.addUpper(*ArgDim[F.Var1], F.Bound);
+      else
+        O.addLower(*ArgDim[F.Var1], -F.Bound);
+      return;
+    }
+    if (!ArgDim[F.Var1] || !ArgDim[F.Var2])
+      return;
+    size_t D1 = *ArgDim[F.Var1], D2 = *ArgDim[F.Var2];
+    if (D1 != D2) {
+      O.addPair(D1, F.Coef1 < 0, D2, F.Coef2 < 0, F.Bound);
+      return;
+    }
+    // Both argument positions carry the same clause variable.
+    int Sum = F.Coef1 + F.Coef2;
+    if (Sum == 0) {
+      if (F.Bound.isNegative())
+        O.markEmpty();
+    } else if (Sum > 0) {
+      O.addUpper(D1, F.Bound * Half);
+    } else {
+      O.addLower(D1, -(F.Bound * Half));
+    }
+  });
+
+  // Non-variable argument terms: relate through the argument's interval.
+  for (size_t J = 0; J < App.Args.size(); ++J) {
+    if (ArgDim[J])
+      continue;
+    Interval AI = PO.boundOf(J);
+    if (AI.isTop())
+      continue;
+    std::optional<LinearExpr> LE = LinearExpr::fromTerm(App.Args[J]);
+    if (!LE)
+      continue;
+    if (LE->isConstant()) {
+      if (!AI.contains(LE->constant()))
+        return false;
+      continue;
+    }
+    Interval Shifted = AI + Interval::constant(-LE->constant());
+    if (LE->coefficients().size() == 1) {
+      // Coeff*V + b in AI  ==>  V in (AI - b) / Coeff.
+      const auto &[Var, Coef] = *LE->coefficients().begin();
+      Interval VI = Shifted.scaled(Coef.inverse()).tightenIntegral();
+      if (VI.isEmpty())
+        return false;
+      size_t D = Idx.at(Var);
+      if (VI.hasLo())
+        O.addLower(D, VI.lo());
+      if (VI.hasHi())
+        O.addUpper(D, VI.hi());
+      continue;
+    }
+    if (LE->coefficients().size() == 2) {
+      auto It = LE->coefficients().begin();
+      const auto &[V1, A1] = *It;
+      const auto &[V2, A2] = *std::next(It);
+      if (A1.abs() != A2.abs())
+        continue;
+      // a*(s1*V1 + s2*V2) + b in AI, a = |A1| > 0.
+      Interval PI = Shifted.scaled(A1.abs().inverse());
+      size_t D1 = Idx.at(V1), D2 = Idx.at(V2);
+      bool N1 = A1.isNegative(), N2 = A2.isNegative();
+      if (PI.hasHi())
+        O.addPair(D1, N1, D2, N2, PI.hi());
+      if (PI.hasLo())
+        O.addPair(D1, !N1, D2, !N2, -PI.lo());
+    }
+    // Wider argument terms: no backward refinement (sound).
+  }
+  return true;
+}
+
+/// The finite bound the unary facts alone place on the signed variable
+/// `±x_I` (the `Neg` flag selects the sign), as an OctBound.
+OctBound unarySigned(const Octagon &O, size_t I, bool Neg) {
+  Interval B = O.boundOf(I);
+  if (!Neg)
+    return B.hasHi() ? OctBound::of(B.hi()) : OctBound::inf();
+  return B.hasLo() ? OctBound::of(-B.lo()) : OctBound::inf();
+}
+
+/// Visits every pairwise fact strictly tighter than its unary-implied bound
+/// (the genuinely relational content of the octagon).
+template <class Fn> void forEachRelationalFact(const Octagon &O, Fn F) {
+  if (O.isEmpty())
+    return;
+  const int Signs[2] = {+1, -1};
+  for (size_t I = 0; I < O.numVars(); ++I)
+    for (size_t J = I + 1; J < O.numVars(); ++J)
+      for (int SI : Signs)
+        for (int SJ : Signs) {
+          OctBound B = O.pairUpper(I, SI < 0, J, SJ < 0);
+          if (!B.Finite)
+            continue;
+          OctBound Implied =
+              unarySigned(O, I, SI < 0) + unarySigned(O, J, SJ < 0);
+          if (Implied.Finite && Implied.B <= B.B)
+            continue;
+          F(I, SI, J, SJ, B.B);
+        }
+}
+
+} // namespace
+
+std::optional<OctagonDomain::Value>
+OctagonDomain::transfer(const HornClause &C,
+                        const std::vector<DomainPredState<Value>> &States)
+    const {
+  VarMap Idx;
+  for (const PredApp &App : C.Body)
+    for (const Term *Arg : App.Args)
+      collectVars(Arg, Idx);
+  for (const Term *Arg : C.HeadPred->Args)
+    collectVars(Arg, Idx);
+  collectVars(C.Constraint, Idx);
+
+  size_t NumVars = Idx.size();
+  size_t Arity = C.HeadPred->Args.size();
+  // One dimension per clause variable plus one slot per head argument; the
+  // slots are equated with the head argument terms and projected out last,
+  // so relational facts between head arguments survive even when the
+  // arguments are compound terms.
+  Octagon O(NumVars + Arity);
+
+  for (const PredApp &App : C.Body) {
+    const DomainPredState<Value> &S = States[App.Pred->Index];
+    if (!S.Reachable)
+      return std::nullopt;
+    if (!importBodyApp(O, App, S.Value, Idx))
+      return std::nullopt;
+  }
+  if (O.isEmpty())
+    return std::nullopt;
+
+  // Two rounds so information discovered late reaches earlier conjuncts.
+  for (int Round = 0; Round < 2; ++Round) {
+    applyConstraint(O, C.Constraint, Idx);
+    if (O.isEmpty())
+      return std::nullopt;
+  }
+
+  for (size_t K = 0; K < Arity; ++K) {
+    std::optional<LinearExpr> LE = LinearExpr::fromTerm(C.HeadPred->Args[K]);
+    if (!LE)
+      continue; // e.g. Mod: the slot stays unconstrained
+    // slot_K - Expr = 0.
+    LinCombo Combo;
+    Combo.emplace_back(NumVars + K, Rational(1));
+    for (const auto &[Var, Coef] : LE->coefficients())
+      Combo.emplace_back(Idx.at(Var), -Coef);
+    applyEq(O, Combo, -LE->constant());
+  }
+  if (O.isEmpty())
+    return std::nullopt;
+
+  std::vector<size_t> Slots(Arity);
+  std::iota(Slots.begin(), Slots.end(), NumVars);
+  Octagon R = O.project(Slots);
+  if (R.isEmpty())
+    return std::nullopt;
+  return R;
+}
+
+bool OctagonDomain::join(Value &Into, const Value &From) const {
+  Octagon Joined = Into.join(From);
+  if (Joined == Into)
+    return false;
+  Into = std::move(Joined);
+  return true;
+}
+
+void OctagonDomain::widen(Value &Into, const Value &Joined) const {
+  Into = Into.widen(Joined);
+}
+
+bool OctagonDomain::narrow(Value &Into, const Value &Step) const {
+  Octagon M = Into.meet(Step);
+  if (M.isEmpty() || M == Into)
+    return false;
+  Into = std::move(M);
+  return true;
+}
+
+const Term *OctagonDomain::toInvariant(TermManager &TM, const Predicate *P,
+                                       const Value &V) const {
+  if (V.isEmpty())
+    return TM.mkFalse();
+  std::vector<const Term *> Conj;
+  for (size_t I = 0; I < V.numVars(); ++I) {
+    Interval B = V.boundOf(I);
+    if (B.hasLo())
+      Conj.push_back(TM.mkGe(P->Params[I], TM.mkIntConst(B.lo())));
+    if (B.hasHi())
+      Conj.push_back(TM.mkLe(P->Params[I], TM.mkIntConst(B.hi())));
+  }
+  forEachRelationalFact(
+      V, [&](size_t I, int SI, size_t J, int SJ, const Rational &Bound) {
+        const Term *TI = SI < 0 ? TM.mkNeg(P->Params[I]) : P->Params[I];
+        const Term *TJ = SJ < 0 ? TM.mkNeg(P->Params[J]) : P->Params[J];
+        Conj.push_back(TM.mkLe(TM.mkAdd(TI, TJ), TM.mkIntConst(Bound)));
+      });
+  if (Conj.empty())
+    return TM.mkTrue(); // unreachable behind the isTop gate
+  return TM.mkAnd(std::move(Conj));
+}
+
+size_t OctagonDomain::relationalFactCount(const Octagon &O) {
+  size_t N = 0;
+  forEachRelationalFact(O, [&](size_t, int, size_t, int, const Rational &) {
+    ++N;
+  });
+  return N;
+}
+
+std::vector<OctagonState>
+analysis::runOctagonAnalysis(const AnalysisContext &Ctx) {
+  return runDomainAnalysis(OctagonDomain(), Ctx, Ctx.Opts.Octagons);
+}
+
+const Term *analysis::octagonInvariant(TermManager &TM, const Predicate *P,
+                                       const OctagonState &State) {
+  return domainInvariant(OctagonDomain(), TM, P, State);
+}

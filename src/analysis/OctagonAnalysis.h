@@ -1,0 +1,78 @@
+//===- analysis/OctagonAnalysis.h - Octagon domain over CHCs ----*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A relational octagon abstract domain over CHC systems: each predicate is
+/// abstracted by one `Octagon` over its argument positions (`±x_i ± x_j <=
+/// c` facts with exact rational bounds and integer tightening). The
+/// clause-wise transfer function imports the body predicates' octagons over
+/// the clause variables, conjoins the clause constraint (exactly for unit-
+/// coefficient atoms of up to two variables, via sound interval/pair
+/// consequences otherwise), equates per-head-argument slot dimensions with
+/// the head argument terms, and projects onto the slots. The fixpoint
+/// strategy lives in the shared driver, `analysis/FixpointEngine.h`.
+///
+/// The paper's Fig. 1 family needs exactly these facts: the interval domain
+/// cannot express `x >= y`, so its invariants never discharge such queries,
+/// while the octagon run yields `y - x <= 0` shaped candidates that the
+/// verify pass then re-proves with `chc::checkClause` (DESIGN.md §9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_OCTAGONANALYSIS_H
+#define LA_ANALYSIS_OCTAGONANALYSIS_H
+
+#include "analysis/AnalysisContext.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace la::analysis {
+
+/// The octagon abstract domain: one `Octagon` over the argument positions.
+/// Implements the `AbstractDomain` concept (`analysis/AbstractDomain.h`).
+class OctagonDomain {
+public:
+  using Value = Octagon;
+
+  std::string name() const { return "octagons"; }
+  Value bottom(const chc::Predicate *P) const {
+    return Octagon::bottom(P->arity());
+  }
+  Value top(const chc::Predicate *P) const { return Octagon(P->arity()); }
+  std::optional<Value>
+  transfer(const chc::HornClause &C,
+           const std::vector<DomainPredState<Value>> &States) const;
+  bool join(Value &Into, const Value &From) const;
+  void widen(Value &Into, const Value &Joined) const;
+  bool narrow(Value &Into, const Value &Step) const;
+  bool isTop(const Value &V) const { return V.isTop(); }
+  const Term *toInvariant(TermManager &TM, const chc::Predicate *P,
+                          const Value &V) const;
+
+  /// Number of genuinely relational facts: pairwise bounds strictly tighter
+  /// than what the unary bounds already imply. Zero means the octagon holds
+  /// no information an interval invariant could not carry.
+  static size_t relationalFactCount(const Octagon &O);
+};
+
+static_assert(AbstractDomain<OctagonDomain>);
+
+/// Runs the octagon fixpoint over the live clauses of \p Ctx and returns
+/// one state per predicate index.
+std::vector<OctagonState> runOctagonAnalysis(const AnalysisContext &Ctx);
+
+/// Renders a state with the uniform cross-domain convention of
+/// `domainInvariant`: `false` for bottom, nullptr for top, otherwise a
+/// conjunction of bound and `±x ± y <= c` atoms over `P->Params` (pairwise
+/// atoms only where strictly tighter than the unary bounds imply).
+const Term *octagonInvariant(TermManager &TM, const chc::Predicate *P,
+                             const OctagonState &State);
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_OCTAGONANALYSIS_H

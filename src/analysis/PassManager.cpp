@@ -7,109 +7,14 @@
 #include "analysis/PassManager.h"
 
 #include "analysis/DependencyGraph.h"
+#include "analysis/IntervalAnalysis.h"
+#include "analysis/OctagonAnalysis.h"
 
 #include <cassert>
 
 using namespace la;
 using namespace la::analysis;
 using namespace la::chc;
-
-//===----------------------------------------------------------------------===//
-// Stats and result plumbing
-//===----------------------------------------------------------------------===//
-
-void PassStats::merge(const PassStats &O) {
-  Seconds += O.Seconds;
-  ClausesPruned += O.ClausesPruned;
-  PredicatesResolved += O.PredicatesResolved;
-  BoundsFound += O.BoundsFound;
-  InvariantsVerified += O.InvariantsVerified;
-  InvariantsRejected += O.InvariantsRejected;
-  SmtChecks += O.SmtChecks;
-  Check.merge(O.Check);
-}
-
-std::string PassStats::toString() const {
-  char Buf[320];
-  int N = snprintf(Buf, sizeof(Buf),
-                   "%-10s %8.3fs  pruned %zu  resolved %zu  bounds %zu  "
-                   "verified %zu  rejected %zu  smt %zu",
-                   Name.c_str(), Seconds, ClausesPruned, PredicatesResolved,
-                   BoundsFound, InvariantsVerified, InvariantsRejected,
-                   SmtChecks);
-  if (Check.CacheHits + Check.CacheMisses > 0 && N > 0 &&
-      static_cast<size_t>(N) < sizeof(Buf))
-    snprintf(Buf + N, sizeof(Buf) - N,
-             "  cache %llu/%llu  pushes %llu  reuse %llu",
-             static_cast<unsigned long long>(Check.CacheHits),
-             static_cast<unsigned long long>(Check.CacheHits +
-                                             Check.CacheMisses),
-             static_cast<unsigned long long>(Check.ScopePushes),
-             static_cast<unsigned long long>(Check.RebuildsAvoided));
-  return Buf;
-}
-
-size_t AnalysisResult::numLiveClauses() const {
-  size_t N = 0;
-  for (char L : LiveClause)
-    N += L != 0;
-  return N;
-}
-
-size_t AnalysisResult::boundsFound() const {
-  size_t N = 0;
-  for (const auto &[P, Bs] : Bounds)
-    for (const ArgBounds &B : Bs)
-      N += (B.HasLo ? 1 : 0) + (B.HasHi ? 1 : 0);
-  return N;
-}
-
-double AnalysisResult::totalSeconds() const {
-  double S = 0;
-  for (const PassStats &P : Passes)
-    S += P.Seconds;
-  return S;
-}
-
-size_t AnalysisResult::smtChecks() const {
-  size_t N = 0;
-  for (const PassStats &P : Passes)
-    N += P.SmtChecks;
-  return N;
-}
-
-AnalysisResult AnalysisResult::allLive(const ChcSystem &System) {
-  AnalysisResult R;
-  R.LiveClause.assign(System.clauses().size(), 1);
-  return R;
-}
-
-std::string AnalysisResult::report() const {
-  char Buf[256];
-  snprintf(Buf, sizeof(Buf),
-           "analysis: %zu/%zu clauses pruned, %zu predicates resolved, "
-           "%zu bounds, %zu invariants, proved-sat=%s, %.3fs\n",
-           clausesPruned(), LiveClause.size(), predicatesResolved(),
-           boundsFound(), Invariants.size(), ProvedSat ? "yes" : "no",
-           totalSeconds());
-  std::string Out = Buf;
-  for (const PassStats &P : Passes)
-    Out += "  " + P.toString() + "\n";
-  return Out;
-}
-
-AnalysisContext::AnalysisContext(const ChcSystem &System,
-                                 const AnalysisOptions &Opts)
-    : System(System), TM(System.termManager()), Opts(Opts),
-      Clock(Opts.TimeoutSeconds) {
-  Result.LiveClause.assign(System.clauses().size(), 1);
-}
-
-bool AnalysisContext::prune(size_t ClauseIdx) {
-  bool WasLive = Result.LiveClause[ClauseIdx];
-  Result.LiveClause[ClauseIdx] = 0;
-  return WasLive;
-}
 
 //===----------------------------------------------------------------------===//
 // Passes
@@ -125,13 +30,14 @@ class FactReachabilityPass : public Pass {
 public:
   std::string name() const override { return "fact-reach"; }
 
-  void run(AnalysisContext &Ctx, PassStats &Stats) override {
-    DependencyGraph Graph(Ctx.System, Ctx.Result.LiveClause);
+  void run(AnalysisContext &Ctx) override {
+    PassStats &Stats = Ctx.stats();
+    DependencyGraph Graph(Ctx);
     std::vector<char> Derivable = Graph.derivableFromFacts();
     for (const Predicate *P : Ctx.System.predicates()) {
       if (Derivable[P->Index] || Ctx.isFixed(P))
         continue;
-      Ctx.Result.Fixed[P] = Ctx.TM.mkFalse();
+      Ctx.fix(P, Ctx.TM.mkFalse());
       ++Stats.PredicatesResolved;
       for (size_t CI : Ctx.System.clausesWithHead(P))
         Stats.ClausesPruned += Ctx.prune(CI);
@@ -149,13 +55,14 @@ class QueryConePass : public Pass {
 public:
   std::string name() const override { return "query-cone"; }
 
-  void run(AnalysisContext &Ctx, PassStats &Stats) override {
-    DependencyGraph Graph(Ctx.System, Ctx.Result.LiveClause);
+  void run(AnalysisContext &Ctx) override {
+    PassStats &Stats = Ctx.stats();
+    DependencyGraph Graph(Ctx);
     std::vector<char> InCone = Graph.reachesQuery();
     for (const Predicate *P : Ctx.System.predicates()) {
       if (InCone[P->Index] || Ctx.isFixed(P))
         continue;
-      Ctx.Result.Fixed[P] = Ctx.TM.mkTrue();
+      Ctx.fix(P, Ctx.TM.mkTrue());
       ++Stats.PredicatesResolved;
       for (size_t CI : Ctx.System.clausesWithHead(P))
         Stats.ClausesPruned += Ctx.prune(CI);
@@ -169,46 +76,89 @@ class IntervalPass : public Pass {
 public:
   std::string name() const override { return "intervals"; }
 
-  void run(AnalysisContext &Ctx, PassStats &Stats) override {
-    std::vector<char> Skip(Ctx.System.predicates().size(), 0);
-    for (const auto &[P, F] : Ctx.Result.Fixed)
-      Skip[P->Index] = 1;
-    Ctx.Intervals = runIntervalAnalysis(Ctx.System, Ctx.Result.LiveClause,
-                                        Skip, Ctx.Opts.Intervals);
+  void run(AnalysisContext &Ctx) override {
+    PassStats &Stats = Ctx.stats();
+    Ctx.Intervals = runIntervalAnalysis(Ctx);
     for (const Predicate *P : Ctx.System.predicates()) {
-      if (Skip[P->Index])
+      if (Ctx.isFixed(P))
         continue;
-      const PredIntervalState &S = Ctx.Intervals[P->Index];
+      const IntervalState &S = Ctx.Intervals[P->Index];
       if (!S.Reachable)
         continue;
-      for (const Interval &I : S.Args)
+      for (const Interval &I : S.Value)
         Stats.BoundsFound += (I.hasLo() ? 1 : 0) + (I.hasHi() ? 1 : 0);
+    }
+  }
+};
+
+/// Runs the octagon fixpoint; like the interval pass, everything it finds
+/// is a candidate until verified.
+class OctagonPass : public Pass {
+public:
+  std::string name() const override { return "octagons"; }
+
+  void run(AnalysisContext &Ctx) override {
+    PassStats &Stats = Ctx.stats();
+    Ctx.Octagons = runOctagonAnalysis(Ctx);
+    for (const Predicate *P : Ctx.System.predicates()) {
+      if (Ctx.isFixed(P))
+        continue;
+      const OctagonState &S = Ctx.Octagons[P->Index];
+      if (!S.Reachable)
+        continue;
+      for (size_t J = 0; J < S.Value.numVars(); ++J) {
+        Interval B = S.Value.boundOf(J);
+        Stats.BoundsFound += (B.hasLo() ? 1 : 0) + (B.hasHi() ? 1 : 0);
+      }
+      Stats.RelationalFound += OctagonDomain::relationalFactCount(S.Value);
     }
   }
 };
 
 /// Re-proves every candidate invariant with the SMT solver, resolves
 /// verified-`false` predicates, and discharges query clauses that are
-/// already valid under the verified seed.
+/// already valid under the verified seed. Each predicate carries a ladder
+/// of candidates ordered strongest first (octagon, then interval): a clause
+/// failure demotes the head predicate one rung before dropping it to
+/// `true`, so a too-strong relational candidate cannot cost the interval
+/// fact the previous pipeline would have kept.
 class InvariantVerifyPass : public Pass {
 public:
   std::string name() const override { return "verify"; }
 
-  void run(AnalysisContext &Ctx, PassStats &Stats) override {
+  void run(AnalysisContext &Ctx) override {
+    PassStats &Stats = Ctx.stats();
     TermManager &TM = Ctx.TM;
     AnalysisResult &Res = Ctx.Result;
 
-    // Candidate invariants from the interval states.
-    std::map<const Predicate *, const Term *> Candidates;
-    if (!Ctx.Intervals.empty()) {
-      for (const Predicate *P : Ctx.System.predicates()) {
-        if (Ctx.isFixed(P))
-          continue;
-        if (const Term *Inv = intervalInvariant(TM, P, Ctx.Intervals[P->Index]))
-          Candidates.emplace(P, Inv);
-      }
+    struct Ladder {
+      std::vector<const Term *> Levels;
+      size_t Cur = 0;
+      /// True when level 0 is the octagon candidate.
+      bool OctFirst = false;
+
+      const Term *current() const { return Levels[Cur]; }
+    };
+    std::map<const Predicate *, Ladder> Ladders;
+    for (const Predicate *P : Ctx.System.predicates()) {
+      if (Ctx.isFixed(P))
+        continue;
+      Ladder L;
+      if (!Ctx.Octagons.empty())
+        if (const Term *Inv = octagonInvariant(TM, P, Ctx.Octagons[P->Index])) {
+          L.Levels.push_back(Inv);
+          L.OctFirst = true;
+        }
+      if (!Ctx.Intervals.empty())
+        if (const Term *Inv =
+                intervalInvariant(TM, P, Ctx.Intervals[P->Index]))
+          // Terms are hash-consed, so identical candidates dedupe by pointer.
+          if (L.Levels.empty() || L.Levels.front() != Inv)
+            L.Levels.push_back(Inv);
+      if (!L.Levels.empty())
+        Ladders.emplace(P, std::move(L));
     }
-    if (Candidates.empty() && Res.Fixed.empty())
+    if (Ladders.empty() && Res.Fixed.empty())
       return; // nothing to verify, nothing to discharge
 
     // One incremental backend for the whole pass: the inductiveness fixpoint
@@ -219,27 +169,28 @@ public:
     Interpretation Cand(TM);
     for (const auto &[P, F] : Res.Fixed)
       Cand.set(P, F);
-    for (const auto &[P, Inv] : Candidates)
-      Cand.set(P, Inv);
+    for (const auto &[P, L] : Ladders)
+      Cand.set(P, L.current());
 
     // Inductiveness fixpoint. Only clauses whose head carries a candidate
     // can be invalid (a `true` head validates the clause trivially); when a
-    // candidate fails its clause, drop it and rescan, since the weakened
-    // body may invalidate other candidates.
+    // candidate fails its clause, demote it and rescan, since the weakened
+    // head may invalidate other candidates' clauses.
     const auto &Clauses = Ctx.System.clauses();
-    bool Dropped = true;
-    while (Dropped && !Candidates.empty()) {
-      Dropped = false;
-      for (size_t CI = 0; CI < Clauses.size() && !Candidates.empty(); ++CI) {
+    bool Demoted = true;
+    while (Demoted && !Ladders.empty()) {
+      Demoted = false;
+      for (size_t CI = 0; CI < Clauses.size() && !Ladders.empty(); ++CI) {
         const HornClause &C = Clauses[CI];
         if (!Ctx.isLive(CI) || !C.HeadPred)
           continue;
         const Predicate *Head = C.HeadPred->Pred;
-        if (!Candidates.count(Head))
+        auto It = Ladders.find(Head);
+        if (It == Ladders.end())
           continue;
         if (Ctx.Clock.expired()) {
           // Out of budget: nothing else gets verified this run.
-          Stats.InvariantsRejected += Candidates.size();
+          Stats.InvariantsRejected += Ladders.size();
           Stats.Check = Checker.stats();
           return;
         }
@@ -247,54 +198,65 @@ public:
         ++Stats.SmtChecks;
         if (Check.Status == ClauseStatus::Valid)
           continue;
-        Candidates.erase(Head);
-        Cand.set(Head, TM.mkTrue());
+        Ladder &L = It->second;
+        ++L.Cur;
         ++Stats.InvariantsRejected;
-        Dropped = true;
+        if (L.Cur < L.Levels.size()) {
+          Cand.set(Head, L.current());
+        } else {
+          Ladders.erase(It);
+          Cand.set(Head, TM.mkTrue());
+        }
+        Demoted = true;
       }
     }
-    Stats.InvariantsVerified = Candidates.size();
+    Stats.InvariantsVerified = Ladders.size();
 
     // A verified `false` resolves the predicate outright: its defining
     // clauses are valid under the seed and stay so when bodies strengthen,
     // and clauses using it have a permanently-false body conjunct.
-    for (auto It = Candidates.begin(); It != Candidates.end();) {
+    for (auto It = Ladders.begin(); It != Ladders.end();) {
       const Predicate *P = It->first;
-      if (!It->second->isFalse()) {
+      if (!It->second.current()->isFalse()) {
         ++It;
         continue;
       }
-      Res.Fixed[P] = TM.mkFalse();
+      Ctx.fix(P, TM.mkFalse());
       ++Stats.PredicatesResolved;
       for (size_t CI : Ctx.System.clausesWithHead(P))
         Stats.ClausesPruned += Ctx.prune(CI);
       for (size_t CI : Ctx.System.clausesUsing(P))
         Stats.ClausesPruned += Ctx.prune(CI);
-      It = Candidates.erase(It);
+      It = Ladders.erase(It);
     }
 
-    Res.Invariants = Candidates;
-    if (!Ctx.Intervals.empty()) {
-      for (const auto &[P, Inv] : Candidates) {
-        std::vector<ArgBounds> Bs;
-        const PredIntervalState &S = Ctx.Intervals[P->Index];
-        for (size_t J = 0; J < S.Args.size(); ++J) {
-          Interval I = S.Args[J].tightenIntegral();
-          if (!I.hasLo() && !I.hasHi())
-            continue;
-          ArgBounds B;
-          B.ArgIndex = J;
-          B.HasLo = I.hasLo();
-          B.HasHi = I.hasHi();
-          if (B.HasLo)
-            B.Lo = I.lo();
-          if (B.HasHi)
-            B.Hi = I.hi();
-          Bs.push_back(std::move(B));
-        }
-        if (!Bs.empty())
-          Res.Bounds.emplace(P, std::move(Bs));
+    // Publish the survivors, and the finite bounds of the state behind each
+    // surviving level (the learner takes them as candidate attributes).
+    for (const auto &[P, L] : Ladders) {
+      Res.Invariants.emplace(P, L.current());
+      bool FromOctagon = L.OctFirst && L.Cur == 0;
+      if (FromOctagon)
+        Stats.RelationalFound +=
+            OctagonDomain::relationalFactCount(Ctx.Octagons[P->Index].Value);
+      std::vector<ArgBounds> Bs;
+      for (size_t J = 0; J < P->arity(); ++J) {
+        Interval I = FromOctagon ? Ctx.Octagons[P->Index].Value.boundOf(J)
+                                 : Ctx.Intervals[P->Index].Value[J];
+        I = I.tightenIntegral();
+        if (!I.hasLo() && !I.hasHi())
+          continue;
+        ArgBounds B;
+        B.ArgIndex = J;
+        B.HasLo = I.hasLo();
+        B.HasHi = I.hasHi();
+        if (B.HasLo)
+          B.Lo = I.lo();
+        if (B.HasHi)
+          B.Hi = I.hi();
+        Bs.push_back(std::move(B));
       }
+      if (!Bs.empty())
+        Res.Bounds.emplace(P, std::move(Bs));
     }
 
     // Query discharge: a query clause valid under the seed stays valid when
@@ -330,19 +292,25 @@ public:
 // Manager
 //===----------------------------------------------------------------------===//
 
-AnalysisResult PassManager::run(const ChcSystem &System,
-                                const AnalysisOptions &Opts) const {
-  AnalysisContext Ctx(System, Opts);
+void PassManager::run(AnalysisContext &Ctx) const {
   for (const std::unique_ptr<Pass> &P : Passes) {
     if (Ctx.Clock.expired())
       break;
     PassStats Stats;
     Stats.Name = P->name();
+    Ctx.setStatsSink(&Stats);
     Timer Watch;
-    P->run(Ctx, Stats);
+    P->run(Ctx);
     Stats.Seconds = Watch.elapsedSeconds();
+    Ctx.setStatsSink(nullptr);
     Ctx.Result.Passes.push_back(std::move(Stats));
   }
+}
+
+AnalysisResult PassManager::run(const ChcSystem &System,
+                                const AnalysisOptions &Opts) const {
+  AnalysisContext Ctx(System, Opts);
+  run(Ctx);
   return std::move(Ctx.Result);
 }
 
@@ -354,6 +322,8 @@ PassManager PassManager::defaultPipeline(const AnalysisOptions &Opts) {
   }
   if (Opts.EnableIntervals)
     PM.addPass(std::make_unique<IntervalPass>());
+  if (Opts.EnableOctagons)
+    PM.addPass(std::make_unique<OctagonPass>());
   PM.addPass(std::make_unique<InvariantVerifyPass>());
   return PM;
 }

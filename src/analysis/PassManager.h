@@ -8,142 +8,54 @@
 /// The static pre-analysis pipeline that runs over a parsed `chc::ChcSystem`
 /// before the data-driven CEGAR loop starts (cf. the symbolic front of
 /// Chronosymbolic Learning and the preprocessing stage of CHC portfolio
-/// solvers). Four passes, each timed and counted:
+/// solvers). Five passes, each timed and counted:
 ///
 ///   1. fact-reach:  predicates with no derivation at all are resolved to
 ///      `false` and every clause mentioning them is pruned;
 ///   2. query-cone:  predicates outside the cone of influence of the query
 ///      clauses are resolved to `true` and their defining clauses pruned;
-///   3. intervals:   an interval abstract interpreter with widening
-///      computes candidate per-argument bounds for the surviving predicates;
-///   4. verify:      every candidate invariant is re-proved inductive with
-///      `chc::checkClause` (candidates that fail are dropped), verified
-///      `false` predicates are resolved, and query clauses already valid
-///      under the verified seed are discharged.
+///   3. intervals:   the interval abstract domain computes candidate
+///      per-argument bounds for the surviving predicates;
+///   4. octagons:    the relational octagon domain computes candidate
+///      `±x ± y <= c` facts (the `x >= y` shapes the paper's Fig. 1 family
+///      needs and intervals cannot express);
+///   5. verify:      every candidate invariant is re-proved inductive with
+///      `chc::checkClause`; a failing octagon candidate falls back to the
+///      predicate's interval candidate before being dropped entirely.
+///      Verified `false` predicates are resolved, and query clauses already
+///      valid under the verified seed are discharged.
 ///
 /// Soundness is by construction: nothing unverified leaves this module, so
 /// downstream consumers (the CEGAR loop seeding its interpretations, the
 /// decision-tree learner taking candidate attributes) may trust the result
-/// blindly. The soundness arguments are spelled out in DESIGN.md.
+/// blindly. The soundness arguments are spelled out in DESIGN.md §9.
+///
+/// All shared state lives in `AnalysisContext`
+/// (`analysis/AnalysisContext.h`); passes communicate only through it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LA_ANALYSIS_PASSMANAGER_H
 #define LA_ANALYSIS_PASSMANAGER_H
 
-#include "analysis/IntervalAnalysis.h"
-#include "chc/ChcCheck.h"
-#include "support/Timer.h"
+#include "analysis/AnalysisContext.h"
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace la::analysis {
 
-/// Counters of one pass execution (also used merged across runs by the
-/// benchmark harness).
-struct PassStats {
-  std::string Name;
-  double Seconds = 0;
-  size_t ClausesPruned = 0;
-  size_t PredicatesResolved = 0;
-  size_t BoundsFound = 0;
-  size_t InvariantsVerified = 0;
-  size_t InvariantsRejected = 0;
-  size_t SmtChecks = 0;
-  /// Incremental clause-check counters (populated by passes that go through
-  /// chc::ClauseCheckContext, currently the verify pass).
-  chc::CheckStats Check;
-
-  /// Sums the counters of \p O into this (the name is kept).
-  void merge(const PassStats &O);
-  std::string toString() const;
-};
-
-/// Configuration of the pipeline.
-struct AnalysisOptions {
-  bool EnableSlicing = true;
-  bool EnableIntervals = true;
-  IntervalAnalysisOptions Intervals;
-  /// SMT budget for the per-invariant verification checks.
-  smt::SmtSolver::Options Smt;
-  /// Soft wall-clock cap for the whole pipeline (0 = unlimited). On expiry
-  /// the pipeline stops early; partial results remain sound because every
-  /// pass only adds independently verified facts.
-  double TimeoutSeconds = 0;
-};
-
-/// Finite per-argument bounds of one predicate, the shape handed to the
-/// decision-tree learner as candidate attributes.
-struct ArgBounds {
-  size_t ArgIndex = 0;
-  bool HasLo = false;
-  bool HasHi = false;
-  Rational Lo;
-  Rational Hi;
-};
-
-/// Everything the pipeline proved about a system.
-struct AnalysisResult {
-  /// Per-clause liveness mask: pruned clauses are valid under `Fixed` plus
-  /// any downstream strengthening, so the solver never re-checks them.
-  std::vector<char> LiveClause;
-  /// Statically resolved predicates (interpretation `true` or `false`);
-  /// no live clause mentions them.
-  std::map<const chc::Predicate *, const Term *> Fixed;
-  /// Verified inductive interval invariants for live predicates. Sound
-  /// over-approximations: every derivable fact satisfies them.
-  std::map<const chc::Predicate *, const Term *> Invariants;
-  /// The finite bounds behind `Invariants`, as learner-feature fodder.
-  std::map<const chc::Predicate *, std::vector<ArgBounds>> Bounds;
-  /// True when the verified seed already discharges every query clause:
-  /// `Fixed` + `Invariants` is a full solution and no learning is needed.
-  bool ProvedSat = false;
-  /// Per-pass statistics, in execution order.
-  std::vector<PassStats> Passes;
-
-  size_t numLiveClauses() const;
-  size_t clausesPruned() const { return LiveClause.size() - numLiveClauses(); }
-  size_t predicatesResolved() const { return Fixed.size(); }
-  size_t boundsFound() const;
-  double totalSeconds() const;
-  size_t smtChecks() const;
-
-  /// Empty result treating every clause as live (analysis disabled).
-  static AnalysisResult allLive(const chc::ChcSystem &System);
-
-  /// Multi-line human-readable report for benches and examples.
-  std::string report() const;
-};
-
-/// Shared mutable state the passes operate on.
-struct AnalysisContext {
-  const chc::ChcSystem &System;
-  TermManager &TM;
-  const AnalysisOptions &Opts;
-  Deadline Clock;
-  AnalysisResult Result;
-  /// Raw interval states, populated by the interval pass for the verifier.
-  std::vector<PredIntervalState> Intervals;
-
-  AnalysisContext(const chc::ChcSystem &System, const AnalysisOptions &Opts);
-
-  bool isLive(size_t ClauseIdx) const { return Result.LiveClause[ClauseIdx]; }
-  /// Prunes a clause; returns true when it was live before.
-  bool prune(size_t ClauseIdx);
-  bool isFixed(const chc::Predicate *P) const { return Result.Fixed.count(P); }
-};
-
 /// One analysis pass. Passes must only add *verified or construction-sound*
 /// facts to the context result; pruning must preserve every solution of the
-/// live subsystem as a solution of the full system.
+/// live subsystem as a solution of the full system. Counters go to
+/// `Ctx.stats()`, which the manager points at the pass's own `PassStats`
+/// for the duration of `run`.
 class Pass {
 public:
   virtual ~Pass() = default;
   virtual std::string name() const = 0;
-  virtual void run(AnalysisContext &Ctx, PassStats &Stats) = 0;
+  virtual void run(AnalysisContext &Ctx) = 0;
 };
 
 /// Runs a pass sequence with per-pass timing and a shared deadline.
@@ -153,6 +65,9 @@ public:
 
   AnalysisResult run(const chc::ChcSystem &System,
                      const AnalysisOptions &Opts) const;
+  /// Runs the passes over a caller-prepared context (the context keeps the
+  /// raw domain states afterwards).
+  void run(AnalysisContext &Ctx) const;
 
   /// The default pipeline described in the file comment.
   static PassManager defaultPipeline(const AnalysisOptions &Opts);

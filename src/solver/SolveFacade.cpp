@@ -1,0 +1,89 @@
+//===- solver/SolveFacade.cpp - One-call CHC solving façade ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolveFacade.h"
+
+#include "chc/ChcParser.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace la;
+using namespace la::chc;
+
+std::string solver::SolveStats::summary() const {
+  if (!Ok)
+    return "error: " + Error;
+  std::string Out = toString(Status);
+  Out += " (" + SolverName + ", " + Solver.summary() + ")";
+  if (SolvedByAnalysis)
+    Out += " [solved by pre-analysis]";
+  return Out;
+}
+
+solver::SolveStats solver::solveSystem(const ChcSystem &System,
+                               const SolveOptions &Opts) {
+  solver::SolveStats Out;
+  Out.Ok = true;
+  Out.Clauses = System.clauses().size();
+  Out.Predicates = System.predicates().size();
+  Out.Recursive = System.isRecursive();
+
+  std::unique_ptr<ChcSolverInterface> Solver;
+  if (Opts.MakeSolver) {
+    Solver = Opts.MakeSolver();
+  } else {
+    DataDrivenOptions DD = Opts.Solver;
+    if (Opts.TimeoutSeconds > 0)
+      DD.TimeoutSeconds = Opts.TimeoutSeconds;
+    Solver = std::make_unique<DataDrivenChcSolver>(std::move(DD));
+  }
+  Out.SolverName = Solver->name();
+
+  ChcSolverResult R = Solver->solve(System);
+  Out.Status = R.Status;
+  Out.Solver = R.Stats;
+  if (R.Status == ChcResult::Sat) {
+    Out.Model = R.Interp.toString();
+    if (Opts.ValidateModel)
+      Out.ModelValidated =
+          checkInterpretation(System, R.Interp) == ClauseStatus::Valid;
+  }
+  if (R.Status == ChcResult::Unsat && R.Cex)
+    Out.Cex = R.Cex->toString(System);
+
+  if (auto *DataDriven = dynamic_cast<DataDrivenChcSolver *>(Solver.get())) {
+    Out.AnalysisPasses = DataDriven->analysisResult().Passes;
+    Out.SolvedByAnalysis = DataDriven->detailedStats().SolvedByAnalysis;
+  }
+  return Out;
+}
+
+solver::SolveStats solver::solveChcText(const std::string &Text,
+                                const SolveOptions &Opts) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(Text, System);
+  if (!P.Ok) {
+    solver::SolveStats Out;
+    Out.Error = "parse error: " + P.Error;
+    return Out;
+  }
+  return solveSystem(System, Opts);
+}
+
+solver::SolveStats solver::solveFile(const std::string &Path,
+                             const SolveOptions &Opts) {
+  std::ifstream In(Path);
+  if (!In) {
+    solver::SolveStats Out;
+    Out.Error = "cannot open " + Path;
+    return Out;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  return solveChcText(Buffer.str(), Opts);
+}

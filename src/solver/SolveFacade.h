@@ -1,0 +1,91 @@
+//===- solver/SolveFacade.h - One-call CHC solving façade -------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-call entry points `la::solver::solveFile`, `solveChcText` and
+/// `solveSystem`: they own the parser, the static pre-analysis pipeline and
+/// the `DataDrivenChcSolver` wiring that the examples used to duplicate,
+/// and return a self-contained `SolveStats` (witnesses rendered to strings,
+/// so nothing points into the solve's term manager after it is gone).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SOLVER_SOLVEFACADE_H
+#define LA_SOLVER_SOLVEFACADE_H
+
+#include "solver/DataDrivenSolver.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace la::solver {
+
+/// Configuration of the façade.
+struct SolveOptions {
+  /// Wall-clock budget in seconds (0 = keep `Solver.TimeoutSeconds`).
+  double TimeoutSeconds = 60;
+  /// Data-driven solver configuration (analysis options included); the
+  /// façade copies `TimeoutSeconds` over it when nonzero.
+  DataDrivenOptions Solver;
+  /// Re-check a sat model clause by clause with `chc::checkInterpretation`.
+  bool ValidateModel = true;
+  /// Factory overriding the solver construction (the command-line driver
+  /// uses this to select baseline solvers without adding a baselines
+  /// dependency to this library). When unset, a `DataDrivenChcSolver` over
+  /// `Solver` is used.
+  std::function<std::unique_ptr<chc::ChcSolverInterface>()> MakeSolver;
+};
+
+/// Self-contained outcome of one façade call. Term-level facts are rendered
+/// to strings because the term manager dies with the call.
+struct SolveStats {
+  /// False on I/O or parse failure; `Error` says why and `Status` stays
+  /// Unknown.
+  bool Ok = false;
+  std::string Error;
+
+  chc::ChcResult Status = chc::ChcResult::Unknown;
+  std::string SolverName;
+  size_t Clauses = 0;
+  size_t Predicates = 0;
+  bool Recursive = false;
+
+  /// Rendered interpretation when Status == Sat.
+  std::string Model;
+  /// True when Status == Sat and the model passed independent re-validation
+  /// (always false with `ValidateModel` off).
+  bool ModelValidated = false;
+  /// Rendered refutation when Status == Unsat and the solver produced one.
+  std::string Cex;
+
+  /// CEGAR-loop bookkeeping (queries, samples, iterations, seconds).
+  chc::SolveStats Solver;
+  /// Static pre-analysis counters, one entry per executed pass (empty when
+  /// analysis is off or a custom solver ran).
+  std::vector<analysis::PassStats> AnalysisPasses;
+  /// True when the pre-analysis alone discharged every query clause.
+  bool SolvedByAnalysis = false;
+
+  /// Compact one-line rendering for drivers.
+  std::string summary() const;
+};
+
+/// Solves an already-built system. `System` keeps ownership of its terms;
+/// only `SolveStats` escapes.
+SolveStats solveSystem(const chc::ChcSystem &System,
+                       const SolveOptions &Opts = {});
+
+/// Parses SMT-LIB2 HORN text into a fresh system and solves it.
+SolveStats solveChcText(const std::string &Text,
+                        const SolveOptions &Opts = {});
+
+/// Reads, parses and solves an SMT-LIB2 HORN file.
+SolveStats solveFile(const std::string &Path, const SolveOptions &Opts = {});
+
+} // namespace la::solver
+
+#endif // LA_SOLVER_SOLVEFACADE_H

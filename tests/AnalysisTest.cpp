@@ -5,11 +5,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DependencyGraph.h"
+#include "analysis/IntervalAnalysis.h"
+#include "analysis/Octagon.h"
+#include "analysis/OctagonAnalysis.h"
 #include "analysis/PassManager.h"
 #include "chc/ChcParser.h"
 #include "solver/DataDrivenSolver.h"
 
 #include <gtest/gtest.h>
+
+#include <functional>
 
 using namespace la;
 using namespace la::analysis;
@@ -172,14 +177,13 @@ TEST(IntervalAnalysisTest, CountingLoopConverges) {
                                   System);
   ASSERT_TRUE(P.Ok) << P.Error;
 
-  std::vector<char> SkipPred(System.predicates().size(), 0);
-  std::vector<PredIntervalState> States =
-      runIntervalAnalysis(System, {}, SkipPred, {});
+  AnalysisContext Ctx(System);
+  std::vector<IntervalState> States = runIntervalAnalysis(Ctx);
 
   const Predicate *Inv = findPred(System, "inv");
   ASSERT_TRUE(States[Inv->Index].Reachable);
-  ASSERT_EQ(States[Inv->Index].Args.size(), 1u);
-  EXPECT_EQ(States[Inv->Index].Args[0],
+  ASSERT_EQ(States[Inv->Index].Value.size(), 1u);
+  EXPECT_EQ(States[Inv->Index].Value[0],
             Interval::range(Rational(0), Rational(10)));
 }
 
@@ -200,16 +204,321 @@ TEST(IntervalAnalysisTest, WideningDropsUnstableBound) {
                                   System);
   ASSERT_TRUE(P.Ok) << P.Error;
 
-  std::vector<char> SkipPred(System.predicates().size(), 0);
-  std::vector<PredIntervalState> States =
-      runIntervalAnalysis(System, {}, SkipPred, {});
+  AnalysisContext Ctx(System);
+  std::vector<IntervalState> States = runIntervalAnalysis(Ctx);
 
   const Predicate *Inv = findPred(System, "inv");
   ASSERT_TRUE(States[Inv->Index].Reachable);
-  const Interval &I = States[Inv->Index].Args[0];
+  const Interval &I = States[Inv->Index].Value[0];
   EXPECT_TRUE(I.hasLo());
   EXPECT_EQ(I.lo(), Rational(0));
   EXPECT_FALSE(I.hasHi());
+}
+
+//===----------------------------------------------------------------------===//
+// Octagon domain, differential against brute-force enumeration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// All integer points of the box [-B, B]^N, as rational coordinate vectors.
+std::vector<std::vector<Rational>> boxPoints(size_t N, int B) {
+  std::vector<std::vector<Rational>> Points(1);
+  for (size_t D = 0; D < N; ++D) {
+    std::vector<std::vector<Rational>> Next;
+    for (const auto &P : Points)
+      for (int V = -B; V <= B; ++V) {
+        Next.push_back(P);
+        Next.back().push_back(Rational(V));
+      }
+    Points = std::move(Next);
+  }
+  return Points;
+}
+
+/// Evaluates one canonical octagon constraint at a point.
+Rational evalConstraint(const OctConstraint &C,
+                        const std::vector<Rational> &P) {
+  Rational V = P[C.Var1] * Rational(C.Coef1);
+  if (C.Coef2 != 0)
+    V = V + P[C.Var2] * Rational(C.Coef2);
+  return V;
+}
+
+/// Checks every finite canonical constraint of \p O against the enumerated
+/// \p Sat points: each must be sound (no point exceeds it) and, when \p
+/// ExpectTight, exact (some point attains it). Requires the concretization
+/// of \p O to lie strictly inside the enumeration box.
+void checkAgainstEnumeration(const Octagon &O,
+                             const std::vector<std::vector<Rational>> &Sat,
+                             bool ExpectTight) {
+  O.forEachConstraint([&](const OctConstraint &C) {
+    Rational Max;
+    bool Any = false;
+    for (const auto &P : Sat) {
+      Rational V = evalConstraint(C, P);
+      if (!Any || Max < V) {
+        Max = V;
+        Any = true;
+      }
+      EXPECT_TRUE(V <= C.Bound) << O.toString();
+    }
+    ASSERT_TRUE(Any);
+    if (ExpectTight) {
+      EXPECT_EQ(Max, C.Bound) << "loose bound in " << O.toString();
+    }
+  });
+}
+
+} // namespace
+
+TEST(OctagonTest, ClosureIsTightOnEnumeratedBox) {
+  // x in [0, 5], y in [1, 4], x + y <= 7: bounded and strictly inside the
+  // enumeration box, so every closed bound must match the enumerated max.
+  Octagon O(2);
+  O.addLower(0, Rational(0));
+  O.addUpper(0, Rational(5));
+  O.addLower(1, Rational(1));
+  O.addUpper(1, Rational(4));
+  O.addPair(0, false, 1, false, Rational(7));
+
+  auto SatPred = [](const std::vector<Rational> &P) {
+    return Rational(0) <= P[0] && P[0] <= Rational(5) && Rational(1) <= P[1] &&
+           P[1] <= Rational(4) && P[0] + P[1] <= Rational(7);
+  };
+  std::vector<std::vector<Rational>> Sat;
+  for (const auto &P : boxPoints(2, 8)) {
+    EXPECT_EQ(O.contains(P), SatPred(P));
+    if (SatPred(P))
+      Sat.push_back(P);
+  }
+  ASSERT_FALSE(O.isEmpty());
+  checkAgainstEnumeration(O, Sat, /*ExpectTight=*/true);
+
+  EXPECT_EQ(O.boundOf(0), Interval::range(Rational(0), Rational(5)));
+  EXPECT_EQ(O.boundOf(1), Interval::range(Rational(1), Rational(4)));
+  EXPECT_EQ(O.pairUpper(0, false, 1, false), OctBound::of(Rational(7)));
+  // Implied by closure: x - y <= 5 - 1 = 4.
+  EXPECT_EQ(O.pairUpper(0, false, 1, true), OctBound::of(Rational(4)));
+}
+
+TEST(OctagonTest, IntegerTightening) {
+  // Fractional unary bound floors to the next integer.
+  Octagon A(1);
+  A.addUpper(0, Rational(BigInt(5), BigInt(2))); // x <= 5/2
+  Interval IA = A.boundOf(0);
+  ASSERT_TRUE(IA.hasHi());
+  EXPECT_EQ(IA.hi(), Rational(2));
+
+  // Half-sum strengthening: x + y <= 3 and x - y <= 4 imply 2x <= 7, which
+  // tightens to x <= 3 over the integers.
+  Octagon B(2);
+  B.addPair(0, false, 1, false, Rational(3));
+  B.addPair(0, false, 1, true, Rational(4));
+  Interval IB = B.boundOf(0);
+  ASSERT_TRUE(IB.hasHi());
+  EXPECT_EQ(IB.hi(), Rational(3));
+  EXPECT_FALSE(IB.hasLo());
+
+  // x in [1/2, 1/2] holds no integer point at all.
+  Octagon C(1);
+  C.addUpper(0, Rational(BigInt(1), BigInt(2)));
+  C.addLower(0, Rational(BigInt(1), BigInt(2)));
+  EXPECT_TRUE(C.isEmpty());
+}
+
+TEST(OctagonTest, EmptinessDetection) {
+  Octagon A(1);
+  A.addLower(0, Rational(1));
+  A.addUpper(0, Rational(0));
+  EXPECT_TRUE(A.isEmpty());
+
+  // x + y <= 1 together with x + y >= 2.
+  Octagon B(2);
+  B.addPair(0, false, 1, false, Rational(1));
+  B.addPair(0, true, 1, true, Rational(-2));
+  EXPECT_TRUE(B.isEmpty());
+
+  Octagon C(2);
+  C.markEmpty();
+  EXPECT_TRUE(C.isEmpty());
+  EXPECT_EQ(C, Octagon::bottom(2));
+
+  // Emptiness is absorbing for meet, neutral for join.
+  Octagon Box(2);
+  Box.addLower(0, Rational(0));
+  Box.addUpper(0, Rational(2));
+  EXPECT_TRUE(Box.meet(B).isEmpty());
+  EXPECT_EQ(Box.join(B), Box);
+}
+
+TEST(OctagonTest, JoinIsExactPerConstraint) {
+  // Two disjoint boxes; the join's canonical bounds must equal the max of
+  // the operands' bounds, i.e. the enumerated max over the union.
+  Octagon A(2);
+  A.addLower(0, Rational(0));
+  A.addUpper(0, Rational(2));
+  A.addLower(1, Rational(0));
+  A.addUpper(1, Rational(2));
+
+  Octagon B(2);
+  B.addLower(0, Rational(4));
+  B.addUpper(0, Rational(6));
+  B.addLower(1, Rational(1));
+  B.addUpper(1, Rational(3));
+
+  Octagon J = A.join(B);
+  ASSERT_FALSE(J.isEmpty());
+
+  std::vector<std::vector<Rational>> Union;
+  for (const auto &P : boxPoints(2, 7)) {
+    bool InEither = A.contains(P) || B.contains(P);
+    if (InEither) {
+      Union.push_back(P);
+      // Join over-approximates the union...
+      EXPECT_TRUE(J.contains(P));
+    }
+  }
+  // ...and is exact constraint-by-constraint.
+  checkAgainstEnumeration(J, Union, /*ExpectTight=*/true);
+
+  EXPECT_EQ(J.boundOf(0), Interval::range(Rational(0), Rational(6)));
+  EXPECT_EQ(J.boundOf(1), Interval::range(Rational(0), Rational(3)));
+  // Relational fact the interval join cannot see: x - y <= 5 (attained at
+  // (6, 1)), tighter than the unary-implied 6 - 0 = 6.
+  EXPECT_EQ(J.pairUpper(0, false, 1, true), OctBound::of(Rational(5)));
+}
+
+TEST(OctagonTest, WideningDropsUnstableKeepsStable) {
+  Octagon Prev(2);
+  Prev.addLower(0, Rational(0));
+  Prev.addUpper(0, Rational(3));
+  Prev.addLower(1, Rational(0));
+  Prev.addUpper(1, Rational(0));
+  Prev.addPair(1, false, 0, true, Rational(0)); // y - x <= 0
+
+  Octagon Next(2);
+  Next.addLower(0, Rational(0));
+  Next.addUpper(0, Rational(4)); // upper bound of x moved
+  Next.addLower(1, Rational(0));
+  Next.addUpper(1, Rational(0));
+  Next.addPair(1, false, 0, true, Rational(0));
+
+  Octagon W = Prev.widen(Prev.join(Next));
+  // Widening over-approximates both iterates...
+  for (const auto &P : boxPoints(2, 5))
+    if (Prev.contains(P) || Next.contains(P)) {
+      EXPECT_TRUE(W.contains(P));
+    }
+  // ...keeps every stable bound and drops the moving one.
+  Interval X = W.boundOf(0);
+  EXPECT_TRUE(X.hasLo());
+  EXPECT_EQ(X.lo(), Rational(0));
+  EXPECT_FALSE(X.hasHi());
+  EXPECT_EQ(W.boundOf(1), Interval::range(Rational(0), Rational(0)));
+  EXPECT_EQ(W.pairUpper(1, false, 0, true), OctBound::of(Rational(0)));
+
+  // Nothing moved: widening is the identity.
+  EXPECT_EQ(Prev.widen(Prev), Prev);
+}
+
+TEST(OctagonTest, ProjectionKeepsImpliedFacts) {
+  // x = y + 1, y in [0, 3], z unconstrained: projecting away z keeps the
+  // relation, projecting onto {x} keeps the implied bounds [1, 4].
+  Octagon O(3);
+  O.addPair(0, false, 1, true, Rational(1));  // x - y <= 1
+  O.addPair(1, false, 0, true, Rational(-1)); // y - x <= -1
+  O.addLower(1, Rational(0));
+  O.addUpper(1, Rational(3));
+
+  Octagon XY = O.project({0, 1});
+  EXPECT_EQ(XY.pairUpper(0, false, 1, true), OctBound::of(Rational(1)));
+  EXPECT_EQ(XY.pairUpper(1, false, 0, true), OctBound::of(Rational(-1)));
+  EXPECT_EQ(XY.boundOf(0), Interval::range(Rational(1), Rational(4)));
+
+  Octagon X = O.project({0});
+  EXPECT_EQ(X.numVars(), 1u);
+  EXPECT_EQ(X.boundOf(0), Interval::range(Rational(1), Rational(4)));
+}
+
+//===----------------------------------------------------------------------===//
+// Octagon fixpoint: relational invariants intervals cannot express
+//===----------------------------------------------------------------------===//
+
+/// `p(x, y)` starts on the diagonal x = y (unbounded!) and only ever grows
+/// x. The query x >= y needs the relational fact y - x <= 0; intervals see
+/// no finite bound anywhere, so their invariant is provably trivial.
+constexpr const char *RelationalSystem = R"(
+(set-logic HORN)
+(declare-fun p (Int Int) Bool)
+(assert (forall ((x Int) (y Int)) (=> (= x y) (p x y))))
+(assert (forall ((x Int) (y Int) (x1 Int))
+  (=> (and (p x y) (= x1 (+ x 1))) (p x1 y))))
+(assert (forall ((x Int) (y Int)) (=> (p x y) (>= x y))))
+)";
+
+TEST(OctagonAnalysisTest, RelationalInvariantBeyondIntervals) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(RelationalSystem, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+  const Predicate *Pred = findPred(System, "p");
+
+  AnalysisContext Ctx(System);
+
+  // The interval domain provably learns nothing here: every argument stays
+  // unbounded, the state is top and the rendered invariant empty.
+  std::vector<IntervalState> IStates = runIntervalAnalysis(Ctx);
+  ASSERT_TRUE(IStates[Pred->Index].Reachable);
+  for (const Interval &I : IStates[Pred->Index].Value)
+    EXPECT_TRUE(I.isTop());
+  EXPECT_EQ(intervalInvariant(TM, Pred, IStates[Pred->Index]), nullptr);
+
+  // The octagon domain keeps the diagonal fact y - x <= 0 through the loop.
+  std::vector<OctagonState> OStates = runOctagonAnalysis(Ctx);
+  ASSERT_TRUE(OStates[Pred->Index].Reachable);
+  const Octagon &O = OStates[Pred->Index].Value;
+  EXPECT_EQ(O.pairUpper(1, false, 0, true), OctBound::of(Rational(0)));
+  EXPECT_GE(OctagonDomain::relationalFactCount(O), 1u);
+
+  const Term *Inv = octagonInvariant(TM, Pred, OStates[Pred->Index]);
+  ASSERT_NE(Inv, nullptr);
+
+  // The emitted candidate is inductive: it survives chc::checkClause.
+  Interpretation Interp(TM);
+  Interp.set(Pred, Inv);
+  for (const HornClause &C : System.clauses())
+    EXPECT_EQ(checkClause(System, C, Interp).Status, ClauseStatus::Valid)
+        << C.Name;
+}
+
+TEST(OctagonAnalysisTest, PipelineDischargesRelationalQuery) {
+  TermManager TM;
+  ChcSystem System(TM);
+  ChcParseResult P = parseChcText(RelationalSystem, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  // Interval-only pipeline: no invariant, no discharge.
+  AnalysisOptions IntervalOnly;
+  IntervalOnly.EnableOctagons = false;
+  AnalysisResult RI = analyzeSystem(System, IntervalOnly);
+  EXPECT_FALSE(RI.ProvedSat);
+  EXPECT_TRUE(RI.Invariants.empty());
+  EXPECT_EQ(RI.relationalFound(), 0u);
+
+  // Full pipeline: the octagon invariant discharges the query statically.
+  AnalysisResult R = analyzeSystem(System);
+  EXPECT_TRUE(R.ProvedSat);
+  EXPECT_FALSE(R.Invariants.empty());
+  EXPECT_GE(R.relationalFound(), 1u);
+
+  // End to end: zero CEGAR iterations with the analysis on.
+  solver::DataDrivenChcSolver Solver;
+  ChcSolverResult SR = Solver.solve(System);
+  EXPECT_EQ(SR.Status, ChcResult::Sat);
+  EXPECT_EQ(SR.Stats.Iterations, 0u);
+  EXPECT_TRUE(Solver.detailedStats().SolvedByAnalysis);
+  EXPECT_EQ(checkInterpretation(System, SR.Interp), ClauseStatus::Valid);
 }
 
 //===----------------------------------------------------------------------===//
@@ -358,20 +667,23 @@ TEST(AnalysisTest, PassStatisticsAreReported) {
   ASSERT_TRUE(P.Ok) << P.Error;
 
   AnalysisResult R = analyzeSystem(System);
-  ASSERT_EQ(R.Passes.size(), 4u);
+  ASSERT_EQ(R.Passes.size(), 5u);
   EXPECT_EQ(R.Passes[0].Name, "fact-reach");
   EXPECT_EQ(R.Passes[1].Name, "query-cone");
   EXPECT_EQ(R.Passes[2].Name, "intervals");
-  EXPECT_EQ(R.Passes[3].Name, "verify");
+  EXPECT_EQ(R.Passes[3].Name, "octagons");
+  EXPECT_EQ(R.Passes[4].Name, "verify");
   EXPECT_GT(R.Passes[2].BoundsFound, 0u);
-  EXPECT_GT(R.Passes[3].SmtChecks, 0u);
+  EXPECT_GT(R.Passes[3].BoundsFound, 0u);
+  EXPECT_GT(R.Passes[4].SmtChecks, 0u);
   EXPECT_GT(R.smtChecks(), 0u);
   EXPECT_FALSE(R.report().empty());
 
-  // Disabling both pass groups yields the trivial result.
+  // Disabling every pass group yields the trivial result.
   AnalysisOptions Off;
   Off.EnableSlicing = false;
   Off.EnableIntervals = false;
+  Off.EnableOctagons = false;
   AnalysisResult Trivial = analyzeSystem(System, Off);
   EXPECT_EQ(Trivial.clausesPruned(), 0u);
   EXPECT_TRUE(Trivial.Fixed.empty());

@@ -6,8 +6,12 @@
 
 #include "chc/ChcParser.h"
 #include "solver/DataDrivenSolver.h"
+#include "solver/SolveFacade.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
 
 using namespace la;
 using namespace la::chc;
@@ -174,6 +178,9 @@ TEST(DataDrivenSolverTest, DisjunctiveInvariant) {
 TEST(DataDrivenSolverTest, BudgetYieldsUnknown) {
   DataDrivenOptions Opts = testOptions();
   Opts.MaxIterations = 1;
+  // The octagon pre-analysis discharges Fig. 1 statically; turn it off so
+  // the CEGAR loop actually runs into its one-iteration budget.
+  Opts.EnableAnalysis = false;
   EXPECT_EQ(solveText(R"(
 (set-logic HORN)
 (declare-fun p (Int Int) Bool)
@@ -235,6 +242,94 @@ TEST(DataDrivenSolverTest, ParityInvariantWithModFeatures) {
 )",
                       Opts),
             ChcResult::Sat);
+}
+
+//===----------------------------------------------------------------------===//
+// The one-call façade (examples use nothing else)
+//===----------------------------------------------------------------------===//
+
+constexpr const char *BoundedCounterText = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)";
+
+TEST(SolveFacadeTest, SolvesTextEndToEnd) {
+  solver::SolveStats S = solveChcText(BoundedCounterText);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Status, ChcResult::Sat);
+  EXPECT_EQ(S.Clauses, 3u);
+  EXPECT_EQ(S.Predicates, 1u);
+  EXPECT_TRUE(S.Recursive);
+  EXPECT_FALSE(S.Model.empty());
+  EXPECT_TRUE(S.ModelValidated);
+  // The bounded counter is discharged by the pre-analysis; the per-pass
+  // statistics come back through the façade.
+  EXPECT_TRUE(S.SolvedByAnalysis);
+  EXPECT_EQ(S.Solver.Iterations, 0u);
+  EXPECT_FALSE(S.AnalysisPasses.empty());
+  EXPECT_NE(S.summary().find("sat"), std::string::npos);
+}
+
+TEST(SolveFacadeTest, ReportsParseAndFileErrors) {
+  solver::SolveStats Bad = solveChcText("(assert (not-horn");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_NE(Bad.Error.find("parse error"), std::string::npos);
+  EXPECT_EQ(Bad.Status, ChcResult::Unknown);
+  EXPECT_NE(Bad.summary().find("error"), std::string::npos);
+
+  solver::SolveStats Missing = solveFile("/nonexistent/path.smt2");
+  EXPECT_FALSE(Missing.Ok);
+  EXPECT_NE(Missing.Error.find("cannot open"), std::string::npos);
+}
+
+TEST(SolveFacadeTest, SolvesFileAndHonorsCustomSolverHook) {
+  const char *Path = "facade_test_tmp.smt2";
+  {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out.good());
+    Out << BoundedCounterText;
+  }
+
+  solver::SolveStats S = solveFile(Path);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Status, ChcResult::Sat);
+  EXPECT_TRUE(S.ModelValidated);
+
+  // The factory hook swaps in a differently-configured solver; analysis
+  // statistics still surface because it is a DataDrivenChcSolver.
+  SolveOptions Opts;
+  Opts.MakeSolver = [] {
+    DataDrivenOptions DD;
+    DD.TimeoutSeconds = 60;
+    DD.Name = "hooked";
+    return std::make_unique<DataDrivenChcSolver>(DD);
+  };
+  solver::SolveStats H = solveFile(Path, Opts);
+  ASSERT_TRUE(H.Ok) << H.Error;
+  EXPECT_EQ(H.Status, ChcResult::Sat);
+  EXPECT_EQ(H.SolverName, "hooked");
+  EXPECT_FALSE(H.AnalysisPasses.empty());
+
+  std::remove(Path);
+}
+
+TEST(SolveFacadeTest, UnsafeSystemYieldsRenderedCounterexample) {
+  solver::SolveStats S = solveChcText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 5))))
+)");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Status, ChcResult::Unsat);
+  EXPECT_FALSE(S.Cex.empty());
+  EXPECT_TRUE(S.Model.empty());
 }
 
 } // namespace
