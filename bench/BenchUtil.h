@@ -49,6 +49,19 @@ inline SolverFactory linearArbitraryFactory() {
   };
 }
 
+/// The data-driven solver with only the system-rewriting passes (inlining +
+/// slicing) enabled: isolates what predicate elimination buys the CEGAR
+/// loop before any abstract-domain seeding.
+inline SolverFactory linearArbitraryInlineOnlyFactory() {
+  return [](const corpus::BenchmarkProgram &P, double Timeout) {
+    solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);
+    Opts.Analysis.EnableIntervals = false;
+    Opts.Analysis.EnableOctagons = false;
+    Opts.Name = "LA-inline";
+    return std::make_unique<solver::DataDrivenChcSolver>(Opts);
+  };
+}
+
 /// The data-driven solver with the octagon pass disabled: isolates what the
 /// relational domain buys (static discharges, CEGAR iterations saved).
 inline SolverFactory linearArbitraryIntervalOnlyFactory() {

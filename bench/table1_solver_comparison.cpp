@@ -44,9 +44,16 @@ void writeJson(const char *Path,
     const SuiteResult &R = Results[S];
     chc::CheckStats Total;
     size_t TotalIterations = 0;
+    size_t PredicatesInlined = 0, ClausesRemoved = 0;
+    for (const analysis::PassStats &PS : R.AnalysisPasses) {
+      PredicatesInlined += PS.PredicatesInlined;
+      ClausesRemoved += PS.ClausesRemoved;
+    }
     Out << "    {\n      \"name\": \"" << R.SolverName << "\",\n"
         << "      \"solved\": " << R.Solved << ",\n"
         << "      \"solved_by_analysis\": " << R.SolvedByAnalysis << ",\n"
+        << "      \"predicates_inlined\": " << PredicatesInlined << ",\n"
+        << "      \"clauses_removed\": " << ClausesRemoved << ",\n"
         << "      \"total_seconds\": " << R.TotalSeconds << ",\n"
         << "      \"programs\": [\n";
     for (size_t I = 0; I < R.Outcomes.size(); ++I) {
@@ -96,6 +103,7 @@ int main() {
       {"gpdr", pdrFactory(/*CacheReachable=*/false)},
       {"spacer", pdrFactory(/*CacheReachable=*/true)},
       {"duality", unwindFactory(/*SummaryReuse=*/true)},
+      {"LA-inline", linearArbitraryInlineOnlyFactory()},
       {"LA-intervals", linearArbitraryIntervalOnlyFactory()},
       {"LinearArbitrary", linearArbitraryFactory()},
   };

@@ -6,6 +6,9 @@
 
 #include "analysis/AnalysisContext.h"
 
+#include "analysis/InlinePass.h"
+
+#include <cassert>
 #include <cstdio>
 
 using namespace la;
@@ -16,6 +19,8 @@ void PassStats::merge(const PassStats &O) {
   Seconds += O.Seconds;
   ClausesPruned += O.ClausesPruned;
   PredicatesResolved += O.PredicatesResolved;
+  PredicatesInlined += O.PredicatesInlined;
+  ClausesRemoved += O.ClausesRemoved;
   BoundsFound += O.BoundsFound;
   RelationalFound += O.RelationalFound;
   InvariantsVerified += O.InvariantsVerified;
@@ -32,6 +37,10 @@ std::string PassStats::toString() const {
                    Name.c_str(), Seconds, ClausesPruned, PredicatesResolved,
                    BoundsFound, RelationalFound, InvariantsVerified,
                    InvariantsRejected, SmtChecks);
+  if (PredicatesInlined + ClausesRemoved > 0 && N > 0 &&
+      static_cast<size_t>(N) < sizeof(Buf))
+    N += snprintf(Buf + N, sizeof(Buf) - N, "  inlined %zu  removed %zu",
+                  PredicatesInlined, ClausesRemoved);
   if (Check.CacheHits + Check.CacheMisses > 0 && N > 0 &&
       static_cast<size_t>(N) < sizeof(Buf))
     snprintf(Buf + N, sizeof(Buf) - N,
@@ -103,10 +112,29 @@ std::string AnalysisResult::report() const {
 }
 
 AnalysisContext::AnalysisContext(const ChcSystem &System, AnalysisOptions Opts)
-    : System(System), TM(System.termManager()), Opts(std::move(Opts)),
-      Clock(this->Opts.TimeoutSeconds) {
+    : TM(System.termManager()), Opts(std::move(Opts)),
+      Clock(this->Opts.TimeoutSeconds), Sys(&System) {
   Result.LiveClause.assign(System.clauses().size(), 1);
   SkipPred.assign(System.predicates().size(), 0);
+}
+
+void AnalysisContext::adoptTransformed(std::shared_ptr<chc::ChcSystem> T,
+                                       std::shared_ptr<const InlineMap> M) {
+  assert(T && M && "adoptTransformed needs a system and its map");
+  assert(Result.Fixed.empty() && Result.Invariants.empty() &&
+         "the inline pass must run before any annotating pass");
+  Result.Transformed = std::move(T);
+  Result.Inline = std::move(M);
+  Sys = Result.Transformed.get();
+  Result.LiveClause.assign(Sys->clauses().size(), 1);
+  // Eliminated predicates stay registered (so indices line up with the
+  // original system) but have no clauses; mask them so no later pass tries
+  // to resolve or bound them. They are deliberately NOT added to `Fixed`:
+  // their final interpretations come from back-translation after solving.
+  SkipPred.assign(Sys->predicates().size(), 0);
+  for (size_t I = 0; I < Result.Inline->Eliminated.size(); ++I)
+    if (Result.Inline->Eliminated[I])
+      SkipPred[I] = 1;
 }
 
 bool AnalysisContext::prune(size_t ClauseIdx) {
@@ -118,6 +146,6 @@ bool AnalysisContext::prune(size_t ClauseIdx) {
 void AnalysisContext::fix(const Predicate *P, const Term *Interp) {
   Result.Fixed[P] = Interp;
   if (SkipPred.empty())
-    SkipPred.assign(System.predicates().size(), 0);
+    SkipPred.assign(Sys->predicates().size(), 0);
   SkipPred[P->Index] = 1;
 }

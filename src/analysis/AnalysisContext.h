@@ -24,10 +24,13 @@
 #include "support/Timer.h"
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace la::analysis {
+
+struct InlineMap; // analysis/InlinePass.h
 
 /// Counters of one pass execution (also used merged across runs by the
 /// benchmark harness).
@@ -36,6 +39,10 @@ struct PassStats {
   double Seconds = 0;
   size_t ClausesPruned = 0;
   size_t PredicatesResolved = 0;
+  /// Predicates eliminated by substitution into their call sites and
+  /// clauses that dropped out of the system with them (inline pass only).
+  size_t PredicatesInlined = 0;
+  size_t ClausesRemoved = 0;
   size_t BoundsFound = 0;
   /// Relational (two-variable) facts: candidates for the octagon pass,
   /// facts inside verified invariants for the verify pass.
@@ -54,6 +61,10 @@ struct PassStats {
 
 /// Configuration of the pipeline.
 struct AnalysisOptions {
+  /// Inline non-recursive single-definition predicates into their call
+  /// sites before anything else runs (the system every later pass and the
+  /// CEGAR loop sees is the transformed one).
+  bool EnableInlining = true;
   bool EnableSlicing = true;
   bool EnableIntervals = true;
   bool EnableOctagons = true;
@@ -78,7 +89,20 @@ struct ArgBounds {
 };
 
 /// Everything the pipeline proved about a system.
+///
+/// When the inline pass rewrote the system, `Transformed` holds the smaller
+/// system and every per-clause / per-predicate field below (`LiveClause`,
+/// `Fixed`, `Invariants`, `Bounds`) refers to *it*, not to the input system;
+/// `Inline` carries the metadata needed to translate solutions and
+/// refutations of the transformed system back to the original one
+/// (`analysis/InlinePass.h`). Both handles are null when nothing was
+/// inlined.
 struct AnalysisResult {
+  /// The inlined system the rest of the pipeline (and the CEGAR loop)
+  /// operates on; null when the inline pass did not fire.
+  std::shared_ptr<chc::ChcSystem> Transformed;
+  /// Back-translation metadata for `Transformed`; null iff it is.
+  std::shared_ptr<const InlineMap> Inline;
   /// Per-clause liveness mask: pruned clauses are valid under `Fixed` plus
   /// any downstream strengthening, so the solver never re-checks them.
   std::vector<char> LiveClause;
@@ -119,11 +143,14 @@ using OctagonState = DomainPredState<Octagon>;
 
 /// Shared mutable state the passes and domain engines operate on: system +
 /// live-clause mask + skip-pred mask + options + result + stats sink.
+///
+/// The system a pass sees is `system()`: initially the input system, but
+/// rebound to the inlined clone once `adoptTransformed()` runs, so the
+/// interval/octagon ladder and the verify pass transparently analyze the
+/// smaller system.
 struct AnalysisContext {
-  const chc::ChcSystem &System;
   TermManager &TM;
-  /// Held by value so a context outlives any temporary it was built from
-  /// (the deprecated wrappers construct one on the fly).
+  /// Held by value so a context outlives any temporary it was built from.
   AnalysisOptions Opts;
   Deadline Clock;
   /// Per-predicate-index mask of predicates some earlier pass resolved;
@@ -138,6 +165,18 @@ struct AnalysisContext {
 
   explicit AnalysisContext(const chc::ChcSystem &System,
                            AnalysisOptions Opts = {});
+
+  /// The system every pass operates on (the inlined clone after
+  /// `adoptTransformed()`, the input system before).
+  const chc::ChcSystem &system() const { return *Sys; }
+
+  /// Rebinds the context to the inlined system \p T produced by the inline
+  /// pass and re-initializes the per-clause / per-predicate masks to its
+  /// sizes, pre-masking every eliminated predicate so later passes treat it
+  /// as inert without resolving it to a constant. Must run before any other
+  /// pass has recorded state (asserts `Fixed` and `Invariants` are empty).
+  void adoptTransformed(std::shared_ptr<chc::ChcSystem> T,
+                        std::shared_ptr<const InlineMap> M);
 
   bool isLive(size_t ClauseIdx) const { return Result.LiveClause[ClauseIdx]; }
   /// Prunes a clause; returns true when it was live before.
@@ -155,6 +194,9 @@ struct AnalysisContext {
   void setStatsSink(PassStats *S) { Sink = S; }
 
 private:
+  /// Points at the input system until `adoptTransformed()` rebinds it to
+  /// `Result.Transformed` (which owns the clone).
+  const chc::ChcSystem *Sys;
   PassStats *Sink = nullptr;
   PassStats Scratch;
 };

@@ -17,7 +17,7 @@ DependencyGraph::DependencyGraph(const ChcSystem &System,
     : System(System), Live(LiveClause) {}
 
 DependencyGraph::DependencyGraph(const AnalysisContext &Ctx)
-    : DependencyGraph(Ctx.System, Ctx.Result.LiveClause) {}
+    : DependencyGraph(Ctx.system(), Ctx.Result.LiveClause) {}
 
 std::vector<char> DependencyGraph::derivableFromFacts() const {
   std::vector<char> Derivable(System.predicates().size(), 0);

@@ -39,8 +39,8 @@ runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
                   const FixpointOptions &Opts) {
   using Value = typename D::Value;
   using State = DomainPredState<Value>;
-  const auto &Preds = Ctx.System.predicates();
-  const auto &Clauses = Ctx.System.clauses();
+  const auto &Preds = Ctx.system().predicates();
+  const auto &Clauses = Ctx.system().clauses();
   size_t N = Preds.size();
 
   auto Masked = [&](size_t PI) {

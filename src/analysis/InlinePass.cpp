@@ -1,0 +1,764 @@
+//===- analysis/InlinePass.cpp - Clause inlining / pred elimination -------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InlinePass.h"
+
+#include "logic/LinearExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_set>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+namespace {
+
+/// Mutable working copy of one clause (predicates still point into the
+/// original system) with the slot tree tracking its original body atoms.
+struct WorkClause {
+  HornClause C;
+  std::vector<InlineSlot> Slots;
+  size_t OrigIndex = 0;
+  bool Removed = false;
+};
+
+std::vector<const Term *> conjunctsOf(const Term *T) {
+  if (T->kind() == TermKind::And)
+    return T->operands();
+  if (T->isTrue())
+    return {};
+  return {T};
+}
+
+bool hasExpansion(const std::vector<InlineSlot> &Slots) {
+  for (const InlineSlot &S : Slots)
+    if (S.Expanded)
+      return true;
+  return false;
+}
+
+/// Shifts every passthrough position strictly above \p Above by \p Delta, at
+/// every nesting depth (all passthroughs index the one flat body).
+void shiftPassthroughs(std::vector<InlineSlot> &Slots, size_t Above,
+                       ptrdiff_t Delta) {
+  for (InlineSlot &S : Slots) {
+    if (S.Expanded)
+      shiftPassthroughs(S.Children, Above, Delta);
+    else if (S.DepPos > Above)
+      S.DepPos = static_cast<size_t>(static_cast<ptrdiff_t>(S.DepPos) + Delta);
+  }
+}
+
+/// The unique passthrough slot referencing body position \p Pos, at any
+/// depth.
+InlineSlot *findPassthrough(std::vector<InlineSlot> &Slots, size_t Pos) {
+  for (InlineSlot &S : Slots) {
+    if (S.Expanded) {
+      if (InlineSlot *R = findPassthrough(S.Children, Pos))
+        return R;
+    } else if (S.DepPos == Pos) {
+      return &S;
+    }
+  }
+  return nullptr;
+}
+
+/// Deep-copies a slot tree, substituting expansion arguments and offsetting
+/// every passthrough position by \p Offset.
+std::vector<InlineSlot>
+instantiateSlots(TermManager &TM, const std::vector<InlineSlot> &Slots,
+                 const std::unordered_map<const Term *, const Term *> &Subst,
+                 size_t Offset) {
+  std::vector<InlineSlot> Out;
+  Out.reserve(Slots.size());
+  for (const InlineSlot &S : Slots) {
+    InlineSlot N;
+    N.Expanded = S.Expanded;
+    if (!S.Expanded) {
+      N.DepPos = S.DepPos + Offset;
+    } else {
+      N.Pred = S.Pred;
+      N.DefClauseIndex = S.DefClauseIndex;
+      N.Args.reserve(S.Args.size());
+      for (const Term *A : S.Args)
+        N.Args.push_back(TM.substitute(A, Subst));
+      N.Children = instantiateSlots(TM, S.Children, Subst, Offset);
+    }
+    Out.push_back(std::move(N));
+  }
+  return Out;
+}
+
+/// Replaces the call `W.C.Body[Pos]` (an application of `D.Pred`) by D's
+/// residual and deps, instantiated at the call arguments, and grows the slot
+/// tree accordingly.
+void expandAt(TermManager &TM, WorkClause &W, size_t Pos, const InlineDef &D) {
+  const PredApp Call = W.C.Body[Pos];
+  assert(Call.Pred == D.Pred && "expanding the wrong body atom");
+  std::unordered_map<const Term *, const Term *> Subst;
+  for (size_t I = 0; I < Call.Args.size(); ++I)
+    Subst.emplace(D.Pred->Params[I], Call.Args[I]);
+
+  const size_t K = D.Deps.size();
+  InlineSlot *Slot = findPassthrough(W.Slots, Pos);
+  assert(Slot && "every body position has exactly one passthrough slot");
+  // Renumber the untouched passthroughs first; the replacement's children
+  // are created with final positions [Pos, Pos + K).
+  shiftPassthroughs(W.Slots, Pos, static_cast<ptrdiff_t>(K) - 1);
+  Slot->Expanded = true;
+  Slot->DepPos = 0;
+  Slot->Pred = D.Pred;
+  Slot->DefClauseIndex = D.DefClauseIndex;
+  Slot->Args = Call.Args;
+  Slot->Children = instantiateSlots(TM, D.Slots, Subst, Pos);
+
+  std::vector<PredApp> DepApps;
+  DepApps.reserve(K);
+  for (const PredApp &Dep : D.Deps) {
+    PredApp A;
+    A.Pred = Dep.Pred;
+    A.Args.reserve(Dep.Args.size());
+    for (const Term *T : Dep.Args)
+      A.Args.push_back(TM.substitute(T, Subst));
+    DepApps.push_back(std::move(A));
+  }
+  W.C.Body.erase(W.C.Body.begin() + static_cast<ptrdiff_t>(Pos));
+  W.C.Body.insert(W.C.Body.begin() + static_cast<ptrdiff_t>(Pos),
+                  DepApps.begin(), DepApps.end());
+  W.C.Constraint = TM.mkAnd(W.C.Constraint, TM.substitute(D.Residual, Subst));
+}
+
+/// Applies \p Subst to every expansion argument of an existing slot tree
+/// (passthrough positions are untouched).
+void substSlotArgs(TermManager &TM, std::vector<InlineSlot> &Slots,
+                   const std::unordered_map<const Term *, const Term *> &Subst) {
+  for (InlineSlot &S : Slots) {
+    if (!S.Expanded)
+      continue;
+    for (const Term *&A : S.Args)
+      A = TM.substitute(A, Subst);
+    substSlotArgs(TM, S.Children, Subst);
+  }
+}
+
+/// Direct resolution at the sole use site of an eliminated predicate: when
+/// every call argument is a distinct plain variable and the two clauses
+/// share no variables, unification is just `call arg -> def head arg`, so
+/// the resolvent keeps the defining clause's constraint and body *verbatim*
+/// (no parameter detour) and rewrites the rest of the use clause under the
+/// substitution. For the encoder's preheader predicates this reproduces the
+/// un-split clause exactly — same hash-consed terms — which keeps solver
+/// trajectories identical to the pre-split encoding. \p Floating conjuncts
+/// of the defining clause are dropped (already checked satisfiable).
+void expandDirectAt(TermManager &TM, WorkClause &W, size_t Pos,
+                    const WorkClause &DW,
+                    const std::vector<const Term *> &Floating) {
+  const PredApp Call = W.C.Body[Pos];
+  const HornClause &DC = DW.C;
+  assert(Call.Pred == DC.HeadPred->Pred && "expanding the wrong body atom");
+  std::unordered_map<const Term *, const Term *> Subst;
+  for (size_t I = 0; I < Call.Args.size(); ++I)
+    Subst.emplace(Call.Args[I], DC.HeadPred->Args[I]);
+
+  const size_t K = DC.Body.size();
+  InlineSlot *Slot = findPassthrough(W.Slots, Pos);
+  assert(Slot && "every body position has exactly one passthrough slot");
+  shiftPassthroughs(W.Slots, Pos, static_cast<ptrdiff_t>(K) - 1);
+  substSlotArgs(TM, W.Slots, Subst);
+  Slot->Expanded = true;
+  Slot->DepPos = 0;
+  Slot->Pred = Call.Pred;
+  Slot->DefClauseIndex = DW.OrigIndex;
+  Slot->Args = DC.HeadPred->Args;
+  Slot->Children = instantiateSlots(TM, DW.Slots, {}, Pos);
+
+  // Rewrite the rest of the use clause under the unifier; the def clause's
+  // variables are untouched (disjointness is a precondition).
+  for (PredApp &B : W.C.Body)
+    for (const Term *&A : B.Args)
+      A = TM.substitute(A, Subst);
+  if (W.C.HeadPred)
+    for (const Term *&A : W.C.HeadPred->Args)
+      A = TM.substitute(A, Subst);
+  if (W.C.HeadFormula)
+    W.C.HeadFormula = TM.substitute(W.C.HeadFormula, Subst);
+
+  std::vector<const Term *> Conj;
+  for (const Term *C : conjunctsOf(DC.Constraint))
+    if (std::find(Floating.begin(), Floating.end(), C) == Floating.end())
+      Conj.push_back(C);
+  for (const Term *C : conjunctsOf(TM.substitute(W.C.Constraint, Subst)))
+    Conj.push_back(C);
+  W.C.Constraint = TM.mkAnd(std::move(Conj));
+
+  W.C.Body.erase(W.C.Body.begin() + static_cast<ptrdiff_t>(Pos));
+  W.C.Body.insert(W.C.Body.begin() + static_cast<ptrdiff_t>(Pos),
+                  DC.Body.begin(), DC.Body.end());
+}
+
+/// Outcome of the full-determination analysis of one defining clause.
+struct DefInfo {
+  bool OK = false;
+  const Term *Residual = nullptr;
+  std::vector<PredApp> Deps;          ///< args over P's params
+  std::vector<InlineSlot> Slots;      ///< passthroughs indexing Deps
+  std::vector<const Term *> Floating; ///< need one joint SAT check
+};
+
+/// Tries to express every variable of P's defining clause as an integer
+/// linear term over P's parameters (Gaussian elimination on the head
+/// equations and the linear equality conjuncts, pivots restricted to +-1
+/// after integral normalisation so solutions are exact over Z). Conjuncts
+/// over undetermined variables only are "floating" and reported for a
+/// satisfiability check; a conjunct mixing determined and undetermined
+/// variables, or an undetermined head/dep argument, fails the analysis.
+DefInfo determineDef(TermManager &TM, const Predicate *P,
+                     const WorkClause &W) {
+  DefInfo Out;
+  const HornClause &C = W.C;
+  assert(C.HeadPred && C.HeadPred->Pred == P && "not a defining clause");
+
+  std::unordered_set<const Term *> VarSet;
+  auto AddVars = [&](const Term *T) {
+    for (const Term *V : TM.collectVars(T))
+      VarSet.insert(V);
+  };
+  AddVars(C.Constraint);
+  for (const PredApp &B : C.Body)
+    for (const Term *A : B.Args)
+      AddVars(A);
+  for (const Term *A : C.HeadPred->Args)
+    AddVars(A);
+
+  // A clause variable that *is* one of P's parameters would be captured by
+  // the params -> args substitution; bail.
+  std::unordered_set<const Term *> ParamSet(P->Params.begin(),
+                                            P->Params.end());
+  for (const Term *V : VarSet)
+    if (ParamSet.count(V))
+      return Out;
+  auto IsClauseVar = [&](const Term *V) { return VarSet.count(V) != 0; };
+
+  // Equation system over the clause variables, parameters as knowns:
+  // `u_i - param_i = 0` plus the linear equality conjuncts of the
+  // constraint.
+  std::vector<LinearExpr> Pending;
+  for (size_t I = 0; I < P->arity(); ++I) {
+    std::optional<LinearExpr> L = LinearExpr::fromTerm(C.HeadPred->Args[I]);
+    if (!L)
+      return Out; // non-linear head argument (mod)
+    L->addVar(P->Params[I], Rational(-1));
+    Pending.push_back(std::move(*L));
+  }
+  for (const Term *Conj : conjunctsOf(C.Constraint)) {
+    std::optional<LinearAtom> A = LinearAtom::fromTerm(Conj);
+    if (A && A->Rel == LinRel::Eq)
+      Pending.push_back(std::move(A->Expr));
+  }
+
+  // Gaussian elimination, ordered maps for determinism. Each round
+  // substitutes the solved prefix; an equation reduced to a single clause
+  // variable with a +-1 normalised coefficient solves it exactly over Z.
+  std::map<const Term *, LinearExpr, TermIdLess> Sigma;
+  auto SubstSolved = [&](const LinearExpr &E) {
+    LinearExpr R(E.constant());
+    for (const auto &[V, Cf] : E.coefficients()) {
+      auto It = Sigma.find(V);
+      if (It != Sigma.end())
+        R = R + It->second.scaled(Cf);
+      else
+        R.addVar(V, Cf);
+    }
+    return R;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Pending.begin(); It != Pending.end();) {
+      LinearExpr E = SubstSolved(*It);
+      const Term *Pivot = nullptr;
+      size_t NumUnsolved = 0;
+      for (const auto &[V, Cf] : E.coefficients())
+        if (IsClauseVar(V)) {
+          ++NumUnsolved;
+          Pivot = V;
+        }
+      if (NumUnsolved == 0) {
+        // Implied or parameter-only; the residual re-derives the latter
+        // from the head equations and the conjunct classification below.
+        It = Pending.erase(It);
+        continue;
+      }
+      if (NumUnsolved == 1) {
+        E.normalizeIntegral();
+        Rational Cf = E.coefficient(Pivot);
+        if (Cf == Rational(1) || Cf == Rational(-1)) {
+          // Cf * pivot + rest = 0  =>  pivot = -rest / Cf = -Cf * rest.
+          LinearExpr Sol(E.constant());
+          for (const auto &[V, VC] : E.coefficients())
+            if (V != Pivot)
+              Sol.addVar(V, VC);
+          Sigma.emplace(Pivot, Sol.scaled(-Cf));
+          It = Pending.erase(It);
+          Changed = true;
+          continue;
+        }
+      }
+      ++It;
+    }
+  }
+
+  std::unordered_map<const Term *, const Term *> TSub;
+  for (const auto &[V, L] : Sigma)
+    TSub.emplace(V, L.toTerm(TM));
+  auto Determined = [&](const Term *T) {
+    for (const Term *V : TM.collectVars(T))
+      if (IsClauseVar(V) && !Sigma.count(V))
+        return false;
+    return true;
+  };
+
+  for (const Term *A : C.HeadPred->Args)
+    if (!Determined(A))
+      return Out;
+  for (const PredApp &B : C.Body)
+    for (const Term *A : B.Args)
+      if (!Determined(A))
+        return Out;
+
+  // Residual: head equations under sigma plus determined conjuncts under
+  // sigma (parameter-only by construction). Floating conjuncts mention only
+  // undetermined variables; since those occur nowhere else, the implicit
+  // existential factors into one closed satisfiability question.
+  std::vector<const Term *> ResidualParts;
+  for (size_t I = 0; I < P->arity(); ++I)
+    ResidualParts.push_back(
+        TM.mkEq(P->Params[I], TM.substitute(C.HeadPred->Args[I], TSub)));
+  for (const Term *Conj : conjunctsOf(C.Constraint)) {
+    bool AnyDet = false, AnyUndet = false;
+    for (const Term *V : TM.collectVars(Conj))
+      (Sigma.count(V) ? AnyDet : AnyUndet) = true;
+    if (!AnyUndet)
+      ResidualParts.push_back(TM.substitute(Conj, TSub));
+    else if (!AnyDet)
+      Out.Floating.push_back(Conj);
+    else
+      return Out; // mixed conjunct: the existential does not factor
+  }
+
+  for (const PredApp &B : C.Body) {
+    PredApp D;
+    D.Pred = B.Pred;
+    D.Args.reserve(B.Args.size());
+    for (const Term *A : B.Args)
+      D.Args.push_back(TM.substitute(A, TSub));
+    Out.Deps.push_back(std::move(D));
+  }
+  Out.Slots = instantiateSlots(TM, W.Slots, TSub, 0);
+  Out.Residual = TM.mkAnd(std::move(ResidualParts));
+  Out.OK = true;
+  return Out;
+}
+
+} // namespace
+
+InlineResult analysis::inlineSystem(const ChcSystem &System,
+                                    const smt::SmtSolver::Options &SmtOpts,
+                                    size_t *SmtChecks) {
+  TermManager &TM = System.termManager();
+  const auto &Preds = System.predicates();
+  const auto &Clauses = System.clauses();
+  const size_t N = Preds.size();
+
+  std::vector<WorkClause> Work;
+  Work.reserve(Clauses.size());
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    WorkClause W;
+    W.C = Clauses[I];
+    W.OrigIndex = I;
+    W.Slots.resize(W.C.Body.size());
+    for (size_t J = 0; J < W.C.Body.size(); ++J)
+      W.Slots[J].DepPos = J;
+    Work.push_back(std::move(W));
+  }
+
+  // Candidates: exactly one defining clause, not used in a query-clause
+  // body (query bodies are kept verbatim so refutations stay anchored to
+  // the original assertions), and not in the body of their own defining
+  // clause. Membership in a wider dependency cycle through *surviving*
+  // predicates is fine: unfolding the sole definition at the use sites is
+  // ordinary resolution whether or not the definition's deps eventually
+  // reach back (a loop nest routes the inner preheader through the outer
+  // loop head, and that preheader must still collapse).
+  std::vector<char> IsCand(N, 0);
+  std::vector<size_t> DefClause(N, InlineMap::npos);
+  {
+    std::vector<char> Excluded(N, 0);
+    for (const HornClause &C : Clauses)
+      if (C.isQuery())
+        for (const PredApp &B : C.Body)
+          Excluded[B.Pred->Index] = 1;
+    for (const Predicate *P : Preds) {
+      std::vector<size_t> Defs = System.clausesWithHead(P);
+      if (Defs.size() != 1)
+        continue;
+      for (const PredApp &B : Clauses[Defs[0]].Body)
+        if (B.Pred == P)
+          Excluded[P->Index] = 1; // direct self-recursion
+      DefClause[P->Index] = Defs[0];
+      IsCand[P->Index] = !Excluded[P->Index];
+    }
+    // Cycles *among candidates* (mutual recursion between single-definition
+    // predicates) admit no processing order; drop exactly the cycle
+    // members. Candidates that merely depend on a dropped one are fine —
+    // the dropped predicate survives and becomes an ordinary dep.
+    std::vector<char> OnCycle(N, 0);
+    for (const Predicate *P : Preds) {
+      if (!IsCand[P->Index])
+        continue;
+      std::vector<const Predicate *> Stack{P};
+      std::vector<char> Seen(N, 0);
+      while (!Stack.empty()) {
+        const Predicate *Q = Stack.back();
+        Stack.pop_back();
+        for (const PredApp &B : Clauses[DefClause[Q->Index]].Body) {
+          if (!IsCand[B.Pred->Index] || Seen[B.Pred->Index])
+            continue;
+          if (B.Pred == P) {
+            OnCycle[P->Index] = 1;
+            Stack.clear();
+            break;
+          }
+          Seen[B.Pred->Index] = 1;
+          Stack.push_back(B.Pred);
+        }
+      }
+    }
+    for (size_t I = 0; I < N; ++I)
+      if (OnCycle[I])
+        IsCand[I] = 0;
+  }
+
+  // Process candidates dependencies-first (the candidate-restricted def
+  // graph is acyclic: a cycle through defining clauses is recursion), so a
+  // candidate's defining clause is fully rewritten before it is analysed
+  // and recorded deps only ever mention surviving predicates.
+  std::vector<const Predicate *> Order;
+  {
+    std::vector<char> Visited(N, 0);
+    std::function<void(const Predicate *)> Visit = [&](const Predicate *P) {
+      if (Visited[P->Index])
+        return;
+      Visited[P->Index] = 1;
+      for (const PredApp &B : Clauses[DefClause[P->Index]].Body)
+        if (IsCand[B.Pred->Index])
+          Visit(B.Pred);
+      Order.push_back(P);
+    };
+    for (const Predicate *P : Preds)
+      if (IsCand[P->Index])
+        Visit(P);
+  }
+
+  InlineMap Map;
+  Map.Eliminated.assign(N, 0);
+  Map.DefOf.assign(N, InlineMap::npos);
+
+  for (const Predicate *P : Order) {
+    WorkClause &DW = Work[DefClause[P->Index]];
+    DefInfo Info = determineDef(TM, P, DW);
+    if (!Info.OK)
+      continue;
+    if (!Info.Floating.empty()) {
+      // Dropping the floating conjuncts is only sound when they are jointly
+      // satisfiable (then `exists undetermined. floating` is `true`).
+      smt::SmtSolver Solver(TM, SmtOpts);
+      Solver.assertFormula(TM.mkAnd(Info.Floating));
+      if (SmtChecks)
+        ++*SmtChecks;
+      if (Solver.check() != smt::SmtResult::Sat)
+        continue;
+    }
+
+    InlineDef D;
+    D.Pred = P;
+    D.DefClauseIndex = DW.OrigIndex;
+    D.Residual = Info.Residual;
+    D.Deps = std::move(Info.Deps);
+    D.Slots = std::move(Info.Slots);
+
+    // A sole use site whose call arguments are distinct plain variables and
+    // where every variable shared between the two clauses occurs among those
+    // arguments takes the direct-resolution route (exact, no parameter
+    // detour): with all shared occurrences covered by the unifier, applying
+    // it without renaming the defining clause apart coincides with
+    // rename-unify-rename-back, so no independent quantifications are
+    // conflated. Everything else goes through the residual substitution.
+    WorkClause *OnlyUse = nullptr;
+    size_t OnlyPos = 0, Uses = 0;
+    for (WorkClause &W : Work) {
+      if (W.Removed || &W == &DW)
+        continue;
+      for (size_t Pos = 0; Pos < W.C.Body.size(); ++Pos)
+        if (W.C.Body[Pos].Pred == P) {
+          ++Uses;
+          OnlyUse = &W;
+          OnlyPos = Pos;
+        }
+    }
+    bool Direct = Uses == 1;
+    std::unordered_set<const Term *> ArgVars;
+    if (Direct) {
+      for (const Term *A : OnlyUse->C.Body[OnlyPos].Args)
+        if (!A->isVar() || !ArgVars.insert(A).second) {
+          Direct = false;
+          break;
+        }
+    }
+    if (Direct) {
+      auto Collect = [&](std::unordered_set<const Term *> &Into,
+                         const HornClause &C) {
+        auto Add = [&](const Term *T) {
+          for (const Term *V : TM.collectVars(T))
+            Into.insert(V);
+        };
+        Add(C.Constraint);
+        if (C.HeadFormula)
+          Add(C.HeadFormula);
+        for (const PredApp &B : C.Body)
+          for (const Term *A : B.Args)
+            Add(A);
+        if (C.HeadPred)
+          for (const Term *A : C.HeadPred->Args)
+            Add(A);
+      };
+      std::unordered_set<const Term *> DefVars, UseVars;
+      Collect(DefVars, DW.C);
+      Collect(UseVars, OnlyUse->C);
+      for (const Term *V : UseVars)
+        if (DefVars.count(V) && !ArgVars.count(V)) {
+          Direct = false;
+          break;
+        }
+    }
+    if (Direct) {
+      expandDirectAt(TM, *OnlyUse, OnlyPos, DW, Info.Floating);
+    } else {
+      for (WorkClause &W : Work) {
+        if (W.Removed || &W == &DW)
+          continue;
+        for (size_t Pos = 0; Pos < W.C.Body.size();) {
+          if (W.C.Body[Pos].Pred == P)
+            // The spliced-in deps never mention P (it is non-recursive), so
+            // re-scanning from Pos terminates.
+            expandAt(TM, W, Pos, D);
+          else
+            ++Pos;
+        }
+      }
+    }
+    DW.Removed = true;
+    Map.Eliminated[P->Index] = 1;
+    Map.DefOf[P->Index] = Map.Defs.size();
+    Map.Defs.push_back(std::move(D));
+  }
+
+  if (Map.Defs.empty())
+    return {};
+
+  // Clone into a fresh system sharing the term manager: every predicate is
+  // re-registered in original order (indices stable, parameter variables
+  // pointer-identical via mkVar dedup); eliminated predicates stay
+  // registered but clause-less.
+  auto NewSys = std::make_shared<ChcSystem>(TM);
+  std::vector<const Predicate *> NewPreds;
+  NewPreds.reserve(N);
+  for (const Predicate *P : Preds)
+    NewPreds.push_back(NewSys->addPredicate(P->Name, P->arity()));
+  for (WorkClause &W : Work) {
+    if (W.Removed)
+      continue;
+    HornClause NC;
+    NC.Constraint = W.C.Constraint;
+    NC.HeadFormula = W.C.HeadFormula;
+    NC.Name = W.C.Name;
+    NC.Body.reserve(W.C.Body.size());
+    for (const PredApp &B : W.C.Body)
+      NC.Body.push_back(PredApp{NewPreds[B.Pred->Index], B.Args});
+    if (W.C.HeadPred)
+      NC.HeadPred =
+          PredApp{NewPreds[W.C.HeadPred->Pred->Index], W.C.HeadPred->Args};
+    NewSys->addClause(std::move(NC));
+    ClauseOrigin O;
+    O.OrigIndex = W.OrigIndex;
+    O.Slots = std::move(W.Slots);
+    Map.Origins.push_back(std::move(O));
+  }
+
+  InlineResult R;
+  R.System = std::move(NewSys);
+  R.Map = std::make_shared<const InlineMap>(std::move(Map));
+  return R;
+}
+
+Interpretation analysis::backTranslateModel(const ChcSystem &Original,
+                                            const ChcSystem &Transformed,
+                                            const InlineMap &Map,
+                                            const Interpretation &Solved) {
+  TermManager &TM = Original.termManager();
+  Interpretation Out(TM);
+  const auto &Preds = Original.predicates();
+  for (size_t I = 0; I < Preds.size(); ++I)
+    if (!Map.Eliminated[I])
+      Out.set(Preds[I], Solved.get(Transformed.predicates()[I]));
+  // Defs were recorded dependencies-first and only ever mention surviving
+  // predicates, so a single pass suffices.
+  for (const InlineDef &D : Map.Defs) {
+    std::vector<const Term *> Parts{D.Residual};
+    for (const PredApp &Dep : D.Deps)
+      Parts.push_back(Out.instantiate(Dep));
+    Out.set(D.Pred, TM.mkAnd(std::move(Parts)));
+  }
+  return Out;
+}
+
+std::optional<Counterexample>
+analysis::backTranslateCex(const ChcSystem &Original,
+                           const ChcSystem &Transformed, const InlineMap &Map,
+                           const Counterexample &Cex,
+                           const smt::SmtSolver::Options &SmtOpts) {
+  TermManager &TM = Original.termManager();
+  Counterexample Out;
+  std::vector<std::optional<size_t>> Memo(Cex.Nodes.size());
+  bool Failed = false;
+
+  // Re-materializes one slot into a derivation node of the original system.
+  // Children are emitted before their parent, so every stored index is
+  // already valid.
+  std::function<size_t(const InlineSlot &,
+                       const std::unordered_map<const Term *, Rational> &,
+                       const std::vector<size_t> &)>
+      Materialize = [&](const InlineSlot &S,
+                        const std::unordered_map<const Term *, Rational> &M,
+                        const std::vector<size_t> &Kids) -> size_t {
+    if (!S.Expanded)
+      return Kids[S.DepPos];
+    Counterexample::Node NN;
+    NN.Pred = S.Pred;
+    NN.Args.reserve(S.Args.size());
+    for (const Term *A : S.Args)
+      NN.Args.push_back(evalWithDefaults(A, M));
+    NN.ClauseIndex = S.DefClauseIndex;
+    NN.Children.reserve(S.Children.size());
+    for (const InlineSlot &Ch : S.Children)
+      NN.Children.push_back(Materialize(Ch, M, Kids));
+    Out.Nodes.push_back(std::move(NN));
+    return Out.Nodes.size() - 1;
+  };
+
+  std::function<std::optional<size_t>(size_t)> Translate =
+      [&](size_t Idx) -> std::optional<size_t> {
+    if (Failed)
+      return std::nullopt;
+    if (Memo[Idx])
+      return Memo[Idx];
+    const Counterexample::Node &N = Cex.Nodes[Idx];
+    if (N.ClauseIndex >= Map.Origins.size()) {
+      Failed = true;
+      return std::nullopt;
+    }
+    const ClauseOrigin &O = Map.Origins[N.ClauseIndex];
+    const HornClause &TC = Transformed.clauses()[N.ClauseIndex];
+    if (N.Children.size() != TC.Body.size()) {
+      Failed = true;
+      return std::nullopt;
+    }
+    std::vector<size_t> Kids;
+    Kids.reserve(N.Children.size());
+    for (size_t C : N.Children) {
+      std::optional<size_t> K = Translate(C);
+      if (!K) {
+        Failed = true;
+        return std::nullopt;
+      }
+      Kids.push_back(*K);
+    }
+    // One model of the clause instance recovers values for the clause
+    // variables; every expansion argument at every depth is a term over
+    // exactly those variables, so a single model serves the whole slot
+    // tree.
+    std::unordered_map<const Term *, Rational> Model;
+    if (hasExpansion(O.Slots)) {
+      std::vector<const Term *> Parts{TC.Constraint};
+      for (size_t J = 0; J < TC.Body.size(); ++J) {
+        const Counterexample::Node &Child = Cex.Nodes[N.Children[J]];
+        for (size_t A = 0; A < TC.Body[J].Args.size(); ++A)
+          Parts.push_back(
+              TM.mkEq(TC.Body[J].Args[A], TM.mkIntConst(Child.Args[A])));
+      }
+      for (size_t A = 0; A < TC.HeadPred->Args.size(); ++A)
+        Parts.push_back(
+            TM.mkEq(TC.HeadPred->Args[A], TM.mkIntConst(N.Args[A])));
+      smt::SmtSolver Solver(TM, SmtOpts);
+      Solver.assertFormula(TM.mkAnd(std::move(Parts)));
+      if (Solver.check() != smt::SmtResult::Sat) {
+        Failed = true;
+        return std::nullopt;
+      }
+      Model = Solver.model();
+    }
+    std::vector<size_t> NewKids;
+    NewKids.reserve(O.Slots.size());
+    for (const InlineSlot &S : O.Slots)
+      NewKids.push_back(Materialize(S, Model, Kids));
+    Counterexample::Node NN;
+    NN.Pred = Original.predicates()[N.Pred->Index];
+    NN.Args = N.Args;
+    NN.ClauseIndex = O.OrigIndex;
+    NN.Children = std::move(NewKids);
+    Out.Nodes.push_back(std::move(NN));
+    Memo[Idx] = Out.Nodes.size() - 1;
+    return Memo[Idx];
+  };
+
+  if (Cex.QueryClauseIndex >= Map.Origins.size())
+    return std::nullopt;
+  const ClauseOrigin &QO = Map.Origins[Cex.QueryClauseIndex];
+  std::vector<size_t> QKids;
+  QKids.reserve(Cex.QueryChildren.size());
+  for (size_t C : Cex.QueryChildren) {
+    std::optional<size_t> K = Translate(C);
+    if (!K)
+      return std::nullopt;
+    QKids.push_back(*K);
+  }
+  Out.QueryClauseIndex = QO.OrigIndex;
+  Out.QueryChildren.reserve(QO.Slots.size());
+  for (const InlineSlot &S : QO.Slots) {
+    // Query-clause bodies are never expanded (their predicates are excluded
+    // from inlining).
+    assert(!S.Expanded && "expanded slot in a query clause");
+    Out.QueryChildren.push_back(QKids[S.DepPos]);
+  }
+  return Out;
+}
+
+void InlinePass::run(AnalysisContext &Ctx) {
+  PassStats &Stats = Ctx.stats();
+  const ChcSystem &Sys = Ctx.system();
+  const size_t ClausesBefore = Sys.clauses().size();
+  size_t Checks = 0;
+  InlineResult R = inlineSystem(Sys, Ctx.Opts.Smt, &Checks);
+  Stats.SmtChecks += Checks;
+  if (!R.System)
+    return;
+  Stats.PredicatesInlined = R.Map->numEliminated();
+  Stats.ClausesRemoved = ClausesBefore - R.System->clauses().size();
+  Ctx.adoptTransformed(std::move(R.System), std::move(R.Map));
+}

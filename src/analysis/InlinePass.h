@@ -1,0 +1,169 @@
+//===- analysis/InlinePass.h - Clause inlining / pred elimination -*- C++ -*-=//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first system-rewriting pass of the pipeline: inlines predicates
+/// with exactly one defining clause into their call sites by substitution
+/// (the unfold/resolution step of Spacer-style preprocessing) and
+/// eliminates the predicates that become unreferenced. Every use site
+///
+///   phi /\ ... /\ P(t) /\ ... -> H        with P defined only by
+///   psi /\ B_1(s_1) /\ ... /\ B_k(s_k) -> P(u)
+///
+/// becomes `phi /\ R[params -> t] /\ ... /\ B_j(a_j[params -> t]) ... -> H`
+/// where `R` (the *residual*) and the dep arguments `a_j = s_j[sigma]` are
+/// formulas over P's formal parameters only. They exist when the defining
+/// clause *fully determines* its variables: every clause variable is an
+/// integer linear term over the parameters (Gaussian elimination on the
+/// head equations and the linear equality conjuncts of `psi`, pivots
+/// restricted to +-1 coefficients so the solution is exact over Z), except
+/// for variables confined to "floating" conjuncts that mention no determined
+/// variable — those factor out of the implicit existential and are dropped
+/// after one satisfiability check. Predicates that occur in their own
+/// defining clause's body, lie on a definition cycle made entirely of
+/// candidates (mutual recursion among single-definition predicates),
+/// appear in a query-clause body, have zero or several defining clauses,
+/// or whose defining clause resists determination are never inlined;
+/// wider cycles through surviving predicates (an inner loop's preheader
+/// defined from the outer loop head) are fine.
+///
+/// The transformation is equisatisfiable in both directions, and the
+/// recorded `InlineMap` makes it *witness-preserving*: `backTranslateModel`
+/// rebuilds a verified interpretation for every eliminated predicate from
+/// the residual and the final interpretations of its deps, and
+/// `backTranslateCex` re-materializes the eliminated derivation-tree nodes
+/// of a refutation (one SMT model per transformed node that hides an
+/// expansion). DESIGN.md §10 has the invariant and the proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_INLINEPASS_H
+#define LA_ANALYSIS_INLINEPASS_H
+
+#include "analysis/PassManager.h"
+#include "chc/ChcCheck.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace la::analysis {
+
+/// How one *original* body atom of a clause maps into the transformed
+/// clause: either it survived (a passthrough to a body position of the
+/// transformed clause) or it was expanded and must be re-materialized as a
+/// derivation node during counterexample back-translation.
+///
+/// All passthrough positions — at every nesting depth — index the one flat
+/// body of the transformed clause, so instantiating a slot tree into a use
+/// site only adds a single offset.
+struct InlineSlot {
+  bool Expanded = false;
+  /// Passthrough: position in the transformed clause's body.
+  size_t DepPos = 0;
+  /// Expansion: the eliminated predicate (of the *original* system), the
+  /// argument terms of the vanished call (over the enclosing clause's
+  /// variables after instantiation, over the predicate's parameters inside
+  /// an `InlineDef`), and its defining clause in the original system.
+  const chc::Predicate *Pred = nullptr;
+  std::vector<const Term *> Args;
+  size_t DefClauseIndex = 0;
+  /// Expansion: one slot per original body atom of the defining clause.
+  std::vector<InlineSlot> Children;
+};
+
+/// Everything recorded about one eliminated predicate. `Residual` and the
+/// `Deps` argument terms are over `Pred->Params` only.
+struct InlineDef {
+  const chc::Predicate *Pred = nullptr;
+  size_t DefClauseIndex = 0;
+  /// Parameter-only remainder of the defining clause: the head equations
+  /// `param_i = u_i[sigma]` plus the determined constraint conjuncts under
+  /// `sigma`. The back-translated interpretation is
+  /// `Residual /\ /\_j I(Deps[j].Pred)(Deps[j].Args)`.
+  const Term *Residual = nullptr;
+  /// Surviving body atoms of the (transitively expanded) defining clause.
+  std::vector<chc::PredApp> Deps;
+  /// One slot per original body atom of the defining clause, passthrough
+  /// positions indexing `Deps`.
+  std::vector<InlineSlot> Slots;
+};
+
+/// Per-clause provenance of the transformed system.
+struct ClauseOrigin {
+  /// Index of the source clause in the original system.
+  size_t OrigIndex = 0;
+  /// One slot per original body atom of that clause.
+  std::vector<InlineSlot> Slots;
+};
+
+/// The full back-translation record of one `inlineSystem` run. Predicate
+/// pointers refer to the *original* system; clause indices in `Origins` are
+/// positions in the *transformed* system.
+struct InlineMap {
+  std::vector<InlineDef> Defs;
+  /// Per original-predicate-index: 1 when the predicate was eliminated.
+  /// (The transformed system re-registers every predicate in original
+  /// order, so indices coincide between the two systems.)
+  std::vector<char> Eliminated;
+  /// `DefOf[i]` indexes `Defs` for eliminated predicate `i`, `npos` else.
+  std::vector<size_t> DefOf;
+  /// Indexed by transformed clause index.
+  std::vector<ClauseOrigin> Origins;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  size_t numEliminated() const { return Defs.size(); }
+};
+
+/// Result of the standalone transformation: both null when nothing was
+/// inlined. The transformed system shares the original's TermManager (its
+/// re-registered predicates get pointer-identical parameter variables).
+struct InlineResult {
+  std::shared_ptr<chc::ChcSystem> System;
+  std::shared_ptr<const InlineMap> Map;
+};
+
+/// Runs the inlining transformation on \p System. \p SmtOpts bounds the
+/// floating-conjunct satisfiability checks; \p SmtChecks (optional) is
+/// incremented per check issued.
+InlineResult inlineSystem(const chc::ChcSystem &System,
+                          const smt::SmtSolver::Options &SmtOpts = {},
+                          size_t *SmtChecks = nullptr);
+
+/// Rebuilds an interpretation of \p Original from \p Solved (a solution of
+/// \p Transformed): surviving predicates keep their formulas, eliminated
+/// ones get `Residual /\ /\ I(dep)` instantiated. The result is a genuine
+/// solution of the original system whenever \p Solved solves the
+/// transformed one.
+chc::Interpretation backTranslateModel(const chc::ChcSystem &Original,
+                                       const chc::ChcSystem &Transformed,
+                                       const InlineMap &Map,
+                                       const chc::Interpretation &Solved);
+
+/// Rebuilds a refutation of \p Original from \p Cex (a refutation of
+/// \p Transformed), re-materializing one derivation node per expansion slot.
+/// Each transformed node hiding an expansion costs one SMT model query
+/// (bounded by \p SmtOpts); returns std::nullopt if any query fails, in
+/// which case the unsat verdict stands but the witness is dropped.
+std::optional<chc::Counterexample>
+backTranslateCex(const chc::ChcSystem &Original,
+                 const chc::ChcSystem &Transformed, const InlineMap &Map,
+                 const chc::Counterexample &Cex,
+                 const smt::SmtSolver::Options &SmtOpts = {});
+
+/// The pipeline pass: runs `inlineSystem` over the context's system and, on
+/// success, rebinds the context to the transformed system
+/// (`AnalysisContext::adoptTransformed`). Must be the first pass.
+class InlinePass : public Pass {
+public:
+  std::string name() const override { return "inline"; }
+  void run(AnalysisContext &Ctx) override;
+};
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_INLINEPASS_H

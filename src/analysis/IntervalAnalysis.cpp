@@ -281,21 +281,6 @@ analysis::runIntervalAnalysis(const AnalysisContext &Ctx) {
   return runDomainAnalysis(IntervalDomain(), Ctx, Ctx.Opts.Intervals);
 }
 
-std::vector<IntervalState>
-analysis::runIntervalAnalysis(const ChcSystem &System,
-                              const std::vector<char> &LiveClause,
-                              const std::vector<char> &SkipPred,
-                              const FixpointOptions &Opts) {
-  AnalysisOptions AO;
-  AO.Intervals = Opts;
-  AnalysisContext Ctx(System, std::move(AO));
-  if (!LiveClause.empty())
-    Ctx.Result.LiveClause = LiveClause;
-  if (!SkipPred.empty())
-    Ctx.SkipPred = SkipPred;
-  return runIntervalAnalysis(Ctx);
-}
-
 const Term *analysis::intervalInvariant(TermManager &TM, const Predicate *P,
                                         const IntervalState &State) {
   return domainInvariant(IntervalDomain(), TM, P, State);

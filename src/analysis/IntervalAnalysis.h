@@ -65,17 +65,6 @@ static_assert(AbstractDomain<IntervalDomain>);
 /// decides where the states go).
 std::vector<IntervalState> runIntervalAnalysis(const AnalysisContext &Ctx);
 
-/// Pre-`AnalysisContext` entry point, kept for one release as a thin
-/// wrapper. \p SkipPred masks predicates that earlier passes already
-/// resolved.
-[[deprecated("build an AnalysisContext and call "
-             "runIntervalAnalysis(const AnalysisContext &) instead")]]
-std::vector<IntervalState>
-runIntervalAnalysis(const chc::ChcSystem &System,
-                    const std::vector<char> &LiveClause,
-                    const std::vector<char> &SkipPred,
-                    const FixpointOptions &Opts);
-
 /// Renders a state with the uniform cross-domain convention of
 /// `domainInvariant`: `false` for bottom, nullptr for top (no finite bound
 /// anywhere), otherwise a conjunction of bound atoms over `P->Params`.

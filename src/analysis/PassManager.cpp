@@ -7,6 +7,7 @@
 #include "analysis/PassManager.h"
 
 #include "analysis/DependencyGraph.h"
+#include "analysis/InlinePass.h"
 #include "analysis/IntervalAnalysis.h"
 #include "analysis/OctagonAnalysis.h"
 
@@ -34,14 +35,14 @@ public:
     PassStats &Stats = Ctx.stats();
     DependencyGraph Graph(Ctx);
     std::vector<char> Derivable = Graph.derivableFromFacts();
-    for (const Predicate *P : Ctx.System.predicates()) {
+    for (const Predicate *P : Ctx.system().predicates()) {
       if (Derivable[P->Index] || Ctx.isFixed(P))
         continue;
       Ctx.fix(P, Ctx.TM.mkFalse());
       ++Stats.PredicatesResolved;
-      for (size_t CI : Ctx.System.clausesWithHead(P))
+      for (size_t CI : Ctx.system().clausesWithHead(P))
         Stats.ClausesPruned += Ctx.prune(CI);
-      for (size_t CI : Ctx.System.clausesUsing(P))
+      for (size_t CI : Ctx.system().clausesUsing(P))
         Stats.ClausesPruned += Ctx.prune(CI);
     }
   }
@@ -59,12 +60,12 @@ public:
     PassStats &Stats = Ctx.stats();
     DependencyGraph Graph(Ctx);
     std::vector<char> InCone = Graph.reachesQuery();
-    for (const Predicate *P : Ctx.System.predicates()) {
+    for (const Predicate *P : Ctx.system().predicates()) {
       if (InCone[P->Index] || Ctx.isFixed(P))
         continue;
       Ctx.fix(P, Ctx.TM.mkTrue());
       ++Stats.PredicatesResolved;
-      for (size_t CI : Ctx.System.clausesWithHead(P))
+      for (size_t CI : Ctx.system().clausesWithHead(P))
         Stats.ClausesPruned += Ctx.prune(CI);
     }
   }
@@ -79,7 +80,7 @@ public:
   void run(AnalysisContext &Ctx) override {
     PassStats &Stats = Ctx.stats();
     Ctx.Intervals = runIntervalAnalysis(Ctx);
-    for (const Predicate *P : Ctx.System.predicates()) {
+    for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
       const IntervalState &S = Ctx.Intervals[P->Index];
@@ -100,7 +101,7 @@ public:
   void run(AnalysisContext &Ctx) override {
     PassStats &Stats = Ctx.stats();
     Ctx.Octagons = runOctagonAnalysis(Ctx);
-    for (const Predicate *P : Ctx.System.predicates()) {
+    for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
       const OctagonState &S = Ctx.Octagons[P->Index];
@@ -140,7 +141,7 @@ public:
       const Term *current() const { return Levels[Cur]; }
     };
     std::map<const Predicate *, Ladder> Ladders;
-    for (const Predicate *P : Ctx.System.predicates()) {
+    for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
       Ladder L;
@@ -164,7 +165,7 @@ public:
     // One incremental backend for the whole pass: the inductiveness fixpoint
     // re-checks clauses whose candidates did not change between rescans, and
     // the memo cache answers those without touching a solver.
-    ClauseCheckContext Checker(Ctx.System, Ctx.Opts.Smt);
+    ClauseCheckContext Checker(Ctx.system(), Ctx.Opts.Smt);
 
     Interpretation Cand(TM);
     for (const auto &[P, F] : Res.Fixed)
@@ -176,7 +177,7 @@ public:
     // can be invalid (a `true` head validates the clause trivially); when a
     // candidate fails its clause, demote it and rescan, since the weakened
     // head may invalidate other candidates' clauses.
-    const auto &Clauses = Ctx.System.clauses();
+    const auto &Clauses = Ctx.system().clauses();
     bool Demoted = true;
     while (Demoted && !Ladders.empty()) {
       Demoted = false;
@@ -223,9 +224,9 @@ public:
       }
       Ctx.fix(P, TM.mkFalse());
       ++Stats.PredicatesResolved;
-      for (size_t CI : Ctx.System.clausesWithHead(P))
+      for (size_t CI : Ctx.system().clausesWithHead(P))
         Stats.ClausesPruned += Ctx.prune(CI);
-      for (size_t CI : Ctx.System.clausesUsing(P))
+      for (size_t CI : Ctx.system().clausesUsing(P))
         Stats.ClausesPruned += Ctx.prune(CI);
       It = Ladders.erase(It);
     }
@@ -316,6 +317,10 @@ AnalysisResult PassManager::run(const ChcSystem &System,
 
 PassManager PassManager::defaultPipeline(const AnalysisOptions &Opts) {
   PassManager PM;
+  // Inlining runs first: it is the only pass that rewrites the system, and
+  // everything after it (including the slicing passes) analyzes the clone.
+  if (Opts.EnableInlining)
+    PM.addPass(std::make_unique<InlinePass>());
   if (Opts.EnableSlicing) {
     PM.addPass(std::make_unique<FactReachabilityPass>());
     PM.addPass(std::make_unique<QueryConePass>());

@@ -8,8 +8,12 @@
 /// The static pre-analysis pipeline that runs over a parsed `chc::ChcSystem`
 /// before the data-driven CEGAR loop starts (cf. the symbolic front of
 /// Chronosymbolic Learning and the preprocessing stage of CHC portfolio
-/// solvers). Five passes, each timed and counted:
+/// solvers). Six passes, each timed and counted:
 ///
+///   0. inline:      non-recursive single-definition predicates are inlined
+///      into their call sites and eliminated; the remaining passes (and the
+///      CEGAR loop) analyze the transformed system (`analysis/InlinePass.h`,
+///      DESIGN.md §10);
 ///   1. fact-reach:  predicates with no derivation at all are resolved to
 ///      `false` and every clause mentioning them is pruned;
 ///   2. query-cone:  predicates outside the cone of influence of the query

@@ -6,6 +6,7 @@
 
 #include "baselines/PdrSolver.h"
 
+#include "analysis/InlinePass.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -436,5 +437,19 @@ private:
 } // namespace
 
 ChcSolverResult PdrSolver::solve(const ChcSystem &System) {
-  return Pdr(System, Opts).run();
+  // Mirror Spacer/GPDR running on Z3-preprocessed Horn: collapse
+  // single-definition predicates before the frames ever see the system,
+  // then translate witnesses back so callers always get answers over the
+  // input predicates.
+  analysis::InlineResult Inl = analysis::inlineSystem(System, Opts.Smt);
+  if (!Inl.System)
+    return Pdr(System, Opts).run();
+  ChcSolverResult R = Pdr(*Inl.System, Opts).run();
+  if (R.Status == ChcResult::Sat)
+    R.Interp =
+        analysis::backTranslateModel(System, *Inl.System, *Inl.Map, R.Interp);
+  else if (R.Status == ChcResult::Unsat && R.Cex)
+    R.Cex = analysis::backTranslateCex(System, *Inl.System, *Inl.Map, *R.Cex,
+                                       Opts.Smt);
+  return R;
 }

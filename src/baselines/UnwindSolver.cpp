@@ -6,6 +6,7 @@
 
 #include "baselines/UnwindSolver.h"
 
+#include "analysis/InlinePass.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -567,5 +568,18 @@ private:
 } // namespace
 
 ChcSolverResult UnwindSolver::solve(const ChcSystem &System) {
-  return Unwind(System, Opts).run();
+  // Same preprocessing as the PDR baseline: Duality and UAutomizer both
+  // consume simplified Horn, so the unwinding runs on the inlined system
+  // and witnesses are translated back to the input predicates.
+  analysis::InlineResult Inl = analysis::inlineSystem(System, Opts.Smt);
+  if (!Inl.System)
+    return Unwind(System, Opts).run();
+  ChcSolverResult R = Unwind(*Inl.System, Opts).run();
+  if (R.Status == ChcResult::Sat)
+    R.Interp =
+        analysis::backTranslateModel(System, *Inl.System, *Inl.Map, R.Interp);
+  else if (R.Status == ChcResult::Unsat && R.Cex)
+    R.Cex = analysis::backTranslateCex(System, *Inl.System, *Inl.Map, *R.Cex,
+                                       Opts.Smt);
+  return R;
 }

@@ -136,7 +136,9 @@ ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
   auto Hit = Cache.find(Key);
   if (Hit != Cache.end()) {
     ++Statistics.CacheHits;
-    return Hit->second;
+    // Touch-on-hit: move the key to the most-recent end of the LRU list.
+    LruList.splice(LruList.end(), LruList, Hit->second.LruPos);
+    return Hit->second.Result;
   }
   ++Statistics.CacheMisses;
 
@@ -174,13 +176,22 @@ ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
     return Result;
   }
 
-  if (Cache.size() >= CacheCapacity && !EvictionQueue.empty()) {
-    Cache.erase(EvictionQueue.front());
-    EvictionQueue.pop_front();
+  auto [Slot, Inserted] = Cache.try_emplace(Key);
+  if (!Inserted) {
+    // Re-insertion of a live key (possible when a crosscheck re-ran the
+    // clause): refresh the stored verdict and its recency; this is not an
+    // eviction.
+    Slot->second.Result = Result;
+    LruList.splice(LruList.end(), LruList, Slot->second.LruPos);
+    return Result;
+  }
+  if (Cache.size() > CacheCapacity && !LruList.empty()) {
+    Cache.erase(LruList.front());
+    LruList.pop_front();
     ++Statistics.CacheEvictions;
   }
-  EvictionQueue.push_back(Key);
-  Cache.emplace(std::move(Key), Result);
+  Slot->second.Result = Result;
+  Slot->second.LruPos = LruList.insert(LruList.end(), std::move(Key));
   return Result;
 }
 

@@ -17,6 +17,7 @@
 #include "chc/Chc.h"
 #include "smt/SmtSolver.h"
 
+#include <list>
 #include <memory>
 
 namespace la::chc {
@@ -44,7 +45,7 @@ struct CheckStats {
   uint64_t ChecksIssued = 0;    ///< checks actually sent to an SMT solver
   uint64_t CacheHits = 0;       ///< verdicts served from the memo cache
   uint64_t CacheMisses = 0;
-  uint64_t CacheEvictions = 0;  ///< FIFO evictions at capacity
+  uint64_t CacheEvictions = 0;  ///< LRU evictions at capacity
   uint64_t ScopePushes = 0;     ///< solver scopes opened for checks
   uint64_t SolverRebuilds = 0;  ///< per-clause solver (re)constructions
   uint64_t RebuildsAvoided = 0; ///< checks served by a live per-clause solver
@@ -66,9 +67,11 @@ struct CheckStats {
 /// negated head formula of queries) is asserted once at scope zero; each
 /// check then pushes a scope, asserts only the current interpretation's
 /// predicate formulas, checks, extracts the model, and pops. A system-wide
-/// memo cache keyed by (clause index, hash-consed interpretation term ids)
-/// makes repeated candidate interpretations — common across DT/SVM restarts
-/// and analysis fixpoints — free. Unknown verdicts are never cached (they
+/// LRU memo cache keyed by (clause index, hash-consed interpretation term
+/// ids) makes repeated candidate interpretations — common across DT/SVM
+/// restarts and analysis fixpoints — free; a hit refreshes the entry's
+/// recency, so hot keys survive capacity evictions. Unknown verdicts are
+/// never cached (they
 /// are budget-dependent) and drop the per-clause solver so the next attempt
 /// starts fresh.
 ///
@@ -101,8 +104,15 @@ private:
   size_t CacheCapacity;
   bool CrossCheck; ///< LA_CHECK_INCREMENTAL differential mode
   std::vector<std::unique_ptr<smt::SmtSolver>> Solvers; ///< one per clause
-  std::unordered_map<std::string, ClauseCheckResult> Cache;
-  std::deque<std::string> EvictionQueue; ///< insertion order for FIFO
+
+  /// LRU recency list (least recent at the front) and the cache entries
+  /// pointing back into it, so a hit can splice its key to the back in O(1).
+  struct CacheEntry {
+    ClauseCheckResult Result;
+    std::list<std::string>::iterator LruPos;
+  };
+  std::list<std::string> LruList;
+  std::unordered_map<std::string, CacheEntry> Cache;
   CheckStats Statistics;
 };
 

@@ -257,6 +257,14 @@ private:
     if (E.Items.empty() || !E.Items[0].IsAtom)
       return error(E, "expected an operator application");
     const std::string &Op = E.Items[0].Atom;
+    // `(- <numeral>)` denotes one negative literal, not negation applied to
+    // a parsed constant: fold the sign into the token before the range
+    // check, so `(- 9223372036854775808)` and `-9223372036854775808` agree
+    // (INT64_MIN is representable although its magnitude is not).
+    if (Op == "-" && E.Items.size() == 2 && E.Items[1].IsAtom &&
+        !E.Items[1].Atom.empty() &&
+        std::isdigit(static_cast<unsigned char>(E.Items[1].Atom[0])))
+      return parseNumeral(E, "-" + E.Items[1].Atom, Result);
     std::vector<const Term *> Args;
     for (size_t I = 1; I < E.Items.size(); ++I) {
       const Term *T = nullptr;
@@ -381,6 +389,48 @@ private:
     return error(E, "unknown operator or predicate '" + Op + "'");
   }
 
+  /// Parses \p A (which must match `[+-]?[0-9]+`) into an integer constant.
+  /// Literals outside the signed 64-bit range are rejected with a clear
+  /// parse error: downstream consumers (model extraction, case
+  /// enumeration, feature construction) convert constants through
+  /// `BigInt::toInt64`, and a literal the back end can never represent is
+  /// far more likely a corrupt input than an intentional constant.
+  bool parseNumeral(const SExpr &E, const std::string &A,
+                    const Term *&Result) {
+    std::optional<BigInt> Value =
+        BigInt::fromString(A[0] == '+' ? A.substr(1) : A);
+    if (!Value)
+      return error(E, "malformed numeral '" + A + "'");
+    if (!Value->toInt64())
+      return error(E, "integer literal '" + A +
+                          "' is outside the supported 64-bit range");
+    Result = TM.mkIntConst(Rational(*Value));
+    return true;
+  }
+
+  /// Classifies one atom token as a numeral. Returns 1 when \p E is a
+  /// well-formed in-range numeral (\p Result set), 0 when the token is not
+  /// numeric at all (the caller treats it as a symbol), and -1 on a
+  /// malformed or out-of-range numeral (parse error set). A sign with no
+  /// digit after it (`-`, `-foo`) is an ordinary symbol; a digit run with
+  /// trailing junk (`12x`, `-1.5`) is a malformed numeral.
+  int numeralAtom(const SExpr &E, const Term *&Result) {
+    const std::string &A = E.Atom;
+    if (A.empty())
+      return 0;
+    size_t Begin = (A[0] == '-' || A[0] == '+') ? 1 : 0;
+    size_t I = Begin;
+    while (I < A.size() && std::isdigit(static_cast<unsigned char>(A[I])))
+      ++I;
+    if (I == Begin)
+      return 0;
+    if (I != A.size()) {
+      error(E, "malformed numeral '" + A + "'");
+      return -1;
+    }
+    return parseNumeral(E, A, Result) ? 1 : -1;
+  }
+
   bool atom(const SExpr &E, const Term *&Result) {
     const std::string &A = E.Atom;
     if (A == "true") {
@@ -391,14 +441,8 @@ private:
       Result = TM.mkFalse();
       return true;
     }
-    if (!A.empty() && (std::isdigit(static_cast<unsigned char>(A[0])) ||
-                       (A[0] == '-' && A.size() > 1))) {
-      std::optional<BigInt> Value = BigInt::fromString(A);
-      if (!Value)
-        return error(E, "malformed numeral '" + A + "'");
-      Result = TM.mkIntConst(Rational(*Value));
-      return true;
-    }
+    if (int Num = numeralAtom(E, Result))
+      return Num > 0;
     if (const Predicate *P = Out.findPredicate(A)) {
       if (P->arity() != 0)
         return error(E, "predicate '" + A + "' used without arguments");

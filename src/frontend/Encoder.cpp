@@ -371,12 +371,27 @@ private:
     // Variables declared inside the body are scoped to one iteration; the
     // cutpoint carries only the variables alive at the loop head.
     std::vector<std::string> ScopeSnapshot = Scope;
+    // Preheader cut point: the path establishing the loop gets its own
+    // predicate whose only definition is that path and whose only use is
+    // the loop-entry clause below (one predicate per basic block, as in
+    // SeaHorn-style VC generation). It is single-definition, non-recursive
+    // and never in a query body, so the analysis pipeline's inline pass
+    // collapses it back into the entry clause before any learning runs.
+    const Predicate *Pre = Out.addPredicate(
+        CurrentFn->Name + "!pre!" + std::to_string(LoopCounter),
+        EntryVals.size() + ScopeSnapshot.size());
+    emitClause(Ctx, PredApp{Pre, cutpointArgs(Ctx, ScopeSnapshot)}, nullptr,
+               S.Line);
+    EncCtx PreCtx;
+    resetAtCutpoint(PreCtx, Pre, "pre" + std::to_string(LoopCounter),
+                    ScopeSnapshot, /*StableNames=*/true);
+
     const Predicate *L = Out.addPredicate(
         CurrentFn->Name + "!loop!" + std::to_string(LoopCounter++),
         EntryVals.size() + ScopeSnapshot.size());
-    // Entry: current path establishes the invariant.
-    emitClause(Ctx, PredApp{L, cutpointArgs(Ctx, ScopeSnapshot)}, nullptr,
-               S.Line);
+    // Entry: the preheader state establishes the invariant.
+    emitClause(PreCtx, PredApp{L, cutpointArgs(PreCtx, ScopeSnapshot)},
+               nullptr, S.Line);
 
     // Body: from an arbitrary invariant state satisfying the condition.
     EncCtx BodyCtx;
@@ -406,14 +421,21 @@ private:
   /// in-scope variable, the predicate application as the only body atom.
   /// Also restores the scope to the cutpoint's variable set.
   void resetAtCutpoint(EncCtx &Ctx, const Predicate *P, const std::string &Tag,
-                       const std::vector<std::string> &ScopeVars) {
+                       const std::vector<std::string> &ScopeVars,
+                       bool StableNames = false) {
     Ctx.Body.clear();
     Ctx.Constraints.clear();
     Ctx.Vars.clear();
     Ctx.Dead = false;
     std::vector<const Term *> Args = EntryVals;
     for (const std::string &Name : ScopeVars) {
-      const Term *V = freshVar(Name + "!" + Tag);
+      // Stable names bypass the fresh counter: the preheader predicate is
+      // folded away by the inline pass, and consuming counter values here
+      // would renumber every later `!it`/`!ex` variable, perturbing the
+      // post-collapse system for no reason (Tag is unique per cutpoint).
+      const Term *V = StableNames
+                          ? TM.mkVar(CurrentFn->Name + "!" + Name + "!" + Tag)
+                          : freshVar(Name + "!" + Tag);
       Ctx.Vars[Name] = V;
       Args.push_back(V);
     }

@@ -11,7 +11,11 @@
 /// Encoding scheme (cutpoints + summaries):
 ///   * every loop head becomes an unknown predicate over the function's
 ///     entry parameter values plus the current values of all in-scope
-///     variables (so invariants can relate locals to the original inputs);
+///     variables (so invariants can relate locals to the original inputs),
+///     and every loop gets a preheader predicate `f!pre!k` holding the
+///     path state that establishes the loop — single-definition and
+///     non-recursive by construction, so the pre-analysis inline pass
+///     (`analysis/InlinePass.h`) folds it back into the entry clause;
 ///   * every function f gets a call-context predicate `ctx!f(params)`
 ///     over-approximating the actual arguments at all call sites, and a
 ///     summary predicate `sum!f(params, ret)` relating inputs to the return

@@ -344,7 +344,13 @@ private:
       uint64_t Product = 1;
       size_t Keep = 0;
       for (const RangeVar &R : RangeVars) {
-        uint64_t Width = static_cast<uint64_t>(*(R.Hi - R.Lo).toInt64()) + 1;
+        // Guarded conversion: a range wider than int64 (or than the case
+        // budget) simply stops the enumeration instead of dereferencing an
+        // empty optional / wrapping the product.
+        std::optional<int64_t> WidthMinus1 = (R.Hi - R.Lo).toInt64();
+        if (!WidthMinus1 || *WidthMinus1 < 0 || *WidthMinus1 >= 16)
+          break;
+        uint64_t Width = static_cast<uint64_t>(*WidthMinus1) + 1;
         if (Product * Width > 16)
           break;
         Product *= Width;

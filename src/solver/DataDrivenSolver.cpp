@@ -6,6 +6,8 @@
 
 #include "solver/DataDrivenSolver.h"
 
+#include "analysis/InlinePass.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -398,11 +400,31 @@ ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
   Details.PredicatesResolved = Analysis.predicatesResolved();
   Details.BoundsFound = Analysis.boundsFound();
   Details.AnalysisSeconds = Analysis.totalSeconds();
+  for (const analysis::PassStats &P : Analysis.Passes) {
+    Details.PredicatesInlined += P.PredicatesInlined;
+    Details.ClausesRemoved += P.ClausesRemoved;
+  }
   LA_TRACE("analysis: pruned %zu/%zu clauses, resolved %zu preds, %zu bounds",
            Analysis.clausesPruned(), Analysis.LiveClause.size(),
            Analysis.predicatesResolved(), Analysis.boundsFound());
 
-  ChcSolverResult Result = Algorithm3(System, Opts, Analysis, Details).run();
+  // The CEGAR loop runs over the inlined system when the inline pass fired;
+  // witnesses are translated back to the input system below.
+  const ChcSystem &SolveSystem =
+      Analysis.Transformed ? *Analysis.Transformed : System;
+  ChcSolverResult Result = Algorithm3(SolveSystem, Opts, Analysis, Details).run();
+  if (Analysis.Transformed) {
+    if (Result.Status == ChcResult::Sat) {
+      Result.Interp = analysis::backTranslateModel(
+          System, *Analysis.Transformed, *Analysis.Inline, Result.Interp);
+    } else if (Result.Status == ChcResult::Unsat && Result.Cex) {
+      // One SMT model per transformed node hiding an expansion; on failure
+      // the unsat verdict stands without a witness tree.
+      Result.Cex = analysis::backTranslateCex(System, *Analysis.Transformed,
+                                              *Analysis.Inline, *Result.Cex,
+                                              Opts.Smt);
+    }
+  }
   Result.Stats.SmtQueries += Analysis.smtChecks();
   Result.Stats.Seconds = Total.elapsedSeconds();
   return Result;

@@ -81,6 +81,11 @@ public:
     /// Static pre-analysis impact (see `analysisResult()` for details).
     size_t ClausesPruned = 0;
     size_t PredicatesResolved = 0;
+    /// Inline-pass impact: predicates substituted away before the CEGAR
+    /// loop and the clauses that went with them (their interpretations are
+    /// back-translated into the reported solution).
+    size_t PredicatesInlined = 0;
+    size_t ClausesRemoved = 0;
     size_t BoundsFound = 0;
     double AnalysisSeconds = 0;
     bool SolvedByAnalysis = false;

@@ -19,6 +19,14 @@ std::string solver::SolveStats::summary() const {
     return "error: " + Error;
   std::string Out = toString(Status);
   Out += " (" + SolverName + ", " + Solver.summary() + ")";
+  size_t Inlined = 0, Removed = 0;
+  for (const analysis::PassStats &P : AnalysisPasses) {
+    Inlined += P.PredicatesInlined;
+    Removed += P.ClausesRemoved;
+  }
+  if (Inlined + Removed > 0)
+    Out += " [inlined " + std::to_string(Inlined) + " preds, removed " +
+           std::to_string(Removed) + " clauses]";
   if (SolvedByAnalysis)
     Out += " [solved by pre-analysis]";
   return Out;

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DependencyGraph.h"
+#include "analysis/InlinePass.h"
 #include "analysis/IntervalAnalysis.h"
 #include "analysis/Octagon.h"
 #include "analysis/OctagonAnalysis.h"
@@ -135,17 +136,26 @@ TEST(AnalysisTest, SlicingResolvesAndPrunes) {
 
   AnalysisResult R = analyzeSystem(System);
 
-  const Predicate *Dead = findPred(System, "dead");
-  const Predicate *Orphan = findPred(System, "orphan");
-  ASSERT_TRUE(R.Fixed.count(Dead));
-  EXPECT_TRUE(R.Fixed.at(Dead)->isTrue());
+  // The inline pass eliminates `dead` (one definition, no recursion, never
+  // in a query body) before slicing even sees it, so every later field
+  // refers to the transformed system. `orphan` is self-recursive and must
+  // not be inlined; slicing still resolves it to false.
+  ASSERT_TRUE(R.Transformed != nullptr);
+  ASSERT_TRUE(R.Inline != nullptr);
+  const Predicate *Dead = findPred(*R.Transformed, "dead");
+  const Predicate *Orphan = findPred(*R.Transformed, "orphan");
+  ASSERT_TRUE(Dead && Orphan);
+  EXPECT_TRUE(R.Inline->Eliminated[Dead->Index]);
+  EXPECT_FALSE(R.Inline->Eliminated[Orphan->Index]);
+  EXPECT_FALSE(R.Fixed.count(Dead));
   ASSERT_TRUE(R.Fixed.count(Orphan));
   EXPECT_TRUE(R.Fixed.at(Orphan)->isFalse());
   EXPECT_GE(R.clausesPruned(), 2u);
-  EXPECT_EQ(R.predicatesResolved(), 2u);
+  EXPECT_EQ(R.predicatesResolved(), 1u);
 
-  // No live clause mentions a resolved predicate.
-  const auto &Clauses = System.clauses();
+  // No live clause of the transformed system mentions a resolved or
+  // eliminated predicate.
+  const auto &Clauses = R.Transformed->clauses();
   for (size_t I = 0; I < Clauses.size(); ++I) {
     if (!R.LiveClause[I])
       continue;
@@ -536,15 +546,17 @@ TEST(AnalysisTest, EmittedInvariantsAreInductive) {
   AnalysisResult R = analyzeSystem(System);
   EXPECT_FALSE(R.Invariants.empty());
 
+  // The analysis annotates the inlined clone when the inline pass fired.
+  const ChcSystem &Analyzed = R.Transformed ? *R.Transformed : System;
   Interpretation Interp(TM);
   for (const auto &[Pred, T] : R.Fixed)
     Interp.set(Pred, T);
   for (const auto &[Pred, T] : R.Invariants)
     Interp.set(Pred, T);
-  for (const HornClause &C : System.clauses()) {
+  for (const HornClause &C : Analyzed.clauses()) {
     if (!C.HeadPred)
       continue;
-    EXPECT_EQ(checkClause(System, C, Interp).Status, ClauseStatus::Valid)
+    EXPECT_EQ(checkClause(Analyzed, C, Interp).Status, ClauseStatus::Valid)
         << "non-inductive analysis output on clause " << C.Name;
   }
 }
@@ -667,24 +679,29 @@ TEST(AnalysisTest, PassStatisticsAreReported) {
   ASSERT_TRUE(P.Ok) << P.Error;
 
   AnalysisResult R = analyzeSystem(System);
-  ASSERT_EQ(R.Passes.size(), 5u);
-  EXPECT_EQ(R.Passes[0].Name, "fact-reach");
-  EXPECT_EQ(R.Passes[1].Name, "query-cone");
-  EXPECT_EQ(R.Passes[2].Name, "intervals");
-  EXPECT_EQ(R.Passes[3].Name, "octagons");
-  EXPECT_EQ(R.Passes[4].Name, "verify");
-  EXPECT_GT(R.Passes[2].BoundsFound, 0u);
+  ASSERT_EQ(R.Passes.size(), 6u);
+  EXPECT_EQ(R.Passes[0].Name, "inline");
+  EXPECT_EQ(R.Passes[1].Name, "fact-reach");
+  EXPECT_EQ(R.Passes[2].Name, "query-cone");
+  EXPECT_EQ(R.Passes[3].Name, "intervals");
+  EXPECT_EQ(R.Passes[4].Name, "octagons");
+  EXPECT_EQ(R.Passes[5].Name, "verify");
+  EXPECT_EQ(R.Passes[0].PredicatesInlined, 1u);
+  EXPECT_EQ(R.Passes[0].ClausesRemoved, 1u);
   EXPECT_GT(R.Passes[3].BoundsFound, 0u);
-  EXPECT_GT(R.Passes[4].SmtChecks, 0u);
+  EXPECT_GT(R.Passes[4].BoundsFound, 0u);
+  EXPECT_GT(R.Passes[5].SmtChecks, 0u);
   EXPECT_GT(R.smtChecks(), 0u);
   EXPECT_FALSE(R.report().empty());
 
   // Disabling every pass group yields the trivial result.
   AnalysisOptions Off;
+  Off.EnableInlining = false;
   Off.EnableSlicing = false;
   Off.EnableIntervals = false;
   Off.EnableOctagons = false;
   AnalysisResult Trivial = analyzeSystem(System, Off);
+  EXPECT_TRUE(Trivial.Transformed == nullptr);
   EXPECT_EQ(Trivial.clausesPruned(), 0u);
   EXPECT_TRUE(Trivial.Fixed.empty());
   EXPECT_TRUE(Trivial.Invariants.empty());

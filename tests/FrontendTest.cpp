@@ -107,9 +107,12 @@ int main(){
 )",
                                System);
   ASSERT_TRUE(R.Ok) << R.Error;
-  // One loop predicate; entry, inductive and query clauses.
-  ASSERT_EQ(System.predicates().size(), 1u);
-  EXPECT_EQ(System.clauses().size(), 3u);
+  // One preheader and one loop predicate; preheader, entry, inductive and
+  // query clauses.
+  ASSERT_EQ(System.predicates().size(), 2u);
+  EXPECT_NE(System.findPredicate("main!pre!0"), nullptr);
+  EXPECT_NE(System.findPredicate("main!loop!0"), nullptr);
+  EXPECT_EQ(System.clauses().size(), 4u);
   EXPECT_TRUE(System.isRecursive());
 }
 
@@ -129,7 +132,8 @@ int main(){
 )",
                                System);
   ASSERT_TRUE(R.Ok) << R.Error;
-  EXPECT_EQ(System.predicates().size(), 2u);
+  // Two loops, each with its preheader cut point.
+  EXPECT_EQ(System.predicates().size(), 4u);
 }
 
 TEST(EncoderTest, FunctionsGetContextAndSummary) {
