@@ -18,9 +18,11 @@
 
 #include "baselines/EnumLearner.h"
 #include "baselines/PdrSolver.h"
+#include "baselines/RegisterEngines.h"
 #include "baselines/TemplateLearner.h"
 #include "baselines/UnwindSolver.h"
 #include "corpus/Harness.h"
+#include "solver/Portfolio.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -100,7 +102,7 @@ inline SolverFactory pdrFactory(bool CacheReachable) {
   return [CacheReachable](const corpus::BenchmarkProgram &, double Timeout) {
     baselines::PdrOptions Opts;
     Opts.CacheReachable = CacheReachable;
-    Opts.TimeoutSeconds = Timeout;
+    Opts.Limits.WallSeconds = Timeout;
     Opts.Smt.TimeoutSeconds = Timeout / 2;
     return std::make_unique<baselines::PdrSolver>(Opts);
   };
@@ -110,9 +112,24 @@ inline SolverFactory unwindFactory(bool SummaryReuse) {
   return [SummaryReuse](const corpus::BenchmarkProgram &, double Timeout) {
     baselines::UnwindOptions Opts;
     Opts.SummaryReuse = SummaryReuse;
-    Opts.TimeoutSeconds = Timeout;
+    Opts.Limits.WallSeconds = Timeout;
     Opts.Smt.TimeoutSeconds = Timeout / 2;
     return std::make_unique<baselines::UnwindSolver>(Opts);
+  };
+}
+
+/// The parallel portfolio over the registered engines, racing data-driven,
+/// analysis-only, PDR and unwinding lanes with a shared global budget.
+inline SolverFactory portfolioFactory() {
+  baselines::registerBuiltinEngines();
+  return [](const corpus::BenchmarkProgram &P, double Timeout) {
+    solver::PortfolioOptions Opts;
+    Opts.Name = "LA-portfolio";
+    Opts.Base.DataDriven = corpus::defaultOptionsFor(P, Timeout);
+    Opts.Base.Smt.TimeoutSeconds = Timeout / 2;
+    Opts.Base.Limits.WallSeconds = Timeout;
+    Opts.Limits.WallSeconds = Timeout;
+    return std::make_unique<solver::PortfolioSolver>(Opts);
   };
 }
 

@@ -60,8 +60,9 @@ int main() {
   //    data-driven CEGAR loop (Algorithms 1-3 of the paper) and independent
   //    clause-by-clause model validation in a single call.
   solver::SolveOptions Opts;
-  Opts.TimeoutSeconds = 60;
-  solver::SolveStats Stats = solver::solveSystem(System, Opts);
+  Opts.Limits.WallSeconds = 60;
+  Opts.Engine = "la"; // registry id; "portfolio" races every engine
+  solver::SolveResult Stats = solver::solveSystem(System, Opts);
 
   // 5. Inspect the verdict.
   printf("verdict: %s\n", Stats.summary().c_str());

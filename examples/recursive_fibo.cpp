@@ -51,7 +51,7 @@ static int solveAndReport(const char *Label, const char *Property,
          System.isRecursive() ? "yes" : "no");
 
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = Timeout;
+  Opts.Limits.WallSeconds = Timeout;
   solver::DataDrivenChcSolver Solver(Opts);
   ChcSolverResult R = Solver.solve(System);
 

@@ -5,81 +5,67 @@
 // A command-line CHC solver for SMT-LIB2 HORN files (the CHC-COMP exchange
 // format restricted to linear integer arithmetic):
 //
-//   $ ./solve_chc_file file.smt2 [timeout-seconds] [solver]
+//   $ ./solve_chc_file file.smt2 [timeout-seconds] [engine]
 //
-// where solver is one of: la (default), spacer, gpdr, duality,
-// interpolation, pie, dig. Prints sat/unsat/unknown plus the witness,
-// mirroring `z3 fp.engine=spacer file.smt2` usage.
+// where engine is any registered solver id: la (default), portfolio,
+// analysis, spacer, gpdr, duality, interpolation, pie, dig, ... Prints
+// sat/unsat/unknown plus the witness, mirroring `z3 fp.engine=spacer
+// file.smt2` usage. "portfolio" races the registered engines in parallel
+// and reports the first definitive answer.
 //
 //===----------------------------------------------------------------------===//
 
-#include "baselines/EnumLearner.h"
-#include "baselines/PdrSolver.h"
-#include "baselines/TemplateLearner.h"
-#include "baselines/UnwindSolver.h"
+#include "baselines/RegisterEngines.h"
 #include "solver/SolveFacade.h"
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 
 using namespace la;
 using namespace la::chc;
 
-static std::unique_ptr<ChcSolverInterface> makeSolver(const std::string &Name,
-                                                      double Timeout) {
-  if (Name == "spacer" || Name == "gpdr") {
-    baselines::PdrOptions Opts;
-    Opts.CacheReachable = Name == "spacer";
-    Opts.TimeoutSeconds = Timeout;
-    return std::make_unique<baselines::PdrSolver>(Opts);
-  }
-  if (Name == "duality" || Name == "interpolation") {
-    baselines::UnwindOptions Opts;
-    Opts.SummaryReuse = Name == "duality";
-    Opts.TimeoutSeconds = Timeout;
-    return std::make_unique<baselines::UnwindSolver>(Opts);
-  }
-  if (Name == "pie")
-    return std::make_unique<solver::DataDrivenChcSolver>(
-        baselines::makeEnumSolverOptions(Timeout));
-  // "dig"
-  return std::make_unique<solver::DataDrivenChcSolver>(
-      baselines::makeTemplateSolverOptions(Timeout));
-}
-
 int main(int Argc, char **Argv) {
+  // Make the baseline engines (pdr/spacer, unwind/duality, pie, dig, ...)
+  // available by name next to the built-in la/analysis/portfolio.
+  baselines::registerBuiltinEngines();
+
   if (Argc < 2) {
-    fprintf(stderr,
-            "usage: %s file.smt2 [timeout-seconds] [la|spacer|gpdr|duality|"
-            "interpolation|pie|dig]\n",
-            Argv[0]);
+    std::string Ids;
+    for (const std::string &Id : solver::SolverRegistry::global().ids())
+      Ids += (Ids.empty() ? "" : "|") + Id;
+    fprintf(stderr, "usage: %s file.smt2 [timeout-seconds] [%s]\n", Argv[0],
+            Ids.c_str());
     return 2;
   }
   double Timeout = Argc > 2 ? std::atof(Argv[2]) : 60.0;
-  std::string SolverName = Argc > 3 ? Argv[3] : "la";
+  std::string Engine = Argc > 3 ? Argv[3] : "la";
 
-  // The façade owns file I/O, parsing, solving and model validation; the
-  // factory hook swaps in the baseline solvers without this driver having
-  // to repeat any of that wiring.
+  // The façade owns file I/O, parsing, engine construction (through the
+  // registry) and model validation; this driver only picks the engine id.
   solver::SolveOptions Opts;
-  Opts.TimeoutSeconds = Timeout;
+  Opts.Limits.WallSeconds = Timeout;
+  Opts.Engine = Engine;
   Opts.Solver.Learn.ModFeatures = {2, 3}; // generic "a priori" mod features
-  if (SolverName != "la")
-    Opts.MakeSolver = [&] { return makeSolver(SolverName, Timeout); };
 
-  solver::SolveStats S = solver::solveFile(Argv[1], Opts);
+  solver::SolveResult S = solver::solveFile(Argv[1], Opts);
   if (!S.Ok) {
     fprintf(stderr, "error: %s\n", S.Error.c_str());
     return 2;
   }
-  fprintf(stderr, "; %zu clauses, %zu predicates, %s, solver=%s\n",
-          S.Clauses, S.Predicates,
-          S.Recursive ? "recursive" : "non-recursive", S.SolverName.c_str());
+  fprintf(stderr, "; %zu clauses, %zu predicates, %s, solver=%s\n", S.Clauses,
+          S.Predicates, S.Recursive ? "recursive" : "non-recursive",
+          S.SolverName.c_str());
   printf("%s\n", toString(S.Status));
   fprintf(stderr, "; stats: %s\n", S.Solver.summary().c_str());
   for (const analysis::PassStats &Pass : S.AnalysisPasses)
     fprintf(stderr, "; analysis: %s\n", Pass.toString().c_str());
+  // Per-lane reports (one line for single-engine runs, one per lane for the
+  // portfolio; * winner, ! crashed, ~ cancelled).
+  for (const solver::EngineReport &R : S.Engines)
+    fprintf(stderr, "; lane %c %-12s %-8s %.3fs%s%s\n",
+            R.Winner ? '*' : R.Crashed ? '!' : R.Cancelled ? '~' : ' ',
+            R.Lane.c_str(), toString(R.Status), R.Seconds,
+            R.Error.empty() ? "" : " error: ", R.Error.c_str());
   if (S.Status == ChcResult::Sat) {
     fprintf(stderr, "; model:\n%s", S.Model.c_str());
     if (!S.ModelValidated) {

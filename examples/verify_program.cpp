@@ -34,7 +34,7 @@ static int verify(const std::string &Name, const std::string &Source) {
          System.isRecursive() ? "recursive" : "non-recursive");
 
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = 120;
+  Opts.Limits.WallSeconds = 120;
   Opts.Learn.ModFeatures = corpus::modFeaturesFor(Source);
   solver::DataDrivenChcSolver Solver(Opts);
   chc::ChcSolverResult R = Solver.solve(System);

@@ -170,6 +170,13 @@ struct AnalysisContext {
   /// `adoptTransformed()`, the input system before).
   const chc::ChcSystem &system() const { return *Sys; }
 
+  /// Pipeline budget check: wall clock or cooperative cancellation (the
+  /// token travels in `Opts.Smt.Cancel`, shared with every SMT check the
+  /// passes issue).
+  bool expired() const {
+    return Clock.expired() || isCancelled(Opts.Smt.Cancel);
+  }
+
   /// Rebinds the context to the inlined system \p T produced by the inline
   /// pass and re-initializes the per-clause / per-predicate masks to its
   /// sizes, pre-masking every eliminated predicate so later passes treat it

@@ -71,7 +71,7 @@ runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
   // sweep), with widening once a predicate has been joined often enough.
   bool Changed = true;
   for (size_t Sweep = 0;
-       Changed && Sweep < Opts.MaxSweeps && !Ctx.Clock.expired(); ++Sweep) {
+       Changed && Sweep < Opts.MaxSweeps && !Ctx.expired(); ++Sweep) {
     Changed = false;
     for (size_t CI = 0; CI < Clauses.size(); ++CI) {
       std::optional<Value> V = Contribution(CI);
@@ -101,7 +101,7 @@ runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
   // overshot (a loop guard's implied bound). Domains guarantee narrowing
   // never reaches bottom, so the states stay safe to render.
   for (size_t Pass = 0;
-       Pass < Opts.NarrowingPasses && !Ctx.Clock.expired(); ++Pass) {
+       Pass < Opts.NarrowingPasses && !Ctx.expired(); ++Pass) {
     std::vector<State> Step(N);
     for (size_t I = 0; I < N; ++I)
       Step[I].Value = Dom.bottom(Preds[I]);

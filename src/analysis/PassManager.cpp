@@ -189,7 +189,7 @@ public:
         auto It = Ladders.find(Head);
         if (It == Ladders.end())
           continue;
-        if (Ctx.Clock.expired()) {
+        if (Ctx.expired()) {
           // Out of budget: nothing else gets verified this run.
           Stats.InvariantsRejected += Ladders.size();
           Stats.Check = Checker.stats();
@@ -269,7 +269,7 @@ public:
       const HornClause &C = Clauses[CI];
       if (!Ctx.isLive(CI) || !C.isQuery())
         continue;
-      if (Ctx.Clock.expired()) {
+      if (Ctx.expired()) {
         Stats.Check = Checker.stats();
         return; // skip discharge; ProvedSat stays false
       }
@@ -295,7 +295,7 @@ public:
 
 void PassManager::run(AnalysisContext &Ctx) const {
   for (const std::unique_ptr<Pass> &P : Passes) {
-    if (Ctx.Clock.expired())
+    if (Ctx.expired())
       break;
     PassStats Stats;
     Stats.Name = P->name();

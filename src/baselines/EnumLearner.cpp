@@ -185,7 +185,7 @@ solver::LearnerFn baselines::makeEnumLearner(EnumLearnerOptions Opts) {
 
 solver::DataDrivenOptions baselines::makeEnumSolverOptions(double Timeout) {
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = Timeout;
+  Opts.Limits.WallSeconds = Timeout;
   Opts.Learner = makeEnumLearner();
   Opts.Name = "pie-enum";
   return Opts;

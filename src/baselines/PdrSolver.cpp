@@ -35,7 +35,7 @@ class Pdr {
 public:
   Pdr(const ChcSystem &System, const PdrOptions &Opts)
       : System(System), TM(System.termManager()), Opts(Opts),
-        Clock(Opts.TimeoutSeconds), Result(TM) {
+        Clock(Opts.Limits.WallSeconds), Result(TM) {
     Lemmas.resize(System.predicates().size());
   }
 
@@ -67,7 +67,9 @@ private:
   enum class BlockResult { Blocked, Reachable, Budget };
 
   bool outOfBudget() {
-    return Clock.expired() || Obligations >= Opts.MaxObligations;
+    return Clock.expired() || isCancelled(Opts.Cancel) ||
+           (Opts.Limits.MaxIterations &&
+            Obligations >= Opts.Limits.MaxIterations);
   }
 
   /// F_k(p): conjunction of lemmas alive at level k (k < 0 yields false).
@@ -437,6 +439,9 @@ private:
 } // namespace
 
 ChcSolverResult PdrSolver::solve(const ChcSystem &System) {
+  // Every SMT query the frames issue polls the cancellation token.
+  if (Opts.Cancel && !Opts.Smt.Cancel)
+    Opts.Smt.Cancel = Opts.Cancel;
   // Mirror Spacer/GPDR running on Z3-preprocessed Horn: collapse
   // single-definition predicates before the frames ever see the system,
   // then translate witnesses back so callers always get answers over the

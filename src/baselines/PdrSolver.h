@@ -32,10 +32,13 @@ namespace la::baselines {
 struct PdrOptions {
   /// Cache concretely reachable facts across queries (Spacer-style).
   bool CacheReachable = true;
-  double TimeoutSeconds = 0;
+  /// Wall clock plus proof-obligation budget (`MaxIterations` caps the
+  /// obligations blocked; 0 falls back to the 100000 default).
+  Budget Limits{0, 100000};
   size_t MaxLevel = 64;
-  size_t MaxObligations = 100000;
   smt::SmtSolver::Options Smt;
+  /// Cooperative cancellation, polled per obligation and per SMT check.
+  std::shared_ptr<const CancellationToken> Cancel;
 };
 
 /// PDR-family baseline solver.

@@ -1,0 +1,82 @@
+//===- baselines/RegisterEngines.cpp - Baseline registry hookup -----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RegisterEngines.h"
+#include "baselines/EnumLearner.h"
+#include "baselines/PdrSolver.h"
+#include "baselines/TemplateLearner.h"
+#include "baselines/UnwindSolver.h"
+
+using namespace la;
+using namespace la::baselines;
+using solver::EngineOptions;
+using EnginePtr = std::unique_ptr<la::chc::ChcSolverInterface>;
+
+namespace {
+
+PdrOptions pdrFrom(const EngineOptions &EO, bool CacheReachable) {
+  PdrOptions Opts;
+  Opts.CacheReachable = CacheReachable;
+  Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+  Opts.Cancel = EO.Cancel;
+  Opts.Smt = EO.Smt;
+  return Opts;
+}
+
+UnwindOptions unwindFrom(const EngineOptions &EO, bool SummaryReuse) {
+  UnwindOptions Opts;
+  Opts.SummaryReuse = SummaryReuse;
+  Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+  Opts.Cancel = EO.Cancel;
+  Opts.Smt = EO.Smt;
+  return Opts;
+}
+
+/// The PIE/DIG baselines swap the learner inside the shared CEGAR loop, so
+/// they build on the caller's data-driven configuration.
+solver::DataDrivenOptions learnerSwapFrom(const EngineOptions &EO,
+                                          solver::DataDrivenOptions Swapped) {
+  Swapped.Smt = EO.DataDriven.Smt;
+  Swapped.Analysis = EO.DataDriven.Analysis;
+  Swapped.EnableAnalysis = EO.DataDriven.EnableAnalysis;
+  Swapped.Limits = EO.Limits.resolvedOver(Swapped.Limits);
+  Swapped.Cancel = EO.Cancel;
+  return Swapped;
+}
+
+} // namespace
+
+void baselines::registerBuiltinEngines(solver::SolverRegistry &R) {
+  // `add` refuses duplicate ids, so repeated calls are no-ops.
+  R.add("pdr", "Spacer-style PDR with reachable-fact caching",
+        [](const EngineOptions &EO) -> EnginePtr {
+          return std::make_unique<PdrSolver>(pdrFrom(EO, true));
+        });
+  R.addAlias("spacer", "pdr");
+  R.add("gpdr", "GPDR-style PDR without reachable-fact caching",
+        [](const EngineOptions &EO) -> EnginePtr {
+          return std::make_unique<PdrSolver>(pdrFrom(EO, false));
+        });
+  R.add("unwind", "Duality-style unwinding with summary reuse",
+        [](const EngineOptions &EO) -> EnginePtr {
+          return std::make_unique<UnwindSolver>(unwindFrom(EO, true));
+        });
+  R.addAlias("duality", "unwind");
+  R.add("interpolation", "UAutomizer-style path-by-path interpolation",
+        [](const EngineOptions &EO) -> EnginePtr {
+          return std::make_unique<UnwindSolver>(unwindFrom(EO, false));
+        });
+  R.add("pie", "CEGAR loop with the PIE-style enumerative learner",
+        [](const EngineOptions &EO) -> EnginePtr {
+          return std::make_unique<solver::DataDrivenChcSolver>(learnerSwapFrom(
+              EO, makeEnumSolverOptions(EO.Limits.WallSeconds)));
+        });
+  R.add("dig", "CEGAR loop with the DIG-style template learner",
+        [](const EngineOptions &EO) -> EnginePtr {
+          return std::make_unique<solver::DataDrivenChcSolver>(learnerSwapFrom(
+              EO, makeTemplateSolverOptions(EO.Limits.WallSeconds)));
+        });
+}

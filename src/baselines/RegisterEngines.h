@@ -1,0 +1,31 @@
+//===- baselines/RegisterEngines.h - Baseline registry hookup ---*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the baseline CHC engines (PDR family, unwinding family, and the
+/// PIE/DIG-style learner swaps) with a `SolverRegistry`. Registration is an
+/// explicit call — not a static initializer — because the baselines live in
+/// a static library and the linker would drop an unreferenced registration
+/// object file. The CLI driver, the benches, and the tests call this once at
+/// startup; the call is idempotent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_BASELINES_REGISTERENGINES_H
+#define LA_BASELINES_REGISTERENGINES_H
+
+#include "solver/SolverRegistry.h"
+
+namespace la::baselines {
+
+/// Adds "pdr" (alias "spacer"), "gpdr", "unwind" (alias "duality"),
+/// "interpolation", "pie" and "dig" to \p R. Safe to call repeatedly.
+void registerBuiltinEngines(
+    solver::SolverRegistry &R = solver::SolverRegistry::global());
+
+} // namespace la::baselines
+
+#endif // LA_BASELINES_REGISTERENGINES_H

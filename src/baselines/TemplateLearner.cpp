@@ -163,7 +163,7 @@ solver::LearnerFn baselines::makeTemplateLearner() {
 
 solver::DataDrivenOptions baselines::makeTemplateSolverOptions(double Timeout) {
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = Timeout;
+  Opts.Limits.WallSeconds = Timeout;
   Opts.Learner = makeTemplateLearner();
   Opts.Name = "dig-template";
   return Opts;

@@ -109,7 +109,8 @@ class Unwind {
 public:
   Unwind(const ChcSystem &System, const UnwindOptions &Opts)
       : System(System), TM(System.termManager()), Opts(Opts),
-        Clock(Opts.TimeoutSeconds), Result(TM), Checker(System, Opts.Smt) {}
+        Clock(Opts.Limits.WallSeconds), Result(TM),
+        Checker(System, Opts.Smt) {}
 
   ChcSolverResult run() {
     Timer Total;
@@ -133,7 +134,11 @@ private:
     const Term *Formula = nullptr; ///< Or over alternatives
   };
 
-  bool outOfBudget() { return Clock.expired(); }
+  bool outOfBudget() {
+    return Clock.expired() || isCancelled(Opts.Cancel) ||
+           (Opts.Limits.MaxIterations &&
+            Result.Stats.Iterations >= Opts.Limits.MaxIterations);
+  }
 
   const Term *freshCopy(const Term *T,
                         std::unordered_map<const Term *, const Term *> &Map) {
@@ -568,6 +573,9 @@ private:
 } // namespace
 
 ChcSolverResult UnwindSolver::solve(const ChcSystem &System) {
+  // Every SMT query of the unwinding polls the cancellation token.
+  if (Opts.Cancel && !Opts.Smt.Cancel)
+    Opts.Smt.Cancel = Opts.Cancel;
   // Same preprocessing as the PDR baseline: Duality and UAutomizer both
   // consume simplified Horn, so the unwinding runs on the inlined system
   // and witnesses are translated back to the input predicates.

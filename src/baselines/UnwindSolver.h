@@ -38,7 +38,11 @@ struct UnwindOptions {
   /// the current interpolant summaries already cover it. Off = UAutomizer-
   /// style path-by-path refinement.
   bool SummaryReuse = true;
-  double TimeoutSeconds = 0;
+  /// Wall clock plus refinement-step budget (`MaxIterations` 0 = the
+  /// structural caps below are the only limits).
+  Budget Limits;
+  /// Cooperative cancellation, polled at every BMC/refinement loop head.
+  std::shared_ptr<const CancellationToken> Cancel;
   size_t MaxBmcDepth = 24;
   size_t MaxBmcNodes = 20000;
   size_t MaxPathLength = 64;

@@ -185,3 +185,40 @@ std::string ChcSystem::toString() const {
   }
   return Out;
 }
+
+void la::chc::cloneSystem(const ChcSystem &Src, ChcSystem &Dst) {
+  assert(&Src.termManager() != &Dst.termManager() &&
+         "clone must target a different term manager");
+  assert(Dst.predicates().empty() && Dst.clauses().empty() &&
+         "clone target must be empty");
+  TermManager &TM = Dst.termManager();
+  // Re-declaring in registration order preserves Predicate::Index, so
+  // witnesses translate back by index alone. addPredicate re-creates the
+  // canonical `<name>#<i>` parameter variables in Dst's manager, and
+  // import() maps variables by name, so interpretation formulas over the
+  // clone's parameters line up with the originals.
+  for (const Predicate *P : Src.predicates())
+    Dst.addPredicate(P->Name, P->arity());
+  for (const HornClause &C : Src.clauses()) {
+    HornClause Out;
+    Out.Name = C.Name;
+    Out.Constraint = TM.import(C.Constraint);
+    for (const PredApp &App : C.Body) {
+      PredApp A;
+      A.Pred = Dst.predicates()[App.Pred->Index];
+      for (const Term *Arg : App.Args)
+        A.Args.push_back(TM.import(Arg));
+      Out.Body.push_back(std::move(A));
+    }
+    if (C.HeadPred) {
+      PredApp H;
+      H.Pred = Dst.predicates()[C.HeadPred->Pred->Index];
+      for (const Term *Arg : C.HeadPred->Args)
+        H.Args.push_back(TM.import(Arg));
+      Out.HeadPred = std::move(H);
+    } else {
+      Out.HeadFormula = TM.import(C.HeadFormula);
+    }
+    Dst.addClause(std::move(Out));
+  }
+}

@@ -117,6 +117,14 @@ private:
   std::vector<HornClause> Clauses;
 };
 
+/// Deep-copies \p Src into the empty system \p Dst, whose TermManager must
+/// be a *different* manager: predicates are re-declared in order (indices
+/// are preserved) and every clause term is rebuilt via
+/// `TermManager::import`. This is the isolation boundary of the parallel
+/// portfolio engine -- term managers are not thread-safe, so each worker
+/// solves a private clone and only the winner's witness is translated back.
+void cloneSystem(const ChcSystem &Src, ChcSystem &Dst);
+
 } // namespace la::chc
 
 #endif // LA_CHC_CHC_H

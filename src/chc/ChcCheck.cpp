@@ -132,6 +132,12 @@ ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
   const HornClause &Clause = System.clauses()[ClauseIndex];
   TermManager &TM = System.termManager();
 
+  // Cancellation checkpoint: a cancelled solve must not open new solver
+  // scopes or pollute the memo cache; like any Unknown, this verdict is
+  // budget-dependent and is never cached.
+  if (isCancelled(Opts.Cancel))
+    return ClauseCheckResult{};
+
   std::string Key = cacheKey(ClauseIndex, Interp);
   auto Hit = Cache.find(Key);
   if (Hit != Cache.end()) {

@@ -41,7 +41,7 @@ solver::DataDrivenOptions
 corpus::defaultOptionsFor(const BenchmarkProgram &Program,
                           double TimeoutSeconds) {
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = TimeoutSeconds;
+  Opts.Limits.WallSeconds = TimeoutSeconds;
   Opts.Learn.ModFeatures = modFeaturesFor(Program.Source);
   // Let a single SMT check use up to half the overall budget (large
   // programs have few but big verification conditions).

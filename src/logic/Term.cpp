@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace la;
 
@@ -374,6 +375,75 @@ const Term *TermManager::substitute(
     return Result;
   };
   return Rewrite(T);
+}
+
+const Term *TermManager::import(const Term *T) {
+  // Source terms are interned in their own manager, so a memo on source
+  // pointers keeps the copy linear in the DAG size.
+  std::unordered_map<const Term *, const Term *> Cache;
+  std::function<const Term *(const Term *)> Copy =
+      [&](const Term *Node) -> const Term * {
+    auto Hit = Cache.find(Node);
+    if (Hit != Cache.end())
+      return Hit->second;
+    const Term *Result = nullptr;
+    switch (Node->kind()) {
+    case TermKind::IntConst:
+      Result = mkIntConst(Node->value());
+      break;
+    case TermKind::BoolConst:
+      Result = mkBool(Node->boolValue());
+      break;
+    case TermKind::Var:
+      Result = mkVar(Node->name(), Node->sort());
+      break;
+    default: {
+      std::vector<const Term *> Ops;
+      Ops.reserve(Node->numOperands());
+      for (const Term *Op : Node->operands())
+        Ops.push_back(Copy(Op));
+      switch (Node->kind()) {
+      case TermKind::Add:
+        Result = mkAdd(std::move(Ops));
+        break;
+      case TermKind::Mul:
+        Result = mkMul(Node->value(), Ops[0]);
+        break;
+      case TermKind::Mod:
+        Result = mkMod(Ops[0], Node->value().numerator());
+        break;
+      case TermKind::Le:
+        Result = mkLe(Ops[0], Ops[1]);
+        break;
+      case TermKind::Lt:
+        Result = mkLt(Ops[0], Ops[1]);
+        break;
+      case TermKind::Eq:
+        Result = mkEq(Ops[0], Ops[1]);
+        break;
+      case TermKind::Not:
+        Result = mkNot(Ops[0]);
+        break;
+      case TermKind::And:
+        Result = mkAnd(std::move(Ops));
+        break;
+      case TermKind::Or:
+        Result = mkOr(std::move(Ops));
+        break;
+      case TermKind::PredApp:
+        Result = mkPredApp(Node->name(), std::move(Ops));
+        break;
+      default:
+        assert(false && "unexpected composite term kind");
+        Result = mkTrue();
+      }
+      break;
+    }
+    }
+    Cache.emplace(Node, Result);
+    return Result;
+  };
+  return Copy(T);
 }
 
 std::vector<const Term *> TermManager::collectVars(const Term *T) {

@@ -150,6 +150,13 @@ public:
       const Term *T,
       const std::unordered_map<const Term *, const Term *> &Map);
 
+  /// Deep-copies a term owned by *another* manager into this one, matching
+  /// variables by name (and sort) so that imports into a manager that
+  /// already interns the same names share its variables. This is what lets
+  /// the portfolio engine hand each worker thread a private manager and
+  /// still translate the winner's formulas back to the caller's terms.
+  const Term *import(const Term *T);
+
   /// Collects the distinct variables of \p T in first-occurrence order.
   std::vector<const Term *> collectVars(const Term *T);
 

@@ -79,7 +79,7 @@ public:
 
   CheckResult check(bool Final) override {
     CheckResult R;
-    if (Clock.expired()) {
+    if (Clock.expired() || isCancelled(Owner.Opts.Cancel)) {
       R.Abort = true;
       return R;
     }
@@ -793,6 +793,8 @@ SmtResult SmtSolver::check() {
   Model.clear();
   if (RootUnsat || Sat->inconsistent())
     return SmtResult::Unsat;
+  if (isCancelled(Opts.Cancel))
+    return SmtResult::Unknown;
   Bridge->startClock(Opts.TimeoutSeconds);
   Bridge->SplitsDone = 0; // the split budget is per check
   Sat->backtrackToRoot();

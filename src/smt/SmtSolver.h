@@ -40,6 +40,7 @@
 #include "logic/Term.h"
 #include "sat/SatSolver.h"
 #include "smt/Simplex.h"
+#include "support/Cancellation.h"
 
 #include <memory>
 
@@ -64,6 +65,10 @@ public:
     /// them; beyond it the clause database is shrunk back to its pre-check
     /// mark to bound memory over long CEGAR runs.
     size_t LearntCarryCap = 4096;
+    /// Cooperative cancellation: polled at every theory check, so a
+    /// portfolio loser aborts its in-flight check() (verdict Unknown)
+    /// within one propagation round instead of running out its wall clock.
+    std::shared_ptr<const CancellationToken> Cancel;
   };
 
   explicit SmtSolver(TermManager &TM) : SmtSolver(TM, Options{}) {}

@@ -87,7 +87,7 @@ public:
              const analysis::AnalysisResult &Analysis,
              DataDrivenChcSolver::DetailedStats &Details)
       : System(System), TM(System.termManager()), Opts(Opts),
-        Analysis(Analysis), Details(Details), Clock(Opts.TimeoutSeconds),
+        Analysis(Analysis), Details(Details), Clock(Opts.Limits.WallSeconds),
         Result(TM), Checker(System, Opts.Smt) {
     for (const Predicate *P : System.predicates()) {
       PredState State;
@@ -175,7 +175,9 @@ private:
   enum class ResolveOutcome { Resolved, Weakened, FoundUnsat, Budget };
 
   bool outOfBudget() {
-    return Clock.expired() || Result.Stats.Iterations >= Opts.MaxIterations;
+    return Clock.expired() || isCancelled(Opts.Cancel) ||
+           (Opts.Limits.MaxIterations &&
+            Result.Stats.Iterations >= Opts.Limits.MaxIterations);
   }
 
   PredState &stateOf(const Predicate *P) { return States[P->Index]; }
@@ -382,13 +384,19 @@ private:
 ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
   Details = DetailedStats{};
   Timer Total;
+  // The cancellation token reaches every SMT check (and through Smt, the
+  // analysis pipeline and clause-check backend) without separate plumbing.
+  if (Opts.Cancel && !Opts.Smt.Cancel)
+    Opts.Smt.Cancel = Opts.Cancel;
   if (Opts.EnableAnalysis) {
     analysis::AnalysisOptions AOpts = Opts.Analysis;
     AOpts.Smt = Opts.Smt;
     // Cap the pipeline at half the solve budget so a pathological system
-    // still leaves the CEGAR loop room to run.
-    if (Opts.TimeoutSeconds > 0) {
-      double Cap = Opts.TimeoutSeconds / 2;
+    // still leaves the CEGAR loop room to run (the analysis-only engine
+    // gets the whole budget: there is no loop to save time for).
+    if (Opts.Limits.WallSeconds > 0) {
+      double Cap =
+          Opts.AnalysisOnly ? Opts.Limits.WallSeconds : Opts.Limits.WallSeconds / 2;
       AOpts.TimeoutSeconds =
           AOpts.TimeoutSeconds > 0 ? std::min(AOpts.TimeoutSeconds, Cap) : Cap;
     }
@@ -407,6 +415,17 @@ ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
   LA_TRACE("analysis: pruned %zu/%zu clauses, resolved %zu preds, %zu bounds",
            Analysis.clausesPruned(), Analysis.LiveClause.size(),
            Analysis.predicatesResolved(), Analysis.boundsFound());
+
+  // Analysis-only mode: when the verified seed does not already discharge
+  // the system, answer Unknown instead of entering the CEGAR loop. (On
+  // ProvedSat the loop below exits before its first iteration and the
+  // shared witness back-translation applies.)
+  if (Opts.AnalysisOnly && !Analysis.ProvedSat) {
+    ChcSolverResult Unknown(System.termManager());
+    Unknown.Stats.SmtQueries = Analysis.smtChecks();
+    Unknown.Stats.Seconds = Total.elapsedSeconds();
+    return Unknown;
+  }
 
   // The CEGAR loop runs over the inlined system when the inline pass fired;
   // witnesses are translated back to the input system below.

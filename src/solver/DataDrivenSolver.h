@@ -29,6 +29,7 @@
 #include "analysis/PassManager.h"
 #include "chc/SolverTypes.h"
 #include "ml/Learn.h"
+#include "support/Cancellation.h"
 #include "support/Timer.h"
 
 #include <functional>
@@ -48,10 +49,17 @@ using LearnerFn = std::function<ml::LearnResult(
 struct DataDrivenOptions {
   ml::LearnOptions Learn;
   smt::SmtSolver::Options Smt;
-  /// Wall-clock budget in seconds (0 = unlimited).
-  double TimeoutSeconds = 0;
-  /// Budget on counterexample-handling iterations.
-  size_t MaxIterations = 50000;
+  /// Resource budget: wall clock plus a cap on counterexample-handling
+  /// iterations (`MaxIterations == 0` means unlimited). Callers that used
+  /// to set `TimeoutSeconds` / `MaxIterations` set these two fields now.
+  Budget Limits{0, 50000};
+  /// Cooperative cancellation, polled at every CEGAR loop head and plumbed
+  /// into the clause-check backend and the pre-analysis pipeline.
+  std::shared_ptr<const CancellationToken> Cancel;
+  /// Stop after the static pre-analysis: report Sat when the verified seed
+  /// discharges the system, Unknown otherwise, and never enter the CEGAR
+  /// loop. This is the portfolio's cheap "analysis" lane.
+  bool AnalysisOnly = false;
   /// Alternative learner; when unset, Algorithm 2 (`ml::learn`) is used
   /// with the `Learn` options above.
   LearnerFn Learner;

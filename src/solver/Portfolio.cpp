@@ -1,0 +1,214 @@
+//===- solver/Portfolio.cpp - Parallel portfolio CHC engine ---------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Portfolio.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+using namespace la;
+using namespace la::solver;
+using namespace la::chc;
+
+std::vector<PortfolioLane>
+PortfolioSolver::defaultLanes(const EngineOptions &Base,
+                              const SolverRegistry &R) {
+  std::vector<PortfolioLane> Lanes;
+  Lanes.push_back({"la", "la", Base});
+  {
+    PortfolioLane Seeded{"la", "la-seed2", Base};
+    Seeded.Opts.Seed = Base.Seed ? Base.Seed + 1 : 2;
+    Lanes.push_back(std::move(Seeded));
+  }
+  Lanes.push_back({"analysis", "analysis", Base});
+  // Baseline lanes only when `registerBuiltinEngines()` ran.
+  if (R.contains("pdr"))
+    Lanes.push_back({"pdr", "pdr", Base});
+  if (R.contains("unwind"))
+    Lanes.push_back({"unwind", "unwind", Base});
+  return Lanes;
+}
+
+namespace {
+
+/// Everything one lane owns. Workers only ever touch their own slot; the
+/// main thread reads the slots after joining every worker.
+struct LaneExec {
+  std::unique_ptr<TermManager> TM;
+  std::unique_ptr<ChcSystem> Clone;
+  std::optional<ChcSolverResult> Result;
+  EngineReport Report;
+};
+
+/// Copies the winning lane's result back into the input system's manager.
+/// Predicates map by index (cloning preserves declaration order), terms go
+/// through `TermManager::import`, counterexample arguments are plain
+/// rationals and copy directly.
+ChcSolverResult translateBack(const ChcSystem &System, const ChcSystem &Clone,
+                              const ChcSolverResult &Res) {
+  TermManager &TM = System.termManager();
+  ChcSolverResult Out(TM);
+  Out.Status = Res.Status;
+  Out.Stats = Res.Stats;
+  if (Res.Status == ChcResult::Sat) {
+    for (size_t I = 0, N = System.predicates().size(); I != N; ++I)
+      Out.Interp.set(System.predicates()[I],
+                     TM.import(Res.Interp.get(Clone.predicates()[I])));
+  } else if (Res.Status == ChcResult::Unsat && Res.Cex) {
+    Counterexample Cex;
+    Cex.QueryClauseIndex = Res.Cex->QueryClauseIndex;
+    Cex.QueryChildren = Res.Cex->QueryChildren;
+    for (const Counterexample::Node &N : Res.Cex->Nodes) {
+      Counterexample::Node Copy;
+      Copy.Pred = System.predicates()[N.Pred->Index];
+      Copy.Args = N.Args;
+      Copy.ClauseIndex = N.ClauseIndex;
+      Copy.Children = N.Children;
+      Cex.Nodes.push_back(std::move(Copy));
+    }
+    Out.Cex = std::move(Cex);
+  }
+  return Out;
+}
+
+} // namespace
+
+ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
+  Timer Total;
+  Reports.clear();
+  const SolverRegistry &Registry =
+      Opts.Registry ? *Opts.Registry : SolverRegistry::global();
+  std::vector<PortfolioLane> Lanes =
+      Opts.Lanes.empty() ? defaultLanes(Opts.Base, Registry) : Opts.Lanes;
+
+  ChcSolverResult Final(System.termManager());
+  if (Lanes.empty()) {
+    Final.Stats.Seconds = Total.elapsedSeconds();
+    return Final;
+  }
+
+  // The shared race token: tripped by the first definitive answer, by the
+  // global budget, or by the caller's external token (relayed below, so
+  // lanes only ever poll one token).
+  auto Token = std::make_shared<CancellationToken>();
+  Budget Limits = Opts.Limits.resolvedOver(Opts.Base.Limits);
+  Deadline Global(Limits.WallSeconds);
+
+  std::vector<LaneExec> Execs(Lanes.size());
+  std::vector<std::thread> Workers;
+  std::atomic<int> WinnerIdx{-1};
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  size_t Running = 0;
+
+  for (size_t I = 0; I != Lanes.size(); ++I) {
+    PortfolioLane &Lane = Lanes[I];
+    LaneExec &Exec = Execs[I];
+    Exec.Report.Lane = Lane.Label.empty() ? Lane.Engine : Lane.Label;
+    Exec.Report.Engine = Lane.Engine;
+    if (!Registry.contains(Lane.Engine)) {
+      Exec.Report.Crashed = true;
+      Exec.Report.Error = "unknown engine id '" + Lane.Engine + "'";
+      continue;
+    }
+
+    // Lane isolation: a private manager plus a deep clone of the system.
+    // The clone happens on the main thread, before any worker starts, so
+    // the input manager is never touched concurrently.
+    Exec.TM = std::make_unique<TermManager>();
+    Exec.Clone = std::make_unique<ChcSystem>(*Exec.TM);
+    cloneSystem(System, *Exec.Clone);
+
+    EngineOptions EO = Lane.Opts;
+    EO.Limits = EO.Limits.resolvedOver(Opts.Base.Limits);
+    if (Opts.LaneWallSeconds > 0 &&
+        (EO.Limits.WallSeconds <= 0 ||
+         EO.Limits.WallSeconds > Opts.LaneWallSeconds))
+      EO.Limits.WallSeconds = Opts.LaneWallSeconds;
+    EO.Cancel = Token;
+
+    ++Running;
+    Workers.emplace_back([&Registry, &Exec, &WinnerIdx, &Mutex, &Cv, &Running,
+                          Token, EO = std::move(EO), Engine = Lane.Engine,
+                          Idx = static_cast<int>(I)]() {
+      Timer LaneClock;
+      bool Definitive = false;
+      try {
+        std::unique_ptr<ChcSolverInterface> Solver =
+            Registry.create(Engine, EO);
+        Exec.Report.Name = Solver->name();
+        Exec.Result = Solver->solve(*Exec.Clone);
+        Exec.Report.Status = Exec.Result->Status;
+        Exec.Report.Stats = Exec.Result->Stats;
+        Definitive = Exec.Result->Status != ChcResult::Unknown;
+      } catch (const std::exception &E) {
+        Exec.Report.Crashed = true;
+        Exec.Report.Error = E.what();
+      } catch (...) {
+        Exec.Report.Crashed = true;
+        Exec.Report.Error = "non-standard exception";
+      }
+      Exec.Report.Seconds = LaneClock.elapsedSeconds();
+      Exec.Report.Cancelled = !Exec.Report.Crashed &&
+                              Exec.Report.Status == ChcResult::Unknown &&
+                              Token->cancelled();
+      if (Definitive) {
+        // First definitive answer claims the race and stops everyone else;
+        // cancelling here (not in the monitor tick) bounds the latency by
+        // one SMT propagation round.
+        int Expected = -1;
+        if (WinnerIdx.compare_exchange_strong(Expected, Idx,
+                                              std::memory_order_acq_rel))
+          Token->cancel();
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        --Running;
+      }
+      Cv.notify_all();
+    });
+  }
+
+  // Race monitor: wake on lane completion or every tick to enforce the
+  // global budget and relay the caller's external token.
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    while (Running > 0) {
+      Cv.wait_for(Lock, std::chrono::milliseconds(25));
+      if (WinnerIdx.load(std::memory_order_acquire) >= 0 ||
+          Global.expired() || isCancelled(Opts.Base.Cancel))
+        Token->cancel();
+    }
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  int Winner = WinnerIdx.load(std::memory_order_acquire);
+  if (Winner >= 0) {
+    LaneExec &Exec = Execs[static_cast<size_t>(Winner)];
+    Exec.Report.Winner = true;
+    Exec.Report.Cancelled = false;
+    Final = translateBack(System, *Exec.Clone, *Exec.Result);
+  }
+  Final.Stats.Seconds = Total.elapsedSeconds();
+
+  Reports.clear();
+  Reports.reserve(Execs.size());
+  for (LaneExec &Exec : Execs)
+    Reports.push_back(std::move(Exec.Report));
+  std::sort(Reports.begin(), Reports.end(),
+            [](const EngineReport &A, const EngineReport &B) {
+              return A.Lane < B.Lane;
+            });
+  return Final;
+}

@@ -1,0 +1,98 @@
+//===- solver/Portfolio.h - Parallel portfolio CHC engine -------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parallel portfolio engine racing several registry engines on one CHC
+/// system: the first definitive answer (sat or unsat) wins and cancels the
+/// remaining lanes through a shared `CancellationToken`.
+///
+/// Isolation contract: `TermManager` hash-conses and is not thread-safe, so
+/// every lane runs on a private manager holding a deep clone of the input
+/// system (`chc::cloneSystem`). Only after all worker threads have joined
+/// does the main thread translate the winner's model or counterexample back
+/// into the input manager (`TermManager::import`; predicates map by index,
+/// which cloning preserves). A lane that throws is contained: its report
+/// carries the error, the race continues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SOLVER_PORTFOLIO_H
+#define LA_SOLVER_PORTFOLIO_H
+
+#include "solver/SolverRegistry.h"
+
+namespace la::solver {
+
+/// One competitor in the race: a registry engine id plus its options. The
+/// label names the lane in reports and must be unique within a portfolio
+/// (two "la" lanes with different seeds get labels "la" and "la-seed2").
+struct PortfolioLane {
+  std::string Engine;
+  std::string Label;
+  EngineOptions Opts;
+};
+
+/// Post-race record of one lane, rendered into `SolveResult::summary()`.
+/// Reports are sorted by label, not completion order, so output is
+/// deterministic across runs.
+struct EngineReport {
+  std::string Lane;   ///< Lane label.
+  std::string Engine; ///< Registry id the lane ran.
+  std::string Name;   ///< The instantiated solver's display name.
+  chc::ChcResult Status = chc::ChcResult::Unknown;
+  bool Winner = false;    ///< This lane's answer was adopted.
+  bool Cancelled = false; ///< Stopped by the shared token, not on its own.
+  bool Crashed = false;   ///< Threw; `Error` holds the message.
+  std::string Error;
+  double Seconds = 0; ///< Lane wall clock (thread start to finish).
+  chc::SolveStats Stats;
+};
+
+/// Configuration of the portfolio engine.
+struct PortfolioOptions {
+  /// The lanes to race; empty means `PortfolioSolver::defaultLanes(Base)`:
+  /// two data-driven lanes with distinct seeds, the analysis-only lane, and
+  /// — when the baselines are registered — a PDR and an unwinding lane.
+  std::vector<PortfolioLane> Lanes;
+  /// Global race budget: when the wall clock expires every lane is
+  /// cancelled and the portfolio reports Unknown (0 = unlimited).
+  Budget Limits;
+  /// Optional per-lane wall-clock cap applied to lanes that do not set
+  /// their own (0 = global budget only).
+  double LaneWallSeconds = 0;
+  std::string Name = "portfolio";
+  /// Defaults every lane inherits (budget, base data-driven config,
+  /// external cancellation token).
+  EngineOptions Base;
+  /// Registry the lanes are created from (null = `SolverRegistry::global()`).
+  const SolverRegistry *Registry = nullptr;
+};
+
+/// The parallel portfolio engine.
+class PortfolioSolver : public chc::ChcSolverInterface {
+public:
+  explicit PortfolioSolver(PortfolioOptions Opts = {})
+      : Opts(std::move(Opts)) {}
+
+  chc::ChcSolverResult solve(const chc::ChcSystem &System) override;
+  std::string name() const override { return Opts.Name; }
+
+  /// Per-lane records of the last `solve` call, sorted by lane label.
+  const std::vector<EngineReport> &reports() const { return Reports; }
+
+  /// The default lane set over \p R: "la" (base seed), "la-seed2",
+  /// "analysis", plus "pdr" and "unwind" when registered.
+  static std::vector<PortfolioLane> defaultLanes(const EngineOptions &Base,
+                                                 const SolverRegistry &R);
+
+private:
+  PortfolioOptions Opts;
+  std::vector<EngineReport> Reports;
+};
+
+} // namespace la::solver
+
+#endif // LA_SOLVER_PORTFOLIO_H

@@ -8,13 +8,14 @@
 
 #include "chc/ChcParser.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 using namespace la;
 using namespace la::chc;
 
-std::string solver::SolveStats::summary() const {
+std::string solver::SolveResult::summary() const {
   if (!Ok)
     return "error: " + Error;
   std::string Out = toString(Status);
@@ -29,26 +30,72 @@ std::string solver::SolveStats::summary() const {
            std::to_string(Removed) + " clauses]";
   if (SolvedByAnalysis)
     Out += " [solved by pre-analysis]";
+  // Per-lane block for portfolio runs. `Engines` is sorted by lane label,
+  // so the rendering is deterministic regardless of completion order.
+  if (Engines.size() > 1) {
+    for (const EngineReport &R : Engines) {
+      char Mark = R.Winner ? '*' : R.Crashed ? '!' : R.Cancelled ? '~' : ' ';
+      char Line[160];
+      snprintf(Line, sizeof(Line), "\n  %c %-12s %-8s %.3fs", Mark,
+               R.Lane.c_str(), toString(R.Status), R.Seconds);
+      Out += Line;
+      if (R.Crashed)
+        Out += "  [" + R.Error + "]";
+    }
+  }
   return Out;
 }
 
-solver::SolveStats solver::solveSystem(const ChcSystem &System,
-                               const SolveOptions &Opts) {
-  solver::SolveStats Out;
-  Out.Ok = true;
+solver::SolveResult solver::solveSystem(const ChcSystem &System,
+                                        const SolveOptions &Opts) {
+  SolveResult Out;
   Out.Clauses = System.clauses().size();
   Out.Predicates = System.predicates().size();
   Out.Recursive = System.isRecursive();
 
+  const SolverRegistry &Registry = SolverRegistry::global();
+  EngineOptions EO;
+  EO.Limits = Opts.Limits;
+  EO.Cancel = Opts.Cancel;
+  EO.DataDriven = Opts.Solver;
+  // Non-data-driven engines share the data-driven SMT budget by default.
+  EO.Smt = Opts.Solver.Smt;
+
   std::unique_ptr<ChcSolverInterface> Solver;
+  bool UsedHook = false;
+  // The deprecated MakeSolver hook stays honored for one release.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
   if (Opts.MakeSolver) {
     Solver = Opts.MakeSolver();
-  } else {
-    DataDrivenOptions DD = Opts.Solver;
-    if (Opts.TimeoutSeconds > 0)
-      DD.TimeoutSeconds = Opts.TimeoutSeconds;
-    Solver = std::make_unique<DataDrivenChcSolver>(std::move(DD));
+    UsedHook = true;
   }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  if (!Solver) {
+    if (Opts.Engine == "portfolio") {
+      // Build the portfolio directly so custom lanes in `Opts.Portfolio`
+      // survive; the registry path would drop them.
+      PortfolioOptions PO = Opts.Portfolio;
+      PO.Base = EO;
+      PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
+      Solver = std::make_unique<PortfolioSolver>(std::move(PO));
+    } else {
+      Solver = Registry.create(Opts.Engine, EO);
+      if (!Solver) {
+        Out.Error = "unknown engine '" + Opts.Engine + "' (registered:";
+        for (const std::string &Id : Registry.ids())
+          Out.Error += " " + Id;
+        Out.Error += ")";
+        return Out;
+      }
+    }
+  }
+  Out.Ok = true;
   Out.SolverName = Solver->name();
 
   ChcSolverResult R = Solver->solve(System);
@@ -63,31 +110,44 @@ solver::SolveStats solver::solveSystem(const ChcSystem &System,
   if (R.Status == ChcResult::Unsat && R.Cex)
     Out.Cex = R.Cex->toString(System);
 
-  if (auto *DataDriven = dynamic_cast<DataDrivenChcSolver *>(Solver.get())) {
-    Out.AnalysisPasses = DataDriven->analysisResult().Passes;
-    Out.SolvedByAnalysis = DataDriven->detailedStats().SolvedByAnalysis;
+  if (auto *Portfolio = dynamic_cast<PortfolioSolver *>(Solver.get())) {
+    Out.Engines = Portfolio->reports();
+  } else {
+    if (auto *DataDriven = dynamic_cast<DataDrivenChcSolver *>(Solver.get())) {
+      Out.AnalysisPasses = DataDriven->analysisResult().Passes;
+      Out.SolvedByAnalysis = DataDriven->detailedStats().SolvedByAnalysis;
+    }
+    EngineReport Rep;
+    Rep.Lane = UsedHook ? Out.SolverName : Opts.Engine;
+    Rep.Engine = UsedHook ? "custom" : Opts.Engine;
+    Rep.Name = Out.SolverName;
+    Rep.Status = R.Status;
+    Rep.Winner = R.Status != ChcResult::Unknown;
+    Rep.Seconds = R.Stats.Seconds;
+    Rep.Stats = R.Stats;
+    Out.Engines.push_back(std::move(Rep));
   }
   return Out;
 }
 
-solver::SolveStats solver::solveChcText(const std::string &Text,
-                                const SolveOptions &Opts) {
+solver::SolveResult solver::solveChcText(const std::string &Text,
+                                         const SolveOptions &Opts) {
   TermManager TM;
   ChcSystem System(TM);
   ChcParseResult P = parseChcText(Text, System);
   if (!P.Ok) {
-    solver::SolveStats Out;
+    SolveResult Out;
     Out.Error = "parse error: " + P.Error;
     return Out;
   }
   return solveSystem(System, Opts);
 }
 
-solver::SolveStats solver::solveFile(const std::string &Path,
-                             const SolveOptions &Opts) {
+solver::SolveResult solver::solveFile(const std::string &Path,
+                                      const SolveOptions &Opts) {
   std::ifstream In(Path);
   if (!In) {
-    solver::SolveStats Out;
+    SolveResult Out;
     Out.Error = "cannot open " + Path;
     return Out;
   }

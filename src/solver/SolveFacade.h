@@ -6,17 +6,23 @@
 ///
 /// \file
 /// The one-call entry points `la::solver::solveFile`, `solveChcText` and
-/// `solveSystem`: they own the parser, the static pre-analysis pipeline and
-/// the `DataDrivenChcSolver` wiring that the examples used to duplicate,
-/// and return a self-contained `SolveStats` (witnesses rendered to strings,
-/// so nothing points into the solve's term manager after it is gone).
+/// `solveSystem`: they own the parser, the engine construction through the
+/// `SolverRegistry`, and the witness validation that the examples used to
+/// duplicate, and return a self-contained `SolveResult` (witnesses rendered
+/// to strings, so nothing points into the solve's term manager after it is
+/// gone).
+///
+/// Engines are selected by registry id (`SolveOptions::Engine`): "la"
+/// (default), "analysis", "portfolio", or — after
+/// `baselines::registerBuiltinEngines()` — "pdr", "unwind" and friends.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef LA_SOLVER_SOLVEFACADE_H
 #define LA_SOLVER_SOLVEFACADE_H
 
-#include "solver/DataDrivenSolver.h"
+#include "solver/Portfolio.h"
+#include "solver/SolverRegistry.h"
 
 #include <functional>
 #include <memory>
@@ -26,25 +32,37 @@ namespace la::solver {
 
 /// Configuration of the façade.
 struct SolveOptions {
-  /// Wall-clock budget in seconds (0 = keep `Solver.TimeoutSeconds`).
-  double TimeoutSeconds = 60;
-  /// Data-driven solver configuration (analysis options included); the
-  /// façade copies `TimeoutSeconds` over it when nonzero.
+  /// Single budget shared by every engine: wall clock plus main-loop
+  /// iteration cap. Nonzero fields override engine defaults
+  /// (`Budget::resolvedOver`); `{0, 0}` defers to them entirely.
+  Budget Limits{60, 0};
+  /// Registry id of the engine to run ("la", "analysis", "portfolio",
+  /// "pdr", ...). Unknown ids fail the call with an error listing the
+  /// registered ids.
+  std::string Engine = "la";
+  /// Data-driven engine configuration (analysis options included), the base
+  /// of the "la"/"analysis" engines and of every portfolio lane.
   DataDrivenOptions Solver;
+  /// Portfolio configuration, consulted only when `Engine == "portfolio"`
+  /// (its `Base`/`Limits` are filled in from the fields above).
+  PortfolioOptions Portfolio;
   /// Re-check a sat model clause by clause with `chc::checkInterpretation`.
   bool ValidateModel = true;
-  /// Factory overriding the solver construction (the command-line driver
-  /// uses this to select baseline solvers without adding a baselines
-  /// dependency to this library). When unset, a `DataDrivenChcSolver` over
-  /// `Solver` is used.
-  std::function<std::unique_ptr<chc::ChcSolverInterface>()> MakeSolver;
+  /// Cooperative cancellation of the whole call.
+  std::shared_ptr<const CancellationToken> Cancel;
+  /// Deprecated escape hatch predating the registry: a factory overriding
+  /// the engine construction entirely. Still honored for one release;
+  /// register an engine and set `Engine` instead.
+  [[deprecated("register an engine with SolverRegistry and set Engine "
+               "instead")]] std::function<std::unique_ptr<
+      chc::ChcSolverInterface>()> MakeSolver;
 };
 
 /// Self-contained outcome of one façade call. Term-level facts are rendered
 /// to strings because the term manager dies with the call.
-struct SolveStats {
-  /// False on I/O or parse failure; `Error` says why and `Status` stays
-  /// Unknown.
+struct SolveResult {
+  /// False on I/O or parse failure or an unknown engine id; `Error` says
+  /// why and `Status` stays Unknown.
   bool Ok = false;
   std::string Error;
 
@@ -62,29 +80,36 @@ struct SolveStats {
   /// Rendered refutation when Status == Unsat and the solver produced one.
   std::string Cex;
 
-  /// CEGAR-loop bookkeeping (queries, samples, iterations, seconds).
+  /// Winning engine's bookkeeping (queries, samples, iterations, seconds).
   chc::SolveStats Solver;
+  /// Per-engine records, sorted by lane label: one entry per portfolio
+  /// lane, or a single synthesized entry for a single-engine run.
+  std::vector<EngineReport> Engines;
   /// Static pre-analysis counters, one entry per executed pass (empty when
-  /// analysis is off or a custom solver ran).
+  /// analysis is off or the engine bypasses it).
   std::vector<analysis::PassStats> AnalysisPasses;
   /// True when the pre-analysis alone discharged every query clause.
   bool SolvedByAnalysis = false;
 
-  /// Compact one-line rendering for drivers.
+  /// Compact rendering for drivers: verdict line plus one line per engine
+  /// report (`*` winner, `!` crashed, `~` cancelled).
   std::string summary() const;
 };
 
-/// Solves an already-built system. `System` keeps ownership of its terms;
-/// only `SolveStats` escapes.
-SolveStats solveSystem(const chc::ChcSystem &System,
-                       const SolveOptions &Opts = {});
+/// Previous name of `SolveResult`, kept for one release of source compat.
+using SolveStats [[deprecated("renamed to SolveResult")]] = SolveResult;
 
-/// Parses SMT-LIB2 HORN text into a fresh system and solves it.
-SolveStats solveChcText(const std::string &Text,
+/// Solves an already-built system. `System` keeps ownership of its terms;
+/// only `SolveResult` escapes.
+SolveResult solveSystem(const chc::ChcSystem &System,
                         const SolveOptions &Opts = {});
 
+/// Parses SMT-LIB2 HORN text into a fresh system and solves it.
+SolveResult solveChcText(const std::string &Text,
+                         const SolveOptions &Opts = {});
+
 /// Reads, parses and solves an SMT-LIB2 HORN file.
-SolveStats solveFile(const std::string &Path, const SolveOptions &Opts = {});
+SolveResult solveFile(const std::string &Path, const SolveOptions &Opts = {});
 
 } // namespace la::solver
 

@@ -1,0 +1,109 @@
+//===- solver/SolverRegistry.cpp - Named CHC engine registry --------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverRegistry.h"
+#include "solver/Portfolio.h"
+
+#include <algorithm>
+
+using namespace la;
+using namespace la::solver;
+
+namespace {
+
+/// Shared option plumbing of the data-driven engines: overlay the
+/// caller-level budget, hand through the cancellation token, apply the seed.
+DataDrivenOptions dataDrivenFrom(const EngineOptions &EO) {
+  DataDrivenOptions Opts = EO.DataDriven;
+  Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+  if (EO.Cancel)
+    Opts.Cancel = EO.Cancel;
+  if (EO.Seed)
+    Opts.Learn.LA.Seed = EO.Seed;
+  return Opts;
+}
+
+} // namespace
+
+SolverRegistry::SolverRegistry() {
+  add("la", "data-driven CEGAR solver (paper Algorithm 3)",
+      [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+        return std::make_unique<DataDrivenChcSolver>(dataDrivenFrom(EO));
+      });
+  add("analysis", "static pre-analysis only (slicing + abstract domains)",
+      [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+        DataDrivenOptions Opts = dataDrivenFrom(EO);
+        Opts.AnalysisOnly = true;
+        Opts.Name = "analysis";
+        return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+      });
+  add("portfolio", "parallel race of the registered engines, first answer wins",
+      [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+        PortfolioOptions Opts;
+        Opts.Base = EO;
+        Opts.Limits = EO.Limits;
+        return std::make_unique<PortfolioSolver>(std::move(Opts));
+      });
+}
+
+SolverRegistry &SolverRegistry::global() {
+  static SolverRegistry R;
+  return R;
+}
+
+bool SolverRegistry::add(const std::string &Id, const std::string &Description,
+                         Factory F) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.emplace(Id, Entry{Description, std::move(F)}).second;
+}
+
+bool SolverRegistry::addAlias(const std::string &Alias,
+                              const std::string &Target) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Target);
+  if (It == Entries.end())
+    return false;
+  return Entries
+      .emplace(Alias, Entry{It->second.Description + " (alias of " + Target +
+                                ")",
+                            It->second.Make})
+      .second;
+}
+
+bool SolverRegistry::contains(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.count(Id) != 0;
+}
+
+std::unique_ptr<chc::ChcSolverInterface>
+SolverRegistry::create(const std::string &Id, const EngineOptions &Opts) const {
+  Factory Make;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(Id);
+    if (It == Entries.end())
+      return nullptr;
+    Make = It->second.Make;
+  }
+  // Run the factory outside the lock: the portfolio factory may recurse into
+  // the registry to build its lanes.
+  return Make(Opts);
+}
+
+std::vector<std::string> SolverRegistry::ids() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const auto &KV : Entries)
+    Out.push_back(KV.first);
+  return Out; // std::map iterates sorted.
+}
+
+std::string SolverRegistry::description(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Id);
+  return It == Entries.end() ? std::string() : It->second.Description;
+}

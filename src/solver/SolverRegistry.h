@@ -1,0 +1,108 @@
+//===- solver/SolverRegistry.h - Named CHC engine registry ------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The named solver-engine registry behind the façade, the CLI driver, the
+/// benchmark tables and the portfolio engine. An engine is a string id
+/// ("la", "pdr", "unwind", "portfolio", ...) plus a factory turning one
+/// `EngineOptions` blob into a ready `ChcSolverInterface`. This replaces the
+/// old `SolveOptions::MakeSolver` std::function hook: callers name the
+/// engine they want instead of constructing it themselves, so every entry
+/// point (façade, CLI, benches, tests, portfolio lanes) builds engines the
+/// same way.
+///
+/// The baselines register themselves via an explicit
+/// `baselines::registerBuiltinEngines()` call (static-initializer
+/// registration is unreliable from static libraries: the linker drops
+/// unreferenced object files). The data-driven engines ("la", "analysis")
+/// and the "portfolio" engine are always present.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SOLVER_SOLVERREGISTRY_H
+#define LA_SOLVER_SOLVERREGISTRY_H
+
+#include "solver/DataDrivenSolver.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace la::solver {
+
+/// The options blob handed to every engine factory. Engines read the
+/// caller-level fields (`Limits`, `Cancel`, `Seed`) on top of their own
+/// defaults — nonzero caller fields win (`Budget::resolvedOver`).
+struct EngineOptions {
+  /// Caller-level budget overlaid on the engine's defaults.
+  Budget Limits;
+  /// Cooperative cancellation token handed through to the engine (and its
+  /// SMT checks). The portfolio sets this per lane.
+  std::shared_ptr<const CancellationToken> Cancel;
+  /// Learner seed override for the data-driven engines (0 = engine
+  /// default). Portfolio lanes use distinct seeds to diversify.
+  uint64_t Seed = 0;
+  /// Base configuration for the data-driven engines ("la", "analysis" and
+  /// derived lanes). Other engines ignore it.
+  DataDrivenOptions DataDriven;
+  /// SMT options for engines that do not embed a `DataDrivenOptions`
+  /// (pdr, gpdr, unwind, ...). The "la" family configures its SMT backend
+  /// via `DataDriven.Smt` instead.
+  smt::SmtSolver::Options Smt;
+};
+
+/// Thread-safe map from engine id to factory. One process-wide instance
+/// (`global()`) serves the façade and the CLI; tests may build private
+/// registries.
+class SolverRegistry {
+public:
+  using Factory = std::function<std::unique_ptr<chc::ChcSolverInterface>(
+      const EngineOptions &)>;
+
+  /// A fresh registry pre-populated with the built-in engines
+  /// ("la", "analysis", "portfolio").
+  SolverRegistry();
+
+  /// The process-wide registry used by `solveSystem` / `solveFile`.
+  static SolverRegistry &global();
+
+  /// Registers \p Id; returns false (and changes nothing) when the id is
+  /// already taken, so repeated registration calls are idempotent.
+  bool add(const std::string &Id, const std::string &Description, Factory F);
+
+  /// Registers \p Alias as a second name for the already-registered
+  /// \p Target (e.g. "spacer" -> "pdr").
+  bool addAlias(const std::string &Alias, const std::string &Target);
+
+  bool contains(const std::string &Id) const;
+
+  /// Instantiates the engine \p Id with \p Opts; null when the id is
+  /// unknown.
+  std::unique_ptr<chc::ChcSolverInterface>
+  create(const std::string &Id, const EngineOptions &Opts = {}) const;
+
+  /// All registered ids (aliases included), sorted — rendered into the
+  /// unknown-engine error message and the CLI usage text.
+  std::vector<std::string> ids() const;
+
+  /// One-line description of \p Id (empty when unknown).
+  std::string description(const std::string &Id) const;
+
+private:
+  struct Entry {
+    std::string Description;
+    Factory Make;
+  };
+  mutable std::mutex Mutex;
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace la::solver
+
+#endif // LA_SOLVER_SOLVERREGISTRY_H

@@ -602,7 +602,7 @@ TEST(AnalysisTest, BoundedCounterSolvedStatically) {
 
     solver::DataDrivenOptions Opts;
     Opts.EnableAnalysis = false;
-    Opts.TimeoutSeconds = 60;
+    Opts.Limits.WallSeconds = 60;
     solver::DataDrivenChcSolver Solver(Opts);
     ChcSolverResult R = Solver.solve(System);
     EXPECT_EQ(R.Status, ChcResult::Sat);
@@ -633,7 +633,7 @@ TEST(AnalysisTest, AnalysisOnOffAgreeOnFig1) {
 
     solver::DataDrivenOptions Opts;
     Opts.EnableAnalysis = Enable;
-    Opts.TimeoutSeconds = 60;
+    Opts.Limits.WallSeconds = 60;
     solver::DataDrivenChcSolver Solver(Opts);
     ChcSolverResult R = Solver.solve(System);
     EXPECT_EQ(R.Status, ChcResult::Sat) << "EnableAnalysis=" << Enable;
@@ -661,7 +661,7 @@ TEST(AnalysisTest, UnsafeSystemStillRefuted) {
 
     solver::DataDrivenOptions Opts;
     Opts.EnableAnalysis = Enable;
-    Opts.TimeoutSeconds = 60;
+    Opts.Limits.WallSeconds = 60;
     solver::DataDrivenChcSolver Solver(Opts);
     ChcSolverResult R = Solver.solve(System);
     EXPECT_EQ(R.Status, ChcResult::Unsat) << "EnableAnalysis=" << Enable;

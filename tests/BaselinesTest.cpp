@@ -83,14 +83,14 @@ ChcResult runSolver(ChcSolverInterface &Solver, const char *Text) {
 
 PdrOptions pdrOptions() {
   PdrOptions Opts;
-  Opts.TimeoutSeconds = 30;
+  Opts.Limits.WallSeconds = 30;
   return Opts;
 }
 
 UnwindOptions unwindOptions(bool SummaryReuse) {
   UnwindOptions Opts;
   Opts.SummaryReuse = SummaryReuse;
-  Opts.TimeoutSeconds = 30;
+  Opts.Limits.WallSeconds = 30;
   return Opts;
 }
 
@@ -126,7 +126,7 @@ TEST(PdrSolverTest, NeverUnsound) {
   // Whatever the verdict on harder systems, witnesses must validate (the
   // runSolver helper enforces it); Unknown is acceptable.
   PdrOptions Opts = pdrOptions();
-  Opts.TimeoutSeconds = 5;
+  Opts.Limits.WallSeconds = 5;
   PdrSolver Solver(Opts);
   (void)runSolver(Solver, Disjunctive);
 }
@@ -160,7 +160,7 @@ TEST(UnwindSolverTest, RecursiveSafeIsUnknown) {
   // Non-linear safe systems exceed the interpolation fragment: the solver
   // must give up rather than guess.
   UnwindOptions Opts = unwindOptions(true);
-  Opts.TimeoutSeconds = 5;
+  Opts.Limits.WallSeconds = 5;
   Opts.MaxBmcDepth = 6;
   UnwindSolver Solver(Opts);
   const char *FiboSafe = R"(
@@ -263,7 +263,7 @@ TEST(TemplateLearnerTest, SolverSolvesConjunctiveFailsDisjunctive) {
 )";
   EXPECT_EQ(runSolver(Solver, TrulyDisjunctive), ChcResult::Unknown);
   solver::DataDrivenOptions LaOpts;
-  LaOpts.TimeoutSeconds = 20;
+  LaOpts.Limits.WallSeconds = 20;
   solver::DataDrivenChcSolver La(LaOpts);
   EXPECT_EQ(runSolver(La, TrulyDisjunctive), ChcResult::Sat);
 }
@@ -288,13 +288,13 @@ TEST_P(CrossSolverTest, DefiniteVerdictsAgree) {
       corpus::defaultOptionsFor(*P, 20)));
   {
     PdrOptions Opts;
-    Opts.TimeoutSeconds = 10;
+    Opts.Limits.WallSeconds = 10;
     Opts.Smt.TimeoutSeconds = 5;
     Solvers.push_back(std::make_unique<PdrSolver>(Opts));
   }
   {
     UnwindOptions Opts;
-    Opts.TimeoutSeconds = 10;
+    Opts.Limits.WallSeconds = 10;
     Opts.Smt.TimeoutSeconds = 5;
     Solvers.push_back(std::make_unique<UnwindSolver>(Opts));
   }

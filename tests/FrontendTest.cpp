@@ -199,8 +199,8 @@ TEST(EncoderTest, SemanticErrors) {
 
 ChcResult verify(const char *Source,
                  solver::DataDrivenOptions Opts = {}) {
-  if (Opts.TimeoutSeconds == 0)
-    Opts.TimeoutSeconds = 90;
+  if (Opts.Limits.WallSeconds == 0)
+    Opts.Limits.WallSeconds = 90;
   TermManager TM;
   ChcSystem System(TM);
   EncodeResult E = encodeMiniC(Source, System);

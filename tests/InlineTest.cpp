@@ -289,7 +289,7 @@ TEST(InlineTest, BackTranslatedModelCoversEliminatedPredicates) {
   ASSERT_TRUE(parse(ChainSystem, System).Ok);
 
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = 60;
+  Opts.Limits.WallSeconds = 60;
   solver::DataDrivenChcSolver Solver(Opts);
   ChcSolverResult R = Solver.solve(System);
   ASSERT_EQ(R.Status, ChcResult::Sat);
@@ -327,7 +327,7 @@ TEST(InlineTest, CexBackTranslationRematerializesEliminatedNodes) {
   EXPECT_TRUE(I.Map->Eliminated[findPred(System, "base")->Index]);
 
   solver::DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = 60;
+  Opts.Limits.WallSeconds = 60;
   solver::DataDrivenChcSolver Solver(Opts);
   ChcSolverResult R = Solver.solve(System);
   ASSERT_EQ(R.Status, ChcResult::Unsat);

@@ -1,0 +1,414 @@
+//===- tests/PortfolioTest.cpp - Registry + portfolio engine tests --------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RegisterEngines.h"
+#include "chc/ChcParser.h"
+#include "corpus/Harness.h"
+#include "solver/Portfolio.h"
+#include "solver/SolveFacade.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace la;
+using namespace la::chc;
+using namespace la::solver;
+
+namespace {
+
+constexpr const char *SafeCounterText = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)";
+
+constexpr const char *UnsafeCounterText = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 5))))
+)";
+
+/// A diverging loop (no finite unrolling refutes or proves the query bound
+/// within the budget of these tests): keeps lanes busy until cancelled.
+constexpr const char *DivergingText = R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (inv x))))
+(assert (forall ((x Int) (x1 Int))
+  (=> (and (inv x) (= x1 (+ x 1))) (inv x1))))
+(assert (forall ((x Int)) (=> (inv x) (<= x 1000000000))))
+)";
+
+void parseInto(const char *Text, ChcSystem &System) {
+  ChcParseResult P = parseChcText(Text, System);
+  ASSERT_TRUE(P.Ok) << P.Error;
+}
+
+/// Stub engine with scripted behavior, for winner-selection and isolation
+/// tests that must not depend on real solver timing.
+struct StubEngine : ChcSolverInterface {
+  enum class Behavior { Sat, Unsat, Unknown, Throw, SleepThenSat, WaitCancel };
+  Behavior Mode;
+  std::shared_ptr<const CancellationToken> Cancel;
+  double SleepSeconds = 0;
+
+  StubEngine(Behavior Mode, std::shared_ptr<const CancellationToken> Cancel,
+             double SleepSeconds)
+      : Mode(Mode), Cancel(std::move(Cancel)), SleepSeconds(SleepSeconds) {}
+
+  ChcSolverResult solve(const ChcSystem &System) override {
+    ChcSolverResult R(System.termManager());
+    switch (Mode) {
+    case Behavior::Throw:
+      throw std::runtime_error("stub blew up");
+    case Behavior::SleepThenSat:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(SleepSeconds));
+      [[fallthrough]];
+    case Behavior::Sat:
+      R.Status = ChcResult::Sat;
+      // `true` for every predicate is a genuine solution only for systems
+      // without query clauses; these tests never validate stub models.
+      for (const Predicate *P : System.predicates())
+        R.Interp.set(P, System.termManager().mkTrue());
+      return R;
+    case Behavior::Unsat:
+      R.Status = ChcResult::Unsat;
+      return R;
+    case Behavior::Unknown:
+      return R;
+    case Behavior::WaitCancel:
+      // Cooperative lane: spins until the shared token fires, like a real
+      // engine polling at its loop head.
+      while (!isCancelled(Cancel))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return R;
+    }
+    return R;
+  }
+  std::string name() const override { return "stub"; }
+};
+
+/// A private registry with scripted engines (the registry owns a mutex and
+/// cannot move, so stubs are added in place). Lanes receive the shared race
+/// token through `EngineOptions::Cancel`, which the factories capture.
+void addStubEngines(SolverRegistry &R) {
+  auto Stub = [](StubEngine::Behavior Mode, double Sleep = 0) {
+    return [Mode, Sleep](const EngineOptions &EO)
+               -> std::unique_ptr<ChcSolverInterface> {
+      return std::make_unique<StubEngine>(Mode, EO.Cancel, Sleep);
+    };
+  };
+  R.add("stub-sat", "returns sat", Stub(StubEngine::Behavior::Sat));
+  R.add("stub-unsat", "returns unsat", Stub(StubEngine::Behavior::Unsat));
+  R.add("stub-unknown", "returns unknown", Stub(StubEngine::Behavior::Unknown));
+  R.add("stub-throw", "throws", Stub(StubEngine::Behavior::Throw));
+  R.add("stub-slow-sat", "sat after 300ms",
+        Stub(StubEngine::Behavior::SleepThenSat, 0.3));
+  R.add("stub-wait", "spins until cancelled",
+        Stub(StubEngine::Behavior::WaitCancel));
+}
+
+PortfolioOptions stubPortfolio(const SolverRegistry &R,
+                               std::initializer_list<const char *> Engines) {
+  PortfolioOptions Opts;
+  Opts.Registry = &R;
+  for (const char *E : Engines)
+    Opts.Lanes.push_back({E, E, {}});
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(SolverRegistryTest, BuiltinsAndBaselinesRegistered) {
+  SolverRegistry &R = SolverRegistry::global();
+  EXPECT_TRUE(R.contains("la"));
+  EXPECT_TRUE(R.contains("analysis"));
+  EXPECT_TRUE(R.contains("portfolio"));
+  baselines::registerBuiltinEngines();
+  for (const char *Id :
+       {"pdr", "spacer", "gpdr", "unwind", "duality", "interpolation", "pie",
+        "dig"})
+    EXPECT_TRUE(R.contains(Id)) << Id;
+  // Idempotent: a second registration call must not fail or duplicate.
+  baselines::registerBuiltinEngines();
+  std::vector<std::string> Ids = R.ids();
+  EXPECT_TRUE(std::is_sorted(Ids.begin(), Ids.end()));
+  EXPECT_EQ(std::adjacent_find(Ids.begin(), Ids.end()), Ids.end());
+}
+
+TEST(SolverRegistryTest, CreateAppliesBudgetAndUnknownIdFails) {
+  SolverRegistry &R = SolverRegistry::global();
+  EngineOptions EO;
+  EO.Limits.WallSeconds = 1;
+  std::unique_ptr<ChcSolverInterface> La = R.create("la", EO);
+  ASSERT_NE(La, nullptr);
+  EXPECT_EQ(La->name(), "LinearArbitrary");
+  EXPECT_EQ(R.create("no-such-engine", EO), nullptr);
+}
+
+TEST(SolverRegistryTest, FacadeRejectsUnknownEngine) {
+  SolveOptions Opts;
+  Opts.Engine = "no-such-engine";
+  SolveResult S = solveChcText(SafeCounterText, Opts);
+  EXPECT_FALSE(S.Ok);
+  EXPECT_NE(S.Error.find("unknown engine"), std::string::npos);
+  // The error names the available engines so callers can self-correct.
+  EXPECT_NE(S.Error.find("la"), std::string::npos);
+  EXPECT_NE(S.Error.find("portfolio"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Winner selection
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, DefinitiveAnswerBeatsUnknown) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  PortfolioSolver Solver(
+      stubPortfolio(R, {"stub-unknown", "stub-sat", "stub-unknown"}));
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  ASSERT_EQ(Solver.reports().size(), 3u);
+  // Reports sorted by label; exactly one winner, the sat lane.
+  size_t Winners = 0;
+  for (const EngineReport &Rep : Solver.reports()) {
+    if (Rep.Winner) {
+      ++Winners;
+      EXPECT_EQ(Rep.Engine, "stub-sat");
+      EXPECT_EQ(Rep.Status, ChcResult::Sat);
+    }
+  }
+  EXPECT_EQ(Winners, 1u);
+}
+
+TEST(PortfolioTest, FirstDefinitiveAnswerWinsAndCancelsSlowLane) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(UnsafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  // The unsat lane answers immediately; the 300ms sat lane must lose. (Both
+  // are definitive: first-wins resolves the race, not a verdict priority.)
+  PortfolioSolver Solver(stubPortfolio(R, {"stub-slow-sat", "stub-unsat"}));
+  Timer Wall;
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Unsat);
+  for (const EngineReport &Rep : Solver.reports())
+    EXPECT_EQ(Rep.Winner, Rep.Engine == "stub-unsat");
+  // The race itself must not wait out the slow lane's full sleep forever;
+  // generous bound for loaded CI machines.
+  EXPECT_LT(Wall.elapsedSeconds(), 10.0);
+}
+
+TEST(PortfolioTest, ReportsSortedByLaneLabel) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  PortfolioSolver Solver(stubPortfolio(
+      R, {"stub-unknown", "stub-sat", "stub-unsat", "stub-throw"}));
+  (void)Solver.solve(System);
+  ASSERT_EQ(Solver.reports().size(), 4u);
+  for (size_t I = 1; I < Solver.reports().size(); ++I)
+    EXPECT_LT(Solver.reports()[I - 1].Lane, Solver.reports()[I].Lane);
+}
+
+//===----------------------------------------------------------------------===//
+// Isolation and cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, ThrowingLaneDoesNotSpoilTheRace) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  // One stub lane throws; the real "la" lane must still solve the system.
+  SolverRegistry R;
+  addStubEngines(R);
+  R.add("la-real", "the real data-driven solver",
+        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
+          DataDrivenOptions Opts = EO.DataDriven;
+          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+          Opts.Cancel = EO.Cancel;
+          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+        });
+  PortfolioOptions PO = stubPortfolio(R, {"stub-throw", "la-real"});
+  PO.Limits.WallSeconds = 60;
+  PortfolioSolver Solver(PO);
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  // The winner's model lives in the *input* manager and validates there.
+  EXPECT_EQ(checkInterpretation(System, Res.Interp), ClauseStatus::Valid);
+  ASSERT_EQ(Solver.reports().size(), 2u);
+  const EngineReport &Thrown = Solver.reports()[1];
+  ASSERT_EQ(Thrown.Engine, "stub-throw");
+  EXPECT_TRUE(Thrown.Crashed);
+  EXPECT_NE(Thrown.Error.find("stub blew up"), std::string::npos);
+  EXPECT_FALSE(Thrown.Winner);
+}
+
+TEST(PortfolioTest, UnknownLaneIdIsContainedAsLaneError) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  PortfolioOptions PO = stubPortfolio(R, {"no-such-engine", "stub-sat"});
+  PortfolioSolver Solver(PO);
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  const EngineReport &Bad = Solver.reports()[0];
+  ASSERT_EQ(Bad.Engine, "no-such-engine");
+  EXPECT_TRUE(Bad.Crashed);
+  EXPECT_NE(Bad.Error.find("unknown engine id"), std::string::npos);
+}
+
+TEST(PortfolioTest, WinnerCancelsCooperativeLanesPromptly) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  // The waiting lane only returns once cancelled; the race must finish
+  // quickly after the sat lane answers, bounding cancellation latency.
+  PortfolioSolver Solver(stubPortfolio(R, {"stub-wait", "stub-sat"}));
+  Timer Wall;
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  EXPECT_LT(Wall.elapsedSeconds(), 5.0);
+  for (const EngineReport &Rep : Solver.reports())
+    if (Rep.Engine == "stub-wait") {
+      EXPECT_TRUE(Rep.Cancelled);
+      EXPECT_EQ(Rep.Status, ChcResult::Unknown);
+    }
+}
+
+TEST(PortfolioTest, CancellationReachesRealEngineInsideSmt) {
+  // A real data-driven lane grinding on a diverging system must be torn
+  // down by a stub answer: the token is polled inside the CEGAR loop and at
+  // every SMT theory check, so the solve returns well before the lane's own
+  // wall-clock budget.
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(DivergingText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  R.add("la-real", "the real data-driven solver",
+        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
+          DataDrivenOptions Opts = EO.DataDriven;
+          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+          Opts.Cancel = EO.Cancel;
+          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+        });
+  PortfolioOptions PO = stubPortfolio(R, {"la-real", "stub-slow-sat"});
+  PO.Limits.WallSeconds = 60; // the budget is NOT what ends this race
+  PortfolioSolver Solver(PO);
+  Timer Wall;
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  EXPECT_LT(Wall.elapsedSeconds(), 30.0);
+  for (const EngineReport &Rep : Solver.reports()) {
+    if (Rep.Engine == "la-real") {
+      EXPECT_EQ(Rep.Status, ChcResult::Unknown);
+    }
+  }
+}
+
+TEST(PortfolioTest, GlobalBudgetCancelsEveryLane) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  PortfolioOptions PO = stubPortfolio(R, {"stub-wait", "stub-wait-2"});
+  PO.Lanes[1].Engine = "stub-wait";
+  PO.Lanes[1].Label = "stub-wait-2";
+  PO.Limits.WallSeconds = 0.2;
+  PortfolioSolver Solver(PO);
+  Timer Wall;
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Unknown);
+  EXPECT_LT(Wall.elapsedSeconds(), 5.0);
+  for (const EngineReport &Rep : Solver.reports())
+    EXPECT_TRUE(Rep.Cancelled) << Rep.Lane;
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end through the façade
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, FacadePortfolioSolvesSafeAndUnsafe) {
+  baselines::registerBuiltinEngines();
+  SolveOptions Opts;
+  Opts.Engine = "portfolio";
+  Opts.Limits.WallSeconds = 30;
+
+  SolveResult Safe = solveChcText(SafeCounterText, Opts);
+  ASSERT_TRUE(Safe.Ok) << Safe.Error;
+  EXPECT_EQ(Safe.Status, ChcResult::Sat);
+  EXPECT_TRUE(Safe.ModelValidated);
+  EXPECT_GT(Safe.Engines.size(), 1u);
+  // Deterministic rendering: the lane block lists every lane.
+  std::string Summary = Safe.summary();
+  for (const EngineReport &Rep : Safe.Engines)
+    EXPECT_NE(Summary.find(Rep.Lane), std::string::npos) << Rep.Lane;
+
+  SolveResult Unsafe = solveChcText(UnsafeCounterText, Opts);
+  ASSERT_TRUE(Unsafe.Ok) << Unsafe.Error;
+  EXPECT_EQ(Unsafe.Status, ChcResult::Unsat);
+  EXPECT_FALSE(Unsafe.Cex.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: portfolio verdicts == single-engine verdicts
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioCorpusTest, VerdictsMatchSingleEngine) {
+  baselines::registerBuiltinEngines();
+  std::vector<const corpus::BenchmarkProgram *> Programs =
+      corpus::category("loop-lit");
+  ASSERT_FALSE(Programs.empty());
+  const double Timeout = 10;
+  for (const corpus::BenchmarkProgram *P : Programs) {
+    solver::DataDrivenChcSolver Single(corpus::defaultOptionsFor(*P, Timeout));
+    corpus::RunOutcome SingleOut = corpus::runOnProgram(Single, *P);
+
+    PortfolioOptions PO;
+    PO.Name = "LA-portfolio";
+    PO.Base.DataDriven = corpus::defaultOptionsFor(*P, Timeout);
+    PO.Base.Limits.WallSeconds = Timeout;
+    PO.Limits.WallSeconds = Timeout;
+    PortfolioSolver Portfolio(PO);
+    corpus::RunOutcome PortfolioOut = corpus::runOnProgram(Portfolio, *P);
+
+    // The harness validates witnesses and checks ground truth: neither run
+    // may be unsound, and definitive verdicts must agree.
+    EXPECT_FALSE(SingleOut.Unsound) << P->Name;
+    EXPECT_FALSE(PortfolioOut.Unsound) << P->Name;
+    if (SingleOut.Status != ChcResult::Unknown &&
+        PortfolioOut.Status != ChcResult::Unknown) {
+      EXPECT_EQ(SingleOut.Status, PortfolioOut.Status) << P->Name;
+    }
+  }
+}
+
+} // namespace

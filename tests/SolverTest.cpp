@@ -21,7 +21,7 @@ namespace {
 
 DataDrivenOptions testOptions() {
   DataDrivenOptions Opts;
-  Opts.TimeoutSeconds = 60;
+  Opts.Limits.WallSeconds = 60;
   return Opts;
 }
 
@@ -177,7 +177,7 @@ TEST(DataDrivenSolverTest, DisjunctiveInvariant) {
 /// Unknown on an over-tight iteration budget instead of wrong answers.
 TEST(DataDrivenSolverTest, BudgetYieldsUnknown) {
   DataDrivenOptions Opts = testOptions();
-  Opts.MaxIterations = 1;
+  Opts.Limits.MaxIterations = 1;
   // The octagon pre-analysis discharges Fig. 1 statically; turn it off so
   // the CEGAR loop actually runs into its one-iteration budget.
   Opts.EnableAnalysis = false;
@@ -258,7 +258,7 @@ constexpr const char *BoundedCounterText = R"(
 )";
 
 TEST(SolveFacadeTest, SolvesTextEndToEnd) {
-  solver::SolveStats S = solveChcText(BoundedCounterText);
+  solver::SolveResult S = solveChcText(BoundedCounterText);
   ASSERT_TRUE(S.Ok) << S.Error;
   EXPECT_EQ(S.Status, ChcResult::Sat);
   EXPECT_EQ(S.Clauses, 3u);
@@ -275,13 +275,13 @@ TEST(SolveFacadeTest, SolvesTextEndToEnd) {
 }
 
 TEST(SolveFacadeTest, ReportsParseAndFileErrors) {
-  solver::SolveStats Bad = solveChcText("(assert (not-horn");
+  solver::SolveResult Bad = solveChcText("(assert (not-horn");
   EXPECT_FALSE(Bad.Ok);
   EXPECT_NE(Bad.Error.find("parse error"), std::string::npos);
   EXPECT_EQ(Bad.Status, ChcResult::Unknown);
   EXPECT_NE(Bad.summary().find("error"), std::string::npos);
 
-  solver::SolveStats Missing = solveFile("/nonexistent/path.smt2");
+  solver::SolveResult Missing = solveFile("/nonexistent/path.smt2");
   EXPECT_FALSE(Missing.Ok);
   EXPECT_NE(Missing.Error.find("cannot open"), std::string::npos);
 }
@@ -294,7 +294,7 @@ TEST(SolveFacadeTest, SolvesFileAndHonorsCustomSolverHook) {
     Out << BoundedCounterText;
   }
 
-  solver::SolveStats S = solveFile(Path);
+  solver::SolveResult S = solveFile(Path);
   ASSERT_TRUE(S.Ok) << S.Error;
   EXPECT_EQ(S.Status, ChcResult::Sat);
   EXPECT_TRUE(S.ModelValidated);
@@ -302,13 +302,20 @@ TEST(SolveFacadeTest, SolvesFileAndHonorsCustomSolverHook) {
   // The factory hook swaps in a differently-configured solver; analysis
   // statistics still surface because it is a DataDrivenChcSolver.
   SolveOptions Opts;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
   Opts.MakeSolver = [] {
     DataDrivenOptions DD;
-    DD.TimeoutSeconds = 60;
+    DD.Limits.WallSeconds = 60;
     DD.Name = "hooked";
     return std::make_unique<DataDrivenChcSolver>(DD);
   };
-  solver::SolveStats H = solveFile(Path, Opts);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  solver::SolveResult H = solveFile(Path, Opts);
   ASSERT_TRUE(H.Ok) << H.Error;
   EXPECT_EQ(H.Status, ChcResult::Sat);
   EXPECT_EQ(H.SolverName, "hooked");
@@ -318,7 +325,7 @@ TEST(SolveFacadeTest, SolvesFileAndHonorsCustomSolverHook) {
 }
 
 TEST(SolveFacadeTest, UnsafeSystemYieldsRenderedCounterexample) {
-  solver::SolveStats S = solveChcText(R"(
+  solver::SolveResult S = solveChcText(R"(
 (set-logic HORN)
 (declare-fun inv (Int) Bool)
 (assert (forall ((n Int)) (=> (= n 0) (inv n))))
