@@ -59,18 +59,44 @@ inline SolverFactory linearArbitraryInlineOnlyFactory() {
     solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);
     Opts.Analysis.EnableIntervals = false;
     Opts.Analysis.EnableOctagons = false;
+    Opts.Analysis.EnablePolyhedra = false;
     Opts.Name = "LA-inline";
     return std::make_unique<solver::DataDrivenChcSolver>(Opts);
   };
 }
 
-/// The data-driven solver with the octagon pass disabled: isolates what the
-/// relational domain buys (static discharges, CEGAR iterations saved).
+/// The data-driven solver with only the interval rung of the domain ladder:
+/// isolates what the relational domains buy (static discharges, CEGAR
+/// iterations saved).
 inline SolverFactory linearArbitraryIntervalOnlyFactory() {
   return [](const corpus::BenchmarkProgram &P, double Timeout) {
     solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);
     Opts.Analysis.EnableOctagons = false;
+    Opts.Analysis.EnablePolyhedra = false;
     Opts.Name = "LA-intervals";
+    return std::make_unique<solver::DataDrivenChcSolver>(Opts);
+  };
+}
+
+/// Intervals + octagons, polyhedra off: the pre-polyhedra ladder, the
+/// baseline the `solved_by_analysis` delta in BENCH_table1.json compares
+/// against.
+inline SolverFactory linearArbitraryOctagonOnlyFactory() {
+  return [](const corpus::BenchmarkProgram &P, double Timeout) {
+    solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);
+    Opts.Analysis.EnablePolyhedra = false;
+    Opts.Name = "LA-octagons";
+    return std::make_unique<solver::DataDrivenChcSolver>(Opts);
+  };
+}
+
+/// Intervals + template polyhedra, octagons off: isolates what the mined
+/// templates buy beyond the octagon shapes.
+inline SolverFactory linearArbitraryPolyhedraFactory() {
+  return [](const corpus::BenchmarkProgram &P, double Timeout) {
+    solver::DataDrivenOptions Opts = corpus::defaultOptionsFor(P, Timeout);
+    Opts.Analysis.EnableOctagons = false;
+    Opts.Name = "LA-polyhedra";
     return std::make_unique<solver::DataDrivenChcSolver>(Opts);
   };
 }

@@ -40,21 +40,46 @@ void writeJson(const char *Path,
     fprintf(stderr, "warning: cannot write %s\n", Path);
     return;
   }
-  Out << "{\n  \"solvers\": [\n";
+  // The headline the polyhedra rung is accountable for: how many extra
+  // programs the full ladder discharges statically over the pre-polyhedra
+  // (intervals + octagons) ladder.
+  long SolvedByAnalysisDelta = 0;
+  {
+    const SuiteResult *Full = nullptr, *OctOnly = nullptr;
+    for (const SuiteResult &R : Results) {
+      if (R.SolverName == "LinearArbitrary")
+        Full = &R;
+      if (R.SolverName == "LA-octagons")
+        OctOnly = &R;
+    }
+    if (Full && OctOnly)
+      SolvedByAnalysisDelta = static_cast<long>(Full->SolvedByAnalysis) -
+                              static_cast<long>(OctOnly->SolvedByAnalysis);
+  }
+  Out << "{\n  \"solved_by_analysis_delta\": " << SolvedByAnalysisDelta
+      << ",\n  \"solvers\": [\n";
   for (size_t S = 0; S < Results.size(); ++S) {
     const SuiteResult &R = Results[S];
     chc::CheckStats Total;
     size_t TotalIterations = 0;
     size_t PredicatesInlined = 0, ClausesRemoved = 0;
+    size_t TemplatesMined = 0, PolyhedraFacts = 0, SweepCapHits = 0;
     for (const analysis::PassStats &PS : R.AnalysisPasses) {
       PredicatesInlined += PS.PredicatesInlined;
       ClausesRemoved += PS.ClausesRemoved;
+      TemplatesMined += PS.TemplatesMined;
+      SweepCapHits += PS.SweepCapHits;
+      if (PS.Name == "verify")
+        PolyhedraFacts += PS.PolyhedraFacts;
     }
     Out << "    {\n      \"name\": \"" << R.SolverName << "\",\n"
         << "      \"solved\": " << R.Solved << ",\n"
         << "      \"solved_by_analysis\": " << R.SolvedByAnalysis << ",\n"
         << "      \"predicates_inlined\": " << PredicatesInlined << ",\n"
         << "      \"clauses_removed\": " << ClausesRemoved << ",\n"
+        << "      \"templates_mined\": " << TemplatesMined << ",\n"
+        << "      \"polyhedra_facts\": " << PolyhedraFacts << ",\n"
+        << "      \"sweep_cap_hits\": " << SweepCapHits << ",\n"
         << "      \"total_seconds\": " << R.TotalSeconds << ",\n";
     if (R.SolverName == "LA-portfolio")
       Out << "      \"best_single_seconds\": " << BestSingleSeconds << ",\n";
@@ -108,6 +133,8 @@ int main() {
       {"duality", unwindFactory(/*SummaryReuse=*/true)},
       {"LA-inline", linearArbitraryInlineOnlyFactory()},
       {"LA-intervals", linearArbitraryIntervalOnlyFactory()},
+      {"LA-octagons", linearArbitraryOctagonOnlyFactory()},
+      {"LA-polyhedra", linearArbitraryPolyhedraFactory()},
       {"LinearArbitrary", linearArbitraryFactory()},
       {"LA-portfolio", portfolioFactory()},
   };

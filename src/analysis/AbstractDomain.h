@@ -45,6 +45,20 @@ struct FixpointOptions {
   size_t NarrowingPasses = 2;
 };
 
+/// What the fixpoint driver did on one run: how many ascending sweeps ran
+/// and whether the `MaxSweeps` safety net cut iteration short of a real
+/// fixpoint. Surfaced through `PassStats` so a capped run is
+/// distinguishable from clean convergence in `summary()` and
+/// `BENCH_table1.json` (a capped run's candidates are still sound — the
+/// verify pass re-proves everything — but precision silently suffered).
+struct FixpointTelemetry {
+  /// Ascending sweeps executed.
+  size_t Sweeps = 0;
+  /// True when the ascending loop stopped at `MaxSweeps` while the states
+  /// were still changing (deadline expiry is not counted).
+  bool HitSweepCap = false;
+};
+
 /// Abstract state of one predicate under some domain: `Reachable == false`
 /// is bottom (no derivation reaches the predicate), `Value` is the domain's
 /// abstract value over the predicate's argument positions.

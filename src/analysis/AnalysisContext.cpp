@@ -26,6 +26,10 @@ void PassStats::merge(const PassStats &O) {
   InvariantsVerified += O.InvariantsVerified;
   InvariantsRejected += O.InvariantsRejected;
   SmtChecks += O.SmtChecks;
+  TemplatesMined += O.TemplatesMined;
+  PolyhedraFacts += O.PolyhedraFacts;
+  SweepCapHits += O.SweepCapHits;
+  HitSweepCap = HitSweepCap || O.HitSweepCap;
   Check.merge(O.Check);
 }
 
@@ -41,6 +45,13 @@ std::string PassStats::toString() const {
       static_cast<size_t>(N) < sizeof(Buf))
     N += snprintf(Buf + N, sizeof(Buf) - N, "  inlined %zu  removed %zu",
                   PredicatesInlined, ClausesRemoved);
+  if (TemplatesMined + PolyhedraFacts > 0 && N > 0 &&
+      static_cast<size_t>(N) < sizeof(Buf))
+    N += snprintf(Buf + N, sizeof(Buf) - N, "  templates %zu  polyfacts %zu",
+                  TemplatesMined, PolyhedraFacts);
+  if (SweepCapHits > 0 && N > 0 && static_cast<size_t>(N) < sizeof(Buf))
+    N += snprintf(Buf + N, sizeof(Buf) - N, "  sweep-capped %zu",
+                  SweepCapHits);
   if (Check.CacheHits + Check.CacheMisses > 0 && N > 0 &&
       static_cast<size_t>(N) < sizeof(Buf))
     snprintf(Buf + N, sizeof(Buf) - N,

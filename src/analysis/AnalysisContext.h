@@ -20,6 +20,7 @@
 #include "analysis/AbstractDomain.h"
 #include "analysis/Interval.h"
 #include "analysis/Octagon.h"
+#include "analysis/TemplatePolyhedra.h"
 #include "chc/ChcCheck.h"
 #include "support/Timer.h"
 
@@ -50,6 +51,19 @@ struct PassStats {
   size_t InvariantsVerified = 0;
   size_t InvariantsRejected = 0;
   size_t SmtChecks = 0;
+  /// Template rows mined from the clause system (polyhedra pass only).
+  size_t TemplatesMined = 0;
+  /// Finite multi-variable template bounds: candidates for the polyhedra
+  /// pass, facts inside verified polyhedral invariants for the verify pass.
+  size_t PolyhedraFacts = 0;
+  /// Fixpoint runs that stopped at `FixpointOptions::MaxSweeps` while still
+  /// unstable (the safety net fired; convergence was not reached). At most
+  /// one per domain pass execution; the merged benchmark stats count how
+  /// many runs were capped.
+  size_t SweepCapHits = 0;
+  /// Per-pass flag behind `SweepCapHits` (true when this very execution hit
+  /// the cap).
+  bool HitSweepCap = false;
   /// Incremental clause-check counters (populated by passes that go through
   /// chc::ClauseCheckContext, currently the verify pass).
   chc::CheckStats Check;
@@ -68,8 +82,14 @@ struct AnalysisOptions {
   bool EnableSlicing = true;
   bool EnableIntervals = true;
   bool EnableOctagons = true;
+  /// Template-polyhedra pass (`analysis/TemplateAnalysis.h`): mined
+  /// `sum a_i x_i <= c` rows, LP-backed lattice over the exact simplex.
+  bool EnablePolyhedra = true;
   FixpointOptions Intervals;
   FixpointOptions Octagons;
+  FixpointOptions Polyhedra;
+  /// Template mining + transfer knobs for the polyhedra pass.
+  TemplateMiningOptions Mining;
   /// SMT budget for the per-invariant verification checks.
   smt::SmtSolver::Options Smt;
   /// Soft wall-clock cap for the whole pipeline (0 = unlimited). On expiry
@@ -115,9 +135,18 @@ struct AnalysisResult {
   std::map<const chc::Predicate *, const Term *> Invariants;
   /// The finite bounds behind `Invariants`, as learner-feature fodder.
   std::map<const chc::Predicate *, std::vector<ArgBounds>> Bounds;
+  /// Verified relational template rows (coefficients over the argument
+  /// positions) behind polyhedra-backed invariants: linear feature
+  /// directions for the learner beyond the unary `Bounds`.
+  std::map<const chc::Predicate *, std::vector<std::vector<Rational>>>
+      PolyRows;
   /// True when the verified seed already discharges every query clause:
   /// `Fixed` + `Invariants` is a full solution and no learning is needed.
   bool ProvedSat = false;
+  /// True when the analysis budget (`TimeoutSeconds` or the cancellation
+  /// token) expired mid-pipeline: later passes ran degraded or not at all,
+  /// so a weaker result does not mean the extra domains were useless.
+  bool TimedOut = false;
   /// Per-pass statistics, in execution order.
   std::vector<PassStats> Passes;
 
@@ -137,9 +166,10 @@ struct AnalysisResult {
   std::string report() const;
 };
 
-/// Abstract per-predicate states of the two bundled domains.
+/// Abstract per-predicate states of the bundled domains.
 using IntervalState = DomainPredState<std::vector<Interval>>;
 using OctagonState = DomainPredState<Octagon>;
+using PolyhedraState = DomainPredState<TemplatePolyhedron>;
 
 /// Shared mutable state the passes and domain engines operate on: system +
 /// live-clause mask + skip-pred mask + options + result + stats sink.
@@ -162,6 +192,10 @@ struct AnalysisContext {
   std::vector<IntervalState> Intervals;
   /// Raw octagon states, populated by the octagon pass for the verifier.
   std::vector<OctagonState> Octagons;
+  /// Raw polyhedra states, populated by the polyhedra pass for the
+  /// verifier, plus the matrices they were computed against.
+  std::vector<PolyhedraState> Polyhedra;
+  std::vector<TemplateMatrixRef> PolyMatrices;
 
   explicit AnalysisContext(const chc::ChcSystem &System,
                            AnalysisOptions Opts = {});

@@ -1,0 +1,40 @@
+//===- analysis/DomainCancellation.cpp - Token scope for domain ops -------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DomainCancellation.h"
+
+using namespace la;
+using namespace la::analysis;
+
+namespace {
+/// One slot per thread; passes on different portfolio lanes never observe
+/// each other's tokens or deadlines.
+thread_local std::shared_ptr<const CancellationToken> ActiveToken;
+thread_local const Deadline *ActiveClock = nullptr;
+} // namespace
+
+DomainCancelScope::DomainCancelScope(
+    std::shared_ptr<const CancellationToken> Token, const Deadline *Clock)
+    : Previous(std::move(ActiveToken)), PreviousClock(ActiveClock) {
+  ActiveToken = std::move(Token);
+  ActiveClock = Clock;
+}
+
+DomainCancelScope::~DomainCancelScope() {
+  ActiveToken = std::move(Previous);
+  ActiveClock = PreviousClock;
+}
+
+bool DomainCancelScope::cancelled() noexcept {
+  if (ActiveToken && ActiveToken->cancelled())
+    return true;
+  return ActiveClock && ActiveClock->expired();
+}
+
+const std::shared_ptr<const CancellationToken> &
+DomainCancelScope::current() noexcept {
+  return ActiveToken;
+}

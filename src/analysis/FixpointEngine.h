@@ -33,10 +33,13 @@ namespace la::analysis {
 /// \p Ctx and returns one state per predicate index. Predicates masked by
 /// `Ctx.SkipPred` stay pinned at reachable-top (unconstrained) and are never
 /// updated; their invariants come from `Ctx.Result.Fixed` instead.
+/// \p Telemetry, when non-null, receives the sweep count and whether the
+/// `MaxSweeps` safety net fired (see `FixpointTelemetry`).
 template <AbstractDomain D>
 std::vector<DomainPredState<typename D::Value>>
 runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
-                  const FixpointOptions &Opts) {
+                  const FixpointOptions &Opts,
+                  FixpointTelemetry *Telemetry = nullptr) {
   using Value = typename D::Value;
   using State = DomainPredState<Value>;
   const auto &Preds = Ctx.system().predicates();
@@ -70,8 +73,8 @@ runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
   // Chaotic ascending sweeps (Gauss-Seidel: updates are visible within the
   // sweep), with widening once a predicate has been joined often enough.
   bool Changed = true;
-  for (size_t Sweep = 0;
-       Changed && Sweep < Opts.MaxSweeps && !Ctx.expired(); ++Sweep) {
+  size_t Sweep = 0;
+  for (; Changed && Sweep < Opts.MaxSweeps && !Ctx.expired(); ++Sweep) {
     Changed = false;
     for (size_t CI = 0; CI < Clauses.size(); ++CI) {
       std::optional<Value> V = Contribution(CI);
@@ -94,6 +97,12 @@ runDomainAnalysis(const D &Dom, const AnalysisContext &Ctx,
         S.Value = std::move(Joined);
       Changed = true;
     }
+  }
+  if (Telemetry) {
+    Telemetry->Sweeps = Sweep;
+    // `Changed` still set at exit means the states had not stabilized; that
+    // is a cap hit only when the cap (not the deadline) ended the loop.
+    Telemetry->HitSweepCap = Changed && Sweep >= Opts.MaxSweeps;
   }
 
   // Descending passes: recompute every state in one step from the widened

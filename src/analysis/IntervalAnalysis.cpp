@@ -277,8 +277,10 @@ const Term *IntervalDomain::toInvariant(TermManager &TM, const Predicate *P,
 }
 
 std::vector<IntervalState>
-analysis::runIntervalAnalysis(const AnalysisContext &Ctx) {
-  return runDomainAnalysis(IntervalDomain(), Ctx, Ctx.Opts.Intervals);
+analysis::runIntervalAnalysis(const AnalysisContext &Ctx,
+                              FixpointTelemetry *Telemetry) {
+  return runDomainAnalysis(IntervalDomain(), Ctx, Ctx.Opts.Intervals,
+                           Telemetry);
 }
 
 const Term *analysis::intervalInvariant(TermManager &TM, const Predicate *P,

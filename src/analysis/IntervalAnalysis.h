@@ -63,7 +63,9 @@ static_assert(AbstractDomain<IntervalDomain>);
 /// Runs the interval fixpoint over the live clauses of \p Ctx and returns
 /// one state per predicate index (`Ctx` itself is not modified; the caller
 /// decides where the states go).
-std::vector<IntervalState> runIntervalAnalysis(const AnalysisContext &Ctx);
+std::vector<IntervalState>
+runIntervalAnalysis(const AnalysisContext &Ctx,
+                    FixpointTelemetry *Telemetry = nullptr);
 
 /// Renders a state with the uniform cross-domain convention of
 /// `domainInvariant`: `false` for bottom, nullptr for top (no finite bound

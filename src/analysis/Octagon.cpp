@@ -6,6 +6,8 @@
 
 #include "analysis/Octagon.h"
 
+#include "analysis/DomainCancellation.h"
+
 #include <cassert>
 
 using namespace la;
@@ -79,7 +81,13 @@ void Octagon::close() const {
   // round suffices in theory for rationals; the loop is belt and braces and
   // terminates immediately when nothing changes).
   for (int Round = 0; Round < 2; ++Round) {
-    for (size_t K = 0; K < Dim; ++K)
+    for (size_t K = 0; K < Dim; ++K) {
+      // Cooperative cancellation at the O(Dim^2) inner-loop boundary: an
+      // interrupted closure leaves the matrix un-closed — a representation
+      // with the same concretization — so a large DBM cannot stall
+      // portfolio cancellation and nothing downstream loses soundness.
+      if (DomainCancelScope::cancelled())
+        return;
       for (size_t P = 0; P < Dim; ++P) {
         const OctBound &PK = at(P, K);
         if (!PK.Finite)
@@ -90,6 +98,7 @@ void Octagon::close() const {
             at(P, Q) = std::move(Via);
         }
       }
+    }
     bool Strengthened = false;
     for (size_t P = 0; P < Dim; ++P)
       for (size_t Q = 0; Q < Dim; ++Q) {

@@ -6,6 +6,7 @@
 
 #include "analysis/OctagonAnalysis.h"
 
+#include "analysis/DomainCancellation.h"
 #include "analysis/FixpointEngine.h"
 #include "logic/LinearExpr.h"
 
@@ -422,8 +423,14 @@ size_t OctagonDomain::relationalFactCount(const Octagon &O) {
 }
 
 std::vector<OctagonState>
-analysis::runOctagonAnalysis(const AnalysisContext &Ctx) {
-  return runDomainAnalysis(OctagonDomain(), Ctx, Ctx.Opts.Octagons);
+analysis::runOctagonAnalysis(const AnalysisContext &Ctx,
+                             FixpointTelemetry *Telemetry) {
+  // The octagon strong closure polls the installed token and deadline at
+  // its loop head, so a large DBM closure can stall neither portfolio
+  // cancellation nor the analysis time budget.
+  DomainCancelScope Scope(Ctx.Opts.Smt.Cancel, &Ctx.Clock);
+  return runDomainAnalysis(OctagonDomain(), Ctx, Ctx.Opts.Octagons,
+                           Telemetry);
 }
 
 const Term *analysis::octagonInvariant(TermManager &TM, const Predicate *P,

@@ -64,7 +64,9 @@ static_assert(AbstractDomain<OctagonDomain>);
 
 /// Runs the octagon fixpoint over the live clauses of \p Ctx and returns
 /// one state per predicate index.
-std::vector<OctagonState> runOctagonAnalysis(const AnalysisContext &Ctx);
+std::vector<OctagonState>
+runOctagonAnalysis(const AnalysisContext &Ctx,
+                   FixpointTelemetry *Telemetry = nullptr);
 
 /// Renders a state with the uniform cross-domain convention of
 /// `domainInvariant`: `false` for bottom, nullptr for top, otherwise a

@@ -10,6 +10,7 @@
 #include "analysis/InlinePass.h"
 #include "analysis/IntervalAnalysis.h"
 #include "analysis/OctagonAnalysis.h"
+#include "analysis/TemplateAnalysis.h"
 
 #include <cassert>
 
@@ -79,7 +80,10 @@ public:
 
   void run(AnalysisContext &Ctx) override {
     PassStats &Stats = Ctx.stats();
-    Ctx.Intervals = runIntervalAnalysis(Ctx);
+    FixpointTelemetry Tele;
+    Ctx.Intervals = runIntervalAnalysis(Ctx, &Tele);
+    Stats.HitSweepCap = Tele.HitSweepCap;
+    Stats.SweepCapHits += Tele.HitSweepCap;
     for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
@@ -100,7 +104,10 @@ public:
 
   void run(AnalysisContext &Ctx) override {
     PassStats &Stats = Ctx.stats();
-    Ctx.Octagons = runOctagonAnalysis(Ctx);
+    FixpointTelemetry Tele;
+    Ctx.Octagons = runOctagonAnalysis(Ctx, &Tele);
+    Stats.HitSweepCap = Tele.HitSweepCap;
+    Stats.SweepCapHits += Tele.HitSweepCap;
     for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
@@ -116,13 +123,46 @@ public:
   }
 };
 
+/// Runs the template-polyhedra fixpoint over the mined matrices; like the
+/// interval and octagon passes, everything it finds is a candidate until
+/// the verify pass has re-proved it.
+class PolyhedraPass : public Pass {
+public:
+  std::string name() const override { return "polyhedra"; }
+
+  void run(AnalysisContext &Ctx) override {
+    PassStats &Stats = Ctx.stats();
+    FixpointTelemetry Tele;
+    Ctx.Polyhedra = runTemplateAnalysis(Ctx, &Ctx.PolyMatrices, &Tele);
+    Stats.HitSweepCap = Tele.HitSweepCap;
+    Stats.SweepCapHits += Tele.HitSweepCap;
+    for (const TemplateMatrixRef &M : Ctx.PolyMatrices)
+      Stats.TemplatesMined += M ? M->Rows.size() : 0;
+    for (const Predicate *P : Ctx.system().predicates()) {
+      if (Ctx.isFixed(P))
+        continue;
+      const PolyhedraState &S = Ctx.Polyhedra[P->Index];
+      if (!S.Reachable)
+        continue;
+      for (size_t J = 0; J < P->arity(); ++J) {
+        Interval B = S.Value.boundOf(J);
+        Stats.BoundsFound += (B.hasLo() ? 1 : 0) + (B.hasHi() ? 1 : 0);
+      }
+      Stats.PolyhedraFacts += S.Value.relationalRowCount();
+    }
+  }
+};
+
 /// Re-proves every candidate invariant with the SMT solver, resolves
 /// verified-`false` predicates, and discharges query clauses that are
 /// already valid under the verified seed. Each predicate carries a ladder
-/// of candidates ordered strongest first (octagon, then interval): a clause
-/// failure demotes the head predicate one rung before dropping it to
-/// `true`, so a too-strong relational candidate cannot cost the interval
-/// fact the previous pipeline would have kept.
+/// of candidates ordered strongest first (polyhedra, then octagon, then
+/// interval): a clause failure demotes the head predicate one rung before
+/// dropping it to `true`, so a too-strong relational candidate cannot cost
+/// the weaker fact the previous pipeline would have kept. The strongest
+/// rung conjoins the polyhedral and octagon candidates — the intersection
+/// of two inductive invariants is inductive over Horn clauses, so the rung
+/// only ever strengthens what either candidate alone would verify.
 class InvariantVerifyPass : public Pass {
 public:
   std::string name() const override { return "verify"; }
@@ -133,29 +173,58 @@ public:
     AnalysisResult &Res = Ctx.Result;
 
     struct Ladder {
-      std::vector<const Term *> Levels;
+      struct Level {
+        const Term *Inv = nullptr;
+        /// Which domain states stand behind this rung (drive the bound
+        /// and feature-row publishing of the surviving level).
+        bool UsesPoly = false;
+        bool UsesOct = false;
+        bool UsesInterval = false;
+      };
+      std::vector<Level> Levels;
       size_t Cur = 0;
-      /// True when level 0 is the octagon candidate.
-      bool OctFirst = false;
 
-      const Term *current() const { return Levels[Cur]; }
+      const Term *current() const { return Levels[Cur].Inv; }
+      const Level &level() const { return Levels[Cur]; }
     };
     std::map<const Predicate *, Ladder> Ladders;
     for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
+      const Term *PolyInv =
+          Ctx.Polyhedra.empty()
+              ? nullptr
+              : templateInvariant(TM, P, Ctx.Polyhedra[P->Index]);
+      const Term *OctInv =
+          Ctx.Octagons.empty()
+              ? nullptr
+              : octagonInvariant(TM, P, Ctx.Octagons[P->Index]);
+      const Term *IntInv =
+          Ctx.Intervals.empty()
+              ? nullptr
+              : intervalInvariant(TM, P, Ctx.Intervals[P->Index]);
       Ladder L;
-      if (!Ctx.Octagons.empty())
-        if (const Term *Inv = octagonInvariant(TM, P, Ctx.Octagons[P->Index])) {
-          L.Levels.push_back(Inv);
-          L.OctFirst = true;
-        }
-      if (!Ctx.Intervals.empty())
-        if (const Term *Inv =
-                intervalInvariant(TM, P, Ctx.Intervals[P->Index]))
-          // Terms are hash-consed, so identical candidates dedupe by pointer.
-          if (L.Levels.empty() || L.Levels.front() != Inv)
-            L.Levels.push_back(Inv);
+      // Terms are hash-consed, so identical candidates dedupe by pointer;
+      // a dedup merges the domain flags (e.g. the polyhedral and octagon
+      // candidates rendering the same formula stand on both states).
+      auto Push = [&](const Term *Inv, bool Poly, bool Oct, bool Intv) {
+        if (!Inv)
+          return;
+        for (Ladder::Level &Lvl : L.Levels)
+          if (Lvl.Inv == Inv) {
+            Lvl.UsesPoly |= Poly;
+            Lvl.UsesOct |= Oct;
+            Lvl.UsesInterval |= Intv;
+            return;
+          }
+        L.Levels.push_back({Inv, Poly, Oct, Intv});
+      };
+      if (PolyInv && OctInv && PolyInv != OctInv)
+        Push(TM.mkAnd(PolyInv, OctInv), true, true, false);
+      else
+        Push(PolyInv, true, false, false);
+      Push(OctInv, false, true, false);
+      Push(IntInv, false, false, true);
       if (!L.Levels.empty())
         Ladders.emplace(P, std::move(L));
     }
@@ -231,18 +300,37 @@ public:
       It = Ladders.erase(It);
     }
 
-    // Publish the survivors, and the finite bounds of the state behind each
-    // surviving level (the learner takes them as candidate attributes).
+    // Publish the survivors, and the finite bounds of the states behind
+    // each surviving level (the learner takes them as candidate
+    // attributes). A conjunction rung draws on every domain it conjoined.
     for (const auto &[P, L] : Ladders) {
       Res.Invariants.emplace(P, L.current());
-      bool FromOctagon = L.OctFirst && L.Cur == 0;
-      if (FromOctagon)
+      const Ladder::Level &Lvl = L.level();
+      if (Lvl.UsesOct)
         Stats.RelationalFound +=
             OctagonDomain::relationalFactCount(Ctx.Octagons[P->Index].Value);
+      if (Lvl.UsesPoly) {
+        const TemplatePolyhedron &PV = Ctx.Polyhedra[P->Index].Value;
+        Stats.PolyhedraFacts += PV.relationalRowCount();
+        // Hand the verified relational rows to the learner as linear
+        // feature directions (the per-argument bounds below only carry
+        // unary information).
+        std::vector<std::vector<Rational>> Rows;
+        for (size_t R = 0; R < PV.numRows(); ++R)
+          if (PV.boundOfRow(R).Finite && PV.matrix()->Rows[R].arity() >= 2)
+            Rows.push_back(PV.matrix()->Rows[R].Coef);
+        if (!Rows.empty())
+          Res.PolyRows.emplace(P, std::move(Rows));
+      }
       std::vector<ArgBounds> Bs;
       for (size_t J = 0; J < P->arity(); ++J) {
-        Interval I = FromOctagon ? Ctx.Octagons[P->Index].Value.boundOf(J)
-                                 : Ctx.Intervals[P->Index].Value[J];
+        Interval I = Interval::top();
+        if (Lvl.UsesPoly)
+          I = I.meet(Ctx.Polyhedra[P->Index].Value.boundOf(J));
+        if (Lvl.UsesOct)
+          I = I.meet(Ctx.Octagons[P->Index].Value.boundOf(J));
+        if (Lvl.UsesInterval)
+          I = I.meet(Ctx.Intervals[P->Index].Value[J]);
         I = I.tightenIntegral();
         if (!I.hasLo() && !I.hasHi())
           continue;
@@ -306,6 +394,7 @@ void PassManager::run(AnalysisContext &Ctx) const {
     Ctx.setStatsSink(nullptr);
     Ctx.Result.Passes.push_back(std::move(Stats));
   }
+  Ctx.Result.TimedOut = Ctx.expired();
 }
 
 AnalysisResult PassManager::run(const ChcSystem &System,
@@ -329,6 +418,8 @@ PassManager PassManager::defaultPipeline(const AnalysisOptions &Opts) {
     PM.addPass(std::make_unique<IntervalPass>());
   if (Opts.EnableOctagons)
     PM.addPass(std::make_unique<OctagonPass>());
+  if (Opts.EnablePolyhedra)
+    PM.addPass(std::make_unique<PolyhedraPass>());
   PM.addPass(std::make_unique<InvariantVerifyPass>());
   return PM;
 }

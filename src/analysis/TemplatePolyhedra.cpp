@@ -1,0 +1,298 @@
+//===- analysis/TemplatePolyhedra.cpp - Template polyhedron value ---------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TemplatePolyhedra.h"
+
+#include "analysis/DomainCancellation.h"
+#include "smt/LpSolver.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace la;
+using namespace la::analysis;
+
+size_t TemplateRow::arity() const {
+  size_t N = 0;
+  for (const Rational &C : Coef)
+    N += !C.isZero();
+  return N;
+}
+
+bool TemplateRow::operator<(const TemplateRow &O) const {
+  return std::lexicographical_compare(
+      Coef.begin(), Coef.end(), O.Coef.begin(), O.Coef.end(),
+      [](const Rational &A, const Rational &B) { return A < B; });
+}
+
+std::string TemplateRow::toString() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (size_t I = 0; I < Coef.size(); ++I) {
+    if (Coef[I].isZero())
+      continue;
+    if (!First)
+      OS << " + ";
+    First = false;
+    if (Coef[I] != Rational(1))
+      OS << Coef[I].toString() << "*";
+    OS << "x" << I;
+  }
+  if (First)
+    OS << "0";
+  return OS.str();
+}
+
+Rational la::analysis::integralUpperBound(const DeltaRational &B) {
+  if (!B.delta().isNegative())
+    return Rational(B.real().floor());
+  // Strictly below `real`: for an integral quantity that is floor(real),
+  // except when real is itself an integer, where it is real - 1.
+  if (B.real().isInteger())
+    return B.real() - Rational(1);
+  return Rational(B.real().floor());
+}
+
+TemplatePolyhedron TemplatePolyhedron::top(TemplateMatrixRef M) {
+  TemplatePolyhedron P;
+  P.Bounds.assign(M ? M->Rows.size() : 0, OctBound::inf());
+  P.Mat = std::move(M);
+  return P;
+}
+
+TemplatePolyhedron TemplatePolyhedron::bottom(TemplateMatrixRef M) {
+  TemplatePolyhedron P = top(std::move(M));
+  P.Empty = true;
+  return P;
+}
+
+bool TemplatePolyhedron::isEmpty() const {
+  close();
+  return Empty;
+}
+
+bool TemplatePolyhedron::isTop() const {
+  if (Empty)
+    return false;
+  // No closure: a finite stored bound could in principle be implied-loose,
+  // but rendering it is still sound and `isTop` only gates whether an
+  // invariant is worth emitting.
+  for (const OctBound &B : Bounds)
+    if (B.Finite)
+      return false;
+  return true;
+}
+
+void TemplatePolyhedron::setBound(size_t Row, const Rational &C) {
+  assert(Row < Bounds.size() && "row out of range");
+  if (Empty)
+    return;
+  OctBound New = OctBound::of(C);
+  if (New < Bounds[Row]) {
+    Bounds[Row] = std::move(New);
+    Closed = false;
+  }
+}
+
+void TemplatePolyhedron::setAllBounds(std::vector<OctBound> B,
+                                      bool AreClosed) {
+  assert(B.size() == Bounds.size() && "bound vector size mismatch");
+  Bounds = std::move(B);
+  Empty = false;
+  Closed = AreClosed;
+}
+
+OctBound TemplatePolyhedron::boundOfRow(size_t Row) const {
+  assert(Row < Bounds.size() && "row out of range");
+  close();
+  if (Empty)
+    return OctBound::of(Rational(0)); // arbitrary: empty implies anything
+  return Bounds[Row];
+}
+
+Interval TemplatePolyhedron::boundOf(size_t Arg) const {
+  close();
+  Interval R = Interval::top();
+  if (Empty || !Mat)
+    return R;
+  for (size_t I = 0; I < Mat->Rows.size(); ++I) {
+    const TemplateRow &Row = Mat->Rows[I];
+    if (!Bounds[I].Finite || Row.arity() != 1 || Arg >= Row.Coef.size() ||
+        Row.Coef[Arg].isZero())
+      continue;
+    // c * x <= b: rows are gcd-1 integral, so unary rows have c = ±1.
+    if (Row.Coef[Arg].signum() > 0)
+      R = R.meet(Interval::atMost(Bounds[I].B / Row.Coef[Arg]));
+    else
+      R = R.meet(Interval::atLeast(Bounds[I].B / Row.Coef[Arg]));
+  }
+  return R;
+}
+
+bool TemplatePolyhedron::contains(const std::vector<Rational> &Point) const {
+  if (isEmpty())
+    return false;
+  assert(Mat && Point.size() == Mat->Arity && "point arity mismatch");
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    if (!Bounds[I].Finite)
+      continue;
+    Rational V;
+    for (size_t J = 0; J < Point.size(); ++J)
+      V += Mat->Rows[I].Coef[J] * Point[J];
+    if (V > Bounds[I].B)
+      return false;
+  }
+  return true;
+}
+
+size_t TemplatePolyhedron::relationalRowCount() const {
+  close();
+  if (Empty || !Mat)
+    return 0;
+  size_t N = 0;
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    N += Bounds[I].Finite && Mat->Rows[I].arity() >= 2;
+  return N;
+}
+
+TemplatePolyhedron
+TemplatePolyhedron::join(const TemplatePolyhedron &O) const {
+  assert(Mat == O.Mat && "join across different templates");
+  if (isEmpty())
+    return O;
+  if (O.isEmpty())
+    return *this;
+  // Both sides closed by the isEmpty() calls above: every bound is the
+  // tight supremum over its operand, so the row-wise max is the tight
+  // supremum over the union and the result needs no re-closure.
+  TemplatePolyhedron R = *this;
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    if (R.Bounds[I] < O.Bounds[I])
+      R.Bounds[I] = O.Bounds[I];
+  R.Closed = true;
+  return R;
+}
+
+TemplatePolyhedron
+TemplatePolyhedron::meet(const TemplatePolyhedron &O) const {
+  assert(Mat == O.Mat && "meet across different templates");
+  if (Empty)
+    return *this;
+  if (O.Empty)
+    return O;
+  TemplatePolyhedron R = *this;
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    if (O.Bounds[I] < R.Bounds[I])
+      R.Bounds[I] = O.Bounds[I];
+  R.Closed = false;
+  return R;
+}
+
+TemplatePolyhedron
+TemplatePolyhedron::widen(const TemplatePolyhedron &Next) const {
+  assert(Mat == Next.Mat && "widen across different templates");
+  if (Empty)
+    return Next;
+  if (Next.Empty)
+    return *this;
+  // Operate on the closed bounds (the engine hands us closed iterates
+  // anyway); dropping rows from a closed value keeps the survivors tight.
+  close();
+  Next.close();
+  if (Empty)
+    return Next;
+  if (Next.Empty)
+    return *this;
+  TemplatePolyhedron R = *this;
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    if (Bounds[I] < Next.Bounds[I])
+      R.Bounds[I] = OctBound::inf();
+  R.Closed = true;
+  return R;
+}
+
+bool TemplatePolyhedron::operator==(const TemplatePolyhedron &O) const {
+  assert(Mat == O.Mat && "comparison across different templates");
+  close();
+  O.close();
+  if (Empty || O.Empty)
+    return Empty == O.Empty;
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    if (!(Bounds[I] == O.Bounds[I]))
+      return false;
+  return true;
+}
+
+std::string TemplatePolyhedron::toString() const {
+  if (isEmpty())
+    return "empty";
+  std::ostringstream OS;
+  bool Any = false;
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    if (!Bounds[I].Finite)
+      continue;
+    if (Any)
+      OS << " /\\ ";
+    Any = true;
+    OS << Mat->Rows[I].toString() << " <= " << Bounds[I].B.toString();
+  }
+  return Any ? OS.str() : "top";
+}
+
+void TemplatePolyhedron::close() const {
+  if (Closed || Empty)
+    return;
+  Closed = true; // tentatively; reverted on cancellation below
+  if (!Mat || Mat->Rows.empty())
+    return;
+
+  // Feed every finite row into one LP and re-maximize each row against the
+  // whole conjunction. Unbounded rows can acquire finite bounds here (e.g.
+  // x <= 3 /\ y - x <= 0 implies y <= 3 even when y's row was unbounded).
+  smt::LpProblem Lp(DomainCancelScope::current());
+  std::vector<int> Vars(Mat->Arity);
+  for (size_t J = 0; J < Mat->Arity; ++J)
+    Vars[J] = Lp.addVar();
+  auto Combo = [&](const TemplateRow &Row) {
+    smt::LinearCombo C;
+    for (size_t J = 0; J < Row.Coef.size(); ++J)
+      if (!Row.Coef[J].isZero())
+        C.emplace_back(Vars[J], Row.Coef[J]);
+    return C;
+  };
+  for (size_t I = 0; I < Bounds.size(); ++I)
+    if (Bounds[I].Finite)
+      Lp.addLe(Combo(Mat->Rows[I]), Bounds[I].B);
+  if (!Lp.feasible()) {
+    Empty = true;
+    return;
+  }
+  for (size_t I = 0; I < Bounds.size(); ++I) {
+    if (DomainCancelScope::cancelled()) {
+      Closed = false; // partial tightening is sound; finish another time
+      return;
+    }
+    smt::LpProblem::Optimum Opt = Lp.maximize(Combo(Mat->Rows[I]));
+    switch (Opt.St) {
+    case smt::LpProblem::Status::Optimal: {
+      // Rows are integral with gcd 1 over integer arguments, so the row
+      // value is an integer and the rational optimum floors soundly.
+      OctBound Tight = OctBound::of(integralUpperBound(Opt.Value));
+      if (Tight < Bounds[I])
+        Bounds[I] = std::move(Tight);
+      break;
+    }
+    case smt::LpProblem::Status::Unbounded:
+      break; // keep the stored bound (it is +inf or given)
+    case smt::LpProblem::Status::Infeasible:
+      Empty = true;
+      return;
+    case smt::LpProblem::Status::Cancelled:
+      Closed = false;
+      return;
+    }
+  }
+}

@@ -1,0 +1,172 @@
+//===- analysis/TemplatePolyhedra.h - Template polyhedron value -*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The template-polyhedra abstract domain value (Sankaranarayanan, Sipma,
+/// Manna, "Scalable analysis of linear systems using mathematical
+/// programming"): a *fixed* matrix of coefficient rows per predicate, an
+/// abstract value instantiating each row `sum a_i * x_i` with an upper
+/// bound `<= c` (or +infinity). With the matrix fixed, join and widening
+/// are exact row-wise bound operations, and the expensive part — making
+/// every implied bound explicit ("closure") and deciding emptiness — is a
+/// series of LP maximization queries answered by the existing exact
+/// `Simplex` through `smt::LpProblem`. No new arithmetic backend, no
+/// floating point, no rounding.
+///
+/// Rows are mined statically from the clause system (see
+/// `analysis/TemplateAnalysis.h`); the octagon-shaped defaults `±x_i`,
+/// `±x_i ± x_j` make the domain at least as expressive as the octagon rung
+/// on small arities, and mined rows like `x - 2y` reach invariants neither
+/// intervals nor octagons can state.
+///
+/// Like `Octagon`, closure is lazy (mutable `Closed` flag) and cancellable:
+/// the LP loop polls `DomainCancelScope` / the installed token, and an
+/// interrupted closure leaves bounds un-tightened — the concretization
+/// never changes, so cancellation costs precision only. Every invariant
+/// rendered from a value is a candidate re-proved by `chc::checkClause`
+/// before anything downstream trusts it (DESIGN.md §9, §12).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_TEMPLATEPOLYHEDRA_H
+#define LA_ANALYSIS_TEMPLATEPOLYHEDRA_H
+
+#include "analysis/Interval.h"
+#include "analysis/Octagon.h"
+#include "support/DeltaRational.h"
+#include "support/Rational.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace la::analysis {
+
+/// Largest value an *integral* quantity can take under the rational
+/// delta-upper-bound \p B: `floor` for non-strict optima, "largest integer
+/// strictly below" when the delta part is negative (a strict constraint was
+/// active at the optimum).
+Rational integralUpperBound(const DeltaRational &B);
+
+/// One template row: integral coefficients over the argument positions,
+/// normalized to gcd 1 (so per-row integer tightening is a plain floor).
+struct TemplateRow {
+  std::vector<Rational> Coef;
+
+  /// Number of nonzero coefficients; rows with two or more carry relational
+  /// content no interval invariant could express.
+  size_t arity() const;
+  bool operator==(const TemplateRow &O) const { return Coef == O.Coef; }
+  bool operator<(const TemplateRow &O) const;
+  std::string toString() const;
+};
+
+/// The fixed row matrix of one predicate. Shared (immutable) by every
+/// abstract value of that predicate, so values are just bound vectors.
+struct TemplateMatrix {
+  size_t Arity = 0;
+  std::vector<TemplateRow> Rows;
+};
+using TemplateMatrixRef = std::shared_ptr<const TemplateMatrix>;
+
+/// Knobs of the template miner and the polyhedron transfer function.
+struct TemplateMiningOptions {
+  /// Hard cap on rows per predicate (defaults first, then mined rows, then
+  /// guard combinations; excess is dropped deterministically).
+  size_t MaxTemplatesPerPredicate = 32;
+  /// Octagon-shaped pair defaults `±x_i ± x_j` are added only up to this
+  /// arity (4 sign combinations per pair grow quadratically).
+  size_t PairDefaultMaxArity = 3;
+  /// Mined rows combined pairwise (`r1 + r2`) are taken from at most this
+  /// many mined rows.
+  size_t MaxCombinedRows = 6;
+  /// Cap on the DNF branches one clause constraint may expand into inside
+  /// the transfer function; past it, only the top-level conjunctive atoms
+  /// are used (sound: dropping constraints over-approximates).
+  size_t MaxTransferBranches = 8;
+};
+
+/// A (possibly empty) template polyhedron: `/\_r  Rows[r] . x <= Bound[r]`.
+class TemplatePolyhedron {
+public:
+  /// A value over the empty matrix (top of a zero-row template); exists so
+  /// `DomainPredState` can default-construct.
+  TemplatePolyhedron() = default;
+
+  /// Top: every row unbounded.
+  static TemplatePolyhedron top(TemplateMatrixRef M);
+  /// Bottom: the empty polyhedron.
+  static TemplatePolyhedron bottom(TemplateMatrixRef M);
+
+  const TemplateMatrixRef &matrix() const { return Mat; }
+  size_t numRows() const { return Bounds.size(); }
+  size_t arity() const { return Mat ? Mat->Arity : 0; }
+
+  /// Triggers LP closure (feasibility) on first use.
+  bool isEmpty() const;
+  /// True when no finite bound holds (and the polyhedron is non-empty).
+  bool isTop() const;
+
+  /// Conjoins `Rows[Row] . x <= C` (meet with the existing bound). Marks
+  /// the value un-closed.
+  void setBound(size_t Row, const Rational &C);
+  /// Installs an already-tight bound vector (transfer builds values this
+  /// way); `Closed` asserts the caller guarantees tightness.
+  void setAllBounds(std::vector<OctBound> B, bool AreClosed);
+
+  /// The tightest bound on `Rows[Row] . x` implied by the whole value
+  /// (closes first).
+  OctBound boundOfRow(size_t Row) const;
+  /// The raw stored bound (no closure); what `setBound` accumulated.
+  const OctBound &storedBound(size_t Row) const { return Bounds[Row]; }
+
+  /// The interval on argument \p Arg implied by the unary rows `±e_Arg`
+  /// (after closure). Infinite when the matrix has no such rows.
+  Interval boundOf(size_t Arg) const;
+
+  /// True when the point (one rational per argument) satisfies every row.
+  bool contains(const std::vector<Rational> &Point) const;
+
+  /// Number of finite-bound rows with two or more variables after closure —
+  /// the genuinely relational content, reported as `polyhedra_facts`.
+  size_t relationalRowCount() const;
+
+  /// Lattice union: row-wise max of the closed bounds. The result is
+  /// closed: each max is attained by one operand's points, so every bound
+  /// stays tight over the union's best abstraction.
+  TemplatePolyhedron join(const TemplatePolyhedron &O) const;
+  /// Lattice intersection: row-wise min (un-closed; closure re-establishes
+  /// tightness and detects emptiness).
+  TemplatePolyhedron meet(const TemplatePolyhedron &O) const;
+  /// Standard template widening: rows whose bound in \p Next exceeds this
+  /// value's bound are dropped to +infinity; stable rows keep this value's
+  /// bound. Dropping constraints from a closed value keeps it closed.
+  TemplatePolyhedron widen(const TemplatePolyhedron &Next) const;
+
+  /// Semantic comparison (both sides closed first).
+  bool operator==(const TemplatePolyhedron &O) const;
+  bool operator!=(const TemplatePolyhedron &O) const { return !(*this == O); }
+
+  std::string toString() const;
+
+private:
+  TemplateMatrixRef Mat;
+  /// Lazily tightened; `close()` never changes the concretization, hence
+  /// the mutable state (same discipline as `Octagon`).
+  mutable std::vector<OctBound> Bounds;
+  mutable bool Empty = false;
+  mutable bool Closed = true;
+
+  /// LP closure: feasibility plus one maximization per row, with integer
+  /// tightening (rows are integral with gcd 1, so tightening is `floor`).
+  /// Polls the `DomainCancelScope` token; on cancellation the value stays
+  /// un-closed (sound, see file comment).
+  void close() const;
+};
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_TEMPLATEPOLYHEDRA_H

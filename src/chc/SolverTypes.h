@@ -45,23 +45,32 @@ struct SolveStats {
   size_t Samples = 0; ///< #S column of the paper's tables
   size_t Iterations = 0;
   double Seconds = 0;
+  /// Template rows the analysis front-end mined for the polyhedra pass
+  /// (zero for solvers that skip the static analysis).
+  size_t TemplatesMined = 0;
+  /// Verified relational polyhedral facts the front-end contributed.
+  size_t PolyhedraFacts = 0;
   /// Counters of the incremental clause-check backend (zero for solvers
   /// that bypass ClauseCheckContext).
   CheckStats Check;
 
   /// Compact one-line rendering, incremental-backend counters included.
   std::string summary() const {
-    char Buf[256];
-    snprintf(Buf, sizeof(Buf),
-             "queries %zu  samples %zu  iters %zu  checks %llu  pushes %llu  "
-             "cache %llu/%llu  reuse %llu  %.3fs",
-             SmtQueries, Samples, Iterations,
-             static_cast<unsigned long long>(Check.ChecksIssued),
-             static_cast<unsigned long long>(Check.ScopePushes),
-             static_cast<unsigned long long>(Check.CacheHits),
-             static_cast<unsigned long long>(Check.CacheHits +
-                                             Check.CacheMisses),
-             static_cast<unsigned long long>(Check.RebuildsAvoided), Seconds);
+    char Buf[320];
+    int N = snprintf(
+        Buf, sizeof(Buf),
+        "queries %zu  samples %zu  iters %zu  checks %llu  pushes %llu  "
+        "cache %llu/%llu  reuse %llu  %.3fs",
+        SmtQueries, Samples, Iterations,
+        static_cast<unsigned long long>(Check.ChecksIssued),
+        static_cast<unsigned long long>(Check.ScopePushes),
+        static_cast<unsigned long long>(Check.CacheHits),
+        static_cast<unsigned long long>(Check.CacheHits + Check.CacheMisses),
+        static_cast<unsigned long long>(Check.RebuildsAvoided), Seconds);
+    if (TemplatesMined + PolyhedraFacts > 0 && N > 0 &&
+        static_cast<size_t>(N) < sizeof(Buf))
+      snprintf(Buf + N, sizeof(Buf) - N, "  templates %zu  polyfacts %zu",
+               TemplatesMined, PolyhedraFacts);
     return Buf;
   }
 };

@@ -1,0 +1,103 @@
+//===- smt/LpSolver.cpp - Small LP front end over the exact Simplex -------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LpSolver.h"
+
+#include <cassert>
+#include <map>
+
+using namespace la;
+using namespace la::smt;
+
+LinearCombo LpProblem::canonicalize(const LinearCombo &Terms) {
+  std::map<int, Rational> Folded;
+  for (const auto &[V, C] : Terms)
+    Folded[V] += C;
+  LinearCombo Out;
+  Out.reserve(Folded.size());
+  for (const auto &[V, C] : Folded)
+    if (!C.isZero())
+      Out.emplace_back(V, C);
+  return Out;
+}
+
+void LpProblem::addConstraint(const LinearCombo &Terms, const Rational &Bound,
+                              bool IsUpper, bool Strict) {
+  if (KnownInfeasible)
+    return;
+  ++Constraints;
+  Checked = false;
+  LinearCombo Canon = canonicalize(Terms);
+  if (Canon.empty()) {
+    // Constant constraint: 0 <= Bound or 0 >= Bound decides itself.
+    bool Holds = IsUpper ? (Strict ? Rational(0) < Bound : Rational(0) <= Bound)
+                         : (Strict ? Rational(0) > Bound : Rational(0) >= Bound);
+    if (!Holds)
+      KnownInfeasible = true;
+    return;
+  }
+  Simplex::VarId Slack;
+  if (Canon.size() == 1 && Canon.front().second == Rational(1)) {
+    // Bound directly on a variable: no slack row needed.
+    Slack = Canon.front().first;
+  } else {
+    std::vector<std::pair<Simplex::VarId, Rational>> Expr;
+    Expr.reserve(Canon.size());
+    for (const auto &[V, C] : Canon) {
+      assert(V >= 0 && V < Tableau.numVars() && "constraint over unknown var");
+      Expr.emplace_back(V, C);
+    }
+    Slack = Tableau.addDefinedVar(Expr);
+  }
+  // Strict bounds lean on the delta-rational representation: x < b is
+  // x <= b - delta, x > b is x >= b + delta.
+  DeltaRational Value =
+      Strict ? DeltaRational(Bound, Rational(IsUpper ? -1 : 1))
+             : DeltaRational(Bound);
+  Simplex::BoundUndo Undo;
+  if (Tableau.assertBound(Slack, /*IsLower=*/!IsUpper, Value,
+                          static_cast<int>(Constraints), Undo))
+    KnownInfeasible = true;
+}
+
+bool LpProblem::feasible() {
+  if (KnownInfeasible)
+    return false;
+  if (!Checked) {
+    if (Tableau.check())
+      KnownInfeasible = true;
+    Checked = true;
+  }
+  return !KnownInfeasible;
+}
+
+LpProblem::Optimum LpProblem::maximize(const LinearCombo &Objective) {
+  if (!feasible())
+    return {Status::Infeasible, DeltaRational()};
+  LinearCombo Canon = canonicalize(Objective);
+  if (Canon.empty())
+    return {Status::Optimal, DeltaRational()};
+  Simplex::VarId Z;
+  if (Canon.size() == 1 && Canon.front().second == Rational(1)) {
+    Z = Canon.front().first;
+  } else {
+    std::vector<std::pair<Simplex::VarId, Rational>> Expr;
+    Expr.reserve(Canon.size());
+    for (const auto &[V, C] : Canon)
+      Expr.emplace_back(V, C);
+    Z = Tableau.addDefinedVar(Expr);
+  }
+  Simplex::OptResult R = Tableau.maximize(Z, Cancel);
+  switch (R.Status) {
+  case Simplex::OptStatus::Optimal:
+    return {Status::Optimal, R.Value};
+  case Simplex::OptStatus::Unbounded:
+    return {Status::Unbounded, DeltaRational()};
+  case Simplex::OptStatus::Cancelled:
+    break;
+  }
+  return {Status::Cancelled, DeltaRational()};
+}

@@ -1,0 +1,111 @@
+//===- smt/LpSolver.h - Small LP front end over the exact Simplex -*- C++ -*-=//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `LpProblem`: build a conjunction of linear constraints over rational
+/// variables once, then ask feasibility and repeated exact maximization
+/// queries against it. This is the LP entry point used by the template
+/// polyhedra domain — closure, entailment and transfer all reduce to
+/// "maximize a linear objective subject to a constraint set", and the
+/// arithmetic stays on the existing Dutertre--de Moura `Simplex` (exact
+/// rationals, no new backend, no rounding).
+///
+/// Each objective is materialized as one defined variable in the tableau,
+/// so a problem queried with k objectives grows by k slack rows. Problems
+/// are built per transfer/closure call and discarded, which keeps that
+/// growth bounded; callers that loop build a fresh problem per iteration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SMT_LPSOLVER_H
+#define LA_SMT_LPSOLVER_H
+
+#include "smt/Simplex.h"
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace la::smt {
+
+/// A linear objective or constraint left-hand side: sparse (variable,
+/// coefficient) pairs. Duplicate variables are summed.
+using LinearCombo = std::vector<std::pair<int, Rational>>;
+
+/// One LP: rational variables, `<=` / `=` constraints, exact maximization.
+class LpProblem {
+public:
+  explicit LpProblem(
+      std::shared_ptr<const CancellationToken> Cancel = nullptr)
+      : Cancel(std::move(Cancel)) {}
+
+  /// Creates a fresh unconstrained variable and returns its index.
+  int addVar() { return Tableau.addVar(); }
+
+  int numVars() const { return Tableau.numVars(); }
+
+  /// Adds the constraint `sum Terms <= Bound` (non-strict).
+  void addLe(const LinearCombo &Terms, const Rational &Bound) {
+    addConstraint(Terms, Bound, /*IsUpper=*/true, /*Strict=*/false);
+  }
+  /// Adds the strict constraint `sum Terms < Bound` (via an infinitesimal).
+  void addLt(const LinearCombo &Terms, const Rational &Bound) {
+    addConstraint(Terms, Bound, /*IsUpper=*/true, /*Strict=*/true);
+  }
+  /// Adds the constraint `sum Terms >= Bound`.
+  void addGe(const LinearCombo &Terms, const Rational &Bound) {
+    addConstraint(Terms, Bound, /*IsUpper=*/false, /*Strict=*/false);
+  }
+  /// Adds the constraint `sum Terms = Bound`.
+  void addEq(const LinearCombo &Terms, const Rational &Bound) {
+    addConstraint(Terms, Bound, /*IsUpper=*/true, /*Strict=*/false);
+    addConstraint(Terms, Bound, /*IsUpper=*/false, /*Strict=*/false);
+  }
+
+  /// True when the accumulated constraints admit a rational model. The
+  /// first call pivots to feasibility; later calls are cached. A problem
+  /// that ever reported infeasible stays infeasible (constraints only
+  /// accumulate).
+  bool feasible();
+
+  /// Outcome of one `maximize` query.
+  enum class Status {
+    Optimal,    ///< Finite supremum, reported exactly in `Value`.
+    Unbounded,  ///< Objective unbounded above over the feasible set.
+    Infeasible, ///< The constraint set itself has no model.
+    Cancelled,  ///< Cancellation (or the simplex pivot cap) interrupted the
+                ///< query; callers must treat the objective as unbounded.
+  };
+  struct Optimum {
+    Status St = Status::Cancelled;
+    /// Supremum as a delta-rational (the delta part is nonzero only when a
+    /// strict constraint is active at the optimum). Valid iff `Optimal`.
+    DeltaRational Value;
+  };
+
+  /// Maximizes `sum Objective` subject to every added constraint.
+  Optimum maximize(const LinearCombo &Objective);
+
+  /// Number of constraints added so far (for stats/tests).
+  size_t constraintCount() const { return Constraints; }
+
+private:
+  void addConstraint(const LinearCombo &Terms, const Rational &Bound,
+                     bool IsUpper, bool Strict);
+  /// Folds duplicate variables and drops zero coefficients; returns the
+  /// constant-only combo as an empty vector.
+  static LinearCombo canonicalize(const LinearCombo &Terms);
+
+  Simplex Tableau;
+  std::shared_ptr<const CancellationToken> Cancel;
+  size_t Constraints = 0;
+  bool KnownInfeasible = false;
+  bool Checked = false; ///< Tableau pivoted to feasibility since last add.
+};
+
+} // namespace la::smt
+
+#endif // LA_SMT_LPSOLVER_H

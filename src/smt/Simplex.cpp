@@ -267,6 +267,95 @@ Simplex::Conflict Simplex::explainRowConflict(const Row &R,
   return C;
 }
 
+Simplex::OptResult
+Simplex::maximize(VarId Z,
+                  const std::shared_ptr<const CancellationToken> &Cancel) {
+  assert(Z >= 0 && Z < numVars() && "maximize over an unknown variable");
+  // Backstop against pathological pivot sequences: Bland's rule rules out
+  // classical cycling, but the cap keeps the worst case bounded even so.
+  // Hitting it reports Cancelled, which callers must treat as "no finite
+  // optimum found" — an over-approximation, never an unsound answer.
+  uint64_t PivotBudget =
+      1024 + 16ull * static_cast<uint64_t>(numVars()) *
+                 static_cast<uint64_t>(Rows.size() + 1);
+  for (;;) {
+    if (isCancelled(Cancel) || PivotBudget-- == 0)
+      return {OptStatus::Cancelled, Values[Z]};
+    if (Upper[Z].Present && Values[Z] == Upper[Z].Value)
+      return {OptStatus::Optimal, Values[Z]};
+
+    // The entering variable (Bland: smallest id whose feasible movement
+    // increases Z) and its direction of travel.
+    VarId Mover = -1;
+    int Dir = 1;
+    if (int ZRow = RowOf[Z]; ZRow >= 0) {
+      for (const auto &[W, Coeff] : Rows[ZRow].Terms) {
+        bool CanUse = Coeff.signum() > 0
+                          ? !Upper[W].Present || Values[W] < Upper[W].Value
+                          : !Lower[W].Present || Values[W] > Lower[W].Value;
+        if (CanUse) {
+          Mover = W;
+          Dir = Coeff.signum() > 0 ? 1 : -1;
+          break; // terms sorted by id: first hit is Bland's choice
+        }
+      }
+      if (Mover < 0)
+        return {OptStatus::Optimal, Values[Z]};
+    } else {
+      Mover = Z; // move the objective variable itself upward
+    }
+
+    // Ratio test: the tightest blocking bound along the move, ties broken
+    // toward the smallest leaving-variable id (Bland on the leaving side).
+    bool Limited = false;
+    DeltaRational Theta;       // step of Mover along Dir, always >= 0
+    VarId LeaveVar = -1;
+    int LeaveRow = -1;         // -1: Mover's own bound limits the step
+    DeltaRational LeaveTarget; // bound value the leaving variable hits
+    auto Consider = [&](const DeltaRational &Step, VarId V, int RI,
+                        const DeltaRational &Target) {
+      if (!Limited || Step < Theta || (Step == Theta && V < LeaveVar)) {
+        Limited = true;
+        Theta = Step;
+        LeaveVar = V;
+        LeaveRow = RI;
+        LeaveTarget = Target;
+      }
+    };
+
+    const Bound &Own = Dir > 0 ? Upper[Mover] : Lower[Mover];
+    if (Own.Present)
+      Consider(Dir > 0 ? Own.Value - Values[Mover]
+                       : Values[Mover] - Own.Value,
+               Mover, -1, Own.Value);
+    for (int RI = 0; RI < static_cast<int>(Rows.size()); ++RI) {
+      const Rational *C = findCoeff(Rows[RI].Terms, Mover);
+      if (!C)
+        continue;
+      Rational Slope = Dir > 0 ? *C : -*C; // d(basic)/d(step)
+      VarId B = Rows[RI].Basic;
+      const Bound &Blocking = Slope.signum() > 0 ? Upper[B] : Lower[B];
+      if (!Blocking.Present)
+        continue;
+      Consider((Blocking.Value - Values[B]) * Slope.inverse(), B, RI,
+               Blocking.Value);
+    }
+    if (!Limited)
+      return {OptStatus::Unbounded, Values[Z]};
+
+    if (LeaveRow < 0) {
+      // The mover saturates its own bound; the basis is unchanged. The
+      // step is strictly positive here (saturated movers are ineligible),
+      // so the objective makes real progress.
+      updateNonbasic(Mover, LeaveTarget);
+      if (Mover == Z)
+        return {OptStatus::Optimal, Values[Z]};
+    } else {
+      pivotAndUpdate(LeaveRow, Mover, LeaveTarget);
+    }
+  }
+}
+
 std::optional<Simplex::Conflict> Simplex::check() {
   for (;;) {
     // Bland's rule: pick the violating basic variable with the smallest id.

@@ -20,8 +20,10 @@
 #ifndef LA_SMT_SIMPLEX_H
 #define LA_SMT_SIMPLEX_H
 
+#include "support/Cancellation.h"
 #include "support/DeltaRational.h"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -82,6 +84,28 @@ public:
 
   /// Current model value; only meaningful after a successful check().
   const DeltaRational &value(VarId V) const { return Values[V]; }
+
+  /// Outcome of an optimization query.
+  enum class OptStatus {
+    Optimal,   ///< `Value` holds the exact supremum, attained by the model.
+    Unbounded, ///< The objective can grow without bound.
+    Cancelled, ///< The cancellation token tripped mid-search; callers must
+               ///< treat the objective as unbounded to stay sound.
+  };
+  struct OptResult {
+    OptStatus Status = OptStatus::Optimal;
+    DeltaRational Value; ///< Meaningful only when `Status == Optimal`.
+  };
+
+  /// Maximizes the variable \p Z subject to every asserted bound: phase-2
+  /// primal simplex with Bland's rule on both the entering and the leaving
+  /// choice, so it terminates without anti-cycling perturbation. Requires a
+  /// feasible tableau (a preceding successful check()); the tableau stays
+  /// feasible afterwards, so callers may chain maximize() calls for several
+  /// objectives without re-checking. \p Cancel is polled once per pivot.
+  OptResult maximize(VarId Z,
+                     const std::shared_ptr<const CancellationToken> &Cancel =
+                         nullptr);
 
   const Bound &lowerBound(VarId V) const { return Lower[V]; }
   const Bound &upperBound(VarId V) const { return Upper[V]; }

@@ -319,6 +319,13 @@ private:
           LearnOpts.ExtraFeatures.push_back(ml::Feature::linear(std::move(W)));
         }
       }
+      // Verified polyhedral template rows are relational directions the
+      // unit attributes above cannot express (e.g. `x - 2y`); the tree
+      // re-fits their thresholds from the data.
+      auto PI = Analysis.PolyRows.find(State.Pred);
+      if (PI != Analysis.PolyRows.end())
+        for (const std::vector<Rational> &Row : PI->second)
+          LearnOpts.ExtraFeatures.push_back(ml::Feature::linear(Row));
       R = ml::learn(TM, State.Pred->Params, Data, LearnOpts);
     }
     if (!R.Ok)
@@ -411,6 +418,12 @@ ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
   for (const analysis::PassStats &P : Analysis.Passes) {
     Details.PredicatesInlined += P.PredicatesInlined;
     Details.ClausesRemoved += P.ClausesRemoved;
+    Details.TemplatesMined += P.TemplatesMined;
+    Details.SweepCapHits += P.SweepCapHits;
+    // Only the verify pass counts *verified* polyhedral facts; the
+    // polyhedra pass counts raw candidates.
+    if (P.Name == "verify")
+      Details.PolyhedraFacts += P.PolyhedraFacts;
   }
   LA_TRACE("analysis: pruned %zu/%zu clauses, resolved %zu preds, %zu bounds",
            Analysis.clausesPruned(), Analysis.LiveClause.size(),
@@ -423,6 +436,8 @@ ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
   if (Opts.AnalysisOnly && !Analysis.ProvedSat) {
     ChcSolverResult Unknown(System.termManager());
     Unknown.Stats.SmtQueries = Analysis.smtChecks();
+    Unknown.Stats.TemplatesMined = Details.TemplatesMined;
+    Unknown.Stats.PolyhedraFacts = Details.PolyhedraFacts;
     Unknown.Stats.Seconds = Total.elapsedSeconds();
     return Unknown;
   }
@@ -445,6 +460,8 @@ ChcSolverResult DataDrivenChcSolver::solve(const ChcSystem &System) {
     }
   }
   Result.Stats.SmtQueries += Analysis.smtChecks();
+  Result.Stats.TemplatesMined = Details.TemplatesMined;
+  Result.Stats.PolyhedraFacts = Details.PolyhedraFacts;
   Result.Stats.Seconds = Total.elapsedSeconds();
   return Result;
 }

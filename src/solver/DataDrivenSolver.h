@@ -95,6 +95,12 @@ public:
     size_t PredicatesInlined = 0;
     size_t ClausesRemoved = 0;
     size_t BoundsFound = 0;
+    /// Polyhedra-pass impact: mined template rows, verified relational
+    /// polyhedral facts (verify pass), and fixpoint runs that stopped at
+    /// the `MaxSweeps` safety net.
+    size_t TemplatesMined = 0;
+    size_t PolyhedraFacts = 0;
+    size_t SweepCapHits = 0;
     double AnalysisSeconds = 0;
     bool SolvedByAnalysis = false;
   };

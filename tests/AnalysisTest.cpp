@@ -511,6 +511,7 @@ TEST(OctagonAnalysisTest, PipelineDischargesRelationalQuery) {
   // Interval-only pipeline: no invariant, no discharge.
   AnalysisOptions IntervalOnly;
   IntervalOnly.EnableOctagons = false;
+  IntervalOnly.EnablePolyhedra = false;
   AnalysisResult RI = analyzeSystem(System, IntervalOnly);
   EXPECT_FALSE(RI.ProvedSat);
   EXPECT_TRUE(RI.Invariants.empty());
@@ -679,18 +680,20 @@ TEST(AnalysisTest, PassStatisticsAreReported) {
   ASSERT_TRUE(P.Ok) << P.Error;
 
   AnalysisResult R = analyzeSystem(System);
-  ASSERT_EQ(R.Passes.size(), 6u);
+  ASSERT_EQ(R.Passes.size(), 7u);
   EXPECT_EQ(R.Passes[0].Name, "inline");
   EXPECT_EQ(R.Passes[1].Name, "fact-reach");
   EXPECT_EQ(R.Passes[2].Name, "query-cone");
   EXPECT_EQ(R.Passes[3].Name, "intervals");
   EXPECT_EQ(R.Passes[4].Name, "octagons");
-  EXPECT_EQ(R.Passes[5].Name, "verify");
+  EXPECT_EQ(R.Passes[5].Name, "polyhedra");
+  EXPECT_EQ(R.Passes[6].Name, "verify");
   EXPECT_EQ(R.Passes[0].PredicatesInlined, 1u);
   EXPECT_EQ(R.Passes[0].ClausesRemoved, 1u);
   EXPECT_GT(R.Passes[3].BoundsFound, 0u);
   EXPECT_GT(R.Passes[4].BoundsFound, 0u);
-  EXPECT_GT(R.Passes[5].SmtChecks, 0u);
+  EXPECT_GT(R.Passes[5].TemplatesMined, 0u);
+  EXPECT_GT(R.Passes[6].SmtChecks, 0u);
   EXPECT_GT(R.smtChecks(), 0u);
   EXPECT_FALSE(R.report().empty());
 
@@ -700,6 +703,7 @@ TEST(AnalysisTest, PassStatisticsAreReported) {
   Off.EnableSlicing = false;
   Off.EnableIntervals = false;
   Off.EnableOctagons = false;
+  Off.EnablePolyhedra = false;
   AnalysisResult Trivial = analyzeSystem(System, Off);
   EXPECT_TRUE(Trivial.Transformed == nullptr);
   EXPECT_EQ(Trivial.clausesPruned(), 0u);
