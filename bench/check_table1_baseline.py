@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Gate BENCH_table1.json against a checked-in solved_by_analysis baseline.
+
+Usage: check_table1_baseline.py RESULTS.json BASELINE.json
+
+`solved_by_analysis` counts programs discharged entirely by the static
+pre-analysis ladder (no CEGAR iterations), which makes it insensitive to
+runner speed -- unlike `solved`, which moves with the wall-clock timeout.
+The job fails when any solver row present in the baseline regresses below
+its recorded floor, and prints a reminder when a row has improved enough
+that the floor should be raised.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as fp:
+        results = json.load(fp)
+    with open(sys.argv[2]) as fp:
+        baseline = json.load(fp)
+
+    measured = {s["name"]: s["solved_by_analysis"]
+                for s in results["solvers"]}
+    failures = []
+    for name, floor in baseline["solved_by_analysis"].items():
+        got = measured.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from results (baseline {floor})")
+        elif got < floor:
+            failures.append(f"{name}: solved_by_analysis {got} < baseline {floor}")
+        else:
+            print(f"OK   {name}: solved_by_analysis {got} (baseline {floor})")
+            if got > floor:
+                print(f"     note: {name} beats its floor; consider raising "
+                      f"the baseline to {got}")
+
+    if failures:
+        for line in failures:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

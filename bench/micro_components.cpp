@@ -11,6 +11,7 @@
 
 #include "analysis/Octagon.h"
 #include "analysis/PassManager.h"
+#include "analysis/VariablePacks.h"
 #include "chc/ChcParser.h"
 #include "ml/Learn.h"
 #include "ml/Svm.h"
@@ -197,6 +198,43 @@ static void BM_OctagonClosure(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_OctagonClosure)->Arg(4)->Arg(16);
+
+/// Pack-decomposed vs monolithic strong closure at the same total dimension
+/// count: Arg0 = total variables, Arg1 = pack size (0 = one monolithic
+/// DBM). The constraint mix mirrors BM_OctagonClosure with pair chains kept
+/// within packs, so the packed shape carries the same per-pack facts while
+/// replacing one O((2n)^3) closure by n/p closures of O((2p)^3) — the
+/// wide-clause win of the pack decomposition (DESIGN.md §13).
+static void BM_PackedVsMonolithicClosure(benchmark::State &State) {
+  const size_t NumVars = static_cast<size_t>(State.range(0));
+  const size_t PackSize = static_cast<size_t>(State.range(1));
+  std::shared_ptr<const analysis::PredPacks> Layout =
+      PackSize == 0 ? analysis::PredPacks::monolithic(NumVars)
+                    : analysis::PredPacks::uniform(NumVars, PackSize);
+  for (auto _ : State) {
+    Random Rng(17);
+    analysis::PackedOctagon V = analysis::PackedOctagon::top(Layout);
+    for (size_t K = 0; K < V.packCount(); ++K) {
+      analysis::Octagon &O = V.pack(K);
+      for (size_t I = 0; I < O.numVars(); ++I) {
+        O.addLower(I, Rational(Rng.nextInRange(-20, 0)));
+        O.addUpper(I, Rational(Rng.nextInRange(1, 20)));
+      }
+      for (size_t I = 0; I + 1 < O.numVars(); ++I)
+        O.addPair(I, false, I + 1, true, Rational(Rng.nextInRange(0, 5)));
+    }
+    // boundOf forces the strong closure of the owning pack; sweeping every
+    // position closes all packs (the monolithic layout closes everything on
+    // the first query).
+    for (size_t J = 0; J < NumVars; ++J)
+      benchmark::DoNotOptimize(V.boundOf(J));
+    State.counters["packs"] = static_cast<double>(V.packCount());
+  }
+}
+BENCHMARK(BM_PackedVsMonolithicClosure)
+    ->Args({120, 0})
+    ->Args({120, 8})
+    ->Unit(benchmark::kMillisecond);
 
 static ml::Dataset randomDataset(int NumSamples, int Dim, uint64_t Seed) {
   Random Rng(Seed);

@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 
 using namespace la;
@@ -81,6 +83,22 @@ void writeJson(const char *Path,
         << "      \"polyhedra_facts\": " << PolyhedraFacts << ",\n"
         << "      \"sweep_cap_hits\": " << SweepCapHits << ",\n"
         << "      \"total_seconds\": " << R.TotalSeconds << ",\n";
+    // Per-pass wall clock and hot-path counters (transfer cache, LP
+    // pivots, pack shapes), merged over the suite: the smoke job diffs
+    // these to catch silent slowdowns of a single pass.
+    Out << "      \"passes\": [\n";
+    for (size_t PI = 0; PI < R.AnalysisPasses.size(); ++PI) {
+      const analysis::PassStats &PS = R.AnalysisPasses[PI];
+      Out << "        {\"name\": \"" << PS.Name
+          << "\", \"millis\": " << PS.Seconds * 1000.0
+          << ", \"xfer_cache_hits\": " << PS.XferCacheHits
+          << ", \"xfer_cache_misses\": " << PS.XferCacheMisses
+          << ", \"lp_pivots\": " << PS.LpPivots
+          << ", \"packs_built\": " << PS.PacksBuilt
+          << ", \"largest_pack\": " << PS.LargestPack << "}"
+          << (PI + 1 < R.AnalysisPasses.size() ? "," : "") << "\n";
+    }
+    Out << "      ],\n";
     if (R.SolverName == "LA-portfolio")
       Out << "      \"best_single_seconds\": " << BestSingleSeconds << ",\n";
     Out << "      \"programs\": [\n";
@@ -123,21 +141,37 @@ int main() {
              "recursive"});
   double Timeout = benchTimeout();
 
+  // Smoke mode (LA_BENCH_SMOKE=N): keep every N-th program and only the
+  // analysis-bearing solver rows, so CI can afford the run on every push
+  // while still gating on `solved_by_analysis`.
+  size_t SmokeStride = 0;
+  if (const char *Env = std::getenv("LA_BENCH_SMOKE"))
+    SmokeStride = std::max<long>(1, std::atol(Env));
+  if (SmokeStride > 1) {
+    std::vector<const corpus::BenchmarkProgram *> Subset;
+    for (size_t I = 0; I < Programs.size(); I += SmokeStride)
+      Subset.push_back(Programs[I]);
+    Programs = std::move(Subset);
+  }
+
   struct Row {
     const char *Label;
     SolverFactory Factory;
   };
-  Row Rows[] = {
-      {"gpdr", pdrFactory(/*CacheReachable=*/false)},
-      {"spacer", pdrFactory(/*CacheReachable=*/true)},
-      {"duality", unwindFactory(/*SummaryReuse=*/true)},
-      {"LA-inline", linearArbitraryInlineOnlyFactory()},
-      {"LA-intervals", linearArbitraryIntervalOnlyFactory()},
-      {"LA-octagons", linearArbitraryOctagonOnlyFactory()},
-      {"LA-polyhedra", linearArbitraryPolyhedraFactory()},
-      {"LinearArbitrary", linearArbitraryFactory()},
-      {"LA-portfolio", portfolioFactory()},
-  };
+  std::vector<Row> Rows;
+  if (SmokeStride == 0) {
+    Rows.push_back({"gpdr", pdrFactory(/*CacheReachable=*/false)});
+    Rows.push_back({"spacer", pdrFactory(/*CacheReachable=*/true)});
+    Rows.push_back({"duality", unwindFactory(/*SummaryReuse=*/true)});
+    Rows.push_back({"LA-inline", linearArbitraryInlineOnlyFactory()});
+    Rows.push_back({"LA-intervals", linearArbitraryIntervalOnlyFactory()});
+  }
+  Rows.push_back({"LA-octagons", linearArbitraryOctagonOnlyFactory()});
+  if (SmokeStride == 0)
+    Rows.push_back({"LA-polyhedra", linearArbitraryPolyhedraFactory()});
+  Rows.push_back({"LinearArbitrary", linearArbitraryFactory()});
+  if (SmokeStride == 0)
+    Rows.push_back({"LA-portfolio", portfolioFactory()});
 
   printf("MEASURED: #Total %zu\n", Programs.size());
   std::vector<SuiteResult> Results;
@@ -153,7 +187,7 @@ int main() {
   // portfolio burns more CPU but should match or beat the best lane on
   // solved count while staying in the same wall-clock ballpark.
   double BestSingleSeconds = 0;
-  {
+  if (SmokeStride == 0) {
     const SuiteResult &Portfolio = Results.back();
     const char *BestSingle = "";
     size_t BestSolved = 0;

@@ -8,6 +8,7 @@
 
 #include "analysis/InlinePass.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -30,11 +31,16 @@ void PassStats::merge(const PassStats &O) {
   PolyhedraFacts += O.PolyhedraFacts;
   SweepCapHits += O.SweepCapHits;
   HitSweepCap = HitSweepCap || O.HitSweepCap;
+  XferCacheHits += O.XferCacheHits;
+  XferCacheMisses += O.XferCacheMisses;
+  LpPivots += O.LpPivots;
+  PacksBuilt += O.PacksBuilt;
+  LargestPack = std::max(LargestPack, O.LargestPack);
   Check.merge(O.Check);
 }
 
 std::string PassStats::toString() const {
-  char Buf[320];
+  char Buf[512];
   int N = snprintf(Buf, sizeof(Buf),
                    "%-10s %8.3fs  pruned %zu  resolved %zu  bounds %zu  "
                    "relational %zu  verified %zu  rejected %zu  smt %zu",
@@ -52,6 +58,16 @@ std::string PassStats::toString() const {
   if (SweepCapHits > 0 && N > 0 && static_cast<size_t>(N) < sizeof(Buf))
     N += snprintf(Buf + N, sizeof(Buf) - N, "  sweep-capped %zu",
                   SweepCapHits);
+  if (PacksBuilt > 0 && N > 0 && static_cast<size_t>(N) < sizeof(Buf))
+    N += snprintf(Buf + N, sizeof(Buf) - N, "  packs %zu (max %zu)",
+                  PacksBuilt, LargestPack);
+  if (XferCacheHits + XferCacheMisses > 0 && N > 0 &&
+      static_cast<size_t>(N) < sizeof(Buf))
+    N += snprintf(Buf + N, sizeof(Buf) - N, "  xfer-cache %zu/%zu",
+                  XferCacheHits, XferCacheHits + XferCacheMisses);
+  if (LpPivots > 0 && N > 0 && static_cast<size_t>(N) < sizeof(Buf))
+    N += snprintf(Buf + N, sizeof(Buf) - N, "  lp-pivots %llu",
+                  static_cast<unsigned long long>(LpPivots));
   if (Check.CacheHits + Check.CacheMisses > 0 && N > 0 &&
       static_cast<size_t>(N) < sizeof(Buf))
     snprintf(Buf + N, sizeof(Buf) - N,
@@ -146,6 +162,17 @@ void AnalysisContext::adoptTransformed(std::shared_ptr<chc::ChcSystem> T,
   for (size_t I = 0; I < Result.Inline->Eliminated.size(); ++I)
     if (Result.Inline->Eliminated[I])
       SkipPred[I] = 1;
+  // Pack layouts and memoized transfers refer to the previous system's
+  // clauses and predicate indices; recompute against the new one.
+  PacksCache.reset();
+  OctXfer.clear();
+}
+
+const PackDecomposition &AnalysisContext::packs() const {
+  if (!PacksCache)
+    PacksCache = std::make_shared<const PackDecomposition>(
+        computePackDecomposition(*Sys, Result.LiveClause, Opts.Packs));
+  return *PacksCache;
 }
 
 bool AnalysisContext::prune(size_t ClauseIdx) {

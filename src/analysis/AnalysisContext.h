@@ -21,6 +21,7 @@
 #include "analysis/Interval.h"
 #include "analysis/Octagon.h"
 #include "analysis/TemplatePolyhedra.h"
+#include "analysis/VariablePacks.h"
 #include "chc/ChcCheck.h"
 #include "support/Timer.h"
 
@@ -64,6 +65,17 @@ struct PassStats {
   /// Per-pass flag behind `SweepCapHits` (true when this very execution hit
   /// the cap).
   bool HitSweepCap = false;
+  /// Memoized octagon transfer-cache traffic (octagon pass only): replayed
+  /// vs recomputed per-(clause, pack) transfers.
+  size_t XferCacheHits = 0;
+  size_t XferCacheMisses = 0;
+  /// Simplex pivots spent by LP-backed lattice operations during this pass
+  /// (polyhedra and verify passes), so LP cost is attributable per pass.
+  uint64_t LpPivots = 0;
+  /// Pack-decomposition shape behind the relational passes (octagon pass
+  /// only): total packs over all predicates and the largest pack size.
+  size_t PacksBuilt = 0;
+  size_t LargestPack = 0;
   /// Incremental clause-check counters (populated by passes that go through
   /// chc::ClauseCheckContext, currently the verify pass).
   chc::CheckStats Check;
@@ -90,6 +102,9 @@ struct AnalysisOptions {
   FixpointOptions Polyhedra;
   /// Template mining + transfer knobs for the polyhedra pass.
   TemplateMiningOptions Mining;
+  /// Variable-pack decomposition knobs shared by the relational domains
+  /// (`analysis/VariablePacks.h`).
+  PackingOptions Packs;
   /// SMT budget for the per-invariant verification checks.
   smt::SmtSolver::Options Smt;
   /// Soft wall-clock cap for the whole pipeline (0 = unlimited). On expiry
@@ -168,7 +183,7 @@ struct AnalysisResult {
 
 /// Abstract per-predicate states of the bundled domains.
 using IntervalState = DomainPredState<std::vector<Interval>>;
-using OctagonState = DomainPredState<Octagon>;
+using OctagonState = DomainPredState<PackedOctagon>;
 using PolyhedraState = DomainPredState<TemplatePolyhedron>;
 
 /// Shared mutable state the passes and domain engines operate on: system +
@@ -219,6 +234,18 @@ struct AnalysisContext {
   void adoptTransformed(std::shared_ptr<chc::ChcSystem> T,
                         std::shared_ptr<const InlineMap> M);
 
+  /// The variable-pack decomposition of the current system, computed
+  /// lazily from the live clauses at first use and cached (invalidated when
+  /// `adoptTransformed()` rebinds the system). Clauses pruned after the
+  /// first call leave the decomposition coarser than strictly needed, which
+  /// is sound either way — any position partition is.
+  const PackDecomposition &packs() const;
+
+  /// Memoized per-(clause, pack) octagon transfer cache, shared across the
+  /// octagon pass's sweeps (cleared with the pack cache). Mutable: filling
+  /// a memo table does not change what the context means.
+  mutable OctTransferCache OctXfer;
+
   bool isLive(size_t ClauseIdx) const { return Result.LiveClause[ClauseIdx]; }
   /// Prunes a clause; returns true when it was live before.
   bool prune(size_t ClauseIdx);
@@ -240,6 +267,8 @@ private:
   const chc::ChcSystem *Sys;
   PassStats *Sink = nullptr;
   PassStats Scratch;
+  /// Lazy cache behind `packs()`.
+  mutable std::shared_ptr<const PackDecomposition> PacksCache;
 };
 
 } // namespace la::analysis

@@ -9,6 +9,7 @@
 #include "analysis/DomainCancellation.h"
 
 #include <cassert>
+#include <cstdlib>
 
 using namespace la;
 using namespace la::analysis;
@@ -277,9 +278,11 @@ Octagon Octagon::widen(const Octagon &Next) const {
 }
 
 Octagon Octagon::project(const std::vector<size_t> &Vars) const {
+  // The emptiness query already closed the matrix on demand; an explicit
+  // re-closure here would be redundant (and `close()` early-returning on the
+  // `Closed` flag is exactly what the micro-assert below pins down).
   if (isEmpty())
     return bottom(Vars.size());
-  close();
   Octagon R(Vars.size());
   for (size_t A = 0; A < Vars.size(); ++A)
     for (size_t B = 0; B < Vars.size(); ++B) {
@@ -294,7 +297,45 @@ Octagon Octagon::project(const std::vector<size_t> &Vars) const {
     }
   // A sub-matrix of a strongly closed matrix is strongly closed.
   R.Closed = true;
+  // Differential mode: re-close a copy from scratch and demand it changed
+  // nothing. Skipped when a cancellation interrupted the source's closure
+  // (the sub-matrix is then merely sound, not canonical).
+  static const bool CrossCheck = std::getenv("LA_CHECK_INCREMENTAL") != nullptr;
+  if (CrossCheck && Closed && !DomainCancelScope::cancelled()) {
+    Octagon Check = R;
+    Check.Closed = false;
+    Check.close();
+    assert(Check == R && "projection of a closed octagon must stay closed");
+    if (Check != R)
+      return Check; // release builds: prefer the canonical form
+  }
   return R;
+}
+
+void Octagon::forget(size_t I) {
+  assert(I < N);
+  if (isEmpty()) // closes on demand, so implied facts survive the reset
+    return;
+  size_t A = 2 * I, B = 2 * I + 1;
+  for (size_t Q = 0; Q < 2 * N; ++Q) {
+    at(A, Q) = OctBound::inf();
+    at(Q, A) = OctBound::inf();
+    at(B, Q) = OctBound::inf();
+    at(Q, B) = OctBound::inf();
+  }
+  at(A, A) = OctBound::of(Rational(0));
+  at(B, B) = OctBound::of(Rational(0));
+  // Removing constraints cannot break strong closure, so `Closed` survives.
+}
+
+size_t Octagon::hash() const {
+  if (isEmpty())
+    return 0x9e3779b97f4a7c15ULL;
+  size_t H = N;
+  for (size_t K = 0; K < M.size(); ++K)
+    if (M[K].Finite)
+      H = H * 1099511628211ULL ^ (K + 0x9e37) ^ (M[K].B.hash() * 31);
+  return H;
 }
 
 bool Octagon::operator==(const Octagon &O) const {

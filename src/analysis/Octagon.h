@@ -124,8 +124,23 @@ public:
 
   /// The closed sub-octagon over the selected variables (in order): closure
   /// makes implied constraints explicit, so projection is just taking the
-  /// sub-matrix.
+  /// sub-matrix of the (already) closed matrix — no re-closure runs when the
+  /// source is closed. Under `LA_CHECK_INCREMENTAL` a micro-assert verifies
+  /// the "sub-matrix of a strongly closed matrix is strongly closed" fact by
+  /// re-closing the result and comparing.
   Octagon project(const std::vector<size_t> &Vars) const;
+
+  /// Existentially projects variable \p I away in place: its rows/columns
+  /// reset to unconstrained. Closes first (implied facts through `x_I`
+  /// materialize before the constraints on it vanish), and removing
+  /// constraints from a strongly closed matrix keeps it strongly closed, so
+  /// the closure flag survives. The windowed per-pack transfer recycles
+  /// dimensions through this (DESIGN.md §13).
+  void forget(size_t I);
+
+  /// Hash of the closed canonical form (equal octagons of equal dimension
+  /// hash equal). Used as the transfer-cache input fingerprint.
+  size_t hash() const;
 
   /// Semantic comparison (both sides closed first).
   bool operator==(const Octagon &O) const;

@@ -11,6 +11,7 @@
 #include "analysis/IntervalAnalysis.h"
 #include "analysis/OctagonAnalysis.h"
 #include "analysis/TemplateAnalysis.h"
+#include "smt/LpSolver.h"
 
 #include <cassert>
 
@@ -105,9 +106,14 @@ public:
   void run(AnalysisContext &Ctx) override {
     PassStats &Stats = Ctx.stats();
     FixpointTelemetry Tele;
+    size_t Hits0 = Ctx.OctXfer.Hits, Misses0 = Ctx.OctXfer.Misses;
     Ctx.Octagons = runOctagonAnalysis(Ctx, &Tele);
     Stats.HitSweepCap = Tele.HitSweepCap;
     Stats.SweepCapHits += Tele.HitSweepCap;
+    Stats.XferCacheHits += Ctx.OctXfer.Hits - Hits0;
+    Stats.XferCacheMisses += Ctx.OctXfer.Misses - Misses0;
+    Stats.PacksBuilt = Ctx.packs().PacksBuilt;
+    Stats.LargestPack = Ctx.packs().LargestPack;
     for (const Predicate *P : Ctx.system().predicates()) {
       if (Ctx.isFixed(P))
         continue;
@@ -133,6 +139,7 @@ public:
   void run(AnalysisContext &Ctx) override {
     PassStats &Stats = Ctx.stats();
     FixpointTelemetry Tele;
+    smt::takeLpPivots(); // drain pivots a previous pass left behind
     Ctx.Polyhedra = runTemplateAnalysis(Ctx, &Ctx.PolyMatrices, &Tele);
     Stats.HitSweepCap = Tele.HitSweepCap;
     Stats.SweepCapHits += Tele.HitSweepCap;
@@ -150,6 +157,7 @@ public:
       }
       Stats.PolyhedraFacts += S.Value.relationalRowCount();
     }
+    Stats.LpPivots += smt::takeLpPivots();
   }
 };
 
@@ -171,6 +179,13 @@ public:
     PassStats &Stats = Ctx.stats();
     TermManager &TM = Ctx.TM;
     AnalysisResult &Res = Ctx.Result;
+    // Rendering polyhedral candidates below runs LP bound queries; drain
+    // the pivot counter around the pass so they are attributed here.
+    smt::takeLpPivots();
+    struct PivotDrain {
+      PassStats &Stats;
+      ~PivotDrain() { Stats.LpPivots += smt::takeLpPivots(); }
+    } Drain{Stats};
 
     struct Ladder {
       struct Level {

@@ -94,13 +94,20 @@ void collectAtomExprs(const Term *T, std::vector<LinearExpr> &Out) {
   }
 }
 
-/// Deduplicating, order-preserving row accumulator with a hard cap.
+/// Deduplicating, order-preserving row accumulator with a hard cap. When a
+/// pack layout is supplied, rows whose support spans more than one variable
+/// pack are rejected: packing already gave those cross-pack relations up in
+/// the octagon domain, and mining them here would re-grow exactly the LP
+/// dimensions packing removed (DESIGN.md §13).
 class RowSet {
 public:
-  RowSet(size_t Arity, size_t Cap) : Arity(Arity), Cap(Cap) {}
+  RowSet(size_t Arity, size_t Cap, const PredPacks *Packs = nullptr)
+      : Arity(Arity), Cap(Cap), Packs(Packs) {}
 
   void add(std::vector<Rational> Coef) {
     if (Rows.size() >= Cap || !normalizeRow(Coef))
+      return;
+    if (Packs && crossesPacks(Coef))
       return;
     TemplateRow R{std::move(Coef)};
     if (Seen.insert(R).second)
@@ -112,8 +119,22 @@ public:
   size_t arity() const { return Arity; }
 
 private:
+  bool crossesPacks(const std::vector<Rational> &Coef) const {
+    size_t Pack = ~size_t(0);
+    for (size_t J = 0; J < Coef.size(); ++J) {
+      if (Coef[J].isZero())
+        continue;
+      if (Pack == ~size_t(0))
+        Pack = Packs->PackOf[J];
+      else if (Packs->PackOf[J] != Pack)
+        return true;
+    }
+    return false;
+  }
+
   size_t Arity;
   size_t Cap;
+  const PredPacks *Packs;
   std::set<TemplateRow> Seen;
   std::vector<TemplateRow> Rows;
 };
@@ -184,7 +205,8 @@ analysis::mineTemplates(const AnalysisContext &Ctx,
       continue; // masked or nullary: empty matrix, values are always top
 
     size_t N = P->arity();
-    RowSet Rows(N, Opts.MaxTemplatesPerPredicate);
+    const PredPacks *Layout = Ctx.packs().Preds[P->Index].get();
+    RowSet Rows(N, Opts.MaxTemplatesPerPredicate, Layout);
 
     // Octagon-shaped defaults: unary rows always, pair rows on small
     // arities (they subsume the interval and octagon rungs there).

@@ -1,0 +1,424 @@
+//===- analysis/VariablePacks.cpp - Astrée-style variable packing ---------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/VariablePacks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <utility>
+
+using namespace la;
+using namespace la::analysis;
+using namespace la::chc;
+
+//===----------------------------------------------------------------------===//
+// PredPacks
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const PredPacks> PredPacks::monolithic(size_t Arity) {
+  auto L = std::make_shared<PredPacks>();
+  L->Arity = Arity;
+  if (Arity > 0) {
+    L->PackOf.assign(Arity, 0);
+    L->Packs.emplace_back();
+    for (size_t J = 0; J < Arity; ++J)
+      L->Packs[0].push_back(J);
+  }
+  return L;
+}
+
+std::shared_ptr<const PredPacks> PredPacks::uniform(size_t Arity,
+                                                    size_t PackSize) {
+  assert(PackSize > 0);
+  auto L = std::make_shared<PredPacks>();
+  L->Arity = Arity;
+  L->PackOf.resize(Arity);
+  for (size_t J = 0; J < Arity; ++J) {
+    size_t K = J / PackSize;
+    if (K >= L->Packs.size())
+      L->Packs.emplace_back();
+    L->PackOf[J] = K;
+    L->Packs[K].push_back(J);
+  }
+  return L;
+}
+
+//===----------------------------------------------------------------------===//
+// Interaction graph
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void collectIntVars(const Term *T, ClauseVarMap &Idx) {
+  if (T->kind() == TermKind::Var) {
+    if (T->sort() == Sort::Int && !Idx.count(T))
+      Idx.emplace(T, Idx.size());
+    return;
+  }
+  for (const Term *Op : T->operands())
+    collectIntVars(Op, Idx);
+}
+
+/// Appends the indices (under \p Idx) of every Int variable below \p T.
+void varIndicesOf(const Term *T, const ClauseVarMap &Idx,
+                  std::vector<size_t> &Out) {
+  if (T->kind() == TermKind::Var) {
+    if (T->sort() == Sort::Int)
+      Out.push_back(Idx.at(T));
+    return;
+  }
+  for (const Term *Op : T->operands())
+    varIndicesOf(Op, Idx, Out);
+}
+
+void uniteAll(PackUnionFind &U, const std::vector<size_t> &Vs) {
+  for (size_t I = 1; I < Vs.size(); ++I)
+    U.unite(Vs[0], Vs[I]);
+}
+
+/// Walks a constraint tree uniting interacting variables: conjunctions
+/// recurse, every other boolean node is an interaction group (all variables
+/// beneath it are related), and small disjunctions additionally couple
+/// everything across their branches (branch joins correlate the variables
+/// they write, see header).
+void walkConstraint(const Term *T, const ClauseVarMap &Idx,
+                    const PackingOptions &Opts, PackUnionFind &U) {
+  if (T->sort() != Sort::Bool)
+    return;
+  switch (T->kind()) {
+  case TermKind::And:
+    for (const Term *Op : T->operands())
+      walkConstraint(Op, Idx, Opts, U);
+    return;
+  case TermKind::Or: {
+    std::vector<size_t> Vs;
+    varIndicesOf(T, Idx, Vs);
+    std::set<size_t> Distinct(Vs.begin(), Vs.end());
+    if (Distinct.size() <= Opts.OrCouplingCap)
+      uniteAll(U, Vs);
+    for (const Term *Op : T->operands())
+      walkConstraint(Op, Idx, Opts, U);
+    return;
+  }
+  default: {
+    // Atom (possibly negated) or an opaque boolean leaf: one group.
+    std::vector<size_t> Vs;
+    varIndicesOf(T, Idx, Vs);
+    uniteAll(U, Vs);
+    return;
+  }
+  }
+}
+
+/// Interaction edges contributed by one predicate application: variables
+/// inside one compound argument interact, and the arguments of positions
+/// already sharing a pack interact (pack-induced edges, which make the
+/// decomposition a fixpoint across clauses).
+void walkApp(const PredApp &App, const PredPacks &L, const ClauseVarMap &Idx,
+             PackUnionFind &U) {
+  std::vector<std::vector<size_t>> ArgVars(App.Args.size());
+  for (size_t J = 0; J < App.Args.size(); ++J) {
+    varIndicesOf(App.Args[J], Idx, ArgVars[J]);
+    if (App.Args[J]->kind() != TermKind::Var)
+      uniteAll(U, ArgVars[J]);
+  }
+  for (const std::vector<size_t> &Pack : L.Packs) {
+    size_t Anchor = ~size_t(0);
+    for (size_t J : Pack) {
+      if (J >= ArgVars.size() || ArgVars[J].empty())
+        continue;
+      if (Anchor == ~size_t(0))
+        Anchor = ArgVars[J][0];
+      else
+        U.unite(Anchor, ArgVars[J][0]);
+    }
+  }
+}
+
+std::shared_ptr<const PredPacks> packsFromUnionFind(const PackUnionFind &U,
+                                                    size_t Arity) {
+  auto L = std::make_shared<PredPacks>();
+  L->Arity = Arity;
+  L->PackOf.resize(Arity);
+  std::map<size_t, size_t> RootPack;
+  for (size_t J = 0; J < Arity; ++J) {
+    size_t R = U.find(J);
+    auto [It, New] = RootPack.try_emplace(R, L->Packs.size());
+    if (New)
+      L->Packs.emplace_back();
+    L->PackOf[J] = It->second;
+    L->Packs[It->second].push_back(J);
+  }
+  return L;
+}
+
+} // namespace
+
+ClauseInteraction analysis::clauseInteraction(const HornClause &C,
+                                              const PackDecomposition &Packs,
+                                              const PackingOptions &Opts) {
+  ClauseVarMap Idx;
+  for (const PredApp &App : C.Body)
+    for (const Term *Arg : App.Args)
+      collectIntVars(Arg, Idx);
+  if (C.HeadPred)
+    for (const Term *Arg : C.HeadPred->Args)
+      collectIntVars(Arg, Idx);
+  collectIntVars(C.Constraint, Idx);
+  // Query conclusions (`Body /\ Constraint -> HeadFormula`) constrain the
+  // body state just like the clause constraint: the variables they relate
+  // are exactly the directions a proof must track together.
+  if (C.HeadFormula)
+    collectIntVars(C.HeadFormula, Idx);
+
+  ClauseInteraction Out{std::move(Idx), PackUnionFind(0)};
+  Out.Classes = PackUnionFind(Out.Idx.size());
+  walkConstraint(C.Constraint, Out.Idx, Opts, Out.Classes);
+  if (C.HeadFormula)
+    walkConstraint(C.HeadFormula, Out.Idx, Opts, Out.Classes);
+  for (const PredApp &App : C.Body)
+    walkApp(App, *Packs.Preds[App.Pred->Index], Out.Idx, Out.Classes);
+  if (C.HeadPred)
+    walkApp(*C.HeadPred, *Packs.Preds[C.HeadPred->Pred->Index], Out.Idx,
+            Out.Classes);
+  return Out;
+}
+
+PackDecomposition
+analysis::computePackDecomposition(const ChcSystem &System,
+                                   const std::vector<char> &LiveClause,
+                                   const PackingOptions &Opts) {
+  const auto &Preds = System.predicates();
+  const auto &Clauses = System.clauses();
+
+  std::vector<PackUnionFind> Pos;
+  Pos.reserve(Preds.size());
+  for (const Predicate *P : Preds)
+    Pos.emplace_back(P->arity());
+
+  PackDecomposition D;
+  D.Preds.resize(Preds.size());
+
+  auto Snapshot = [&]() {
+    for (const Predicate *P : Preds)
+      D.Preds[P->Index] = packsFromUnionFind(Pos[P->Index], P->arity());
+  };
+
+  if (!Opts.Enable) {
+    for (const Predicate *P : Preds)
+      for (size_t J = 1; J < P->arity(); ++J)
+        Pos[P->Index].unite(0, J);
+    Snapshot();
+  } else {
+    // Iterate to a fixpoint: pack-induced interaction edges feed position
+    // merges, which feed new interaction edges in other clauses. Merges are
+    // monotone, so this terminates; the iteration cap is belt and braces.
+    bool Changed = true;
+    for (size_t Iter = 0; Changed && Iter < 16; ++Iter) {
+      Changed = false;
+      Snapshot();
+      for (size_t CI = 0; CI < Clauses.size(); ++CI) {
+        if (!LiveClause.empty() && !LiveClause[CI])
+          continue;
+        const HornClause &C = Clauses[CI];
+        ClauseInteraction In = clauseInteraction(C, D, Opts);
+        auto Feed = [&](const PredApp &App) {
+          PackUnionFind &U = Pos[App.Pred->Index];
+          // Positions whose argument variables share an interaction class
+          // belong in one pack (unless the size cap says otherwise).
+          std::map<size_t, size_t> ClassPos; // class root -> witness position
+          for (size_t J = 0; J < App.Args.size(); ++J) {
+            std::vector<size_t> Vs;
+            varIndicesOf(App.Args[J], In.Idx, Vs);
+            for (size_t V : Vs) {
+              size_t R = In.Classes.find(V);
+              auto [It, New] = ClassPos.try_emplace(R, J);
+              if (New)
+                continue;
+              size_t A = U.find(It->second), B = U.find(J);
+              if (A == B)
+                continue;
+              if (U.size(A) + U.size(B) > Opts.MaxPackSize)
+                continue; // cap: keep the packs apart, losing precision only
+              U.unite(A, B);
+              Changed = true;
+            }
+          }
+        };
+        for (const PredApp &App : C.Body)
+          Feed(App);
+        if (C.HeadPred)
+          Feed(*C.HeadPred);
+      }
+    }
+    Snapshot();
+  }
+
+  for (const auto &L : D.Preds) {
+    D.PacksBuilt += L->packCount();
+    for (const auto &Pack : L->Packs)
+      D.LargestPack = std::max(D.LargestPack, Pack.size());
+  }
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// PackedOctagon
+//===----------------------------------------------------------------------===//
+
+PackedOctagon PackedOctagon::top(std::shared_ptr<const PredPacks> Layout) {
+  PackedOctagon V;
+  V.Layout = std::move(Layout);
+  if (V.Layout)
+    for (const auto &Pack : V.Layout->Packs)
+      V.Os.emplace_back(Pack.size());
+  return V;
+}
+
+PackedOctagon PackedOctagon::bottom(std::shared_ptr<const PredPacks> Layout) {
+  PackedOctagon V;
+  V.Layout = std::move(Layout);
+  V.Bot = true;
+  if (V.Layout)
+    for (const auto &Pack : V.Layout->Packs)
+      V.Os.push_back(Octagon::bottom(Pack.size()));
+  return V;
+}
+
+bool PackedOctagon::isEmpty() const {
+  if (Bot)
+    return true;
+  for (const Octagon &O : Os)
+    if (O.isEmpty())
+      return true;
+  return false;
+}
+
+bool PackedOctagon::isTop() const {
+  if (isEmpty())
+    return false;
+  for (const Octagon &O : Os)
+    if (!O.isTop())
+      return false;
+  return true;
+}
+
+Interval PackedOctagon::boundOf(size_t I) const {
+  if (isEmpty())
+    return Interval::empty();
+  assert(Layout && I < Layout->Arity);
+  size_t K = Layout->PackOf[I];
+  const auto &Members = Layout->Packs[K];
+  size_t Local =
+      std::lower_bound(Members.begin(), Members.end(), I) - Members.begin();
+  return Os[K].boundOf(Local);
+}
+
+OctBound PackedOctagon::pairUpper(size_t I, bool NegI, size_t J,
+                                  bool NegJ) const {
+  if (isEmpty())
+    return OctBound::of(Rational(-1)); // any negative bound: empty
+  assert(Layout && I < Layout->Arity && J < Layout->Arity && I != J);
+  size_t K = Layout->PackOf[I];
+  if (Layout->PackOf[J] != K)
+    return OctBound::inf(); // the relation packing gave up
+  const auto &Members = Layout->Packs[K];
+  size_t LI =
+      std::lower_bound(Members.begin(), Members.end(), I) - Members.begin();
+  size_t LJ =
+      std::lower_bound(Members.begin(), Members.end(), J) - Members.begin();
+  return Os[K].pairUpper(LI, NegI, LJ, NegJ);
+}
+
+void PackedOctagon::forEachConstraint(
+    const std::function<void(const OctConstraint &)> &Fn) const {
+  if (isEmpty())
+    return;
+  for (size_t K = 0; K < Os.size(); ++K) {
+    const auto &Members = Layout->Packs[K];
+    Os[K].forEachConstraint([&](const OctConstraint &C) {
+      OctConstraint G = C;
+      G.Var1 = Members[C.Var1];
+      G.Var2 = C.Coef2 == 0 ? G.Var1 : Members[C.Var2];
+      Fn(G);
+    });
+  }
+}
+
+PackedOctagon PackedOctagon::join(const PackedOctagon &O) const {
+  if (isEmpty())
+    return O;
+  if (O.isEmpty())
+    return *this;
+  assert(Layout.get() == O.Layout.get() && "layout mismatch in join");
+  PackedOctagon R = *this;
+  for (size_t K = 0; K < Os.size(); ++K)
+    R.Os[K] = Os[K].join(O.Os[K]);
+  return R;
+}
+
+PackedOctagon PackedOctagon::meet(const PackedOctagon &O) const {
+  if (isEmpty())
+    return *this;
+  if (O.isEmpty())
+    return O;
+  assert(Layout.get() == O.Layout.get() && "layout mismatch in meet");
+  PackedOctagon R = *this;
+  for (size_t K = 0; K < Os.size(); ++K)
+    R.Os[K] = Os[K].meet(O.Os[K]);
+  return R;
+}
+
+PackedOctagon PackedOctagon::widen(const PackedOctagon &Next) const {
+  if (isEmpty())
+    return Next;
+  if (Next.isEmpty())
+    return *this;
+  assert(Layout.get() == Next.Layout.get() && "layout mismatch in widen");
+  PackedOctagon R = *this;
+  for (size_t K = 0; K < Os.size(); ++K)
+    R.Os[K] = Os[K].widen(Next.Os[K]);
+  return R;
+}
+
+bool PackedOctagon::operator==(const PackedOctagon &O) const {
+  if (numVars() != O.numVars())
+    return false;
+  if (isEmpty() || O.isEmpty())
+    return isEmpty() == O.isEmpty();
+  for (size_t K = 0; K < Os.size(); ++K)
+    if (Os[K] != O.Os[K])
+      return false;
+  return true;
+}
+
+size_t PackedOctagon::hash() const {
+  if (isEmpty())
+    return 0x9e3779b97f4a7c15ULL;
+  size_t H = numVars();
+  for (size_t K = 0; K < Os.size(); ++K)
+    H = H * 1099511628211ULL ^ (Os[K].hash() + K);
+  return H;
+}
+
+std::string PackedOctagon::toString() const {
+  if (isEmpty())
+    return "false";
+  if (isTop())
+    return "true";
+  std::string Out;
+  forEachConstraint([&](const OctConstraint &C) {
+    if (!Out.empty())
+      Out += " /\\ ";
+    Out += (C.Coef1 < 0 ? "-x" : "x") + std::to_string(C.Var1);
+    if (C.Coef2 != 0)
+      Out += std::string(C.Coef2 < 0 ? " - x" : " + x") +
+             std::to_string(C.Var2);
+    Out += " <= " + C.Bound.toString();
+  });
+  return Out;
+}

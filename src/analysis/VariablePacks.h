@@ -1,0 +1,255 @@
+//===- analysis/VariablePacks.h - Astrée-style variable packing -*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Variable-pack decomposition for the relational domains (DESIGN.md §13).
+/// Wide clauses (the `gen_elevator_*` scalability family encodes hundreds of
+/// SSA dimensions into one clause) make a monolithic octagon transfer pay
+/// O((2n)^3) per strong closure. Following the Astrée packing idea, the
+/// per-clause variable-interaction graph (variables co-occurring in one
+/// constraint atom, one compound argument term, or one small disjunction)
+/// is partitioned with a union-find, the induced classes are merged into
+/// per-predicate packs over the argument positions (with a configurable
+/// size cap), and the octagon domain then carries one small DBM per pack
+/// (`PackedOctagon`) instead of one monolithic `Octagon` per predicate.
+///
+/// Soundness: packing only *drops* inter-pack relations — each pack's DBM
+/// is a projection of what the monolithic octagon would compute, and the
+/// conjunction over packs therefore concretizes to a superset of the
+/// monolithic concretization. No fact is ever invented, and every rendered
+/// invariant is still re-proved by the verify pass before anything
+/// downstream may trust it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_ANALYSIS_VARIABLEPACKS_H
+#define LA_ANALYSIS_VARIABLEPACKS_H
+
+#include "analysis/Octagon.h"
+#include "chc/Chc.h"
+#include "logic/LinearExpr.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace la::analysis {
+
+/// Knobs of the pack-decomposition layer.
+struct PackingOptions {
+  /// Master switch. Disabled, every predicate gets one pack holding all of
+  /// its positions and every clause variable stays in scope, which
+  /// reproduces the monolithic octagon transfer exactly (the differential
+  /// tests pin this down).
+  bool Enable = true;
+  /// Cap on the number of argument positions merged into one pack. Merges
+  /// that would exceed the cap are skipped, bounding every per-predicate
+  /// DBM at 2*MaxPackSize signed variables.
+  size_t MaxPackSize = 8;
+  /// Disjunction coupling: branch joins correlate the variables written
+  /// under one `Or` even when no single atom relates them, so small `Or`
+  /// subtrees (at most this many distinct variables) unite their variables
+  /// into one interaction class. The default admits a two-branch if over a
+  /// guard and two updated state variables (the elevator's per-floor
+  /// branches touch five SSA names: old/new floor and served plus the
+  /// direction guard); genuinely wide disjunctions stay uncoupled — that
+  /// decoupling is exactly the packing win.
+  size_t OrCouplingCap = 5;
+  /// Clause-local live-range windowing engages only above this many active
+  /// clause variables. Below it the transfer keeps every dimension for the
+  /// whole clause and applies the constraint twice (the monolithic
+  /// behavior, preserving its precision on the normal corpus); above it
+  /// dead dimensions are projected away eagerly so the scratch DBM stays
+  /// small no matter how wide the clause is.
+  size_t WindowThreshold = 24;
+  /// Hard cap on simultaneously-live transient (non-pinned) window
+  /// dimensions; overflow evicts the dimension whose last use is farthest
+  /// away (sound: forgetting only loses facts).
+  size_t MaxWindowVars = 40;
+};
+
+/// The pack structure of one predicate: a partition of its argument
+/// positions. Pack ids are ordered by smallest member position and each
+/// pack's position list is sorted ascending, so the layout is deterministic.
+struct PredPacks {
+  size_t Arity = 0;
+  std::vector<size_t> PackOf;             ///< position -> pack id
+  std::vector<std::vector<size_t>> Packs; ///< pack id -> sorted positions
+
+  size_t packCount() const { return Packs.size(); }
+
+  /// Single pack holding every position (the packing-disabled layout).
+  static std::shared_ptr<const PredPacks> monolithic(size_t Arity);
+  /// Consecutive packs of \p PackSize positions (bench/test helper).
+  static std::shared_ptr<const PredPacks> uniform(size_t Arity,
+                                                  size_t PackSize);
+};
+
+/// Pack layouts of every predicate of one system, plus summary counters for
+/// the stats plumbing.
+struct PackDecomposition {
+  /// Indexed by `Predicate::Index`.
+  std::vector<std::shared_ptr<const PredPacks>> Preds;
+  size_t PacksBuilt = 0;
+  size_t LargestPack = 0;
+};
+
+/// Union-find over a fixed universe with class-size tracking (used for both
+/// clause-variable classes and predicate-position packs).
+class PackUnionFind {
+public:
+  explicit PackUnionFind(size_t N) : Parent(N), Sz(N, 1) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = I;
+  }
+  size_t find(size_t A) const {
+    while (Parent[A] != A) {
+      Parent[A] = Parent[Parent[A]]; // path halving
+      A = Parent[A];
+    }
+    return A;
+  }
+  /// Unites the classes of A and B; true when they were distinct.
+  bool unite(size_t A, size_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    if (Sz[A] < Sz[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    Sz[A] += Sz[B];
+    return true;
+  }
+  size_t size(size_t A) const { return Sz[find(A)]; }
+
+private:
+  mutable std::vector<size_t> Parent;
+  std::vector<size_t> Sz;
+};
+
+/// Clause-variable numbering shared by the interaction graph and the
+/// octagon transfer: every distinct Int variable of the clause gets one
+/// index, in discovery order (body arguments, head arguments, constraint).
+using ClauseVarMap = std::map<const Term *, size_t, TermIdLess>;
+
+/// The variable-interaction structure of one clause: the variable numbering
+/// plus the union-find of interacting variables. Interaction edges come
+/// from (a) variables sharing a constraint atom, (b) variables sharing a
+/// compound application-argument term, (c) variables under one small `Or`
+/// subtree (`PackingOptions::OrCouplingCap`), and (d) pack-induced edges:
+/// argument variables of positions already sharing a pack in \p Packs.
+struct ClauseInteraction {
+  ClauseVarMap Idx;
+  PackUnionFind Classes;
+};
+ClauseInteraction clauseInteraction(const chc::HornClause &C,
+                                    const PackDecomposition &Packs,
+                                    const PackingOptions &Opts);
+
+/// Computes the per-predicate packs of \p System over its live clauses
+/// (\p LiveClause empty means all live): iterates clause-variable classes
+/// and position merges to a fixpoint, so packs propagate through predicate
+/// applications.
+PackDecomposition
+computePackDecomposition(const chc::ChcSystem &System,
+                         const std::vector<char> &LiveClause,
+                         const PackingOptions &Opts);
+
+/// The packed octagon value: one small `Octagon` per pack of the
+/// predicate's layout, concretizing to the conjunction of the packs'
+/// constraint sets. Cross-pack queries (`pairUpper` across packs) answer
+/// "unconstrained", which is exactly the information packing gives up.
+class PackedOctagon {
+public:
+  PackedOctagon() = default; ///< top over the empty layout (arity 0)
+
+  static PackedOctagon top(std::shared_ptr<const PredPacks> Layout);
+  static PackedOctagon bottom(std::shared_ptr<const PredPacks> Layout);
+
+  size_t numVars() const { return Layout ? Layout->Arity : 0; }
+  size_t packCount() const { return Os.size(); }
+  const PredPacks *layout() const { return Layout.get(); }
+  const Octagon &pack(size_t K) const { return Os[K]; }
+  Octagon &pack(size_t K) { return Os[K]; }
+
+  bool isEmpty() const;
+  bool isTop() const;
+
+  /// The interval of argument \p I implied by its pack's octagon.
+  Interval boundOf(size_t I) const;
+  /// The least upper bound on `s_I x_I + s_J x_J`; infinite whenever the
+  /// two positions live in different packs.
+  OctBound pairUpper(size_t I, bool NegI, size_t J, bool NegJ) const;
+  /// Enumerates every finite constraint of every pack, with variable ids
+  /// mapped to global argument positions.
+  void forEachConstraint(
+      const std::function<void(const OctConstraint &)> &Fn) const;
+
+  /// Lattice operators, applied pack-wise (operands must share a layout).
+  PackedOctagon join(const PackedOctagon &O) const;
+  PackedOctagon meet(const PackedOctagon &O) const;
+  PackedOctagon widen(const PackedOctagon &Next) const;
+
+  /// Semantic comparison: two empty values are equal regardless of which
+  /// pack became empty.
+  bool operator==(const PackedOctagon &O) const;
+  bool operator!=(const PackedOctagon &O) const { return !(*this == O); }
+
+  /// Hash of the closed canonical form (the transfer-cache input key).
+  size_t hash() const;
+
+  std::string toString() const;
+
+private:
+  std::shared_ptr<const PredPacks> Layout;
+  /// Explicit bottom flag: a zero-pack (nullary) value has no pack octagon
+  /// to carry emptiness.
+  bool Bot = false;
+  std::vector<Octagon> Os; ///< one per pack, over the pack's positions
+};
+
+/// Memoized per-(clause, pack) transfer cache: repeated sweeps over packs
+/// whose input states did not change replay the cached output octagon
+/// instead of re-running the transfer. Keyed by (clause identity, pack id)
+/// with the input-bounds hash stored in the entry; a stale hash recomputes
+/// (single-entry-per-key scheme). A hash collision can replay a wrong
+/// octagon — that costs candidate precision only, never soundness, because
+/// the verify pass re-proves every rendered invariant.
+struct OctTransferCache {
+  struct Key {
+    const chc::HornClause *Clause = nullptr;
+    size_t Pack = 0;
+    bool operator==(const Key &O) const {
+      return Clause == O.Clause && Pack == O.Pack;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return std::hash<const void *>()(K.Clause) * 31 ^ K.Pack;
+    }
+  };
+  struct Entry {
+    size_t InHash = 0;
+    bool Feasible = false;
+    Octagon Out;
+  };
+  std::unordered_map<Key, Entry, KeyHash> Map;
+  size_t Hits = 0;
+  size_t Misses = 0;
+
+  void clear() {
+    Map.clear();
+    Hits = Misses = 0;
+  }
+};
+
+} // namespace la::analysis
+
+#endif // LA_ANALYSIS_VARIABLEPACKS_H

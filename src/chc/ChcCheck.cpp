@@ -153,21 +153,64 @@ ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
   ++Statistics.ScopePushes;
   for (const PredApp &App : Clause.Body)
     Solver.assertFormula(Interp.instantiate(App));
-  if (Clause.HeadPred)
-    Solver.assertFormula(TM.mkNot(Interp.instantiate(*Clause.HeadPred)));
-  ++Statistics.ChecksIssued;
+
+  // Conjunction heads are checked conjunct by conjunct: `body -> /\ c_j` is
+  // one obligation per conjunct, and k queries with a single negated atom
+  // each are far easier on the solver than one query whose negated head is
+  // a k-way disjunction multiplied into a wide clause constraint (the
+  // scalability family's branch cascades time out on the monolithic
+  // negation but discharge in milliseconds per conjunct). Semantically
+  // identical: the negation is satisfiable iff some `body /\ !c_j` is.
+  const Term *Head =
+      Clause.HeadPred ? Interp.instantiate(*Clause.HeadPred) : nullptr;
   ClauseCheckResult Result;
-  switch (Solver.check()) {
-  case SmtResult::Unsat:
+  if (Head && Head->kind() == TermKind::And) {
+    ++Statistics.ConjunctSplits;
     Result.Status = ClauseStatus::Valid;
-    break;
-  case SmtResult::Sat:
-    Result.Status = ClauseStatus::Invalid;
-    Result.Model = Solver.model();
-    break;
-  case SmtResult::Unknown:
-    Result.Status = ClauseStatus::Unknown;
-    break;
+    for (const Term *Conjunct : Head->operands()) {
+      if (isCancelled(Opts.Cancel)) {
+        Result = ClauseCheckResult{}; // Unknown: budget expired mid-split
+        break;
+      }
+      Solver.push();
+      ++Statistics.ScopePushes;
+      Solver.assertFormula(TM.mkNot(Conjunct));
+      ++Statistics.ChecksIssued;
+      SmtResult R = Solver.check();
+      if (R == SmtResult::Sat) {
+        Result.Status = ClauseStatus::Invalid;
+        Result.Model = Solver.model();
+      }
+      Solver.pop();
+      if (R == SmtResult::Sat)
+        break;
+      if (R == SmtResult::Unknown) {
+        Result.Status = ClauseStatus::Unknown;
+        Result.Model.clear();
+        break;
+      }
+      // `body -> Conjunct` just proved valid, so the conjunct is entailed
+      // and asserting it positively is sound. It prunes the later (harder)
+      // sub-checks: the cheap unary bounds land first and fence the search
+      // space of the relational conjuncts rendered after them.
+      Solver.assertFormula(Conjunct);
+    }
+  } else {
+    if (Head)
+      Solver.assertFormula(TM.mkNot(Head));
+    ++Statistics.ChecksIssued;
+    switch (Solver.check()) {
+    case SmtResult::Unsat:
+      Result.Status = ClauseStatus::Valid;
+      break;
+    case SmtResult::Sat:
+      Result.Status = ClauseStatus::Invalid;
+      Result.Model = Solver.model();
+      break;
+    case SmtResult::Unknown:
+      Result.Status = ClauseStatus::Unknown;
+      break;
+    }
   }
   Solver.pop();
 

@@ -49,6 +49,7 @@ struct CheckStats {
   uint64_t ScopePushes = 0;     ///< solver scopes opened for checks
   uint64_t SolverRebuilds = 0;  ///< per-clause solver (re)constructions
   uint64_t RebuildsAvoided = 0; ///< checks served by a live per-clause solver
+  uint64_t ConjunctSplits = 0;  ///< checks decomposed conjunct-by-conjunct
 
   void merge(const CheckStats &O) {
     ChecksIssued += O.ChecksIssued;
@@ -58,6 +59,7 @@ struct CheckStats {
     ScopePushes += O.ScopePushes;
     SolverRebuilds += O.SolverRebuilds;
     RebuildsAvoided += O.RebuildsAvoided;
+    ConjunctSplits += O.ConjunctSplits;
   }
 };
 

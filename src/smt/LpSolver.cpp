@@ -12,6 +12,22 @@
 using namespace la;
 using namespace la::smt;
 
+namespace {
+thread_local uint64_t LpPivotCounter = 0;
+} // namespace
+
+uint64_t smt::takeLpPivots() {
+  uint64_t N = LpPivotCounter;
+  LpPivotCounter = 0;
+  return N;
+}
+
+void LpProblem::accountPivots() {
+  uint64_t Now = Tableau.stats().Pivots;
+  LpPivotCounter += Now - PivotsReported;
+  PivotsReported = Now;
+}
+
 LinearCombo LpProblem::canonicalize(const LinearCombo &Terms) {
   std::map<int, Rational> Folded;
   for (const auto &[V, C] : Terms)
@@ -70,6 +86,7 @@ bool LpProblem::feasible() {
     if (Tableau.check())
       KnownInfeasible = true;
     Checked = true;
+    accountPivots();
   }
   return !KnownInfeasible;
 }
@@ -91,6 +108,7 @@ LpProblem::Optimum LpProblem::maximize(const LinearCombo &Objective) {
     Z = Tableau.addDefinedVar(Expr);
   }
   Simplex::OptResult R = Tableau.maximize(Z, Cancel);
+  accountPivots();
   switch (R.Status) {
   case Simplex::OptStatus::Optimal:
     return {Status::Optimal, R.Value};

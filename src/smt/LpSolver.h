@@ -92,19 +92,33 @@ public:
   /// Number of constraints added so far (for stats/tests).
   size_t constraintCount() const { return Constraints; }
 
+  /// Simplex pivots this problem has spent so far across its feasibility
+  /// and maximization queries.
+  uint64_t pivots() const { return Tableau.stats().Pivots; }
+
 private:
   void addConstraint(const LinearCombo &Terms, const Rational &Bound,
                      bool IsUpper, bool Strict);
   /// Folds duplicate variables and drops zero coefficients; returns the
   /// constant-only combo as an empty vector.
   static LinearCombo canonicalize(const LinearCombo &Terms);
+  /// Publishes pivots spent since the last call into the thread-local
+  /// counter behind `takeLpPivots()`. Runs inside the query methods (not a
+  /// destructor, so copied problems cannot double-count history).
+  void accountPivots();
 
   Simplex Tableau;
   std::shared_ptr<const CancellationToken> Cancel;
   size_t Constraints = 0;
   bool KnownInfeasible = false;
   bool Checked = false; ///< Tableau pivoted to feasibility since last add.
+  uint64_t PivotsReported = 0; ///< Pivots already published (accountPivots).
 };
+
+/// Drains the calling thread's accumulated LP pivot counter: every
+/// `LpProblem` query on this thread adds its simplex pivots here, so a pass
+/// can attribute LP cost by draining the counter around its work.
+uint64_t takeLpPivots();
 
 } // namespace la::smt
 

@@ -28,6 +28,28 @@ std::string solver::SolveResult::summary() const {
   if (Inlined + Removed > 0)
     Out += " [inlined " + std::to_string(Inlined) + " preds, removed " +
            std::to_string(Removed) + " clauses]";
+  // Per-pass wall-clock and the new hot-path counters (transfer cache, LP
+  // pivots) so a one-line summary shows where the analysis time went.
+  if (!AnalysisPasses.empty()) {
+    size_t XferHits = 0, XferMisses = 0;
+    unsigned long long Pivots = 0;
+    std::string Times;
+    for (const analysis::PassStats &P : AnalysisPasses) {
+      XferHits += P.XferCacheHits;
+      XferMisses += P.XferCacheMisses;
+      Pivots += P.LpPivots;
+      char Seg[96];
+      snprintf(Seg, sizeof(Seg), "%s%s %.0fms", Times.empty() ? "" : "  ",
+               P.Name.c_str(), P.Seconds * 1000.0);
+      Times += Seg;
+    }
+    Out += " [" + Times + "]";
+    if (XferHits + XferMisses > 0)
+      Out += " [xfer-cache " + std::to_string(XferHits) + "/" +
+             std::to_string(XferHits + XferMisses) + "]";
+    if (Pivots > 0)
+      Out += " [lp-pivots " + std::to_string(Pivots) + "]";
+  }
   if (SolvedByAnalysis)
     Out += " [solved by pre-analysis]";
   // Per-lane block for portfolio runs. `Engines` is sorted by lane label,

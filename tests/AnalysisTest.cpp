@@ -487,7 +487,7 @@ TEST(OctagonAnalysisTest, RelationalInvariantBeyondIntervals) {
   // The octagon domain keeps the diagonal fact y - x <= 0 through the loop.
   std::vector<OctagonState> OStates = runOctagonAnalysis(Ctx);
   ASSERT_TRUE(OStates[Pred->Index].Reachable);
-  const Octagon &O = OStates[Pred->Index].Value;
+  const PackedOctagon &O = OStates[Pred->Index].Value;
   EXPECT_EQ(O.pairUpper(1, false, 0, true), OctBound::of(Rational(0)));
   EXPECT_GE(OctagonDomain::relationalFactCount(O), 1u);
 
