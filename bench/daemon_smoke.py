@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Smoke test for the chc_serve daemon.
+
+Starts the daemon and drives it over stdin/stdout in two waves:
+
+  wave 1: one solve request per bundled .smt2 benchmark, submitted
+          back-to-back so >= 8 are in flight concurrently;
+  wave 2: the same requests again, after wave 1 completed, which must all
+          be answered from the memo cache.
+
+Asserts every verdict matches the benchmark's expected safety (file names
+end in _safe/_unsafe), that the metrics report carries queue depth and a
+solved/s figure, and that `shutdown` answers `bye` with exit code 0.
+
+Usage: daemon_smoke.py <chc_serve-binary> <smt2-corpus-dir>
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import threading
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+class Daemon:
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary, "--workers", "8", "--budget", "120"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+        self.watchdog = threading.Timer(300, self.proc.kill)
+        self.watchdog.start()
+
+    def send(self, line):
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def read_until(self, count=None, sentinel=None):
+        """Collects response lines until `count` completions (ok/error/
+        rejected/expired) arrive, or a line starting with `sentinel`."""
+        got = []
+        while True:
+            line = self.proc.stdout.readline()
+            if not line:
+                fail(f"daemon closed stdout early; got so far: {got}")
+            line = line.strip()
+            if not line:
+                continue
+            got.append(line)
+            if sentinel is not None and line.startswith(sentinel):
+                return got
+            if count is not None and len(got) == count:
+                return got
+
+    def finish(self):
+        self.send("shutdown")
+        tail = self.read_until(sentinel="bye")
+        self.proc.stdin.close()
+        code = self.proc.wait()
+        self.watchdog.cancel()
+        if code != 0:
+            fail(f"daemon exited {code}")
+        return tail
+
+
+def check_wave(lines, expected, want_cached):
+    verdicts, cached = {}, {}
+    for line in lines:
+        words = line.split()
+        if words[0] != "ok":
+            fail(f"unexpected response: {line}")
+        verdicts[words[1]] = words[2]
+        cached[words[1]] = "cached=1" in words
+    missing = sorted(set(expected) - set(verdicts))
+    if missing:
+        fail(f"no response for: {missing}")
+    for rid, safe in sorted(expected.items()):
+        want = "sat" if safe else "unsat"
+        if verdicts[rid] != want:
+            fail(f"{rid}: got {verdicts[rid]}, want {want}")
+        if want_cached and not cached[rid]:
+            fail(f"{rid}: expected a cache hit on the repeat request")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <chc_serve-binary> <smt2-corpus-dir>")
+    binary, corpus = sys.argv[1], sys.argv[2]
+
+    benchmarks = sorted(glob.glob(os.path.join(corpus, "*.smt2")))
+    if len(benchmarks) < 8:
+        fail(f"expected at least 8 .smt2 benchmarks in {corpus}, "
+             f"found {len(benchmarks)}")
+
+    daemon = Daemon(binary)
+    for wave in (1, 2):
+        expected = {}
+        for path in benchmarks:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            rid = f"{stem}@{wave}"
+            expected[rid] = not stem.endswith("_unsafe")
+            daemon.send(f"solve {rid} {path} budget=60")
+        check_wave(daemon.read_until(count=len(expected)), expected,
+                   want_cached=(wave == 2))
+
+    daemon.send("metrics")
+    metrics_line = daemon.read_until(sentinel="metrics ")[-1]
+    metrics = json.loads(metrics_line.split(" ", 1)[1])
+    for key in ("queue_depth", "solved_per_second", "submitted",
+                "cache_hits", "engine_wins"):
+        if key not in metrics:
+            fail(f"metrics response lacks '{key}': {metrics}")
+    if metrics["submitted"] < 2 * len(benchmarks):
+        fail(f"metrics submitted={metrics['submitted']} too low")
+    if metrics["cache_hits"] < len(benchmarks):
+        fail(f"metrics cache_hits={metrics['cache_hits']} too low")
+
+    daemon.finish()
+    print(f"OK: {2 * len(benchmarks)} requests over 8 workers, "
+          f"{metrics['cache_hits']} cache hits, "
+          f"{metrics['solved_per_second']:.2f} solved/s reported")
+
+
+if __name__ == "__main__":
+    main()

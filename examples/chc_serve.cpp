@@ -1,0 +1,63 @@
+//===- examples/chc_serve.cpp - Solver-as-a-service daemon ----------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+// The solver daemon: a thread pool serving solve requests over a stdin/
+// stdout line protocol (see server/Daemon.h for the grammar):
+//
+//   $ ./chc_serve --workers 8 --queue 64 --budget 30
+//   solve job1 benchmarks/counter.smt2 engine=portfolio budget=10
+//   metrics
+//   shutdown
+//
+// Responses arrive as jobs finish, tagged with the client-chosen id, so
+// many requests can be in flight at once. A full queue answers
+// `rejected <id> retry-after=<seconds>` instead of buffering unboundedly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RegisterEngines.h"
+#include "server/Daemon.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+using namespace la;
+
+int main(int Argc, char **Argv) {
+  baselines::registerBuiltinEngines();
+
+  server::DaemonOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    auto FlagValue = [&](const char *Flag) -> const char * {
+      if (strcmp(Argv[I], Flag) != 0)
+        return nullptr;
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "error: %s needs a value\n", Flag);
+        exit(2);
+      }
+      return Argv[++I];
+    };
+    if (const char *V = FlagValue("--workers")) {
+      Opts.Service.Workers = static_cast<size_t>(std::atol(V));
+    } else if (const char *V = FlagValue("--queue")) {
+      Opts.Service.QueueCapacity = static_cast<size_t>(std::atol(V));
+    } else if (const char *V = FlagValue("--budget")) {
+      Opts.DefaultBudgetSeconds = std::atof(V);
+    } else if (const char *V = FlagValue("--cache")) {
+      Opts.Service.CacheCapacity = static_cast<size_t>(std::atol(V));
+    } else {
+      fprintf(stderr,
+              "usage: %s [--workers N] [--queue N] [--budget SECONDS] "
+              "[--cache N]\n",
+              Argv[0]);
+      return 2;
+    }
+  }
+
+  size_t Accepted = server::runDaemon(std::cin, std::cout, Opts);
+  fprintf(stderr, "; served %zu requests\n", Accepted);
+  return 0;
+}

@@ -1,17 +1,25 @@
-//===- examples/solve_chc_file.cpp - SMT-LIB2 HORN command-line solver ----===//
+//===- examples/solve_chc_file.cpp - Command-line CHC solver --------------===//
 //
 // Part of the LinearArbitrary reproduction. MIT license.
 //
-// A command-line CHC solver for SMT-LIB2 HORN files (the CHC-COMP exchange
-// format restricted to linear integer arithmetic):
+// The command-line driver over the façade's request API. Solves SMT-LIB2
+// HORN files (the CHC-COMP exchange format restricted to linear integer
+// arithmetic) and mini-C programs, auto-detecting the format:
 //
-//   $ ./solve_chc_file file.smt2 [timeout-seconds] [engine]
+//   $ ./solve_chc_file file.smt2
+//   $ ./solve_chc_file program.c --engine portfolio --budget 30
+//   $ ./solve_chc_file input.txt --format smt2
 //
-// where engine is any registered solver id: la (default), portfolio,
-// analysis, spacer, gpdr, duality, interpolation, pie, dig, ... Prints
-// sat/unsat/unknown plus the witness, mirroring `z3 fp.engine=spacer
-// file.smt2` usage. "portfolio" races the registered engines in parallel
-// and reports the first definitive answer.
+// Flags (the old positional form `file [timeout] [engine]` still works):
+//
+//   --format auto|smt2|mini-c   input language (default: auto-detect)
+//   --engine <id>               registry engine id: la (default),
+//                               portfolio, analysis, spacer, gpdr, ...
+//   --budget <seconds>          wall-clock budget (default 60)
+//
+// Prints sat/unsat/unknown plus the witness, mirroring `z3
+// fp.engine=spacer file.smt2` usage. "portfolio" races the registered
+// engines in parallel and reports the first definitive answer.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,41 +28,89 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace la;
 using namespace la::chc;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::string Ids;
+  for (const std::string &Id : solver::SolverRegistry::global().ids())
+    Ids += (Ids.empty() ? "" : "|") + Id;
+  fprintf(stderr,
+          "usage: %s <file> [--format auto|smt2|mini-c] [--engine %s]\n"
+          "       %*s [--budget seconds]\n"
+          "   or: %s <file> [timeout-seconds] [engine]   (legacy form)\n",
+          Prog, Ids.c_str(), static_cast<int>(strlen(Prog)), "", Prog);
+  return 2;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   // Make the baseline engines (pdr/spacer, unwind/duality, pie, dig, ...)
   // available by name next to the built-in la/analysis/portfolio.
   baselines::registerBuiltinEngines();
 
-  if (Argc < 2) {
-    std::string Ids;
-    for (const std::string &Id : solver::SolverRegistry::global().ids())
-      Ids += (Ids.empty() ? "" : "|") + Id;
-    fprintf(stderr, "usage: %s file.smt2 [timeout-seconds] [%s]\n", Argv[0],
-            Ids.c_str());
-    return 2;
+  solver::SolveRequest Request;
+  Request.Options.Limits.WallSeconds = 60;
+  Request.Options.Solver.Learn.ModFeatures = {2, 3}; // generic mod features
+
+  int Positional = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto FlagValue = [&](const char *Flag) -> const char * {
+      if (Arg != Flag)
+        return nullptr;
+      if (I + 1 >= Argc) {
+        fprintf(stderr, "error: %s needs a value\n", Flag);
+        exit(2);
+      }
+      return Argv[++I];
+    };
+    if (const char *V = FlagValue("--format")) {
+      std::optional<solver::SourceFormat> F = solver::parseSourceFormat(V);
+      if (!F) {
+        fprintf(stderr, "error: unknown format '%s'\n", V);
+        return 2;
+      }
+      Request.Format = *F;
+    } else if (const char *V = FlagValue("--engine")) {
+      Request.Options.Engine = V;
+    } else if (const char *V = FlagValue("--budget")) {
+      Request.Options.Limits.WallSeconds = std::atof(V);
+    } else if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
+      fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else {
+      // Legacy positionals: file, then timeout seconds, then engine id.
+      if (Positional == 0)
+        Request.Path = Arg;
+      else if (Positional == 1)
+        Request.Options.Limits.WallSeconds = std::atof(Arg.c_str());
+      else if (Positional == 2)
+        Request.Options.Engine = Arg;
+      else
+        return usage(Argv[0]);
+      ++Positional;
+    }
   }
-  double Timeout = Argc > 2 ? std::atof(Argv[2]) : 60.0;
-  std::string Engine = Argc > 3 ? Argv[3] : "la";
+  if (Request.Path.empty())
+    return usage(Argv[0]);
 
-  // The façade owns file I/O, parsing, engine construction (through the
-  // registry) and model validation; this driver only picks the engine id.
-  solver::SolveOptions Opts;
-  Opts.Limits.WallSeconds = Timeout;
-  Opts.Engine = Engine;
-  Opts.Solver.Learn.ModFeatures = {2, 3}; // generic "a priori" mod features
-
-  solver::SolveResult S = solver::solveFile(Argv[1], Opts);
+  // The façade owns file I/O, format detection, parsing, engine
+  // construction (through the registry) and model validation; this driver
+  // only fills in the request.
+  solver::SolveResult S = solver::solve(Request);
   if (!S.Ok) {
     fprintf(stderr, "error: %s\n", S.Error.c_str());
     return 2;
   }
-  fprintf(stderr, "; %zu clauses, %zu predicates, %s, solver=%s\n", S.Clauses,
-          S.Predicates, S.Recursive ? "recursive" : "non-recursive",
-          S.SolverName.c_str());
+  fprintf(stderr, "; %zu clauses, %zu predicates, %s, format=%s, solver=%s\n",
+          S.Clauses, S.Predicates, S.Recursive ? "recursive" : "non-recursive",
+          solver::toString(S.Format), S.SolverName.c_str());
   printf("%s\n", toString(S.Status));
   fprintf(stderr, "; stats: %s\n", S.Solver.summary().c_str());
   for (const analysis::PassStats &Pass : S.AnalysisPasses)

@@ -39,8 +39,8 @@ inline const char *toString(ChcResult R) {
   return "?";
 }
 
-/// Shared solver bookkeeping for the evaluation harness.
-struct SolveStats {
+/// Shared per-engine bookkeeping for the evaluation harness.
+struct EngineStats {
   size_t SmtQueries = 0;
   size_t Samples = 0; ///< #S column of the paper's tables
   size_t Iterations = 0;
@@ -84,7 +84,7 @@ struct ChcSolverResult {
   Interpretation Interp;
   /// Refutation when Status == Unsat (not all baselines produce one).
   std::optional<Counterexample> Cex;
-  SolveStats Stats;
+  EngineStats Stats;
 };
 
 /// Interface implemented by every solver so benches can swap them.

@@ -39,7 +39,7 @@ struct RunOutcome {
   /// True when the verdict contradicts the ground truth or a witness failed
   /// to validate -- this must never happen and the harness reports it loudly.
   bool Unsound = false;
-  chc::SolveStats Stats;
+  chc::EngineStats Stats;
   size_t NumClauses = 0;
   size_t NumPredicates = 0;
   size_t NumVariables = 0; ///< #V: distinct variables in the clause system

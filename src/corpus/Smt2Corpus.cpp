@@ -1,0 +1,48 @@
+//===- corpus/Smt2Corpus.cpp - Bundled SMT-LIB2 HORN benchmarks -----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Smt2Corpus.h"
+
+#ifndef LA_SMT2_CORPUS_DIR
+#error "LA_SMT2_CORPUS_DIR must point at src/corpus/smt2 (set by CMake)"
+#endif
+
+using namespace la::corpus;
+
+const std::vector<Smt2Benchmark> &la::corpus::smt2Benchmarks() {
+  static const std::vector<Smt2Benchmark> Benchmarks = [] {
+    std::vector<Smt2Benchmark> Out;
+    auto Add = [&Out](const char *Name, bool Safe, const char *MiniC,
+                      bool MultiPred, bool Nonlinear) {
+      Smt2Benchmark B;
+      B.Name = Name;
+      B.Path = std::string(LA_SMT2_CORPUS_DIR) + "/" + Name + ".smt2";
+      B.ExpectedSafe = Safe;
+      B.MiniCEquivalent = MiniC;
+      B.MultiPredicate = MultiPred;
+      B.NonlinearHorn = Nonlinear;
+      Out.push_back(std::move(B));
+    };
+    Add("fig1_safe", true, "paper_fig1", false, false);
+    Add("fig1_unsafe", false, "paper_fig1_unsafe", false, false);
+    Add("counter_safe", true, "", false, false);
+    Add("two_phase_safe", true, "", true, false);
+    Add("multi_pred_unsafe", false, "", true, false);
+    Add("nonlinear_horn_safe", true, "", false, true);
+    Add("nonlinear_horn_unsafe", false, "", false, true);
+    Add("bool_flag_safe", true, "", false, false);
+    Add("let_ite_safe", true, "", false, false);
+    return Out;
+  }();
+  return Benchmarks;
+}
+
+const Smt2Benchmark *la::corpus::findSmt2(const std::string &Name) {
+  for (const Smt2Benchmark &B : smt2Benchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

@@ -1,0 +1,44 @@
+//===- corpus/Smt2Corpus.h - Bundled SMT-LIB2 HORN benchmarks ---*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of the CHC-COMP-style `.smt2` benchmarks bundled under
+/// `src/corpus/smt2/`. Unlike the mini-C corpus these are files on disk
+/// (the exchange format is the point), so each entry carries the absolute
+/// path baked in at configure time. Entries that restate a mini-C corpus
+/// program name it, so tests can check the two front ends agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_CORPUS_SMT2CORPUS_H
+#define LA_CORPUS_SMT2CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace la::corpus {
+
+/// One bundled `.smt2` benchmark.
+struct Smt2Benchmark {
+  std::string Name;     ///< File stem, e.g. "fig1_safe".
+  std::string Path;     ///< Absolute path into the source tree.
+  bool ExpectedSafe;    ///< Ground truth: true = sat, false = unsat.
+  /// Name of the mini-C corpus program this file restates ("" when the
+  /// shape is not expressible in mini-C, e.g. nonlinear Horn).
+  std::string MiniCEquivalent;
+  bool MultiPredicate = false;
+  bool NonlinearHorn = false; ///< Some clause has >= 2 body applications.
+};
+
+/// All bundled benchmarks, in a fixed order.
+const std::vector<Smt2Benchmark> &smt2Benchmarks();
+
+/// Finds a benchmark by name (null when absent).
+const Smt2Benchmark *findSmt2(const std::string &Name);
+
+} // namespace la::corpus
+
+#endif // LA_CORPUS_SMT2CORPUS_H

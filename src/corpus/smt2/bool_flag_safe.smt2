@@ -1,0 +1,9 @@
+; A Bool-sorted predicate argument (CHC-COMP allows Bool columns): a counter
+; with a toggling flag. Safety only concerns the counter. Expected: sat.
+(set-logic HORN)
+(declare-fun inv (Int Bool) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (inv x false))))
+(assert (forall ((x Int) (flag Bool) (y Int))
+  (=> (and (inv x flag) (= y (+ x 1))) (inv y (not flag)))))
+(assert (forall ((x Int) (flag Bool)) (=> (inv x flag) (>= x 0))))
+(check-sat)

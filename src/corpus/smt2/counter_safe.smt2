@@ -1,0 +1,9 @@
+; A bounded counter: n=0; while (n < 10) n++; assert n <= 10.
+; Expected: sat (safe); the invariant 0 <= n <= 10 is inductive.
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+(check-sat)

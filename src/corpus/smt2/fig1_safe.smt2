@@ -1,0 +1,11 @@
+; Paper Fig. 1 as CHC-COMP HORN: x=1, y=0; loop { x += y; y++ }; assert x >= y.
+; Mini-C equivalent: corpus program "paper_fig1". Expected: sat (safe).
+(set-logic HORN)
+(declare-fun inv (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (inv x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (inv x y) (= x1 (+ x y)) (= y1 (+ y 1))) (inv x1 y1))))
+(assert (forall ((x Int) (y Int))
+  (=> (inv x y) (>= x y))))
+(check-sat)

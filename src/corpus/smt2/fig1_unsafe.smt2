@@ -1,0 +1,12 @@
+; Paper Fig. 1 with the assertion strengthened to x > y, which the initial
+; state x=1, y=0 satisfies but y=1, x=1 refutes after one iteration.
+; Mini-C equivalent: corpus program "paper_fig1_unsafe". Expected: unsat.
+(set-logic HORN)
+(declare-fun inv (Int Int) Bool)
+(assert (forall ((x Int) (y Int))
+  (=> (and (= x 1) (= y 0)) (inv x y))))
+(assert (forall ((x Int) (y Int) (x1 Int) (y1 Int))
+  (=> (and (inv x y) (= x1 (+ x y)) (= y1 (+ y 1))) (inv x1 y1))))
+(assert (forall ((x Int) (y Int))
+  (=> (inv x y) (> x y))))
+(check-sat)

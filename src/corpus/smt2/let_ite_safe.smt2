@@ -1,0 +1,13 @@
+; Exercises let-bindings and integer ite: a counts up by 2 below 5 and by 1
+; above, b counts up by 1, so a >= b is preserved. Expected: sat (safe).
+(set-logic HORN)
+(declare-fun inv (Int Int) Bool)
+(assert (forall ((a Int) (b Int))
+  (=> (and (= a 0) (= b 0)) (inv a b))))
+(assert (forall ((a Int) (b Int) (a1 Int) (b1 Int))
+  (=> (and (inv a b)
+           (let ((step (ite (< a 5) 2 1)))
+             (and (= a1 (+ a step)) (= b1 (+ b 1)))))
+      (inv a1 b1))))
+(assert (forall ((a Int) (b Int)) (=> (inv a b) (>= a b))))
+(check-sat)

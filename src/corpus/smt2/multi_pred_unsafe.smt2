@@ -1,0 +1,14 @@
+; The two-phase counter with a wrong assertion: "down" is claimed to stay
+; strictly positive, but it counts all the way to 0.
+; Multi-predicate benchmark. Expected: unsat (unsafe).
+(set-logic HORN)
+(declare-fun up (Int) Bool)
+(declare-fun down (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (up x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (up x) (< x 5) (= y (+ x 1))) (up y))))
+(assert (forall ((x Int)) (=> (and (up x) (>= x 5)) (down x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (down x) (> x 0) (= y (- x 1))) (down y))))
+(assert (forall ((x Int)) (=> (down x) (> x 0))))
+(check-sat)

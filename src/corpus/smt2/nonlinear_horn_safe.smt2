@@ -1,0 +1,11 @@
+; Nonlinear Horn (two predicate applications in one body): a tree-shaped
+; recursion f(n) = f(n-1) + f(n-1) + 1 with f(n<=0) = 0; its result is
+; never negative. Expected: sat (safe); f(n,r) -> r >= 0 is inductive.
+(set-logic HORN)
+(declare-fun f (Int Int) Bool)
+(assert (forall ((n Int)) (=> (<= n 0) (f n 0))))
+(assert (forall ((n Int) (a Int) (b Int))
+  (=> (and (> n 0) (f (- n 1) a) (f (- n 1) b))
+      (f n (+ a (+ b 1))))))
+(assert (forall ((n Int) (r Int)) (=> (f n r) (>= r 0))))
+(check-sat)

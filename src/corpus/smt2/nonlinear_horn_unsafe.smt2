@@ -1,0 +1,10 @@
+; Nonlinear Horn, unsafe variant: the claim r < n is already refuted by the
+; base case f(0, 0). Expected: unsat (unsafe).
+(set-logic HORN)
+(declare-fun f (Int Int) Bool)
+(assert (forall ((n Int)) (=> (<= n 0) (f n 0))))
+(assert (forall ((n Int) (a Int) (b Int))
+  (=> (and (> n 0) (f (- n 1) a) (f (- n 1) b))
+      (f n (+ a (+ b 1))))))
+(assert (forall ((n Int) (r Int)) (=> (f n r) (< r n))))
+(check-sat)

@@ -1,0 +1,15 @@
+; Two-phase counter over two predicates: "up" counts 0..5, control moves to
+; "down" at 5, which counts back to 0. Safety: up stays <= 5, down stays >= 0.
+; Multi-predicate benchmark. Expected: sat (safe).
+(set-logic HORN)
+(declare-fun up (Int) Bool)
+(declare-fun down (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (up x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (up x) (< x 5) (= y (+ x 1))) (up y))))
+(assert (forall ((x Int)) (=> (and (up x) (>= x 5)) (down x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (down x) (> x 0) (= y (- x 1))) (down y))))
+(assert (forall ((x Int)) (=> (up x) (<= x 5))))
+(assert (forall ((x Int)) (=> (down x) (>= x 0))))
+(check-sat)

@@ -31,7 +31,7 @@ public:
     skipTrivia();
     while (Pos < Text.size()) {
       SExpr Node;
-      if (!parseNode(Node, Result.Error)) {
+      if (!parseNode(Node, Result)) {
         Result.Ok = false;
         return Result;
       }
@@ -42,11 +42,19 @@ public:
   }
 
 private:
+  /// 1-based column of the current position.
+  size_t col() const { return Pos - LineStart + 1; }
+
+  void advanceLine() {
+    ++Line;
+    LineStart = Pos + 1;
+  }
+
   void skipTrivia() {
     while (Pos < Text.size()) {
       char C = Text[Pos];
       if (C == '\n') {
-        ++Line;
+        advanceLine();
         ++Pos;
       } else if (C == ' ' || C == '\t' || C == '\r') {
         ++Pos;
@@ -59,47 +67,57 @@ private:
     }
   }
 
-  bool parseNode(SExpr &Out, std::string &Error) {
+  bool fail(SExprParseResult &Result, const std::string &Message) {
+    Result.ErrLine = Line;
+    Result.ErrCol = col();
+    Result.Error = "line " + std::to_string(Line) + ": " + Message;
+    return false;
+  }
+
+  bool parseNode(SExpr &Out, SExprParseResult &Result) {
     skipTrivia();
     Out.Line = Line;
-    if (Pos >= Text.size()) {
-      Error = "line " + std::to_string(Line) + ": unexpected end of input";
-      return false;
-    }
+    Out.Col = col();
+    if (Pos >= Text.size())
+      return fail(Result, "unexpected end of input");
     char C = Text[Pos];
     if (C == '(') {
       ++Pos;
       Out.IsAtom = false;
       for (;;) {
         skipTrivia();
-        if (Pos >= Text.size()) {
-          Error = "line " + std::to_string(Line) + ": unterminated list";
-          return false;
-        }
+        if (Pos >= Text.size())
+          return fail(Result, "unterminated list");
         if (Text[Pos] == ')') {
           ++Pos;
           return true;
         }
         SExpr Child;
-        if (!parseNode(Child, Error))
+        if (!parseNode(Child, Result))
           return false;
         Out.Items.push_back(std::move(Child));
       }
     }
-    if (C == ')') {
-      Error = "line " + std::to_string(Line) + ": unexpected ')'";
-      return false;
-    }
+    if (C == ')')
+      return fail(Result, "unexpected ')'");
     if (C == '|') {
-      // Quoted symbol.
-      size_t End = Text.find('|', Pos + 1);
-      if (End == std::string::npos) {
-        Error = "line " + std::to_string(Line) + ": unterminated |symbol|";
-        return false;
+      // Quoted symbol; may span lines, so keep the line counter honest.
+      size_t End = Pos + 1;
+      size_t QuoteLine = Line, QuoteLineStart = LineStart;
+      while (End < Text.size() && Text[End] != '|') {
+        if (Text[End] == '\n') {
+          ++QuoteLine;
+          QuoteLineStart = End + 1;
+        }
+        ++End;
       }
+      if (End >= Text.size())
+        return fail(Result, "unterminated |symbol|");
       Out.IsAtom = true;
       Out.Atom = Text.substr(Pos + 1, End - Pos - 1);
       Pos = End + 1;
+      Line = QuoteLine;
+      LineStart = QuoteLineStart;
       return true;
     }
     // Plain atom.
@@ -119,6 +137,7 @@ private:
   const std::string &Text;
   size_t Pos = 0;
   size_t Line = 1;
+  size_t LineStart = 0;
 };
 
 } // namespace

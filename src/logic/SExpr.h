@@ -25,6 +25,7 @@ struct SExpr {
   std::string Atom;               ///< Valid when IsAtom.
   std::vector<SExpr> Items;       ///< Valid when !IsAtom.
   size_t Line = 0;                ///< 1-based source line for diagnostics.
+  size_t Col = 0;                 ///< 1-based source column for diagnostics.
 
   bool isAtom(const std::string &Text) const {
     return IsAtom && Atom == Text;
@@ -41,6 +42,8 @@ struct SExprParseResult {
   std::vector<SExpr> TopLevel;
   bool Ok = true;
   std::string Error;  ///< Message in "line N: ..." style when !Ok.
+  size_t ErrLine = 0; ///< 1-based error location when !Ok (for callers that
+  size_t ErrCol = 0;  ///< render their own located diagnostics).
 };
 
 /// Parses the given text into a sequence of top-level S-expressions.

@@ -1,0 +1,232 @@
+//===- server/Daemon.cpp - Line-protocol solver daemon --------------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Daemon.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+using namespace la;
+using namespace la::server;
+
+namespace {
+
+/// Serialises response lines: worker threads push completions while the
+/// main thread answers `metrics` and rejections.
+class ResponseWriter {
+public:
+  explicit ResponseWriter(std::ostream &Out) : Out(Out) {}
+
+  void line(const std::string &S) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out << S << '\n';
+    Out.flush();
+  }
+
+private:
+  std::mutex Mutex;
+  std::ostream &Out;
+};
+
+/// Renders one completed job as a response line.
+std::string renderCompletion(const std::string &ClientId,
+                             const JobResult &R) {
+  if (R.ExpiredInQueue)
+    return "expired " + ClientId;
+  if (!R.Result.Ok)
+    return "error " + ClientId + " " + R.Result.Error;
+  char Buf[160];
+  snprintf(Buf, sizeof(Buf),
+           " engine=%s format=%s seconds=%.3f queued=%.3f cached=%d "
+           "validated=%d",
+           R.Result.SolverName.empty() ? "?" : R.Result.SolverName.c_str(),
+           solver::toString(R.Result.Format), R.RunSeconds, R.QueueSeconds,
+           R.CacheHit ? 1 : 0, R.Result.ModelValidated ? 1 : 0);
+  return "ok " + ClientId + " " + chc::toString(R.Result.Status) + Buf;
+}
+
+/// `key=value` request options; unknown keys are an error (a typo like
+/// `budjet=5` silently solving with the default budget would be worse).
+bool applyOption(const std::string &Word, solver::SolveRequest &Request,
+                 std::string &Error) {
+  size_t Eq = Word.find('=');
+  if (Eq == std::string::npos) {
+    Error = "malformed option '" + Word + "' (want key=value)";
+    return false;
+  }
+  std::string Key = Word.substr(0, Eq), Value = Word.substr(Eq + 1);
+  if (Key == "engine") {
+    Request.Options.Engine = Value;
+    return true;
+  }
+  if (Key == "budget") {
+    char *End = nullptr;
+    double Seconds = std::strtod(Value.c_str(), &End);
+    if (End == Value.c_str() || *End != '\0' || Seconds <= 0) {
+      Error = "bad budget '" + Value + "'";
+      return false;
+    }
+    Request.Options.Limits.WallSeconds = Seconds;
+    return true;
+  }
+  if (Key == "format") {
+    std::optional<solver::SourceFormat> F = solver::parseSourceFormat(Value);
+    if (!F) {
+      Error = "unknown format '" + Value + "'";
+      return false;
+    }
+    Request.Format = *F;
+    return true;
+  }
+  Error = "unknown option '" + Key + "'";
+  return false;
+}
+
+} // namespace
+
+size_t server::runDaemon(std::istream &In, std::ostream &Out,
+                         const DaemonOptions &Opts) {
+  ResponseWriter Writer(Out);
+
+  // Service job ids -> client-chosen tokens, for rendering completions.
+  std::mutex IdMutex;
+  std::unordered_map<uint64_t, std::string> ClientIds;
+
+  ServiceOptions SO = Opts.Service;
+  SO.DefaultLimits.WallSeconds = Opts.DefaultBudgetSeconds;
+  SO.OnComplete = [&](const JobResult &R) {
+    std::string ClientId;
+    {
+      std::lock_guard<std::mutex> Lock(IdMutex);
+      auto It = ClientIds.find(R.Id);
+      if (It == ClientIds.end())
+        return; // Claimed by the submit path (fast completion race).
+      ClientId = It->second;
+      ClientIds.erase(It);
+    }
+    Writer.line(renderCompletion(ClientId, R));
+  };
+  SolverService Service(SO);
+
+  size_t Accepted = 0;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream Words(Line);
+    std::string Command;
+    if (!(Words >> Command) || Command[0] == '#')
+      continue; // Blank lines and comments.
+
+    if (Command == "shutdown")
+      break;
+
+    if (Command == "metrics") {
+      Writer.line("metrics " + Service.metrics().json());
+      continue;
+    }
+
+    if (Command == "cancel") {
+      std::string ClientId;
+      if (!(Words >> ClientId)) {
+        Writer.line("error ? cancel needs an id");
+        continue;
+      }
+      // Ids are client tokens; find the matching live service id.
+      uint64_t ServiceId = 0;
+      {
+        std::lock_guard<std::mutex> Lock(IdMutex);
+        for (const auto &[Sid, Cid] : ClientIds)
+          if (Cid == ClientId) {
+            ServiceId = Sid;
+            break;
+          }
+      }
+      if (ServiceId == 0 || !Service.cancel(ServiceId))
+        Writer.line("error " + ClientId + " not a live job");
+      continue;
+    }
+
+    if (Command == "solve" || Command == "solve-inline") {
+      std::string ClientId;
+      if (!(Words >> ClientId)) {
+        Writer.line("error ? " + Command + " needs an id");
+        continue;
+      }
+      solver::SolveRequest Request;
+      std::string OptionError;
+      bool OptionsOk = true;
+      std::string Word;
+      if (Command == "solve") {
+        if (!(Words >> Request.Path)) {
+          Writer.line("error " + ClientId + " solve needs a path");
+          continue;
+        }
+      }
+      while (Words >> Word)
+        if (!applyOption(Word, Request, OptionError)) {
+          OptionsOk = false;
+          break;
+        }
+      if (Command == "solve-inline") {
+        // Source lines follow, terminated by a lone `.` line. Read them
+        // even on an option error so the stream stays in sync.
+        std::string Source, SourceLine;
+        while (std::getline(In, SourceLine) && SourceLine != ".") {
+          Source += SourceLine;
+          Source += '\n';
+        }
+        Request.Source = std::move(Source);
+      }
+      if (!OptionsOk) {
+        Writer.line("error " + ClientId + " " + OptionError);
+        continue;
+      }
+
+      Ticket T = Service.submit(std::move(Request));
+      if (T.Status == SubmitStatus::QueueFull) {
+        char Buf[64];
+        snprintf(Buf, sizeof(Buf), " retry-after=%.1f", T.RetryAfterSeconds);
+        Writer.line("rejected " + ClientId + Buf);
+        continue;
+      }
+      if (T.Status == SubmitStatus::ShuttingDown) {
+        Writer.line("error " + ClientId + " shutting down");
+        continue;
+      }
+      ++Accepted;
+      // The job may already be done (cache hit, or a worker beat us
+      // here); whoever finds the client id in the map renders the
+      // response — the map entry is claimed exactly once.
+      {
+        std::lock_guard<std::mutex> Lock(IdMutex);
+        ClientIds[T.Id] = ClientId;
+      }
+      if (T.Result.wait_for(std::chrono::seconds(0)) ==
+          std::future_status::ready) {
+        bool Claimed = false;
+        {
+          std::lock_guard<std::mutex> Lock(IdMutex);
+          Claimed = ClientIds.erase(T.Id) > 0;
+        }
+        if (Claimed)
+          Writer.line(renderCompletion(ClientId, T.Result.get()));
+      }
+      continue;
+    }
+
+    Writer.line("error ? unknown command '" + Command + "'");
+  }
+
+  Service.shutdown(/*Drain=*/true);
+  Writer.line("bye");
+  return Accepted;
+}

@@ -1,0 +1,65 @@
+//===- server/Daemon.h - Line-protocol solver daemon ------------*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A transport-agnostic line protocol over a `SolverService`, driven by an
+/// istream/ostream pair: the `chc-serve` binary wires it to stdin/stdout,
+/// tests wire it to stringstreams.
+///
+/// Requests, one per line:
+///
+///   solve <id> <path> [engine=E] [budget=SECONDS] [format=F]
+///   solve-inline <id> [engine=E] [budget=SECONDS] [format=F]
+///     ...source lines...
+///     .
+///   cancel <id>
+///   metrics
+///   shutdown
+///
+/// `<id>` is a client-chosen token echoed back in the response, so clients
+/// can pipeline requests and match answers arriving out of submission
+/// order. Responses, one per line, written as jobs complete:
+///
+///   ok <id> <sat|unsat|unknown> engine=<name> format=<fmt> seconds=<s>
+///      queued=<s> cached=<0|1> validated=<0|1>
+///   rejected <id> retry-after=<seconds>     (backpressure: resubmit later)
+///   expired <id>                            (budget ran out in the queue)
+///   error <id> <message>
+///   metrics <json object>
+///   bye                                     (response to shutdown; the
+///                                            queue is drained first)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SERVER_DAEMON_H
+#define LA_SERVER_DAEMON_H
+
+#include "server/SolverService.h"
+
+#include <iosfwd>
+
+namespace la::server {
+
+/// Configuration of one daemon run.
+struct DaemonOptions {
+  /// Service sizing and defaults; `Service.OnComplete` is owned by the
+  /// daemon and must stay empty.
+  ServiceOptions Service;
+  /// Budget applied to requests that send no `budget=`; copied into
+  /// `Service.DefaultLimits`.
+  double DefaultBudgetSeconds = 60;
+};
+
+/// Runs the protocol until `shutdown` or end of input, then drains the
+/// service. Responses are interleaved with request reading (jobs complete
+/// asynchronously); every response is flushed. Returns the number of
+/// `solve`/`solve-inline` requests accepted.
+size_t runDaemon(std::istream &In, std::ostream &Out,
+                 const DaemonOptions &Opts = {});
+
+} // namespace la::server
+
+#endif // LA_SERVER_DAEMON_H

@@ -1,0 +1,413 @@
+//===- server/SolverService.cpp - Solver-as-a-service scheduler -----------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SolverService.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace la;
+using namespace la::server;
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double secondsBetween(Clock::time_point From, Clock::time_point To) {
+  return std::chrono::duration<double>(To - From).count();
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Metrics rendering
+//===----------------------------------------------------------------------===//
+
+std::string ServiceMetrics::report() const {
+  char Buf[512];
+  std::string Out;
+  snprintf(Buf, sizeof(Buf),
+           "uptime %.1fs  workers %zu  queue %zu/%zu  in-flight %zu\n",
+           UptimeSeconds, Workers, QueueDepth, QueueCapacity, InFlight);
+  Out += Buf;
+  snprintf(Buf, sizeof(Buf),
+           "submitted %llu  rejected %llu  completed %llu  solved/s %.2f\n",
+           static_cast<unsigned long long>(Submitted),
+           static_cast<unsigned long long>(Rejected),
+           static_cast<unsigned long long>(Completed), SolvedPerSecond);
+  Out += Buf;
+  snprintf(Buf, sizeof(Buf),
+           "verdicts: sat %llu  unsat %llu  unknown %llu  errors %llu  "
+           "expired-in-queue %llu\n",
+           static_cast<unsigned long long>(SolvedSat),
+           static_cast<unsigned long long>(SolvedUnsat),
+           static_cast<unsigned long long>(Unknown),
+           static_cast<unsigned long long>(Errors),
+           static_cast<unsigned long long>(ExpiredInQueue));
+  Out += Buf;
+  snprintf(Buf, sizeof(Buf), "cache: hits %llu  misses %llu\n",
+           static_cast<unsigned long long>(CacheHits),
+           static_cast<unsigned long long>(CacheMisses));
+  Out += Buf;
+  Out += "engine wins:";
+  if (EngineWins.empty())
+    Out += " (none)";
+  for (const auto &[Engine, Wins] : EngineWins) {
+    snprintf(Buf, sizeof(Buf), " %s %llu", Engine.c_str(),
+             static_cast<unsigned long long>(Wins));
+    Out += Buf;
+  }
+  Out += '\n';
+  return Out;
+}
+
+std::string ServiceMetrics::json() const {
+  char Buf[640];
+  snprintf(Buf, sizeof(Buf),
+           "{\"uptime_seconds\":%.3f,\"workers\":%zu,\"queue_depth\":%zu,"
+           "\"queue_capacity\":%zu,\"in_flight\":%zu,\"submitted\":%llu,"
+           "\"rejected\":%llu,\"completed\":%llu,\"solved_per_second\":%.3f,"
+           "\"sat\":%llu,\"unsat\":%llu,\"unknown\":%llu,\"errors\":%llu,"
+           "\"expired_in_queue\":%llu,\"cache_hits\":%llu,"
+           "\"cache_misses\":%llu,\"engine_wins\":{",
+           UptimeSeconds, Workers, QueueDepth, QueueCapacity, InFlight,
+           static_cast<unsigned long long>(Submitted),
+           static_cast<unsigned long long>(Rejected),
+           static_cast<unsigned long long>(Completed), SolvedPerSecond,
+           static_cast<unsigned long long>(SolvedSat),
+           static_cast<unsigned long long>(SolvedUnsat),
+           static_cast<unsigned long long>(Unknown),
+           static_cast<unsigned long long>(Errors),
+           static_cast<unsigned long long>(ExpiredInQueue),
+           static_cast<unsigned long long>(CacheHits),
+           static_cast<unsigned long long>(CacheMisses));
+  std::string Out = Buf;
+  bool First = true;
+  for (const auto &[Engine, Wins] : EngineWins) {
+    snprintf(Buf, sizeof(Buf), "%s\"%s\":%llu", First ? "" : ",",
+             Engine.c_str(), static_cast<unsigned long long>(Wins));
+    Out += Buf;
+    First = false;
+  }
+  Out += "}}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// SolverService
+//===----------------------------------------------------------------------===//
+
+/// One queued unit of work. The service's per-job cancellation token is
+/// installed into the request so `cancel(id)` and non-drain shutdown reach
+/// the engine's cooperative polls.
+struct SolverService::Job {
+  uint64_t Id = 0;
+  solver::SolveRequest Request;
+  std::promise<JobResult> Promise;
+  std::shared_ptr<CancellationToken> Cancel;
+  Clock::time_point Enqueued;
+  bool HasDeadline = false;
+  Clock::time_point Deadline;
+  std::string CacheKey;
+  bool Running = false;
+};
+
+SolverService::SolverService(ServiceOptions O) : Opts(std::move(O)) {
+  if (Opts.Workers == 0)
+    Opts.Workers = 1;
+  if (Opts.QueueCapacity == 0)
+    Opts.QueueCapacity = 1;
+  Started = Clock::now();
+  Workers.reserve(Opts.Workers);
+  for (size_t I = 0; I < Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+SolverService::~SolverService() { shutdown(true); }
+
+std::string
+SolverService::cacheKey(const solver::SolveRequest &Request) const {
+  // Every field that can change the verdict takes part. `\x1f` (unit
+  // separator) cannot occur in paths or engine ids we accept.
+  std::string Key = Request.Path.empty() ? "s:" + Request.Source
+                                         : "p:" + Request.Path;
+  Key += '\x1f';
+  Key += solver::toString(Request.Format);
+  Key += '\x1f';
+  Key += Request.Options.Engine;
+  char Buf[96];
+  snprintf(Buf, sizeof(Buf), "\x1f%.6f\x1f%zu\x1f%d",
+           Request.Options.Limits.WallSeconds,
+           Request.Options.Limits.MaxIterations,
+           Request.Options.ValidateModel ? 1 : 0);
+  Key += Buf;
+  return Key;
+}
+
+bool SolverService::cacheLookup(const std::string &Key,
+                                solver::SolveResult &Out) {
+  auto It = CacheMap.find(Key);
+  if (It == CacheMap.end())
+    return false;
+  CacheList.splice(CacheList.begin(), CacheList, It->second);
+  Out = It->second->second;
+  return true;
+}
+
+void SolverService::cacheStore(const std::string &Key,
+                               const solver::SolveResult &R) {
+  if (Opts.CacheCapacity == 0)
+    return;
+  auto It = CacheMap.find(Key);
+  if (It != CacheMap.end()) {
+    It->second->second = R;
+    CacheList.splice(CacheList.begin(), CacheList, It->second);
+    return;
+  }
+  CacheList.emplace_front(Key, R);
+  CacheMap[Key] = CacheList.begin();
+  while (CacheList.size() > Opts.CacheCapacity) {
+    CacheMap.erase(CacheList.back().first);
+    CacheList.pop_back();
+  }
+}
+
+void SolverService::noteCompleted(const JobResult &R,
+                                  const std::string &Engine) {
+  ++Completed;
+  if (R.ExpiredInQueue)
+    ++Expired;
+  if (!R.Result.Ok) {
+    ++ErrorCount;
+    return;
+  }
+  switch (R.Result.Status) {
+  case chc::ChcResult::Sat:
+    ++SolvedSat;
+    break;
+  case chc::ChcResult::Unsat:
+    ++SolvedUnsat;
+    break;
+  case chc::ChcResult::Unknown:
+    ++UnknownCount;
+    break;
+  }
+  if (R.Result.Status != chc::ChcResult::Unknown && !Engine.empty())
+    ++EngineWins[Engine];
+}
+
+Ticket SolverService::submit(solver::SolveRequest Request) {
+  // The request's budget wins field-by-field over the service default.
+  Request.Options.Limits =
+      Request.Options.Limits.resolvedOver(Opts.DefaultLimits);
+
+  Ticket T;
+  std::function<void(const JobResult &)> Callback;
+  JobResult CachedResult;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (!AcceptingWork) {
+      ++Rejected;
+      T.Status = SubmitStatus::ShuttingDown;
+      return T;
+    }
+
+    std::string Key = cacheKey(Request);
+    solver::SolveResult Hit;
+    if (Opts.CacheCapacity > 0 && cacheLookup(Key, Hit)) {
+      ++Submitted;
+      ++CacheHits;
+      T.Id = NextId++;
+      JobResult R;
+      R.Id = T.Id;
+      R.Result = std::move(Hit);
+      R.CacheHit = true;
+      noteCompleted(R, "");
+      std::promise<JobResult> P;
+      T.Result = P.get_future();
+      CachedResult = R;
+      P.set_value(std::move(R));
+      Callback = Opts.OnComplete;
+    } else {
+      if (Queue.size() >= Opts.QueueCapacity) {
+        ++Rejected;
+        T.Status = SubmitStatus::QueueFull;
+        // Depth times the recent mean solve time, spread over the pool.
+        double Mean = MeanRunSeconds > 0 ? MeanRunSeconds : 1.0;
+        T.RetryAfterSeconds = std::max(
+            0.1, Mean * static_cast<double>(Queue.size() + 1) /
+                     static_cast<double>(Opts.Workers));
+        return T;
+      }
+      ++Submitted;
+      if (Opts.CacheCapacity > 0)
+        ++CacheMisses;
+      auto J = std::make_shared<Job>();
+      J->Id = NextId++;
+      J->Request = std::move(Request);
+      J->Cancel = std::make_shared<CancellationToken>();
+      J->Request.Options.Cancel = J->Cancel;
+      J->Enqueued = Clock::now();
+      if (J->Request.Options.Limits.WallSeconds > 0) {
+        J->HasDeadline = true;
+        J->Deadline =
+            J->Enqueued + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  J->Request.Options.Limits.WallSeconds));
+      }
+      J->CacheKey = std::move(Key);
+      T.Id = J->Id;
+      T.Result = J->Promise.get_future();
+      Live[J->Id] = J;
+      Queue.push_back(std::move(J));
+      WorkAvailable.notify_one();
+      return T;
+    }
+  }
+  // Cache hit: the future is already satisfied; fire the completion
+  // callback from the submitting thread, outside the lock.
+  if (Callback)
+    Callback(CachedResult);
+  return T;
+}
+
+bool SolverService::cancel(uint64_t Id) {
+  std::shared_ptr<Job> Queued;
+  std::function<void(const JobResult &)> Callback;
+  JobResult Done;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    auto It = Live.find(Id);
+    if (It == Live.end())
+      return false;
+    std::shared_ptr<Job> J = It->second;
+    J->Cancel->cancel();
+    if (J->Running)
+      return true; // The engine stops at its next poll.
+    // Queued: complete it right here instead of waiting for a worker.
+    Queue.erase(std::remove(Queue.begin(), Queue.end(), J), Queue.end());
+    Live.erase(It);
+    Done.Id = J->Id;
+    Done.QueueSeconds = secondsBetween(J->Enqueued, Clock::now());
+    Done.Result.Error = "cancelled";
+    noteCompleted(Done, "");
+    Queued = std::move(J);
+    Callback = Opts.OnComplete;
+  }
+  JobResult Copy = Done;
+  Queued->Promise.set_value(std::move(Done));
+  if (Callback)
+    Callback(Copy);
+  return true;
+}
+
+void SolverService::shutdown(bool Drain) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AcceptingWork = false;
+    if (!Drain) {
+      CancelQueued = true;
+      for (auto &[Id, J] : Live)
+        J->Cancel->cancel();
+    }
+    WorkAvailable.notify_all();
+  }
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+}
+
+void SolverService::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    WorkAvailable.wait(Lock,
+                       [&] { return !Queue.empty() || !AcceptingWork; });
+    if (Queue.empty()) {
+      if (!AcceptingWork)
+        return;
+      continue;
+    }
+    std::shared_ptr<Job> J = Queue.front();
+    Queue.pop_front();
+
+    Clock::time_point Now = Clock::now();
+    JobResult R;
+    R.Id = J->Id;
+    R.QueueSeconds = secondsBetween(J->Enqueued, Now);
+
+    const bool Cancelled = CancelQueued || J->Cancel->cancelled();
+    const bool ExpiredNow = !Cancelled && J->HasDeadline && Now >= J->Deadline;
+    if (Cancelled || ExpiredNow) {
+      Live.erase(J->Id);
+      R.ExpiredInQueue = ExpiredNow;
+      R.Result.Error = ExpiredNow ? "budget expired in queue" : "cancelled";
+      noteCompleted(R, "");
+      Lock.unlock();
+      JobResult Copy = R;
+      J->Promise.set_value(std::move(R));
+      if (Opts.OnComplete)
+        Opts.OnComplete(Copy);
+      Lock.lock();
+      continue;
+    }
+
+    ++InFlight;
+    J->Running = true;
+    // The wall budget covers the whole stay in the service: hand the
+    // engine only what is left after the queue wait.
+    if (J->HasDeadline)
+      J->Request.Options.Limits.WallSeconds =
+          std::max(0.01, secondsBetween(Now, J->Deadline));
+    Lock.unlock();
+
+    solver::SolveResult S = solver::solve(J->Request);
+
+    Lock.lock();
+    --InFlight;
+    Live.erase(J->Id);
+    R.RunSeconds = secondsBetween(Now, Clock::now());
+    R.Result = std::move(S);
+    if (R.Result.Ok && R.Result.Status != chc::ChcResult::Unknown)
+      cacheStore(J->CacheKey, R.Result);
+    MeanRunSeconds = MeanRunSeconds <= 0
+                         ? R.RunSeconds
+                         : 0.7 * MeanRunSeconds + 0.3 * R.RunSeconds;
+    noteCompleted(R, J->Request.Options.Engine);
+    Lock.unlock();
+
+    JobResult Copy = R;
+    J->Promise.set_value(std::move(R));
+    if (Opts.OnComplete)
+      Opts.OnComplete(Copy);
+    Lock.lock();
+  }
+}
+
+ServiceMetrics SolverService::metrics() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  ServiceMetrics M;
+  M.Workers = Opts.Workers;
+  M.QueueDepth = Queue.size();
+  M.InFlight = InFlight;
+  M.QueueCapacity = Opts.QueueCapacity;
+  M.Submitted = Submitted;
+  M.Rejected = Rejected;
+  M.Completed = Completed;
+  M.SolvedSat = SolvedSat;
+  M.SolvedUnsat = SolvedUnsat;
+  M.Unknown = UnknownCount;
+  M.Errors = ErrorCount;
+  M.ExpiredInQueue = Expired;
+  M.CacheHits = CacheHits;
+  M.CacheMisses = CacheMisses;
+  M.UptimeSeconds = secondsBetween(Started, Clock::now());
+  M.SolvedPerSecond =
+      M.UptimeSeconds > 0
+          ? static_cast<double>(SolvedSat + SolvedUnsat) / M.UptimeSeconds
+          : 0;
+  M.EngineWins.assign(EngineWins.begin(), EngineWins.end());
+  std::sort(M.EngineWins.begin(), M.EngineWins.end());
+  return M;
+}

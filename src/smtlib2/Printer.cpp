@@ -1,0 +1,205 @@
+//===- smtlib2/Printer.cpp - CHC system to SMT-LIB2 HORN text -------------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smtlib2/Printer.h"
+
+#include <cctype>
+
+using namespace la;
+using namespace la::chc;
+
+namespace {
+
+/// True when \p C may appear in an SMT-LIB simple symbol.
+bool isSimpleSymbolChar(char C) {
+  if (std::isalnum(static_cast<unsigned char>(C)))
+    return true;
+  static const char *Extra = "~!@$%^&*_-+=<>.?/";
+  for (const char *P = Extra; *P; ++P)
+    if (*P == C)
+      return true;
+  return false;
+}
+
+/// Renders \p Name as an SMT-LIB symbol, `|quoting|` it when it falls
+/// outside the simple-symbol grammar (the encoder's `x#0` / `f!pre!1`
+/// names contain `#`, which must be quoted).
+std::string symbol(const std::string &Name) {
+  bool Simple = !Name.empty() &&
+                !std::isdigit(static_cast<unsigned char>(Name[0]));
+  for (char C : Name)
+    if (!isSimpleSymbolChar(C))
+      Simple = false;
+  if (Simple)
+    return Name;
+  return "|" + Name + "|";
+}
+
+const char *kindSymbol(TermKind K) {
+  switch (K) {
+  case TermKind::Add:
+    return "+";
+  case TermKind::Le:
+    return "<=";
+  case TermKind::Lt:
+    return "<";
+  case TermKind::Eq:
+    return "=";
+  case TermKind::Not:
+    return "not";
+  case TermKind::And:
+    return "and";
+  case TermKind::Or:
+    return "or";
+  default:
+    return "?";
+  }
+}
+
+std::string renderTerm(const Term *T) {
+  switch (T->kind()) {
+  case TermKind::IntConst:
+    if (T->value().isNegative())
+      return "(- " + (-T->value()).toString() + ")";
+    return T->value().toString();
+  case TermKind::BoolConst:
+    return T->boolValue() ? "true" : "false";
+  case TermKind::Var:
+    return symbol(T->name());
+  case TermKind::Mul: {
+    std::string Factor = T->value().isNegative()
+                             ? "(- " + (-T->value()).toString() + ")"
+                             : T->value().toString();
+    return "(* " + Factor + " " + renderTerm(T->operand(0)) + ")";
+  }
+  case TermKind::Mod:
+    return "(mod " + renderTerm(T->operand(0)) + " " + T->value().toString() +
+           ")";
+  case TermKind::PredApp: {
+    if (T->numOperands() == 0)
+      return symbol(T->name());
+    std::string Out = "(";
+    Out += symbol(T->name());
+    for (const Term *Op : T->operands()) {
+      Out += ' ';
+      Out += renderTerm(Op);
+    }
+    Out += ')';
+    return Out;
+  }
+  default: {
+    std::string Out = "(";
+    Out += kindSymbol(T->kind());
+    for (const Term *Op : T->operands()) {
+      Out += ' ';
+      Out += renderTerm(Op);
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+}
+
+/// Collects the distinct variables of one clause in first-occurrence order
+/// (constraint, body applications left to right, then the head).
+std::vector<const Term *> clauseVars(const ChcSystem &System,
+                                     const HornClause &C) {
+  TermManager &TM = System.termManager();
+  std::vector<const Term *> Vars;
+  auto Merge = [&](const Term *T) {
+    for (const Term *V : TM.collectVars(T)) {
+      bool Seen = false;
+      for (const Term *Have : Vars)
+        Seen = Seen || Have == V;
+      if (!Seen)
+        Vars.push_back(V);
+    }
+  };
+  if (C.Constraint)
+    Merge(C.Constraint);
+  for (const PredApp &App : C.Body)
+    for (const Term *Arg : App.Args)
+      Merge(Arg);
+  if (C.HeadPred)
+    for (const Term *Arg : C.HeadPred->Args)
+      Merge(Arg);
+  else if (C.HeadFormula)
+    Merge(C.HeadFormula);
+  return Vars;
+}
+
+std::string renderApp(const PredApp &App) {
+  if (App.Args.empty())
+    return symbol(App.Pred->Name);
+  std::string Out = "(";
+  Out += symbol(App.Pred->Name);
+  for (const Term *Arg : App.Args) {
+    Out += ' ';
+    Out += renderTerm(Arg);
+  }
+  Out += ')';
+  return Out;
+}
+
+} // namespace
+
+std::string smtlib2::printTerm(const Term *T) { return renderTerm(T); }
+
+std::string smtlib2::printSmtLib2(const ChcSystem &System,
+                                  const PrintOptions &Opts) {
+  std::string Out = "(set-logic HORN)\n";
+  for (const Predicate *P : System.predicates()) {
+    Out += "(declare-fun " + symbol(P->Name) + " (";
+    for (size_t I = 0; I < P->arity(); ++I)
+      Out += I == 0 ? "Int" : " Int";
+    Out += ") Bool)\n";
+  }
+  for (const HornClause &C : System.clauses()) {
+    if (Opts.ClauseComments && !C.Name.empty())
+      Out += "; " + C.Name + "\n";
+
+    std::vector<std::string> BodyParts;
+    if (C.Constraint && !C.Constraint->isTrue())
+      BodyParts.push_back(renderTerm(C.Constraint));
+    for (const PredApp &App : C.Body)
+      BodyParts.push_back(renderApp(App));
+
+    std::string Head = C.HeadPred ? renderApp(*C.HeadPred)
+                                  : renderTerm(C.HeadFormula);
+
+    std::string Core;
+    if (BodyParts.empty()) {
+      Core = Head;
+    } else {
+      std::string Body;
+      if (BodyParts.size() == 1) {
+        Body = BodyParts[0];
+      } else {
+        Body = "(and";
+        for (const std::string &Part : BodyParts)
+          Body += " " + Part;
+        Body += ")";
+      }
+      Core = "(=> " + Body + " " + Head + ")";
+    }
+
+    std::vector<const Term *> Vars = clauseVars(System, C);
+    if (Vars.empty()) {
+      Out += "(assert " + Core + ")\n";
+    } else {
+      Out += "(assert (forall (";
+      for (size_t I = 0; I < Vars.size(); ++I) {
+        Out += I == 0 ? "(" : " (";
+        Out += symbol(Vars[I]->name());
+        Out += Vars[I]->sort() == Sort::Int ? " Int)" : " Bool)";
+      }
+      Out += ")\n  " + Core + "))\n";
+    }
+  }
+  if (Opts.CheckSat)
+    Out += "(check-sat)\n";
+  return Out;
+}

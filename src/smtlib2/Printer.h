@@ -1,0 +1,44 @@
+//===- smtlib2/Printer.h - CHC system to SMT-LIB2 HORN text -----*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a `chc::ChcSystem` as SMT-LIB2 HORN text parseable by
+/// `smtlib2::parseSmtLib2` (and by external CHC solvers): `(set-logic
+/// HORN)`, one `declare-fun` per predicate, one universally quantified
+/// `assert` per clause, `(check-sat)`. Symbols outside the SMT-LIB simple
+/// grammar (the encoder's `x#0`, `f!pre!1` names) are `|quoted|`. The
+/// round-trip `parse(print(S))` preserves verdicts; the differential test in
+/// tests/SmtLib2Test.cpp pins that over the mini-C corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SMTLIB2_PRINTER_H
+#define LA_SMTLIB2_PRINTER_H
+
+#include "chc/Chc.h"
+
+#include <string>
+
+namespace la::smtlib2 {
+
+/// Configuration of the printer.
+struct PrintOptions {
+  /// Emit the trailing `(check-sat)` (CHC-COMP files have one).
+  bool CheckSat = true;
+  /// Emit clause names as `; <name>` comment lines above their asserts.
+  bool ClauseComments = true;
+};
+
+/// Renders \p System as SMT-LIB2 HORN text.
+std::string printSmtLib2(const chc::ChcSystem &System,
+                         const PrintOptions &Opts = {});
+
+/// Renders one term in strict SMT-LIB2 syntax (symbols quoted as needed).
+std::string printTerm(const Term *T);
+
+} // namespace la::smtlib2
+
+#endif // LA_SMTLIB2_PRINTER_H

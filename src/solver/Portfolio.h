@@ -48,7 +48,7 @@ struct EngineReport {
   bool Crashed = false;   ///< Threw; `Error` holds the message.
   std::string Error;
   double Seconds = 0; ///< Lane wall clock (thread start to finish).
-  chc::SolveStats Stats;
+  chc::EngineStats Stats;
 };
 
 /// Configuration of the portfolio engine.

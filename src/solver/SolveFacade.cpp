@@ -6,14 +6,39 @@
 
 #include "solver/SolveFacade.h"
 
-#include "chc/ChcParser.h"
+#include "frontend/Encoder.h"
+#include "smtlib2/Parser.h"
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 using namespace la;
 using namespace la::chc;
+
+const char *solver::toString(SourceFormat F) {
+  switch (F) {
+  case SourceFormat::Auto:
+    return "auto";
+  case SourceFormat::SmtLib2:
+    return "smt2";
+  case SourceFormat::MiniC:
+    return "mini-c";
+  }
+  return "?";
+}
+
+std::optional<solver::SourceFormat>
+solver::parseSourceFormat(const std::string &Name) {
+  if (Name == "auto")
+    return SourceFormat::Auto;
+  if (Name == "smt2" || Name == "smtlib2" || Name == "horn")
+    return SourceFormat::SmtLib2;
+  if (Name == "mini-c" || Name == "minic" || Name == "c")
+    return SourceFormat::MiniC;
+  return std::nullopt;
+}
 
 std::string solver::SolveResult::summary() const {
   if (!Ok)
@@ -84,37 +109,21 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   EO.Smt = Opts.Solver.Smt;
 
   std::unique_ptr<ChcSolverInterface> Solver;
-  bool UsedHook = false;
-  // The deprecated MakeSolver hook stays honored for one release.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  if (Opts.MakeSolver) {
-    Solver = Opts.MakeSolver();
-    UsedHook = true;
-  }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
-  if (!Solver) {
-    if (Opts.Engine == "portfolio") {
-      // Build the portfolio directly so custom lanes in `Opts.Portfolio`
-      // survive; the registry path would drop them.
-      PortfolioOptions PO = Opts.Portfolio;
-      PO.Base = EO;
-      PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
-      Solver = std::make_unique<PortfolioSolver>(std::move(PO));
-    } else {
-      Solver = Registry.create(Opts.Engine, EO);
-      if (!Solver) {
-        Out.Error = "unknown engine '" + Opts.Engine + "' (registered:";
-        for (const std::string &Id : Registry.ids())
-          Out.Error += " " + Id;
-        Out.Error += ")";
-        return Out;
-      }
+  if (Opts.Engine == "portfolio") {
+    // Build the portfolio directly so custom lanes in `Opts.Portfolio`
+    // survive; the registry path would drop them.
+    PortfolioOptions PO = Opts.Portfolio;
+    PO.Base = EO;
+    PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
+    Solver = std::make_unique<PortfolioSolver>(std::move(PO));
+  } else {
+    Solver = Registry.create(Opts.Engine, EO);
+    if (!Solver) {
+      Out.Error = "unknown engine '" + Opts.Engine + "' (registered:";
+      for (const std::string &Id : Registry.ids())
+        Out.Error += " " + Id;
+      Out.Error += ")";
+      return Out;
     }
   }
   Out.Ok = true;
@@ -140,8 +149,8 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
       Out.SolvedByAnalysis = DataDriven->detailedStats().SolvedByAnalysis;
     }
     EngineReport Rep;
-    Rep.Lane = UsedHook ? Out.SolverName : Opts.Engine;
-    Rep.Engine = UsedHook ? "custom" : Opts.Engine;
+    Rep.Lane = Opts.Engine;
+    Rep.Engine = Opts.Engine;
     Rep.Name = Out.SolverName;
     Rep.Status = R.Status;
     Rep.Winner = R.Status != ChcResult::Unknown;
@@ -152,28 +161,97 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   return Out;
 }
 
-solver::SolveResult solver::solveChcText(const std::string &Text,
-                                         const SolveOptions &Opts) {
+solver::SourceFormat solver::detectFormat(const std::string &Path,
+                                          const std::string &Source) {
+  // Conclusive extensions first.
+  auto EndsWith = [&](const char *Suffix) {
+    size_t N = std::string(Suffix).size();
+    return Path.size() >= N && Path.compare(Path.size() - N, N, Suffix) == 0;
+  };
+  if (EndsWith(".smt2") || EndsWith(".sl") || EndsWith(".chc"))
+    return SourceFormat::SmtLib2;
+  if (EndsWith(".c") || EndsWith(".mc") || EndsWith(".minic"))
+    return SourceFormat::MiniC;
+  // Content sniff: the first character after whitespace and `;` line
+  // comments. SMT-LIB2 scripts open with `(`; mini-C opens with `int`.
+  size_t I = 0;
+  while (I < Source.size()) {
+    char C = Source[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == ';') {
+      while (I < Source.size() && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    break;
+  }
+  if (I < Source.size() && Source[I] == '(')
+    return SourceFormat::SmtLib2;
+  return SourceFormat::MiniC;
+}
+
+solver::SolveResult solver::solve(const SolveRequest &Request) {
+  std::string Source;
+  if (!Request.Path.empty()) {
+    std::ifstream In(Request.Path);
+    if (!In) {
+      SolveResult Out;
+      Out.Error = "cannot open " + Request.Path;
+      return Out;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  } else {
+    Source = Request.Source;
+  }
+
+  SourceFormat Format = Request.Format;
+  if (Format == SourceFormat::Auto)
+    Format = detectFormat(Request.Path, Source);
+
   TermManager TM;
   ChcSystem System(TM);
-  ChcParseResult P = parseChcText(Text, System);
-  if (!P.Ok) {
-    SolveResult Out;
-    Out.Error = "parse error: " + P.Error;
-    return Out;
+  if (Format == SourceFormat::SmtLib2) {
+    smtlib2::ParseOptions PO;
+    PO.Filename = Request.Path;
+    smtlib2::ParseResult P = smtlib2::parseSmtLib2(Source, System, PO);
+    if (!P.Ok) {
+      SolveResult Out;
+      Out.Format = Format;
+      Out.Error = "parse error: " + P.error(PO);
+      return Out;
+    }
+  } else {
+    frontend::EncodeResult E = frontend::encodeMiniC(Source, System);
+    if (!E.Ok) {
+      SolveResult Out;
+      Out.Format = Format;
+      Out.Error = "parse error: " + E.Error;
+      return Out;
+    }
   }
-  return solveSystem(System, Opts);
+  SolveResult Out = solveSystem(System, Request.Options);
+  Out.Format = Format;
+  return Out;
+}
+
+solver::SolveResult solver::solveChcText(const std::string &Text,
+                                         const SolveOptions &Opts) {
+  SolveRequest Request;
+  Request.Source = Text;
+  Request.Format = SourceFormat::SmtLib2;
+  Request.Options = Opts;
+  return solve(Request);
 }
 
 solver::SolveResult solver::solveFile(const std::string &Path,
                                       const SolveOptions &Opts) {
-  std::ifstream In(Path);
-  if (!In) {
-    SolveResult Out;
-    Out.Error = "cannot open " + Path;
-    return Out;
-  }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  return solveChcText(Buffer.str(), Opts);
+  SolveRequest Request;
+  Request.Path = Path;
+  Request.Options = Opts;
+  return solve(Request);
 }

@@ -5,15 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The one-call entry points `la::solver::solveFile`, `solveChcText` and
-/// `solveSystem`: they own the parser, the engine construction through the
-/// `SolverRegistry`, and the witness validation that the examples used to
-/// duplicate, and return a self-contained `SolveResult` (witnesses rendered
-/// to strings, so nothing points into the solve's term manager after it is
-/// gone).
+/// The one façade every driver goes through — CLI, daemon, benches, tests:
 ///
-/// Engines are selected by registry id (`SolveOptions::Engine`): "la"
-/// (default), "analysis", "portfolio", or — after
+///   * `SolveRequest` names the input (inline source or a file path), its
+///     format (SMT-LIB2 HORN or mini-C, auto-detected by default), the
+///     registry engine id, and the per-request resource limits;
+///   * `solve(Request)` reads, parses (through the strict `smtlib2` front
+///     end or the mini-C encoder), solves over the `SolverRegistry`, and
+///     independently validates the witness;
+///   * `SolveResult` is self-contained — witnesses are rendered to strings,
+///     so nothing points into the solve's term manager after it is gone.
+///
+/// `solveFile` / `solveChcText` / `solveSystem` are thin wrappers over the
+/// same path for callers that already hold a path, HORN text, or a built
+/// system. Engines are selected by registry id (`SolveOptions::Engine`):
+/// "la" (default), "analysis", "portfolio", or — after
 /// `baselines::registerBuiltinEngines()` — "pdr", "unwind" and friends.
 ///
 //===----------------------------------------------------------------------===//
@@ -24,11 +30,24 @@
 #include "solver/Portfolio.h"
 #include "solver/SolverRegistry.h"
 
-#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 namespace la::solver {
+
+/// Input language of a solve request.
+enum class SourceFormat {
+  Auto,    ///< Detect from the path extension, then the content shape.
+  SmtLib2, ///< SMT-LIB2 HORN (CHC-COMP), incl. the Z3 fixedpoint dialect.
+  MiniC,   ///< The paper's mini-C language, encoded via `frontend`.
+};
+
+const char *toString(SourceFormat F);
+
+/// Parses "auto" / "smt2" / "smtlib2" / "mini-c" / "c" (as accepted by the
+/// CLI `--format` flag and the daemon request schema).
+std::optional<SourceFormat> parseSourceFormat(const std::string &Name);
 
 /// Configuration of the façade.
 struct SolveOptions {
@@ -50,12 +69,19 @@ struct SolveOptions {
   bool ValidateModel = true;
   /// Cooperative cancellation of the whole call.
   std::shared_ptr<const CancellationToken> Cancel;
-  /// Deprecated escape hatch predating the registry: a factory overriding
-  /// the engine construction entirely. Still honored for one release;
-  /// register an engine and set `Engine` instead.
-  [[deprecated("register an engine with SolverRegistry and set Engine "
-               "instead")]] std::function<std::unique_ptr<
-      chc::ChcSolverInterface>()> MakeSolver;
+};
+
+/// One solve request: source + format + engine + limits. This is the
+/// request schema shared by the CLI driver, the solver daemon and the
+/// benches; engine and limits travel inside `Options`.
+struct SolveRequest {
+  /// Inline source text, used when `Path` is empty.
+  std::string Source;
+  /// File to read; when nonempty it wins over `Source` and its name seeds
+  /// format detection and diagnostics.
+  std::string Path;
+  SourceFormat Format = SourceFormat::Auto;
+  SolveOptions Options;
 };
 
 /// Self-contained outcome of one façade call. Term-level facts are rendered
@@ -68,6 +94,8 @@ struct SolveResult {
 
   chc::ChcResult Status = chc::ChcResult::Unknown;
   std::string SolverName;
+  /// Input format the request resolved to (never Auto on success).
+  SourceFormat Format = SourceFormat::Auto;
   size_t Clauses = 0;
   size_t Predicates = 0;
   bool Recursive = false;
@@ -81,7 +109,7 @@ struct SolveResult {
   std::string Cex;
 
   /// Winning engine's bookkeeping (queries, samples, iterations, seconds).
-  chc::SolveStats Solver;
+  chc::EngineStats Solver;
   /// Per-engine records, sorted by lane label: one entry per portfolio
   /// lane, or a single synthesized entry for a single-engine run.
   std::vector<EngineReport> Engines;
@@ -96,8 +124,14 @@ struct SolveResult {
   std::string summary() const;
 };
 
-/// Previous name of `SolveResult`, kept for one release of source compat.
-using SolveStats [[deprecated("renamed to SolveResult")]] = SolveResult;
+/// Resolves the input language of \p Request without parsing it: the path
+/// extension decides when it is conclusive (".smt2" / ".c" / ...), else the
+/// content shape (a leading `(` after trivia means SMT-LIB2).
+SourceFormat detectFormat(const std::string &Path, const std::string &Source);
+
+/// The one entry point: reads (when `Path` is set), detects the format,
+/// parses, solves, validates.
+SolveResult solve(const SolveRequest &Request);
 
 /// Solves an already-built system. `System` keeps ownership of its terms;
 /// only `SolveResult` escapes.
@@ -108,7 +142,7 @@ SolveResult solveSystem(const chc::ChcSystem &System,
 SolveResult solveChcText(const std::string &Text,
                          const SolveOptions &Opts = {});
 
-/// Reads, parses and solves an SMT-LIB2 HORN file.
+/// Reads, format-detects (SMT-LIB2 vs mini-C), parses and solves a file.
 SolveResult solveFile(const std::string &Path, const SolveOptions &Opts = {});
 
 } // namespace la::solver

@@ -8,8 +8,8 @@
 /// The named solver-engine registry behind the façade, the CLI driver, the
 /// benchmark tables and the portfolio engine. An engine is a string id
 /// ("la", "pdr", "unwind", "portfolio", ...) plus a factory turning one
-/// `EngineOptions` blob into a ready `ChcSolverInterface`. This replaces the
-/// old `SolveOptions::MakeSolver` std::function hook: callers name the
+/// `EngineOptions` blob into a ready `ChcSolverInterface`. This replaced the
+/// façade's old std::function factory hook: callers name the
 /// engine they want instead of constructing it themselves, so every entry
 /// point (façade, CLI, benches, tests, portfolio lanes) builds engines the
 /// same way.

@@ -286,7 +286,7 @@ TEST(SolveFacadeTest, ReportsParseAndFileErrors) {
   EXPECT_NE(Missing.Error.find("cannot open"), std::string::npos);
 }
 
-TEST(SolveFacadeTest, SolvesFileAndHonorsCustomSolverHook) {
+TEST(SolveFacadeTest, SolvesFileAndHonorsCustomRegistryEngine) {
   const char *Path = "facade_test_tmp.smt2";
   {
     std::ofstream Out(Path);
@@ -299,22 +299,19 @@ TEST(SolveFacadeTest, SolvesFileAndHonorsCustomSolverHook) {
   EXPECT_EQ(S.Status, ChcResult::Sat);
   EXPECT_TRUE(S.ModelValidated);
 
-  // The factory hook swaps in a differently-configured solver; analysis
-  // statistics still surface because it is a DataDrivenChcSolver.
+  // A custom engine registered under a fresh id swaps in a
+  // differently-configured solver; analysis statistics still surface
+  // because it is a DataDrivenChcSolver.
+  solver::SolverRegistry::global().add(
+      "hooked-test", "differently-configured data-driven engine",
+      [](const solver::EngineOptions &EO) {
+        DataDrivenOptions DD = EO.DataDriven;
+        DD.Limits = DD.Limits.resolvedOver(EO.Limits);
+        DD.Name = "hooked";
+        return std::make_unique<DataDrivenChcSolver>(DD);
+      });
   SolveOptions Opts;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  Opts.MakeSolver = [] {
-    DataDrivenOptions DD;
-    DD.Limits.WallSeconds = 60;
-    DD.Name = "hooked";
-    return std::make_unique<DataDrivenChcSolver>(DD);
-  };
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  Opts.Engine = "hooked-test";
   solver::SolveResult H = solveFile(Path, Opts);
   ASSERT_TRUE(H.Ok) << H.Error;
   EXPECT_EQ(H.Status, ChcResult::Sat);
