@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Crash-injection smoke test for the chc_serve daemon.
+
+Starts the daemon with `--isolation process --crash-engines` and throws
+deliberately misbehaving engines at it:
+
+  * crash-segv  — raises SIGSEGV inside the solve,
+  * crash-abort — calls abort() inside the solve,
+  * crash-spin  — spins forever, ignoring its cancellation token.
+
+Every crash request must come back as a completed job (unknown verdict),
+the daemon must keep serving normal solves afterwards, the metrics query
+must still answer, and `shutdown` must answer `bye` with exit code 0. Any
+daemon death fails the test — that is exactly what process isolation is
+supposed to prevent.
+
+Usage: crash_smoke.py <chc_serve-binary> <smt2-corpus-dir>
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import threading
+
+SAFE_INLINE = """(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))"""
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <chc_serve-binary> <smt2-corpus-dir>")
+    binary, corpus = sys.argv[1], sys.argv[2]
+
+    benchmarks = sorted(glob.glob(os.path.join(corpus, "*.smt2")))
+    if not benchmarks:
+        fail(f"no .smt2 benchmarks in {corpus}")
+
+    proc = subprocess.Popen(
+        [binary, "--workers", "4", "--budget", "60",
+         "--isolation", "process", "--crash-engines"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+    watchdog = threading.Timer(300, proc.kill)
+    watchdog.start()
+
+    def send(line):
+        proc.stdin.write(line + "\n")
+        proc.stdin.flush()
+
+    def send_inline(rid, options):
+        send(f"solve-inline {rid} {options}")
+        for line in SAFE_INLINE.splitlines():
+            send(line)
+        send(".")
+
+    def read_until(count=None, sentinel=None):
+        got = []
+        while True:
+            line = proc.stdout.readline()
+            if not line:
+                fail(f"daemon died (closed stdout); got so far: {got}")
+            line = line.strip()
+            if not line:
+                continue
+            got.append(line)
+            if sentinel is not None and line.startswith(sentinel):
+                return got
+            if count is not None and len(got) == count:
+                return got
+
+    # Wave 1: crash engines under process isolation. The spin engine
+    # ignores cancellation, so give it a short budget — the process kill
+    # at the wall deadline is what ends it.
+    send_inline("segv", "engine=crash-segv budget=30")
+    send_inline("abort", "engine=crash-abort budget=30")
+    send_inline("spin", "engine=crash-spin budget=5")
+    responses = {w[1]: w for w in
+                 (line.split() for line in read_until(count=3))}
+    for rid in ("segv", "abort", "spin"):
+        if rid not in responses:
+            fail(f"no response for crash request '{rid}': {responses}")
+        if responses[rid][0] != "ok" or responses[rid][2] != "unknown":
+            fail(f"crash request '{rid}' should complete with an unknown "
+                 f"verdict, got: {' '.join(responses[rid])}")
+
+    # Wave 2: the daemon still solves real benchmarks correctly.
+    expected = {}
+    for path in benchmarks:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        expected[stem] = "unsat" if stem.endswith("_unsafe") else "sat"
+        send(f"solve {stem} {path} budget=60")
+    for line in read_until(count=len(expected)):
+        words = line.split()
+        if words[0] != "ok":
+            fail(f"post-crash solve failed: {line}")
+        if words[2] != expected[words[1]]:
+            fail(f"{words[1]}: got {words[2]}, want {expected[words[1]]}")
+
+    # Metrics still answer and count every completion.
+    send("metrics")
+    metrics_line = read_until(sentinel="metrics ")[-1]
+    metrics = json.loads(metrics_line.split(" ", 1)[1])
+    want_completed = 3 + len(benchmarks)
+    if metrics["completed"] < want_completed:
+        fail(f"metrics completed={metrics['completed']}, "
+             f"want >= {want_completed}")
+
+    send("shutdown")
+    read_until(sentinel="bye")
+    proc.stdin.close()
+    code = proc.wait()
+    watchdog.cancel()
+    if code != 0:
+        fail(f"daemon exited {code}")
+    print(f"OK: daemon survived segv/abort/spin engines and still solved "
+          f"{len(benchmarks)} benchmarks")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,12 @@ Asserts every verdict matches the benchmark's expected safety (file names
 end in _safe/_unsafe), that the metrics report carries queue depth and a
 solved/s figure, and that `shutdown` answers `bye` with exit code 0.
 
-Usage: daemon_smoke.py <chc_serve-binary> <smt2-corpus-dir>
+With a cache directory as third argument, additionally runs the corpus
+through two *separate* daemon processes sharing that `--cache-dir` and
+asserts the second run answers >= 90% of the verdicts from the persistent
+disk cache (`disk=1` in the response line) — the restart-survival story.
+
+Usage: daemon_smoke.py <chc_serve-binary> <smt2-corpus-dir> [cache-dir]
 """
 
 import glob
@@ -29,9 +34,9 @@ def fail(msg):
 
 
 class Daemon:
-    def __init__(self, binary):
+    def __init__(self, binary, extra_args=()):
         self.proc = subprocess.Popen(
-            [binary, "--workers", "8", "--budget", "120"],
+            [binary, "--workers", "8", "--budget", "120", *extra_args],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
         self.watchdog = threading.Timer(300, self.proc.kill)
         self.watchdog.start()
@@ -87,10 +92,36 @@ def check_wave(lines, expected, want_cached):
             fail(f"{rid}: expected a cache hit on the repeat request")
 
 
+def run_disk_cache_check(binary, benchmarks, cache_dir):
+    """Two daemon processes sharing --cache-dir: run 2 must serve >= 90%
+    of the verdicts from the persistent cache."""
+    disk_served = 0
+    for run in (1, 2):
+        daemon = Daemon(binary, ("--cache-dir", cache_dir, "--cache", "0"))
+        expected = {}
+        for path in benchmarks:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            rid = f"{stem}@disk{run}"
+            expected[rid] = not stem.endswith("_unsafe")
+            daemon.send(f"solve {rid} {path} budget=60")
+        lines = daemon.read_until(count=len(expected))
+        check_wave(lines, expected, want_cached=False)
+        if run == 2:
+            disk_served = sum(1 for line in lines if "disk=1" in line.split())
+        daemon.finish()
+    need = 0.9 * len(benchmarks)
+    if disk_served < need:
+        fail(f"second daemon run served only {disk_served}/{len(benchmarks)} "
+             f"verdicts from the persistent cache (need >= {need:.0f})")
+    return disk_served
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <chc_serve-binary> <smt2-corpus-dir>")
+    if len(sys.argv) not in (3, 4):
+        fail(f"usage: {sys.argv[0]} <chc_serve-binary> <smt2-corpus-dir> "
+             f"[cache-dir]")
     binary, corpus = sys.argv[1], sys.argv[2]
+    cache_dir = sys.argv[3] if len(sys.argv) == 4 else None
 
     benchmarks = sorted(glob.glob(os.path.join(corpus, "*.smt2")))
     if len(benchmarks) < 8:
@@ -124,6 +155,11 @@ def main():
     print(f"OK: {2 * len(benchmarks)} requests over 8 workers, "
           f"{metrics['cache_hits']} cache hits, "
           f"{metrics['solved_per_second']:.2f} solved/s reported")
+
+    if cache_dir:
+        disk_served = run_disk_cache_check(binary, benchmarks, cache_dir)
+        print(f"OK: persistent cache served {disk_served}/{len(benchmarks)} "
+              f"verdicts across a daemon restart")
 
 
 if __name__ == "__main__":

@@ -117,12 +117,17 @@ void writeJson(const char *Path,
           << ", \"cache_hit_rate\": " << cacheHitRate(O.Stats.Check)
           << ", \"scope_pushes\": " << O.Stats.Check.ScopePushes
           << ", \"rebuilds_avoided\": " << O.Stats.Check.RebuildsAvoided
+          << ", \"disk_hits\": " << O.Stats.Check.DiskHits
+          << ", \"disk_misses\": " << O.Stats.Check.DiskMisses
           << "}" << (I + 1 < R.Outcomes.size() ? "," : "") << "\n";
     }
     Out << "      ],\n"
         << "      \"iterations\": " << TotalIterations << ",\n"
         << "      \"smt_checks\": " << Total.ChecksIssued << ",\n"
-        << "      \"cache_hit_rate\": " << cacheHitRate(Total) << "\n"
+        << "      \"cache_hit_rate\": " << cacheHitRate(Total) << ",\n"
+        << "      \"disk_hits\": " << Total.DiskHits << ",\n"
+        << "      \"disk_misses\": " << Total.DiskMisses << ",\n"
+        << "      \"disk_stores\": " << Total.DiskStores << "\n"
         << "    }" << (S + 1 < Results.size() ? "," : "") << "\n";
   }
   Out << "  ]\n}\n";

@@ -6,6 +6,7 @@
 // stdout line protocol (see server/Daemon.h for the grammar):
 //
 //   $ ./chc_serve --workers 8 --queue 64 --budget 30
+//       [--isolation process] [--cache-dir /var/tmp/chc-cache]
 //   solve job1 benchmarks/counter.smt2 engine=portfolio budget=10
 //   metrics
 //   shutdown
@@ -14,15 +15,23 @@
 // many requests can be in flight at once. A full queue answers
 // `rejected <id> retry-after=<seconds>` instead of buffering unboundedly.
 //
+// `--isolation process` forks every engine lane into a hard-killable
+// child, so a segfaulting or runaway engine cannot take the daemon down.
+// `--cache-dir DIR` persists definitive verdicts (and Valid clause-check
+// records) on disk, surviving daemon restarts and crashes.
+//
 //===----------------------------------------------------------------------===//
 
 #include "baselines/RegisterEngines.h"
 #include "server/Daemon.h"
+#include "support/FileCache.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 
 using namespace la;
 
@@ -48,10 +57,28 @@ int main(int Argc, char **Argv) {
       Opts.DefaultBudgetSeconds = std::atof(V);
     } else if (const char *V = FlagValue("--cache")) {
       Opts.Service.CacheCapacity = static_cast<size_t>(std::atol(V));
+    } else if (const char *V = FlagValue("--isolation")) {
+      std::optional<solver::Isolation> Iso = solver::parseIsolation(V);
+      if (!Iso) {
+        fprintf(stderr,
+                "error: unknown isolation '%s' (want thread or process)\n",
+                V);
+        return 2;
+      }
+      Opts.DefaultIsolation = *Iso;
+    } else if (const char *V = FlagValue("--cache-dir")) {
+      FileCache::Options CO;
+      CO.Dir = V;
+      Opts.Service.DiskCache = std::make_shared<FileCache>(CO);
+    } else if (strcmp(Argv[I], "--crash-engines") == 0) {
+      // Deliberately misbehaving engines (segfault/abort/spin), for
+      // exercising process isolation end to end.
+      baselines::registerCrashEngines();
     } else {
       fprintf(stderr,
               "usage: %s [--workers N] [--queue N] [--budget SECONDS] "
-              "[--cache N]\n",
+              "[--cache N] [--isolation thread|process] [--cache-dir DIR] "
+              "[--crash-engines]\n",
               Argv[0]);
       return 2;
     }

@@ -10,6 +10,9 @@
 #include "baselines/TemplateLearner.h"
 #include "baselines/UnwindSolver.h"
 
+#include <csignal>
+#include <cstdlib>
+
 using namespace la;
 using namespace la::baselines;
 using solver::EngineOptions;
@@ -47,6 +50,44 @@ solver::DataDrivenOptions learnerSwapFrom(const EngineOptions &EO,
   return Swapped;
 }
 
+/// A deliberately misbehaving engine for isolation tests: segfaults,
+/// aborts, or spins forever the moment it is asked to solve.
+class CrashSolver : public chc::ChcSolverInterface {
+public:
+  enum class Mode { Segv, Abort, Spin };
+
+  CrashSolver(Mode M, std::string Name) : M(M), Name(std::move(Name)) {}
+
+  chc::ChcSolverResult solve(const chc::ChcSystem &System) override {
+    switch (M) {
+    case Mode::Segv:
+      std::raise(SIGSEGV);
+      break;
+    case Mode::Abort:
+      std::abort();
+    case Mode::Spin: {
+      // Spin without ever polling a cancellation token — only an external
+      // kill (deadline, rlimit) stops this lane. The volatile read keeps
+      // the loop observable (a plain empty loop is UB).
+      volatile bool KeepSpinning = true;
+      while (KeepSpinning) {
+      }
+      break;
+    }
+    }
+    // Unreachable unless the raise was blocked; fail loudly either way.
+    chc::ChcSolverResult R(System.termManager());
+    R.Status = chc::ChcResult::Unknown;
+    return R;
+  }
+
+  std::string name() const override { return Name; }
+
+private:
+  Mode M;
+  std::string Name;
+};
+
 } // namespace
 
 void baselines::registerBuiltinEngines(solver::SolverRegistry &R) {
@@ -78,5 +119,24 @@ void baselines::registerBuiltinEngines(solver::SolverRegistry &R) {
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<solver::DataDrivenChcSolver>(learnerSwapFrom(
               EO, makeTemplateSolverOptions(EO.Limits.WallSeconds)));
+        });
+}
+
+void baselines::registerCrashEngines(solver::SolverRegistry &R) {
+  R.add("crash-segv", "isolation test engine: raises SIGSEGV on solve",
+        [](const EngineOptions &) -> EnginePtr {
+          return std::make_unique<CrashSolver>(CrashSolver::Mode::Segv,
+                                               "crash-segv");
+        });
+  R.add("crash-abort", "isolation test engine: calls abort() on solve",
+        [](const EngineOptions &) -> EnginePtr {
+          return std::make_unique<CrashSolver>(CrashSolver::Mode::Abort,
+                                               "crash-abort");
+        });
+  R.add("crash-spin",
+        "isolation test engine: spins forever, ignoring cancellation",
+        [](const EngineOptions &) -> EnginePtr {
+          return std::make_unique<CrashSolver>(CrashSolver::Mode::Spin,
+                                               "crash-spin");
         });
 }

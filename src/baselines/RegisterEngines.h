@@ -26,6 +26,16 @@ namespace la::baselines {
 void registerBuiltinEngines(
     solver::SolverRegistry &R = solver::SolverRegistry::global());
 
+/// Adds deliberately misbehaving engines — "crash-segv" (raises SIGSEGV),
+/// "crash-abort" (calls `std::abort`), "crash-spin" (spins forever,
+/// ignoring its cancellation token) — used to exercise process-level lane
+/// isolation: with `Isolation::Process` these take down only their forked
+/// child, never the caller. NOT registered by `registerBuiltinEngines`;
+/// callers opt in explicitly (tests, `chc_serve --crash-engines`). Safe to
+/// call repeatedly.
+void registerCrashEngines(
+    solver::SolverRegistry &R = solver::SolverRegistry::global());
+
 } // namespace la::baselines
 
 #endif // LA_BASELINES_REGISTERENGINES_H

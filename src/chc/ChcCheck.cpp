@@ -6,6 +6,8 @@
 
 #include "chc/ChcCheck.h"
 
+#include "support/FileCache.h"
+
 #include <cassert>
 #include <cstdlib>
 
@@ -50,10 +52,16 @@ ClauseCheckResult chc::checkClause(const ChcSystem &System,
 
 ClauseCheckContext::ClauseCheckContext(const ChcSystem &System,
                                        SmtSolver::Options Opts,
-                                       size_t CacheCapacity)
+                                       size_t CacheCapacity,
+                                       std::shared_ptr<FileCache> Persistent)
     : System(System), Opts(Opts), CacheCapacity(CacheCapacity),
-      CrossCheck(std::getenv("LA_CHECK_INCREMENTAL") != nullptr) {
+      CrossCheck(std::getenv("LA_CHECK_INCREMENTAL") != nullptr),
+      Persistent(std::move(Persistent)) {
   Solvers.resize(System.clauses().size());
+  // The disk key must survive process boundaries, so it hashes the printed
+  // system instead of this manager's term ids. Computed once per context.
+  if (this->Persistent)
+    SystemHash = FileCache::hashKey(System.toString());
 }
 
 SmtSolver &ClauseCheckContext::solverFor(size_t ClauseIndex) {
@@ -87,6 +95,41 @@ std::string ClauseCheckContext::cacheKey(size_t ClauseIndex,
   if (Clause.HeadPred)
     Key += ">" + std::to_string(Interp.get(Clause.HeadPred->Pred)->id());
   return Key;
+}
+
+std::string ClauseCheckContext::diskKey(size_t ClauseIndex,
+                                        const Interpretation &Interp) const {
+  // Process-independent analogue of cacheKey: term ids are private to one
+  // TermManager, so the disk tier hashes the printed interpretation
+  // formulas (deterministic rendering) under the canonical system hash.
+  const HornClause &Clause = System.clauses()[ClauseIndex];
+  std::string Rendered;
+  for (const PredApp &App : Clause.Body)
+    Rendered += Interp.get(App.Pred)->toString() + "\x1f";
+  if (Clause.HeadPred)
+    Rendered += ">" + Interp.get(Clause.HeadPred->Pred)->toString();
+  return "c1|" + SystemHash + "|" + std::to_string(ClauseIndex) + "|" +
+         FileCache::hashKey(Rendered);
+}
+
+void ClauseCheckContext::memoize(std::string Key,
+                                 const ClauseCheckResult &Result) {
+  auto [Slot, Inserted] = Cache.try_emplace(Key);
+  if (!Inserted) {
+    // Re-insertion of a live key (possible when a crosscheck re-ran the
+    // clause): refresh the stored verdict and its recency; this is not an
+    // eviction.
+    Slot->second.Result = Result;
+    LruList.splice(LruList.end(), LruList, Slot->second.LruPos);
+    return;
+  }
+  if (Cache.size() > CacheCapacity && !LruList.empty()) {
+    Cache.erase(LruList.front());
+    LruList.pop_front();
+    ++Statistics.CacheEvictions;
+  }
+  Slot->second.Result = Result;
+  Slot->second.LruPos = LruList.insert(LruList.end(), std::move(Key));
 }
 
 void ClauseCheckContext::crossCheckVerdict(
@@ -147,6 +190,23 @@ ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
     return Hit->second.Result;
   }
   ++Statistics.CacheMisses;
+
+  // Persistent tier: only Valid verdicts live on disk (they carry no model,
+  // so a one-line record fully reproduces the result). A hit is promoted
+  // back into the in-memory LRU.
+  std::string DKey;
+  if (Persistent) {
+    DKey = diskKey(ClauseIndex, Interp);
+    std::string Stored;
+    if (Persistent->lookup(DKey, Stored) && Stored == "valid") {
+      ++Statistics.DiskHits;
+      ClauseCheckResult FromDisk;
+      FromDisk.Status = ClauseStatus::Valid;
+      memoize(std::move(Key), FromDisk);
+      return FromDisk;
+    }
+    ++Statistics.DiskMisses;
+  }
 
   SmtSolver &Solver = solverFor(ClauseIndex);
   Solver.push();
@@ -225,22 +285,11 @@ ClauseCheckResult ClauseCheckContext::check(size_t ClauseIndex,
     return Result;
   }
 
-  auto [Slot, Inserted] = Cache.try_emplace(Key);
-  if (!Inserted) {
-    // Re-insertion of a live key (possible when a crosscheck re-ran the
-    // clause): refresh the stored verdict and its recency; this is not an
-    // eviction.
-    Slot->second.Result = Result;
-    LruList.splice(LruList.end(), LruList, Slot->second.LruPos);
-    return Result;
+  memoize(std::move(Key), Result);
+  if (Persistent && Result.Status == ClauseStatus::Valid) {
+    Persistent->store(DKey, "valid");
+    ++Statistics.DiskStores;
   }
-  if (Cache.size() > CacheCapacity && !LruList.empty()) {
-    Cache.erase(LruList.front());
-    LruList.pop_front();
-    ++Statistics.CacheEvictions;
-  }
-  Slot->second.Result = Result;
-  Slot->second.LruPos = LruList.insert(LruList.end(), std::move(Key));
   return Result;
 }
 

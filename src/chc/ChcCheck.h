@@ -20,6 +20,10 @@
 #include <list>
 #include <memory>
 
+namespace la {
+class FileCache;
+}
+
 namespace la::chc {
 
 /// Verdict for one clause under an interpretation.
@@ -50,6 +54,9 @@ struct CheckStats {
   uint64_t SolverRebuilds = 0;  ///< per-clause solver (re)constructions
   uint64_t RebuildsAvoided = 0; ///< checks served by a live per-clause solver
   uint64_t ConjunctSplits = 0;  ///< checks decomposed conjunct-by-conjunct
+  uint64_t DiskHits = 0;        ///< verdicts served from the persistent tier
+  uint64_t DiskMisses = 0;      ///< persistent-tier lookups that missed
+  uint64_t DiskStores = 0;      ///< verdicts written to the persistent tier
 
   void merge(const CheckStats &O) {
     ChecksIssued += O.ChecksIssued;
@@ -60,6 +67,9 @@ struct CheckStats {
     SolverRebuilds += O.SolverRebuilds;
     RebuildsAvoided += O.RebuildsAvoided;
     ConjunctSplits += O.ConjunctSplits;
+    DiskHits += O.DiskHits;
+    DiskMisses += O.DiskMisses;
+    DiskStores += O.DiskStores;
   }
 };
 
@@ -80,11 +90,20 @@ struct CheckStats {
 /// With the environment variable LA_CHECK_INCREMENTAL set, every non-cached
 /// verdict is replayed on the one-shot path and asserted to agree
 /// verdict-for-verdict (and Invalid models are re-evaluated on the clause).
+///
+/// An optional persistent tier (a shared `FileCache`) sits under the memo
+/// cache: Valid verdicts — the only ones that carry no model — are written
+/// to disk under a process-independent key (canonical hash of the printed
+/// system + clause index + hash of the printed interpretation formulas),
+/// so repeated solves of the same system across daemon restarts skip their
+/// SMT checks entirely. In-memory misses consult the disk tier before the
+/// solver; disk hits are promoted back into the LRU.
 class ClauseCheckContext {
 public:
   explicit ClauseCheckContext(const ChcSystem &System,
                               smt::SmtSolver::Options Opts = {},
-                              size_t CacheCapacity = 1 << 14);
+                              size_t CacheCapacity = 1 << 14,
+                              std::shared_ptr<FileCache> Persistent = nullptr);
 
   /// Checks clause \p ClauseIndex of the system under \p Interp.
   ClauseCheckResult check(size_t ClauseIndex, const Interpretation &Interp);
@@ -98,6 +117,8 @@ public:
 private:
   smt::SmtSolver &solverFor(size_t ClauseIndex);
   std::string cacheKey(size_t ClauseIndex, const Interpretation &Interp) const;
+  std::string diskKey(size_t ClauseIndex, const Interpretation &Interp) const;
+  void memoize(std::string Key, const ClauseCheckResult &Result);
   void crossCheckVerdict(size_t ClauseIndex, const Interpretation &Interp,
                          const ClauseCheckResult &Incremental) const;
 
@@ -105,6 +126,8 @@ private:
   smt::SmtSolver::Options Opts;
   size_t CacheCapacity;
   bool CrossCheck; ///< LA_CHECK_INCREMENTAL differential mode
+  std::shared_ptr<FileCache> Persistent;
+  std::string SystemHash; ///< canonical hash of the printed system
   std::vector<std::unique_ptr<smt::SmtSolver>> Solvers; ///< one per clause
 
   /// LRU recency list (least recent at the front) and the cache entries

@@ -69,8 +69,14 @@ struct EngineStats {
         static_cast<unsigned long long>(Check.RebuildsAvoided), Seconds);
     if (TemplatesMined + PolyhedraFacts > 0 && N > 0 &&
         static_cast<size_t>(N) < sizeof(Buf))
-      snprintf(Buf + N, sizeof(Buf) - N, "  templates %zu  polyfacts %zu",
-               TemplatesMined, PolyhedraFacts);
+      N += snprintf(Buf + N, sizeof(Buf) - N, "  templates %zu  polyfacts %zu",
+                    TemplatesMined, PolyhedraFacts);
+    if (Check.DiskHits + Check.DiskMisses > 0 && N > 0 &&
+        static_cast<size_t>(N) < sizeof(Buf))
+      snprintf(Buf + N, sizeof(Buf) - N, "  disk %llu/%llu",
+               static_cast<unsigned long long>(Check.DiskHits),
+               static_cast<unsigned long long>(Check.DiskHits +
+                                               Check.DiskMisses));
     return Buf;
   }
 };

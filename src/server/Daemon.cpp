@@ -45,13 +45,14 @@ std::string renderCompletion(const std::string &ClientId,
     return "expired " + ClientId;
   if (!R.Result.Ok)
     return "error " + ClientId + " " + R.Result.Error;
-  char Buf[160];
+  char Buf[192];
   snprintf(Buf, sizeof(Buf),
            " engine=%s format=%s seconds=%.3f queued=%.3f cached=%d "
-           "validated=%d",
+           "disk=%d validated=%d",
            R.Result.SolverName.empty() ? "?" : R.Result.SolverName.c_str(),
            solver::toString(R.Result.Format), R.RunSeconds, R.QueueSeconds,
-           R.CacheHit ? 1 : 0, R.Result.ModelValidated ? 1 : 0);
+           R.CacheHit || R.Result.FromDiskCache ? 1 : 0,
+           R.Result.FromDiskCache ? 1 : 0, R.Result.ModelValidated ? 1 : 0);
   return "ok " + ClientId + " " + chc::toString(R.Result.Status) + Buf;
 }
 
@@ -86,6 +87,15 @@ bool applyOption(const std::string &Word, solver::SolveRequest &Request,
       return false;
     }
     Request.Format = *F;
+    return true;
+  }
+  if (Key == "isolation") {
+    std::optional<solver::Isolation> I = solver::parseIsolation(Value);
+    if (!I) {
+      Error = "unknown isolation '" + Value + "' (want thread or process)";
+      return false;
+    }
+    Request.Options.Isolate = *I;
     return true;
   }
   Error = "unknown option '" + Key + "'";
@@ -162,6 +172,7 @@ size_t server::runDaemon(std::istream &In, std::ostream &Out,
         continue;
       }
       solver::SolveRequest Request;
+      Request.Options.Isolate = Opts.DefaultIsolation;
       std::string OptionError;
       bool OptionsOk = true;
       std::string Word;

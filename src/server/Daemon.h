@@ -12,19 +12,28 @@
 /// Requests, one per line:
 ///
 ///   solve <id> <path> [engine=E] [budget=SECONDS] [format=F]
+///                     [isolation=thread|process]
 ///   solve-inline <id> [engine=E] [budget=SECONDS] [format=F]
+///                     [isolation=thread|process]
 ///     ...source lines...
 ///     .
 ///   cancel <id>
 ///   metrics
 ///   shutdown
 ///
+/// `isolation=process` forks the engine (or each portfolio lane) into a
+/// hard-killable child process, so a crashing engine cannot take the
+/// daemon down; the default comes from `DaemonOptions::DefaultIsolation`.
+///
 /// `<id>` is a client-chosen token echoed back in the response, so clients
 /// can pipeline requests and match answers arriving out of submission
 /// order. Responses, one per line, written as jobs complete:
 ///
 ///   ok <id> <sat|unsat|unknown> engine=<name> format=<fmt> seconds=<s>
-///      queued=<s> cached=<0|1> validated=<0|1>
+///      queued=<s> cached=<0|1> disk=<0|1> validated=<0|1>
+///
+/// `cached=1` covers both the in-memory memo cache and the persistent
+/// disk cache; `disk=1` singles out answers served from the latter.
 ///   rejected <id> retry-after=<seconds>     (backpressure: resubmit later)
 ///   expired <id>                            (budget ran out in the queue)
 ///   error <id> <message>
@@ -51,6 +60,10 @@ struct DaemonOptions {
   /// Budget applied to requests that send no `budget=`; copied into
   /// `Service.DefaultLimits`.
   double DefaultBudgetSeconds = 60;
+  /// Isolation applied to requests that send no `isolation=`. Process
+  /// mode makes the daemon crash-proof against misbehaving engines at the
+  /// cost of a fork per lane.
+  solver::Isolation DefaultIsolation = solver::Isolation::Thread;
 };
 
 /// Runs the protocol until `shutdown` or end of input, then drains the

@@ -6,6 +6,8 @@
 
 #include "server/SolverService.h"
 
+#include "support/FileCache.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -50,6 +52,16 @@ std::string ServiceMetrics::report() const {
            static_cast<unsigned long long>(CacheHits),
            static_cast<unsigned long long>(CacheMisses));
   Out += Buf;
+  snprintf(Buf, sizeof(Buf),
+           "disk cache: served %llu  hits %llu  misses %llu  stores %llu  "
+           "evictions %llu  corrupt %llu\n",
+           static_cast<unsigned long long>(DiskCacheServed),
+           static_cast<unsigned long long>(DiskHits),
+           static_cast<unsigned long long>(DiskMisses),
+           static_cast<unsigned long long>(DiskStores),
+           static_cast<unsigned long long>(DiskEvictions),
+           static_cast<unsigned long long>(DiskCorrupt));
+  Out += Buf;
   Out += "engine wins:";
   if (EngineWins.empty())
     Out += " (none)";
@@ -63,14 +75,16 @@ std::string ServiceMetrics::report() const {
 }
 
 std::string ServiceMetrics::json() const {
-  char Buf[640];
+  char Buf[1024];
   snprintf(Buf, sizeof(Buf),
            "{\"uptime_seconds\":%.3f,\"workers\":%zu,\"queue_depth\":%zu,"
            "\"queue_capacity\":%zu,\"in_flight\":%zu,\"submitted\":%llu,"
            "\"rejected\":%llu,\"completed\":%llu,\"solved_per_second\":%.3f,"
            "\"sat\":%llu,\"unsat\":%llu,\"unknown\":%llu,\"errors\":%llu,"
            "\"expired_in_queue\":%llu,\"cache_hits\":%llu,"
-           "\"cache_misses\":%llu,\"engine_wins\":{",
+           "\"cache_misses\":%llu,\"disk_cache_served\":%llu,"
+           "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_stores\":%llu,"
+           "\"disk_evictions\":%llu,\"disk_corrupt\":%llu,\"engine_wins\":{",
            UptimeSeconds, Workers, QueueDepth, QueueCapacity, InFlight,
            static_cast<unsigned long long>(Submitted),
            static_cast<unsigned long long>(Rejected),
@@ -81,7 +95,13 @@ std::string ServiceMetrics::json() const {
            static_cast<unsigned long long>(Errors),
            static_cast<unsigned long long>(ExpiredInQueue),
            static_cast<unsigned long long>(CacheHits),
-           static_cast<unsigned long long>(CacheMisses));
+           static_cast<unsigned long long>(CacheMisses),
+           static_cast<unsigned long long>(DiskCacheServed),
+           static_cast<unsigned long long>(DiskHits),
+           static_cast<unsigned long long>(DiskMisses),
+           static_cast<unsigned long long>(DiskStores),
+           static_cast<unsigned long long>(DiskEvictions),
+           static_cast<unsigned long long>(DiskCorrupt));
   std::string Out = Buf;
   bool First = true;
   for (const auto &[Engine, Wins] : EngineWins) {
@@ -118,6 +138,8 @@ SolverService::SolverService(ServiceOptions O) : Opts(std::move(O)) {
     Opts.Workers = 1;
   if (Opts.QueueCapacity == 0)
     Opts.QueueCapacity = 1;
+  if (!(Opts.RetryFloorSeconds > 0))
+    Opts.RetryFloorSeconds = 0.1;
   Started = Clock::now();
   Workers.reserve(Opts.Workers);
   for (size_t I = 0; I < Opts.Workers; ++I)
@@ -201,6 +223,10 @@ Ticket SolverService::submit(solver::SolveRequest Request) {
   // The request's budget wins field-by-field over the service default.
   Request.Options.Limits =
       Request.Options.Limits.resolvedOver(Opts.DefaultLimits);
+  // Every job shares the service's persistent cache unless the request
+  // brought its own.
+  if (Opts.DiskCache && !Request.Options.DiskCache)
+    Request.Options.DiskCache = Opts.DiskCache;
 
   Ticket T;
   std::function<void(const JobResult &)> Callback;
@@ -234,10 +260,14 @@ Ticket SolverService::submit(solver::SolveRequest Request) {
         ++Rejected;
         T.Status = SubmitStatus::QueueFull;
         // Depth times the recent mean solve time, spread over the pool.
-        double Mean = MeanRunSeconds > 0 ? MeanRunSeconds : 1.0;
-        T.RetryAfterSeconds = std::max(
-            0.1, Mean * static_cast<double>(Queue.size() + 1) /
-                     static_cast<double>(Opts.Workers));
+        // Before the EWMA has a sample (cold start) the estimate has no
+        // basis; the configurable floor keeps it nonzero either way so
+        // clients never busy-spin against a full queue.
+        double Mean = MeanRunSeconds > 0 ? MeanRunSeconds : 0;
+        T.RetryAfterSeconds =
+            std::max(Opts.RetryFloorSeconds,
+                     Mean * static_cast<double>(Queue.size() + 1) /
+                         static_cast<double>(Opts.Workers));
         return T;
       }
       ++Submitted;
@@ -369,6 +399,8 @@ void SolverService::workerLoop() {
     Live.erase(J->Id);
     R.RunSeconds = secondsBetween(Now, Clock::now());
     R.Result = std::move(S);
+    if (R.Result.FromDiskCache)
+      ++DiskCacheServed;
     if (R.Result.Ok && R.Result.Status != chc::ChcResult::Unknown)
       cacheStore(J->CacheKey, R.Result);
     MeanRunSeconds = MeanRunSeconds <= 0
@@ -402,6 +434,15 @@ ServiceMetrics SolverService::metrics() const {
   M.ExpiredInQueue = Expired;
   M.CacheHits = CacheHits;
   M.CacheMisses = CacheMisses;
+  M.DiskCacheServed = DiskCacheServed;
+  if (Opts.DiskCache) {
+    FileCache::Stats DS = Opts.DiskCache->stats();
+    M.DiskHits = DS.Hits;
+    M.DiskMisses = DS.Misses;
+    M.DiskStores = DS.Stores;
+    M.DiskEvictions = DS.Evictions;
+    M.DiskCorrupt = DS.CorruptDropped;
+  }
   M.UptimeSeconds = secondsBetween(Started, Clock::now());
   M.SolvedPerSecond =
       M.UptimeSeconds > 0

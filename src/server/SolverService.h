@@ -73,7 +73,9 @@ struct Ticket {
   SubmitStatus Status = SubmitStatus::Accepted;
   uint64_t Id = 0; ///< Service-assigned job id (0 when rejected).
   /// Suggested client back-off when `Status == QueueFull`: queue depth
-  /// times the recent mean solve time (EWMA), floored at 0.1s.
+  /// times the recent mean solve time (EWMA), never below
+  /// `ServiceOptions::RetryFloorSeconds` — in particular it is nonzero
+  /// even before the EWMA has its first sample (cold start).
   double RetryAfterSeconds = 0;
   /// The job's outcome; valid only when `Status == Accepted`.
   std::future<JobResult> Result;
@@ -95,6 +97,17 @@ struct ServiceMetrics {
   uint64_t ExpiredInQueue = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0; ///< Lookups that went on to run an engine.
+  /// Jobs whose whole result came from the persistent disk cache
+  /// (`ServiceOptions::DiskCache`) without running an engine.
+  uint64_t DiskCacheServed = 0;
+  /// Snapshot of the shared `FileCache` counters (all zero when the
+  /// service runs without a disk cache). Hits/misses count both tiers —
+  /// whole-request verdicts and clause-check records.
+  uint64_t DiskHits = 0;
+  uint64_t DiskMisses = 0;
+  uint64_t DiskStores = 0;
+  uint64_t DiskEvictions = 0;
+  uint64_t DiskCorrupt = 0;
   /// Definitive verdicts per second of service uptime.
   double SolvedPerSecond = 0;
   double UptimeSeconds = 0;
@@ -116,6 +129,16 @@ struct ServiceOptions {
   Budget DefaultLimits{60, 0};
   /// Capacity of the definitive-result memo cache (0 disables it).
   size_t CacheCapacity = 128;
+  /// Lower bound of the `QueueFull` retry-after estimate. Guards the cold
+  /// start: before the EWMA has a sample the estimate would otherwise
+  /// degenerate, and a zero retry-after makes clients busy-spin against a
+  /// full queue. Non-positive values fall back to 0.1s.
+  double RetryFloorSeconds = 0.1;
+  /// Persistent on-disk result cache shared by every job: injected into
+  /// each request's `SolveOptions::DiskCache` (unless the request already
+  /// carries one), so verdicts and clause-check records survive restarts
+  /// and crashes of the daemon.
+  std::shared_ptr<FileCache> DiskCache;
   /// Invoked on the worker thread after each job completes (after the
   /// future is satisfied). Used by the daemon to push responses.
   std::function<void(const JobResult &)> OnComplete;
@@ -170,6 +193,7 @@ private:
   uint64_t Submitted = 0, Rejected = 0, Completed = 0;
   uint64_t SolvedSat = 0, SolvedUnsat = 0, UnknownCount = 0, ErrorCount = 0;
   uint64_t Expired = 0, CacheHits = 0, CacheMisses = 0;
+  uint64_t DiskCacheServed = 0;
   std::unordered_map<std::string, uint64_t> EngineWins;
   double MeanRunSeconds = 0; ///< EWMA feeding the retry-after estimate.
   std::chrono::steady_clock::time_point Started;

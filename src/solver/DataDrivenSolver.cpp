@@ -88,7 +88,7 @@ public:
              DataDrivenChcSolver::DetailedStats &Details)
       : System(System), TM(System.termManager()), Opts(Opts),
         Analysis(Analysis), Details(Details), Clock(Opts.Limits.WallSeconds),
-        Result(TM), Checker(System, Opts.Smt) {
+        Result(TM), Checker(System, Opts.Smt, 1 << 14, Opts.CheckCache) {
     for (const Predicate *P : System.predicates()) {
       PredState State;
       State.Pred = P;

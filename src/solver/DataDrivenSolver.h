@@ -33,6 +33,11 @@
 #include "support/Timer.h"
 
 #include <functional>
+#include <memory>
+
+namespace la {
+class FileCache;
+}
 
 namespace la::solver {
 
@@ -70,6 +75,11 @@ struct DataDrivenOptions {
   /// verified interval invariants seeding the interpretations.
   bool EnableAnalysis = true;
   analysis::AnalysisOptions Analysis;
+  /// Optional persistent tier under the clause-check memo cache: Valid
+  /// clause verdicts are stored in this shared on-disk cache keyed by a
+  /// canonical system hash, so repeated solves of the same system — across
+  /// requests, restarts, and crashes — skip their SMT checks entirely.
+  std::shared_ptr<FileCache> CheckCache;
 };
 
 /// The LinearArbitrary CHC solver.

@@ -6,19 +6,35 @@
 
 #include "solver/Portfolio.h"
 
+#include "smtlib2/Parser.h"
+#include "smtlib2/Printer.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 using namespace la;
 using namespace la::solver;
 using namespace la::chc;
+
+const char *solver::toString(Isolation I) {
+  return I == Isolation::Process ? "process" : "thread";
+}
+
+std::optional<Isolation> solver::parseIsolation(const std::string &Text) {
+  if (Text == "thread")
+    return Isolation::Thread;
+  if (Text == "process")
+    return Isolation::Process;
+  return std::nullopt;
+}
 
 std::vector<PortfolioLane>
 PortfolioSolver::defaultLanes(const EngineOptions &Base,
@@ -41,14 +57,390 @@ PortfolioSolver::defaultLanes(const EngineOptions &Base,
 
 namespace {
 
+//===----------------------------------------------------------------------===//
+// Process-mode lane wire format
+//
+// A forked lane cannot hand back term pointers — they live in the child's
+// address space. Instead the child serializes its result to text: verdict,
+// display name, stats, the printed interpretation formula per predicate
+// (via smtlib2::printTerm, so symbols are quoted canonically), and the
+// counterexample as plain numbers. The parent parses this wire form and,
+// for a winning sat lane, rebuilds each formula in the input TermManager by
+// printing a one-clause synthetic HORN script, parsing it, and substituting
+// the head-argument variables with the real predicate parameters.
+//===----------------------------------------------------------------------===//
+
+/// Parsed form of a process-mode lane payload.
+struct LaneWire {
+  ChcResult Status = ChcResult::Unknown;
+  std::string Name;
+  EngineStats Stats;
+  /// Printed interpretation formula per predicate index (sat only).
+  std::vector<std::string> Formulas;
+  /// Counterexample, if any (unsat only), in index/number form.
+  bool HasCex = false;
+  size_t QueryClauseIndex = 0;
+  std::vector<size_t> QueryChildren;
+  struct WireNode {
+    size_t PredIndex = 0;
+    size_t ClauseIndex = 0;
+    std::vector<std::string> Args; ///< rationals, Rational::toString form
+    std::vector<size_t> Children;
+  };
+  std::vector<WireNode> Nodes;
+};
+
+void putBlock(std::string &Out, const char *Tag, const std::string &Text) {
+  Out += Tag;
+  Out += ' ';
+  Out += std::to_string(Text.size());
+  Out += '\n';
+  Out += Text;
+  Out += '\n';
+}
+
+bool getBlock(std::istream &In, const char *Tag, std::string &Out) {
+  std::string Word;
+  size_t Len = 0;
+  if (!(In >> Word) || Word != Tag || !(In >> Len) || In.get() != '\n')
+    return false;
+  if (Len > (size_t(1) << 28))
+    return false;
+  Out.resize(Len);
+  if (Len > 0 && !In.read(Out.data(), static_cast<std::streamsize>(Len)))
+    return false;
+  return In.get() == '\n';
+}
+
+/// Child side: the lane result as a self-contained text payload.
+std::string serializeLaneResult(const ChcSystem &System,
+                                const std::string &Name,
+                                const ChcSolverResult &Res) {
+  std::string Out = "lane 1\n";
+  Out += "status ";
+  Out += chc::toString(Res.Status);
+  Out += '\n';
+  putBlock(Out, "name", Name);
+  const EngineStats &S = Res.Stats;
+  const CheckStats &C = S.Check;
+  char Buf[512];
+  snprintf(Buf, sizeof(Buf),
+           "stats %zu %zu %zu %.6f %zu %zu %llu %llu %llu %llu %llu %llu "
+           "%llu %llu %llu %llu %llu\n",
+           S.SmtQueries, S.Samples, S.Iterations, S.Seconds, S.TemplatesMined,
+           S.PolyhedraFacts, static_cast<unsigned long long>(C.ChecksIssued),
+           static_cast<unsigned long long>(C.CacheHits),
+           static_cast<unsigned long long>(C.CacheMisses),
+           static_cast<unsigned long long>(C.CacheEvictions),
+           static_cast<unsigned long long>(C.ScopePushes),
+           static_cast<unsigned long long>(C.SolverRebuilds),
+           static_cast<unsigned long long>(C.RebuildsAvoided),
+           static_cast<unsigned long long>(C.ConjunctSplits),
+           static_cast<unsigned long long>(C.DiskHits),
+           static_cast<unsigned long long>(C.DiskMisses),
+           static_cast<unsigned long long>(C.DiskStores));
+  Out += Buf;
+  if (Res.Status == ChcResult::Sat) {
+    Out += "model " + std::to_string(System.predicates().size()) + '\n';
+    for (const Predicate *P : System.predicates())
+      putBlock(Out, "interp", smtlib2::printTerm(Res.Interp.get(P)));
+  } else if (Res.Status == ChcResult::Unsat && Res.Cex) {
+    Out += "cex 1\n";
+    Out += "query " + std::to_string(Res.Cex->QueryClauseIndex) + ' ' +
+           std::to_string(Res.Cex->QueryChildren.size());
+    for (size_t C2 : Res.Cex->QueryChildren)
+      Out += ' ' + std::to_string(C2);
+    Out += '\n';
+    Out += "nodes " + std::to_string(Res.Cex->Nodes.size()) + '\n';
+    for (const Counterexample::Node &N : Res.Cex->Nodes) {
+      Out += "node " + std::to_string(N.Pred->Index) + ' ' +
+             std::to_string(N.ClauseIndex) + ' ' +
+             std::to_string(N.Args.size());
+      for (const Rational &A : N.Args)
+        Out += ' ' + A.toString();
+      Out += ' ' + std::to_string(N.Children.size());
+      for (size_t C2 : N.Children)
+        Out += ' ' + std::to_string(C2);
+      Out += '\n';
+    }
+  }
+  Out += "end\n";
+  return Out;
+}
+
+/// Parent side: payload text back into LaneWire. Strict — any framing
+/// mismatch fails the whole parse and the lane is reported as crashed.
+bool parseLaneWire(const std::string &Payload, size_t NumPredicates,
+                   LaneWire &W) {
+  std::istringstream In(Payload);
+  std::string Word;
+  int Version = 0;
+  if (!(In >> Word >> Version) || Word != "lane" || Version != 1)
+    return false;
+  if (!(In >> Word) || Word != "status" || !(In >> Word))
+    return false;
+  if (Word == "sat")
+    W.Status = ChcResult::Sat;
+  else if (Word == "unsat")
+    W.Status = ChcResult::Unsat;
+  else if (Word == "unknown")
+    W.Status = ChcResult::Unknown;
+  else
+    return false;
+  In.ignore(1, '\n');
+  if (!getBlock(In, "name", W.Name))
+    return false;
+  EngineStats &S = W.Stats;
+  CheckStats &C = S.Check;
+  if (!(In >> Word) || Word != "stats" ||
+      !(In >> S.SmtQueries >> S.Samples >> S.Iterations >> S.Seconds >>
+        S.TemplatesMined >> S.PolyhedraFacts >> C.ChecksIssued >>
+        C.CacheHits >> C.CacheMisses >> C.CacheEvictions >> C.ScopePushes >>
+        C.SolverRebuilds >> C.RebuildsAvoided >> C.ConjunctSplits >>
+        C.DiskHits >> C.DiskMisses >> C.DiskStores))
+    return false;
+  if (!(In >> Word))
+    return false;
+  if (Word == "model") {
+    size_t N = 0;
+    if (!(In >> N) || N != NumPredicates || In.get() != '\n')
+      return false;
+    W.Formulas.resize(N);
+    for (size_t I = 0; I != N; ++I)
+      if (!getBlock(In, "interp", W.Formulas[I]))
+        return false;
+    if (!(In >> Word))
+      return false;
+  } else if (Word == "cex") {
+    int Present = 0;
+    size_t NChildren = 0;
+    if (!(In >> Present) || Present != 1)
+      return false;
+    W.HasCex = true;
+    if (!(In >> Word) || Word != "query" || !(In >> W.QueryClauseIndex) ||
+        !(In >> NChildren) || NChildren > (size_t(1) << 20))
+      return false;
+    W.QueryChildren.resize(NChildren);
+    for (size_t &C2 : W.QueryChildren)
+      if (!(In >> C2))
+        return false;
+    size_t NNodes = 0;
+    if (!(In >> Word) || Word != "nodes" || !(In >> NNodes) ||
+        NNodes > (size_t(1) << 20))
+      return false;
+    W.Nodes.resize(NNodes);
+    for (LaneWire::WireNode &Node : W.Nodes) {
+      size_t NArgs = 0;
+      size_t NKids = 0;
+      if (!(In >> Word) || Word != "node" || !(In >> Node.PredIndex) ||
+          !(In >> Node.ClauseIndex) || !(In >> NArgs) ||
+          NArgs > (size_t(1) << 20))
+        return false;
+      Node.Args.resize(NArgs);
+      for (std::string &A : Node.Args)
+        if (!(In >> A))
+          return false;
+      if (!(In >> NKids) || NKids > (size_t(1) << 20))
+        return false;
+      Node.Children.resize(NKids);
+      for (size_t &K : Node.Children)
+        if (!(In >> K))
+          return false;
+    }
+    if (!(In >> Word))
+      return false;
+  }
+  return Word == "end";
+}
+
+/// Rebuilds one predicate's printed interpretation formula as a term over
+/// `P->Params` in the input manager. The formula is wrapped into a
+/// one-clause HORN script whose binders reuse the predicate's own parameter
+/// symbols, parsed with the strict front end, and the parsed head-argument
+/// variables are substituted with the real parameters (a no-op when the
+/// parser interned the binders onto the existing variables).
+const Term *parseInterpFormula(const ChcSystem &System, const Predicate *P,
+                               const std::string &Formula,
+                               std::string &Error) {
+  TermManager &TM = System.termManager();
+  std::string Script = "(set-logic HORN)\n(declare-fun |la!interp| (";
+  for (size_t J = 0; J != P->arity(); ++J)
+    Script += J == 0 ? "Int" : " Int";
+  Script += ") Bool)\n(assert (forall (";
+  if (P->arity() == 0)
+    Script += "(|la!unused| Int)";
+  for (const Term *Param : P->Params)
+    Script += "(" + smtlib2::printTerm(Param) + " Int)";
+  Script += ") (=> " + Formula + " ";
+  if (P->arity() == 0) {
+    Script += "|la!interp|";
+  } else {
+    Script += "(|la!interp|";
+    for (const Term *Param : P->Params)
+      Script += " " + smtlib2::printTerm(Param);
+    Script += ")";
+  }
+  Script += ")))\n(check-sat)\n";
+
+  ChcSystem Tmp(TM);
+  smtlib2::ParseResult PR = smtlib2::parseSmtLib2(Script, Tmp);
+  if (!PR.Ok) {
+    Error = "cannot reparse lane model formula: " + PR.error();
+    return nullptr;
+  }
+  if (Tmp.clauses().size() != 1 || !Tmp.clauses()[0].HeadPred ||
+      Tmp.clauses()[0].HeadPred->Args.size() != P->arity()) {
+    Error = "lane model formula reparsed into an unexpected clause shape";
+    return nullptr;
+  }
+  const HornClause &Clause = Tmp.clauses()[0];
+  std::unordered_map<const Term *, const Term *> Map;
+  for (size_t J = 0; J != P->arity(); ++J)
+    Map[Clause.HeadPred->Args[J]] = P->Params[J];
+  return TM.substitute(Clause.Constraint, Map);
+}
+
+/// Reconstitutes the winning process lane's wire result in the input
+/// manager. A model that fails to rebuild keeps the verdict but records
+/// the reason in the lane report (the façade's validation pass will then
+/// flag the default all-true interpretation).
+ChcSolverResult rebuildLaneResult(const ChcSystem &System, const LaneWire &W,
+                                  EngineReport &Report) {
+  ChcSolverResult Out(System.termManager());
+  Out.Status = W.Status;
+  Out.Stats = W.Stats;
+  if (W.Status == ChcResult::Sat &&
+      W.Formulas.size() == System.predicates().size()) {
+    for (size_t I = 0; I != W.Formulas.size(); ++I) {
+      std::string Error;
+      const Term *F = parseInterpFormula(System, System.predicates()[I],
+                                         W.Formulas[I], Error);
+      if (F == nullptr) {
+        Report.Error = Error;
+        break;
+      }
+      Out.Interp.set(System.predicates()[I], F);
+    }
+  } else if (W.Status == ChcResult::Unsat && W.HasCex) {
+    Counterexample Cex;
+    Cex.QueryClauseIndex = W.QueryClauseIndex;
+    Cex.QueryChildren = W.QueryChildren;
+    bool Ok = true;
+    for (const LaneWire::WireNode &N : W.Nodes) {
+      Counterexample::Node Copy;
+      if (N.PredIndex >= System.predicates().size()) {
+        Ok = false;
+        break;
+      }
+      Copy.Pred = System.predicates()[N.PredIndex];
+      Copy.ClauseIndex = N.ClauseIndex;
+      for (const std::string &A : N.Args) {
+        std::optional<Rational> R = Rational::fromString(A);
+        if (!R) {
+          Ok = false;
+          break;
+        }
+        Copy.Args.push_back(*R);
+      }
+      Copy.Children = N.Children;
+      if (!Ok)
+        break;
+      Cex.Nodes.push_back(std::move(Copy));
+    }
+    if (Ok)
+      Out.Cex = std::move(Cex);
+    else
+      Report.Error = "cannot rebuild lane counterexample";
+  }
+  return Out;
+}
+
 /// Everything one lane owns. Workers only ever touch their own slot; the
 /// main thread reads the slots after joining every worker.
 struct LaneExec {
   std::unique_ptr<TermManager> TM;
   std::unique_ptr<ChcSystem> Clone;
   std::optional<ChcSolverResult> Result;
+  std::optional<LaneWire> Wire; ///< process mode: parsed child payload
   EngineReport Report;
 };
+
+/// Runs one lane in a forked child. The engine is created in the parent —
+/// `Registry.create` takes locks that must never be acquired in a forked
+/// child of a multithreaded process — and the child only calls `solve` over
+/// already-owned data.
+void runProcessLane(const ChcSystem &System, const SolverRegistry &Registry,
+                    const std::string &Engine, const EngineOptions &EO,
+                    const PortfolioOptions &Opts,
+                    const std::shared_ptr<CancellationToken> &Token,
+                    LaneExec &Exec, bool &Definitive) {
+  std::unique_ptr<ChcSolverInterface> Solver;
+  EngineOptions ChildEO = EO;
+  ChildEO.Cancel = nullptr; // cancellation is delivered as SIGKILL
+  try {
+    Solver = Registry.create(Engine, ChildEO);
+  } catch (const std::exception &E) {
+    Exec.Report.Crashed = true;
+    Exec.Report.Outcome = LaneOutcome::Failed;
+    const char *What = E.what();
+    Exec.Report.Error = (What != nullptr && *What != '\0')
+                            ? What
+                            : "engine construction failed";
+    return;
+  }
+  Exec.Report.Name = Solver->name();
+
+  ProcessLimits PL;
+  // The child engine enforces its own soft wall budget and returns Unknown;
+  // the parent's hard kill lands one second later, for engines that cannot
+  // be trusted to stop on their own.
+  if (ChildEO.Limits.WallSeconds > 0)
+    PL.WallSeconds = ChildEO.Limits.WallSeconds + 1.0;
+  PL.CpuSeconds = Opts.LaneCpuSeconds;
+  PL.MemoryBytes = Opts.LaneMemoryBytes;
+
+  ChcSolverInterface *SolverPtr = Solver.get();
+  ProcessResult PR = runInChildProcess(
+      [SolverPtr, &System]() {
+        ChcSolverResult R = SolverPtr->solve(System);
+        return serializeLaneResult(System, SolverPtr->name(), R);
+      },
+      PL, Token);
+
+  Exec.Report.Outcome = PR.Outcome;
+  switch (PR.Outcome) {
+  case LaneOutcome::Completed: {
+    LaneWire W;
+    if (parseLaneWire(PR.Payload, System.predicates().size(), W)) {
+      Exec.Report.Status = W.Status;
+      Exec.Report.Stats = W.Stats;
+      if (!W.Name.empty())
+        Exec.Report.Name = W.Name;
+      Definitive = W.Status != ChcResult::Unknown;
+      Exec.Wire = std::move(W);
+    } else {
+      Exec.Report.Crashed = true;
+      Exec.Report.Outcome = LaneOutcome::Crashed;
+      Exec.Report.Error = "malformed lane result payload";
+    }
+    break;
+  }
+  case LaneOutcome::Failed:
+  case LaneOutcome::MemoryLimit:
+  case LaneOutcome::Crashed:
+  case LaneOutcome::CpuLimit:
+    Exec.Report.Crashed = true;
+    Exec.Report.Error = PR.describe();
+    break;
+  case LaneOutcome::TimedOut:
+    Exec.Report.Error = PR.describe();
+    break;
+  case LaneOutcome::Cancelled:
+    // Status stays Unknown; the caller derives the Cancelled flag from the
+    // (tripped) shared token.
+    break;
+  }
+}
 
 /// Copies the winning lane's result back into the input system's manager.
 /// Predicates map by index (cloning preserves declaration order), terms go
@@ -118,16 +510,21 @@ ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
     Exec.Report.Engine = Lane.Engine;
     if (!Registry.contains(Lane.Engine)) {
       Exec.Report.Crashed = true;
+      Exec.Report.Outcome = LaneOutcome::Failed;
       Exec.Report.Error = "unknown engine id '" + Lane.Engine + "'";
       continue;
     }
 
-    // Lane isolation: a private manager plus a deep clone of the system.
-    // The clone happens on the main thread, before any worker starts, so
-    // the input manager is never touched concurrently.
-    Exec.TM = std::make_unique<TermManager>();
-    Exec.Clone = std::make_unique<ChcSystem>(*Exec.TM);
-    cloneSystem(System, *Exec.Clone);
+    // Lane isolation, thread mode: a private manager plus a deep clone of
+    // the system. The clone happens on the main thread, before any worker
+    // starts, so the input manager is never touched concurrently. Process
+    // mode skips the clone entirely — fork() hands the child a private
+    // copy-on-write image of the input system.
+    if (Opts.Isolate == Isolation::Thread) {
+      Exec.TM = std::make_unique<TermManager>();
+      Exec.Clone = std::make_unique<ChcSystem>(*Exec.TM);
+      cloneSystem(System, *Exec.Clone);
+    }
 
     EngineOptions EO = Lane.Opts;
     EO.Limits = EO.Limits.resolvedOver(Opts.Base.Limits);
@@ -138,25 +535,37 @@ ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
     EO.Cancel = Token;
 
     ++Running;
-    Workers.emplace_back([&Registry, &Exec, &WinnerIdx, &Mutex, &Cv, &Running,
-                          Token, EO = std::move(EO), Engine = Lane.Engine,
-                          Idx = static_cast<int>(I)]() {
+    Workers.emplace_back([this, &System, &Registry, &Exec, &WinnerIdx, &Mutex,
+                          &Cv, &Running, Token, EO = std::move(EO),
+                          Engine = Lane.Engine, Idx = static_cast<int>(I)]() {
       Timer LaneClock;
       bool Definitive = false;
-      try {
-        std::unique_ptr<ChcSolverInterface> Solver =
-            Registry.create(Engine, EO);
-        Exec.Report.Name = Solver->name();
-        Exec.Result = Solver->solve(*Exec.Clone);
-        Exec.Report.Status = Exec.Result->Status;
-        Exec.Report.Stats = Exec.Result->Stats;
-        Definitive = Exec.Result->Status != ChcResult::Unknown;
-      } catch (const std::exception &E) {
-        Exec.Report.Crashed = true;
-        Exec.Report.Error = E.what();
-      } catch (...) {
-        Exec.Report.Crashed = true;
-        Exec.Report.Error = "non-standard exception";
+      if (Opts.Isolate == Isolation::Process) {
+        runProcessLane(System, Registry, Engine, EO, Opts, Token, Exec,
+                       Definitive);
+      } else {
+        try {
+          std::unique_ptr<ChcSolverInterface> Solver =
+              Registry.create(Engine, EO);
+          Exec.Report.Name = Solver->name();
+          Exec.Result = Solver->solve(*Exec.Clone);
+          Exec.Report.Status = Exec.Result->Status;
+          Exec.Report.Stats = Exec.Result->Stats;
+          Definitive = Exec.Result->Status != ChcResult::Unknown;
+        } catch (const std::exception &E) {
+          // Keep the engine's own words: the diagnostic is the only trace
+          // of what went wrong that survives into reports and logs.
+          Exec.Report.Crashed = true;
+          Exec.Report.Outcome = LaneOutcome::Failed;
+          const char *What = E.what();
+          Exec.Report.Error = (What != nullptr && *What != '\0')
+                                  ? What
+                                  : "engine threw an exception with no message";
+        } catch (...) {
+          Exec.Report.Crashed = true;
+          Exec.Report.Outcome = LaneOutcome::Failed;
+          Exec.Report.Error = "engine threw a non-standard exception";
+        }
       }
       Exec.Report.Seconds = LaneClock.elapsedSeconds();
       Exec.Report.Cancelled = !Exec.Report.Crashed &&
@@ -198,7 +607,10 @@ ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
     LaneExec &Exec = Execs[static_cast<size_t>(Winner)];
     Exec.Report.Winner = true;
     Exec.Report.Cancelled = false;
-    Final = translateBack(System, *Exec.Clone, *Exec.Result);
+    if (Opts.Isolate == Isolation::Process)
+      Final = rebuildLaneResult(System, *Exec.Wire, Exec.Report);
+    else
+      Final = translateBack(System, *Exec.Clone, *Exec.Result);
   }
   Final.Stats.Seconds = Total.elapsedSeconds();
 

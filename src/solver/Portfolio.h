@@ -9,13 +9,24 @@
 /// system: the first definitive answer (sat or unsat) wins and cancels the
 /// remaining lanes through a shared `CancellationToken`.
 ///
-/// Isolation contract: `TermManager` hash-conses and is not thread-safe, so
-/// every lane runs on a private manager holding a deep clone of the input
-/// system (`chc::cloneSystem`). Only after all worker threads have joined
-/// does the main thread translate the winner's model or counterexample back
-/// into the input manager (`TermManager::import`; predicates map by index,
-/// which cloning preserves). A lane that throws is contained: its report
-/// carries the error, the race continues.
+/// Isolation contract, thread mode: `TermManager` hash-conses and is not
+/// thread-safe, so every lane runs on a private manager holding a deep
+/// clone of the input system (`chc::cloneSystem`). Only after all worker
+/// threads have joined does the main thread translate the winner's model or
+/// counterexample back into the input manager (`TermManager::import`;
+/// predicates map by index, which cloning preserves). A lane that throws is
+/// contained: its report carries the error, the race continues. What thread
+/// mode can NOT contain is a lane that segfaults, aborts, or exhausts the
+/// address space — those take the whole process down.
+///
+/// Process mode (`Isolation::Process`) closes that gap: each lane forks
+/// (`runInChildProcess`) and solves in a child under optional
+/// `RLIMIT_AS`/`RLIMIT_CPU` caps; no clone is needed (fork gives the child
+/// a private copy-on-write image of the input system). The child ships its
+/// verdict, stats, printed model formulas, and counterexample over a pipe;
+/// winner selection keeps the same first-winner CAS, and cancellation
+/// becomes SIGKILL. The winner's model is rebuilt in the parent by printing
+/// → parsing → substituting onto the real predicate parameters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,8 +34,24 @@
 #define LA_SOLVER_PORTFOLIO_H
 
 #include "solver/SolverRegistry.h"
+#include "support/ProcessRunner.h"
+
+#include <optional>
 
 namespace la::solver {
+
+/// How portfolio lanes (and façade single-engine solves) are executed.
+enum class Isolation {
+  /// In-process worker threads; exceptions contained, crashes are not.
+  Thread,
+  /// Forked child per lane with hard rlimits; survives segfaults, aborts,
+  /// runaway allocation, and engines that ignore cancellation.
+  Process,
+};
+
+const char *toString(Isolation I);
+/// Parses "thread" / "process"; nullopt on anything else.
+std::optional<Isolation> parseIsolation(const std::string &Text);
 
 /// One competitor in the race: a registry engine id plus its options. The
 /// label names the lane in reports and must be unique within a portfolio
@@ -45,7 +72,11 @@ struct EngineReport {
   chc::ChcResult Status = chc::ChcResult::Unknown;
   bool Winner = false;    ///< This lane's answer was adopted.
   bool Cancelled = false; ///< Stopped by the shared token, not on its own.
-  bool Crashed = false;   ///< Threw; `Error` holds the message.
+  bool Crashed = false;   ///< Threw / died / hit an rlimit; see `Error`.
+  /// How the lane ended. Thread-mode lanes only report `Completed` or
+  /// `Failed`; process-mode lanes get the full waitpid classification
+  /// (Crashed, TimedOut, Cancelled, CpuLimit, MemoryLimit).
+  LaneOutcome Outcome = LaneOutcome::Completed;
   std::string Error;
   double Seconds = 0; ///< Lane wall clock (thread start to finish).
   chc::EngineStats Stats;
@@ -63,6 +94,14 @@ struct PortfolioOptions {
   /// Optional per-lane wall-clock cap applied to lanes that do not set
   /// their own (0 = global budget only).
   double LaneWallSeconds = 0;
+  /// Thread (default) races in-process worker threads; Process forks one
+  /// hard-killable child per lane.
+  Isolation Isolate = Isolation::Thread;
+  /// Process mode only: `RLIMIT_AS` for each lane child, bytes (0 = none).
+  size_t LaneMemoryBytes = 0;
+  /// Process mode only: `RLIMIT_CPU` for each lane child, seconds
+  /// (0 = none). Catches engines that spin without polling cancellation.
+  double LaneCpuSeconds = 0;
   std::string Name = "portfolio";
   /// Defaults every lane inherits (budget, base data-driven config,
   /// external cancellation token).

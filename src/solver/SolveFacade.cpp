@@ -8,7 +8,10 @@
 
 #include "frontend/Encoder.h"
 #include "smtlib2/Parser.h"
+#include "smtlib2/Printer.h"
+#include "support/FileCache.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -77,16 +80,26 @@ std::string solver::SolveResult::summary() const {
   }
   if (SolvedByAnalysis)
     Out += " [solved by pre-analysis]";
-  // Per-lane block for portfolio runs. `Engines` is sorted by lane label,
-  // so the rendering is deterministic regardless of completion order.
-  if (Engines.size() > 1) {
+  if (FromDiskCache)
+    Out += " [disk-cache]";
+  // Per-lane block for portfolio runs — and for any run with a killed or
+  // crashed lane, so isolation events are never silent. `Engines` is sorted
+  // by lane label, so the rendering is deterministic regardless of
+  // completion order.
+  bool AnyAbnormal =
+      std::any_of(Engines.begin(), Engines.end(), [](const EngineReport &R) {
+        return R.Crashed || R.Outcome != LaneOutcome::Completed;
+      });
+  if (Engines.size() > 1 || AnyAbnormal) {
     for (const EngineReport &R : Engines) {
       char Mark = R.Winner ? '*' : R.Crashed ? '!' : R.Cancelled ? '~' : ' ';
       char Line[160];
       snprintf(Line, sizeof(Line), "\n  %c %-12s %-8s %.3fs", Mark,
                R.Lane.c_str(), toString(R.Status), R.Seconds);
       Out += Line;
-      if (R.Crashed)
+      if (R.Outcome != LaneOutcome::Completed)
+        Out += std::string("  [") + la::toString(R.Outcome) + "]";
+      if (R.Crashed || !R.Error.empty())
         Out += "  [" + R.Error + "]";
     }
   }
@@ -105,17 +118,42 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   EO.Limits = Opts.Limits;
   EO.Cancel = Opts.Cancel;
   EO.DataDriven = Opts.Solver;
+  // The persistent clause-verdict tier rides inside the data-driven
+  // options, so every lane (and the bare "la"/"analysis" engines) shares
+  // one disk cache.
+  EO.DataDriven.CheckCache = Opts.DiskCache;
   // Non-data-driven engines share the data-driven SMT budget by default.
   EO.Smt = Opts.Solver.Smt;
 
   std::unique_ptr<ChcSolverInterface> Solver;
+  bool SingleLaneWrapper = false;
   if (Opts.Engine == "portfolio") {
     // Build the portfolio directly so custom lanes in `Opts.Portfolio`
     // survive; the registry path would drop them.
     PortfolioOptions PO = Opts.Portfolio;
     PO.Base = EO;
     PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
+    if (Opts.Isolate == Isolation::Process)
+      PO.Isolate = Isolation::Process;
     Solver = std::make_unique<PortfolioSolver>(std::move(PO));
+  } else if (Opts.Isolate == Isolation::Process) {
+    // Single engine under process isolation: a one-lane portfolio gives the
+    // fork/rlimit/kill machinery and the report classification for free.
+    if (!Registry.contains(Opts.Engine)) {
+      Out.Error = "unknown engine '" + Opts.Engine + "' (registered:";
+      for (const std::string &Id : Registry.ids())
+        Out.Error += " " + Id;
+      Out.Error += ")";
+      return Out;
+    }
+    PortfolioOptions PO = Opts.Portfolio;
+    PO.Lanes = {{Opts.Engine, Opts.Engine, {}}};
+    PO.Isolate = Isolation::Process;
+    PO.Base = EO;
+    PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
+    PO.Name = Opts.Engine;
+    Solver = std::make_unique<PortfolioSolver>(std::move(PO));
+    SingleLaneWrapper = true;
   } else {
     Solver = Registry.create(Opts.Engine, EO);
     if (!Solver) {
@@ -129,7 +167,26 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   Out.Ok = true;
   Out.SolverName = Solver->name();
 
-  ChcSolverResult R = Solver->solve(System);
+  ChcSolverResult R(System.termManager());
+  try {
+    R = Solver->solve(System);
+  } catch (const std::exception &E) {
+    // An engine throw must never escape the façade — in the daemon this is
+    // the difference between one failed request and a dead worker. The
+    // verdict stays Unknown and the report keeps the engine's own words.
+    const char *What = E.what();
+    EngineReport Rep;
+    Rep.Lane = Opts.Engine;
+    Rep.Engine = Opts.Engine;
+    Rep.Name = Out.SolverName;
+    Rep.Crashed = true;
+    Rep.Outcome = LaneOutcome::Failed;
+    Rep.Error = (What != nullptr && *What != '\0')
+                    ? What
+                    : "engine threw an exception with no message";
+    Out.Engines.push_back(std::move(Rep));
+    return Out;
+  }
   Out.Status = R.Status;
   Out.Solver = R.Stats;
   if (R.Status == ChcResult::Sat) {
@@ -143,6 +200,11 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
 
   if (auto *Portfolio = dynamic_cast<PortfolioSolver *>(Solver.get())) {
     Out.Engines = Portfolio->reports();
+    // The implicit single-lane wrapper should read like the engine it ran:
+    // surface the child-reported display name, not the wrapper's.
+    if (SingleLaneWrapper && Out.Engines.size() == 1 &&
+        !Out.Engines[0].Name.empty())
+      Out.SolverName = Out.Engines[0].Name;
   } else {
     if (auto *DataDriven = dynamic_cast<DataDrivenChcSolver *>(Solver.get())) {
       Out.AnalysisPasses = DataDriven->analysisResult().Passes;
@@ -161,6 +223,192 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   return Out;
 }
 
+namespace {
+
+/// Budgets are bucketed by ceil(log2(seconds)) so near-identical budgets
+/// share cache records while a much larger budget (which could turn an
+/// Unknown into a verdict) gets its own keyspace. -1 = unlimited.
+int budgetBucket(double WallSeconds) {
+  if (WallSeconds <= 0)
+    return -1;
+  int B = 0;
+  double V = 1;
+  while (V < WallSeconds && B < 24) {
+    V *= 2;
+    ++B;
+  }
+  return B;
+}
+
+std::string verdictCacheKey(const ChcSystem &System,
+                            const solver::SolveOptions &Opts) {
+  smtlib2::PrintOptions PO;
+  PO.ClauseComments = false;
+  return "v1|" + FileCache::hashKey(smtlib2::printSmtLib2(System, PO)) + "|" +
+         Opts.Engine + "|b" +
+         std::to_string(budgetBucket(Opts.Limits.WallSeconds)) + "|" +
+         (Opts.ValidateModel ? "val" : "noval");
+}
+
+void putBlock(std::string &Out, const char *Tag, const std::string &Text) {
+  Out += Tag;
+  Out += ' ';
+  Out += std::to_string(Text.size());
+  Out += '\n';
+  Out += Text;
+  Out += '\n';
+}
+
+bool getBlock(std::istream &In, const char *Tag, std::string &Out) {
+  std::string Word;
+  size_t Len = 0;
+  if (!(In >> Word) || Word != Tag || !(In >> Len) || In.get() != '\n')
+    return false;
+  if (Len > (size_t(1) << 28))
+    return false;
+  Out.resize(Len);
+  if (Len > 0 && !In.read(Out.data(), static_cast<std::streamsize>(Len)))
+    return false;
+  return In.get() == '\n';
+}
+
+void putStats(std::string &Out, const EngineStats &S) {
+  const CheckStats &C = S.Check;
+  char Buf[512];
+  snprintf(Buf, sizeof(Buf),
+           "stats %zu %zu %zu %.6f %zu %zu %llu %llu %llu %llu %llu %llu "
+           "%llu %llu %llu %llu %llu\n",
+           S.SmtQueries, S.Samples, S.Iterations, S.Seconds, S.TemplatesMined,
+           S.PolyhedraFacts, static_cast<unsigned long long>(C.ChecksIssued),
+           static_cast<unsigned long long>(C.CacheHits),
+           static_cast<unsigned long long>(C.CacheMisses),
+           static_cast<unsigned long long>(C.CacheEvictions),
+           static_cast<unsigned long long>(C.ScopePushes),
+           static_cast<unsigned long long>(C.SolverRebuilds),
+           static_cast<unsigned long long>(C.RebuildsAvoided),
+           static_cast<unsigned long long>(C.ConjunctSplits),
+           static_cast<unsigned long long>(C.DiskHits),
+           static_cast<unsigned long long>(C.DiskMisses),
+           static_cast<unsigned long long>(C.DiskStores));
+  Out += Buf;
+}
+
+bool getStats(std::istream &In, EngineStats &S) {
+  std::string Word;
+  CheckStats &C = S.Check;
+  return static_cast<bool>(
+      (In >> Word) && Word == "stats" &&
+      (In >> S.SmtQueries >> S.Samples >> S.Iterations >> S.Seconds >>
+       S.TemplatesMined >> S.PolyhedraFacts >> C.ChecksIssued >> C.CacheHits >>
+       C.CacheMisses >> C.CacheEvictions >> C.ScopePushes >> C.SolverRebuilds >>
+       C.RebuildsAvoided >> C.ConjunctSplits >> C.DiskHits >> C.DiskMisses >>
+       C.DiskStores));
+}
+
+std::optional<ChcResult> parseStatus(const std::string &Word) {
+  if (Word == "sat")
+    return ChcResult::Sat;
+  if (Word == "unsat")
+    return ChcResult::Unsat;
+  if (Word == "unknown")
+    return ChcResult::Unknown;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::string solver::serializeResult(const SolveResult &R) {
+  std::string Out = "la-solve 1\n";
+  Out += std::string("status ") + chc::toString(R.Status) + "\n";
+  Out += "flags " + std::to_string(R.ModelValidated ? 1 : 0) + ' ' +
+         std::to_string(R.Recursive ? 1 : 0) + ' ' +
+         std::to_string(R.SolvedByAnalysis ? 1 : 0) + '\n';
+  Out += "sizes " + std::to_string(R.Clauses) + ' ' +
+         std::to_string(R.Predicates) + '\n';
+  putBlock(Out, "solver", R.SolverName);
+  putBlock(Out, "model", R.Model);
+  putBlock(Out, "cex", R.Cex);
+  putStats(Out, R.Solver);
+  Out += "engines " + std::to_string(R.Engines.size()) + '\n';
+  for (const EngineReport &E : R.Engines) {
+    char Buf[128];
+    snprintf(Buf, sizeof(Buf), "engine %s %d %d %d %d %.6f\n",
+             chc::toString(E.Status), E.Winner ? 1 : 0, E.Cancelled ? 1 : 0,
+             E.Crashed ? 1 : 0, static_cast<int>(E.Outcome), E.Seconds);
+    Out += Buf;
+    putBlock(Out, "lane", E.Lane);
+    putBlock(Out, "id", E.Engine);
+    putBlock(Out, "name", E.Name);
+    putBlock(Out, "error", E.Error);
+    putStats(Out, E.Stats);
+  }
+  Out += "end\n";
+  return Out;
+}
+
+bool solver::deserializeResult(const std::string &Text, SolveResult &R) {
+  std::istringstream In(Text);
+  std::string Word;
+  int Version = 0;
+  if (!(In >> Word >> Version) || Word != "la-solve" || Version != 1)
+    return false;
+  if (!(In >> Word) || Word != "status" || !(In >> Word))
+    return false;
+  std::optional<ChcResult> Status = parseStatus(Word);
+  if (!Status)
+    return false;
+  R.Status = *Status;
+  int Validated = 0;
+  int Recursive = 0;
+  int ByAnalysis = 0;
+  if (!(In >> Word) || Word != "flags" ||
+      !(In >> Validated >> Recursive >> ByAnalysis))
+    return false;
+  R.ModelValidated = Validated != 0;
+  R.Recursive = Recursive != 0;
+  R.SolvedByAnalysis = ByAnalysis != 0;
+  if (!(In >> Word) || Word != "sizes" || !(In >> R.Clauses >> R.Predicates))
+    return false;
+  In.ignore(1, '\n');
+  if (!getBlock(In, "solver", R.SolverName) || !getBlock(In, "model", R.Model) ||
+      !getBlock(In, "cex", R.Cex) || !getStats(In, R.Solver))
+    return false;
+  size_t NumEngines = 0;
+  if (!(In >> Word) || Word != "engines" || !(In >> NumEngines) ||
+      NumEngines > 256)
+    return false;
+  R.Engines.resize(NumEngines);
+  for (EngineReport &E : R.Engines) {
+    int Winner = 0;
+    int Cancelled = 0;
+    int Crashed = 0;
+    int Outcome = 0;
+    if (!(In >> Word) || Word != "engine" || !(In >> Word))
+      return false;
+    Status = parseStatus(Word);
+    if (!Status || !(In >> Winner >> Cancelled >> Crashed >> Outcome) ||
+        !(In >> E.Seconds))
+      return false;
+    E.Status = *Status;
+    E.Winner = Winner != 0;
+    E.Cancelled = Cancelled != 0;
+    E.Crashed = Crashed != 0;
+    if (Outcome < 0 || Outcome > static_cast<int>(LaneOutcome::MemoryLimit))
+      return false;
+    E.Outcome = static_cast<LaneOutcome>(Outcome);
+    In.ignore(1, '\n');
+    if (!getBlock(In, "lane", E.Lane) || !getBlock(In, "id", E.Engine) ||
+        !getBlock(In, "name", E.Name) || !getBlock(In, "error", E.Error) ||
+        !getStats(In, E.Stats))
+      return false;
+  }
+  if (!(In >> Word) || Word != "end")
+    return false;
+  R.Ok = true;
+  R.Error.clear();
+  return true;
+}
+
 solver::SourceFormat solver::detectFormat(const std::string &Path,
                                           const std::string &Source) {
   // Conclusive extensions first.
@@ -172,8 +420,11 @@ solver::SourceFormat solver::detectFormat(const std::string &Path,
     return SourceFormat::SmtLib2;
   if (EndsWith(".c") || EndsWith(".mc") || EndsWith(".minic"))
     return SourceFormat::MiniC;
-  // Content sniff: the first character after whitespace and `;` line
-  // comments. SMT-LIB2 scripts open with `(`; mini-C opens with `int`.
+  // Content sniff: the first token after whitespace and `;` line comments.
+  // SMT-LIB2 scripts open with `(`; mini-C opens with a declaration or
+  // statement keyword. Anything else is inconclusive — returning Auto (not
+  // guessing) lets `solve()` run the deterministic two-parser fallback and
+  // report a diagnostic naming both rejected interpretations.
   size_t I = 0;
   while (I < Source.size()) {
     char C = Source[I];
@@ -190,7 +441,16 @@ solver::SourceFormat solver::detectFormat(const std::string &Path,
   }
   if (I < Source.size() && Source[I] == '(')
     return SourceFormat::SmtLib2;
-  return SourceFormat::MiniC;
+  size_t End = I;
+  while (End < Source.size() &&
+         (std::isalpha(static_cast<unsigned char>(Source[End])) != 0 ||
+          Source[End] == '_'))
+    ++End;
+  std::string Word = Source.substr(I, End - I);
+  for (const char *Kw : {"int", "assume", "assert", "while", "if", "return"})
+    if (Word == Kw)
+      return SourceFormat::MiniC;
+  return SourceFormat::Auto;
 }
 
 solver::SolveResult solver::solve(const SolveRequest &Request) {
@@ -213,29 +473,73 @@ solver::SolveResult solver::solve(const SolveRequest &Request) {
   if (Format == SourceFormat::Auto)
     Format = detectFormat(Request.Path, Source);
 
-  TermManager TM;
-  ChcSystem System(TM);
+  auto TM = std::make_unique<TermManager>();
+  auto System = std::make_unique<ChcSystem>(*TM);
+  smtlib2::ParseOptions PO;
+  PO.Filename = Request.Path;
   if (Format == SourceFormat::SmtLib2) {
-    smtlib2::ParseOptions PO;
-    PO.Filename = Request.Path;
-    smtlib2::ParseResult P = smtlib2::parseSmtLib2(Source, System, PO);
+    smtlib2::ParseResult P = smtlib2::parseSmtLib2(Source, *System, PO);
     if (!P.Ok) {
       SolveResult Out;
       Out.Format = Format;
       Out.Error = "parse error: " + P.error(PO);
       return Out;
     }
-  } else {
-    frontend::EncodeResult E = frontend::encodeMiniC(Source, System);
+  } else if (Format == SourceFormat::MiniC) {
+    frontend::EncodeResult E = frontend::encodeMiniC(Source, *System);
     if (!E.Ok) {
       SolveResult Out;
       Out.Format = Format;
       Out.Error = "parse error: " + E.Error;
       return Out;
     }
+  } else {
+    // Inconclusive sniff: deterministic fallback order — mini-C first (the
+    // paper's native language), then SMT-LIB2. A partially-populated system
+    // must be discarded, so each attempt parses into a fresh one.
+    frontend::EncodeResult E = frontend::encodeMiniC(Source, *System);
+    if (E.Ok) {
+      Format = SourceFormat::MiniC;
+    } else {
+      auto TM2 = std::make_unique<TermManager>();
+      auto System2 = std::make_unique<ChcSystem>(*TM2);
+      smtlib2::ParseResult P = smtlib2::parseSmtLib2(Source, *System2, PO);
+      if (P.Ok) {
+        Format = SourceFormat::SmtLib2;
+        TM = std::move(TM2);
+        System = std::move(System2);
+      } else {
+        SolveResult Out;
+        Out.Error = "cannot determine input format: not mini-C (" + E.Error +
+                    "); not SMT-LIB2 (" + P.error(PO) + ")";
+        return Out;
+      }
+    }
   }
-  SolveResult Out = solveSystem(System, Request.Options);
+
+  // Persistent verdict tier: the key canonicalises the *parsed* system via
+  // the SMT-LIB2 printer, so mini-C and HORN spellings of the same system,
+  // or the same script with different comments, share one record.
+  std::string CacheKey;
+  if (Request.Options.DiskCache) {
+    CacheKey = verdictCacheKey(*System, Request.Options);
+    std::string Stored;
+    SolveResult Cached;
+    if (Request.Options.DiskCache->lookup(CacheKey, Stored) &&
+        deserializeResult(Stored, Cached)) {
+      Cached.FromDiskCache = true;
+      Cached.Format = Format;
+      return Cached;
+    }
+  }
+
+  SolveResult Out = solveSystem(*System, Request.Options);
   Out.Format = Format;
+  // Only definitive, error-free verdicts are worth persisting: Unknown is
+  // budget-dependent and must be retried with the next budget.
+  if (Request.Options.DiskCache && Out.Ok &&
+      Out.Status != ChcResult::Unknown)
+    Request.Options.DiskCache->store(CacheKey, serializeResult(Out));
   return Out;
 }
 

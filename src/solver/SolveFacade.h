@@ -34,6 +34,10 @@
 #include <optional>
 #include <string>
 
+namespace la {
+class FileCache;
+}
+
 namespace la::solver {
 
 /// Input language of a solve request.
@@ -69,6 +73,19 @@ struct SolveOptions {
   bool ValidateModel = true;
   /// Cooperative cancellation of the whole call.
   std::shared_ptr<const CancellationToken> Cancel;
+  /// Thread (default) runs engines in-process; Process forks each portfolio
+  /// lane — or the single selected engine — into a hard-killable child, so
+  /// a segfaulting, aborting, or runaway engine cannot take the caller
+  /// down. Per-lane rlimits come from `Portfolio.LaneMemoryBytes` /
+  /// `Portfolio.LaneCpuSeconds` (they apply to the single-engine wrapper
+  /// too).
+  Isolation Isolate = Isolation::Thread;
+  /// Disk-backed persistent result cache (shared across requests and
+  /// daemon restarts). Two tiers hang off this one object: whole-request
+  /// verdicts keyed by a canonical hash of the printed SMT-LIB2 system +
+  /// engine + budget bucket (consulted by `solve()` after parsing), and
+  /// Valid clause-check verdicts under `ClauseCheckContext`'s memo cache.
+  std::shared_ptr<FileCache> DiskCache;
 };
 
 /// One solve request: source + format + engine + limits. This is the
@@ -118,6 +135,9 @@ struct SolveResult {
   std::vector<analysis::PassStats> AnalysisPasses;
   /// True when the pre-analysis alone discharged every query clause.
   bool SolvedByAnalysis = false;
+  /// True when the whole result was served from the persistent disk cache
+  /// (`SolveOptions::DiskCache`) without running any engine.
+  bool FromDiskCache = false;
 
   /// Compact rendering for drivers: verdict line plus one line per engine
   /// report (`*` winner, `!` crashed, `~` cancelled).
@@ -126,8 +146,18 @@ struct SolveResult {
 
 /// Resolves the input language of \p Request without parsing it: the path
 /// extension decides when it is conclusive (".smt2" / ".c" / ...), else the
-/// content shape (a leading `(` after trivia means SMT-LIB2).
+/// content shape (a leading `(` after trivia means SMT-LIB2, a leading
+/// mini-C keyword means mini-C). Returns `Auto` when the sniff is
+/// inconclusive; `solve()` then falls back deterministically — mini-C
+/// first, then SMT-LIB2 — and reports a diagnostic naming both rejected
+/// interpretations if neither parses.
 SourceFormat detectFormat(const std::string &Path, const std::string &Source);
+
+/// Serializes a successful result to the persistent-cache record form.
+std::string serializeResult(const SolveResult &R);
+/// Inverse of `serializeResult`; false (and \p R unspecified) on any
+/// framing or field mismatch — corrupt records read as cache misses.
+bool deserializeResult(const std::string &Text, SolveResult &R);
 
 /// The one entry point: reads (when `Path` is set), detects the format,
 /// parses, solves, validates.

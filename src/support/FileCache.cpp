@@ -1,0 +1,252 @@
+//===- support/FileCache.cpp - Disk-backed key/value verdict cache --------===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileCache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace la {
+
+namespace {
+
+constexpr const char *RecordMagic = "la-file-cache 1";
+constexpr const char *RecordSuffix = ".rec";
+
+uint64_t fnv1a64(const std::string &Text, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+void appendHex64(std::string &Out, uint64_t V) {
+  static const char *Digits = "0123456789abcdef";
+  for (int Shift = 60; Shift >= 0; Shift -= 4)
+    Out.push_back(Digits[(V >> Shift) & 0xF]);
+}
+
+/// mkdir -p for an absolute or relative path.
+void makeDirs(const std::string &Path) {
+  std::string Partial;
+  for (size_t I = 0; I <= Path.size(); ++I) {
+    if (I == Path.size() || Path[I] == '/') {
+      if (!Partial.empty() && Partial != "/")
+        ::mkdir(Partial.c_str(), 0755);
+      if (I < Path.size())
+        Partial.push_back('/');
+      continue;
+    }
+    Partial.push_back(Path[I]);
+  }
+}
+
+bool hasSuffix(const std::string &Name, const std::string &Suffix) {
+  return Name.size() >= Suffix.size() &&
+         Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+/// Reads `tag <len>\n<bytes>\n` from \p In into \p Out; false on framing
+/// mismatch.
+bool readBlock(std::istream &In, const std::string &Tag, std::string &Out) {
+  std::string Word;
+  size_t Len = 0;
+  if (!(In >> Word) || Word != Tag || !(In >> Len))
+    return false;
+  if (In.get() != '\n')
+    return false;
+  if (Len > (size_t(1) << 30)) // sanity cap: no 1 GiB records
+    return false;
+  Out.resize(Len);
+  if (Len > 0 && !In.read(Out.data(), static_cast<std::streamsize>(Len)))
+    return false;
+  return In.get() == '\n';
+}
+
+void writeBlock(std::ostream &Out, const char *Tag, const std::string &Text) {
+  Out << Tag << ' ' << Text.size() << '\n' << Text << '\n';
+}
+
+} // namespace
+
+FileCache::FileCache(Options O) : Opts(std::move(O)) {
+  makeDirs(Opts.Dir);
+  // Prime the approximate size counters from whatever a previous run (or a
+  // previous daemon crash) left behind.
+  DIR *D = ::opendir(Opts.Dir.c_str());
+  if (D == nullptr)
+    return;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (!hasSuffix(Name, RecordSuffix))
+      continue;
+    struct stat St = {};
+    if (::stat((Opts.Dir + "/" + Name).c_str(), &St) == 0) {
+      ApproxBytes += static_cast<size_t>(St.st_size);
+      ++ApproxEntries;
+    }
+  }
+  ::closedir(D);
+}
+
+std::string FileCache::hashKey(const std::string &Text) {
+  // Two independent FNV-1a passes (different offset bases) give a 128-bit
+  // identifier without pulling in a crypto dependency; the full key is
+  // still verified on read, so a collision costs a miss, not a wrong hit.
+  uint64_t H1 = fnv1a64(Text, 1469598103934665603ull);
+  uint64_t H2 = fnv1a64(Text, 0x9e3779b97f4a7c15ull ^ H1);
+  std::string Out;
+  Out.reserve(32);
+  appendHex64(Out, H1);
+  appendHex64(Out, H2);
+  return Out;
+}
+
+std::string FileCache::pathFor(const std::string &Key) const {
+  return Opts.Dir + "/" + hashKey(Key) + RecordSuffix;
+}
+
+bool FileCache::lookup(const std::string &Key, std::string &Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Path = pathFor(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open()) {
+    ++Counters.Misses;
+    return false;
+  }
+  std::string Line;
+  std::string StoredKey;
+  std::string StoredValue;
+  bool Ok = std::getline(In, Line) && Line == RecordMagic &&
+            readBlock(In, "key", StoredKey) &&
+            readBlock(In, "val", StoredValue);
+  if (!Ok) {
+    // Corrupt record (partial write from a crashed process, disk damage):
+    // drop it so it cannot fail again, and report a miss.
+    In.close();
+    struct stat St = {};
+    if (::stat(Path.c_str(), &St) == 0) {
+      if (::unlink(Path.c_str()) == 0) {
+        ApproxBytes -= std::min(ApproxBytes, size_t(St.st_size));
+        ApproxEntries -= std::min<size_t>(ApproxEntries, 1);
+      }
+    }
+    ++Counters.CorruptDropped;
+    ++Counters.Misses;
+    return false;
+  }
+  if (StoredKey != Key) {
+    // 128-bit hash collision: keep the resident record, report a miss.
+    ++Counters.Misses;
+    return false;
+  }
+  Value = std::move(StoredValue);
+  ++Counters.Hits;
+  return true;
+}
+
+void FileCache::store(const std::string &Key, const std::string &Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Path = pathFor(Key);
+  std::string Tmp =
+      Path + ".tmp." + std::to_string(::getpid()) + "." + std::to_string(TmpSeq++);
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out.is_open())
+      return;
+    Out << RecordMagic << '\n';
+    writeBlock(Out, "key", Key);
+    writeBlock(Out, "val", Value);
+    if (!Out.good()) {
+      Out.close();
+      ::unlink(Tmp.c_str());
+      return;
+    }
+  }
+  struct stat Old = {};
+  bool Existed = ::stat(Path.c_str(), &Old) == 0;
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return;
+  }
+  struct stat New = {};
+  if (::stat(Path.c_str(), &New) == 0)
+    ApproxBytes += static_cast<size_t>(New.st_size);
+  if (Existed)
+    ApproxBytes -= std::min(ApproxBytes, size_t(Old.st_size));
+  else
+    ++ApproxEntries;
+  ++Counters.Stores;
+  evictIfNeeded();
+}
+
+void FileCache::evictIfNeeded() {
+  bool OverBytes = Opts.MaxBytes > 0 && ApproxBytes > Opts.MaxBytes;
+  bool OverEntries = Opts.MaxEntries > 0 && ApproxEntries > Opts.MaxEntries;
+  if (!OverBytes && !OverEntries)
+    return;
+
+  struct Entry {
+    std::string Path;
+    time_t Mtime;
+    size_t Size;
+  };
+  std::vector<Entry> Entries;
+  DIR *D = ::opendir(Opts.Dir.c_str());
+  if (D == nullptr)
+    return;
+  size_t TotalBytes = 0;
+  while (struct dirent *E = ::readdir(D)) {
+    std::string Name = E->d_name;
+    if (!hasSuffix(Name, RecordSuffix))
+      continue;
+    std::string Path = Opts.Dir + "/" + Name;
+    struct stat St = {};
+    if (::stat(Path.c_str(), &St) != 0)
+      continue;
+    Entries.push_back({Path, St.st_mtime, static_cast<size_t>(St.st_size)});
+    TotalBytes += static_cast<size_t>(St.st_size);
+  }
+  ::closedir(D);
+
+  // Rebuild the approximate counters from the real directory listing while
+  // we have it — they drift when other processes share the directory.
+  ApproxBytes = TotalBytes;
+  ApproxEntries = Entries.size();
+
+  std::sort(Entries.begin(), Entries.end(),
+            [](const Entry &A, const Entry &B) { return A.Mtime < B.Mtime; });
+
+  size_t ByteGoal =
+      Opts.MaxBytes > 0 ? Opts.MaxBytes - Opts.MaxBytes / 10 : size_t(-1);
+  size_t EntryGoal =
+      Opts.MaxEntries > 0 ? Opts.MaxEntries - Opts.MaxEntries / 10 : size_t(-1);
+  for (const Entry &E : Entries) {
+    if (ApproxBytes <= ByteGoal && ApproxEntries <= EntryGoal)
+      break;
+    if (::unlink(E.Path.c_str()) != 0)
+      continue;
+    ApproxBytes -= std::min(ApproxBytes, E.Size);
+    ApproxEntries -= std::min<size_t>(ApproxEntries, 1);
+    ++Counters.Evictions;
+  }
+}
+
+FileCache::Stats FileCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+} // namespace la

@@ -1,0 +1,96 @@
+//===- support/FileCache.h - Disk-backed key/value verdict cache -*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent string → string cache on local disk, used as the second tier
+/// under the in-memory result caches: whole-request verdicts (keyed by a
+/// canonical hash of the printed SMT-LIB2 system + engine id + budget
+/// bucket) and clause-check verdicts (keyed by a canonical system hash +
+/// clause index + interpretation hash) survive daemon crashes and restarts.
+///
+/// Durability model:
+///   * one record per entry, filename derived from a 128-bit FNV-1a hash of
+///     the key; the full key is stored inside the record and verified on
+///     read, so hash collisions degrade to misses, never to wrong answers;
+///   * writes go to a temp file in the same directory and are published
+///     with `rename()`, so readers never observe a half-written record and
+///     a crash mid-store leaves at most a stray temp file;
+///   * reads are corruption-tolerant: any record that fails the magic, the
+///     length framing, or the key check is dropped (unlinked) and counted,
+///     and the lookup reports a miss;
+///   * the store is size-capped: when either the byte or the entry cap is
+///     exceeded after a store, the oldest records (by mtime) are evicted
+///     down to 90% of the cap.
+///
+/// Thread safety: all operations lock an in-process mutex. Cross-process
+/// safety comes from the atomic-rename publish; two daemons sharing a cache
+/// directory may both store the same key and one rename wins — either
+/// record is a valid answer for that key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_FILECACHE_H
+#define LA_SUPPORT_FILECACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace la {
+
+class FileCache {
+public:
+  struct Options {
+    /// Cache directory; created (with parents) on construction.
+    std::string Dir;
+    /// Byte cap over all records (0 = unlimited).
+    size_t MaxBytes = size_t(256) << 20;
+    /// Entry-count cap (0 = unlimited).
+    size_t MaxEntries = size_t(1) << 16;
+  };
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Stores = 0;
+    uint64_t Evictions = 0;
+    /// Records dropped because they failed the magic / framing / key check.
+    uint64_t CorruptDropped = 0;
+  };
+
+  explicit FileCache(Options O);
+
+  /// 32-hex-digit stable content hash (two independent 64-bit FNV-1a
+  /// passes). Callers use this to canonicalise large key components (the
+  /// printed system, the printed interpretation) before composing keys.
+  static std::string hashKey(const std::string &Text);
+
+  /// Looks \p Key up; on hit fills \p Value and returns true. Any
+  /// unreadable or mismatching record is treated as a miss.
+  bool lookup(const std::string &Key, std::string &Value);
+
+  /// Stores \p Value under \p Key (overwriting any previous record) and
+  /// evicts oldest records if the store pushed the cache over its caps.
+  void store(const std::string &Key, const std::string &Value);
+
+  Stats stats() const;
+  const std::string &dir() const { return Opts.Dir; }
+
+private:
+  std::string pathFor(const std::string &Key) const;
+  void evictIfNeeded();
+
+  Options Opts;
+  mutable std::mutex Mutex;
+  Stats Counters;
+  size_t ApproxBytes = 0;
+  size_t ApproxEntries = 0;
+  uint64_t TmpSeq = 0;
+};
+
+} // namespace la
+
+#endif // LA_SUPPORT_FILECACHE_H

@@ -1,0 +1,108 @@
+//===- support/ProcessRunner.h - Forked worker with hard limits -*- C++ -*-===//
+//
+// Part of the LinearArbitrary reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a unit of work in a forked child process with hard resource limits.
+/// This is the isolation primitive behind the portfolio's `Process` lane
+/// mode: a lane that segfaults, aborts, exhausts memory, or spins forever
+/// kills (or is killed in) its own address space instead of taking down the
+/// serving process.
+///
+/// Protocol: the child runs the work closure and writes its string result to
+/// a pipe as `"LAPR" + u64 little-endian length + bytes`, then `_exit(0)`.
+/// A thrown exception is reported the same way (the payload is `what()`)
+/// with exit code 3 (4 for `std::bad_alloc`, which is what `RLIMIT_AS`
+/// usually turns into). The parent polls the pipe, enforces the wall
+/// deadline and cooperative cancellation by `SIGKILL`, reaps the child with
+/// `waitpid`, and classifies the exit status into a `LaneOutcome`.
+///
+/// The closure runs after `fork()` in a child of a (typically)
+/// multithreaded parent, so it must not depend on locks another thread may
+/// hold at fork time. Callers prepare everything that takes locks (engine
+/// construction, registry lookups) *before* calling `runInChildProcess` and
+/// keep the closure to pure computation over already-owned data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LA_SUPPORT_PROCESSRUNNER_H
+#define LA_SUPPORT_PROCESSRUNNER_H
+
+#include "support/Cancellation.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace la {
+
+/// How a forked lane's execution ended. In-thread lanes only ever see
+/// `Completed` (normal return) or `Failed` (contained C++ exception); the
+/// remaining states require a process boundary to observe.
+enum class LaneOutcome {
+  /// Child exited 0 with a complete payload.
+  Completed,
+  /// Child reported a contained C++ exception (exit code 3).
+  Failed,
+  /// Child died on a signal (SIGSEGV, SIGABRT, ...) or produced a
+  /// truncated/garbled payload.
+  Crashed,
+  /// Parent killed the child at the wall deadline.
+  TimedOut,
+  /// Parent killed the child because the shared cancellation token
+  /// tripped (another lane won).
+  Cancelled,
+  /// Child exceeded `RLIMIT_CPU` (died on SIGXCPU/SIGKILL from the
+  /// kernel's hard CPU limit).
+  CpuLimit,
+  /// Child exceeded `RLIMIT_AS` and reported `std::bad_alloc` (exit
+  /// code 4).
+  MemoryLimit,
+};
+
+const char *toString(LaneOutcome O);
+
+/// Hard limits applied to the forked child. Zero means "no limit" for every
+/// field.
+struct ProcessLimits {
+  /// Wall-clock deadline enforced by the parent with SIGKILL.
+  double WallSeconds = 0;
+  /// `RLIMIT_CPU` for the child, in seconds (soft limit delivers SIGXCPU,
+  /// hard limit soft+2 delivers SIGKILL).
+  double CpuSeconds = 0;
+  /// `RLIMIT_AS` for the child, in bytes.
+  size_t MemoryBytes = 0;
+};
+
+/// What happened to the child, plus whatever it managed to say.
+struct ProcessResult {
+  LaneOutcome Outcome = LaneOutcome::Crashed;
+  /// Work result for `Completed`; exception text for `Failed` /
+  /// `MemoryLimit`; empty or partial otherwise.
+  std::string Payload;
+  /// Child exit code when it exited normally, -1 otherwise.
+  int ExitCode = -1;
+  /// Terminating signal when the child was signalled, 0 otherwise.
+  int Signal = 0;
+  /// Wall-clock seconds from fork to reap.
+  double Seconds = 0;
+
+  /// One-line human-readable classification ("killed by signal 11
+  /// (SIGSEGV)", "wall deadline exceeded (killed)", ...).
+  std::string describe() const;
+};
+
+/// Forks, runs \p Work in the child under \p Limits, and returns the
+/// classified result. \p Cancel, when non-null, is polled by the parent;
+/// tripping it kills the child and yields `LaneOutcome::Cancelled`. Blocks
+/// until the child is reaped (the child is always reaped — no zombies).
+ProcessResult
+runInChildProcess(const std::function<std::string()> &Work,
+                  const ProcessLimits &Limits,
+                  const std::shared_ptr<const CancellationToken> &Cancel = {});
+
+} // namespace la
+
+#endif // LA_SUPPORT_PROCESSRUNNER_H

@@ -353,6 +353,214 @@ TEST(PortfolioTest, GlobalBudgetCancelsEveryLane) {
 }
 
 //===----------------------------------------------------------------------===//
+// Thread-mode lane diagnostics (contained exceptions keep their message)
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, ThreadModeLaneDiagnosticsAreNeverEmpty) {
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  PortfolioSolver Solver(stubPortfolio(R, {"stub-throw", "stub-sat"}));
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  for (const EngineReport &Rep : Solver.reports()) {
+    if (Rep.Engine != "stub-throw")
+      continue;
+    EXPECT_TRUE(Rep.Crashed);
+    // The exception text must be preserved verbatim — an empty or
+    // placeholder diagnostic makes crashed lanes undebuggable.
+    EXPECT_EQ(Rep.Error, "stub blew up");
+    EXPECT_EQ(Rep.Outcome, LaneOutcome::Failed);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Process isolation
+//===----------------------------------------------------------------------===//
+
+// TSan does not support fork() from a multithreaded process; thread-mode
+// isolation is still covered above, and the process paths run in the plain
+// and ASan/UBSan jobs.
+#if defined(__SANITIZE_THREAD__)
+#define LA_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LA_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef LA_TSAN_ACTIVE
+#define LA_TSAN_ACTIVE 0
+#endif
+
+#if LA_TSAN_ACTIVE
+#define LA_SKIP_UNDER_TSAN() \
+  GTEST_SKIP() << "fork() from a multithreaded TSan process is unsupported"
+#else
+#define LA_SKIP_UNDER_TSAN() (void)0
+#endif
+
+// NOTE: crash engines (crash-segv / crash-abort / crash-spin) can only be
+// raced under Isolation::Process. In thread mode a segfaulting lane takes
+// down the whole process — that is precisely the limitation process
+// isolation removes, so there is deliberately no thread-mode crash test.
+
+TEST(ProcessIsolationTest, CrashingLaneLosesAndIsReportedKilled) {
+  LA_SKIP_UNDER_TSAN();
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  baselines::registerCrashEngines(R);
+  PortfolioOptions PO = stubPortfolio(R, {"crash-segv", "stub-sat"});
+  PO.Isolate = Isolation::Process;
+  PO.Limits.WallSeconds = 60;
+  PortfolioSolver Solver(PO);
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Sat);
+  ASSERT_EQ(Solver.reports().size(), 2u);
+  for (const EngineReport &Rep : Solver.reports()) {
+    if (Rep.Engine == "crash-segv") {
+      EXPECT_NE(Rep.Outcome, LaneOutcome::Completed) << toString(Rep.Outcome);
+      EXPECT_TRUE(Rep.Crashed || Rep.Outcome != LaneOutcome::Completed);
+      EXPECT_FALSE(Rep.Error.empty());
+      EXPECT_FALSE(Rep.Winner);
+    } else {
+      EXPECT_TRUE(Rep.Winner);
+      EXPECT_EQ(Rep.Status, ChcResult::Sat);
+    }
+  }
+}
+
+TEST(ProcessIsolationTest, AbortAndSpinLanesAreContained) {
+  LA_SKIP_UNDER_TSAN();
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(UnsafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  baselines::registerCrashEngines(R);
+  PortfolioOptions PO =
+      stubPortfolio(R, {"crash-abort", "crash-spin", "stub-unsat"});
+  PO.Isolate = Isolation::Process;
+  PO.Limits.WallSeconds = 60;
+  PortfolioSolver Solver(PO);
+  Timer Wall;
+  ChcSolverResult Res = Solver.solve(System);
+  EXPECT_EQ(Res.Status, ChcResult::Unsat);
+  // The spinning lane ignores its token entirely; only the process kill
+  // ends it, and it must not stall the race.
+  EXPECT_LT(Wall.elapsedSeconds(), 30.0);
+  for (const EngineReport &Rep : Solver.reports()) {
+    if (Rep.Engine == "crash-abort") {
+      EXPECT_NE(Rep.Outcome, LaneOutcome::Completed);
+      EXPECT_FALSE(Rep.Error.empty());
+    }
+    if (Rep.Engine == "crash-spin") {
+      EXPECT_TRUE(Rep.Outcome == LaneOutcome::Cancelled ||
+                  Rep.Outcome == LaneOutcome::TimedOut)
+          << toString(Rep.Outcome);
+      EXPECT_FALSE(Rep.Winner);
+    }
+    if (Rep.Engine == "stub-unsat") {
+      EXPECT_TRUE(Rep.Winner);
+    }
+  }
+}
+
+TEST(ProcessIsolationTest, RealEngineModelSurvivesThePipe) {
+  LA_SKIP_UNDER_TSAN();
+  // A real data-driven lane solves in a forked child; its model crosses
+  // the pipe as printed formulas and must validate against the parent-side
+  // system after rebuilding.
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(SafeCounterText, System);
+  SolverRegistry R;
+  addStubEngines(R);
+  R.add("la-real", "the real data-driven solver",
+        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
+          DataDrivenOptions Opts = EO.DataDriven;
+          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+          Opts.Cancel = EO.Cancel;
+          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+        });
+  PortfolioOptions PO = stubPortfolio(R, {"la-real"});
+  PO.Isolate = Isolation::Process;
+  PO.Limits.WallSeconds = 60;
+  PortfolioSolver Solver(PO);
+  ChcSolverResult Res = Solver.solve(System);
+  ASSERT_EQ(Res.Status, ChcResult::Sat);
+  EXPECT_EQ(checkInterpretation(System, Res.Interp), ClauseStatus::Valid);
+  ASSERT_EQ(Solver.reports().size(), 1u);
+  EXPECT_EQ(Solver.reports()[0].Outcome, LaneOutcome::Completed);
+}
+
+TEST(ProcessIsolationTest, CounterexampleSurvivesThePipe) {
+  LA_SKIP_UNDER_TSAN();
+  TermManager TM;
+  ChcSystem System(TM);
+  parseInto(UnsafeCounterText, System);
+  SolverRegistry R;
+  R.add("la-real", "the real data-driven solver",
+        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
+          DataDrivenOptions Opts = EO.DataDriven;
+          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+          Opts.Cancel = EO.Cancel;
+          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+        });
+  PortfolioOptions PO = stubPortfolio(R, {"la-real"});
+  PO.Isolate = Isolation::Process;
+  PO.Limits.WallSeconds = 60;
+  PortfolioSolver Solver(PO);
+  ChcSolverResult Res = Solver.solve(System);
+  ASSERT_EQ(Res.Status, ChcResult::Unsat);
+  ASSERT_TRUE(Res.Cex.has_value());
+}
+
+TEST(ProcessIsolationTest, FacadeSingleEngineProcessMode) {
+  LA_SKIP_UNDER_TSAN();
+  SolveOptions Opts;
+  Opts.Engine = "la";
+  Opts.Isolate = Isolation::Process;
+  Opts.Limits.WallSeconds = 60;
+  SolveResult S = solveChcText(SafeCounterText, Opts);
+  ASSERT_TRUE(S.Ok) << S.Error;
+  EXPECT_EQ(S.Status, ChcResult::Sat);
+  EXPECT_TRUE(S.ModelValidated);
+  ASSERT_EQ(S.Engines.size(), 1u);
+  EXPECT_EQ(S.Engines[0].Outcome, LaneOutcome::Completed);
+}
+
+TEST(ProcessIsolationTest, FacadeContainsCrashingSingleEngine) {
+  LA_SKIP_UNDER_TSAN();
+  baselines::registerCrashEngines();
+  SolveOptions Opts;
+  Opts.Engine = "crash-segv";
+  Opts.Isolate = Isolation::Process;
+  Opts.Limits.WallSeconds = 60;
+  SolveResult S = solveChcText(SafeCounterText, Opts);
+  // The crash is contained: the call returns (no verdict) instead of
+  // taking the process down, and the lane report says what happened.
+  EXPECT_EQ(S.Status, ChcResult::Unknown);
+  ASSERT_EQ(S.Engines.size(), 1u);
+  EXPECT_NE(S.Engines[0].Outcome, LaneOutcome::Completed);
+  EXPECT_FALSE(S.Engines[0].Error.empty());
+  std::string Summary = S.summary();
+  EXPECT_NE(Summary.find(toString(S.Engines[0].Outcome)), std::string::npos);
+}
+
+TEST(IsolationParseTest, RoundTripAndRejects) {
+  EXPECT_EQ(parseIsolation("thread"), Isolation::Thread);
+  EXPECT_EQ(parseIsolation("process"), Isolation::Process);
+  EXPECT_FALSE(parseIsolation("forked").has_value());
+  EXPECT_STREQ(solver::toString(Isolation::Thread), "thread");
+  EXPECT_STREQ(solver::toString(Isolation::Process), "process");
+}
+
+//===----------------------------------------------------------------------===//
 // End-to-end through the façade
 //===----------------------------------------------------------------------===//
 

@@ -12,11 +12,14 @@
 #include "server/Daemon.h"
 #include "server/SolverService.h"
 
+#include "baselines/RegisterEngines.h"
 #include "corpus/Smt2Corpus.h"
+#include "support/FileCache.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -94,6 +97,35 @@ template <typename Fn> bool eventually(Fn Pred) {
   }
   return Pred();
 }
+
+/// Fresh cache directory per test, removed on destruction.
+struct TempCacheDir {
+  std::string Path;
+  TempCacheDir() {
+    char Template[] = "/tmp/la-server-cache-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Path = Made ? Made : "/tmp/la-server-cache-fallback";
+  }
+  ~TempCacheDir() {
+    std::string Cmd = "rm -rf '" + Path + "'";
+    if (std::system(Cmd.c_str()) != 0) {
+    }
+  }
+};
+
+// fork() from a multithreaded TSan process is unsupported; the
+// process-isolation daemon tests run in the plain and ASan/UBSan jobs.
+#if defined(__SANITIZE_THREAD__)
+#define LA_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LA_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef LA_TSAN_ACTIVE
+#define LA_TSAN_ACTIVE 0
+#endif
 
 //===----------------------------------------------------------------------===//
 // SolverService
@@ -288,6 +320,103 @@ TEST(SolverServiceTest, MetricsRenderReportAndJson) {
       << Json;
 }
 
+TEST(SolverServiceTest, RetryAfterHonoursConfigurableFloorOnColdStart) {
+  registerSleepyEngine();
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 1;
+  Opts.CacheCapacity = 0;
+  Opts.RetryFloorSeconds = 2.5;
+  SolverService Service(Opts);
+
+  // Nothing has completed yet, so the run-time EWMA has no samples — this
+  // is exactly the cold start where the retry hint used to degenerate.
+  Ticket Running =
+      Service.submit(inlineRequest(SafeCounterText, 2.0, "sleepy-test"));
+  ASSERT_EQ(Running.Status, SubmitStatus::Accepted);
+  ASSERT_TRUE(eventually([&] { return Service.metrics().InFlight == 1; }));
+  Ticket Queued =
+      Service.submit(inlineRequest(SafeCounterText, 2.0, "sleepy-test"));
+  ASSERT_EQ(Queued.Status, SubmitStatus::Accepted);
+
+  Ticket Rejected = Service.submit(inlineRequest(SafeCounterText, 2.0));
+  ASSERT_EQ(Rejected.Status, SubmitStatus::QueueFull);
+  EXPECT_GE(Rejected.RetryAfterSeconds, 2.5);
+
+  EXPECT_TRUE(Service.cancel(Running.Id));
+  EXPECT_TRUE(Service.cancel(Queued.Id));
+  Service.shutdown(true);
+}
+
+TEST(SolverServiceTest, NonPositiveRetryFloorFallsBackToDefault) {
+  registerSleepyEngine();
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 1;
+  Opts.CacheCapacity = 0;
+  Opts.RetryFloorSeconds = 0; // Misconfiguration must not reintroduce 0.
+  SolverService Service(Opts);
+
+  Ticket Running =
+      Service.submit(inlineRequest(SafeCounterText, 2.0, "sleepy-test"));
+  ASSERT_EQ(Running.Status, SubmitStatus::Accepted);
+  ASSERT_TRUE(eventually([&] { return Service.metrics().InFlight == 1; }));
+  Ticket Queued =
+      Service.submit(inlineRequest(SafeCounterText, 2.0, "sleepy-test"));
+  ASSERT_EQ(Queued.Status, SubmitStatus::Accepted);
+
+  Ticket Rejected = Service.submit(inlineRequest(SafeCounterText, 2.0));
+  ASSERT_EQ(Rejected.Status, SubmitStatus::QueueFull);
+  EXPECT_GT(Rejected.RetryAfterSeconds, 0.0);
+
+  EXPECT_TRUE(Service.cancel(Running.Id));
+  EXPECT_TRUE(Service.cancel(Queued.Id));
+  Service.shutdown(true);
+}
+
+TEST(SolverServiceTest, DiskCacheSurvivesServiceRestart) {
+  TempCacheDir Dir;
+  FileCache::Options CO;
+  CO.Dir = Dir.Path;
+
+  // First service: solves for real and persists the verdict on disk. The
+  // memo cache is off so only the disk tier can answer later.
+  {
+    ServiceOptions Opts;
+    Opts.Workers = 1;
+    Opts.CacheCapacity = 0;
+    Opts.DiskCache = std::make_shared<FileCache>(CO);
+    SolverService Service(Opts);
+    JobResult R =
+        Service.submit(inlineRequest(SafeCounterText, 60)).Result.get();
+    ASSERT_TRUE(R.Result.Ok) << R.Result.Error;
+    EXPECT_EQ(R.Result.Status, ChcResult::Sat);
+    EXPECT_FALSE(R.Result.FromDiskCache);
+    EXPECT_GE(Service.metrics().DiskStores, 1u);
+  }
+
+  // Second service over the same directory — a daemon restart: the verdict
+  // comes back from disk without running an engine.
+  {
+    ServiceOptions Opts;
+    Opts.Workers = 1;
+    Opts.CacheCapacity = 0;
+    Opts.DiskCache = std::make_shared<FileCache>(CO);
+    SolverService Service(Opts);
+    JobResult R =
+        Service.submit(inlineRequest(SafeCounterText, 60)).Result.get();
+    ASSERT_TRUE(R.Result.Ok) << R.Result.Error;
+    EXPECT_EQ(R.Result.Status, ChcResult::Sat);
+    EXPECT_TRUE(R.Result.FromDiskCache);
+    ServiceMetrics M = Service.metrics();
+    EXPECT_EQ(M.DiskCacheServed, 1u);
+    EXPECT_GE(M.DiskHits, 1u);
+    // The new counters render in both report formats.
+    EXPECT_NE(M.report().find("disk cache:"), std::string::npos);
+    EXPECT_NE(M.json().find("\"disk_cache_served\":1"), std::string::npos);
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Daemon line protocol
 //===----------------------------------------------------------------------===//
@@ -363,6 +492,97 @@ TEST(DaemonTest, ReportsBackpressureOverProtocol) {
   // to an Unknown verdict before `bye`.
   EXPECT_NE(Text.find("ok r1 unknown"), std::string::npos) << Text;
   EXPECT_EQ(Text.rfind("bye\n"), Text.size() - 4) << Text;
+}
+
+TEST(DaemonTest, RejectsUnknownIsolationValue) {
+  std::string Script;
+  Script += "solve-inline a isolation=bogus\n";
+  Script += SafeCounterText;
+  Script += ".\n";
+  Script += "shutdown\n";
+  std::istringstream In(Script);
+  std::ostringstream Out;
+  runDaemon(In, Out, DaemonOptions{});
+  EXPECT_NE(Out.str().find("error a unknown isolation 'bogus'"),
+            std::string::npos)
+      << Out.str();
+}
+
+TEST(DaemonTest, SurvivesCrashingEngineUnderProcessIsolation) {
+#if LA_TSAN_ACTIVE
+  GTEST_SKIP() << "fork() from a multithreaded TSan process is unsupported";
+#endif
+  // The heart of the crash-proof-daemon story: a request that picks a
+  // segfaulting engine under process isolation must not take the daemon
+  // down — the lane is killed in its own child, the job completes (no
+  // verdict), and subsequent requests are served normally. There is
+  // deliberately no thread-mode variant: in thread mode the same engine
+  // would segfault the daemon itself, which is the documented limitation
+  // process isolation exists to remove.
+  baselines::registerCrashEngines();
+
+  std::string Script;
+  Script += "solve-inline a engine=crash-segv isolation=process budget=30\n";
+  Script += SafeCounterText;
+  Script += ".\n";
+  Script += "solve-inline b engine=crash-abort isolation=process budget=30\n";
+  Script += SafeCounterText;
+  Script += ".\n";
+  Script += "solve-inline c isolation=process budget=60\n";
+  Script += SafeCounterText;
+  Script += ".\n";
+  Script += "solve-inline d budget=60\n"; // Thread mode still works.
+  Script += UnsafeCounterText;
+  Script += ".\n";
+  Script += "shutdown\n";
+
+  std::istringstream In(Script);
+  std::ostringstream Out;
+  DaemonOptions Opts;
+  Opts.Service.Workers = 2;
+  Opts.Service.CacheCapacity = 0;
+  size_t Accepted = runDaemon(In, Out, Opts);
+  EXPECT_EQ(Accepted, 4u);
+
+  std::string Text = Out.str();
+  // Crash lanes come back as unknown verdicts, not as daemon death.
+  EXPECT_NE(Text.find("ok a unknown"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ok b unknown"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ok c sat"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("ok d unsat"), std::string::npos) << Text;
+  EXPECT_EQ(Text.rfind("bye\n"), Text.size() - 4) << Text;
+}
+
+TEST(DaemonTest, DiskCacheServesSecondDaemonRun) {
+  TempCacheDir Dir;
+  FileCache::Options CO;
+  CO.Dir = Dir.Path;
+
+  auto RunOnce = [&] {
+    std::string Script;
+    Script += "solve-inline a budget=60\n";
+    Script += SafeCounterText;
+    Script += ".\n";
+    Script += "shutdown\n";
+    std::istringstream In(Script);
+    std::ostringstream Out;
+    DaemonOptions Opts;
+    Opts.Service.Workers = 1;
+    Opts.Service.CacheCapacity = 0; // Only the disk tier may answer.
+    Opts.Service.DiskCache = std::make_shared<FileCache>(CO);
+    runDaemon(In, Out, Opts);
+    return Out.str();
+  };
+
+  std::string First = RunOnce();
+  EXPECT_NE(First.find("ok a sat"), std::string::npos) << First;
+  EXPECT_NE(First.find("disk=0"), std::string::npos) << First;
+
+  // Same request against a fresh daemon over the same cache directory:
+  // answered from the persistent cache, flagged in the response line.
+  std::string Second = RunOnce();
+  EXPECT_NE(Second.find("ok a sat"), std::string::npos) << Second;
+  EXPECT_NE(Second.find("cached=1 disk=1"), std::string::npos) << Second;
 }
 
 } // namespace

@@ -336,4 +336,118 @@ TEST(SolveFacadeTest, UnsafeSystemYieldsRenderedCounterexample) {
   EXPECT_TRUE(S.Model.empty());
 }
 
+//===----------------------------------------------------------------------===//
+// Format detection
+//===----------------------------------------------------------------------===//
+
+TEST(DetectFormatTest, PathExtensionIsConclusive) {
+  EXPECT_EQ(detectFormat("bench.smt2", "anything"), SourceFormat::SmtLib2);
+  EXPECT_EQ(detectFormat("prog.c", "anything"), SourceFormat::MiniC);
+}
+
+TEST(DetectFormatTest, ContentShapeDecidesWhenPathDoesNot) {
+  EXPECT_EQ(detectFormat("", "  ; comment\n(set-logic HORN)"),
+            SourceFormat::SmtLib2);
+  EXPECT_EQ(detectFormat("", "int x;\nassert(x >= 0);"), SourceFormat::MiniC);
+  EXPECT_EQ(detectFormat("", "while (x < 10) x = x + 1;"),
+            SourceFormat::MiniC);
+}
+
+TEST(DetectFormatTest, InconclusiveSniffReturnsAuto) {
+  // Neither a leading `(` nor a mini-C keyword: the sniff must say so
+  // instead of committing to an arbitrary format.
+  EXPECT_EQ(detectFormat("", "garbage that is neither format"),
+            SourceFormat::Auto);
+  EXPECT_EQ(detectFormat("", ""), SourceFormat::Auto);
+  EXPECT_EQ(detectFormat("noext", "x = y"), SourceFormat::Auto);
+}
+
+TEST(DetectFormatTest, AutoFallbackDiagnosticNamesBothInterpretations) {
+  SolveRequest Request;
+  Request.Source = "definitely not a program in either language";
+  SolveResult S = solver::solve(Request);
+  ASSERT_FALSE(S.Ok);
+  // The deterministic fallback tries mini-C first, then SMT-LIB2, and the
+  // error names both rejected interpretations so the user can tell which
+  // parser said what.
+  EXPECT_NE(S.Error.find("cannot determine input format"), std::string::npos)
+      << S.Error;
+  EXPECT_NE(S.Error.find("not mini-C"), std::string::npos) << S.Error;
+  EXPECT_NE(S.Error.find("not SMT-LIB2"), std::string::npos) << S.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Result serialization (the persistent-cache record form)
+//===----------------------------------------------------------------------===//
+
+TEST(ResultSerializationTest, SatResultRoundTrips) {
+  SolveResult S = solveChcText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  ASSERT_EQ(S.Status, ChcResult::Sat);
+
+  std::string Text = serializeResult(S);
+  SolveResult R;
+  ASSERT_TRUE(deserializeResult(Text, R));
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.Status, S.Status);
+  EXPECT_EQ(R.SolverName, S.SolverName);
+  EXPECT_EQ(R.Model, S.Model);
+  EXPECT_EQ(R.ModelValidated, S.ModelValidated);
+  EXPECT_EQ(R.Clauses, S.Clauses);
+  EXPECT_EQ(R.Predicates, S.Predicates);
+  EXPECT_EQ(R.Recursive, S.Recursive);
+  EXPECT_EQ(R.SolvedByAnalysis, S.SolvedByAnalysis);
+  ASSERT_EQ(R.Engines.size(), S.Engines.size());
+  for (size_t I = 0; I < R.Engines.size(); ++I) {
+    EXPECT_EQ(R.Engines[I].Lane, S.Engines[I].Lane);
+    EXPECT_EQ(R.Engines[I].Status, S.Engines[I].Status);
+    EXPECT_EQ(R.Engines[I].Winner, S.Engines[I].Winner);
+  }
+}
+
+TEST(ResultSerializationTest, UnsatResultKeepsCounterexample) {
+  SolveResult S = solveChcText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int) (m Int))
+  (=> (and (inv n) (< n 10) (= m (+ n 1))) (inv m))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 5))))
+)");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  ASSERT_EQ(S.Status, ChcResult::Unsat);
+  ASSERT_FALSE(S.Cex.empty());
+
+  SolveResult R;
+  ASSERT_TRUE(deserializeResult(serializeResult(S), R));
+  EXPECT_EQ(R.Status, ChcResult::Unsat);
+  EXPECT_EQ(R.Cex, S.Cex);
+}
+
+TEST(ResultSerializationTest, CorruptRecordsAreRejected) {
+  SolveResult S = solveChcText(R"(
+(set-logic HORN)
+(declare-fun inv (Int) Bool)
+(assert (forall ((n Int)) (=> (= n 0) (inv n))))
+(assert (forall ((n Int)) (=> (inv n) (<= n 10))))
+)");
+  ASSERT_TRUE(S.Ok) << S.Error;
+  std::string Good = serializeResult(S);
+
+  SolveResult R;
+  EXPECT_FALSE(deserializeResult("", R));
+  EXPECT_FALSE(deserializeResult("not a record", R));
+  EXPECT_FALSE(deserializeResult(Good.substr(0, Good.size() / 2), R));
+  EXPECT_FALSE(deserializeResult("garbage\n" + Good, R));
+  // The intact record still parses after all those rejections.
+  EXPECT_TRUE(deserializeResult(Good, R));
+}
+
 } // namespace

@@ -254,3 +254,311 @@ TEST(RandomTest, DeterministicAndInRange) {
     EXPECT_LT(D, 1.0);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// ProcessRunner
+//===----------------------------------------------------------------------===//
+
+#include "support/ProcessRunner.h"
+
+#include <cctype>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unistd.h>
+
+// TSan does not support fork() from a multithreaded process and aborts the
+// run; the process-isolation paths are exercised by the other sanitizer
+// jobs and the plain build.
+#if defined(__SANITIZE_THREAD__)
+#define LA_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LA_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef LA_TSAN_ACTIVE
+#define LA_TSAN_ACTIVE 0
+#endif
+
+// ASan intercepts SIGSEGV (the child exits instead of dying on the signal)
+// and its shadow memory is incompatible with small RLIMIT_AS caps, so the
+// crash/memory classification tests relax or skip under ASan.
+#if defined(__SANITIZE_ADDRESS__)
+#define LA_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define LA_ASAN_ACTIVE 1
+#endif
+#endif
+#ifndef LA_ASAN_ACTIVE
+#define LA_ASAN_ACTIVE 0
+#endif
+
+#if LA_TSAN_ACTIVE
+#define LA_SKIP_UNDER_TSAN() \
+  GTEST_SKIP() << "fork() from a multithreaded TSan process is unsupported"
+#else
+#define LA_SKIP_UNDER_TSAN() (void)0
+#endif
+
+TEST(ProcessRunnerTest, CompletedChildReturnsPayload) {
+  LA_SKIP_UNDER_TSAN();
+  ProcessResult R = runInChildProcess(
+      [] { return std::string("hello from the child"); }, ProcessLimits{});
+  EXPECT_EQ(R.Outcome, LaneOutcome::Completed) << R.describe();
+  EXPECT_EQ(R.Payload, "hello from the child");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Signal, 0);
+}
+
+TEST(ProcessRunnerTest, LargePayloadSurvivesThePipe) {
+  LA_SKIP_UNDER_TSAN();
+  // Larger than any pipe buffer, so the child blocks writing while the
+  // parent drains.
+  std::string Big(4 << 20, 'x');
+  ProcessResult R = runInChildProcess([&] { return Big; }, ProcessLimits{});
+  ASSERT_EQ(R.Outcome, LaneOutcome::Completed) << R.describe();
+  EXPECT_EQ(R.Payload, Big);
+}
+
+TEST(ProcessRunnerTest, ThrownExceptionIsFailedWithMessage) {
+  LA_SKIP_UNDER_TSAN();
+  ProcessResult R = runInChildProcess(
+      []() -> std::string { throw std::runtime_error("engine exploded"); },
+      ProcessLimits{});
+  EXPECT_EQ(R.Outcome, LaneOutcome::Failed) << R.describe();
+  EXPECT_EQ(R.Payload, "engine exploded");
+  EXPECT_EQ(R.ExitCode, 3);
+}
+
+TEST(ProcessRunnerTest, SegfaultingChildIsContained) {
+  LA_SKIP_UNDER_TSAN();
+  ProcessResult R = runInChildProcess(
+      []() -> std::string {
+        std::raise(SIGSEGV);
+        return "unreachable";
+      },
+      ProcessLimits{});
+  // Under ASan the child's SEGV handler exits instead of re-raising, so
+  // only assert the lane did not complete normally there.
+#if LA_ASAN_ACTIVE
+  EXPECT_NE(R.Outcome, LaneOutcome::Completed) << R.describe();
+#else
+  EXPECT_EQ(R.Outcome, LaneOutcome::Crashed) << R.describe();
+  EXPECT_EQ(R.Signal, SIGSEGV);
+  EXPECT_NE(R.describe().find("signal"), std::string::npos);
+#endif
+}
+
+TEST(ProcessRunnerTest, AbortingChildIsContained) {
+  LA_SKIP_UNDER_TSAN();
+  ProcessResult R = runInChildProcess(
+      []() -> std::string {
+        std::abort();
+      },
+      ProcessLimits{});
+  EXPECT_NE(R.Outcome, LaneOutcome::Completed) << R.describe();
+#if !LA_ASAN_ACTIVE
+  EXPECT_EQ(R.Outcome, LaneOutcome::Crashed) << R.describe();
+  EXPECT_EQ(R.Signal, SIGABRT);
+#endif
+}
+
+TEST(ProcessRunnerTest, WallDeadlineKillsSpinningChild) {
+  LA_SKIP_UNDER_TSAN();
+  ProcessLimits Limits;
+  Limits.WallSeconds = 0.2;
+  ProcessResult R = runInChildProcess(
+      []() -> std::string {
+        volatile bool KeepSpinning = true;
+        while (KeepSpinning) {
+        }
+        return std::string();
+      },
+      Limits);
+  EXPECT_EQ(R.Outcome, LaneOutcome::TimedOut) << R.describe();
+  EXPECT_GE(R.Seconds, 0.2);
+  EXPECT_LT(R.Seconds, 30.0);
+}
+
+TEST(ProcessRunnerTest, PreTrippedTokenCancelsImmediately) {
+  LA_SKIP_UNDER_TSAN();
+  auto Token = std::make_shared<CancellationToken>();
+  Token->cancel();
+  ProcessResult R = runInChildProcess(
+      []() -> std::string {
+        volatile bool KeepSpinning = true;
+        while (KeepSpinning) {
+        }
+        return std::string();
+      },
+      ProcessLimits{}, Token);
+  EXPECT_EQ(R.Outcome, LaneOutcome::Cancelled) << R.describe();
+}
+
+#if !LA_ASAN_ACTIVE
+TEST(ProcessRunnerTest, MemoryLimitContainsAllocation) {
+  LA_SKIP_UNDER_TSAN();
+  ProcessLimits Limits;
+  Limits.MemoryBytes = size_t(64) << 20;
+  Limits.WallSeconds = 30;
+  ProcessResult R = runInChildProcess(
+      []() -> std::string {
+        // Touch every page so the allocation is real.
+        std::string Huge;
+        for (int I = 0; I < 64; ++I)
+          Huge.append(size_t(16) << 20, char('a' + I % 26));
+        return std::string("allocated ") + std::to_string(Huge.size());
+      },
+      Limits);
+  EXPECT_EQ(R.Outcome, LaneOutcome::MemoryLimit) << R.describe();
+}
+#endif
+
+TEST(ProcessRunnerTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(toString(LaneOutcome::Completed), "completed");
+  EXPECT_STREQ(toString(LaneOutcome::Failed), "failed");
+  EXPECT_STREQ(toString(LaneOutcome::Crashed), "crashed");
+  EXPECT_STREQ(toString(LaneOutcome::TimedOut), "timed-out");
+  EXPECT_STREQ(toString(LaneOutcome::Cancelled), "cancelled");
+  EXPECT_STREQ(toString(LaneOutcome::CpuLimit), "cpu-limit");
+  EXPECT_STREQ(toString(LaneOutcome::MemoryLimit), "memory-limit");
+}
+
+//===----------------------------------------------------------------------===//
+// FileCache
+//===----------------------------------------------------------------------===//
+
+#include "support/FileCache.h"
+
+namespace {
+
+/// Fresh cache directory per test, removed on destruction.
+struct TempCacheDir {
+  std::string Path;
+  TempCacheDir() {
+    char Template[] = "/tmp/la-filecache-test-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Path = Made ? Made : "/tmp/la-filecache-test-fallback";
+  }
+  ~TempCacheDir() {
+    std::string Cmd = "rm -rf '" + Path + "'";
+    if (std::system(Cmd.c_str()) != 0) {
+    }
+  }
+};
+
+} // namespace
+
+TEST(FileCacheTest, RoundTripAndPersistence) {
+  TempCacheDir Dir;
+  FileCache::Options O;
+  O.Dir = Dir.Path + "/nested/cache"; // Parents are created on demand.
+  std::string Key = "v1|" + FileCache::hashKey("some system") + "|la|b6";
+  {
+    FileCache Cache(O);
+    std::string Value;
+    EXPECT_FALSE(Cache.lookup(Key, Value));
+    Cache.store(Key, "sat with a model\nline two");
+    ASSERT_TRUE(Cache.lookup(Key, Value));
+    EXPECT_EQ(Value, "sat with a model\nline two");
+    EXPECT_EQ(Cache.stats().Hits, 1u);
+    EXPECT_EQ(Cache.stats().Misses, 1u);
+    EXPECT_EQ(Cache.stats().Stores, 1u);
+  }
+  // A second cache over the same directory — a daemon restart — still
+  // serves the record.
+  FileCache Reopened(O);
+  std::string Value;
+  ASSERT_TRUE(Reopened.lookup(Key, Value));
+  EXPECT_EQ(Value, "sat with a model\nline two");
+}
+
+TEST(FileCacheTest, OverwriteReplacesValue) {
+  TempCacheDir Dir;
+  FileCache Cache({Dir.Path, 0, 0});
+  Cache.store("k", "old");
+  Cache.store("k", "new");
+  std::string Value;
+  ASSERT_TRUE(Cache.lookup("k", Value));
+  EXPECT_EQ(Value, "new");
+}
+
+TEST(FileCacheTest, CorruptRecordsReadAsMisses) {
+  TempCacheDir Dir;
+  FileCache::Options O;
+  O.Dir = Dir.Path;
+  FileCache Cache(O);
+  Cache.store("the-key", "the-value");
+
+  // Truncate every record in the directory to simulate a crash or disk
+  // corruption mid-write.
+  std::string Cmd = "for F in '" + Dir.Path +
+                    "'/*.rec; do : > \"$F\"; done";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+
+  std::string Value;
+  EXPECT_FALSE(Cache.lookup("the-key", Value));
+  EXPECT_GE(Cache.stats().CorruptDropped, 1u);
+  // The corrupt record was unlinked; storing again works.
+  Cache.store("the-key", "fresh");
+  ASSERT_TRUE(Cache.lookup("the-key", Value));
+  EXPECT_EQ(Value, "fresh");
+}
+
+TEST(FileCacheTest, GarbageRecordContentIsDropped) {
+  TempCacheDir Dir;
+  FileCache::Options O;
+  O.Dir = Dir.Path;
+  FileCache Cache(O);
+  Cache.store("a-key", "a-value");
+  std::string Cmd = "for F in '" + Dir.Path +
+                    "'/*.rec; do printf 'not a record at all' > \"$F\"; done";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  std::string Value;
+  EXPECT_FALSE(Cache.lookup("a-key", Value));
+  EXPECT_GE(Cache.stats().CorruptDropped, 1u);
+}
+
+TEST(FileCacheTest, HashCollisionDegradesToMiss) {
+  // Different key whose record file would be consulted: simulate by
+  // writing key A then looking up a key that maps elsewhere — a lookup of
+  // a never-stored key must miss even with records present.
+  TempCacheDir Dir;
+  FileCache Cache({Dir.Path, 0, 0});
+  Cache.store("stored-key", "stored-value");
+  std::string Value;
+  EXPECT_FALSE(Cache.lookup("never-stored-key", Value));
+}
+
+TEST(FileCacheTest, EntryCapEvictsOldestRecords) {
+  TempCacheDir Dir;
+  FileCache::Options O;
+  O.Dir = Dir.Path;
+  O.MaxEntries = 8;
+  O.MaxBytes = 0;
+  FileCache Cache(O);
+  for (int I = 0; I < 32; ++I)
+    Cache.store("key-" + std::to_string(I), "value-" + std::to_string(I));
+  EXPECT_GE(Cache.stats().Evictions, 1u);
+
+  // At most the cap survives on disk (eviction goes to 90% of the cap).
+  size_t Survivors = 0;
+  std::string Value;
+  for (int I = 0; I < 32; ++I)
+    if (Cache.lookup("key-" + std::to_string(I), Value))
+      ++Survivors;
+  EXPECT_LE(Survivors, O.MaxEntries);
+  EXPECT_GE(Survivors, 1u);
+}
+
+TEST(FileCacheTest, HashKeyIsStableAndCollisionResistant) {
+  EXPECT_EQ(FileCache::hashKey("abc"), FileCache::hashKey("abc"));
+  EXPECT_NE(FileCache::hashKey("abc"), FileCache::hashKey("abd"));
+  EXPECT_EQ(FileCache::hashKey("x").size(), 32u);
+  for (char C : FileCache::hashKey("x"))
+    EXPECT_TRUE(isxdigit(static_cast<unsigned char>(C)));
+}
