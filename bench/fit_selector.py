@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Fits the table-driven engine-selector model from BENCH_table1.json.
+
+The bench harness (`table1_solver_comparison`) writes, per program, the
+scheduler's static `ProblemFeatures` vector (`program_features`) and, per
+engine row, the outcome of every program (`solvers[].programs[]`). This
+script joins the two and fits one ridge-regression model per engine
+predicting a solve-quality score:
+
+    y = 1 / (1 + seconds)   if the engine solved the program
+    y = 0                   otherwise
+
+so a higher predicted score means "this engine tends to answer this kind of
+problem, quickly". The result is written in the `selector 1` text format
+parsed by `solver::TableSelector::parse`:
+
+    selector 1
+    features <n> <name>...
+    engine <id> <bias> <weight>...
+    end
+
+and is loaded at runtime with `solve_chc_file --selector FILE` or
+`chc_serve --selector FILE`.
+
+Only the plain baseline rows are fit; the LA-* ablation variants and the
+portfolio row do not correspond to registry engines a scheduler could pick.
+Everything here is stdlib-only (the fit is a tiny dense linear solve).
+
+Usage: fit_selector.py <BENCH_table1.json> <output-model-file>
+"""
+
+import json
+import sys
+
+# Bench row label -> registry engine id. The bench labels engines by the
+# paper's names; the registry uses the implementation names.
+LABEL_TO_ENGINE = {
+    "gpdr": "gpdr",
+    "spacer": "pdr",
+    "duality": "unwind",
+    "LinearArbitrary": "la",
+}
+
+RIDGE_LAMBDA = 0.1
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def solve_linear(a, b):
+    """Solves a x = b by Gaussian elimination with partial pivoting."""
+    n = len(b)
+    m = [row[:] + [b[i]] for i, row in enumerate(a)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(m[r][col]))
+        if abs(m[pivot][col]) < 1e-12:
+            fail(f"singular normal matrix at column {col}")
+        m[col], m[pivot] = m[pivot], m[col]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = m[row][col] / m[col][col]
+            for k in range(col, n + 1):
+                m[row][k] -= factor * m[col][k]
+    return [m[i][n] / m[i][i] for i in range(n)]
+
+
+def fit_ridge(xs, ys):
+    """Returns [bias, w_1, ..., w_d] minimising ||y - Xw||^2 + lam ||w||^2
+    (bias unregularised)."""
+    d = len(xs[0]) + 1
+    rows = [[1.0] + x for x in xs]
+    a = [[sum(r[i] * r[j] for r in rows) for j in range(d)] for i in range(d)]
+    for i in range(1, d):
+        a[i][i] += RIDGE_LAMBDA
+    b = [sum(r[i] * y for r, y in zip(rows, ys)) for i in range(d)]
+    return solve_linear(a, b)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <BENCH_table1.json> <output-model-file>")
+    with open(sys.argv[1]) as f:
+        table = json.load(f)
+
+    feature_rows = table.get("program_features")
+    if not feature_rows:
+        fail("BENCH_table1.json has no program_features array")
+    # Feature names in bench emission order (matches ProblemFeatures::names()
+    # for the static prefix; analysis-time features are absent here and
+    # weigh zero at runtime, which the parser's by-name join tolerates).
+    names = [k for k in feature_rows[0] if k != "name"]
+    if not names:
+        fail("program_features rows carry no feature values")
+    features = {
+        row["name"]: [float(row.get(n, 0.0)) for n in names]
+        for row in feature_rows
+    }
+
+    models = {}
+    for solver_row in table.get("solvers", []):
+        engine = LABEL_TO_ENGINE.get(solver_row.get("name"))
+        if engine is None:
+            continue  # LA-* ablations, LA-portfolio: not registry engines.
+        xs, ys = [], []
+        for prog in solver_row.get("programs", []):
+            x = features.get(prog["name"])
+            if x is None:
+                continue
+            xs.append(x)
+            ys.append(1.0 / (1.0 + float(prog["seconds"]))
+                      if prog.get("solved") else 0.0)
+        if len(xs) <= len(names):
+            # Under-determined even with the ridge term (smoke runs keep
+            # only a couple of programs); skip rather than fit noise. The
+            # runtime falls back to the rule baseline for unmodeled engines.
+            print(f"note: skipping '{engine}' ({len(xs)} rows for "
+                  f"{len(names)} features)")
+            continue
+        models[engine] = fit_ridge(xs, ys)
+
+    with open(sys.argv[2], "w") as out:
+        out.write("selector 1\n")
+        out.write(f"features {len(names)} {' '.join(names)}\n")
+        for engine in sorted(models):
+            weights = " ".join(f"{w:.9g}" for w in models[engine])
+            out.write(f"engine {engine} {weights}\n")
+        out.write("end\n")
+    print(f"OK: fit {len(models)} engine model(s) "
+          f"({', '.join(sorted(models)) or 'none'}) over {len(names)} "
+          f"features -> {sys.argv[2]}")
+
+
+if __name__ == "__main__":
+    main()

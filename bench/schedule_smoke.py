@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Smoke test for staged budget scheduling.
+
+Runs every bundled .smt2 benchmark twice through solve_chc_file — once with
+`--schedule race` (the full portfolio) and once with `--schedule staged`
+(probe -> top-k -> race escalation) — and asserts the scheduling headline:
+
+  * verdict parity: staged reaches a definitive verdict on every file race
+    does, and the verdicts agree (staged escalates to the same race with
+    the remaining budget, so it can only answer later, never less);
+  * core-seconds: summed per-lane engine seconds across the corpus drop by
+    at least LA_SCHEDULE_RATIO (default 2.0) — the probe and top-k stages
+    answer most files without ever starting the full race's lane fleet.
+
+With --serve <chc_serve-binary> it additionally drives the daemon under
+`--schedule staged` and asserts the metrics JSON reports the stage-hit /
+escalation counters for the submitted jobs.
+
+Core-seconds are parsed from solve_chc_file's stderr lane report lines
+(`; lane <mark> <label> <status> <seconds>s`), which cover every stage lane
+of a staged run and every portfolio lane of a race.
+
+Usage: schedule_smoke.py <solve_chc_file-binary> <smt2-corpus-dir>
+                         [--selector FILE] [--serve <chc_serve-binary>]
+"""
+
+import glob
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+
+LANE_SECONDS = re.compile(r"^; lane .* (\d+(?:\.\d+)?)s")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_solver(binary, path, schedule, budget, selector):
+    cmd = [binary, path, "--schedule", schedule, "--budget", str(budget)]
+    if selector and schedule == "staged":
+        cmd += ["--selector", selector]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    verdict = proc.stdout.strip().splitlines()[-1]
+    core_seconds = sum(
+        float(m.group(1))
+        for line in proc.stderr.splitlines()
+        if (m := LANE_SECONDS.match(line)))
+    return verdict, core_seconds
+
+
+def check_daemon_metrics(serve_binary, benchmarks):
+    """One daemon run under --schedule staged: every response must carry
+    the stages= suffix and the metrics counters must account for every
+    job (metrics is requested after all completions, before shutdown)."""
+    proc = subprocess.Popen(
+        [serve_binary, "--workers", "4", "--budget", "60",
+         "--schedule", "staged", "--cache", "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+    watchdog = threading.Timer(300, proc.kill)
+    watchdog.start()
+    responses, metrics = [], None
+    try:
+        for path in benchmarks:
+            stem = os.path.splitext(os.path.basename(path))[0]
+            proc.stdin.write(f"solve {stem} {path}\n")
+        proc.stdin.flush()
+        for line in proc.stdout:
+            responses.append(line.strip())
+            if len(responses) == len(benchmarks):
+                break
+        proc.stdin.write("metrics\n")
+        proc.stdin.flush()
+        for line in proc.stdout:
+            line = line.strip()
+            if line.startswith("metrics "):
+                metrics = json.loads(line.split(" ", 1)[1])
+                break
+        proc.stdin.write("shutdown\n")
+        proc.stdin.flush()
+    finally:
+        watchdog.cancel()
+        proc.stdin.close()
+        proc.wait()
+
+    bad = [r for r in responses if not r.startswith("ok ")]
+    if bad:
+        fail(f"daemon returned non-ok responses: {bad}")
+    staged = [r for r in responses if "stages=" in r]
+    if len(staged) != len(benchmarks):
+        fail(f"only {len(staged)}/{len(benchmarks)} daemon responses carry "
+             f"stages= under --schedule staged: {responses}")
+    if metrics is None:
+        fail("daemon never answered the metrics request")
+    for key in ("stage_hits", "escalations"):
+        if key not in metrics:
+            fail(f"metrics response lacks '{key}': {metrics}")
+    accounted = metrics["stage_hits"] + metrics["escalations"]
+    if accounted != len(benchmarks):
+        fail(f"stage_hits={metrics['stage_hits']} + "
+             f"escalations={metrics['escalations']} != "
+             f"{len(benchmarks)} staged jobs")
+    return metrics
+
+
+def main():
+    args = sys.argv[1:]
+    selector = serve_binary = None
+    if "--selector" in args:
+        i = args.index("--selector")
+        selector = args[i + 1]
+        del args[i:i + 2]
+    if "--serve" in args:
+        i = args.index("--serve")
+        serve_binary = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 2:
+        fail(f"usage: {sys.argv[0]} <solve_chc_file-binary> "
+             f"<smt2-corpus-dir> [--selector FILE] [--serve BINARY]")
+    binary, corpus = args
+    budget = float(os.environ.get("LA_SCHEDULE_BUDGET", "10"))
+    ratio_floor = float(os.environ.get("LA_SCHEDULE_RATIO", "2.0"))
+
+    benchmarks = sorted(glob.glob(os.path.join(corpus, "*.smt2")))
+    if len(benchmarks) < 4:
+        fail(f"expected at least 4 .smt2 benchmarks in {corpus}, "
+             f"found {len(benchmarks)}")
+
+    race_core = staged_core = 0.0
+    race_solved = staged_solved = 0
+    for path in benchmarks:
+        name = os.path.basename(path)
+        race_verdict, race_s = run_solver(binary, path, "race", budget, None)
+        staged_verdict, staged_s = run_solver(binary, path, "staged", budget,
+                                              selector)
+        race_core += race_s
+        staged_core += staged_s
+        race_solved += race_verdict in ("sat", "unsat")
+        staged_solved += staged_verdict in ("sat", "unsat")
+        # Parity: staged ends in the same full race with the remaining
+        # budget, so a definitive race verdict must be matched.
+        if race_verdict != "unknown" and staged_verdict != race_verdict:
+            fail(f"{name}: race says {race_verdict}, "
+                 f"staged says {staged_verdict}")
+        print(f"  {name}: race {race_verdict} ({race_s:.3f} core-s), "
+              f"staged {staged_verdict} ({staged_s:.3f} core-s)")
+
+    if staged_solved < race_solved:
+        fail(f"staged solved {staged_solved} < race {race_solved}")
+    if staged_core <= 0:
+        fail("staged runs reported no lane seconds (stderr format drift?)")
+    ratio = race_core / staged_core
+    if ratio < ratio_floor:
+        fail(f"staged core-seconds reduction {ratio:.2f}x below the "
+             f"{ratio_floor:.1f}x floor (race {race_core:.3f}s vs staged "
+             f"{staged_core:.3f}s)")
+    print(f"OK: parity on {len(benchmarks)} benchmarks "
+          f"({staged_solved} solved), core-seconds {race_core:.3f}s -> "
+          f"{staged_core:.3f}s ({ratio:.2f}x >= {ratio_floor:.1f}x)")
+
+    if serve_binary:
+        metrics = check_daemon_metrics(serve_binary, benchmarks)
+        print(f"OK: daemon reported stage_hits={metrics['stage_hits']} "
+              f"escalations={metrics['escalations']} over "
+              f"{len(benchmarks)} staged jobs")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@
 
 #include "BenchUtil.h"
 
+#include "solver/Scheduler.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -59,7 +61,29 @@ void writeJson(const char *Path,
                               static_cast<long>(OctOnly->SolvedByAnalysis);
   }
   Out << "{\n  \"solved_by_analysis_delta\": " << SolvedByAnalysisDelta
-      << ",\n  \"solvers\": [\n";
+      << ",\n";
+  // Static problem features per program (the scheduler's ProblemFeatures
+  // vector, extracted from the encoded system without running anything).
+  // bench/fit_selector.py joins these rows with the per-solver outcomes
+  // below to fit the table-driven engine-selector model offline.
+  Out << "  \"program_features\": [\n";
+  for (size_t I = 0; I < Programs.size(); ++I) {
+    TermManager TM;
+    chc::ChcSystem System(TM);
+    frontend::EncodeResult E = frontend::encodeMiniC(Programs[I]->Source,
+                                                     System);
+    Out << "    {\"name\": \"" << Programs[I]->Name << "\"";
+    if (E.Ok) {
+      solver::ProblemFeatures F = solver::ProblemFeatures::fromSystem(System);
+      std::vector<double> Values = F.values();
+      const std::vector<std::string> &Names =
+          solver::ProblemFeatures::names();
+      for (size_t J = 0; J < Names.size(); ++J)
+        Out << ", \"" << Names[J] << "\": " << Values[J];
+    }
+    Out << "}" << (I + 1 < Programs.size() ? "," : "") << "\n";
+  }
+  Out << "  ],\n  \"solvers\": [\n";
   for (size_t S = 0; S < Results.size(); ++S) {
     const SuiteResult &R = Results[S];
     chc::CheckStats Total;
@@ -108,7 +132,8 @@ void writeJson(const char *Path,
       TotalIterations += O.Stats.Iterations;
       Out << "        {\"name\": \"" << Programs[I]->Name
           << "\", \"status\": \"" << chc::toString(O.Status)
-          << "\", \"seconds\": " << O.Seconds
+          << "\", \"solved\": " << (O.Solved ? "true" : "false")
+          << ", \"seconds\": " << O.Seconds
           << ", \"iterations\": " << O.Stats.Iterations
           << ", \"solved_by_analysis\": "
           << (O.SolvedByAnalysis ? "true" : "false")

@@ -7,6 +7,7 @@
 //
 //   $ ./chc_serve --workers 8 --queue 64 --budget 30
 //       [--isolation process] [--cache-dir /var/tmp/chc-cache]
+//       [--schedule staged] [--selector model.txt]
 //   solve job1 benchmarks/counter.smt2 engine=portfolio budget=10
 //   metrics
 //   shutdown
@@ -19,6 +20,9 @@
 // child, so a segfaulting or runaway engine cannot take the daemon down.
 // `--cache-dir DIR` persists definitive verdicts (and Valid clause-check
 // records) on disk, surviving daemon restarts and crashes.
+// `--schedule staged|race|auto|single` sets the default per-request
+// schedule (requests override with `schedule=`); `--selector FILE` loads
+// a table-driven engine-selector model fit by `bench/fit_selector.py`.
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +43,7 @@ int main(int Argc, char **Argv) {
   baselines::registerBuiltinEngines();
 
   server::DaemonOptions Opts;
+  bool CrashEngines = false;
   for (int I = 1; I < Argc; ++I) {
     auto FlagValue = [&](const char *Flag) -> const char * {
       if (strcmp(Argv[I], Flag) != 0)
@@ -70,18 +75,48 @@ int main(int Argc, char **Argv) {
       FileCache::Options CO;
       CO.Dir = V;
       Opts.Service.DiskCache = std::make_shared<FileCache>(CO);
+    } else if (const char *V = FlagValue("--schedule")) {
+      std::optional<solver::SchedulePolicy> P = solver::parseSchedulePolicy(V);
+      if (!P) {
+        fprintf(stderr,
+                "error: unknown schedule '%s' (want single, race, staged or "
+                "auto)\n",
+                V);
+        return 2;
+      }
+      Opts.DefaultSchedule = *P;
+    } else if (const char *V = FlagValue("--selector")) {
+      std::string Error;
+      std::shared_ptr<solver::TableSelector> Selector =
+          solver::TableSelector::loadFile(V, Error);
+      if (!Selector) {
+        fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
+      Opts.DefaultSelector = std::move(Selector);
     } else if (strcmp(Argv[I], "--crash-engines") == 0) {
-      // Deliberately misbehaving engines (segfault/abort/spin), for
-      // exercising process isolation end to end.
-      baselines::registerCrashEngines();
+      CrashEngines = true;
     } else {
       fprintf(stderr,
               "usage: %s [--workers N] [--queue N] [--budget SECONDS] "
               "[--cache N] [--isolation thread|process] [--cache-dir DIR] "
+              "[--schedule single|race|staged|auto] [--selector FILE] "
               "[--crash-engines]\n",
               Argv[0]);
       return 2;
     }
+  }
+  if (CrashEngines) {
+    // Deliberately misbehaving engines (segfault/abort/spin), for
+    // exercising process isolation end to end. Same invariant the options
+    // builder enforces per request: without process isolation a crashing
+    // lane takes the whole daemon down.
+    if (Opts.DefaultIsolation != solver::Isolation::Process) {
+      fprintf(stderr, "error: --crash-engines requires --isolation process "
+                      "(a thread-mode segfault kills the whole daemon)\n");
+      return 2;
+    }
+    baselines::registerCrashEngines();
   }
 
   size_t Accepted = server::runDaemon(std::cin, std::cout, Opts);

@@ -59,10 +59,17 @@ int main() {
   // 4. Solve through the one-call façade: static pre-analysis, the
   //    data-driven CEGAR loop (Algorithms 1-3 of the paper) and independent
   //    clause-by-clause model validation in a single call.
-  solver::SolveOptions Opts;
-  Opts.Limits.WallSeconds = 60;
-  Opts.Engine = "la"; // registry id; "portfolio" races every engine
-  solver::SolveResult Stats = solver::solveSystem(System, Opts);
+  solver::SolveOptionsBuilder Builder;
+  Builder.wallSeconds(60);
+  // Typed registry id; schedule(SchedulePolicy::Staged) would run the
+  // probe -> top-k -> race ladder instead of one engine.
+  Builder.engine(solver::EngineId("la"));
+  solver::SolveOptionsBuilder::Validated V = Builder.build();
+  if (!V.Ok) {
+    printf("options error: %s\n", V.Error.c_str());
+    return 1;
+  }
+  solver::SolveResult Stats = solver::solveSystem(System, V.Options);
 
   // 5. Inspect the verdict.
   printf("verdict: %s\n", Stats.summary().c_str());

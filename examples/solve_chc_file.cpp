@@ -8,18 +8,28 @@
 //
 //   $ ./solve_chc_file file.smt2
 //   $ ./solve_chc_file program.c --engine portfolio --budget 30
-//   $ ./solve_chc_file input.txt --format smt2
+//   $ ./solve_chc_file input.txt --format smt2 --schedule staged
 //
 // Flags (the old positional form `file [timeout] [engine]` still works):
 //
-//   --format auto|smt2|mini-c   input language (default: auto-detect)
-//   --engine <id>               registry engine id: la (default),
-//                               portfolio, analysis, spacer, gpdr, ...
-//   --budget <seconds>          wall-clock budget (default 60)
+//   --format auto|smt2|mini-c       input language (default: auto-detect)
+//   --engine <id>                   registry engine id: la (default),
+//                                   portfolio, analysis, spacer, gpdr, ...
+//   --budget <seconds>              wall-clock budget (default 60)
+//   --schedule single|race|staged|auto
+//                                   engine schedule: `single` runs exactly
+//                                   --engine, `race` the full portfolio,
+//                                   `staged` the probe -> top-k -> race
+//                                   escalation ladder
+//   --selector <file>               table-driven selector model for staged
+//                                   runs (fit by bench/fit_selector.py)
 //
 // Prints sat/unsat/unknown plus the witness, mirroring `z3
 // fp.engine=spacer file.smt2` usage. "portfolio" races the registered
-// engines in parallel and reports the first definitive answer.
+// engines in parallel and reports the first definitive answer. Flags are
+// assembled through `SolveOptionsBuilder`, so contradictions (an explicit
+// --engine under --schedule race) are rejected up front with a message
+// instead of silently running something else.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,13 +47,16 @@ namespace {
 
 int usage(const char *Prog) {
   std::string Ids;
-  for (const std::string &Id : solver::SolverRegistry::global().ids())
-    Ids += (Ids.empty() ? "" : "|") + Id;
+  for (const solver::EngineId &Id :
+       solver::SolverRegistry::global().engineIds())
+    Ids += (Ids.empty() ? "" : "|") + Id.str();
   fprintf(stderr,
           "usage: %s <file> [--format auto|smt2|mini-c] [--engine %s]\n"
-          "       %*s [--budget seconds]\n"
+          "       %*s [--budget seconds] [--schedule single|race|staged|auto]\n"
+          "       %*s [--selector model-file]\n"
           "   or: %s <file> [timeout-seconds] [engine]   (legacy form)\n",
-          Prog, Ids.c_str(), static_cast<int>(strlen(Prog)), "", Prog);
+          Prog, Ids.c_str(), static_cast<int>(strlen(Prog)), "",
+          static_cast<int>(strlen(Prog)), "", Prog);
   return 2;
 }
 
@@ -55,8 +68,10 @@ int main(int Argc, char **Argv) {
   baselines::registerBuiltinEngines();
 
   solver::SolveRequest Request;
-  Request.Options.Limits.WallSeconds = 60;
-  Request.Options.Solver.Learn.ModFeatures = {2, 3}; // generic mod features
+  solver::SolveOptions Defaults;
+  Defaults.Limits.WallSeconds = 60;
+  Defaults.Solver.Learn.ModFeatures = {2, 3}; // generic mod features
+  solver::SolveOptionsBuilder Builder(std::move(Defaults));
 
   int Positional = 0;
   for (int I = 1; I < Argc; ++I) {
@@ -78,9 +93,28 @@ int main(int Argc, char **Argv) {
       }
       Request.Format = *F;
     } else if (const char *V = FlagValue("--engine")) {
-      Request.Options.Engine = V;
+      Builder.engine(solver::EngineId(V));
     } else if (const char *V = FlagValue("--budget")) {
-      Request.Options.Limits.WallSeconds = std::atof(V);
+      Builder.wallSeconds(std::atof(V));
+    } else if (const char *V = FlagValue("--schedule")) {
+      std::optional<solver::SchedulePolicy> P = solver::parseSchedulePolicy(V);
+      if (!P) {
+        fprintf(stderr,
+                "error: unknown schedule '%s' (want single, race, staged or "
+                "auto)\n",
+                V);
+        return 2;
+      }
+      Builder.schedule(*P);
+    } else if (const char *V = FlagValue("--selector")) {
+      std::string Error;
+      std::shared_ptr<solver::TableSelector> Selector =
+          solver::TableSelector::loadFile(V, Error);
+      if (!Selector) {
+        fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
+      Builder.selector(std::move(Selector));
     } else if (Arg.size() >= 2 && Arg[0] == '-' && Arg[1] == '-') {
       fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
       return usage(Argv[0]);
@@ -89,9 +123,9 @@ int main(int Argc, char **Argv) {
       if (Positional == 0)
         Request.Path = Arg;
       else if (Positional == 1)
-        Request.Options.Limits.WallSeconds = std::atof(Arg.c_str());
+        Builder.wallSeconds(std::atof(Arg.c_str()));
       else if (Positional == 2)
-        Request.Options.Engine = Arg;
+        Builder.engine(solver::EngineId(Arg));
       else
         return usage(Argv[0]);
       ++Positional;
@@ -99,6 +133,13 @@ int main(int Argc, char **Argv) {
   }
   if (Request.Path.empty())
     return usage(Argv[0]);
+
+  solver::SolveOptionsBuilder::Validated V = Builder.build();
+  if (!V.Ok) {
+    fprintf(stderr, "error: %s\n", V.Error.c_str());
+    return 2;
+  }
+  Request.Options = std::move(V.Options);
 
   // The façade owns file I/O, format detection, parsing, engine
   // construction (through the registry) and model validation; this driver
@@ -115,6 +156,11 @@ int main(int Argc, char **Argv) {
   fprintf(stderr, "; stats: %s\n", S.Solver.summary().c_str());
   for (const analysis::PassStats &Pass : S.AnalysisPasses)
     fprintf(stderr, "; analysis: %s\n", Pass.toString().c_str());
+  // Per-stage records of a staged run (* = the stage produced the verdict).
+  for (const solver::StageReport &Stage : S.Stages)
+    fprintf(stderr, "; stage %c %-8s budget %.3fs spent %.3fs %s\n",
+            Stage.Hit ? '*' : ' ', Stage.Stage.c_str(), Stage.BudgetSeconds,
+            Stage.Seconds, toString(Stage.Status));
   // Per-lane reports (one line for single-engine runs, one per lane for the
   // portfolio; * winner, ! crashed, ~ cancelled).
   for (const solver::EngineReport &R : S.Engines)

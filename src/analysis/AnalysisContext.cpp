@@ -117,6 +117,23 @@ size_t AnalysisResult::smtChecks() const {
   return N;
 }
 
+FeatureCounters AnalysisResult::featureCounters() const {
+  FeatureCounters F;
+  for (const PassStats &P : Passes) {
+    F.PredicatesInlined += P.PredicatesInlined;
+    F.ClausesRemoved += P.ClausesRemoved;
+    if (P.Name == "verify")
+      F.PolyhedraFacts += P.PolyhedraFacts;
+  }
+  F.ClausesPruned = clausesPruned();
+  F.PredicatesResolved = predicatesResolved();
+  F.BoundsFound = boundsFound();
+  F.RelationalFound = relationalFound();
+  F.ProvedSat = ProvedSat;
+  F.TimedOut = TimedOut;
+  return F;
+}
+
 AnalysisResult AnalysisResult::allLive(const ChcSystem &System) {
   AnalysisResult R;
   R.LiveClause.assign(System.clauses().size(), 1);

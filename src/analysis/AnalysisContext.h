@@ -123,6 +123,22 @@ struct ArgBounds {
   Rational Hi;
 };
 
+/// Flat counters summarizing one pipeline run — the analysis half of the
+/// scheduler's `ProblemFeatures` vector. Exported here (instead of the
+/// scheduler re-walking `Passes`) so the feature definition lives next to
+/// the counters it aggregates and cannot drift from them.
+struct FeatureCounters {
+  size_t PredicatesInlined = 0;
+  size_t ClausesRemoved = 0;
+  size_t ClausesPruned = 0;
+  size_t PredicatesResolved = 0;
+  size_t BoundsFound = 0;
+  size_t RelationalFound = 0;
+  size_t PolyhedraFacts = 0;
+  bool ProvedSat = false;
+  bool TimedOut = false;
+};
+
 /// Everything the pipeline proved about a system.
 ///
 /// When the inline pass rewrote the system, `Transformed` holds the smaller
@@ -173,6 +189,9 @@ struct AnalysisResult {
   size_t relationalFound() const;
   double totalSeconds() const;
   size_t smtChecks() const;
+
+  /// The flat counter summary behind the scheduler's feature vector.
+  FeatureCounters featureCounters() const;
 
   /// Empty result treating every clause as live (analysis disabled).
   static AnalysisResult allLive(const chc::ChcSystem &System);

@@ -15,10 +15,25 @@
 
 using namespace la;
 using namespace la::baselines;
+using solver::CostClass;
+using solver::EngineId;
+using solver::EngineInfo;
 using solver::EngineOptions;
 using EnginePtr = std::unique_ptr<la::chc::ChcSolverInterface>;
 
 namespace {
+
+EngineInfo engineInfo(const char *Id, const char *Description,
+                      CostClass Cost, bool NeedsAnalysis = false,
+                      bool IsDiagnostic = false) {
+  EngineInfo Info;
+  Info.Id = EngineId(Id);
+  Info.Description = Description;
+  Info.TypicalCost = Cost;
+  Info.NeedsAnalysis = NeedsAnalysis;
+  Info.IsDiagnostic = IsDiagnostic;
+  return Info;
+}
 
 PdrOptions pdrFrom(const EngineOptions &EO, bool CacheReachable) {
   PdrOptions Opts;
@@ -91,31 +106,41 @@ private:
 } // namespace
 
 void baselines::registerBuiltinEngines(solver::SolverRegistry &R) {
-  // `add` refuses duplicate ids, so repeated calls are no-ops.
-  R.add("pdr", "Spacer-style PDR with reachable-fact caching",
+  // `add` refuses duplicate ids, so repeated calls are no-ops. The PDR
+  // family regularly consumes whole budgets; the unwinding family is fast
+  // on non-recursive systems; the learner swaps inherit the data-driven
+  // engine's appetite for the pre-analysis.
+  R.add(engineInfo("pdr", "Spacer-style PDR with reachable-fact caching",
+                   CostClass::Heavy),
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<PdrSolver>(pdrFrom(EO, true));
         });
-  R.addAlias("spacer", "pdr");
-  R.add("gpdr", "GPDR-style PDR without reachable-fact caching",
+  R.addAlias(EngineId("spacer"), EngineId("pdr"));
+  R.add(engineInfo("gpdr", "GPDR-style PDR without reachable-fact caching",
+                   CostClass::Heavy),
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<PdrSolver>(pdrFrom(EO, false));
         });
-  R.add("unwind", "Duality-style unwinding with summary reuse",
+  R.add(engineInfo("unwind", "Duality-style unwinding with summary reuse",
+                   CostClass::Moderate),
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<UnwindSolver>(unwindFrom(EO, true));
         });
-  R.addAlias("duality", "unwind");
-  R.add("interpolation", "UAutomizer-style path-by-path interpolation",
+  R.addAlias(EngineId("duality"), EngineId("unwind"));
+  R.add(engineInfo("interpolation",
+                   "UAutomizer-style path-by-path interpolation",
+                   CostClass::Moderate),
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<UnwindSolver>(unwindFrom(EO, false));
         });
-  R.add("pie", "CEGAR loop with the PIE-style enumerative learner",
+  R.add(engineInfo("pie", "CEGAR loop with the PIE-style enumerative learner",
+                   CostClass::Heavy, /*NeedsAnalysis=*/true),
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<solver::DataDrivenChcSolver>(learnerSwapFrom(
               EO, makeEnumSolverOptions(EO.Limits.WallSeconds)));
         });
-  R.add("dig", "CEGAR loop with the DIG-style template learner",
+  R.add(engineInfo("dig", "CEGAR loop with the DIG-style template learner",
+                   CostClass::Moderate, /*NeedsAnalysis=*/true),
         [](const EngineOptions &EO) -> EnginePtr {
           return std::make_unique<solver::DataDrivenChcSolver>(learnerSwapFrom(
               EO, makeTemplateSolverOptions(EO.Limits.WallSeconds)));
@@ -123,18 +148,24 @@ void baselines::registerBuiltinEngines(solver::SolverRegistry &R) {
 }
 
 void baselines::registerCrashEngines(solver::SolverRegistry &R) {
-  R.add("crash-segv", "isolation test engine: raises SIGSEGV on solve",
+  R.add(engineInfo("crash-segv",
+                   "isolation test engine: raises SIGSEGV on solve",
+                   CostClass::Cheap, false, /*IsDiagnostic=*/true),
         [](const EngineOptions &) -> EnginePtr {
           return std::make_unique<CrashSolver>(CrashSolver::Mode::Segv,
                                                "crash-segv");
         });
-  R.add("crash-abort", "isolation test engine: calls abort() on solve",
+  R.add(engineInfo("crash-abort",
+                   "isolation test engine: calls abort() on solve",
+                   CostClass::Cheap, false, /*IsDiagnostic=*/true),
         [](const EngineOptions &) -> EnginePtr {
           return std::make_unique<CrashSolver>(CrashSolver::Mode::Abort,
                                                "crash-abort");
         });
-  R.add("crash-spin",
-        "isolation test engine: spins forever, ignoring cancellation",
+  R.add(engineInfo("crash-spin",
+                   "isolation test engine: spins forever, ignoring "
+                   "cancellation",
+                   CostClass::Cheap, false, /*IsDiagnostic=*/true),
         [](const EngineOptions &) -> EnginePtr {
           return std::make_unique<CrashSolver>(CrashSolver::Mode::Spin,
                                                "crash-spin");

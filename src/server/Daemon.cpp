@@ -45,7 +45,7 @@ std::string renderCompletion(const std::string &ClientId,
     return "expired " + ClientId;
   if (!R.Result.Ok)
     return "error " + ClientId + " " + R.Result.Error;
-  char Buf[192];
+  char Buf[256];
   snprintf(Buf, sizeof(Buf),
            " engine=%s format=%s seconds=%.3f queued=%.3f cached=%d "
            "disk=%d validated=%d",
@@ -53,13 +53,23 @@ std::string renderCompletion(const std::string &ClientId,
            solver::toString(R.Result.Format), R.RunSeconds, R.QueueSeconds,
            R.CacheHit || R.Result.FromDiskCache ? 1 : 0,
            R.Result.FromDiskCache ? 1 : 0, R.Result.ModelValidated ? 1 : 0);
-  return "ok " + ClientId + " " + chc::toString(R.Result.Status) + Buf;
+  std::string Line =
+      "ok " + ClientId + " " + chc::toString(R.Result.Status) + Buf;
+  if (!R.Result.Stages.empty()) {
+    snprintf(Buf, sizeof(Buf), " stages=%zu escalated=%d",
+             R.Result.Stages.size(), R.Result.Escalated ? 1 : 0);
+    Line += Buf;
+  }
+  return Line;
 }
 
 /// `key=value` request options; unknown keys are an error (a typo like
 /// `budjet=5` silently solving with the default budget would be worse).
-bool applyOption(const std::string &Word, solver::SolveRequest &Request,
-                 std::string &Error) {
+/// Option values land in the builder (cross-field invariants are checked
+/// once by `build()` after the whole line is read), except `format=` which
+/// lives on the request itself.
+bool applyOption(const std::string &Word, solver::SolveOptionsBuilder &Builder,
+                 solver::SolveRequest &Request, std::string &Error) {
   size_t Eq = Word.find('=');
   if (Eq == std::string::npos) {
     Error = "malformed option '" + Word + "' (want key=value)";
@@ -67,7 +77,7 @@ bool applyOption(const std::string &Word, solver::SolveRequest &Request,
   }
   std::string Key = Word.substr(0, Eq), Value = Word.substr(Eq + 1);
   if (Key == "engine") {
-    Request.Options.Engine = Value;
+    Builder.engine(solver::EngineId(Value));
     return true;
   }
   if (Key == "budget") {
@@ -77,7 +87,7 @@ bool applyOption(const std::string &Word, solver::SolveRequest &Request,
       Error = "bad budget '" + Value + "'";
       return false;
     }
-    Request.Options.Limits.WallSeconds = Seconds;
+    Builder.wallSeconds(Seconds);
     return true;
   }
   if (Key == "format") {
@@ -95,7 +105,18 @@ bool applyOption(const std::string &Word, solver::SolveRequest &Request,
       Error = "unknown isolation '" + Value + "' (want thread or process)";
       return false;
     }
-    Request.Options.Isolate = *I;
+    Builder.isolation(*I);
+    return true;
+  }
+  if (Key == "schedule") {
+    std::optional<solver::SchedulePolicy> P =
+        solver::parseSchedulePolicy(Value);
+    if (!P) {
+      Error = "unknown schedule '" + Value +
+              "' (want single, race, staged or auto)";
+      return false;
+    }
+    Builder.schedule(*P);
     return true;
   }
   Error = "unknown option '" + Key + "'";
@@ -172,7 +193,11 @@ size_t server::runDaemon(std::istream &In, std::ostream &Out,
         continue;
       }
       solver::SolveRequest Request;
-      Request.Options.Isolate = Opts.DefaultIsolation;
+      solver::SolveOptions Defaults;
+      Defaults.Isolate = Opts.DefaultIsolation;
+      Defaults.Schedule.Policy = Opts.DefaultSchedule;
+      Defaults.Schedule.Selector = Opts.DefaultSelector;
+      solver::SolveOptionsBuilder Builder(std::move(Defaults));
       std::string OptionError;
       bool OptionsOk = true;
       std::string Word;
@@ -183,7 +208,7 @@ size_t server::runDaemon(std::istream &In, std::ostream &Out,
         }
       }
       while (Words >> Word)
-        if (!applyOption(Word, Request, OptionError)) {
+        if (!applyOption(Word, Builder, Request, OptionError)) {
           OptionsOk = false;
           break;
         }
@@ -196,6 +221,17 @@ size_t server::runDaemon(std::istream &In, std::ostream &Out,
           Source += '\n';
         }
         Request.Source = std::move(Source);
+      }
+      if (OptionsOk) {
+        // Cross-field validation (e.g. engine= vs a portfolio schedule=)
+        // happens once the whole option list is known.
+        solver::SolveOptionsBuilder::Validated V = Builder.build();
+        if (V.Ok)
+          Request.Options = std::move(V.Options);
+        else {
+          OptionsOk = false;
+          OptionError = V.Error;
+        }
       }
       if (!OptionsOk) {
         Writer.line("error " + ClientId + " " + OptionError);

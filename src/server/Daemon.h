@@ -13,8 +13,10 @@
 ///
 ///   solve <id> <path> [engine=E] [budget=SECONDS] [format=F]
 ///                     [isolation=thread|process]
+///                     [schedule=single|race|staged|auto]
 ///   solve-inline <id> [engine=E] [budget=SECONDS] [format=F]
 ///                     [isolation=thread|process]
+///                     [schedule=single|race|staged|auto]
 ///     ...source lines...
 ///     .
 ///   cancel <id>
@@ -25,15 +27,24 @@
 /// hard-killable child process, so a crashing engine cannot take the
 /// daemon down; the default comes from `DaemonOptions::DefaultIsolation`.
 ///
+/// `schedule=` picks the per-request engine schedule: `single` runs
+/// exactly `engine=E`, `race` the full portfolio, `staged` the
+/// probe → top-k → race escalation ladder, `auto` staged when the registry
+/// offers a real choice. The default comes from
+/// `DaemonOptions::DefaultSchedule`; `engine=` and a portfolio schedule
+/// are mutually exclusive (the request is rejected).
+///
 /// `<id>` is a client-chosen token echoed back in the response, so clients
 /// can pipeline requests and match answers arriving out of submission
 /// order. Responses, one per line, written as jobs complete:
 ///
 ///   ok <id> <sat|unsat|unknown> engine=<name> format=<fmt> seconds=<s>
 ///      queued=<s> cached=<0|1> disk=<0|1> validated=<0|1>
+///      [stages=<n> escalated=<0|1>]
 ///
 /// `cached=1` covers both the in-memory memo cache and the persistent
-/// disk cache; `disk=1` singles out answers served from the latter.
+/// disk cache; `disk=1` singles out answers served from the latter; the
+/// `stages=`/`escalated=` pair appears on staged-schedule responses only.
 ///   rejected <id> retry-after=<seconds>     (backpressure: resubmit later)
 ///   expired <id>                            (budget ran out in the queue)
 ///   error <id> <message>
@@ -64,6 +75,12 @@ struct DaemonOptions {
   /// mode makes the daemon crash-proof against misbehaving engines at the
   /// cost of a fork per lane.
   solver::Isolation DefaultIsolation = solver::Isolation::Thread;
+  /// Schedule policy applied to requests that send no `schedule=`.
+  solver::SchedulePolicy DefaultSchedule = solver::SchedulePolicy::Single;
+  /// Engine selector used by staged schedules (null picks the built-in
+  /// rule baseline). Loaded by `chc_serve --selector FILE` from a model
+  /// fit offline by `bench/fit_selector.py`.
+  std::shared_ptr<const solver::EngineSelector> DefaultSelector;
 };
 
 /// Runs the protocol until `shutdown` or end of input, then drains the

@@ -48,6 +48,10 @@ std::string ServiceMetrics::report() const {
            static_cast<unsigned long long>(Errors),
            static_cast<unsigned long long>(ExpiredInQueue));
   Out += Buf;
+  snprintf(Buf, sizeof(Buf), "schedule: stage-hits %llu  escalations %llu\n",
+           static_cast<unsigned long long>(StageHits),
+           static_cast<unsigned long long>(Escalations));
+  Out += Buf;
   snprintf(Buf, sizeof(Buf), "cache: hits %llu  misses %llu\n",
            static_cast<unsigned long long>(CacheHits),
            static_cast<unsigned long long>(CacheMisses));
@@ -81,7 +85,8 @@ std::string ServiceMetrics::json() const {
            "\"queue_capacity\":%zu,\"in_flight\":%zu,\"submitted\":%llu,"
            "\"rejected\":%llu,\"completed\":%llu,\"solved_per_second\":%.3f,"
            "\"sat\":%llu,\"unsat\":%llu,\"unknown\":%llu,\"errors\":%llu,"
-           "\"expired_in_queue\":%llu,\"cache_hits\":%llu,"
+           "\"expired_in_queue\":%llu,\"stage_hits\":%llu,"
+           "\"escalations\":%llu,\"cache_hits\":%llu,"
            "\"cache_misses\":%llu,\"disk_cache_served\":%llu,"
            "\"disk_hits\":%llu,\"disk_misses\":%llu,\"disk_stores\":%llu,"
            "\"disk_evictions\":%llu,\"disk_corrupt\":%llu,\"engine_wins\":{",
@@ -94,6 +99,8 @@ std::string ServiceMetrics::json() const {
            static_cast<unsigned long long>(Unknown),
            static_cast<unsigned long long>(Errors),
            static_cast<unsigned long long>(ExpiredInQueue),
+           static_cast<unsigned long long>(StageHits),
+           static_cast<unsigned long long>(Escalations),
            static_cast<unsigned long long>(CacheHits),
            static_cast<unsigned long long>(CacheMisses),
            static_cast<unsigned long long>(DiskCacheServed),
@@ -157,9 +164,14 @@ SolverService::cacheKey(const solver::SolveRequest &Request) const {
   Key += '\x1f';
   Key += solver::toString(Request.Format);
   Key += '\x1f';
-  Key += Request.Options.Engine;
+  Key += Request.Options.Engine.str();
+  Key += '\x1f';
+  // The schedule policy decides which engines run, so it is part of what a
+  // cached verdict answers (top-k width changes the staged ladder).
+  Key += solver::toString(Request.Options.Schedule.Policy);
   char Buf[96];
-  snprintf(Buf, sizeof(Buf), "\x1f%.6f\x1f%zu\x1f%d",
+  snprintf(Buf, sizeof(Buf), "\x1f%zu\x1f%.6f\x1f%zu\x1f%d",
+           Request.Options.Schedule.TopK,
            Request.Options.Limits.WallSeconds,
            Request.Options.Limits.MaxIterations,
            Request.Options.ValidateModel ? 1 : 0);
@@ -217,6 +229,16 @@ void SolverService::noteCompleted(const JobResult &R,
   }
   if (R.Result.Status != chc::ChcResult::Unknown && !Engine.empty())
     ++EngineWins[Engine];
+  // Staged-schedule accounting: a definitive verdict before the escalation
+  // race is a stage hit; entering the race at all is an escalation. Cache
+  // hits replay the stored stage records and are deliberately not counted
+  // again — these two track actual engine work.
+  if (!R.CacheHit && !R.Result.FromDiskCache && !R.Result.Stages.empty()) {
+    if (R.Result.Escalated)
+      ++Escalations;
+    else if (R.Result.Status != chc::ChcResult::Unknown)
+      ++StageHits;
+  }
 }
 
 Ticket SolverService::submit(solver::SolveRequest Request) {
@@ -406,7 +428,7 @@ void SolverService::workerLoop() {
     MeanRunSeconds = MeanRunSeconds <= 0
                          ? R.RunSeconds
                          : 0.7 * MeanRunSeconds + 0.3 * R.RunSeconds;
-    noteCompleted(R, J->Request.Options.Engine);
+    noteCompleted(R, J->Request.Options.Engine.str());
     Lock.unlock();
 
     JobResult Copy = R;
@@ -432,6 +454,8 @@ ServiceMetrics SolverService::metrics() const {
   M.Unknown = UnknownCount;
   M.Errors = ErrorCount;
   M.ExpiredInQueue = Expired;
+  M.StageHits = StageHits;
+  M.Escalations = Escalations;
   M.CacheHits = CacheHits;
   M.CacheMisses = CacheMisses;
   M.DiskCacheServed = DiskCacheServed;

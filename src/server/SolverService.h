@@ -95,6 +95,11 @@ struct ServiceMetrics {
   uint64_t Unknown = 0;     ///< Completed without a definitive verdict.
   uint64_t Errors = 0;      ///< Completed with `!Result.Ok`.
   uint64_t ExpiredInQueue = 0;
+  /// Staged-schedule jobs answered before the escalation race (the probe
+  /// or the top-k stage hit).
+  uint64_t StageHits = 0;
+  /// Staged-schedule jobs that fell through to the full escalation race.
+  uint64_t Escalations = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0; ///< Lookups that went on to run an engine.
   /// Jobs whose whole result came from the persistent disk cache
@@ -193,6 +198,7 @@ private:
   uint64_t Submitted = 0, Rejected = 0, Completed = 0;
   uint64_t SolvedSat = 0, SolvedUnsat = 0, UnknownCount = 0, ErrorCount = 0;
   uint64_t Expired = 0, CacheHits = 0, CacheMisses = 0;
+  uint64_t StageHits = 0, Escalations = 0;
   uint64_t DiskCacheServed = 0;
   std::unordered_map<std::string, uint64_t> EngineWins;
   double MeanRunSeconds = 0; ///< EWMA feeding the retry-after estimate.

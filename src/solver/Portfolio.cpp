@@ -40,18 +40,18 @@ std::vector<PortfolioLane>
 PortfolioSolver::defaultLanes(const EngineOptions &Base,
                               const SolverRegistry &R) {
   std::vector<PortfolioLane> Lanes;
-  Lanes.push_back({"la", "la", Base});
+  Lanes.push_back({EngineId("la"), "la", Base});
   {
-    PortfolioLane Seeded{"la", "la-seed2", Base};
+    PortfolioLane Seeded{EngineId("la"), "la-seed2", Base};
     Seeded.Opts.Seed = Base.Seed ? Base.Seed + 1 : 2;
     Lanes.push_back(std::move(Seeded));
   }
-  Lanes.push_back({"analysis", "analysis", Base});
+  Lanes.push_back({EngineId("analysis"), "analysis", Base});
   // Baseline lanes only when `registerBuiltinEngines()` ran.
-  if (R.contains("pdr"))
-    Lanes.push_back({"pdr", "pdr", Base});
-  if (R.contains("unwind"))
-    Lanes.push_back({"unwind", "unwind", Base});
+  if (R.contains(EngineId("pdr")))
+    Lanes.push_back({EngineId("pdr"), "pdr", Base});
+  if (R.contains(EngineId("unwind")))
+    Lanes.push_back({EngineId("unwind"), "unwind", Base});
   return Lanes;
 }
 
@@ -370,7 +370,7 @@ struct LaneExec {
 /// child of a multithreaded process — and the child only calls `solve` over
 /// already-owned data.
 void runProcessLane(const ChcSystem &System, const SolverRegistry &Registry,
-                    const std::string &Engine, const EngineOptions &EO,
+                    const EngineId &Engine, const EngineOptions &EO,
                     const PortfolioOptions &Opts,
                     const std::shared_ptr<CancellationToken> &Token,
                     LaneExec &Exec, bool &Definitive) {
@@ -506,12 +506,13 @@ ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
   for (size_t I = 0; I != Lanes.size(); ++I) {
     PortfolioLane &Lane = Lanes[I];
     LaneExec &Exec = Execs[I];
-    Exec.Report.Lane = Lane.Label.empty() ? Lane.Engine : Lane.Label;
-    Exec.Report.Engine = Lane.Engine;
+    Exec.Report.Lane = Lane.Label.empty() ? Lane.Engine.str() : Lane.Label;
+    Exec.Report.Engine = Lane.Engine.str();
+    Exec.Report.LaneIndex = I;
     if (!Registry.contains(Lane.Engine)) {
       Exec.Report.Crashed = true;
       Exec.Report.Outcome = LaneOutcome::Failed;
-      Exec.Report.Error = "unknown engine id '" + Lane.Engine + "'";
+      Exec.Report.Error = "unknown engine id '" + Lane.Engine.str() + "'";
       continue;
     }
 
@@ -535,10 +536,14 @@ ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
     EO.Cancel = Token;
 
     ++Running;
+    Exec.Report.QueuedSeconds = Total.elapsedSeconds();
     Workers.emplace_back([this, &System, &Registry, &Exec, &WinnerIdx, &Mutex,
-                          &Cv, &Running, Token, EO = std::move(EO),
+                          &Cv, &Running, &Total, Token, EO = std::move(EO),
                           Engine = Lane.Engine, Idx = static_cast<int>(I)]() {
       Timer LaneClock;
+      // `Total` started on the main thread before any worker; its start
+      // point is immutable, so reading the race clock here is safe.
+      Exec.Report.StartSeconds = Total.elapsedSeconds();
       bool Definitive = false;
       if (Opts.Isolate == Isolation::Process) {
         runProcessLane(System, Registry, Engine, EO, Opts, Token, Exec,
@@ -568,6 +573,7 @@ ChcSolverResult PortfolioSolver::solve(const ChcSystem &System) {
         }
       }
       Exec.Report.Seconds = LaneClock.elapsedSeconds();
+      Exec.Report.StopSeconds = Total.elapsedSeconds();
       Exec.Report.Cancelled = !Exec.Report.Crashed &&
                               Exec.Report.Status == ChcResult::Unknown &&
                               Token->cancelled();

@@ -57,14 +57,16 @@ std::optional<Isolation> parseIsolation(const std::string &Text);
 /// label names the lane in reports and must be unique within a portfolio
 /// (two "la" lanes with different seeds get labels "la" and "la-seed2").
 struct PortfolioLane {
-  std::string Engine;
+  EngineId Engine;
   std::string Label;
   EngineOptions Opts;
 };
 
 /// Post-race record of one lane, rendered into `SolveResult::summary()`.
 /// Reports are sorted by label, not completion order, so output is
-/// deterministic across runs.
+/// deterministic across runs; `LaneIndex` and the race-clock offsets
+/// preserve the configured start order and the actual lane lifetimes for
+/// offline selector fitting.
 struct EngineReport {
   std::string Lane;   ///< Lane label.
   std::string Engine; ///< Registry id the lane ran.
@@ -79,6 +81,16 @@ struct EngineReport {
   LaneOutcome Outcome = LaneOutcome::Completed;
   std::string Error;
   double Seconds = 0; ///< Lane wall clock (thread start to finish).
+  /// Position in the configured lane order — the start order the
+  /// label-sorted report list no longer shows.
+  size_t LaneIndex = 0;
+  /// Race-clock offsets (seconds since the race started): when the lane was
+  /// enqueued on the main thread, when its worker began solving, and when
+  /// it finished. Staged schedules inherit the stage's clock, so offsets
+  /// across stages are comparable.
+  double QueuedSeconds = 0;
+  double StartSeconds = 0;
+  double StopSeconds = 0;
   chc::EngineStats Stats;
 };
 

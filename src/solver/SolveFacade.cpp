@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -80,6 +81,18 @@ std::string solver::SolveResult::summary() const {
   }
   if (SolvedByAnalysis)
     Out += " [solved by pre-analysis]";
+  if (!Stages.empty()) {
+    // Staged run: which rung of the ladder answered ('*'), and whether the
+    // escalation race was needed at all.
+    Out += " [stages:";
+    for (const StageReport &S : Stages) {
+      char Seg[96];
+      snprintf(Seg, sizeof(Seg), " %s%s %.3fs", S.Stage.c_str(),
+               S.Hit ? "*" : "", S.Seconds);
+      Out += Seg;
+    }
+    Out += Escalated ? "; escalated]" : "]";
+  }
   if (FromDiskCache)
     Out += " [disk-cache]";
   // Per-lane block for portfolio runs — and for any run with a killed or
@@ -106,6 +119,19 @@ std::string solver::SolveResult::summary() const {
   return Out;
 }
 
+namespace {
+
+std::string unknownEngineError(const solver::SolverRegistry &Registry,
+                               const solver::EngineId &Id) {
+  std::string Error = "unknown engine '" + Id.str() + "' (registered:";
+  for (const solver::EngineId &Known : Registry.engineIds())
+    Error += " " + Known.str();
+  Error += ")";
+  return Error;
+}
+
+} // namespace
+
 solver::SolveResult solver::solveSystem(const ChcSystem &System,
                                         const SolveOptions &Opts) {
   SolveResult Out;
@@ -125,9 +151,27 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   // Non-data-driven engines share the data-driven SMT budget by default.
   EO.Smt = Opts.Solver.Smt;
 
+  // Resolve the schedule policy first: `auto` means staged when there is a
+  // real engine choice to make, the plain race otherwise.
+  SchedulePolicy Policy = Opts.Schedule.Policy;
+  if (Policy == SchedulePolicy::Auto)
+    Policy = Registry.selectable().size() >= 2 ? SchedulePolicy::Staged
+                                               : SchedulePolicy::Race;
+
   std::unique_ptr<ChcSolverInterface> Solver;
   bool SingleLaneWrapper = false;
-  if (Opts.Engine == "portfolio") {
+  if (Policy == SchedulePolicy::Staged) {
+    // Built directly (not via the registry "staged" id) so the schedule
+    // knobs, custom portfolio settings and isolation mode all survive.
+    PortfolioOptions PO = Opts.Portfolio;
+    PO.Lanes.clear(); // stages pick their own lanes
+    PO.Base = EO;
+    PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
+    if (Opts.Isolate == Isolation::Process)
+      PO.Isolate = Isolation::Process;
+    Solver = std::make_unique<StagedSolver>(Opts.Schedule, std::move(PO));
+  } else if (Policy == SchedulePolicy::Race ||
+             Opts.Engine == EngineId("portfolio")) {
     // Build the portfolio directly so custom lanes in `Opts.Portfolio`
     // survive; the registry path would drop them.
     PortfolioOptions PO = Opts.Portfolio;
@@ -140,27 +184,21 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
     // Single engine under process isolation: a one-lane portfolio gives the
     // fork/rlimit/kill machinery and the report classification for free.
     if (!Registry.contains(Opts.Engine)) {
-      Out.Error = "unknown engine '" + Opts.Engine + "' (registered:";
-      for (const std::string &Id : Registry.ids())
-        Out.Error += " " + Id;
-      Out.Error += ")";
+      Out.Error = unknownEngineError(Registry, Opts.Engine);
       return Out;
     }
     PortfolioOptions PO = Opts.Portfolio;
-    PO.Lanes = {{Opts.Engine, Opts.Engine, {}}};
+    PO.Lanes = {{Opts.Engine, Opts.Engine.str(), {}}};
     PO.Isolate = Isolation::Process;
     PO.Base = EO;
     PO.Limits = PO.Limits.resolvedOver(Opts.Limits);
-    PO.Name = Opts.Engine;
+    PO.Name = Opts.Engine.str();
     Solver = std::make_unique<PortfolioSolver>(std::move(PO));
     SingleLaneWrapper = true;
   } else {
     Solver = Registry.create(Opts.Engine, EO);
     if (!Solver) {
-      Out.Error = "unknown engine '" + Opts.Engine + "' (registered:";
-      for (const std::string &Id : Registry.ids())
-        Out.Error += " " + Id;
-      Out.Error += ")";
+      Out.Error = unknownEngineError(Registry, Opts.Engine);
       return Out;
     }
   }
@@ -176,8 +214,8 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
     // verdict stays Unknown and the report keeps the engine's own words.
     const char *What = E.what();
     EngineReport Rep;
-    Rep.Lane = Opts.Engine;
-    Rep.Engine = Opts.Engine;
+    Rep.Lane = Opts.Engine.str();
+    Rep.Engine = Opts.Engine.str();
     Rep.Name = Out.SolverName;
     Rep.Crashed = true;
     Rep.Outcome = LaneOutcome::Failed;
@@ -198,7 +236,13 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
   if (R.Status == ChcResult::Unsat && R.Cex)
     Out.Cex = R.Cex->toString(System);
 
-  if (auto *Portfolio = dynamic_cast<PortfolioSolver *>(Solver.get())) {
+  if (auto *Staged = dynamic_cast<StagedSolver *>(Solver.get())) {
+    Out.Engines = Staged->reports();
+    Out.Stages = Staged->stages();
+    Out.Escalated = Staged->escalated();
+    Out.AnalysisPasses = Staged->probeAnalysis().Passes;
+    Out.SolvedByAnalysis = Staged->solvedByProbe();
+  } else if (auto *Portfolio = dynamic_cast<PortfolioSolver *>(Solver.get())) {
     Out.Engines = Portfolio->reports();
     // The implicit single-lane wrapper should read like the engine it ran:
     // surface the child-reported display name, not the wrapper's.
@@ -211,8 +255,8 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
       Out.SolvedByAnalysis = DataDriven->detailedStats().SolvedByAnalysis;
     }
     EngineReport Rep;
-    Rep.Lane = Opts.Engine;
-    Rep.Engine = Opts.Engine;
+    Rep.Lane = Opts.Engine.str();
+    Rep.Engine = Opts.Engine.str();
     Rep.Name = Out.SolverName;
     Rep.Status = R.Status;
     Rep.Winner = R.Status != ChcResult::Unknown;
@@ -221,6 +265,43 @@ solver::SolveResult solver::solveSystem(const ChcSystem &System,
     Out.Engines.push_back(std::move(Rep));
   }
   return Out;
+}
+
+solver::SolveOptionsBuilder::Validated solver::SolveOptionsBuilder::build()
+    const {
+  Validated V;
+  V.Options = Opts;
+  const Budget &Limits = Opts.Limits;
+  if (!(Limits.WallSeconds >= 0) || std::isinf(Limits.WallSeconds)) {
+    V.Error = "wall budget must be a finite non-negative number of seconds";
+    return V;
+  }
+  if (Opts.Schedule.TopK < 1) {
+    V.Error = "staged scheduling needs top-k >= 1";
+    return V;
+  }
+  if (Opts.Schedule.ProbeFraction < 0 || Opts.Schedule.ProbeFraction > 1 ||
+      Opts.Schedule.StagedFraction < 0 || Opts.Schedule.StagedFraction > 1) {
+    V.Error = "probe/staged budget fractions must lie in [0, 1]";
+    return V;
+  }
+  if (CrashEngines && Opts.Isolate != Isolation::Process) {
+    V.Error = "crash engines require process isolation "
+              "(--isolation process): a thread-mode segfault kills the "
+              "whole process";
+    return V;
+  }
+  if (EngineExplicit && ScheduleExplicit &&
+      Opts.Schedule.Policy != SchedulePolicy::Single &&
+      Opts.Engine != EngineId("portfolio")) {
+    V.Error = "an explicit engine ('" + Opts.Engine.str() +
+              "') contradicts schedule policy '" +
+              toString(Opts.Schedule.Policy) +
+              "', which picks engines itself; drop one of the two";
+    return V;
+  }
+  V.Ok = true;
+  return V;
 }
 
 namespace {
@@ -244,8 +325,15 @@ std::string verdictCacheKey(const ChcSystem &System,
                             const solver::SolveOptions &Opts) {
   smtlib2::PrintOptions PO;
   PO.ClauseComments = false;
-  return "v1|" + FileCache::hashKey(smtlib2::printSmtLib2(System, PO)) + "|" +
-         Opts.Engine + "|b" +
+  // The schedule policy (and its top-k width) is part of the key: under
+  // `single` the verdict depends on which engine ran, under `staged` on how
+  // far the escalation ladder got within the budget.
+  std::string Policy = solver::toString(Opts.Schedule.Policy);
+  if (Opts.Schedule.Policy == solver::SchedulePolicy::Staged ||
+      Opts.Schedule.Policy == solver::SchedulePolicy::Auto)
+    Policy += "k" + std::to_string(Opts.Schedule.TopK);
+  return "v2|" + FileCache::hashKey(smtlib2::printSmtLib2(System, PO)) + "|" +
+         Opts.Engine.str() + "|" + Policy + "|b" +
          std::to_string(budgetBucket(Opts.Limits.WallSeconds)) + "|" +
          (Opts.ValidateModel ? "val" : "noval");
 }
@@ -318,11 +406,15 @@ std::optional<ChcResult> parseStatus(const std::string &Word) {
 } // namespace
 
 std::string solver::serializeResult(const SolveResult &R) {
-  std::string Out = "la-solve 1\n";
+  // Version 2: the engine line grew the lane index + race-clock offsets,
+  // and stage records follow the engine list. Version-1 records simply
+  // read as cache misses.
+  std::string Out = "la-solve 2\n";
   Out += std::string("status ") + chc::toString(R.Status) + "\n";
   Out += "flags " + std::to_string(R.ModelValidated ? 1 : 0) + ' ' +
          std::to_string(R.Recursive ? 1 : 0) + ' ' +
-         std::to_string(R.SolvedByAnalysis ? 1 : 0) + '\n';
+         std::to_string(R.SolvedByAnalysis ? 1 : 0) + ' ' +
+         std::to_string(R.Escalated ? 1 : 0) + '\n';
   Out += "sizes " + std::to_string(R.Clauses) + ' ' +
          std::to_string(R.Predicates) + '\n';
   putBlock(Out, "solver", R.SolverName);
@@ -331,16 +423,29 @@ std::string solver::serializeResult(const SolveResult &R) {
   putStats(Out, R.Solver);
   Out += "engines " + std::to_string(R.Engines.size()) + '\n';
   for (const EngineReport &E : R.Engines) {
-    char Buf[128];
-    snprintf(Buf, sizeof(Buf), "engine %s %d %d %d %d %.6f\n",
+    char Buf[192];
+    snprintf(Buf, sizeof(Buf), "engine %s %d %d %d %d %.6f %zu %.6f %.6f %.6f\n",
              chc::toString(E.Status), E.Winner ? 1 : 0, E.Cancelled ? 1 : 0,
-             E.Crashed ? 1 : 0, static_cast<int>(E.Outcome), E.Seconds);
+             E.Crashed ? 1 : 0, static_cast<int>(E.Outcome), E.Seconds,
+             E.LaneIndex, E.QueuedSeconds, E.StartSeconds, E.StopSeconds);
     Out += Buf;
     putBlock(Out, "lane", E.Lane);
     putBlock(Out, "id", E.Engine);
     putBlock(Out, "name", E.Name);
     putBlock(Out, "error", E.Error);
     putStats(Out, E.Stats);
+  }
+  Out += "stages " + std::to_string(R.Stages.size()) + '\n';
+  for (const StageReport &S : R.Stages) {
+    char Buf[128];
+    snprintf(Buf, sizeof(Buf), "stage %s %d %.6f %.6f\n",
+             chc::toString(S.Status), S.Hit ? 1 : 0, S.BudgetSeconds,
+             S.Seconds);
+    Out += Buf;
+    putBlock(Out, "stage-name", S.Stage);
+    Out += "stage-engines " + std::to_string(S.Engines.size()) + '\n';
+    for (const std::string &E : S.Engines)
+      putBlock(Out, "stage-engine", E);
   }
   Out += "end\n";
   return Out;
@@ -350,7 +455,7 @@ bool solver::deserializeResult(const std::string &Text, SolveResult &R) {
   std::istringstream In(Text);
   std::string Word;
   int Version = 0;
-  if (!(In >> Word >> Version) || Word != "la-solve" || Version != 1)
+  if (!(In >> Word >> Version) || Word != "la-solve" || Version != 2)
     return false;
   if (!(In >> Word) || Word != "status" || !(In >> Word))
     return false;
@@ -361,12 +466,14 @@ bool solver::deserializeResult(const std::string &Text, SolveResult &R) {
   int Validated = 0;
   int Recursive = 0;
   int ByAnalysis = 0;
+  int Escalated = 0;
   if (!(In >> Word) || Word != "flags" ||
-      !(In >> Validated >> Recursive >> ByAnalysis))
+      !(In >> Validated >> Recursive >> ByAnalysis >> Escalated))
     return false;
   R.ModelValidated = Validated != 0;
   R.Recursive = Recursive != 0;
   R.SolvedByAnalysis = ByAnalysis != 0;
+  R.Escalated = Escalated != 0;
   if (!(In >> Word) || Word != "sizes" || !(In >> R.Clauses >> R.Predicates))
     return false;
   In.ignore(1, '\n');
@@ -387,7 +494,8 @@ bool solver::deserializeResult(const std::string &Text, SolveResult &R) {
       return false;
     Status = parseStatus(Word);
     if (!Status || !(In >> Winner >> Cancelled >> Crashed >> Outcome) ||
-        !(In >> E.Seconds))
+        !(In >> E.Seconds >> E.LaneIndex >> E.QueuedSeconds >>
+          E.StartSeconds >> E.StopSeconds))
       return false;
     E.Status = *Status;
     E.Winner = Winner != 0;
@@ -401,6 +509,32 @@ bool solver::deserializeResult(const std::string &Text, SolveResult &R) {
         !getBlock(In, "name", E.Name) || !getBlock(In, "error", E.Error) ||
         !getStats(In, E.Stats))
       return false;
+  }
+  size_t NumStages = 0;
+  if (!(In >> Word) || Word != "stages" || !(In >> NumStages) || NumStages > 16)
+    return false;
+  R.Stages.resize(NumStages);
+  for (StageReport &S : R.Stages) {
+    int Hit = 0;
+    if (!(In >> Word) || Word != "stage" || !(In >> Word))
+      return false;
+    Status = parseStatus(Word);
+    if (!Status || !(In >> Hit >> S.BudgetSeconds >> S.Seconds))
+      return false;
+    S.Status = *Status;
+    S.Hit = Hit != 0;
+    In.ignore(1, '\n');
+    if (!getBlock(In, "stage-name", S.Stage))
+      return false;
+    size_t NumLabels = 0;
+    if (!(In >> Word) || Word != "stage-engines" || !(In >> NumLabels) ||
+        NumLabels > 256)
+      return false;
+    In.ignore(1, '\n');
+    S.Engines.resize(NumLabels);
+    for (std::string &L : S.Engines)
+      if (!getBlock(In, "stage-engine", L))
+        return false;
   }
   if (!(In >> Word) || Word != "end")
     return false;

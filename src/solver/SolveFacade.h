@@ -22,12 +22,21 @@
 /// "la" (default), "analysis", "portfolio", or — after
 /// `baselines::registerBuiltinEngines()` — "pdr", "unwind" and friends.
 ///
+/// On top of the single-engine path sits the schedule policy
+/// (`SolveOptions::Schedule`): `race` runs the full portfolio, `staged`
+/// runs the probe → top-k → race escalation ladder of `StagedSolver`, and
+/// `auto` picks staged whenever at least two selectable engines are
+/// registered. `SolveOptionsBuilder` is the validated way to assemble all
+/// of this — it rejects contradictory combinations (an explicit engine
+/// under a portfolio policy, crash engines without process isolation)
+/// before any work starts.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LA_SOLVER_SOLVEFACADE_H
 #define LA_SOLVER_SOLVEFACADE_H
 
-#include "solver/Portfolio.h"
+#include "solver/Scheduler.h"
 #include "solver/SolverRegistry.h"
 
 #include <memory>
@@ -61,8 +70,13 @@ struct SolveOptions {
   Budget Limits{60, 0};
   /// Registry id of the engine to run ("la", "analysis", "portfolio",
   /// "pdr", ...). Unknown ids fail the call with an error listing the
-  /// registered ids.
-  std::string Engine = "la";
+  /// registered ids. Consulted only under the `Single` schedule policy —
+  /// `race`/`staged`/`auto` pick their own engines.
+  EngineId Engine{"la"};
+  /// Schedule policy plus its staged-mode knobs (top-k, budget fractions,
+  /// selector). `Single` (the default) preserves the legacy behavior of
+  /// running exactly `Engine`.
+  ScheduleOptions Schedule;
   /// Data-driven engine configuration (analysis options included), the base
   /// of the "la"/"analysis" engines and of every portfolio lane.
   DataDrivenOptions Solver;
@@ -86,6 +100,88 @@ struct SolveOptions {
   /// engine + budget bucket (consulted by `solve()` after parsing), and
   /// Valid clause-check verdicts under `ClauseCheckContext`'s memo cache.
   std::shared_ptr<FileCache> DiskCache;
+};
+
+/// Validated assembly of `SolveOptions`. The options struct accreted knobs
+/// PR by PR — engine id, budget, isolation, schedule, caches — and several
+/// combinations are contradictions that used to fail late (or worse,
+/// silently run something else). The builder is where those invariants
+/// live: `build()` either returns a coherent options blob or names the
+/// conflict. Setters follow the fluent pattern so drivers read as the
+/// command lines they parse.
+class SolveOptionsBuilder {
+public:
+  SolveOptionsBuilder() = default;
+  /// Starts from an existing blob (e.g. a daemon's per-request defaults).
+  explicit SolveOptionsBuilder(SolveOptions Base) : Opts(std::move(Base)) {}
+
+  /// Selects a specific engine and forces the `Single` policy with it: an
+  /// explicit engine choice and a portfolio policy are contradictory, and
+  /// `build()` rejects the combination if `schedule()` says otherwise.
+  SolveOptionsBuilder &engine(EngineId Id) {
+    Opts.Engine = std::move(Id);
+    EngineExplicit = true;
+    return *this;
+  }
+  SolveOptionsBuilder &wallSeconds(double Seconds) {
+    Opts.Limits.WallSeconds = Seconds;
+    return *this;
+  }
+  SolveOptionsBuilder &maxIterations(size_t N) {
+    Opts.Limits.MaxIterations = N;
+    return *this;
+  }
+  SolveOptionsBuilder &schedule(SchedulePolicy P) {
+    Opts.Schedule.Policy = P;
+    ScheduleExplicit = true;
+    return *this;
+  }
+  SolveOptionsBuilder &topK(size_t K) {
+    Opts.Schedule.TopK = K;
+    return *this;
+  }
+  SolveOptionsBuilder &selector(std::shared_ptr<const EngineSelector> S) {
+    Opts.Schedule.Selector = std::move(S);
+    return *this;
+  }
+  SolveOptionsBuilder &isolation(Isolation I) {
+    Opts.Isolate = I;
+    return *this;
+  }
+  SolveOptionsBuilder &validateModel(bool V) {
+    Opts.ValidateModel = V;
+    return *this;
+  }
+  SolveOptionsBuilder &cancel(std::shared_ptr<const CancellationToken> T) {
+    Opts.Cancel = std::move(T);
+    return *this;
+  }
+  SolveOptionsBuilder &diskCache(std::shared_ptr<FileCache> C) {
+    Opts.DiskCache = std::move(C);
+    return *this;
+  }
+  /// Declares that deliberately crashing diagnostic engines (crash-*) may
+  /// run in this configuration; `build()` then requires process isolation —
+  /// a thread-mode segfault takes the whole caller down.
+  SolveOptionsBuilder &allowCrashEngines(bool Allow = true) {
+    CrashEngines = Allow;
+    return *this;
+  }
+
+  struct Validated {
+    bool Ok = false;
+    std::string Error;
+    SolveOptions Options;
+  };
+  /// Checks the cross-field invariants and returns the final blob; on
+  /// conflict `Ok` is false and `Error` names the offending combination.
+  Validated build() const;
+
+private:
+  SolveOptions Opts;
+  bool EngineExplicit = false;
+  bool ScheduleExplicit = false;
+  bool CrashEngines = false;
 };
 
 /// One solve request: source + format + engine + limits. This is the
@@ -135,6 +231,11 @@ struct SolveResult {
   std::vector<analysis::PassStats> AnalysisPasses;
   /// True when the pre-analysis alone discharged every query clause.
   bool SolvedByAnalysis = false;
+  /// Per-stage records of a staged solve, in execution order (empty for
+  /// single-engine and plain-race runs).
+  std::vector<StageReport> Stages;
+  /// True when a staged solve fell through to the full escalation race.
+  bool Escalated = false;
   /// True when the whole result was served from the persistent disk cache
   /// (`SolveOptions::DiskCache`) without running any engine.
   bool FromDiskCache = false;

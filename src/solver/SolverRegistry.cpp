@@ -1,4 +1,4 @@
-//===- solver/SolverRegistry.cpp - Named CHC engine registry --------------===//
+//===- solver/SolverRegistry.cpp - Typed CHC engine registry --------------===//
 //
 // Part of the LinearArbitrary reproduction. MIT license.
 //
@@ -6,11 +6,26 @@
 
 #include "solver/SolverRegistry.h"
 #include "solver/Portfolio.h"
+#include "solver/Scheduler.h"
 
 #include <algorithm>
 
 using namespace la;
 using namespace la::solver;
+
+const char *solver::toString(CostClass C) {
+  switch (C) {
+  case CostClass::Probe:
+    return "probe";
+  case CostClass::Cheap:
+    return "cheap";
+  case CostClass::Moderate:
+    return "moderate";
+  case CostClass::Heavy:
+    return "heavy";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -29,24 +44,64 @@ DataDrivenOptions dataDrivenFrom(const EngineOptions &EO) {
 } // namespace
 
 SolverRegistry::SolverRegistry() {
-  add("la", "data-driven CEGAR solver (paper Algorithm 3)",
-      [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
-        return std::make_unique<DataDrivenChcSolver>(dataDrivenFrom(EO));
-      });
-  add("analysis", "static pre-analysis only (slicing + abstract domains)",
-      [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
-        DataDrivenOptions Opts = dataDrivenFrom(EO);
-        Opts.AnalysisOnly = true;
-        Opts.Name = "analysis";
-        return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
-      });
-  add("portfolio", "parallel race of the registered engines, first answer wins",
-      [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
-        PortfolioOptions Opts;
-        Opts.Base = EO;
-        Opts.Limits = EO.Limits;
-        return std::make_unique<PortfolioSolver>(std::move(Opts));
-      });
+  {
+    EngineInfo Info;
+    Info.Id = EngineId("la");
+    Info.Description = "data-driven CEGAR solver (paper Algorithm 3)";
+    Info.NeedsAnalysis = true;
+    Info.TypicalCost = CostClass::Moderate;
+    add(std::move(Info),
+        [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+          return std::make_unique<DataDrivenChcSolver>(dataDrivenFrom(EO));
+        });
+  }
+  {
+    EngineInfo Info;
+    Info.Id = EngineId("analysis");
+    Info.Description = "static pre-analysis only (slicing + abstract domains)";
+    Info.NeedsAnalysis = true;
+    Info.TypicalCost = CostClass::Probe;
+    add(std::move(Info),
+        [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+          DataDrivenOptions Opts = dataDrivenFrom(EO);
+          Opts.AnalysisOnly = true;
+          Opts.Name = "analysis";
+          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+        });
+  }
+  {
+    EngineInfo Info;
+    Info.Id = EngineId("portfolio");
+    Info.Description =
+        "parallel race of the registered engines, first answer wins";
+    Info.Deterministic = false; // the winner depends on lane timing
+    Info.TypicalCost = CostClass::Heavy;
+    Info.IsMeta = true;
+    add(std::move(Info),
+        [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+          PortfolioOptions Opts;
+          Opts.Base = EO;
+          Opts.Limits = EO.Limits;
+          return std::make_unique<PortfolioSolver>(std::move(Opts));
+        });
+  }
+  {
+    EngineInfo Info;
+    Info.Id = EngineId("staged");
+    Info.Description =
+        "staged schedule: analysis probe, then top-k engines, then the race";
+    Info.Deterministic = false;
+    Info.TypicalCost = CostClass::Moderate;
+    Info.IsMeta = true;
+    add(std::move(Info),
+        [](const EngineOptions &EO) -> std::unique_ptr<chc::ChcSolverInterface> {
+          PortfolioOptions PO;
+          PO.Base = EO;
+          PO.Limits = EO.Limits;
+          return std::make_unique<StagedSolver>(ScheduleOptions{},
+                                                std::move(PO));
+        });
+  }
 }
 
 SolverRegistry &SolverRegistry::global() {
@@ -54,32 +109,34 @@ SolverRegistry &SolverRegistry::global() {
   return R;
 }
 
-bool SolverRegistry::add(const std::string &Id, const std::string &Description,
-                         Factory F) {
+bool SolverRegistry::add(EngineInfo Info, Factory F) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Entries.emplace(Id, Entry{Description, std::move(F)}).second;
+  EngineId Id = Info.Id;
+  return Entries.emplace(std::move(Id), Entry{std::move(Info), std::move(F),
+                                              /*IsAlias=*/false})
+      .second;
 }
 
-bool SolverRegistry::addAlias(const std::string &Alias,
-                              const std::string &Target) {
+bool SolverRegistry::addAlias(const EngineId &Alias, const EngineId &Target) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Entries.find(Target);
   if (It == Entries.end())
     return false;
+  EngineInfo Info = It->second.Info;
+  Info.Id = Alias;
+  Info.Description += " (alias of " + Target.str() + ")";
   return Entries
-      .emplace(Alias, Entry{It->second.Description + " (alias of " + Target +
-                                ")",
-                            It->second.Make})
+      .emplace(Alias, Entry{std::move(Info), It->second.Make, /*IsAlias=*/true})
       .second;
 }
 
-bool SolverRegistry::contains(const std::string &Id) const {
+bool SolverRegistry::contains(const EngineId &Id) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Entries.count(Id) != 0;
 }
 
 std::unique_ptr<chc::ChcSolverInterface>
-SolverRegistry::create(const std::string &Id, const EngineOptions &Opts) const {
+SolverRegistry::create(const EngineId &Id, const EngineOptions &Opts) const {
   Factory Make;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -88,9 +145,38 @@ SolverRegistry::create(const std::string &Id, const EngineOptions &Opts) const {
       return nullptr;
     Make = It->second.Make;
   }
-  // Run the factory outside the lock: the portfolio factory may recurse into
-  // the registry to build its lanes.
+  // Run the factory outside the lock: the portfolio and staged factories
+  // recurse into the registry to build their lanes.
   return Make(Opts);
+}
+
+std::vector<EngineId> SolverRegistry::engineIds() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<EngineId> Out;
+  Out.reserve(Entries.size());
+  for (const auto &KV : Entries)
+    Out.push_back(KV.first);
+  return Out; // std::map iterates sorted.
+}
+
+std::optional<EngineInfo> SolverRegistry::info(const EngineId &Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Id);
+  if (It == Entries.end())
+    return std::nullopt;
+  return It->second.Info;
+}
+
+std::vector<EngineInfo> SolverRegistry::selectable() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<EngineInfo> Out;
+  for (const auto &KV : Entries) {
+    const Entry &E = KV.second;
+    if (E.IsAlias || E.Info.IsMeta || E.Info.IsDiagnostic)
+      continue;
+    Out.push_back(E.Info);
+  }
+  return Out;
 }
 
 std::vector<std::string> SolverRegistry::ids() const {
@@ -98,12 +184,6 @@ std::vector<std::string> SolverRegistry::ids() const {
   std::vector<std::string> Out;
   Out.reserve(Entries.size());
   for (const auto &KV : Entries)
-    Out.push_back(KV.first);
-  return Out; // std::map iterates sorted.
-}
-
-std::string SolverRegistry::description(const std::string &Id) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Entries.find(Id);
-  return It == Entries.end() ? std::string() : It->second.Description;
+    Out.push_back(KV.first.str());
+  return Out;
 }

@@ -112,14 +112,37 @@ void addStubEngines(SolverRegistry &R) {
       return std::make_unique<StubEngine>(Mode, EO.Cancel, Sleep);
     };
   };
-  R.add("stub-sat", "returns sat", Stub(StubEngine::Behavior::Sat));
-  R.add("stub-unsat", "returns unsat", Stub(StubEngine::Behavior::Unsat));
-  R.add("stub-unknown", "returns unknown", Stub(StubEngine::Behavior::Unknown));
-  R.add("stub-throw", "throws", Stub(StubEngine::Behavior::Throw));
-  R.add("stub-slow-sat", "sat after 300ms",
-        Stub(StubEngine::Behavior::SleepThenSat, 0.3));
-  R.add("stub-wait", "spins until cancelled",
-        Stub(StubEngine::Behavior::WaitCancel));
+  auto Add = [&R](const char *Id, const char *Description,
+                  SolverRegistry::Factory F) {
+    EngineInfo Info;
+    Info.Id = EngineId(Id);
+    Info.Description = Description;
+    Info.TypicalCost = CostClass::Cheap;
+    R.add(std::move(Info), std::move(F));
+  };
+  Add("stub-sat", "returns sat", Stub(StubEngine::Behavior::Sat));
+  Add("stub-unsat", "returns unsat", Stub(StubEngine::Behavior::Unsat));
+  Add("stub-unknown", "returns unknown", Stub(StubEngine::Behavior::Unknown));
+  Add("stub-throw", "throws", Stub(StubEngine::Behavior::Throw));
+  Add("stub-slow-sat", "sat after 300ms",
+      Stub(StubEngine::Behavior::SleepThenSat, 0.3));
+  Add("stub-wait", "spins until cancelled",
+      Stub(StubEngine::Behavior::WaitCancel));
+}
+
+/// Registers the genuine data-driven solver under "la-real" (tests race it
+/// against stubs to exercise cancellation and process isolation).
+void addRealLaEngine(SolverRegistry &R) {
+  EngineInfo Info;
+  Info.Id = EngineId("la-real");
+  Info.Description = "the real data-driven solver";
+  R.add(std::move(Info),
+        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
+          DataDrivenOptions Opts = EO.DataDriven;
+          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
+          Opts.Cancel = EO.Cancel;
+          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
+        });
 }
 
 PortfolioOptions stubPortfolio(const SolverRegistry &R,
@@ -127,7 +150,7 @@ PortfolioOptions stubPortfolio(const SolverRegistry &R,
   PortfolioOptions Opts;
   Opts.Registry = &R;
   for (const char *E : Engines)
-    Opts.Lanes.push_back({E, E, {}});
+    Opts.Lanes.push_back({EngineId(E), E, {}});
   return Opts;
 }
 
@@ -137,34 +160,66 @@ PortfolioOptions stubPortfolio(const SolverRegistry &R,
 
 TEST(SolverRegistryTest, BuiltinsAndBaselinesRegistered) {
   SolverRegistry &R = SolverRegistry::global();
-  EXPECT_TRUE(R.contains("la"));
-  EXPECT_TRUE(R.contains("analysis"));
-  EXPECT_TRUE(R.contains("portfolio"));
+  EXPECT_TRUE(R.contains(EngineId("la")));
+  EXPECT_TRUE(R.contains(EngineId("analysis")));
+  EXPECT_TRUE(R.contains(EngineId("portfolio")));
+  EXPECT_TRUE(R.contains(EngineId("staged")));
   baselines::registerBuiltinEngines();
   for (const char *Id :
        {"pdr", "spacer", "gpdr", "unwind", "duality", "interpolation", "pie",
         "dig"})
-    EXPECT_TRUE(R.contains(Id)) << Id;
+    EXPECT_TRUE(R.contains(EngineId(Id))) << Id;
   // Idempotent: a second registration call must not fail or duplicate.
   baselines::registerBuiltinEngines();
-  std::vector<std::string> Ids = R.ids();
+  std::vector<EngineId> Ids = R.engineIds();
   EXPECT_TRUE(std::is_sorted(Ids.begin(), Ids.end()));
   EXPECT_EQ(std::adjacent_find(Ids.begin(), Ids.end()), Ids.end());
+}
+
+TEST(SolverRegistryTest, CapabilityDescriptorsAndSelectableSet) {
+  SolverRegistry &R = SolverRegistry::global();
+  baselines::registerBuiltinEngines();
+
+  // Capabilities drive the scheduler; spot-check the load-bearing ones.
+  std::optional<EngineInfo> Pdr = R.info(EngineId("pdr"));
+  ASSERT_TRUE(Pdr.has_value());
+  EXPECT_EQ(Pdr->TypicalCost, CostClass::Heavy);
+  std::optional<EngineInfo> Portfolio = R.info(EngineId("portfolio"));
+  ASSERT_TRUE(Portfolio.has_value());
+  EXPECT_TRUE(Portfolio->IsMeta);
+  std::optional<EngineInfo> Pie = R.info(EngineId("pie"));
+  ASSERT_TRUE(Pie.has_value());
+  EXPECT_TRUE(Pie->NeedsAnalysis);
+  // An alias shares the target's descriptor.
+  std::optional<EngineInfo> Spacer = R.info(EngineId("spacer"));
+  ASSERT_TRUE(Spacer.has_value());
+  EXPECT_EQ(Spacer->TypicalCost, CostClass::Heavy);
+  EXPECT_FALSE(R.info(EngineId("no-such-engine")).has_value());
+
+  // selectable() excludes aliases, meta engines and diagnostic engines.
+  std::vector<EngineInfo> Selectable = R.selectable();
+  EXPECT_GE(Selectable.size(), 2u);
+  for (const EngineInfo &E : Selectable) {
+    EXPECT_FALSE(E.IsMeta) << E.Id.str();
+    EXPECT_FALSE(E.IsDiagnostic) << E.Id.str();
+    EXPECT_NE(E.Id, EngineId("spacer")) << "aliases are not candidates";
+    EXPECT_NE(E.Id, EngineId("duality")) << "aliases are not candidates";
+  }
 }
 
 TEST(SolverRegistryTest, CreateAppliesBudgetAndUnknownIdFails) {
   SolverRegistry &R = SolverRegistry::global();
   EngineOptions EO;
   EO.Limits.WallSeconds = 1;
-  std::unique_ptr<ChcSolverInterface> La = R.create("la", EO);
+  std::unique_ptr<ChcSolverInterface> La = R.create(EngineId("la"), EO);
   ASSERT_NE(La, nullptr);
   EXPECT_EQ(La->name(), "LinearArbitrary");
-  EXPECT_EQ(R.create("no-such-engine", EO), nullptr);
+  EXPECT_EQ(R.create(EngineId("no-such-engine"), EO), nullptr);
 }
 
 TEST(SolverRegistryTest, FacadeRejectsUnknownEngine) {
   SolveOptions Opts;
-  Opts.Engine = "no-such-engine";
+  Opts.Engine = EngineId("no-such-engine");
   SolveResult S = solveChcText(SafeCounterText, Opts);
   EXPECT_FALSE(S.Ok);
   EXPECT_NE(S.Error.find("unknown engine"), std::string::npos);
@@ -244,13 +299,7 @@ TEST(PortfolioTest, ThrowingLaneDoesNotSpoilTheRace) {
   // One stub lane throws; the real "la" lane must still solve the system.
   SolverRegistry R;
   addStubEngines(R);
-  R.add("la-real", "the real data-driven solver",
-        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
-          DataDrivenOptions Opts = EO.DataDriven;
-          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
-          Opts.Cancel = EO.Cancel;
-          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
-        });
+  addRealLaEngine(R);
   PortfolioOptions PO = stubPortfolio(R, {"stub-throw", "la-real"});
   PO.Limits.WallSeconds = 60;
   PortfolioSolver Solver(PO);
@@ -312,13 +361,7 @@ TEST(PortfolioTest, CancellationReachesRealEngineInsideSmt) {
   parseInto(DivergingText, System);
   SolverRegistry R;
   addStubEngines(R);
-  R.add("la-real", "the real data-driven solver",
-        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
-          DataDrivenOptions Opts = EO.DataDriven;
-          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
-          Opts.Cancel = EO.Cancel;
-          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
-        });
+  addRealLaEngine(R);
   PortfolioOptions PO = stubPortfolio(R, {"la-real", "stub-slow-sat"});
   PO.Limits.WallSeconds = 60; // the budget is NOT what ends this race
   PortfolioSolver Solver(PO);
@@ -340,7 +383,7 @@ TEST(PortfolioTest, GlobalBudgetCancelsEveryLane) {
   SolverRegistry R;
   addStubEngines(R);
   PortfolioOptions PO = stubPortfolio(R, {"stub-wait", "stub-wait-2"});
-  PO.Lanes[1].Engine = "stub-wait";
+  PO.Lanes[1].Engine = EngineId("stub-wait");
   PO.Lanes[1].Label = "stub-wait-2";
   PO.Limits.WallSeconds = 0.2;
   PortfolioSolver Solver(PO);
@@ -480,13 +523,7 @@ TEST(ProcessIsolationTest, RealEngineModelSurvivesThePipe) {
   parseInto(SafeCounterText, System);
   SolverRegistry R;
   addStubEngines(R);
-  R.add("la-real", "the real data-driven solver",
-        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
-          DataDrivenOptions Opts = EO.DataDriven;
-          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
-          Opts.Cancel = EO.Cancel;
-          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
-        });
+  addRealLaEngine(R);
   PortfolioOptions PO = stubPortfolio(R, {"la-real"});
   PO.Isolate = Isolation::Process;
   PO.Limits.WallSeconds = 60;
@@ -504,13 +541,7 @@ TEST(ProcessIsolationTest, CounterexampleSurvivesThePipe) {
   ChcSystem System(TM);
   parseInto(UnsafeCounterText, System);
   SolverRegistry R;
-  R.add("la-real", "the real data-driven solver",
-        [](const EngineOptions &EO) -> std::unique_ptr<ChcSolverInterface> {
-          DataDrivenOptions Opts = EO.DataDriven;
-          Opts.Limits = EO.Limits.resolvedOver(Opts.Limits);
-          Opts.Cancel = EO.Cancel;
-          return std::make_unique<DataDrivenChcSolver>(std::move(Opts));
-        });
+  addRealLaEngine(R);
   PortfolioOptions PO = stubPortfolio(R, {"la-real"});
   PO.Isolate = Isolation::Process;
   PO.Limits.WallSeconds = 60;
@@ -523,7 +554,7 @@ TEST(ProcessIsolationTest, CounterexampleSurvivesThePipe) {
 TEST(ProcessIsolationTest, FacadeSingleEngineProcessMode) {
   LA_SKIP_UNDER_TSAN();
   SolveOptions Opts;
-  Opts.Engine = "la";
+  Opts.Engine = EngineId("la");
   Opts.Isolate = Isolation::Process;
   Opts.Limits.WallSeconds = 60;
   SolveResult S = solveChcText(SafeCounterText, Opts);
@@ -538,7 +569,7 @@ TEST(ProcessIsolationTest, FacadeContainsCrashingSingleEngine) {
   LA_SKIP_UNDER_TSAN();
   baselines::registerCrashEngines();
   SolveOptions Opts;
-  Opts.Engine = "crash-segv";
+  Opts.Engine = EngineId("crash-segv");
   Opts.Isolate = Isolation::Process;
   Opts.Limits.WallSeconds = 60;
   SolveResult S = solveChcText(SafeCounterText, Opts);
@@ -567,7 +598,7 @@ TEST(IsolationParseTest, RoundTripAndRejects) {
 TEST(PortfolioTest, FacadePortfolioSolvesSafeAndUnsafe) {
   baselines::registerBuiltinEngines();
   SolveOptions Opts;
-  Opts.Engine = "portfolio";
+  Opts.Engine = EngineId("portfolio");
   Opts.Limits.WallSeconds = 30;
 
   SolveResult Safe = solveChcText(SafeCounterText, Opts);

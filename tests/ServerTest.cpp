@@ -71,9 +71,11 @@ private:
 
 void registerSleepyEngine() {
   // `add` is idempotent: repeated registration across tests is a no-op.
+  solver::EngineInfo Info;
+  Info.Id = solver::EngineId("sleepy-test");
+  Info.Description = "sleeps through its budget (test engine)";
   solver::SolverRegistry::global().add(
-      "sleepy-test", "sleeps through its budget (test engine)",
-      [](const solver::EngineOptions &EO) {
+      std::move(Info), [](const solver::EngineOptions &EO) {
         return std::make_unique<SleepySolver>(EO.Limits, EO.Cancel);
       });
 }
@@ -83,7 +85,7 @@ solver::SolveRequest inlineRequest(const char *Source, double Budget,
   solver::SolveRequest R;
   R.Source = Source;
   R.Format = solver::SourceFormat::SmtLib2;
-  R.Options.Engine = Engine;
+  R.Options.Engine = solver::EngineId(Engine);
   R.Options.Limits.WallSeconds = Budget;
   return R;
 }

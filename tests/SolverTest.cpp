@@ -302,16 +302,18 @@ TEST(SolveFacadeTest, SolvesFileAndHonorsCustomRegistryEngine) {
   // A custom engine registered under a fresh id swaps in a
   // differently-configured solver; analysis statistics still surface
   // because it is a DataDrivenChcSolver.
+  solver::EngineInfo Hooked;
+  Hooked.Id = solver::EngineId("hooked-test");
+  Hooked.Description = "differently-configured data-driven engine";
   solver::SolverRegistry::global().add(
-      "hooked-test", "differently-configured data-driven engine",
-      [](const solver::EngineOptions &EO) {
+      std::move(Hooked), [](const solver::EngineOptions &EO) {
         DataDrivenOptions DD = EO.DataDriven;
         DD.Limits = DD.Limits.resolvedOver(EO.Limits);
         DD.Name = "hooked";
         return std::make_unique<DataDrivenChcSolver>(DD);
       });
   SolveOptions Opts;
-  Opts.Engine = "hooked-test";
+  Opts.Engine = solver::EngineId("hooked-test");
   solver::SolveResult H = solveFile(Path, Opts);
   ASSERT_TRUE(H.Ok) << H.Error;
   EXPECT_EQ(H.Status, ChcResult::Sat);
